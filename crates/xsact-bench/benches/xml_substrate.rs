@@ -1,0 +1,50 @@
+//! Criterion benches for the XML substrate: parsing, serialisation and
+//! feature extraction over the Product Reviews dataset.
+//!
+//! Run with `cargo bench -p xsact-bench --bench xml_substrate`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Duration;
+use xsact_data::{ReviewsGen, ReviewsGenConfig};
+use xsact_entity::{extract_features, StructureSummary};
+use xsact_xml::{parse_document, writer, Document};
+
+fn dataset() -> Document {
+    ReviewsGen::new(ReviewsGenConfig { seed: 42, products: 24, reviews: (20, 60) }).generate()
+}
+
+fn bench_parse_and_write(c: &mut Criterion) {
+    let doc = dataset();
+    let xml = writer::write_document(&doc, &writer::WriteOptions::compact());
+    let mut group = c.benchmark_group("xml");
+    group
+        .measurement_time(Duration::from_millis(1500))
+        .warm_up_time(Duration::from_millis(300))
+        .throughput(Throughput::Bytes(xml.len() as u64));
+    group.bench_function("parse_reviews_dataset", |b| {
+        b.iter(|| black_box(parse_document(&xml).expect("well-formed")))
+    });
+    group.bench_function("write_reviews_dataset", |b| {
+        b.iter(|| black_box(writer::write_document(&doc, &writer::WriteOptions::compact())))
+    });
+    group.finish();
+}
+
+fn bench_structure_inference(c: &mut Criterion) {
+    let doc = dataset();
+    let mut group = c.benchmark_group("entity");
+    group.measurement_time(Duration::from_millis(900)).warm_up_time(Duration::from_millis(200));
+    group.bench_function("structure_summary_infer", |b| {
+        b.iter(|| black_box(StructureSummary::infer(&doc)))
+    });
+    let summary = StructureSummary::infer(&doc);
+    let product = doc.child_elements(doc.root()).next().expect("a product");
+    group.bench_function("extract_features_one_product", |b| {
+        b.iter(|| black_box(extract_features(&doc, &summary, product, "p")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse_and_write, bench_structure_inference);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Figure 1 — the two result fragments of query `{TomTom, GPS}` and their
+//! statistics panels.
+//!
+//! Prints, for each of the paper's two results, the information Figure 1
+//! shows: the number of reviews and the `ATTR : VALUE : # of occ` lines, in
+//! significance order. The integration test `tests/paper_example.rs`
+//! asserts these numbers equal the paper's.
+//!
+//! Usage: `cargo run -p xsact-bench --bin fig1_stats`
+
+use xsact_data::fixtures;
+use xsact_index::{Query, SearchEngine};
+
+fn main() {
+    let doc = fixtures::figure1_document();
+    let engine = SearchEngine::build(doc);
+    let results = engine.search(&Query::parse(fixtures::PAPER_QUERY));
+    println!(
+        "query {{TomTom, GPS}} on the Figure 1 dataset: {} results\n",
+        results.len()
+    );
+
+    for (i, result) in results.iter().enumerate() {
+        let rf = engine.extract_features(result);
+        println!("Result {} — {}", i + 1, rf.label);
+        println!("  statistics (cf. Figure 1 right-hand panels):");
+        for line in rf.stat_panel(8) {
+            println!("    {line}");
+        }
+        println!();
+    }
+
+    // The fragment view: the first review subtree of result 1, as the
+    // figure's tree diagram shows.
+    let doc = engine.document();
+    if let Some(reviews) = doc.child_by_tag(results[0].root, "reviews") {
+        if let Some(first) = doc.child_elements(reviews).next() {
+            println!("first review fragment of result 1 (cf. the tree in Figure 1):");
+            println!("{}", xsact_xml::writer::write_subtree(doc, first));
+        }
+    }
+}

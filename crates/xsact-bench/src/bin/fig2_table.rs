@@ -1,0 +1,55 @@
+//! Figure 2 — the XSACT comparison table for the results of Figure 1, plus
+//! the worked-example DoD numbers from §2 of the paper:
+//!
+//! * snippet DFSs (the Figure 1 snippets): DoD = 2 (only Product:Name and
+//!   Pro:Compact differentiate; rating 4.2 vs 4.1 is within the 10%
+//!   threshold);
+//! * XSACT multi-swap DFSs: DoD = 5 ("three more feature types become
+//!   comparable").
+//!
+//! Usage: `cargo run -p xsact-bench --bin fig2_table`
+
+use xsact_core::{Algorithm, Comparison};
+use xsact_data::fixtures;
+use xsact_entity::ResultFeatures;
+use xsact_index::{Query, SearchEngine};
+
+fn main() {
+    let doc = fixtures::figure1_document();
+    let engine = SearchEngine::build(doc);
+    let results = engine.search(&Query::parse(fixtures::PAPER_QUERY));
+    let features: Vec<ResultFeatures> =
+        results.iter().map(|r| engine.extract_features(r)).collect();
+
+    let snippet = Comparison::new(&features)
+        .size_bound(fixtures::SNIPPET_BOUND)
+        .run(Algorithm::Snippet);
+    println!(
+        "snippet DFSs (eXtract-style, L = {}): DoD = {}   [paper: 2]",
+        fixtures::SNIPPET_BOUND,
+        snippet.dod()
+    );
+    println!("{}", snippet.table());
+
+    for algorithm in [Algorithm::SingleSwap, Algorithm::MultiSwap] {
+        let outcome = Comparison::new(&features)
+            .size_bound(fixtures::TABLE_BOUND)
+            .run(algorithm);
+        println!(
+            "{} DFSs (L = {}): DoD = {}   [paper, multi-swap: 5]",
+            algorithm.name(),
+            fixtures::TABLE_BOUND,
+            outcome.dod()
+        );
+        if algorithm == Algorithm::MultiSwap {
+            println!("{}", outcome.table());
+        }
+    }
+
+    let opt = Comparison::new(&features)
+        .size_bound(fixtures::TABLE_BOUND)
+        .run_exhaustive(5_000_000);
+    if let Some(opt) = opt {
+        println!("exhaustive optimum at L = {}: DoD = {}", fixtures::TABLE_BOUND, opt.dod());
+    }
+}

@@ -1,0 +1,132 @@
+//! Figure 4 — effectiveness and efficiency of XSACT on the movie dataset.
+//!
+//! Regenerates both panels of the paper's Figure 4 over the eight queries
+//! QM1–QM8:
+//!
+//! * **(a) Quality of DFSs** — total DoD achieved by the single-swap and
+//!   multi-swap methods (snippet and greedy baselines added for context);
+//! * **(b) Processing time** — wall-clock seconds per query for each
+//!   method, measured on the preprocessed instance (preprocessing reported
+//!   separately).
+//!
+//! Expected shape (paper §2): multi-swap DoD ≥ single-swap DoD with strict
+//! wins on several queries; both methods well under a second per query;
+//! single-swap usually faster, but multi-swap occasionally wins because it
+//! converges in fewer rounds.
+//!
+//! Usage: `cargo run --release -p xsact-bench --bin fig4 [movies] [seed]`
+
+use std::time::{Duration, Instant};
+use xsact_bench::{
+    movie_engine, prepare_qm_queries, print_row, FIG4_BOUND, FIG4_MOVIES, FIG4_RESULT_CAP,
+    FIG4_SEED,
+};
+use xsact_core::{dod_total, run_algorithm, Algorithm};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let movies: usize =
+        args.next().and_then(|a| a.parse().ok()).unwrap_or(FIG4_MOVIES);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(FIG4_SEED);
+
+    println!("Figure 4 workload: {movies} movies (seed {seed}), result cap {FIG4_RESULT_CAP}, L = {FIG4_BOUND}, x = 10%");
+    let t0 = Instant::now();
+    let engine = movie_engine(movies, seed);
+    println!(
+        "dataset + index built in {:?} ({} XML nodes, {} index terms)",
+        t0.elapsed(),
+        engine.document().len(),
+        engine.index().stats().terms
+    );
+    let t1 = Instant::now();
+    let prepared = prepare_qm_queries(&engine, FIG4_RESULT_CAP, FIG4_BOUND);
+    println!("search + feature extraction for 8 queries in {:?}\n", t1.elapsed());
+
+    let algorithms = Algorithm::ALL;
+    let widths = [6, 18, 8, 8, 8, 8, 8];
+
+    // ---------------------------------------------------------- Figure 4(a)
+    println!("Figure 4(a): quality of DFSs (total DoD per query)");
+    let mut header = vec!["query".to_string(), "text".to_string(), "n".to_string()];
+    header.extend(algorithms.iter().map(|a| a.name().to_string()));
+    print_row(&header, &widths);
+    for p in &prepared {
+        let mut row = vec![
+            p.label.to_string(),
+            p.text.clone(),
+            p.instance.as_ref().map_or(0, |i| i.result_count()).to_string(),
+        ];
+        match &p.instance {
+            Some(inst) => {
+                for algo in algorithms {
+                    let (set, _) = run_algorithm(inst, algo);
+                    row.push(dod_total(inst, &set).to_string());
+                }
+            }
+            None => row.extend(std::iter::repeat_n("-".to_string(), algorithms.len())),
+        }
+        print_row(&row, &widths);
+    }
+
+    // ---------------------------------------------------------- Figure 4(b)
+    println!("\nFigure 4(b): processing time per query (seconds)");
+    let mut header = vec!["query".to_string(), "text".to_string(), "n".to_string()];
+    header.extend(algorithms.iter().map(|a| a.name().to_string()));
+    let twidths = [6, 18, 8, 10, 10, 10, 10];
+    print_row(&header, &twidths);
+    for p in &prepared {
+        let mut row = vec![
+            p.label.to_string(),
+            p.text.clone(),
+            p.instance.as_ref().map_or(0, |i| i.result_count()).to_string(),
+        ];
+        match &p.instance {
+            Some(inst) => {
+                for algo in algorithms {
+                    let elapsed = time_algorithm(inst, algo);
+                    row.push(format!("{:.6}", elapsed.as_secs_f64()));
+                }
+            }
+            None => row.extend(std::iter::repeat_n("-".to_string(), algorithms.len())),
+        }
+        print_row(&row, &twidths);
+    }
+
+    // ------------------------------------------------------- shape checks
+    println!("\nshape checks (paper claims):");
+    let mut multi_wins = 0;
+    let mut single_never_above = true;
+    let mut all_fast = true;
+    for p in &prepared {
+        let Some(inst) = &p.instance else { continue };
+        let (s, _) = run_algorithm(inst, Algorithm::SingleSwap);
+        let (m, _) = run_algorithm(inst, Algorithm::MultiSwap);
+        let (sd, md) = (dod_total(inst, &s), dod_total(inst, &m));
+        if md > sd {
+            multi_wins += 1;
+        }
+        if sd > md {
+            single_never_above = false;
+        }
+        if time_algorithm(inst, Algorithm::MultiSwap) > Duration::from_secs(1) {
+            all_fast = false;
+        }
+    }
+    println!("  multi-swap DoD >= single-swap DoD on every query: {single_never_above}");
+    println!("  queries where multi-swap strictly wins: {multi_wins}");
+    println!("  every query processed in < 1 s: {all_fast}");
+}
+
+/// Median-of-5 wall-clock time of one algorithm on one instance.
+fn time_algorithm(inst: &xsact_core::Instance, algo: Algorithm) -> Duration {
+    let mut samples: Vec<Duration> = (0..5)
+        .map(|_| {
+            let t = Instant::now();
+            let (set, _) = run_algorithm(inst, algo);
+            std::hint::black_box(&set);
+            t.elapsed()
+        })
+        .collect();
+    samples.sort();
+    samples[2]
+}

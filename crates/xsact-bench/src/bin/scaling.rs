@@ -1,0 +1,126 @@
+//! EXT-SCALE — scaling sweeps beyond the paper's evaluation.
+//!
+//! Three sweeps, each printing one table:
+//!
+//! 1. **Result count n** (the user compares more results): DoD grows ~n²,
+//!    runtime grows with the per-round `O(n² · m)` weight passes.
+//! 2. **Size bound L**: DoD grows with the budget until every shared
+//!    differentiable type fits, then saturates.
+//! 3. **Dataset size** (movies): index build time and query latency of the
+//!    search substrate.
+//!
+//! Usage: `cargo run --release -p xsact-bench --bin scaling`
+
+use std::time::Instant;
+use xsact_bench::{movie_engine, prepare_qm_queries, print_row, FIG4_SEED};
+use xsact_core::{dod_total, run_algorithm, Algorithm};
+use xsact_data::movies::{qm_queries, MovieGenConfig, MoviesGen};
+use xsact_index::{Query, SearchEngine};
+
+fn main() {
+    sweep_result_count();
+    sweep_size_bound();
+    sweep_dataset_size();
+}
+
+fn sweep_result_count() {
+    println!("sweep 1: number of compared results n (QM1, L = 6)");
+    let widths = [4, 10, 10, 12, 12, 14, 14];
+    print_row(
+        &[
+            "n".into(),
+            "single".into(),
+            "multi".into(),
+            "upper".into(),
+            "t_single".into(),
+            "t_multi".into(),
+            "rounds_m".into(),
+        ],
+        &widths,
+    );
+    let engine = movie_engine(400, FIG4_SEED);
+    for n in [2usize, 4, 6, 8, 12, 16] {
+        let prepared = prepare_qm_queries(&engine, n, 6);
+        let Some(inst) = &prepared[0].instance else { continue };
+        let t = Instant::now();
+        let (s, _) = run_algorithm(inst, Algorithm::SingleSwap);
+        let t_single = t.elapsed();
+        let t = Instant::now();
+        let (m, stats) = run_algorithm(inst, Algorithm::MultiSwap);
+        let t_multi = t.elapsed();
+        print_row(
+            &[
+                inst.result_count().to_string(),
+                dod_total(inst, &s).to_string(),
+                dod_total(inst, &m).to_string(),
+                xsact_core::dod_upper_bound(inst).to_string(),
+                format!("{t_single:?}"),
+                format!("{t_multi:?}"),
+                stats.rounds.to_string(),
+            ],
+            &widths,
+        );
+    }
+    println!();
+}
+
+fn sweep_size_bound() {
+    println!("sweep 2: size bound L (QM4, 6 results)");
+    let widths = [4, 10, 10, 10, 10];
+    print_row(
+        &["L".into(), "snippet".into(), "greedy".into(), "single".into(), "multi".into()],
+        &widths,
+    );
+    let engine = movie_engine(400, FIG4_SEED);
+    for bound in [1usize, 2, 3, 4, 6, 8, 12, 16, 24] {
+        let prepared = prepare_qm_queries(&engine, 6, bound);
+        let Some(inst) = &prepared[3].instance else { continue };
+        let mut row = vec![bound.to_string()];
+        for algo in Algorithm::ALL {
+            let (set, _) = run_algorithm(inst, algo);
+            row.push(dod_total(inst, &set).to_string());
+        }
+        print_row(&row, &widths);
+    }
+    println!();
+}
+
+fn sweep_dataset_size() {
+    println!("sweep 3: dataset size (index build + QM query latency)");
+    let widths = [8, 10, 14, 14, 14];
+    print_row(
+        &[
+            "movies".into(),
+            "nodes".into(),
+            "build".into(),
+            "avg_search".into(),
+            "avg_results".into(),
+        ],
+        &widths,
+    );
+    for movies in [100usize, 200, 400, 800, 1600] {
+        let t = Instant::now();
+        let doc = MoviesGen::new(MovieGenConfig { movies, seed: FIG4_SEED, ..Default::default() })
+            .generate();
+        let nodes = doc.len();
+        let engine = SearchEngine::build(doc);
+        let build = t.elapsed();
+        let queries = qm_queries();
+        let t = Instant::now();
+        let mut total_results = 0usize;
+        for (_, text) in &queries {
+            total_results += engine.search(&Query::parse(text)).len();
+        }
+        let avg_search = t.elapsed() / queries.len() as u32;
+        print_row(
+            &[
+                movies.to_string(),
+                nodes.to_string(),
+                format!("{build:?}"),
+                format!("{avg_search:?}"),
+                format!("{:.1}", total_results as f64 / queries.len() as f64),
+            ],
+            &widths,
+        );
+    }
+}

@@ -1,0 +1,245 @@
+//! The demo application: dataset loading, search, selection, comparison —
+//! the terminal analogue of the paper's Figure 5 result page.
+
+use crate::args::{Args, Dataset};
+use xsact_core::{Comparison, ComparisonOutcome};
+use xsact_data::{
+    fixtures, JobsGen, JobsGenConfig, MovieGenConfig, MoviesGen, OutdoorGen, OutdoorGenConfig,
+    ReviewsGen, ReviewsGenConfig,
+};
+use xsact_entity::ResultFeatures;
+use xsact_index::{Query, SearchEngine, SearchResult};
+use xsact_xml::Document;
+
+/// Loads the chosen dataset.
+pub fn load_dataset(args: &Args) -> Document {
+    match args.dataset {
+        Dataset::Figure1 => fixtures::figure1_document(),
+        Dataset::Reviews => ReviewsGen::new(ReviewsGenConfig {
+            seed: args.seed,
+            ..Default::default()
+        })
+        .generate(),
+        Dataset::Outdoor => OutdoorGen::new(OutdoorGenConfig {
+            seed: args.seed,
+            ..Default::default()
+        })
+        .generate(),
+        Dataset::Movies => MoviesGen::new(MovieGenConfig {
+            seed: args.seed,
+            movies: 250,
+            ..Default::default()
+        })
+        .generate(),
+        Dataset::Jobs => JobsGen::new(JobsGenConfig {
+            seed: args.seed,
+            ..Default::default()
+        })
+        .generate(),
+    }
+}
+
+/// One full demo run. Returns the text to print, so the logic is testable
+/// without capturing stdout.
+pub fn run(args: &Args) -> Result<String, String> {
+    let mut out = String::new();
+    let doc = load_dataset(args);
+    out.push_str(&format!(
+        "dataset: {:?} ({} XML nodes)\n",
+        args.dataset,
+        doc.len()
+    ));
+    let engine = SearchEngine::build(doc);
+    let query = Query::parse(&args.query);
+    if query.is_empty() {
+        return Err("the query contains no search terms".to_owned());
+    }
+    let results = if args.ranked {
+        let ranked = engine.search_ranked(&query);
+        out.push_str(&format!("query {query}: {} results (ranked)\n", ranked.len()));
+        for (i, (r, score)) in ranked.iter().enumerate() {
+            out.push_str(&format!(
+                "  [{:>2}] {}  (score {:.3})\n",
+                i + 1,
+                r.label,
+                score.score
+            ));
+        }
+        ranked.into_iter().map(|(r, _)| r).collect::<Vec<_>>()
+    } else {
+        let results = engine.search_with(&query, args.semantics);
+        out.push_str(&format!("query {query}: {} results\n", results.len()));
+        // Result list with snippet-ish labels (Figure 5's result page).
+        for (i, r) in results.iter().enumerate() {
+            out.push_str(&format!("  [{:>2}] {}\n", i + 1, r.label));
+        }
+        results
+    };
+    if results.is_empty() {
+        out.push_str("no results — nothing to compare\n");
+        return Ok(out);
+    }
+
+    // Selection: the ticked checkboxes.
+    let selected = select_results(&results, &args.select)?;
+    out.push_str(&format!(
+        "\ncomparing {} results (L = {}, x = {}%, {}):\n",
+        selected.len(),
+        args.bound,
+        args.threshold,
+        args.algorithm.name()
+    ));
+
+    let features: Vec<ResultFeatures> =
+        selected.iter().map(|r| engine.extract_features(r)).collect();
+
+    if args.stats {
+        for rf in &features {
+            out.push_str(&format!("\nstatistics of {}:\n", rf.label));
+            for line in rf.stat_panel(6) {
+                out.push_str(&format!("  {line}\n"));
+            }
+        }
+        out.push('\n');
+    }
+    if args.show_xml {
+        for r in &selected {
+            out.push_str(&format!("\n{}\n", engine.result_xml(r)));
+        }
+        out.push('\n');
+    }
+
+    if features.len() < 2 {
+        out.push_str("(need at least two selected results for a comparison table)\n");
+        return Ok(out);
+    }
+
+    let outcome: ComparisonOutcome = Comparison::new(&features)
+        .size_bound(args.bound)
+        .threshold(args.threshold)
+        .run(args.algorithm);
+    out.push_str(&outcome.table());
+    out.push_str(&format!(
+        "DoD = {} (upper bound {}), {} rounds, {} moves, {:?}\n",
+        outcome.dod(),
+        outcome.dod_upper_bound(),
+        outcome.stats.rounds,
+        outcome.stats.moves,
+        outcome.stats.elapsed
+    ));
+    Ok(out)
+}
+
+/// Applies the `--select` list (1-based), defaulting to the first four
+/// results.
+fn select_results(
+    results: &[SearchResult],
+    select: &[usize],
+) -> Result<Vec<SearchResult>, String> {
+    if select.is_empty() {
+        return Ok(results.iter().take(4).cloned().collect());
+    }
+    select
+        .iter()
+        .map(|&i| {
+            results
+                .get(i - 1)
+                .cloned()
+                .ok_or_else(|| format!("--select {i} is out of range (1..={})", results.len()))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args;
+
+    fn args_for(dataset: &str, extra: &[&str]) -> Args {
+        let mut argv = vec!["--dataset".to_string(), dataset.to_string()];
+        argv.extend(extra.iter().map(|s| s.to_string()));
+        args::parse(argv.into_iter()).expect("valid args")
+    }
+
+    #[test]
+    fn figure1_demo_reports_dod_5() {
+        let a = args_for("figure1", &["--bound", "7"]);
+        let out = run(&a).expect("runs");
+        assert!(out.contains("2 results"));
+        assert!(out.contains("DoD = 5"));
+        assert!(out.contains("TomTom Go 630 Portable GPS"));
+    }
+
+    #[test]
+    fn stats_and_xml_flags() {
+        let a = args_for("figure1", &["--stats", "--xml"]);
+        let out = run(&a).expect("runs");
+        assert!(out.contains("# of reviews: 11"));
+        assert!(out.contains("<product>"));
+    }
+
+    #[test]
+    fn movies_demo_runs() {
+        let a = args_for("movies", &["--bound", "6", "--algorithm", "single-swap"]);
+        let out = run(&a).expect("runs");
+        assert!(out.contains("single-swap"));
+        assert!(out.contains("DoD ="));
+    }
+
+    #[test]
+    fn outdoor_demo_runs() {
+        let a = args_for("outdoor", &[]);
+        let out = run(&a).expect("runs");
+        assert!(out.contains("results"));
+    }
+
+    #[test]
+    fn reviews_demo_runs() {
+        let a = args_for("reviews", &["--select", "1,2"]);
+        let out = run(&a).expect("runs");
+        assert!(out.contains("comparing 2 results"));
+    }
+
+    #[test]
+    fn ranked_mode_shows_scores() {
+        let a = args_for("figure1", &["--ranked"]);
+        let out = run(&a).expect("runs");
+        assert!(out.contains("(score "));
+        assert!(out.contains("(ranked)"));
+    }
+
+    #[test]
+    fn elca_semantics_runs() {
+        let a = args_for("figure1", &["--semantics", "elca"]);
+        let out = run(&a).expect("runs");
+        assert!(out.contains("results"));
+    }
+
+    #[test]
+    fn jobs_demo_runs() {
+        let a = args_for("jobs", &["--bound", "6"]);
+        let out = run(&a).expect("runs");
+        assert!(out.contains("results"));
+    }
+
+    #[test]
+    fn bad_selection_is_reported() {
+        let a = args_for("figure1", &["--select", "9"]);
+        let err = run(&a).unwrap_err();
+        assert!(err.contains("out of range"));
+    }
+
+    #[test]
+    fn unmatched_query_is_graceful() {
+        let a = args_for("figure1", &["--query", "zeppelin"]);
+        let out = run(&a).expect("runs");
+        assert!(out.contains("0 results"));
+        assert!(out.contains("nothing to compare"));
+    }
+
+    #[test]
+    fn empty_query_is_an_error() {
+        let a = args_for("figure1", &["--query", "!!!"]);
+        assert!(run(&a).is_err());
+    }
+}

@@ -1,0 +1,274 @@
+//! Command-line argument parsing (hand-rolled; the workspace stays
+//! dependency-light).
+
+use std::fmt;
+use xsact_core::Algorithm;
+use xsact_index::ResultSemantics;
+
+/// Which dataset to load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dataset {
+    /// The paper's Figure 1 worked example.
+    Figure1,
+    /// Synthetic Product Reviews (buzzillions.com substitute).
+    Reviews,
+    /// Synthetic Outdoor Retailer (REI.com substitute).
+    Outdoor,
+    /// Synthetic IMDB-like movies.
+    Movies,
+    /// Synthetic job board (employee hiring domain).
+    Jobs,
+}
+
+impl Dataset {
+    fn parse(s: &str) -> Result<Self, ArgError> {
+        match s {
+            "figure1" | "fig1" | "paper" => Ok(Dataset::Figure1),
+            "reviews" | "products" => Ok(Dataset::Reviews),
+            "outdoor" | "rei" => Ok(Dataset::Outdoor),
+            "movies" | "imdb" => Ok(Dataset::Movies),
+            "jobs" | "hiring" => Ok(Dataset::Jobs),
+            other => Err(ArgError(format!(
+                "unknown dataset {other:?}; use figure1 | reviews | outdoor | movies | jobs"
+            ))),
+        }
+    }
+}
+
+/// Parsed command line.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Dataset to load.
+    pub dataset: Dataset,
+    /// Keyword query.
+    pub query: String,
+    /// Comparison table size bound `L`.
+    pub bound: usize,
+    /// Differentiability threshold `x` in percent.
+    pub threshold: f64,
+    /// DFS generation algorithm.
+    pub algorithm: Algorithm,
+    /// 1-based result positions to compare (empty = first four).
+    pub select: Vec<usize>,
+    /// Generator seed for the synthetic datasets.
+    pub seed: u64,
+    /// Print each selected result's statistics panel.
+    pub stats: bool,
+    /// Print the full XML of each selected result.
+    pub show_xml: bool,
+    /// LCA semantics used by the search engine.
+    pub semantics: ResultSemantics,
+    /// Order the result list by relevance instead of document order.
+    pub ranked: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            dataset: Dataset::Figure1,
+            query: String::new(),
+            bound: 8,
+            threshold: 10.0,
+            algorithm: Algorithm::MultiSwap,
+            select: Vec::new(),
+            seed: 42,
+            stats: false,
+            show_xml: false,
+            semantics: ResultSemantics::Slca,
+            ranked: false,
+        }
+    }
+}
+
+/// A human-readable argument error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Usage text printed on `--help` or errors.
+pub const USAGE: &str = "\
+xsact — compare structured search results (VLDB 2010 demo reproduction)
+
+USAGE:
+    xsact-demo [OPTIONS]
+
+OPTIONS:
+    --dataset <name>     figure1 | reviews | outdoor | movies | jobs [figure1]
+    --query <text>       keyword query (default: the dataset's demo query)
+    --bound <L>          max features per DFS                   [8]
+    --threshold <x>      differentiability threshold in percent [10]
+    --algorithm <name>   snippet | greedy | single-swap | multi-swap [multi-swap]
+    --select <list>      1-based result numbers, e.g. 1,3       [first 4]
+    --seed <n>           generator seed                         [42]
+    --semantics <s>      slca | elca result semantics           [slca]
+    --ranked             order results by relevance (TF-IDF)
+    --stats              print per-result statistics panels
+    --xml                print each selected result's XML
+    --help               this text
+";
+
+/// Parses `argv[1..]`.
+pub fn parse<I>(mut argv: I) -> Result<Args, ArgError>
+where
+    I: Iterator<Item = String>,
+{
+    let mut args = Args::default();
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| {
+            argv.next().ok_or_else(|| ArgError(format!("{name} requires a value")))
+        };
+        match flag.as_str() {
+            "--dataset" => args.dataset = Dataset::parse(&value("--dataset")?)?,
+            "--query" => args.query = value("--query")?,
+            "--bound" => {
+                args.bound = value("--bound")?
+                    .parse()
+                    .map_err(|_| ArgError("--bound expects an integer".into()))?;
+            }
+            "--threshold" => {
+                args.threshold = value("--threshold")?
+                    .parse()
+                    .map_err(|_| ArgError("--threshold expects a number".into()))?;
+            }
+            "--algorithm" => {
+                args.algorithm = match value("--algorithm")?.as_str() {
+                    "snippet" => Algorithm::Snippet,
+                    "greedy" => Algorithm::Greedy,
+                    "single-swap" | "single" => Algorithm::SingleSwap,
+                    "multi-swap" | "multi" => Algorithm::MultiSwap,
+                    other => {
+                        return Err(ArgError(format!(
+                            "unknown algorithm {other:?}; use snippet | greedy | single-swap | multi-swap"
+                        )))
+                    }
+                };
+            }
+            "--select" => {
+                args.select = value("--select")?
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse::<usize>()
+                            .map_err(|_| ArgError(format!("bad result number {s:?}")))
+                    })
+                    .collect::<Result<_, _>>()?;
+                if args.select.contains(&0) {
+                    return Err(ArgError("--select positions are 1-based".into()));
+                }
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| ArgError("--seed expects an integer".into()))?;
+            }
+            "--semantics" => {
+                args.semantics = match value("--semantics")?.as_str() {
+                    "slca" => ResultSemantics::Slca,
+                    "elca" => ResultSemantics::Elca,
+                    other => {
+                        return Err(ArgError(format!(
+                            "unknown semantics {other:?}; use slca | elca"
+                        )))
+                    }
+                };
+            }
+            "--ranked" => args.ranked = true,
+            "--stats" => args.stats = true,
+            "--xml" => args.show_xml = true,
+            "--help" | "-h" => return Err(ArgError(USAGE.to_owned())),
+            other => return Err(ArgError(format!("unknown flag {other:?}\n\n{USAGE}"))),
+        }
+    }
+    if args.query.is_empty() {
+        args.query = default_query(args.dataset).to_owned();
+    }
+    Ok(args)
+}
+
+/// The demo query shown for each dataset.
+pub fn default_query(dataset: Dataset) -> &'static str {
+    match dataset {
+        Dataset::Figure1 | Dataset::Reviews => "TomTom GPS",
+        Dataset::Outdoor => "men jackets",
+        Dataset::Movies => "drama family",
+        Dataset::Jobs => "senior engineer",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(args: &[&str]) -> Args {
+        parse(args.iter().map(|s| s.to_string())).expect("parses")
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse_ok(&[]);
+        assert_eq!(a.dataset, Dataset::Figure1);
+        assert_eq!(a.query, "TomTom GPS");
+        assert_eq!(a.bound, 8);
+        assert_eq!(a.algorithm, Algorithm::MultiSwap);
+    }
+
+    #[test]
+    fn full_flag_set() {
+        let a = parse_ok(&[
+            "--dataset", "movies", "--query", "war soldier", "--bound", "5", "--threshold",
+            "25", "--algorithm", "single-swap", "--select", "1,3,4", "--seed", "9", "--stats",
+            "--xml",
+        ]);
+        assert_eq!(a.dataset, Dataset::Movies);
+        assert_eq!(a.query, "war soldier");
+        assert_eq!(a.bound, 5);
+        assert!((a.threshold - 25.0).abs() < 1e-12);
+        assert_eq!(a.algorithm, Algorithm::SingleSwap);
+        assert_eq!(a.select, vec![1, 3, 4]);
+        assert_eq!(a.seed, 9);
+        assert!(a.stats && a.show_xml);
+    }
+
+    #[test]
+    fn dataset_aliases() {
+        assert_eq!(parse_ok(&["--dataset", "rei"]).dataset, Dataset::Outdoor);
+        assert_eq!(parse_ok(&["--dataset", "imdb"]).dataset, Dataset::Movies);
+        assert_eq!(parse_ok(&["--dataset", "paper"]).dataset, Dataset::Figure1);
+        assert_eq!(parse_ok(&["--dataset", "hiring"]).dataset, Dataset::Jobs);
+    }
+
+    #[test]
+    fn default_queries_per_dataset() {
+        assert_eq!(parse_ok(&["--dataset", "outdoor"]).query, "men jackets");
+        assert_eq!(parse_ok(&["--dataset", "movies"]).query, "drama family");
+    }
+
+    #[test]
+    fn semantics_and_ranked_flags() {
+        let a = parse_ok(&["--semantics", "elca", "--ranked"]);
+        assert_eq!(a.semantics, ResultSemantics::Elca);
+        assert!(a.ranked);
+        assert_eq!(parse_ok(&[]).semantics, ResultSemantics::Slca);
+    }
+
+    #[test]
+    fn errors() {
+        let err = |args: &[&str]| parse(args.iter().map(|s| s.to_string())).unwrap_err();
+        assert!(err(&["--dataset", "bogus"]).0.contains("unknown dataset"));
+        assert!(err(&["--bound", "x"]).0.contains("integer"));
+        assert!(err(&["--bound"]).0.contains("requires a value"));
+        assert!(err(&["--algorithm", "dp"]).0.contains("unknown algorithm"));
+        assert!(err(&["--select", "0"]).0.contains("1-based"));
+        assert!(err(&["--select", "1,a"]).0.contains("bad result number"));
+        assert!(err(&["--semantics", "xlca"]).0.contains("unknown semantics"));
+        assert!(err(&["--frobnicate"]).0.contains("unknown flag"));
+        assert!(err(&["--help"]).0.contains("USAGE"));
+    }
+}

@@ -1,0 +1,36 @@
+//! `xsact` — terminal demo of the XSACT system (VLDB 2010).
+//!
+//! The analogue of the paper's web demo (Figure 5): pick a dataset, issue a
+//! keyword query, select results, and get a comparison table whose
+//! Differentiation Feature Sets maximise the degree of differentiation.
+//!
+//! ```text
+//! cargo run -p xsact-cli -- --dataset figure1 --bound 7 --stats
+//! cargo run -p xsact-cli -- --dataset movies --query "war soldier" --algorithm multi-swap
+//! ```
+
+mod app;
+mod args;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let parsed = args::parse(std::env::args().skip(1));
+    let args = match parsed {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match app::run(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

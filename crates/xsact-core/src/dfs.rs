@@ -1,0 +1,332 @@
+//! Differentiation Feature Sets as *prefix vectors*.
+//!
+//! Desideratum 2 (validity) requires that feature types of one entity enter
+//! a DFS in significance order, so a valid DFS is fully described by how
+//! many of each entity's top-ranked types it takes — a vector of per-entity
+//! prefix lengths. This representation makes validity *structural*: every
+//! representable DFS is valid by construction, and the algorithms only have
+//! to respect the size bound.
+
+use crate::model::{EntityIdx, Instance, TypeId};
+
+/// A valid DFS of one result: `prefix[e]` of entity `e`'s ranked types are
+/// selected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dfs {
+    prefix: Vec<usize>,
+}
+
+impl Dfs {
+    /// The empty DFS over `entity_count` entities.
+    pub fn empty(entity_count: usize) -> Self {
+        Dfs { prefix: vec![0; entity_count] }
+    }
+
+    /// Builds a DFS from explicit prefix lengths, clamping each to the
+    /// number of types the result actually has for that entity.
+    pub fn from_prefixes(inst: &Instance, result: usize, prefixes: &[usize]) -> Self {
+        let ranked = &inst.results[result].ranked;
+        let prefix = prefixes
+            .iter()
+            .enumerate()
+            .map(|(e, &p)| p.min(ranked.get(e).map_or(0, Vec::len)))
+            .collect();
+        Dfs { prefix }
+    }
+
+    /// Prefix length of entity `e`.
+    pub fn prefix(&self, e: EntityIdx) -> usize {
+        self.prefix[e]
+    }
+
+    /// All prefix lengths.
+    pub fn prefixes(&self) -> &[usize] {
+        &self.prefix
+    }
+
+    /// Number of selected features (= selected types, since a DFS holds one
+    /// feature per type — see DESIGN.md "Modeling decisions").
+    pub fn size(&self) -> usize {
+        self.prefix.iter().sum()
+    }
+
+    /// Whether the DFS respects a size bound `L`.
+    pub fn within(&self, bound: usize) -> bool {
+        self.size() <= bound
+    }
+
+    /// Grows entity `e`'s prefix by one. Returns `false` (and changes
+    /// nothing) when the result has no further type for that entity.
+    pub fn grow(&mut self, inst: &Instance, result: usize, e: EntityIdx) -> bool {
+        if self.prefix[e] < inst.results[result].ranked[e].len() {
+            self.prefix[e] += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Shrinks entity `e`'s prefix by one. Returns `false` when already 0.
+    pub fn shrink(&mut self, e: EntityIdx) -> bool {
+        if self.prefix[e] > 0 {
+            self.prefix[e] -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The type that `grow` on `e` would add, if any.
+    pub fn next_type(&self, inst: &Instance, result: usize, e: EntityIdx) -> Option<TypeId> {
+        inst.results[result].ranked[e].get(self.prefix[e]).copied()
+    }
+
+    /// The type that `shrink` on `e` would remove, if any.
+    pub fn last_type(&self, inst: &Instance, result: usize, e: EntityIdx) -> Option<TypeId> {
+        if self.prefix[e] == 0 {
+            None
+        } else {
+            Some(inst.results[result].ranked[e][self.prefix[e] - 1])
+        }
+    }
+
+    /// Whether a type is selected.
+    pub fn contains(&self, inst: &Instance, result: usize, t: TypeId) -> bool {
+        match inst.results[result].rank_of[t] {
+            Some((e, pos)) => pos < self.prefix[e],
+            None => false,
+        }
+    }
+
+    /// The selected types, grouped by entity, each group in significance
+    /// order.
+    pub fn selected_types(&self, inst: &Instance, result: usize) -> Vec<TypeId> {
+        let ranked = &inst.results[result].ranked;
+        let mut out = Vec::with_capacity(self.size());
+        for (e, &len) in self.prefix.iter().enumerate() {
+            out.extend_from_slice(&ranked[e][..len]);
+        }
+        out
+    }
+
+    /// A boolean membership mask over the instance's type universe.
+    pub fn selection_mask(&self, inst: &Instance, result: usize) -> Vec<bool> {
+        let mut mask = vec![false; inst.type_count()];
+        for t in self.selected_types(inst, result) {
+            mask[t] = true;
+        }
+        mask
+    }
+
+    /// Validity invariant check, used by tests and debug assertions: every
+    /// prefix length is within the result's ranked list.
+    pub fn is_consistent(&self, inst: &Instance, result: usize) -> bool {
+        self.prefix.len() == inst.entities.len()
+            && self
+                .prefix
+                .iter()
+                .enumerate()
+                .all(|(e, &p)| p <= inst.results[result].ranked[e].len())
+    }
+}
+
+/// The DFSs of all results under comparison, one per result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DfsSet {
+    dfss: Vec<Dfs>,
+}
+
+impl DfsSet {
+    /// One empty DFS per result.
+    pub fn empty(inst: &Instance) -> Self {
+        DfsSet {
+            dfss: vec![Dfs::empty(inst.entities.len()); inst.result_count()],
+        }
+    }
+
+    /// Wraps pre-built DFSs.
+    ///
+    /// # Panics
+    /// Panics if the number of DFSs differs from the instance's result
+    /// count (checked by callers that build per-result).
+    pub fn from_dfss(inst: &Instance, dfss: Vec<Dfs>) -> Self {
+        assert_eq!(dfss.len(), inst.result_count());
+        DfsSet { dfss }
+    }
+
+    /// The DFS of result `i`.
+    pub fn dfs(&self, i: usize) -> &Dfs {
+        &self.dfss[i]
+    }
+
+    /// Mutable access to the DFS of result `i`.
+    pub fn dfs_mut(&mut self, i: usize) -> &mut Dfs {
+        &mut self.dfss[i]
+    }
+
+    /// Replaces the DFS of result `i`.
+    pub fn replace(&mut self, i: usize, dfs: Dfs) {
+        self.dfss[i] = dfs;
+    }
+
+    /// Number of DFSs (= results).
+    pub fn len(&self) -> usize {
+        self.dfss.len()
+    }
+
+    /// Whether the set is empty (never true for a built instance).
+    pub fn is_empty(&self) -> bool {
+        self.dfss.is_empty()
+    }
+
+    /// Iterates the DFSs in result order.
+    pub fn iter(&self) -> impl Iterator<Item = &Dfs> {
+        self.dfss.iter()
+    }
+
+    /// All DFSs satisfy the size bound and validity.
+    pub fn all_valid(&self, inst: &Instance) -> bool {
+        self.dfss
+            .iter()
+            .enumerate()
+            .all(|(i, d)| d.is_consistent(inst, i) && d.within(inst.config.size_bound))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::DfsConfig;
+    use xsact_entity::{FeatureType, ResultFeatures};
+
+    fn ty(e: &str, a: &str) -> FeatureType {
+        FeatureType::new(e, a)
+    }
+
+    fn inst() -> Instance {
+        let a = ResultFeatures::from_raw(
+            "A",
+            [("p".to_string(), 1), ("r".to_string(), 10)],
+            [
+                (ty("p", "name"), "A".to_string(), 1),
+                (ty("r", "x"), "yes".to_string(), 9),
+                (ty("r", "y"), "yes".to_string(), 5),
+                (ty("r", "z"), "yes".to_string(), 2),
+            ],
+        );
+        let b = ResultFeatures::from_raw(
+            "B",
+            [("p".to_string(), 1), ("r".to_string(), 10)],
+            [
+                (ty("p", "name"), "B".to_string(), 1),
+                (ty("r", "x"), "yes".to_string(), 3),
+                (ty("r", "w"), "yes".to_string(), 7),
+            ],
+        );
+        Instance::build(&[a, b], DfsConfig { size_bound: 3, threshold_pct: 10.0 })
+    }
+
+    #[test]
+    fn empty_dfs() {
+        let inst = inst();
+        let d = Dfs::empty(inst.entities.len());
+        assert_eq!(d.size(), 0);
+        assert!(d.within(0));
+        assert!(d.selected_types(&inst, 0).is_empty());
+        assert!(d.is_consistent(&inst, 0));
+    }
+
+    #[test]
+    fn grow_and_shrink_respect_bounds() {
+        let inst = inst();
+        let p = inst.entities.iter().position(|e| e == "p").unwrap();
+        let r = inst.entities.iter().position(|e| e == "r").unwrap();
+        let mut d = Dfs::empty(inst.entities.len());
+        assert!(d.grow(&inst, 0, p));
+        assert!(!d.grow(&inst, 0, p)); // result 0 has one `p` type
+        assert!(d.grow(&inst, 0, r));
+        assert!(d.grow(&inst, 0, r));
+        assert!(d.grow(&inst, 0, r));
+        assert!(!d.grow(&inst, 0, r)); // exhausted the 3 `r` types
+        assert_eq!(d.size(), 4);
+        assert!(d.shrink(r));
+        assert_eq!(d.size(), 3);
+        let mut empty = Dfs::empty(inst.entities.len());
+        assert!(!empty.shrink(r));
+    }
+
+    #[test]
+    fn selected_types_are_prefixes_in_significance_order() {
+        let inst = inst();
+        let r = inst.entities.iter().position(|e| e == "r").unwrap();
+        let mut d = Dfs::empty(inst.entities.len());
+        d.grow(&inst, 0, r);
+        d.grow(&inst, 0, r);
+        let selected = d.selected_types(&inst, 0);
+        let attrs: Vec<&str> =
+            selected.iter().map(|&t| inst.types[t].attribute.as_str()).collect();
+        // x (9) then y (5) — never z before y.
+        assert_eq!(attrs, ["x", "y"]);
+    }
+
+    #[test]
+    fn contains_matches_mask() {
+        let inst = inst();
+        let r = inst.entities.iter().position(|e| e == "r").unwrap();
+        let mut d = Dfs::empty(inst.entities.len());
+        d.grow(&inst, 0, r);
+        let mask = d.selection_mask(&inst, 0);
+        for (t, &selected) in mask.iter().enumerate() {
+            assert_eq!(selected, d.contains(&inst, 0, t));
+        }
+    }
+
+    #[test]
+    fn next_and_last_type() {
+        let inst = inst();
+        let r = inst.entities.iter().position(|e| e == "r").unwrap();
+        let mut d = Dfs::empty(inst.entities.len());
+        let first = d.next_type(&inst, 0, r).unwrap();
+        assert_eq!(inst.types[first].attribute, "x");
+        assert_eq!(d.last_type(&inst, 0, r), None);
+        d.grow(&inst, 0, r);
+        assert_eq!(d.last_type(&inst, 0, r), Some(first));
+        let second = d.next_type(&inst, 0, r).unwrap();
+        assert_eq!(inst.types[second].attribute, "y");
+    }
+
+    #[test]
+    fn from_prefixes_clamps() {
+        let inst = inst();
+        let d = Dfs::from_prefixes(&inst, 1, &[10, 10]);
+        // Result 1 has 1 `p` type and 2 `r` types.
+        assert_eq!(d.size(), 3);
+        assert!(d.is_consistent(&inst, 1));
+    }
+
+    #[test]
+    fn dfs_set_validity() {
+        let inst = inst();
+        let mut set = DfsSet::empty(&inst);
+        assert!(set.all_valid(&inst));
+        let r = inst.entities.iter().position(|e| e == "r").unwrap();
+        set.dfs_mut(0).grow(&inst, 0, r);
+        set.dfs_mut(0).grow(&inst, 0, r);
+        set.dfs_mut(0).grow(&inst, 0, r);
+        assert!(set.all_valid(&inst)); // size 3 == bound
+        let p = inst.entities.iter().position(|e| e == "p").unwrap();
+        set.dfs_mut(0).grow(&inst, 0, p);
+        assert!(!set.all_valid(&inst)); // size 4 > bound 3
+        assert_eq!(set.len(), 2);
+        assert!(!set.is_empty());
+    }
+
+    #[test]
+    fn missing_type_not_contained() {
+        let inst = inst();
+        // Type `w` exists only in result 1.
+        let w = inst.types.iter().position(|t| t.attribute == "w").unwrap();
+        let d = Dfs::from_prefixes(&inst, 0, &[1, 3]);
+        assert!(!d.contains(&inst, 0, w));
+    }
+}

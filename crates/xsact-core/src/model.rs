@@ -1,0 +1,450 @@
+//! The comparison instance: an interned, preprocessed view of the results
+//! being compared.
+//!
+//! [`Instance::build`] takes the per-result feature statistics produced by
+//! `xsact-entity` and computes everything the DFS algorithms need:
+//!
+//! * an interned universe of feature types and entities,
+//! * per result and entity, the types in **significance order** (Desideratum
+//!   2: a valid DFS takes a prefix of this ranking),
+//! * the **differentiability matrix**: for every pair of results and every
+//!   shared feature type, whether the occurrence ratios differ by more than
+//!   the threshold `x%` of the smaller one (paper §2),
+//! * per result and type, the display cell for the comparison table.
+
+use std::collections::BTreeSet;
+use xsact_entity::{FeatureStat, FeatureType, ResultFeatures};
+
+/// Index of a feature type in [`Instance::types`].
+pub type TypeId = usize;
+/// Index of an entity in [`Instance::entities`].
+pub type EntityIdx = usize;
+
+/// Tunables of DFS construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DfsConfig {
+    /// Maximum number of features per DFS — the paper's `L` (Desideratum 1).
+    pub size_bound: usize,
+    /// Differentiability threshold `x` in percent (paper: "empirically set
+    /// to 10% in our system").
+    pub threshold_pct: f64,
+}
+
+impl Default for DfsConfig {
+    fn default() -> Self {
+        DfsConfig { size_bound: 10, threshold_pct: 10.0 }
+    }
+}
+
+/// The table cell of one feature type within one result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellStat {
+    /// The dominant value of the type in this result.
+    pub value: String,
+    /// Occurrence ratio of the dominant value (`count / entity_instances`).
+    pub ratio: f64,
+    /// Occurrence count of the dominant value.
+    pub count: u32,
+    /// Number of instances of the owning entity in this result.
+    pub instances: u32,
+    /// Significance ratio of the whole type (`occurrences /
+    /// entity_instances`) — what snippet generation ranks by.
+    pub sig_ratio: f64,
+}
+
+/// Preprocessed view of one result.
+#[derive(Debug, Clone)]
+pub struct ResultData {
+    /// Display label.
+    pub label: String,
+    /// Per entity, the result's feature types in significance order.
+    pub ranked: Vec<Vec<TypeId>>,
+    /// Per type, the display cell (`None` when the result lacks the type).
+    pub cells: Vec<Option<CellStat>>,
+    /// Per type, its `(entity, rank)` position within this result.
+    pub rank_of: Vec<Option<(EntityIdx, usize)>>,
+}
+
+impl ResultData {
+    /// Whether the result has the feature type at all.
+    pub fn has_type(&self, t: TypeId) -> bool {
+        self.cells[t].is_some()
+    }
+
+    /// Total number of feature types in this result (the paper's `m`).
+    pub fn type_count(&self) -> usize {
+        self.rank_of.iter().filter(|r| r.is_some()).count()
+    }
+}
+
+/// A fully preprocessed comparison instance over `n` results.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// The interned feature types, sorted by (entity, attribute).
+    pub types: Vec<FeatureType>,
+    /// The interned entity paths, sorted.
+    pub entities: Vec<String>,
+    /// Entity of each type.
+    pub entity_of: Vec<EntityIdx>,
+    /// The preprocessed results.
+    pub results: Vec<ResultData>,
+    /// Configuration used to build the instance.
+    pub config: DfsConfig,
+    /// `diff[i * n + j][t]`: results `i` and `j` are differentiable in type
+    /// `t`. Symmetric; `false` whenever either result lacks `t`.
+    diff: Vec<Vec<bool>>,
+}
+
+impl Instance {
+    /// Preprocesses a set of results for comparison.
+    ///
+    /// # Panics
+    /// Panics if `results` is empty — there is nothing to compare.
+    pub fn build(results: &[ResultFeatures], config: DfsConfig) -> Self {
+        assert!(!results.is_empty(), "cannot compare zero results");
+
+        // Intern entities and types over the union of all results.
+        let mut entity_set: BTreeSet<&str> = BTreeSet::new();
+        let mut type_set: BTreeSet<&FeatureType> = BTreeSet::new();
+        for rf in results {
+            for stat in &rf.stats {
+                entity_set.insert(stat.ty.entity.as_str());
+                type_set.insert(&stat.ty);
+            }
+        }
+        let entities: Vec<String> = entity_set.into_iter().map(str::to_owned).collect();
+        let types: Vec<FeatureType> = type_set.into_iter().cloned().collect();
+        let entity_idx =
+            |path: &str| entities.binary_search_by(|e| e.as_str().cmp(path)).expect("interned");
+        let entity_of: Vec<EntityIdx> =
+            types.iter().map(|t| entity_idx(&t.entity)).collect();
+        let type_idx = |ty: &FeatureType| types.binary_search(ty).expect("interned");
+
+        // Per-result views.
+        let result_data: Vec<ResultData> = results
+            .iter()
+            .map(|rf| {
+                let mut ranked: Vec<Vec<TypeId>> = vec![Vec::new(); entities.len()];
+                let mut cells: Vec<Option<CellStat>> = vec![None; types.len()];
+                let mut rank_of: Vec<Option<(EntityIdx, usize)>> = vec![None; types.len()];
+                // `rf.stats` is already in significance order per entity.
+                for stat in &rf.stats {
+                    let t = type_idx(&stat.ty);
+                    let e = entity_idx(&stat.ty.entity);
+                    rank_of[t] = Some((e, ranked[e].len()));
+                    ranked[e].push(t);
+                    let dom = stat.dominant();
+                    let instances = stat.entity_instances;
+                    let per_instance = |count: u32| {
+                        if instances == 0 {
+                            0.0
+                        } else {
+                            f64::from(count) / f64::from(instances)
+                        }
+                    };
+                    cells[t] = Some(CellStat {
+                        value: dom.value.clone(),
+                        ratio: per_instance(dom.count),
+                        count: dom.count,
+                        instances,
+                        sig_ratio: per_instance(stat.occurrences),
+                    });
+                }
+                ResultData { label: rf.label.clone(), ranked, cells, rank_of }
+            })
+            .collect();
+
+        // Differentiability matrix.
+        let n = results.len();
+        let mut diff = vec![vec![false; types.len()]; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                for (t, ty) in types.iter().enumerate() {
+                    let (Some(si), Some(sj)) = (results[i].get(ty), results[j].get(ty)) else {
+                        continue;
+                    };
+                    let d = stats_differ(si, sj, config.threshold_pct);
+                    diff[i * n + j][t] = d;
+                    diff[j * n + i][t] = d;
+                }
+            }
+        }
+
+        Instance { types, entities, entity_of, results: result_data, config, diff }
+    }
+
+    /// Number of results.
+    pub fn result_count(&self) -> usize {
+        self.results.len()
+    }
+
+    /// Number of interned feature types.
+    pub fn type_count(&self) -> usize {
+        self.types.len()
+    }
+
+    /// Whether results `i` and `j` are differentiable in type `t`
+    /// (`false` if either lacks the type — absence means *unknown*, the
+    /// paper's NULL-value analogy).
+    pub fn differentiable(&self, i: usize, j: usize, t: TypeId) -> bool {
+        self.diff[i * self.results.len() + j][t]
+    }
+}
+
+/// The paper's differentiability test between two stats of the same feature
+/// type: is there a feature (type + value) whose occurrence ratios differ by
+/// more than `x%` of the smaller one?
+///
+/// A value present on one side and absent on the other always differentiates
+/// (the minimum ratio is 0, so any positive gap exceeds the threshold).
+///
+/// **Numeric rule**: when both results carry a single numeric value for the
+/// type (ratings, prices, years), the *values themselves* are compared with
+/// the same `x%`-of-the-smaller test instead of the exact-value histograms.
+/// This matches the paper's worked example: the snippets of Figure 1 share
+/// `Product:Rating` with values 4.2 and 4.1, yet their DoD is 2 — only
+/// `Product:Name` and `Pro:Compact` count — so a 2.4% rating gap must *not*
+/// differentiate under the 10% threshold.
+pub fn stats_differ(a: &FeatureStat, b: &FeatureStat, threshold_pct: f64) -> bool {
+    debug_assert_eq!(a.ty, b.ty);
+    if let (Some(na), Some(nb)) = (single_numeric(a), single_numeric(b)) {
+        return (na - nb).abs() > (threshold_pct / 100.0) * na.abs().min(nb.abs());
+    }
+    let mut values: BTreeSet<&str> = BTreeSet::new();
+    for vc in &a.values {
+        values.insert(&vc.value);
+    }
+    for vc in &b.values {
+        values.insert(&vc.value);
+    }
+    values.into_iter().any(|v| {
+        let pa = a.value_ratio(v);
+        let pb = b.value_ratio(v);
+        ratios_differ(pa, pb, threshold_pct)
+    })
+}
+
+/// Threshold comparison of two occurrence ratios.
+pub fn ratios_differ(pa: f64, pb: f64, threshold_pct: f64) -> bool {
+    (pa - pb).abs() > (threshold_pct / 100.0) * pa.min(pb)
+}
+
+/// The stat's value as a number, when the type is single-valued numeric.
+fn single_numeric(stat: &FeatureStat) -> Option<f64> {
+    if stat.values.len() == 1 {
+        stat.values[0].value.trim().parse::<f64>().ok()
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsact_entity::ResultFeatures;
+
+    fn ty(e: &str, a: &str) -> FeatureType {
+        FeatureType::new(e, a)
+    }
+
+    fn gps1() -> ResultFeatures {
+        ResultFeatures::from_raw(
+            "GPS 1",
+            [("product".to_string(), 1), ("review".to_string(), 11)],
+            [
+                (ty("product", "name"), "TomTom Go 630".to_string(), 1),
+                (ty("review", "pros:easy_to_read"), "yes".to_string(), 10),
+                (ty("review", "pros:compact"), "yes".to_string(), 8),
+                (ty("review", "best_use:auto"), "yes".to_string(), 6),
+                (ty("review", "pros:large_screen"), "yes".to_string(), 1),
+            ],
+        )
+    }
+
+    fn gps3() -> ResultFeatures {
+        ResultFeatures::from_raw(
+            "GPS 3",
+            [("product".to_string(), 1), ("review".to_string(), 68)],
+            [
+                (ty("product", "name"), "TomTom Go 730".to_string(), 1),
+                (ty("review", "pros:satellites"), "yes".to_string(), 44),
+                (ty("review", "pros:easy_to_setup"), "yes".to_string(), 40),
+                (ty("review", "pros:compact"), "yes".to_string(), 38),
+                (ty("review", "pros:large_screen"), "yes".to_string(), 4),
+            ],
+        )
+    }
+
+    fn instance() -> Instance {
+        Instance::build(&[gps1(), gps3()], DfsConfig::default())
+    }
+
+    #[test]
+    fn interning_covers_union_of_types() {
+        let inst = instance();
+        assert_eq!(inst.result_count(), 2);
+        assert_eq!(inst.entities, ["product", "review"]);
+        // name + 6 distinct review types.
+        assert_eq!(inst.type_count(), 7);
+        // Types grouped by entity because of (entity, attribute) sort.
+        for w in inst.entity_of.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn ranked_lists_follow_significance() {
+        let inst = instance();
+        let review = inst.entities.iter().position(|e| e == "review").unwrap();
+        let ranked = &inst.results[0].ranked[review];
+        let attrs: Vec<&str> =
+            ranked.iter().map(|&t| inst.types[t].attribute.as_str()).collect();
+        assert_eq!(
+            attrs,
+            ["pros:easy_to_read", "pros:compact", "best_use:auto", "pros:large_screen"]
+        );
+    }
+
+    #[test]
+    fn rank_of_inverts_ranked() {
+        let inst = instance();
+        for r in &inst.results {
+            for (e, list) in r.ranked.iter().enumerate() {
+                for (pos, &t) in list.iter().enumerate() {
+                    assert_eq!(r.rank_of[t], Some((e, pos)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cells_hold_dominant_value_and_ratio() {
+        let inst = instance();
+        let compact = inst
+            .types
+            .iter()
+            .position(|t| t.attribute == "pros:compact")
+            .unwrap();
+        let cell = inst.results[0].cells[compact].as_ref().unwrap();
+        assert_eq!(cell.value, "yes");
+        assert_eq!(cell.count, 8);
+        assert_eq!(cell.instances, 11);
+        assert!((cell.ratio - 8.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn differentiability_shared_types() {
+        let inst = instance();
+        let t = |attr: &str| inst.types.iter().position(|x| x.attribute == attr).unwrap();
+        // name: different values → differentiable.
+        assert!(inst.differentiable(0, 1, t("name")));
+        // compact: 8/11 = 72.7% vs 38/68 = 55.9%; gap 16.8% > 10% of 55.9%.
+        assert!(inst.differentiable(0, 1, t("pros:compact")));
+        // easy_to_read missing in GPS 3 → NOT differentiable (unknown).
+        assert!(!inst.differentiable(0, 1, t("pros:easy_to_read")));
+        assert!(!inst.differentiable(0, 1, t("pros:satellites")));
+        // large_screen: 1/11 = 9.1% vs 4/68 = 5.9%; gap 3.2% > 10% of 5.9%
+        // (0.59%) → differentiable.
+        assert!(inst.differentiable(0, 1, t("pros:large_screen")));
+        // Symmetry.
+        for t in 0..inst.type_count() {
+            assert_eq!(inst.differentiable(0, 1, t), inst.differentiable(1, 0, t));
+        }
+    }
+
+    #[test]
+    fn threshold_suppresses_small_gaps() {
+        let a = ResultFeatures::from_raw(
+            "a",
+            [("e".to_string(), 100)],
+            [(ty("e", "x"), "yes".to_string(), 50)],
+        );
+        let b = ResultFeatures::from_raw(
+            "b",
+            [("e".to_string(), 100)],
+            [(ty("e", "x"), "yes".to_string(), 52)],
+        );
+        // 50% vs 52%: gap 2% < 10% of 50% → not differentiable at x = 10.
+        let inst = Instance::build(
+            &[a.clone(), b.clone()],
+            DfsConfig { size_bound: 5, threshold_pct: 10.0 },
+        );
+        assert!(!inst.differentiable(0, 1, 0));
+        // At x = 1 the same gap differentiates.
+        let inst = Instance::build(&[a, b], DfsConfig { size_bound: 5, threshold_pct: 1.0 });
+        assert!(inst.differentiable(0, 1, 0));
+    }
+
+    #[test]
+    fn numeric_values_compared_by_magnitude() {
+        let mk = |label: &str, rating: &str| {
+            ResultFeatures::from_raw(
+                label,
+                [("p".to_string(), 1)],
+                [(ty("p", "rating"), rating.to_string(), 1)],
+            )
+        };
+        // 4.2 vs 4.1: 2.4% gap < 10% of 4.1 → NOT differentiable (the paper's
+        // Figure 1 snippets).
+        let inst = Instance::build(&[mk("a", "4.2"), mk("b", "4.1")], DfsConfig::default());
+        assert!(!inst.differentiable(0, 1, 0));
+        // 4.2 vs 2.0: 110% gap → differentiable.
+        let inst = Instance::build(&[mk("a", "4.2"), mk("b", "2.0")], DfsConfig::default());
+        assert!(inst.differentiable(0, 1, 0));
+        // Numeric vs non-numeric falls back to the categorical rule.
+        let inst = Instance::build(&[mk("a", "4.2"), mk("b", "n/a")], DfsConfig::default());
+        assert!(inst.differentiable(0, 1, 0));
+        // Equal numbers never differentiate.
+        let inst = Instance::build(&[mk("a", "4.2"), mk("b", "4.2")], DfsConfig::default());
+        assert!(!inst.differentiable(0, 1, 0));
+    }
+
+    #[test]
+    fn value_present_vs_absent_differentiates() {
+        let a = ResultFeatures::from_raw(
+            "a",
+            [("e".to_string(), 10)],
+            [(ty("e", "x"), "yes".to_string(), 5)],
+        );
+        let b = ResultFeatures::from_raw(
+            "b",
+            [("e".to_string(), 10)],
+            [(ty("e", "x"), "no".to_string(), 5)],
+        );
+        let inst = Instance::build(&[a, b], DfsConfig::default());
+        assert!(inst.differentiable(0, 1, 0));
+    }
+
+    #[test]
+    fn identical_results_never_differentiate() {
+        let inst = Instance::build(&[gps1(), gps1()], DfsConfig::default());
+        for t in 0..inst.type_count() {
+            assert!(!inst.differentiable(0, 1, t));
+        }
+    }
+
+    #[test]
+    fn ratios_differ_edge_cases() {
+        assert!(!ratios_differ(0.5, 0.5, 10.0));
+        assert!(ratios_differ(0.5, 0.0, 10.0));
+        assert!(ratios_differ(0.0, 0.001, 10.0));
+        assert!(!ratios_differ(0.0, 0.0, 10.0));
+        // Exactly at the threshold: NOT differentiable (strict inequality).
+        // 0.75 − 0.5 = 0.25 = 50% of 0.5; all values exact in binary.
+        assert!(!ratios_differ(0.75, 0.5, 50.0));
+        assert!(ratios_differ(0.765625, 0.5, 50.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot compare zero results")]
+    fn empty_input_panics() {
+        Instance::build(&[], DfsConfig::default());
+    }
+
+    #[test]
+    fn single_result_instance_is_fine() {
+        let inst = Instance::build(&[gps1()], DfsConfig::default());
+        assert_eq!(inst.result_count(), 1);
+        assert_eq!(inst.type_count(), 5);
+    }
+}

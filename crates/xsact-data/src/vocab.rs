@@ -1,0 +1,215 @@
+//! Vocabulary pools shared by the dataset generators.
+//!
+//! Everything is a `&'static` table so generators stay allocation-light and
+//! two runs with the same seed produce byte-identical documents.
+
+/// GPS / phone / camera product lines for the Product Reviews dataset.
+pub const PRODUCT_LINES: &[(&str, &str, &[&str])] = &[
+    ("gps", "TomTom", &["Go 630", "Go 730", "One 130", "XL 340", "Via 1535"]),
+    ("gps", "Garmin", &["Nuvi 200", "Nuvi 350", "StreetPilot c340", "Zumo 550"]),
+    ("gps", "Magellan", &["RoadMate 1412", "Maestro 3100"]),
+    ("phone", "Nokia", &["N95", "E71", "5310"]),
+    ("phone", "BlackBerry", &["Curve 8310", "Bold 9000", "Pearl 8120"]),
+    ("phone", "Motorola", &["Razr V3", "Rokr E8"]),
+    ("camera", "Canon", &["PowerShot SD1000", "Ixus 860", "EOS 450D"]),
+    ("camera", "Nikon", &["Coolpix S210", "D60"]),
+    ("camera", "Sony", &["Cybershot W120", "Alpha A200"]),
+];
+
+/// Review "pro" flags per product category.
+pub const PROS: &[(&str, &[&str])] = &[
+    (
+        "gps",
+        &[
+            "easy_to_read",
+            "compact",
+            "acquires_satellites_quickly",
+            "easy_to_setup",
+            "large_screen",
+            "accurate_directions",
+            "clear_voice",
+            "good_value",
+        ],
+    ),
+    (
+        "phone",
+        &[
+            "long_battery_life",
+            "good_reception",
+            "compact",
+            "loud_speaker",
+            "easy_to_setup",
+            "sturdy",
+            "good_camera",
+            "good_value",
+        ],
+    ),
+    (
+        "camera",
+        &[
+            "sharp_pictures",
+            "compact",
+            "fast_shutter",
+            "easy_to_use",
+            "large_screen",
+            "good_low_light",
+            "long_battery_life",
+            "good_value",
+        ],
+    ),
+];
+
+/// Review "con" flags per product category.
+pub const CONS: &[(&str, &[&str])] = &[
+    ("gps", &["short_battery_life", "slow_routing", "glare", "bulky_mount"]),
+    ("phone", &["poor_camera", "slow_menu", "weak_signal", "small_keys"]),
+    ("camera", &["slow_focus", "noisy_images", "weak_flash", "short_battery_life"]),
+];
+
+/// "Best use" flags per product category.
+pub const BEST_USES: &[(&str, &[&str])] = &[
+    ("gps", &["auto", "faster_routers", "walking", "cycling"]),
+    ("phone", &["business", "messaging", "music", "travel"]),
+    ("camera", &["travel", "family", "sports", "landscape"]),
+];
+
+/// Reviewer "category" flags per product category.
+pub const USER_CATEGORIES: &[(&str, &[&str])] = &[
+    ("gps", &["casual_user", "commuter", "road_warrior"]),
+    ("phone", &["casual_user", "power_user", "business_user"]),
+    ("camera", &["casual_user", "enthusiast", "professional"]),
+];
+
+/// Outdoor Retailer brands with their product-line focus.
+pub const BRANDS: &[(&str, &[&str])] = &[
+    ("Marmot", &["rain_jackets", "backpacking", "three_season"]),
+    ("Columbia", &["insulated_ski_jackets", "fleece", "hiking_boots"]),
+    ("Patagonia", &["fleece", "rain_jackets", "base_layers"]),
+    ("NorthFace", &["insulated_ski_jackets", "family", "expedition"]),
+    ("Arcteryx", &["rain_jackets", "harnesses", "base_layers"]),
+    ("Kelty", &["backpacking", "summer", "daypacks"]),
+    ("Salomon", &["trail_runners", "insulated_ski_jackets", "base_layers"]),
+    ("Osprey", &["daypacks", "overnight", "ropes"]),
+];
+
+/// Outdoor product categories: (category, subcategories, materials).
+pub const OUTDOOR_CATEGORIES: &[(&str, &[&str], &[&str])] = &[
+    (
+        "jackets",
+        &["rain_jackets", "insulated_ski_jackets", "fleece", "base_layers"],
+        &["gore_tex", "down", "polyester", "merino_wool"],
+    ),
+    ("tents", &["backpacking", "family", "mountaineering"], &["nylon", "polyester"]),
+    ("sleeping_bags", &["summer", "three_season", "winter"], &["down", "synthetic"]),
+    ("footwear", &["hiking_boots", "trail_runners", "sandals"], &["leather", "synthetic"]),
+    ("backpacks", &["daypacks", "overnight", "expedition"], &["nylon", "cordura"]),
+    ("climbing_gear", &["harnesses", "ropes", "helmets"], &["nylon", "aluminum"]),
+];
+
+/// Genders used by the outdoor dataset.
+pub const GENDERS: &[&str] = &["men", "women", "unisex"];
+
+/// Movie genres, ordered from common to rare (the generator samples with a
+/// skew so early entries dominate).
+pub const GENRES: &[&str] =
+    &["drama", "comedy", "action", "thriller", "romance", "war", "scifi", "horror", "western"];
+
+/// Movie keywords; co-occurrence with genres is controlled by
+/// [`GENRE_KEYWORDS`].
+pub const KEYWORDS: &[&str] = &[
+    "hero", "love", "battle", "family", "detective", "space", "school", "revenge", "alien",
+    "soldier", "murder", "wedding", "robot", "ghost", "desert",
+];
+
+/// Preferred keywords per genre (same index order as [`GENRES`]).
+pub const GENRE_KEYWORDS: &[&[&str]] = &[
+    &["family", "love", "revenge"],                // drama
+    &["wedding", "school", "family"],              // comedy
+    &["hero", "battle", "revenge"],                // action
+    &["murder", "detective", "revenge"],           // thriller
+    &["love", "wedding", "family"],                // romance
+    &["soldier", "battle", "hero"],                // war
+    &["space", "alien", "robot"],                  // scifi
+    &["ghost", "murder", "school"],                // horror
+    &["desert", "hero", "revenge"],                // western
+];
+
+/// Movie title fragments.
+pub const TITLE_ADJECTIVES: &[&str] = &[
+    "Last", "Dark", "Silent", "Broken", "Golden", "Hidden", "Lost", "Crimson", "Eternal",
+    "Distant",
+];
+
+/// Movie title nouns.
+pub const TITLE_NOUNS: &[&str] = &[
+    "Horizon", "Empire", "Garden", "River", "Station", "Winter", "Promise", "Shadow", "Harbor",
+    "Journey",
+];
+
+/// Languages for the movie dataset.
+pub const LANGUAGES: &[&str] = &["english", "french", "spanish", "german", "japanese"];
+
+/// Production countries for the movie dataset.
+pub const COUNTRIES: &[&str] = &["usa", "uk", "france", "germany", "japan", "canada"];
+
+/// Actor surname pool.
+pub const SURNAMES: &[&str] = &[
+    "Archer", "Bennett", "Castillo", "Donovan", "Ellis", "Fletcher", "Grant", "Hayes",
+    "Iwamoto", "Jensen", "Keller", "Lambert", "Moreau", "Novak", "Okafor", "Petrov",
+];
+
+/// Actor first-name pool.
+pub const FIRST_NAMES: &[&str] = &[
+    "Alice", "Ben", "Clara", "David", "Elena", "Frank", "Grace", "Hugo", "Iris", "Jonas",
+    "Kira", "Leo", "Mara", "Nils", "Olga", "Paul",
+];
+
+/// Looks up the per-category pool in one of the `(&str, &[&str])` tables.
+pub fn pool_for<'a>(table: &'a [(&str, &[&str])], category: &str) -> &'a [&'a str] {
+    table
+        .iter()
+        .find(|(c, _)| *c == category)
+        .map(|(_, pool)| *pool)
+        .unwrap_or(&[])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn genre_keyword_tables_align() {
+        assert_eq!(GENRES.len(), GENRE_KEYWORDS.len());
+        for kws in GENRE_KEYWORDS {
+            for kw in *kws {
+                assert!(KEYWORDS.contains(kw), "{kw} missing from KEYWORDS");
+            }
+        }
+    }
+
+    #[test]
+    fn pool_lookup() {
+        assert!(pool_for(PROS, "gps").contains(&"compact"));
+        assert!(pool_for(CONS, "camera").contains(&"slow_focus"));
+        assert!(pool_for(PROS, "nonexistent").is_empty());
+    }
+
+    #[test]
+    fn brand_focus_subcategories_exist() {
+        let all_subs: Vec<&str> =
+            OUTDOOR_CATEGORIES.iter().flat_map(|(_, subs, _)| subs.iter().copied()).collect();
+        for (brand, focus) in BRANDS {
+            for f in *focus {
+                assert!(all_subs.contains(f), "{brand} focus {f} unknown");
+            }
+        }
+    }
+
+    #[test]
+    fn product_lines_have_known_categories() {
+        for (cat, _, models) in PRODUCT_LINES {
+            assert!(["gps", "phone", "camera"].contains(cat));
+            assert!(!models.is_empty());
+        }
+    }
+}

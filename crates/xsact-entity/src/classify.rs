@@ -1,0 +1,295 @@
+//! The entity identifier: structural node classification.
+//!
+//! Following XSeek (reference \[3\] of the paper), nodes of a data-centric XML
+//! document play one of three roles, inferred from the data's structure
+//! (no schema required):
+//!
+//! * **Entity** — a node "corresponding to a `*`-node in the schema": its tag
+//!   occurs multiple times under a single parent somewhere in the data, and
+//!   it has internal structure (element children). Example: `product`,
+//!   `review`.
+//! * **Attribute** — a leaf element carrying a value. Example: `name`,
+//!   `rating`, `compact`.
+//! * **Connection** — everything else: non-repeating internal nodes that
+//!   merely group related items. Example: `pros`, `reviews`, `uses`.
+//!
+//! Classification is computed once per document over *tag paths* (the chain
+//! of tags from the root), so every instance of `/shop/product/reviews/review`
+//! receives the same class — exactly how XSeek's summary-based inference
+//! behaves.
+
+use std::collections::HashMap;
+use xsact_xml::{Document, NodeId};
+
+/// The inferred role of a node (more precisely, of its tag path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeClass {
+    /// A real-world object with its own identity (repeating, structured).
+    Entity,
+    /// A property of an entity (leaf element with a value).
+    Attribute,
+    /// A grouping node connecting entities and attributes.
+    Connection,
+}
+
+#[derive(Debug, Default, Clone)]
+struct PathInfo {
+    /// Did any parent hold two or more children with this tag?
+    repeats: bool,
+    /// Number of instances observed.
+    instances: usize,
+    /// Number of instances that have at least one element child.
+    internal_instances: usize,
+}
+
+/// Per-document structural summary mapping tag paths to classes.
+///
+/// Built once with [`StructureSummary::infer`]; classification of an
+/// individual node is then an O(depth) hash lookup.
+#[derive(Debug, Clone)]
+pub struct StructureSummary {
+    paths: HashMap<String, PathInfo>,
+}
+
+impl StructureSummary {
+    /// Infers the structural summary of `doc` in a single pass.
+    pub fn infer(doc: &Document) -> Self {
+        let mut paths: HashMap<String, PathInfo> = HashMap::new();
+        // Count, for every element, how many children share each tag; a tag
+        // with count >= 2 under one parent repeats.
+        for node in doc.all_nodes() {
+            if !doc.is_element(node) {
+                continue;
+            }
+            let path = path_key(doc, node);
+            let info = paths.entry(path.clone()).or_default();
+            info.instances += 1;
+            let mut has_element_child = false;
+            let mut child_tag_counts: HashMap<&str, usize> = HashMap::new();
+            for child in doc.child_elements(node) {
+                has_element_child = true;
+                *child_tag_counts.entry(doc.tag(child)).or_insert(0) += 1;
+            }
+            if has_element_child {
+                paths.get_mut(&path).expect("just inserted").internal_instances += 1;
+            }
+            for (tag, count) in child_tag_counts {
+                if count >= 2 {
+                    let child_path = format!("{path}/{tag}");
+                    paths.entry(child_path).or_default().repeats = true;
+                }
+            }
+        }
+        StructureSummary { paths }
+    }
+
+    /// Classifies the tag path of `node` within `doc`.
+    ///
+    /// The root element is always an entity (it is the single instance of the
+    /// top-level object the document describes).
+    pub fn class_of(&self, doc: &Document, node: NodeId) -> NodeClass {
+        if !doc.is_element(node) {
+            // Text runs take the role of the value they carry.
+            return NodeClass::Attribute;
+        }
+        if doc.parent(node).is_none() {
+            return NodeClass::Entity;
+        }
+        let key = path_key(doc, node);
+        self.class_of_path(&key)
+    }
+
+    /// Classifies a raw `a/b/c` tag path.
+    pub fn class_of_path(&self, path: &str) -> NodeClass {
+        let info = match self.paths.get(path) {
+            Some(i) => i,
+            None => return NodeClass::Connection,
+        };
+        let ever_internal = info.internal_instances > 0;
+        if info.repeats && ever_internal {
+            NodeClass::Entity
+        } else if !ever_internal {
+            NodeClass::Attribute
+        } else {
+            NodeClass::Connection
+        }
+    }
+
+    /// Whether the tag path is known to repeat under a single parent.
+    pub fn repeats(&self, path: &str) -> bool {
+        self.paths.get(path).is_some_and(|i| i.repeats)
+    }
+
+    /// Number of distinct tag paths observed.
+    pub fn path_count(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Iterates `(path, class)` pairs, useful for debugging and the CLI's
+    /// schema view. Order is unspecified.
+    pub fn classes(&self) -> impl Iterator<Item = (&str, NodeClass)> + '_ {
+        self.paths.keys().map(move |p| (p.as_str(), self.class_of_path(p)))
+    }
+}
+
+/// The `a/b/c` tag-path key of an element node.
+pub(crate) fn path_key(doc: &Document, node: NodeId) -> String {
+    doc.tag_path(node).join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsact_xml::parse_document;
+
+    /// A miniature of the paper's Product Reviews dataset (Figure 1).
+    fn review_doc() -> Document {
+        parse_document(
+            "<shop>\
+               <product>\
+                 <name>TomTom Go 630</name>\
+                 <rating>4.2</rating>\
+                 <reviews>\
+                   <review><pros><compact>yes</compact><easy_to_read>yes</easy_to_read></pros>\
+                     <uses><best_use><auto>yes</auto></best_use></uses></review>\
+                   <review><pros><compact>yes</compact></pros></review>\
+                 </reviews>\
+               </product>\
+               <product>\
+                 <name>Garmin Nuvi</name>\
+                 <rating>4.0</rating>\
+                 <reviews><review><pros><compact>yes</compact></pros></review></reviews>\
+               </product>\
+             </shop>",
+        )
+        .unwrap()
+    }
+
+    fn class(summary: &StructureSummary, path: &str) -> NodeClass {
+        summary.class_of_path(path)
+    }
+
+    #[test]
+    fn products_and_reviews_are_entities() {
+        let doc = review_doc();
+        let s = StructureSummary::infer(&doc);
+        assert_eq!(class(&s, "shop/product"), NodeClass::Entity);
+        assert_eq!(class(&s, "shop/product/reviews/review"), NodeClass::Entity);
+    }
+
+    #[test]
+    fn leaves_are_attributes() {
+        let doc = review_doc();
+        let s = StructureSummary::infer(&doc);
+        assert_eq!(class(&s, "shop/product/name"), NodeClass::Attribute);
+        assert_eq!(class(&s, "shop/product/rating"), NodeClass::Attribute);
+        assert_eq!(
+            class(&s, "shop/product/reviews/review/pros/compact"),
+            NodeClass::Attribute
+        );
+        assert_eq!(
+            class(&s, "shop/product/reviews/review/uses/best_use/auto"),
+            NodeClass::Attribute
+        );
+    }
+
+    #[test]
+    fn grouping_nodes_are_connections() {
+        let doc = review_doc();
+        let s = StructureSummary::infer(&doc);
+        assert_eq!(class(&s, "shop/product/reviews"), NodeClass::Connection);
+        assert_eq!(class(&s, "shop/product/reviews/review/pros"), NodeClass::Connection);
+        assert_eq!(class(&s, "shop/product/reviews/review/uses"), NodeClass::Connection);
+        assert_eq!(
+            class(&s, "shop/product/reviews/review/uses/best_use"),
+            NodeClass::Connection
+        );
+    }
+
+    #[test]
+    fn root_is_entity() {
+        let doc = review_doc();
+        let s = StructureSummary::infer(&doc);
+        assert_eq!(s.class_of(&doc, doc.root()), NodeClass::Entity);
+    }
+
+    #[test]
+    fn class_of_resolves_instances() {
+        let doc = review_doc();
+        let s = StructureSummary::infer(&doc);
+        let product = doc.child_by_tag(doc.root(), "product").unwrap();
+        assert_eq!(s.class_of(&doc, product), NodeClass::Entity);
+        let name = doc.child_by_tag(product, "name").unwrap();
+        assert_eq!(s.class_of(&doc, name), NodeClass::Attribute);
+        let text = doc.children(name)[0];
+        assert_eq!(s.class_of(&doc, text), NodeClass::Attribute);
+    }
+
+    #[test]
+    fn unknown_path_defaults_to_connection() {
+        let doc = review_doc();
+        let s = StructureSummary::infer(&doc);
+        assert_eq!(class(&s, "never/seen"), NodeClass::Connection);
+    }
+
+    #[test]
+    fn repeating_leaf_stays_attribute() {
+        // Repeated *leaf* tags (multi-valued attributes like keywords) are
+        // attributes, not entities — they have no internal structure.
+        let doc = parse_document(
+            "<movies><movie><keyword>war</keyword><keyword>epic</keyword></movie></movies>",
+        )
+        .unwrap();
+        let s = StructureSummary::infer(&doc);
+        assert_eq!(class(&s, "movies/movie/keyword"), NodeClass::Attribute);
+        assert!(s.repeats("movies/movie/keyword"));
+    }
+
+    #[test]
+    fn single_instance_internal_node_is_connection() {
+        let doc = parse_document("<a><meta><created>2009</created></meta></a>").unwrap();
+        let s = StructureSummary::infer(&doc);
+        assert_eq!(class(&s, "a/meta"), NodeClass::Connection);
+        assert_eq!(class(&s, "a/meta/created"), NodeClass::Attribute);
+    }
+
+    #[test]
+    fn repetition_anywhere_marks_all_instances() {
+        // `product` repeats under the first shop only, but the path class
+        // applies document-wide (summary-based inference).
+        let doc = parse_document(
+            "<mall><shop><product><name>a</name></product><product><name>b</name></product></shop>\
+             <shop><product><name>c</name></product></shop></mall>",
+        )
+        .unwrap();
+        let s = StructureSummary::infer(&doc);
+        assert_eq!(class(&s, "mall/shop/product"), NodeClass::Entity);
+        assert_eq!(class(&s, "mall/shop"), NodeClass::Entity);
+    }
+
+    #[test]
+    fn mixed_leaf_and_internal_instances_lean_entity_or_connection() {
+        // A tag that is sometimes internal: `extra` repeats and is internal
+        // in one instance => entity.
+        let doc = parse_document(
+            "<r><item><extra>plain</extra><extra><d>x</d></extra></item></r>",
+        )
+        .unwrap();
+        let s = StructureSummary::infer(&doc);
+        assert_eq!(class(&s, "r/item/extra"), NodeClass::Entity);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let doc = review_doc();
+        let s = StructureSummary::infer(&doc);
+        assert!(s.path_count() >= 9);
+        let entities: Vec<&str> = s
+            .classes()
+            .filter(|(_, c)| *c == NodeClass::Entity)
+            .map(|(p, _)| p)
+            .collect();
+        assert!(entities.contains(&"shop/product"));
+        assert!(entities.contains(&"shop/product/reviews/review"));
+    }
+}

@@ -1,0 +1,510 @@
+//! The feature extractor: result subtree → aggregated feature statistics.
+//!
+//! A **feature** is a triplet `(entity, attribute, value)` — e.g.
+//! `(review, pros:compact, yes)` — and a **feature type** is the
+//! `(entity, attribute)` pair (paper §2). For each search result, the
+//! extractor:
+//!
+//! 1. finds the *entity instances* inside the result subtree (the result
+//!    root plus every descendant classified [`NodeClass::Entity`]),
+//! 2. collects, per instance, the leaf values reachable without crossing
+//!    into a nested entity instance (those belong to the nested entity),
+//! 3. aggregates occurrences per feature type and value, together with the
+//!    number of instances of each entity.
+//!
+//! The per-type statistics — e.g. *"pros:compact seen in 8 of 11 reviews
+//! (73%)"* — drive both the validity ranking (Desideratum 2) and the
+//! differentiability test (Desideratum 3) in `xsact-core`.
+
+use crate::classify::{path_key, NodeClass, StructureSummary};
+use std::collections::HashMap;
+use xsact_xml::{Document, NodeId};
+
+/// A feature type: the `(entity, attribute)` pair identifying one row of a
+/// comparison table.
+///
+/// * `entity` is the entity's full tag path (`shop/product/reviews/review`),
+///   which makes types comparable across results of the same dataset;
+/// * `attribute` is the tag path from the entity instance down to the leaf,
+///   joined with `:` (`pros:compact`), with XML attributes written as
+///   `tag@name`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FeatureType {
+    /// Tag path of the owning entity, from the document root.
+    pub entity: String,
+    /// Attribute path within the entity.
+    pub attribute: String,
+}
+
+impl FeatureType {
+    /// Convenience constructor.
+    pub fn new(entity: impl Into<String>, attribute: impl Into<String>) -> Self {
+        FeatureType { entity: entity.into(), attribute: attribute.into() }
+    }
+}
+
+/// One observed value of a feature type with its occurrence count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValueCount {
+    /// The (whitespace-normalised) text value.
+    pub value: String,
+    /// How many times it occurred across the entity's instances.
+    pub count: u32,
+}
+
+/// Aggregated statistics of one feature type within one result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureStat {
+    /// The feature type.
+    pub ty: FeatureType,
+    /// Observed values, sorted by descending count then value.
+    pub values: Vec<ValueCount>,
+    /// Total occurrences (sum of the value counts).
+    pub occurrences: u32,
+    /// Number of instances of `ty.entity` in this result.
+    pub entity_instances: u32,
+}
+
+impl FeatureStat {
+    /// Occurrence ratio of the whole type: `occurrences / entity_instances`.
+    ///
+    /// The paper's "Pro:Compact occurs 8/11 = 73%". Can exceed 1.0 for
+    /// multi-valued types (several occurrences per instance).
+    pub fn ratio(&self) -> f64 {
+        if self.entity_instances == 0 {
+            0.0
+        } else {
+            f64::from(self.occurrences) / f64::from(self.entity_instances)
+        }
+    }
+
+    /// The most frequent value (ties broken towards the lexicographically
+    /// smaller value). A stat always holds at least one value.
+    pub fn dominant(&self) -> &ValueCount {
+        &self.values[0]
+    }
+
+    /// Occurrence ratio of one specific value; 0.0 if the value was never
+    /// seen.
+    pub fn value_ratio(&self, value: &str) -> f64 {
+        if self.entity_instances == 0 {
+            return 0.0;
+        }
+        self.values
+            .iter()
+            .find(|vc| vc.value == value)
+            .map_or(0.0, |vc| f64::from(vc.count) / f64::from(self.entity_instances))
+    }
+
+    /// A Figure 1-style statistics line: `pros:compact: yes: 8`.
+    pub fn stat_line(&self) -> String {
+        let top = self.dominant();
+        format!("{}: {}: {}", self.ty.attribute, top.value, top.count)
+    }
+}
+
+/// All feature statistics of one search result.
+#[derive(Debug, Clone, Default)]
+pub struct ResultFeatures {
+    /// Human-readable label of the result (e.g. the product name).
+    pub label: String,
+    /// Stats per feature type, sorted by entity path, then by descending
+    /// occurrence count, then attribute name — i.e. each entity's types are
+    /// already in *significance order* (Desideratum 2).
+    pub stats: Vec<FeatureStat>,
+    /// Instances per entity path.
+    entity_instances: HashMap<String, u32>,
+}
+
+impl ResultFeatures {
+    /// Builds a `ResultFeatures` directly from `(type, value, count)`
+    /// triplets plus entity instance counts. Used by tests, fixtures and
+    /// workload generators that bypass XML extraction.
+    pub fn from_raw(
+        label: impl Into<String>,
+        entity_instances: impl IntoIterator<Item = (String, u32)>,
+        triplets: impl IntoIterator<Item = (FeatureType, String, u32)>,
+    ) -> Self {
+        let entity_instances: HashMap<String, u32> = entity_instances.into_iter().collect();
+        let mut agg: HashMap<FeatureType, HashMap<String, u32>> = HashMap::new();
+        for (ty, value, count) in triplets {
+            *agg.entry(ty).or_default().entry(value).or_insert(0) += count;
+        }
+        let stats = finalize(agg, &entity_instances);
+        ResultFeatures { label: label.into(), stats, entity_instances }
+    }
+
+    /// Number of instances of an entity path in this result.
+    pub fn instances_of(&self, entity: &str) -> u32 {
+        self.entity_instances.get(entity).copied().unwrap_or(0)
+    }
+
+    /// Looks up the stat of a feature type.
+    pub fn get(&self, ty: &FeatureType) -> Option<&FeatureStat> {
+        self.stats.iter().find(|s| &s.ty == ty)
+    }
+
+    /// Total number of feature types in the result (the paper's `m`).
+    pub fn type_count(&self) -> usize {
+        self.stats.len()
+    }
+
+    /// Groups the stats by entity, preserving significance order within each
+    /// entity. Entities appear in lexicographic path order.
+    pub fn by_entity(&self) -> Vec<(&str, Vec<&FeatureStat>)> {
+        let mut out: Vec<(&str, Vec<&FeatureStat>)> = Vec::new();
+        for stat in &self.stats {
+            match out.last_mut() {
+                Some((entity, group)) if *entity == stat.ty.entity => group.push(stat),
+                _ => out.push((stat.ty.entity.as_str(), vec![stat])),
+            }
+        }
+        out
+    }
+
+    /// The Figure 1-style statistics panel: `# of <entity>: <n>` lines plus
+    /// the top-`k` feature lines per entity.
+    pub fn stat_panel(&self, top_k: usize) -> Vec<String> {
+        let mut lines = Vec::new();
+        for (entity, stats) in self.by_entity() {
+            let short = crate::label::entity_short_name(entity);
+            lines.push(format!("# of {short}s: {}", self.instances_of(entity)));
+            for stat in stats.iter().take(top_k) {
+                lines.push(stat.stat_line());
+            }
+        }
+        lines
+    }
+}
+
+/// Extracts the aggregated features of the result subtree rooted at `root`.
+///
+/// `summary` must have been inferred from the same document so entity
+/// classification is consistent across all results.
+pub fn extract_features(
+    doc: &Document,
+    summary: &StructureSummary,
+    root: NodeId,
+    label: impl Into<String>,
+) -> ResultFeatures {
+    // Pass 1: find entity instances inside the subtree. The result root is
+    // an instance regardless of its class — it is the object being compared.
+    let mut instances: Vec<NodeId> = Vec::new();
+    for node in doc.descendants(root) {
+        if node == root
+            || (doc.is_element(node) && summary.class_of(doc, node) == NodeClass::Entity)
+        {
+            instances.push(node);
+        }
+    }
+
+    let mut entity_instances: HashMap<String, u32> = HashMap::new();
+    let mut agg: HashMap<FeatureType, HashMap<String, u32>> = HashMap::new();
+
+    for &instance in &instances {
+        let entity_path = path_key(doc, instance);
+        *entity_instances.entry(entity_path.clone()).or_insert(0) += 1;
+        collect_instance_features(doc, summary, instance, &entity_path, &mut agg);
+    }
+
+    let stats = finalize(agg, &entity_instances);
+    ResultFeatures { label: label.into(), stats, entity_instances }
+}
+
+/// Collects `(attribute, value)` pairs of one entity instance, stopping at
+/// nested entity instances.
+fn collect_instance_features(
+    doc: &Document,
+    summary: &StructureSummary,
+    instance: NodeId,
+    entity_path: &str,
+    agg: &mut HashMap<FeatureType, HashMap<String, u32>>,
+) {
+    // Depth-first walk carrying the attribute path relative to the instance.
+    let mut stack: Vec<(NodeId, Vec<String>)> = vec![(instance, Vec::new())];
+    while let Some((node, attr_path)) = stack.pop() {
+        // XML attributes become features at every element we own.
+        for (name, value) in doc.attrs(node) {
+            let mut segs = attr_path.clone();
+            let leaf_seg = if segs.is_empty() {
+                format!("@{name}")
+            } else {
+                // Attach to the current element segment: `tag@name`.
+                let last = segs.pop().expect("non-empty");
+                format!("{last}@{name}")
+            };
+            segs.push(leaf_seg);
+            record(agg, entity_path, &segs, value);
+        }
+        if doc.is_leaf_element(node) && node != instance {
+            let text = normalize_value(&doc.text_content(node));
+            if !text.is_empty() {
+                record(agg, entity_path, &attr_path, &text);
+            }
+            continue;
+        }
+        for child in doc.child_elements(node) {
+            // Nested entity instances keep their own features.
+            if summary.class_of(doc, child) == NodeClass::Entity {
+                continue;
+            }
+            let mut child_path = attr_path.clone();
+            child_path.push(doc.tag(child).to_owned());
+            stack.push((child, child_path));
+        }
+    }
+}
+
+fn record(
+    agg: &mut HashMap<FeatureType, HashMap<String, u32>>,
+    entity_path: &str,
+    attr_segments: &[String],
+    value: &str,
+) {
+    if attr_segments.is_empty() {
+        return;
+    }
+    let ty = FeatureType::new(entity_path, attr_segments.join(":"));
+    *agg.entry(ty).or_default().entry(value.to_owned()).or_insert(0) += 1;
+}
+
+/// Collapses runs of whitespace and trims, so `" 4.2\n "` equals `"4.2"`.
+fn normalize_value(raw: &str) -> String {
+    raw.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+fn finalize(
+    agg: HashMap<FeatureType, HashMap<String, u32>>,
+    entity_instances: &HashMap<String, u32>,
+) -> Vec<FeatureStat> {
+    let mut stats: Vec<FeatureStat> = agg
+        .into_iter()
+        .map(|(ty, values)| {
+            let mut values: Vec<ValueCount> =
+                values.into_iter().map(|(value, count)| ValueCount { value, count }).collect();
+            values.sort_by(|a, b| b.count.cmp(&a.count).then_with(|| a.value.cmp(&b.value)));
+            let occurrences = values.iter().map(|v| v.count).sum();
+            let entity_instances = entity_instances.get(&ty.entity).copied().unwrap_or(0);
+            FeatureStat { ty, values, occurrences, entity_instances }
+        })
+        .collect();
+    // Entity path asc; within an entity: occurrences desc, attribute asc —
+    // the significance order required by Desideratum 2.
+    stats.sort_by(|a, b| {
+        a.ty.entity
+            .cmp(&b.ty.entity)
+            .then_with(|| b.occurrences.cmp(&a.occurrences))
+            .then_with(|| a.ty.attribute.cmp(&b.ty.attribute))
+    });
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsact_xml::parse_document;
+
+    /// Two products shaped like the paper's Figure 1 (scaled down).
+    fn doc() -> Document {
+        parse_document(
+            "<shop>\
+               <product>\
+                 <name>TomTom Go 630</name>\
+                 <rating>4.2</rating>\
+                 <reviews>\
+                   <review><pros><compact>yes</compact><easy_to_read>yes</easy_to_read></pros>\
+                      <uses><best_use><auto>yes</auto></best_use></uses></review>\
+                   <review><pros><compact>yes</compact><easy_to_read>yes</easy_to_read></pros></review>\
+                   <review><pros><easy_to_read>yes</easy_to_read></pros></review>\
+                 </reviews>\
+               </product>\
+               <product>\
+                 <name>TomTom Go 730</name>\
+                 <rating>4.1</rating>\
+                 <reviews>\
+                   <review><pros><compact>yes</compact></pros></review>\
+                   <review><pros><satellites>yes</satellites></pros></review>\
+                 </reviews>\
+               </product>\
+             </shop>",
+        )
+        .unwrap()
+    }
+
+    fn first_product(doc: &Document) -> NodeId {
+        doc.child_by_tag(doc.root(), "product").unwrap()
+    }
+
+    fn extract(d: &Document, root: NodeId) -> ResultFeatures {
+        let summary = StructureSummary::infer(d);
+        extract_features(d, &summary, root, "r")
+    }
+
+    const REVIEW: &str = "shop/product/reviews/review";
+    const PRODUCT: &str = "shop/product";
+
+    #[test]
+    fn entity_instances_counted() {
+        let d = doc();
+        let rf = extract(&d, first_product(&d));
+        assert_eq!(rf.instances_of(PRODUCT), 1);
+        assert_eq!(rf.instances_of(REVIEW), 3);
+        assert_eq!(rf.instances_of("never"), 0);
+    }
+
+    #[test]
+    fn product_attributes_extracted() {
+        let d = doc();
+        let rf = extract(&d, first_product(&d));
+        let name = rf.get(&FeatureType::new(PRODUCT, "name")).unwrap();
+        assert_eq!(name.dominant().value, "TomTom Go 630");
+        assert_eq!(name.occurrences, 1);
+        assert_eq!(name.entity_instances, 1);
+        assert!((name.ratio() - 1.0).abs() < 1e-12);
+        let rating = rf.get(&FeatureType::new(PRODUCT, "rating")).unwrap();
+        assert_eq!(rating.dominant().value, "4.2");
+    }
+
+    #[test]
+    fn review_features_aggregate_over_instances() {
+        let d = doc();
+        let rf = extract(&d, first_product(&d));
+        let compact = rf.get(&FeatureType::new(REVIEW, "pros:compact")).unwrap();
+        assert_eq!(compact.occurrences, 2);
+        assert_eq!(compact.entity_instances, 3);
+        assert!((compact.ratio() - 2.0 / 3.0).abs() < 1e-12);
+        let easy = rf.get(&FeatureType::new(REVIEW, "pros:easy_to_read")).unwrap();
+        assert_eq!(easy.occurrences, 3);
+        let auto = rf.get(&FeatureType::new(REVIEW, "uses:best_use:auto")).unwrap();
+        assert_eq!(auto.occurrences, 1);
+    }
+
+    #[test]
+    fn nested_entities_do_not_leak_into_parent() {
+        let d = doc();
+        let rf = extract(&d, first_product(&d));
+        // The product entity must not own review-level leaves.
+        assert!(rf
+            .stats
+            .iter()
+            .filter(|s| s.ty.entity == PRODUCT)
+            .all(|s| !s.ty.attribute.contains("compact")));
+    }
+
+    #[test]
+    fn significance_order_within_entity() {
+        let d = doc();
+        let rf = extract(&d, first_product(&d));
+        let review_stats: Vec<&FeatureStat> =
+            rf.stats.iter().filter(|s| s.ty.entity == REVIEW).collect();
+        // easy_to_read (3) before compact (2) before auto (1).
+        let attrs: Vec<&str> =
+            review_stats.iter().map(|s| s.ty.attribute.as_str()).collect();
+        assert_eq!(attrs, ["pros:easy_to_read", "pros:compact", "uses:best_use:auto"]);
+        let counts: Vec<u32> = review_stats.iter().map(|s| s.occurrences).collect();
+        assert_eq!(counts, [3, 2, 1]);
+    }
+
+    #[test]
+    fn by_entity_groups_contiguously() {
+        let d = doc();
+        let rf = extract(&d, first_product(&d));
+        let groups = rf.by_entity();
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].0, PRODUCT);
+        assert_eq!(groups[1].0, REVIEW);
+    }
+
+    #[test]
+    fn value_ratio_handles_missing_values() {
+        let d = doc();
+        let rf = extract(&d, first_product(&d));
+        let compact = rf.get(&FeatureType::new(REVIEW, "pros:compact")).unwrap();
+        assert!((compact.value_ratio("yes") - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(compact.value_ratio("no"), 0.0);
+    }
+
+    #[test]
+    fn multi_valued_types_keep_histogram() {
+        let d = parse_document(
+            "<movies><movie><title>Alpha</title>\
+             <keyword>war</keyword><keyword>war</keyword><keyword>epic</keyword></movie>\
+             <movie><title>Beta</title></movie></movies>",
+        )
+        .unwrap();
+        let summary = StructureSummary::infer(&d);
+        let movie = d.child_by_tag(d.root(), "movie").unwrap();
+        let rf = extract_features(&d, &summary, movie, "m");
+        let kw = rf.get(&FeatureType::new("movies/movie", "keyword")).unwrap();
+        assert_eq!(kw.occurrences, 3);
+        assert_eq!(kw.values.len(), 2);
+        assert_eq!(kw.dominant(), &ValueCount { value: "war".into(), count: 2 });
+        assert!(kw.ratio() > 1.0);
+    }
+
+    #[test]
+    fn xml_attributes_become_features() {
+        let d = parse_document(
+            r#"<shop><product sku="A1"><name>X</name></product><product sku="B2"><name>Y</name></product></shop>"#,
+        )
+        .unwrap();
+        let summary = StructureSummary::infer(&d);
+        let p = d.child_by_tag(d.root(), "product").unwrap();
+        let rf = extract_features(&d, &summary, p, "p");
+        let sku = rf.get(&FeatureType::new("shop/product", "@sku")).unwrap();
+        assert_eq!(sku.dominant().value, "A1");
+    }
+
+    #[test]
+    fn whitespace_in_values_normalised() {
+        let d = parse_document("<r><item><name>  Tom   Tom\n 630 </name></item><item><name>b</name></item></r>")
+            .unwrap();
+        let summary = StructureSummary::infer(&d);
+        let item = d.child_by_tag(d.root(), "item").unwrap();
+        let rf = extract_features(&d, &summary, item, "i");
+        let name = rf.get(&FeatureType::new("r/item", "name")).unwrap();
+        assert_eq!(name.dominant().value, "Tom Tom 630");
+    }
+
+    #[test]
+    fn stat_panel_matches_figure1_shape() {
+        let d = doc();
+        let rf = extract(&d, first_product(&d));
+        let panel = rf.stat_panel(2);
+        assert!(panel.iter().any(|l| l == "# of reviews: 3"));
+        assert!(panel.iter().any(|l| l == "pros:easy_to_read: yes: 3"));
+        assert!(panel.iter().any(|l| l == "# of products: 1"));
+    }
+
+    #[test]
+    fn from_raw_builds_equivalent_stats() {
+        let rf = ResultFeatures::from_raw(
+            "raw",
+            [("e".to_string(), 10)],
+            [
+                (FeatureType::new("e", "a"), "yes".to_string(), 7),
+                (FeatureType::new("e", "a"), "no".to_string(), 2),
+                (FeatureType::new("e", "b"), "x".to_string(), 5),
+            ],
+        );
+        assert_eq!(rf.type_count(), 2);
+        let a = rf.get(&FeatureType::new("e", "a")).unwrap();
+        assert_eq!(a.occurrences, 9);
+        assert_eq!(a.dominant().value, "yes");
+        assert_eq!(a.entity_instances, 10);
+        // Significance order: a (9) before b (5).
+        assert_eq!(rf.stats[0].ty.attribute, "a");
+    }
+
+    #[test]
+    fn empty_result_has_no_stats() {
+        let d = parse_document("<r><item/><item/></r>").unwrap();
+        let summary = StructureSummary::infer(&d);
+        let item = d.child_by_tag(d.root(), "item").unwrap();
+        let rf = extract_features(&d, &summary, item, "i");
+        assert_eq!(rf.type_count(), 0);
+        assert_eq!(rf.by_entity().len(), 0);
+        // The instance itself is still counted.
+        assert_eq!(rf.instances_of("r/item"), 1);
+    }
+}

@@ -1,0 +1,63 @@
+//! Human-readable rendering of entity and attribute labels.
+//!
+//! Tag names in the datasets use `snake_case` (`easy_to_read`, `best_use`);
+//! the paper's UI shows them as words ("easy to read", "best use"). These
+//! helpers are purely cosmetic — the comparison algorithms never look at
+//! display labels.
+
+use crate::features::FeatureType;
+
+/// Replaces underscores with spaces: `easy_to_read` → `easy to read`.
+pub fn prettify(tag: &str) -> String {
+    tag.replace('_', " ")
+}
+
+/// The short, paper-style label of a feature type, e.g.
+/// `(shop/product/reviews/review, pros:compact)` → `"pros: compact"`, and
+/// `(shop/product, name)` → `"name"`.
+///
+/// The entity path is dropped (the comparison table groups rows by entity
+/// already); attribute path segments are joined with `": "`.
+pub fn display_label(ty: &FeatureType) -> String {
+    ty.attribute
+        .split(':')
+        .map(prettify)
+        .collect::<Vec<_>>()
+        .join(": ")
+}
+
+/// The short name of an entity path: its last segment, prettified.
+/// `shop/product/reviews/review` → `review`.
+pub fn entity_short_name(entity_path: &str) -> String {
+    prettify(entity_path.rsplit('/').next().unwrap_or(entity_path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prettify_replaces_underscores() {
+        assert_eq!(prettify("easy_to_read"), "easy to read");
+        assert_eq!(prettify("plain"), "plain");
+        assert_eq!(prettify(""), "");
+    }
+
+    #[test]
+    fn display_label_joins_attribute_segments() {
+        let ty = FeatureType {
+            entity: "shop/product/reviews/review".into(),
+            attribute: "pros:easy_to_read".into(),
+        };
+        assert_eq!(display_label(&ty), "pros: easy to read");
+        let ty = FeatureType { entity: "shop/product".into(), attribute: "name".into() };
+        assert_eq!(display_label(&ty), "name");
+    }
+
+    #[test]
+    fn entity_short_name_takes_last_segment() {
+        assert_eq!(entity_short_name("shop/product/reviews/review"), "review");
+        assert_eq!(entity_short_name("product"), "product");
+        assert_eq!(entity_short_name("a/b/big_thing"), "big thing");
+    }
+}

@@ -1,0 +1,32 @@
+//! Keyword search over XML — the *Search Engine* box of the paper's
+//! architecture (Figure 3).
+//!
+//! The paper plugs XSACT into XSeek (Liu & Chen, SIGMOD 2007 / VLDB 2008 —
+//! references [3, 4]); this crate is a from-scratch reproduction of the part
+//! of XSeek that XSACT needs:
+//!
+//! * a tokenising [`lexer`] and [`Query`] model,
+//! * an [`InvertedIndex`] mapping terms to XML nodes in document order
+//!   (Dewey-encoded, so lowest-common-ancestor reasoning is cheap),
+//! * [`slca`] — Smallest Lowest Common Ancestor computation, the standard
+//!   XML keyword-search semantics, with two implementations (a full-scan
+//!   oracle and the Indexed Lookup Eager algorithm of Xu &
+//!   Papakonstantinou), plus ELCA as an alternative semantics,
+//! * a [`SearchEngine`] that turns SLCAs into *results* by promoting each
+//!   match to its master entity, as XSeek's return-node inference does.
+
+pub mod engine;
+pub mod lexer;
+pub mod persist;
+pub mod postings;
+pub mod query;
+pub mod rank;
+pub mod slca;
+
+pub use engine::{ResultSemantics, SearchEngine, SearchResult};
+pub use lexer::tokenize;
+pub use persist::{document_fingerprint, load_index, save_index};
+pub use postings::{IndexStats, InvertedIndex};
+pub use query::Query;
+pub use rank::{rank_results, ScoredResult};
+pub use slca::{elca_full_scan, slca_full_scan, slca_indexed_lookup};

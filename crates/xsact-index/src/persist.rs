@@ -1,0 +1,263 @@
+//! Binary persistence for the inverted index.
+//!
+//! Building the index is a full document scan; for the demo's "large size
+//! of the two datasets" (paper §3) it pays to build once and reload. The
+//! format is a small, versioned, length-prefixed binary layout:
+//!
+//! ```text
+//! magic   b"XIDX"            4 bytes
+//! version u32 LE             currently 1
+//! fprint  u64 LE             structural fingerprint of the document
+//! terms   u32 LE             number of terms
+//! per term:
+//!   term_len u32 LE, term bytes (UTF-8)
+//!   postings u32 LE, then that many u32 LE arena indices
+//! ```
+//!
+//! Posting entries are arena indices, which are only meaningful for the
+//! exact document the index was built from — the **fingerprint** (FNV-1a
+//! over the document structure) is verified on load and mismatches are
+//! rejected, so a stale index can never silently corrupt search results.
+
+use crate::postings::InvertedIndex;
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use xsact_xml::{Document, NodeId};
+
+const MAGIC: &[u8; 4] = b"XIDX";
+const VERSION: u32 = 1;
+
+/// FNV-1a structural fingerprint of a document: node count, tags,
+/// attributes and text contents in document order.
+pub fn document_fingerprint(doc: &Document) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x1000_0000_01b3);
+        }
+    };
+    eat(&(doc.len() as u64).to_le_bytes());
+    for node in doc.all_nodes() {
+        if doc.is_element(node) {
+            eat(b"<");
+            eat(doc.tag(node).as_bytes());
+            for (k, v) in doc.attrs(node) {
+                eat(b"@");
+                eat(k.as_bytes());
+                eat(b"=");
+                eat(v.as_bytes());
+            }
+        } else if let Some(t) = doc.text(node) {
+            eat(b"#");
+            eat(t.as_bytes());
+        }
+    }
+    hash
+}
+
+/// Serialises the index (with the document's fingerprint) to `w`.
+pub fn save_index(doc: &Document, index: &InvertedIndex, w: &mut impl Write) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&document_fingerprint(doc).to_le_bytes())?;
+    // Deterministic term order keeps outputs byte-identical across runs.
+    let mut terms: Vec<&str> = index.terms().collect();
+    terms.sort_unstable();
+    w.write_all(&(terms.len() as u32).to_le_bytes())?;
+    for term in terms {
+        let bytes = term.as_bytes();
+        w.write_all(&(bytes.len() as u32).to_le_bytes())?;
+        w.write_all(bytes)?;
+        let postings = index.postings(term);
+        w.write_all(&(postings.len() as u32).to_le_bytes())?;
+        for &node in postings {
+            w.write_all(&(node.index() as u32).to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Deserialises an index for `doc`, verifying magic, version and the
+/// document fingerprint.
+pub fn load_index(doc: &Document, r: &mut impl Read) -> io::Result<InvertedIndex> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(bad_data("not an XSACT index file (bad magic)"));
+    }
+    let version = read_u32(r)?;
+    if version != VERSION {
+        return Err(bad_data(format!(
+            "unsupported index version {version} (expected {VERSION})"
+        )));
+    }
+    let fingerprint = read_u64(r)?;
+    let expected = document_fingerprint(doc);
+    if fingerprint != expected {
+        return Err(bad_data(
+            "index fingerprint does not match the document — rebuild the index",
+        ));
+    }
+    let term_count = read_u32(r)? as usize;
+    let mut postings: HashMap<String, Vec<NodeId>> = HashMap::with_capacity(term_count);
+    for _ in 0..term_count {
+        let len = read_u32(r)? as usize;
+        if len > 1 << 20 {
+            return Err(bad_data("unreasonable term length"));
+        }
+        let mut buf = vec![0u8; len];
+        r.read_exact(&mut buf)?;
+        let term = String::from_utf8(buf)
+            .map_err(|_| bad_data("term is not valid UTF-8"))?;
+        let n = read_u32(r)? as usize;
+        let mut list = Vec::with_capacity(n);
+        for _ in 0..n {
+            let idx = read_u32(r)? as usize;
+            let node = doc
+                .node_handle(idx)
+                .ok_or_else(|| bad_data("posting entry out of range"))?;
+            list.push(node);
+        }
+        postings.insert(term, list);
+    }
+    Ok(InvertedIndex::from_parts(postings))
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+fn bad_data(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Query;
+    use crate::engine::SearchEngine;
+    use xsact_xml::parse_document;
+
+    fn doc() -> Document {
+        parse_document(
+            "<shop><product><name>TomTom Go</name><kind>GPS</kind></product>\
+             <product><name>Garmin Nuvi</name><kind>GPS</kind></product></shop>",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_postings() {
+        let d = doc();
+        let index = InvertedIndex::build(&d);
+        let mut buf = Vec::new();
+        save_index(&d, &index, &mut buf).unwrap();
+        let loaded = load_index(&d, &mut buf.as_slice()).unwrap();
+        assert_eq!(loaded.term_count(), index.term_count());
+        for term in ["tomtom", "gps", "product", "garmin"] {
+            assert_eq!(loaded.postings(term), index.postings(term), "term {term}");
+        }
+    }
+
+    #[test]
+    fn serialisation_is_deterministic() {
+        let d = doc();
+        let index = InvertedIndex::build(&d);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        save_index(&d, &index, &mut a).unwrap();
+        save_index(&d, &index, &mut b).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fingerprint_mismatch_rejected() {
+        let d = doc();
+        let index = InvertedIndex::build(&d);
+        let mut buf = Vec::new();
+        save_index(&d, &index, &mut buf).unwrap();
+        let other = parse_document("<shop><product><name>Different</name></product></shop>")
+            .unwrap();
+        let err = load_index(&other, &mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("fingerprint"));
+    }
+
+    #[test]
+    fn bad_magic_and_version_rejected() {
+        let d = doc();
+        let err = load_index(&d, &mut &b"NOPE"[..]).unwrap_err();
+        assert!(err.to_string().contains("magic") || err.kind() == io::ErrorKind::UnexpectedEof);
+
+        let index = InvertedIndex::build(&d);
+        let mut buf = Vec::new();
+        save_index(&d, &index, &mut buf).unwrap();
+        buf[4] = 99; // corrupt the version
+        let err = load_index(&d, &mut buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("version"));
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let d = doc();
+        let index = InvertedIndex::build(&d);
+        let mut buf = Vec::new();
+        save_index(&d, &index, &mut buf).unwrap();
+        for cut in [3usize, 10, buf.len() / 2, buf.len() - 1] {
+            assert!(
+                load_index(&d, &mut &buf[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_range_posting_rejected() {
+        let d = doc();
+        let index = InvertedIndex::build(&d);
+        let mut buf = Vec::new();
+        save_index(&d, &index, &mut buf).unwrap();
+        // Flip the last posting entry to a huge index.
+        let n = buf.len();
+        buf[n - 4..].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = load_index(&d, &mut buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn loaded_index_searches_identically() {
+        let d = doc();
+        let index = InvertedIndex::build(&d);
+        let mut buf = Vec::new();
+        save_index(&d, &index, &mut buf).unwrap();
+        let loaded = load_index(&d, &mut buf.as_slice()).unwrap();
+        let a = SearchEngine::from_parts(d.clone(), index);
+        let b = SearchEngine::from_parts(d, loaded);
+        let q = Query::parse("tomtom gps");
+        assert_eq!(a.search(&q), b.search(&q));
+    }
+
+    #[test]
+    fn fingerprint_sensitive_to_structure() {
+        let a = document_fingerprint(&doc());
+        let b = document_fingerprint(
+            &parse_document(
+                "<shop><product><name>TomTom Go</name><kind>gps</kind></product>\
+                 <product><name>Garmin Nuvi</name><kind>GPS</kind></product></shop>",
+            )
+            .unwrap(),
+        );
+        assert_ne!(a, b);
+        // Same content → same fingerprint.
+        assert_eq!(a, document_fingerprint(&doc()));
+    }
+}

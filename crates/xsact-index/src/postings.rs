@@ -1,0 +1,202 @@
+//! The inverted index: term → XML nodes in document order.
+//!
+//! Indexing rules (standard for data-centric XML keyword search):
+//!
+//! * an **element** node matches the terms of its tag name and of its
+//!   attribute names and values;
+//! * a **text** run contributes its terms to the *parent element* — so match
+//!   nodes are always elements, which is what LCA semantics expect.
+//!
+//! Posting lists are sorted by Dewey ID (document order) and deduplicated,
+//! ready for the binary-search probes of the Indexed Lookup Eager SLCA
+//! algorithm.
+
+use crate::lexer::tokenize_unique;
+use std::collections::HashMap;
+use xsact_xml::{Document, NodeId};
+
+/// An inverted index over one [`Document`].
+#[derive(Debug, Clone)]
+pub struct InvertedIndex {
+    postings: HashMap<String, Vec<NodeId>>,
+}
+
+impl InvertedIndex {
+    /// Builds the index in a single pass over the document.
+    pub fn build(doc: &Document) -> Self {
+        let mut postings: HashMap<String, Vec<NodeId>> = HashMap::new();
+        for node in doc.all_nodes() {
+            if doc.is_element(node) {
+                let mut text = String::from(doc.tag(node));
+                for (name, value) in doc.attrs(node) {
+                    text.push(' ');
+                    text.push_str(name);
+                    text.push(' ');
+                    text.push_str(value);
+                }
+                add_terms(&mut postings, &text, node);
+            } else if let Some(t) = doc.text(node) {
+                if let Some(parent) = doc.parent(node) {
+                    add_terms(&mut postings, t, parent);
+                }
+            }
+        }
+        // Sort by document order and deduplicate (an element may match a
+        // term through both its tag and several text children).
+        for list in postings.values_mut() {
+            list.sort_by(|&a, &b| doc.dewey(a).cmp(doc.dewey(b)));
+            list.dedup();
+        }
+        InvertedIndex { postings }
+    }
+
+    /// The posting list of a (already normalised) term; empty slice if the
+    /// term does not occur.
+    pub fn postings(&self, term: &str) -> &[NodeId] {
+        self.postings.get(term).map_or(&[], Vec::as_slice)
+    }
+
+    /// Whether the term occurs anywhere in the document.
+    pub fn contains(&self, term: &str) -> bool {
+        self.postings.contains_key(term)
+    }
+
+    /// Number of distinct terms.
+    pub fn term_count(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Iterates the indexed terms (unspecified order).
+    pub fn terms(&self) -> impl Iterator<Item = &str> {
+        self.postings.keys().map(String::as_str)
+    }
+
+    /// Rebuilds an index from raw posting lists (used by the persistence
+    /// layer). Lists must already be sorted in document order — the
+    /// invariant `build` establishes and `save_index` preserves.
+    pub fn from_parts(postings: HashMap<String, Vec<NodeId>>) -> Self {
+        InvertedIndex { postings }
+    }
+
+    /// Summary statistics for diagnostics and benchmarks.
+    pub fn stats(&self) -> IndexStats {
+        let mut total = 0usize;
+        let mut longest = 0usize;
+        for list in self.postings.values() {
+            total += list.len();
+            longest = longest.max(list.len());
+        }
+        IndexStats {
+            terms: self.postings.len(),
+            total_postings: total,
+            longest_list: longest,
+        }
+    }
+}
+
+fn add_terms(postings: &mut HashMap<String, Vec<NodeId>>, text: &str, node: NodeId) {
+    for term in tokenize_unique(text) {
+        postings.entry(term).or_default().push(node);
+    }
+}
+
+/// Aggregate size figures of an [`InvertedIndex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Number of distinct terms.
+    pub terms: usize,
+    /// Total posting entries across all terms.
+    pub total_postings: usize,
+    /// Length of the longest posting list.
+    pub longest_list: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsact_xml::parse_document;
+
+    fn doc() -> Document {
+        parse_document(
+            "<shop><product category=\"gps\"><name>TomTom Go</name><rating>4.2</rating></product>\
+             <product><name>Garmin</name><note>a gps too</note></product></shop>",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn tag_terms_indexed_on_element() {
+        let d = doc();
+        let idx = InvertedIndex::build(&d);
+        // Every element tagged `product` matches the term.
+        assert_eq!(idx.postings("product").len(), 2);
+        assert_eq!(idx.postings("shop").len(), 1);
+        assert_eq!(idx.postings("shop")[0], d.root());
+    }
+
+    #[test]
+    fn text_terms_attach_to_parent_element() {
+        let d = doc();
+        let idx = InvertedIndex::build(&d);
+        let tomtom = idx.postings("tomtom");
+        assert_eq!(tomtom.len(), 1);
+        assert_eq!(d.tag(tomtom[0]), "name");
+    }
+
+    #[test]
+    fn attribute_names_and_values_indexed() {
+        let d = doc();
+        let idx = InvertedIndex::build(&d);
+        // `gps` occurs as an attribute value on product 1 and in text under
+        // product 2's note.
+        let gps = idx.postings("gps");
+        assert_eq!(gps.len(), 2);
+        assert_eq!(d.tag(gps[0]), "product");
+        assert_eq!(d.tag(gps[1]), "note");
+        assert_eq!(idx.postings("category").len(), 1);
+    }
+
+    #[test]
+    fn postings_in_document_order() {
+        let d = doc();
+        let idx = InvertedIndex::build(&d);
+        for term in ["product", "gps", "name"] {
+            let list = idx.postings(term);
+            for pair in list.windows(2) {
+                assert!(d.dewey(pair[0]) < d.dewey(pair[1]), "term {term} out of order");
+            }
+        }
+    }
+
+    #[test]
+    fn numbers_are_terms() {
+        let d = doc();
+        let idx = InvertedIndex::build(&d);
+        assert_eq!(idx.postings("4").len(), 1);
+        assert_eq!(idx.postings("2").len(), 1);
+    }
+
+    #[test]
+    fn missing_term_is_empty() {
+        let idx = InvertedIndex::build(&doc());
+        assert!(idx.postings("zzz").is_empty());
+        assert!(!idx.contains("zzz"));
+        assert!(idx.contains("tomtom"));
+    }
+
+    #[test]
+    fn duplicate_terms_in_one_node_deduplicated() {
+        let d = parse_document("<a><b>x x x</b></a>").unwrap();
+        let idx = InvertedIndex::build(&d);
+        assert_eq!(idx.postings("x").len(), 1);
+    }
+
+    #[test]
+    fn stats_reflect_contents() {
+        let idx = InvertedIndex::build(&doc());
+        let s = idx.stats();
+        assert_eq!(s.terms, idx.term_count());
+        assert!(s.total_postings >= s.terms);
+        assert!(s.longest_list >= 2); // "product" has two entries
+    }
+}

@@ -1,0 +1,88 @@
+//! Keyword query model.
+
+use crate::lexer::tokenize_unique;
+use std::fmt;
+
+/// A conjunctive keyword query, e.g. `{TomTom, GPS}` from the paper's
+/// running example. All terms must occur in a result (AND semantics, the
+/// standard in XML keyword search).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Query {
+    terms: Vec<String>,
+}
+
+impl Query {
+    /// Parses free text into a query: tokenise, lowercase, deduplicate.
+    ///
+    /// ```
+    /// use xsact_index::Query;
+    /// let q = Query::parse("TomTom, GPS");
+    /// assert_eq!(q.terms(), ["tomtom", "gps"]);
+    /// ```
+    pub fn parse(text: &str) -> Self {
+        Query { terms: tokenize_unique(text) }
+    }
+
+    /// Builds a query from pre-tokenised terms (normalised on the way in).
+    pub fn from_terms<I, S>(terms: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut q = String::new();
+        for t in terms {
+            q.push_str(t.as_ref());
+            q.push(' ');
+        }
+        Query::parse(&q)
+    }
+
+    /// The normalised terms in first-seen order.
+    pub fn terms(&self) -> &[String] {
+        &self.terms
+    }
+
+    /// Number of distinct terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether the query has no terms (matches nothing).
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{{}}}", self.terms.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_normalises() {
+        let q = Query::parse("TomTom, GPS tomtom");
+        assert_eq!(q.terms(), ["tomtom", "gps"]);
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn from_terms_matches_parse() {
+        assert_eq!(Query::from_terms(["TomTom", "GPS"]), Query::parse("tomtom gps"));
+    }
+
+    #[test]
+    fn empty_query() {
+        assert!(Query::parse("  ,, !").is_empty());
+    }
+
+    #[test]
+    fn display_is_braced_list() {
+        assert_eq!(Query::parse("men jackets").to_string(), "{men, jackets}");
+    }
+}

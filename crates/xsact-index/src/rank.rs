@@ -1,0 +1,162 @@
+//! Result ranking — one of the companion techniques the paper names for a
+//! "full-fledged keyword search engine for structured data" (§3: result
+//! differentiation "combines with … result ranking").
+//!
+//! Scores follow the classic XML keyword-search recipe (XRank / XSeek
+//! lineage), combining three signals per result subtree:
+//!
+//! * **term frequency** — how often the query terms occur inside the
+//!   result, dampened logarithmically;
+//! * **inverse document frequency** — rarer terms weigh more
+//!   (`ln(1 + N / df)` over element count `N` and posting length `df`);
+//! * **specificity** — smaller results that still contain every term are
+//!   preferred (`1 / ln(e + subtree_size)`), the structured analogue of
+//!   snippet proximity.
+
+use crate::postings::InvertedIndex;
+use crate::query::Query;
+use xsact_xml::{Document, NodeId};
+
+/// A scored result, produced by [`rank_results`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoredResult {
+    /// Root of the result subtree.
+    pub root: NodeId,
+    /// Combined relevance score (higher is better).
+    pub score: f64,
+    /// Occurrences of all query terms inside the subtree.
+    pub term_hits: u32,
+    /// Number of nodes in the subtree.
+    pub subtree_size: u32,
+}
+
+/// Scores result roots for a query and returns them best-first.
+///
+/// Ties (identical scores) keep document order, making ranking
+/// deterministic.
+pub fn rank_results(
+    doc: &Document,
+    index: &InvertedIndex,
+    query: &Query,
+    roots: &[NodeId],
+) -> Vec<ScoredResult> {
+    let element_count = doc.all_nodes().filter(|&n| doc.is_element(n)).count().max(1) as f64;
+    let mut scored: Vec<ScoredResult> = roots
+        .iter()
+        .map(|&root| {
+            let subtree_size = doc.descendants(root).count() as u32;
+            let mut term_hits = 0u32;
+            let mut score = 0.0;
+            // Count in-subtree postings per term by ancestor filtering on
+            // Dewey IDs.
+            let root_dewey = doc.dewey(root);
+            for term in query.terms() {
+                let postings = index.postings(term);
+                if postings.is_empty() {
+                    continue;
+                }
+                let df = postings.len() as f64;
+                let tf = postings
+                    .iter()
+                    .filter(|&&n| root_dewey.is_ancestor_or_self_of(doc.dewey(n)))
+                    .count() as u32;
+                term_hits += tf;
+                if tf > 0 {
+                    let idf = (1.0 + element_count / df).ln();
+                    score += (1.0 + f64::from(tf)).ln() * idf;
+                }
+            }
+            // Specificity: prefer compact results.
+            score /= (std::f64::consts::E + f64::from(subtree_size)).ln();
+            ScoredResult { root, score, term_hits, subtree_size }
+        })
+        .collect();
+    scored.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .expect("scores are finite")
+            .then_with(|| doc.dewey(a.root).cmp(doc.dewey(b.root)))
+    });
+    scored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsact_xml::parse_document;
+
+    fn setup(xml: &str) -> (Document, InvertedIndex) {
+        let doc = parse_document(xml).unwrap();
+        let idx = InvertedIndex::build(&doc);
+        (doc, idx)
+    }
+
+    #[test]
+    fn higher_term_frequency_ranks_first() {
+        // Two matching elements vs one, at identical subtree size.
+        let (doc, idx) = setup(
+            "<r><p><t>gps</t><u>gps</u></p><p><t>gps</t><pad>a</pad></p></r>",
+        );
+        let roots: Vec<NodeId> = doc.children(doc.root()).to_vec();
+        let q = Query::parse("gps");
+        let ranked = rank_results(&doc, &idx, &q, &roots);
+        assert_eq!(ranked.len(), 2);
+        assert!(ranked[0].score > ranked[1].score);
+        assert_eq!(ranked[0].term_hits, 2);
+        assert_eq!(ranked[1].term_hits, 1);
+        assert_eq!(ranked[0].root, roots[0]);
+    }
+
+    #[test]
+    fn smaller_subtree_wins_at_equal_hits() {
+        let (doc, idx) = setup(
+            "<r><small><t>gps</t></small>\
+             <big><t>gps</t><a>x</a><b>y</b><c>z</c><d>w</d></big></r>",
+        );
+        let roots: Vec<NodeId> = doc.children(doc.root()).to_vec();
+        let ranked = rank_results(&doc, &idx, &Query::parse("gps"), &roots);
+        assert_eq!(doc.tag(ranked[0].root), "small");
+        assert!(ranked[0].subtree_size < ranked[1].subtree_size);
+    }
+
+    #[test]
+    fn rare_terms_outweigh_common_ones() {
+        // `zeta` occurs once, `gps` five times: a result matching only zeta
+        // beats one matching only gps.
+        let (doc, idx) = setup(
+            "<r><a><t>zeta</t></a><b><t>gps</t></b>\
+             <x><t>gps</t></x><y><t>gps</t></y><z><t>gps</t></z><w><t>gps</t></w></r>",
+        );
+        let roots: Vec<NodeId> = doc.children(doc.root())[..2].to_vec();
+        let ranked = rank_results(&doc, &idx, &Query::parse("zeta gps"), &roots);
+        assert_eq!(doc.tag(ranked[0].root), "a");
+    }
+
+    #[test]
+    fn missing_terms_do_not_panic() {
+        let (doc, idx) = setup("<r><a><t>gps</t></a></r>");
+        let roots: Vec<NodeId> = doc.children(doc.root()).to_vec();
+        let ranked = rank_results(&doc, &idx, &Query::parse("gps unicorn"), &roots);
+        assert_eq!(ranked.len(), 1);
+        assert!(ranked[0].score > 0.0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let (doc, idx) = setup("<r><a><t>gps</t></a></r>");
+        assert!(rank_results(&doc, &idx, &Query::parse("gps"), &[]).is_empty());
+        let roots: Vec<NodeId> = doc.children(doc.root()).to_vec();
+        let ranked = rank_results(&doc, &idx, &Query::parse(""), &roots);
+        assert_eq!(ranked.len(), 1);
+        assert_eq!(ranked[0].score, 0.0);
+    }
+
+    #[test]
+    fn deterministic_tie_break_is_document_order() {
+        let (doc, idx) = setup("<r><a><t>gps</t></a><b><t>gps</t></b></r>");
+        let roots: Vec<NodeId> = doc.children(doc.root()).to_vec();
+        let ranked = rank_results(&doc, &idx, &Query::parse("gps"), &roots);
+        assert_eq!(ranked[0].root, roots[0]);
+        assert_eq!(ranked[1].root, roots[1]);
+    }
+}

@@ -1,0 +1,316 @@
+//! Lowest-common-ancestor semantics for XML keyword search.
+//!
+//! Given one posting list per query term, a node is an **LCA match** if its
+//! subtree contains at least one node from every list. The standard result
+//! semantics — used by XSeek and therefore by XSACT — is the **Smallest LCA
+//! (SLCA)**: LCA matches none of whose proper descendants are also LCA
+//! matches. The **Exclusive LCA (ELCA)** is a looser alternative also
+//! implemented here: a node that still contains every keyword after removing
+//! the subtrees of its keyword-complete descendants.
+//!
+//! Two SLCA implementations are provided:
+//!
+//! * [`slca_full_scan`] — one bottom-up pass propagating keyword bitmasks
+//!   over the whole document. Simple, obviously correct, `O(|doc| · k/64)`;
+//!   used as the oracle in property tests and as the baseline in benches.
+//! * [`slca_indexed_lookup`] — the Indexed Lookup Eager algorithm of Xu &
+//!   Papakonstantinou (SIGMOD 2005): iterate the *shortest* posting list and
+//!   binary-search the others, `O(|S₁| · Σ log |Sᵢ| · d)`. This is what the
+//!   search engine uses.
+
+use xsact_xml::{DeweyId, Document, NodeId};
+
+/// Maximum number of keyword lists supported by the bitmask algorithms.
+pub const MAX_KEYWORDS: usize = 64;
+
+fn full_mask(k: usize) -> u64 {
+    assert!(k <= MAX_KEYWORDS, "at most {MAX_KEYWORDS} keywords supported");
+    if k == MAX_KEYWORDS {
+        u64::MAX
+    } else {
+        (1u64 << k) - 1
+    }
+}
+
+/// Computes per-node `(direct, subtree)` keyword masks.
+fn keyword_masks(doc: &Document, lists: &[&[NodeId]]) -> (Vec<u64>, Vec<u64>) {
+    let mut direct = vec![0u64; doc.len()];
+    for (bit, list) in lists.iter().enumerate() {
+        for &node in *list {
+            direct[node.index()] |= 1 << bit;
+        }
+    }
+    let order: Vec<NodeId> = doc.all_nodes().collect();
+    let mut subtree = direct.clone();
+    // Children follow their parent in preorder, so a reverse sweep sees every
+    // node after all of its descendants.
+    for &node in order.iter().rev() {
+        if let Some(parent) = doc.parent(node) {
+            subtree[parent.index()] |= subtree[node.index()];
+        }
+    }
+    (direct, subtree)
+}
+
+/// Full-scan SLCA: returns, in document order, every node whose subtree
+/// contains all keywords while no child subtree does.
+///
+/// Empty input or any empty posting list yields no results (AND semantics).
+pub fn slca_full_scan(doc: &Document, lists: &[&[NodeId]]) -> Vec<NodeId> {
+    if lists.is_empty() || lists.iter().any(|l| l.is_empty()) {
+        return Vec::new();
+    }
+    let full = full_mask(lists.len());
+    let (_, subtree) = keyword_masks(doc, lists);
+    doc.all_nodes()
+        .filter(|&n| {
+            subtree[n.index()] == full
+                && doc.children(n).iter().all(|&c| subtree[c.index()] != full)
+        })
+        .collect()
+}
+
+/// Full-scan ELCA: nodes that contain every keyword *exclusively* — counting
+/// only witnesses not inside an already keyword-complete child subtree.
+///
+/// Every SLCA is an ELCA; the converse does not hold.
+pub fn elca_full_scan(doc: &Document, lists: &[&[NodeId]]) -> Vec<NodeId> {
+    if lists.is_empty() || lists.iter().any(|l| l.is_empty()) {
+        return Vec::new();
+    }
+    let full = full_mask(lists.len());
+    let (direct, subtree) = keyword_masks(doc, lists);
+    doc.all_nodes()
+        .filter(|&n| {
+            let mut exclusive = direct[n.index()];
+            for &c in doc.children(n) {
+                let m = subtree[c.index()];
+                if m != full {
+                    exclusive |= m;
+                }
+            }
+            exclusive == full
+        })
+        .collect()
+}
+
+/// Indexed Lookup Eager SLCA (Xu & Papakonstantinou).
+///
+/// Iterates the shortest posting list; for each of its nodes `v` computes the
+/// smallest LCA of `v` with the *closest* match from every other list (two
+/// binary searches per list), then prunes candidates that are ancestors of
+/// other candidates. Produces exactly the same set as [`slca_full_scan`],
+/// in document order — the property tests in this module enforce that.
+pub fn slca_indexed_lookup(doc: &Document, lists: &[&[NodeId]]) -> Vec<NodeId> {
+    if lists.is_empty() || lists.iter().any(|l| l.is_empty()) {
+        return Vec::new();
+    }
+    // Probe order: shortest list drives the loop, remaining lists sorted by
+    // length so cheap eliminations happen first.
+    let mut order: Vec<usize> = (0..lists.len()).collect();
+    order.sort_by_key(|&i| lists[i].len());
+    let driver = lists[order[0]];
+    let others = &order[1..];
+
+    let mut candidates: Vec<DeweyId> = Vec::with_capacity(driver.len());
+    for &v in driver {
+        let mut x = doc.dewey(v).clone();
+        for &li in others {
+            x = deepest_lca_with_closest(doc, &x, lists[li]);
+        }
+        candidates.push(x);
+    }
+
+    candidates.sort();
+    candidates.dedup();
+    // In lexicographic Dewey order the descendants of a candidate directly
+    // follow it, so an ancestor candidate is detected by its successor.
+    let mut result = Vec::with_capacity(candidates.len());
+    for i in 0..candidates.len() {
+        let is_ancestor_of_next =
+            i + 1 < candidates.len() && candidates[i].is_ancestor_of(&candidates[i + 1]);
+        if !is_ancestor_of_next {
+            if let Some(node) = doc.node_at(&candidates[i]) {
+                result.push(node);
+            }
+        }
+    }
+    result
+}
+
+/// The deepest LCA of `x` with any node of `list` — only the two nodes
+/// adjacent to `x` in document order can achieve it.
+fn deepest_lca_with_closest(doc: &Document, x: &DeweyId, list: &[NodeId]) -> DeweyId {
+    let i = list.partition_point(|&n| doc.dewey(n) < x);
+    let mut best: Option<DeweyId> = None;
+    for neighbour in [i.checked_sub(1).map(|j| list[j]), list.get(i).copied()]
+        .into_iter()
+        .flatten()
+    {
+        if let Some(lca) = x.lca(doc.dewey(neighbour)) {
+            if best.as_ref().is_none_or(|b| lca.depth() > b.depth()) {
+                best = Some(lca);
+            }
+        }
+    }
+    // Nodes of one document always share the root, so `best` is set.
+    best.unwrap_or_else(DeweyId::root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::postings::InvertedIndex;
+    use xsact_xml::parse_document;
+
+    fn run_both(xml: &str, terms: &[&str]) -> (Vec<String>, Vec<String>) {
+        let doc = parse_document(xml).unwrap();
+        let idx = InvertedIndex::build(&doc);
+        let lists: Vec<&[NodeId]> = terms.iter().map(|t| idx.postings(t)).collect();
+        let a = slca_full_scan(&doc, &lists);
+        let b = slca_indexed_lookup(&doc, &lists);
+        let path = |v: Vec<NodeId>| -> Vec<String> {
+            v.into_iter().map(|n| doc.dewey(n).to_string()).collect()
+        };
+        (path(a), path(b))
+    }
+
+    #[test]
+    fn single_keyword_slca_is_match_nodes() {
+        let (full, ile) = run_both("<r><a>k</a><b>k</b></r>", &["k"]);
+        assert_eq!(full, ile);
+        assert_eq!(full, ["0.0", "0.1"]);
+    }
+
+    #[test]
+    fn two_keywords_in_sibling_sections() {
+        // Each section holds both keywords → two SLCAs, root excluded.
+        let xml = "<r><sec><x>k1</x><y>k2</y></sec><sec><x>k1</x><y>k2</y></sec></r>";
+        let (full, ile) = run_both(xml, &["k1", "k2"]);
+        assert_eq!(full, ile);
+        assert_eq!(full, ["0.0", "0.1"]);
+    }
+
+    #[test]
+    fn keywords_split_across_sections_meet_at_root() {
+        let xml = "<r><sec><x>k1</x></sec><sec><y>k2</y></sec></r>";
+        let (full, ile) = run_both(xml, &["k1", "k2"]);
+        assert_eq!(full, ile);
+        assert_eq!(full, ["0"]);
+    }
+
+    #[test]
+    fn missing_keyword_gives_no_results() {
+        let (full, ile) = run_both("<r><a>k1</a></r>", &["k1", "nope"]);
+        assert!(full.is_empty() && ile.is_empty());
+    }
+
+    #[test]
+    fn empty_query_gives_no_results() {
+        let doc = parse_document("<r><a>k</a></r>").unwrap();
+        assert!(slca_full_scan(&doc, &[]).is_empty());
+        assert!(slca_indexed_lookup(&doc, &[]).is_empty());
+        assert!(elca_full_scan(&doc, &[]).is_empty());
+    }
+
+    #[test]
+    fn tag_names_match_keywords() {
+        // `product` matches via the tag, `tomtom` via text.
+        let xml = "<shop><product><name>TomTom</name></product><product><name>Garmin</name></product></shop>";
+        let (full, ile) = run_both(xml, &["product", "tomtom"]);
+        assert_eq!(full, ile);
+        assert_eq!(full, ["0.0"]);
+    }
+
+    #[test]
+    fn nested_matches_prefer_the_smallest() {
+        // Both keywords under <inner>; <outer> also contains them but is not
+        // smallest.
+        let xml = "<r><outer><inner><a>k1</a><b>k2</b></inner><c>k1</c></outer></r>";
+        let (full, ile) = run_both(xml, &["k1", "k2"]);
+        assert_eq!(full, ile);
+        assert_eq!(full, ["0.0.0"]);
+    }
+
+    #[test]
+    fn self_match_single_node_with_both_keywords() {
+        let xml = "<r><a>k1 k2</a><b>k1</b></r>";
+        let (full, ile) = run_both(xml, &["k1", "k2"]);
+        assert_eq!(full, ile);
+        assert_eq!(full, ["0.0"]);
+    }
+
+    #[test]
+    fn three_keywords() {
+        let xml = "<r><s><a>k1</a><b>k2</b><c>k3</c></s><s><a>k1 k2 k3</a></s><s><a>k1</a><b>k2</b></s></r>";
+        let (full, ile) = run_both(xml, &["k1", "k2", "k3"]);
+        assert_eq!(full, ile);
+        assert_eq!(full, ["0.0", "0.1.0"]);
+    }
+
+    #[test]
+    fn elca_includes_root_with_exclusive_witnesses() {
+        // <sec> is keyword-complete; root still owns a spare k1 and k2.
+        let xml = "<r><sec><a>k1</a><b>k2</b></sec><x>k1</x><y>k2</y></r>";
+        let doc = parse_document(xml).unwrap();
+        let idx = InvertedIndex::build(&doc);
+        let lists: Vec<&[NodeId]> = vec![idx.postings("k1"), idx.postings("k2")];
+        let slca: Vec<String> =
+            slca_full_scan(&doc, &lists).iter().map(|&n| doc.dewey(n).to_string()).collect();
+        let elca: Vec<String> =
+            elca_full_scan(&doc, &lists).iter().map(|&n| doc.dewey(n).to_string()).collect();
+        assert_eq!(slca, ["0.0"]);
+        assert_eq!(elca, ["0", "0.0"]);
+    }
+
+    #[test]
+    fn elca_excludes_root_without_exclusive_witnesses() {
+        let xml = "<r><sec><a>k1</a><b>k2</b></sec><x>k1</x></r>";
+        let doc = parse_document(xml).unwrap();
+        let idx = InvertedIndex::build(&doc);
+        let lists: Vec<&[NodeId]> = vec![idx.postings("k1"), idx.postings("k2")];
+        let elca: Vec<String> =
+            elca_full_scan(&doc, &lists).iter().map(|&n| doc.dewey(n).to_string()).collect();
+        assert_eq!(elca, ["0.0"]);
+    }
+
+    #[test]
+    fn every_slca_is_an_elca() {
+        let xml = "<r><s><a>k1</a><b>k2</b></s><s><a>k1 k2</a></s><x>k1</x><y>k2</y></r>";
+        let doc = parse_document(xml).unwrap();
+        let idx = InvertedIndex::build(&doc);
+        let lists: Vec<&[NodeId]> = vec![idx.postings("k1"), idx.postings("k2")];
+        let slca = slca_full_scan(&doc, &lists);
+        let elca = elca_full_scan(&doc, &lists);
+        for n in slca {
+            assert!(elca.contains(&n));
+        }
+    }
+
+    #[test]
+    fn results_in_document_order() {
+        let xml = "<r><s><a>k1</a><b>k2</b></s><s><a>k1</a><b>k2</b></s><s><a>k1</a><b>k2</b></s></r>";
+        let doc = parse_document(xml).unwrap();
+        let idx = InvertedIndex::build(&doc);
+        let lists: Vec<&[NodeId]> = vec![idx.postings("k1"), idx.postings("k2")];
+        for algo in [slca_full_scan, slca_indexed_lookup] {
+            let out = algo(&doc, &lists);
+            for pair in out.windows(2) {
+                assert!(doc.dewey(pair[0]) < doc.dewey(pair[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn full_mask_boundaries() {
+        assert_eq!(full_mask(1), 1);
+        assert_eq!(full_mask(2), 3);
+        assert_eq!(full_mask(64), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64 keywords")]
+    fn too_many_keywords_panics() {
+        full_mask(65);
+    }
+}

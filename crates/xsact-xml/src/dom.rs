@@ -1,0 +1,485 @@
+//! Arena-backed document object model.
+//!
+//! A [`Document`] owns all nodes in a flat arena; nodes are addressed by the
+//! copyable [`NodeId`] handle. Every node carries the [`DeweyId`] assigned at
+//! construction time, which the search layer uses for SLCA computation.
+//!
+//! Documents can be built programmatically (dataset generators do this) or by
+//! the parser in [`crate::parse`].
+
+use crate::dewey::DeweyId;
+use std::fmt;
+
+/// Handle to a node inside a [`Document`]'s arena.
+///
+/// `NodeId`s are only meaningful for the document that created them; using a
+/// handle with a different document yields unspecified (but memory-safe)
+/// results, like indexing a `Vec` with a stale index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// The arena index of this handle.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// What a node is: an element with a tag and attributes, or a text run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeKind {
+    /// An element node, e.g. `<product id="3">`.
+    Element {
+        /// Tag name.
+        tag: String,
+        /// Attributes in document order.
+        attrs: Vec<(String, String)>,
+    },
+    /// A text node. Entity references have already been resolved.
+    Text(String),
+}
+
+#[derive(Debug, Clone)]
+struct NodeData {
+    kind: NodeKind,
+    parent: Option<NodeId>,
+    children: Vec<NodeId>,
+    dewey: DeweyId,
+}
+
+/// An XML document: one root element plus its descendants.
+#[derive(Debug, Clone)]
+pub struct Document {
+    nodes: Vec<NodeData>,
+    root: NodeId,
+}
+
+impl Document {
+    /// Creates a document whose root element has tag `root_tag`.
+    pub fn new(root_tag: impl Into<String>) -> Self {
+        let root_data = NodeData {
+            kind: NodeKind::Element { tag: root_tag.into(), attrs: Vec::new() },
+            parent: None,
+            children: Vec::new(),
+            dewey: DeweyId::root(),
+        };
+        Document { nodes: vec![root_data], root: NodeId(0) }
+    }
+
+    /// The root element.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// The root element, as an `Option` for symmetry with lookups that can
+    /// fail. Always `Some` for a constructed document.
+    pub fn root_element(&self) -> Option<NodeId> {
+        Some(self.root)
+    }
+
+    /// Total number of nodes (elements + text runs) in the document.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Reconstructs a [`NodeId`] from its arena index, e.g. when loading a
+    /// persisted index. Returns `None` when out of range.
+    pub fn node_handle(&self, index: usize) -> Option<NodeId> {
+        if index < self.nodes.len() {
+            Some(NodeId(index as u32))
+        } else {
+            None
+        }
+    }
+
+    /// Whether the document holds only the root element.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    fn data(&self, id: NodeId) -> &NodeData {
+        &self.nodes[id.index()]
+    }
+
+    /// The node's kind.
+    pub fn kind(&self, id: NodeId) -> &NodeKind {
+        &self.data(id).kind
+    }
+
+    /// The element tag, or `""` for a text node.
+    pub fn tag(&self, id: NodeId) -> &str {
+        match &self.data(id).kind {
+            NodeKind::Element { tag, .. } => tag,
+            NodeKind::Text(_) => "",
+        }
+    }
+
+    /// The text of a text node, or `None` for an element.
+    pub fn text(&self, id: NodeId) -> Option<&str> {
+        match &self.data(id).kind {
+            NodeKind::Text(t) => Some(t),
+            NodeKind::Element { .. } => None,
+        }
+    }
+
+    /// Whether `id` is an element node.
+    pub fn is_element(&self, id: NodeId) -> bool {
+        matches!(self.data(id).kind, NodeKind::Element { .. })
+    }
+
+    /// Attributes of an element (empty slice for text nodes).
+    pub fn attrs(&self, id: NodeId) -> &[(String, String)] {
+        match &self.data(id).kind {
+            NodeKind::Element { attrs, .. } => attrs,
+            NodeKind::Text(_) => &[],
+        }
+    }
+
+    /// Looks up an attribute value by name.
+    pub fn attr(&self, id: NodeId, name: &str) -> Option<&str> {
+        self.attrs(id).iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// The node's parent, or `None` for the root.
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.data(id).parent
+    }
+
+    /// The node's children in document order.
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        &self.data(id).children
+    }
+
+    /// Child *elements* in document order (text runs skipped).
+    pub fn child_elements(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.children(id).iter().copied().filter(|&c| self.is_element(c))
+    }
+
+    /// First child element with the given tag.
+    pub fn child_by_tag(&self, id: NodeId, tag: &str) -> Option<NodeId> {
+        self.child_elements(id).find(|&c| self.tag(c) == tag)
+    }
+
+    /// All child elements with the given tag.
+    pub fn children_by_tag<'a>(
+        &'a self,
+        id: NodeId,
+        tag: &'a str,
+    ) -> impl Iterator<Item = NodeId> + 'a {
+        self.child_elements(id).filter(move |&c| self.tag(c) == tag)
+    }
+
+    /// The Dewey identifier assigned to this node.
+    pub fn dewey(&self, id: NodeId) -> &DeweyId {
+        &self.data(id).dewey
+    }
+
+    /// Resolves a Dewey ID back to a node by walking from the root.
+    ///
+    /// Returns `None` if the path leaves the tree or does not start at the
+    /// root component `0`.
+    pub fn node_at(&self, dewey: &DeweyId) -> Option<NodeId> {
+        let comps = dewey.components();
+        if comps.first() != Some(&0) {
+            return None;
+        }
+        let mut cur = self.root;
+        for &ordinal in &comps[1..] {
+            cur = *self.data(cur).children.get(ordinal as usize)?;
+        }
+        Some(cur)
+    }
+
+    /// Appends a child element to `parent`, returning the new node's handle.
+    pub fn add_element(&mut self, parent: NodeId, tag: impl Into<String>) -> NodeId {
+        self.add_node(
+            parent,
+            NodeKind::Element { tag: tag.into(), attrs: Vec::new() },
+        )
+    }
+
+    /// Appends a child element carrying attributes.
+    pub fn add_element_with_attrs(
+        &mut self,
+        parent: NodeId,
+        tag: impl Into<String>,
+        attrs: Vec<(String, String)>,
+    ) -> NodeId {
+        self.add_node(parent, NodeKind::Element { tag: tag.into(), attrs })
+    }
+
+    /// Appends a text child to `parent`.
+    pub fn add_text(&mut self, parent: NodeId, text: impl Into<String>) -> NodeId {
+        self.add_node(parent, NodeKind::Text(text.into()))
+    }
+
+    /// Convenience: appends `<tag>text</tag>` under `parent` and returns the
+    /// element's handle.
+    pub fn add_leaf(
+        &mut self,
+        parent: NodeId,
+        tag: impl Into<String>,
+        text: impl Into<String>,
+    ) -> NodeId {
+        let el = self.add_element(parent, tag);
+        self.add_text(el, text);
+        el
+    }
+
+    /// Adds an attribute to an existing element.
+    ///
+    /// # Panics
+    /// Panics if `id` is a text node.
+    pub fn set_attr(&mut self, id: NodeId, name: impl Into<String>, value: impl Into<String>) {
+        match &mut self.nodes[id.index()].kind {
+            NodeKind::Element { attrs, .. } => attrs.push((name.into(), value.into())),
+            NodeKind::Text(_) => panic!("set_attr on a text node"),
+        }
+    }
+
+    fn add_node(&mut self, parent: NodeId, kind: NodeKind) -> NodeId {
+        let ordinal = self.data(parent).children.len() as u32;
+        let dewey = self.data(parent).dewey.child(ordinal);
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(NodeData { kind, parent: Some(parent), children: Vec::new(), dewey });
+        self.nodes[parent.index()].children.push(id);
+        id
+    }
+
+    /// Iterates the subtree rooted at `start` in document (pre)order,
+    /// including `start` itself.
+    pub fn descendants(&self, start: NodeId) -> Descendants<'_> {
+        Descendants { doc: self, stack: vec![start] }
+    }
+
+    /// Iterates every node of the document in document order.
+    pub fn all_nodes(&self) -> Descendants<'_> {
+        self.descendants(self.root)
+    }
+
+    /// Concatenated text content of the subtree rooted at `id`, with single
+    /// spaces between adjacent text runs.
+    pub fn text_content(&self, id: NodeId) -> String {
+        let mut out = String::new();
+        for node in self.descendants(id) {
+            if let Some(t) = self.text(node) {
+                if !out.is_empty() {
+                    out.push(' ');
+                }
+                out.push_str(t);
+            }
+        }
+        out
+    }
+
+    /// Whether the element's children are all text nodes (or it has none).
+    /// Text nodes themselves are not leaves in this sense.
+    pub fn is_leaf_element(&self, id: NodeId) -> bool {
+        self.is_element(id) && self.children(id).iter().all(|&c| !self.is_element(c))
+    }
+
+    /// Depth of the node (root = 1).
+    pub fn depth(&self, id: NodeId) -> usize {
+        self.data(id).dewey.depth()
+    }
+
+    /// The path of tags from the root to `id`, e.g. `["products", "product",
+    /// "name"]`. Text nodes contribute nothing and return the path to their
+    /// parent element.
+    pub fn tag_path(&self, id: NodeId) -> Vec<&str> {
+        let mut path = Vec::with_capacity(self.depth(id));
+        let mut cur = Some(id);
+        while let Some(n) = cur {
+            if self.is_element(n) {
+                path.push(self.tag(n));
+            }
+            cur = self.parent(n);
+        }
+        path.reverse();
+        path
+    }
+}
+
+/// Pre-order iterator over a subtree. Created by [`Document::descendants`].
+pub struct Descendants<'a> {
+    doc: &'a Document,
+    stack: Vec<NodeId>,
+}
+
+impl Iterator for Descendants<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let next = self.stack.pop()?;
+        // Push children in reverse so the first child is popped first.
+        self.stack.extend(self.doc.children(next).iter().rev());
+        Some(next)
+    }
+}
+
+impl fmt::Display for Document {
+    /// Displays the document as compact XML (no pretty-printing).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let opts = crate::writer::WriteOptions::compact();
+        f.write_str(&crate::writer::write_document(self, &opts))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `<shop><product id="1"><name>TomTom</name><rating>4.2</rating></product>text</shop>`
+    fn sample() -> (Document, NodeId, NodeId, NodeId) {
+        let mut doc = Document::new("shop");
+        let root = doc.root();
+        let product = doc.add_element_with_attrs(
+            root,
+            "product",
+            vec![("id".into(), "1".into())],
+        );
+        let name = doc.add_leaf(product, "name", "TomTom");
+        doc.add_leaf(product, "rating", "4.2");
+        doc.add_text(root, "text");
+        (doc, root, product, name)
+    }
+
+    #[test]
+    fn construction_links_parents_and_children() {
+        let (doc, root, product, name) = sample();
+        assert_eq!(doc.parent(root), None);
+        assert_eq!(doc.parent(product), Some(root));
+        assert_eq!(doc.parent(name), Some(product));
+        assert_eq!(doc.children(root).len(), 2);
+        assert_eq!(doc.children(product).len(), 2);
+        assert_eq!(doc.len(), 7);
+        assert!(!doc.is_empty());
+        assert!(Document::new("x").is_empty());
+    }
+
+    #[test]
+    fn dewey_ids_follow_child_ordinals() {
+        let (doc, root, product, name) = sample();
+        assert_eq!(doc.dewey(root).to_string(), "0");
+        assert_eq!(doc.dewey(product).to_string(), "0.0");
+        assert_eq!(doc.dewey(name).to_string(), "0.0.0");
+        let rating = doc.child_by_tag(product, "rating").unwrap();
+        assert_eq!(doc.dewey(rating).to_string(), "0.0.1");
+    }
+
+    #[test]
+    fn node_at_inverts_dewey() {
+        let (doc, _, _, _) = sample();
+        for node in doc.all_nodes() {
+            assert_eq!(doc.node_at(doc.dewey(node)), Some(node));
+        }
+    }
+
+    #[test]
+    fn node_at_rejects_bad_paths() {
+        let (doc, _, _, _) = sample();
+        assert_eq!(doc.node_at(&DeweyId::from_components(&[1]).unwrap()), None);
+        assert_eq!(doc.node_at(&DeweyId::from_components(&[0, 9]).unwrap()), None);
+        assert_eq!(
+            doc.node_at(&DeweyId::from_components(&[0, 0, 0, 0, 0]).unwrap()),
+            None
+        );
+    }
+
+    #[test]
+    fn attributes_lookup() {
+        let (doc, _, product, _) = sample();
+        assert_eq!(doc.attr(product, "id"), Some("1"));
+        assert_eq!(doc.attr(product, "missing"), None);
+        assert_eq!(doc.attrs(product).len(), 1);
+    }
+
+    #[test]
+    fn set_attr_appends() {
+        let (mut doc, _, product, name) = sample();
+        doc.set_attr(product, "lang", "en");
+        assert_eq!(doc.attr(product, "lang"), Some("en"));
+        assert_eq!(doc.attrs(product).len(), 2);
+        // Text node under `name` cannot take attributes.
+        let text_node = doc.children(name)[0];
+        assert!(!doc.is_element(text_node));
+    }
+
+    #[test]
+    #[should_panic(expected = "set_attr on a text node")]
+    fn set_attr_panics_on_text() {
+        let (mut doc, root, _, _) = sample();
+        let t = doc.add_text(root, "x");
+        doc.set_attr(t, "a", "b");
+    }
+
+    #[test]
+    fn text_accessors() {
+        let (doc, root, product, name) = sample();
+        assert_eq!(doc.text(name), None);
+        let text_node = doc.children(name)[0];
+        assert_eq!(doc.text(text_node), Some("TomTom"));
+        assert_eq!(doc.tag(text_node), "");
+        assert_eq!(doc.text_content(product), "TomTom 4.2");
+        assert_eq!(doc.text_content(root), "TomTom 4.2 text");
+    }
+
+    #[test]
+    fn preorder_traversal_order() {
+        let (doc, root, _, _) = sample();
+        let tags: Vec<String> = doc
+            .descendants(root)
+            .map(|n| {
+                if doc.is_element(n) {
+                    doc.tag(n).to_string()
+                } else {
+                    format!("#{}", doc.text(n).unwrap())
+                }
+            })
+            .collect();
+        assert_eq!(
+            tags,
+            ["shop", "product", "name", "#TomTom", "rating", "#4.2", "#text"]
+        );
+    }
+
+    #[test]
+    fn child_queries() {
+        let (doc, root, product, _) = sample();
+        assert_eq!(doc.child_elements(root).count(), 1);
+        assert_eq!(doc.child_by_tag(product, "name").map(|n| doc.tag(n)), Some("name"));
+        assert_eq!(doc.child_by_tag(product, "nope"), None);
+        assert_eq!(doc.children_by_tag(product, "rating").count(), 1);
+    }
+
+    #[test]
+    fn leaf_detection() {
+        let (doc, root, product, name) = sample();
+        assert!(doc.is_leaf_element(name));
+        assert!(!doc.is_leaf_element(product));
+        assert!(!doc.is_leaf_element(root));
+        let text_node = doc.children(name)[0];
+        assert!(!doc.is_leaf_element(text_node));
+        // An empty element is a leaf.
+        let mut d2 = Document::new("a");
+        let e = d2.add_element(d2.root(), "empty");
+        assert!(d2.is_leaf_element(e));
+    }
+
+    #[test]
+    fn tag_path_skips_text() {
+        let (doc, _, product, name) = sample();
+        assert_eq!(doc.tag_path(name), ["shop", "product", "name"]);
+        let text_node = doc.children(name)[0];
+        assert_eq!(doc.tag_path(text_node), ["shop", "product", "name"]);
+        assert_eq!(doc.tag_path(product), ["shop", "product"]);
+    }
+
+    #[test]
+    fn depth_matches_dewey() {
+        let (doc, root, product, name) = sample();
+        assert_eq!(doc.depth(root), 1);
+        assert_eq!(doc.depth(product), 2);
+        assert_eq!(doc.depth(name), 3);
+    }
+}

@@ -1,0 +1,44 @@
+//! Minimal XML substrate for XSACT.
+//!
+//! The XSACT pipeline consumes structured data stored as XML (the paper's
+//! Product Reviews, Outdoor Retailer and IMDB movie datasets). This crate
+//! provides everything the upper layers need and nothing more:
+//!
+//! * a streaming [`tokenizer`] producing [`Token`]s,
+//! * a parser ([`parse`]) building a [`Document`] — an arena-backed
+//!   DOM whose nodes carry [`DeweyId`] labels (the node encoding used by the
+//!   SLCA algorithms in `xsact-index`),
+//! * entity [`escape`]/unescape helpers,
+//! * a [`writer`] that serialises a document back to text.
+//!
+//! The crate is dependency-free by design (see `DESIGN.md` §2): the node
+//! model is tailored to keyword search (element + text nodes, attributes
+//! folded into child elements at parse time is *not* done — attributes are
+//! preserved, the search layer decides how to treat them).
+//!
+//! # Example
+//!
+//! ```
+//! use xsact_xml::parse_document;
+//!
+//! let doc = parse_document("<products><product><name>TomTom</name></product></products>")
+//!     .expect("well-formed");
+//! let root = doc.root_element().expect("has a root");
+//! assert_eq!(doc.tag(root), "products");
+//! ```
+
+pub mod dewey;
+pub mod dom;
+pub mod error;
+pub mod escape;
+pub mod parse;
+pub mod path;
+pub mod tokenizer;
+pub mod writer;
+
+pub use dewey::DeweyId;
+pub use dom::{Document, NodeId, NodeKind};
+pub use error::{XmlError, XmlResult};
+pub use parse::parse_document;
+pub use tokenizer::{Token, Tokenizer};
+pub use writer::{write_document, WriteOptions};

@@ -1,0 +1,55 @@
+//! Online-shopping scenario on the synthetic Product Reviews dataset
+//! (buzzillions.com substitute): search for GPS devices, compare what
+//! reviewers actually say about each.
+//!
+//! Run with: `cargo run --example shopping_comparison`
+
+use xsact::prelude::*;
+use xsact_core::Algorithm;
+use xsact_data::{ReviewsGen, ReviewsGenConfig};
+
+fn main() {
+    let doc = ReviewsGen::new(ReviewsGenConfig {
+        seed: 2010, // the year the paper appeared
+        products: 27,
+        reviews: (15, 90),
+    })
+    .generate();
+    println!(
+        "generated Product Reviews dataset: {} products, {} XML nodes",
+        doc.children_by_tag(doc.root(), "product").count(),
+        doc.len()
+    );
+    let engine = SearchEngine::build(doc);
+
+    for query_text in ["TomTom GPS", "Garmin GPS", "Nokia phone"] {
+        let query = Query::parse(query_text);
+        let results = engine.search(&query);
+        println!("\n=== query {query}: {} results", results.len());
+        if results.len() < 2 {
+            println!("    (need at least two results to compare)");
+            continue;
+        }
+
+        // A shopper ticks the first few checkboxes and hits "comparison".
+        let selected = &results[..results.len().min(3)];
+        let features: Vec<ResultFeatures> =
+            selected.iter().map(|r| engine.extract_features(r)).collect();
+
+        for algorithm in [Algorithm::Snippet, Algorithm::SingleSwap, Algorithm::MultiSwap] {
+            let outcome =
+                Comparison::new(&features).size_bound(8).run(algorithm);
+            println!(
+                "    {:<12} DoD = {:>3}  ({} rounds, {} moves, {:?})",
+                algorithm.name(),
+                outcome.dod(),
+                outcome.stats.rounds,
+                outcome.stats.moves,
+                outcome.stats.elapsed
+            );
+            if algorithm == Algorithm::MultiSwap {
+                println!("{}", outcome.table());
+            }
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! # XSACT — a comparison tool for structured search results
+//!
+//! Reproduction of *XSACT: A Comparison Tool for Structured Search Results*
+//! (Liu et al., VLDB 2010) and its companion full paper *Structured Search
+//! Result Differentiation* (PVLDB 2009).
+//!
+//! This facade crate re-exports the workspace layers:
+//!
+//! * [`xml`] — XML substrate: parser, DOM with Dewey IDs, writer.
+//! * [`index`] — keyword search engine (XSeek-style): inverted index,
+//!   SLCA/ELCA, result construction.
+//! * [`entity`] — result processor: entity identification and feature
+//!   extraction.
+//! * [`core`] — the paper's contribution: Differentiation Feature Sets,
+//!   the Degree-of-Differentiation objective, and the single-swap /
+//!   multi-swap algorithms.
+//! * [`data`] — dataset generators and the paper's worked example.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use xsact::prelude::*;
+//!
+//! // 1. Load (or generate) an XML dataset and build a search engine.
+//! let doc = xsact::data::fixtures::figure1_document();
+//! let engine = SearchEngine::build(doc);
+//!
+//! // 2. Run a keyword query; each result is an entity subtree.
+//! let results = engine.search(&Query::parse("TomTom GPS"));
+//! assert!(results.len() >= 2);
+//!
+//! // 3. Extract features and generate Differentiation Feature Sets.
+//! let features: Vec<_> = results
+//!     .iter()
+//!     .map(|r| engine.extract_features(r))
+//!     .collect();
+//! let outcome = Comparison::new(&features)
+//!     .size_bound(6)
+//!     .run(Algorithm::MultiSwap);
+//!
+//! // 4. Render the comparison table (paper Figure 2).
+//! println!("{}", outcome.table());
+//! ```
+
+pub use xsact_core as core;
+pub use xsact_data as data;
+pub use xsact_entity as entity;
+pub use xsact_index as index;
+pub use xsact_xml as xml;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use xsact_core::{Algorithm, Comparison, ComparisonOutcome, DfsConfig};
+    pub use xsact_entity::{extract_features, FeatureType, ResultFeatures, StructureSummary};
+    pub use xsact_index::{Query, SearchEngine, SearchResult};
+    pub use xsact_xml::{parse_document, Document};
+}

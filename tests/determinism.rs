@@ -1,0 +1,101 @@
+//! Determinism guarantees: equal seeds and inputs give byte-identical
+//! datasets, identical search results and identical comparison outcomes —
+//! the property that makes every number in EXPERIMENTS.md reproducible.
+
+use xsact::prelude::*;
+use xsact_core::Algorithm;
+use xsact_data::movies::{MovieGenConfig, MoviesGen};
+use xsact_data::{JobsGen, JobsGenConfig, OutdoorGen, OutdoorGenConfig, ReviewsGen, ReviewsGenConfig};
+use xsact_xml::writer::write_subtree;
+
+#[test]
+fn all_generators_are_seed_deterministic() {
+    let movies = |seed| {
+        MoviesGen::new(MovieGenConfig { seed, movies: 40, ..Default::default() }).generate()
+    };
+    let reviews = |seed| {
+        ReviewsGen::new(ReviewsGenConfig { seed, products: 8, reviews: (3, 12) }).generate()
+    };
+    let outdoor = |seed| {
+        OutdoorGen::new(OutdoorGenConfig { seed, products: (5, 15), focus_bias: 0.7 })
+            .generate()
+    };
+    let jobs =
+        |seed| JobsGen::new(JobsGenConfig { seed, openings: (4, 9), focus_bias: 0.7 }).generate();
+
+    for seed in [0u64, 42, 12345] {
+        for (name, gen) in [
+            ("movies", &movies as &dyn Fn(u64) -> xsact_xml::Document),
+            ("reviews", &reviews),
+            ("outdoor", &outdoor),
+            ("jobs", &jobs),
+        ] {
+            let a = gen(seed);
+            let b = gen(seed);
+            assert_eq!(
+                write_subtree(&a, a.root()),
+                write_subtree(&b, b.root()),
+                "{name} seed {seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn different_seeds_give_different_data() {
+    let a = MoviesGen::new(MovieGenConfig { seed: 1, movies: 40, ..Default::default() })
+        .generate();
+    let b = MoviesGen::new(MovieGenConfig { seed: 2, movies: 40, ..Default::default() })
+        .generate();
+    assert_ne!(write_subtree(&a, a.root()), write_subtree(&b, b.root()));
+}
+
+#[test]
+fn full_pipeline_is_deterministic() {
+    let run = || {
+        let doc = MoviesGen::new(MovieGenConfig { movies: 80, ..Default::default() }).generate();
+        let engine = SearchEngine::build(doc);
+        let results = engine.search(&Query::parse("drama family"));
+        let features: Vec<ResultFeatures> = results
+            .iter()
+            .take(5)
+            .map(|r| engine.extract_features(r))
+            .collect();
+        let outcome = Comparison::new(&features).size_bound(5).run(Algorithm::MultiSwap);
+        (outcome.dod(), outcome.table())
+    };
+    let (dod_a, table_a) = run();
+    let (dod_b, table_b) = run();
+    assert_eq!(dod_a, dod_b);
+    assert_eq!(table_a, table_b);
+}
+
+#[test]
+fn index_fingerprint_is_stable_across_rebuilds() {
+    let doc = MoviesGen::new(MovieGenConfig { movies: 30, ..Default::default() }).generate();
+    let f1 = xsact_index::document_fingerprint(&doc);
+    let f2 = xsact_index::document_fingerprint(&doc);
+    assert_eq!(f1, f2);
+    // Round-trip through XML keeps the fingerprint (structure unchanged).
+    let xml = xsact_xml::writer::write_document(&doc, &xsact_xml::WriteOptions::compact());
+    let reparsed = xsact_xml::parse_document(&xml).unwrap();
+    assert_eq!(f1, xsact_index::document_fingerprint(&reparsed));
+}
+
+#[test]
+fn saved_index_round_trips_through_bytes() {
+    let doc = MoviesGen::new(MovieGenConfig { movies: 30, ..Default::default() }).generate();
+    let index = xsact_index::InvertedIndex::build(&doc);
+    let mut bytes = Vec::new();
+    xsact_index::save_index(&doc, &index, &mut bytes).unwrap();
+    let loaded = xsact_index::load_index(&doc, &mut bytes.as_slice()).unwrap();
+    let engine_a = SearchEngine::from_parts(doc.clone(), index);
+    let engine_b = SearchEngine::from_parts(doc, loaded);
+    for q in ["drama family", "war soldier", "the"] {
+        assert_eq!(
+            engine_a.search(&Query::parse(q)),
+            engine_b.search(&Query::parse(q)),
+            "query {q}"
+        );
+    }
+}

@@ -1,0 +1,208 @@
+//! Failure-injection and edge-case tests: malformed inputs, degenerate
+//! configurations, and boundary conditions across the stack.
+
+use xsact::prelude::*;
+use xsact_core::{Algorithm, DfsConfig, Instance};
+use xsact_entity::{FeatureType, ResultFeatures};
+use xsact_xml::XmlError;
+
+// ------------------------------------------------------------ malformed XML
+
+#[test]
+fn malformed_xml_reports_structured_errors() {
+    type Check = fn(&XmlError) -> bool;
+    let cases: Vec<(&str, Check)> = vec![
+        ("<a><b></a>", |e| matches!(e, XmlError::MismatchedTag { .. })),
+        ("<a>", |e| matches!(e, XmlError::UnclosedElements { .. })),
+        ("</a>", |e| matches!(e, XmlError::UnmatchedClose { .. })),
+        ("<a/><b/>", |e| matches!(e, XmlError::MultipleRoots { .. })),
+        ("", |e| matches!(e, XmlError::EmptyDocument)),
+        ("<a>&broken;</a>", |e| matches!(e, XmlError::BadEntity { .. })),
+        ("<a x=1/>", |e| matches!(e, XmlError::UnexpectedChar { .. })),
+        ("<a x=\"1\" x=\"2\"/>", |e| matches!(e, XmlError::DuplicateAttribute { .. })),
+    ];
+    for (input, check) in cases {
+        let err = parse_document(input).expect_err(input);
+        assert!(check(&err), "{input} gave unexpected error {err}");
+        // Every error renders a human-readable message.
+        assert!(!err.to_string().is_empty());
+    }
+}
+
+#[test]
+fn engine_on_trivial_documents() {
+    // A document that is only a root element.
+    let engine = SearchEngine::build(parse_document("<empty/>").unwrap());
+    assert!(engine.search(&Query::parse("anything")).is_empty());
+    // Query matching the root only.
+    let results = engine.search(&Query::parse("empty"));
+    assert_eq!(results.len(), 1);
+    let rf = engine.extract_features(&results[0]);
+    assert_eq!(rf.type_count(), 0);
+}
+
+// ------------------------------------------------------- degenerate configs
+
+fn one_result() -> Vec<ResultFeatures> {
+    vec![ResultFeatures::from_raw(
+        "only",
+        [("e".to_string(), 4)],
+        [(FeatureType::new("e", "x"), "yes".to_string(), 3)],
+    )]
+}
+
+#[test]
+fn single_result_comparison_is_degenerate_but_sound() {
+    for algo in Algorithm::ALL {
+        let outcome = Comparison::new(&one_result()).size_bound(3).run(algo);
+        assert_eq!(outcome.dod(), 0, "{}", algo.name());
+        // The table still renders the result's own features.
+        if algo != Algorithm::Snippet {
+            assert!(outcome.table().contains("only"));
+        }
+    }
+}
+
+#[test]
+fn zero_size_bound_yields_empty_dfss() {
+    let a = ResultFeatures::from_raw(
+        "a",
+        [("e".to_string(), 5)],
+        [(FeatureType::new("e", "x"), "yes".to_string(), 4)],
+    );
+    let b = ResultFeatures::from_raw(
+        "b",
+        [("e".to_string(), 5)],
+        [(FeatureType::new("e", "x"), "yes".to_string(), 1)],
+    );
+    for algo in Algorithm::ALL {
+        let outcome = Comparison::new(&[a.clone(), b.clone()]).size_bound(0).run(algo);
+        assert_eq!(outcome.dod(), 0);
+        for i in 0..2 {
+            assert_eq!(outcome.dfs_size(i), 0);
+        }
+    }
+}
+
+#[test]
+fn results_with_disjoint_types_cannot_differentiate() {
+    let a = ResultFeatures::from_raw(
+        "a",
+        [("e".to_string(), 5)],
+        [(FeatureType::new("e", "only_in_a"), "yes".to_string(), 4)],
+    );
+    let b = ResultFeatures::from_raw(
+        "b",
+        [("e".to_string(), 5)],
+        [(FeatureType::new("e", "only_in_b"), "yes".to_string(), 4)],
+    );
+    for algo in Algorithm::ALL {
+        let outcome = Comparison::new(&[a.clone(), b.clone()]).size_bound(5).run(algo);
+        // Absence is unknown (the paper's NULL analogy): DoD must be 0.
+        assert_eq!(outcome.dod(), 0, "{}", algo.name());
+    }
+}
+
+#[test]
+fn results_with_no_features_at_all() {
+    let empty = |label: &str| {
+        ResultFeatures::from_raw(label, [("e".to_string(), 1)], Vec::<(FeatureType, String, u32)>::new())
+    };
+    let outcome =
+        Comparison::new(&[empty("a"), empty("b")]).size_bound(5).run(Algorithm::MultiSwap);
+    assert_eq!(outcome.dod(), 0);
+    assert_eq!(outcome.dfs_size(0), 0);
+}
+
+#[test]
+fn identical_results_have_zero_dod_under_every_algorithm() {
+    let mk = || {
+        ResultFeatures::from_raw(
+            "same",
+            [("e".to_string(), 10)],
+            [
+                (FeatureType::new("e", "x"), "yes".to_string(), 7),
+                (FeatureType::new("e", "y"), "no".to_string(), 3),
+            ],
+        )
+    };
+    for algo in Algorithm::ALL {
+        let outcome = Comparison::new(&[mk(), mk(), mk()]).size_bound(4).run(algo);
+        assert_eq!(outcome.dod(), 0, "{}", algo.name());
+    }
+}
+
+#[test]
+fn huge_size_bound_is_clamped_to_available_types() {
+    let a = ResultFeatures::from_raw(
+        "a",
+        [("e".to_string(), 5)],
+        [(FeatureType::new("e", "x"), "yes".to_string(), 4)],
+    );
+    let b = ResultFeatures::from_raw(
+        "b",
+        [("e".to_string(), 5)],
+        [(FeatureType::new("e", "x"), "yes".to_string(), 1)],
+    );
+    let outcome =
+        Comparison::new(&[a, b]).size_bound(1_000_000).run(Algorithm::MultiSwap);
+    assert_eq!(outcome.dfs_size(0), 1);
+    assert_eq!(outcome.dod(), 1);
+}
+
+#[test]
+fn extreme_thresholds() {
+    let a = ResultFeatures::from_raw(
+        "a",
+        [("e".to_string(), 10)],
+        [(FeatureType::new("e", "x"), "yes".to_string(), 9)],
+    );
+    let b = ResultFeatures::from_raw(
+        "b",
+        [("e".to_string(), 10)],
+        [(FeatureType::new("e", "x"), "yes".to_string(), 5)],
+    );
+    // x = 0: any gap differentiates.
+    let loose = Comparison::new(&[a.clone(), b.clone()])
+        .threshold(0.0)
+        .size_bound(2)
+        .run(Algorithm::MultiSwap);
+    assert_eq!(loose.dod(), 1);
+    // x = 10_000: a 90% vs 50% gap (0.4) needs to exceed 100 × 0.5 → never.
+    let strict = Comparison::new(&[a, b])
+        .threshold(10_000.0)
+        .size_bound(2)
+        .run(Algorithm::MultiSwap);
+    assert_eq!(strict.dod(), 0);
+}
+
+#[test]
+fn instance_with_zero_entity_instances_is_safe() {
+    // An entity path claimed with 0 instances: ratios are defined as 0.
+    let a = ResultFeatures::from_raw(
+        "a",
+        [("e".to_string(), 0)],
+        [(FeatureType::new("e", "x"), "yes".to_string(), 2)],
+    );
+    let b = ResultFeatures::from_raw(
+        "b",
+        [("e".to_string(), 10)],
+        [(FeatureType::new("e", "x"), "yes".to_string(), 2)],
+    );
+    let inst = Instance::build(&[a, b], DfsConfig::default());
+    // Ratio 0 vs 0.2 → differentiable; must not panic or divide by zero.
+    assert!(inst.differentiable(0, 1, 0));
+}
+
+#[test]
+fn unicode_content_flows_through_the_pipeline() {
+    let xml = "<shop><product><name>Caf\u{e9} Nav \u{2603} GPS</name>\
+               <reviews><review><pros><compact>\u{ff59}\u{ff45}\u{ff53}</compact></pros></review></reviews></product>\
+               <product><name>Plain GPS</name>\
+               <reviews><review><pros><compact>yes</compact></pros></review></reviews></product></shop>";
+    let engine = SearchEngine::build(parse_document(xml).unwrap());
+    let results = engine.search(&Query::parse("caf\u{e9} gps"));
+    assert_eq!(results.len(), 1);
+    let rf = engine.extract_features(&results[0]);
+    assert!(rf.label.contains("Caf\u{e9}"));
+}
