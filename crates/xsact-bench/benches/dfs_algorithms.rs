@@ -1,105 +1,84 @@
-//! Criterion benches for the DFS generation algorithms — the timing side of
-//! the paper's Figure 4(b), plus per-component costs (instance build,
+//! Benches for the DFS generation algorithms — the timing side of the
+//! paper's Figure 4(b), plus per-component costs (instance build, the
 //! exhaustive oracle on a small instance).
 //!
 //! Run with `cargo bench -p xsact-bench --bench dfs_algorithms`.
+//! (Self-timing harness; criterion is unavailable in the offline build.)
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
-use std::time::Duration;
-use xsact_bench::{movie_engine, prepare_qm_queries, FIG4_BOUND, FIG4_RESULT_CAP, FIG4_SEED};
-use xsact_core::{exhaustive, run_algorithm, Algorithm, Comparison, DfsConfig, Instance};
+use xsact::prelude::*;
+use xsact_bench::harness::bench;
+use xsact_bench::{movie_workbench, prepare_qm_queries, FIG4_BOUND, FIG4_RESULT_CAP, FIG4_SEED};
+use xsact_core::{exhaustive, run_algorithm, Instance};
 use xsact_data::fixtures;
-use xsact_entity::ResultFeatures;
-use xsact_index::{Query, SearchEngine};
 
 /// Figure 4(b): one timing series per algorithm over QM1–QM8.
-fn bench_fig4_algorithms(c: &mut Criterion) {
-    let engine = movie_engine(400, FIG4_SEED);
-    let prepared = prepare_qm_queries(&engine, FIG4_RESULT_CAP, FIG4_BOUND);
-    let mut group = c.benchmark_group("fig4b");
-    group.measurement_time(Duration::from_millis(900)).warm_up_time(Duration::from_millis(200));
+fn bench_fig4_algorithms() {
+    let wb = movie_workbench(400, FIG4_SEED);
+    let prepared = prepare_qm_queries(&wb, FIG4_RESULT_CAP, FIG4_BOUND);
     for p in &prepared {
         let Some(inst) = &p.instance else { continue };
         for algo in [Algorithm::SingleSwap, Algorithm::MultiSwap] {
-            group.bench_with_input(
-                BenchmarkId::new(algo.name(), p.label),
-                inst,
-                |b, inst| b.iter(|| black_box(run_algorithm(inst, algo))),
-            );
+            bench("fig4b", &format!("{}/{}", algo.name(), p.label), || run_algorithm(inst, algo));
         }
     }
-    group.finish();
 }
 
 /// Preprocessing cost: building the comparison instance (interning + the
 /// differentiability matrix) from extracted features.
-fn bench_instance_build(c: &mut Criterion) {
-    let engine = movie_engine(400, FIG4_SEED);
-    let prepared = prepare_qm_queries(&engine, FIG4_RESULT_CAP, FIG4_BOUND);
-    let results = engine.search(&Query::parse(&prepared[0].text));
-    let features: Vec<ResultFeatures> = results
-        .iter()
+fn bench_instance_build() {
+    let wb = movie_workbench(400, FIG4_SEED);
+    let prepared = prepare_qm_queries(&wb, FIG4_RESULT_CAP, FIG4_BOUND);
+    let features = wb
+        .query(&prepared[0].text)
+        .expect("QM1 is non-empty")
         .take(FIG4_RESULT_CAP)
-        .map(|r| engine.extract_features(r))
-        .collect();
-    let mut group = c.benchmark_group("preprocess");
-    group.measurement_time(Duration::from_millis(900)).warm_up_time(Duration::from_millis(200));
-    group.bench_function("instance_build_qm1", |b| {
-        b.iter(|| {
-            black_box(Instance::build(
-                &features,
-                DfsConfig { size_bound: FIG4_BOUND, threshold_pct: 10.0 },
-            ))
-        })
+        .features()
+        .expect("QM1 matches the 400-movie dataset");
+    bench("preprocess", "instance_build_qm1", || {
+        Instance::build(&features, DfsConfig { size_bound: FIG4_BOUND, threshold_pct: 10.0 })
     });
-    group.finish();
 }
 
 /// The paper's worked example end-to-end (search → extract → multi-swap →
-/// table), as a single pipeline latency figure.
-fn bench_paper_example_pipeline(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pipeline");
-    group.measurement_time(Duration::from_millis(900)).warm_up_time(Duration::from_millis(200));
-    group.bench_function("figure2_end_to_end", |b| {
-        let engine = SearchEngine::build(fixtures::figure1_document());
-        b.iter(|| {
-            let results = engine.search(&Query::parse(fixtures::PAPER_QUERY));
-            let features: Vec<ResultFeatures> =
-                results.iter().map(|r| engine.extract_features(r)).collect();
-            let outcome = Comparison::new(&features)
-                .size_bound(fixtures::TABLE_BOUND)
-                .run(Algorithm::MultiSwap);
-            black_box(outcome.table())
-        })
+/// table), as a single pipeline latency figure — once cold (cache cleared
+/// every iteration) and once warm (the session cache the Workbench adds).
+fn bench_paper_example_pipeline() {
+    let wb = Workbench::from_document(fixtures::figure1_document());
+    let run = |wb: &Workbench| {
+        let outcome = wb
+            .query(fixtures::PAPER_QUERY)
+            .expect("paper query is non-empty")
+            .size_bound(fixtures::TABLE_BOUND)
+            .compare(Algorithm::MultiSwap)
+            .expect("paper query matches two results");
+        outcome.table()
+    };
+    bench("pipeline", "figure2_end_to_end_cold", || {
+        wb.clear_cache();
+        run(&wb)
     });
-    group.finish();
+    bench("pipeline", "figure2_end_to_end_warm", || run(&wb));
 }
 
 /// The exhaustive oracle on the Figure 1 instance — how expensive exactness
 /// is even on two results.
-fn bench_exhaustive_oracle(c: &mut Criterion) {
-    let engine = SearchEngine::build(fixtures::figure1_document());
-    let results = engine.search(&Query::parse(fixtures::PAPER_QUERY));
-    let features: Vec<ResultFeatures> =
-        results.iter().map(|r| engine.extract_features(r)).collect();
+fn bench_exhaustive_oracle() {
+    let wb = Workbench::from_document(fixtures::figure1_document());
+    let features = wb
+        .query(fixtures::PAPER_QUERY)
+        .expect("paper query is non-empty")
+        .features()
+        .expect("paper query matches two results");
     let inst = Instance::build(
         &features,
         DfsConfig { size_bound: fixtures::TABLE_BOUND, threshold_pct: 10.0 },
     );
-    let mut group = c.benchmark_group("oracle");
-    group.measurement_time(Duration::from_millis(900)).warm_up_time(Duration::from_millis(200));
-    group.bench_function("exhaustive_figure1", |b| {
-        b.iter(|| black_box(exhaustive(&inst, 5_000_000)))
-    });
-    group.finish();
+    bench("oracle", "exhaustive_figure1", || exhaustive(&inst, 5_000_000));
 }
 
-criterion_group!(
-    benches,
-    bench_fig4_algorithms,
-    bench_instance_build,
-    bench_paper_example_pipeline,
-    bench_exhaustive_oracle
-);
-criterion_main!(benches);
+fn main() {
+    bench_fig4_algorithms();
+    bench_instance_build();
+    bench_paper_example_pipeline();
+    bench_exhaustive_oracle();
+}

@@ -1,81 +1,49 @@
-//! Criterion benches for the keyword-search substrate: SLCA algorithms
-//! (Indexed Lookup Eager vs the full-scan baseline), index construction and
+//! Benches for the keyword-search substrate: SLCA algorithms (Indexed
+//! Lookup Eager vs the full-scan baseline), index construction and
 //! end-to-end query latency.
 //!
 //! Run with `cargo bench -p xsact-bench --bench search_engine`.
+//! (Self-timing harness; criterion is unavailable in the offline build.)
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
-use std::time::Duration;
+use xsact_bench::harness::bench;
 use xsact_bench::FIG4_SEED;
 use xsact_data::movies::{qm_queries, MovieGenConfig, MoviesGen};
 use xsact_index::{slca_full_scan, slca_indexed_lookup, InvertedIndex, Query, SearchEngine};
 use xsact_xml::NodeId;
 
-fn bench_slca_algorithms(c: &mut Criterion) {
-    let doc = MoviesGen::new(MovieGenConfig {
-        movies: 400,
-        seed: FIG4_SEED,
-        ..Default::default()
-    })
-    .generate();
+fn bench_slca_algorithms() {
+    let doc = MoviesGen::new(MovieGenConfig { movies: 400, seed: FIG4_SEED, ..Default::default() })
+        .generate();
     let idx = InvertedIndex::build(&doc);
-    let mut group = c.benchmark_group("slca");
-    group.measurement_time(Duration::from_millis(900)).warm_up_time(Duration::from_millis(200));
     // QM1 (broad: long posting lists) and QM8 (narrow).
     for (label, text) in [&qm_queries()[0], &qm_queries()[7]] {
         let terms: Vec<String> = text.split_whitespace().map(str::to_owned).collect();
         let lists: Vec<&[NodeId]> = terms.iter().map(|t| idx.postings(t)).collect();
-        group.bench_with_input(
-            BenchmarkId::new("indexed_lookup_eager", label),
-            &lists,
-            |b, lists| b.iter(|| black_box(slca_indexed_lookup(&doc, lists))),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("full_scan", label),
-            &lists,
-            |b, lists| b.iter(|| black_box(slca_full_scan(&doc, lists))),
-        );
+        bench("slca", &format!("indexed_lookup_eager/{label}"), || {
+            slca_indexed_lookup(&doc, &lists)
+        });
+        bench("slca", &format!("full_scan/{label}"), || slca_full_scan(&doc, &lists));
     }
-    group.finish();
 }
 
-fn bench_index_build(c: &mut Criterion) {
-    let doc = MoviesGen::new(MovieGenConfig {
-        movies: 200,
-        seed: FIG4_SEED,
-        ..Default::default()
-    })
-    .generate();
-    let mut group = c.benchmark_group("index");
-    group
-        .measurement_time(Duration::from_millis(1500))
-        .warm_up_time(Duration::from_millis(300))
-        .sample_size(20);
-    group.bench_function("build_200_movies", |b| {
-        b.iter(|| black_box(InvertedIndex::build(&doc)))
-    });
-    group.finish();
+fn bench_index_build() {
+    let doc = MoviesGen::new(MovieGenConfig { movies: 200, seed: FIG4_SEED, ..Default::default() })
+        .generate();
+    bench("index", "build_200_movies", || InvertedIndex::build(&doc));
 }
 
-fn bench_query_end_to_end(c: &mut Criterion) {
-    let doc = MoviesGen::new(MovieGenConfig {
-        movies: 400,
-        seed: FIG4_SEED,
-        ..Default::default()
-    })
-    .generate();
+fn bench_query_end_to_end() {
+    let doc = MoviesGen::new(MovieGenConfig { movies: 400, seed: FIG4_SEED, ..Default::default() })
+        .generate();
     let engine = SearchEngine::build(doc);
-    let mut group = c.benchmark_group("search");
-    group.measurement_time(Duration::from_millis(900)).warm_up_time(Duration::from_millis(200));
     for (label, text) in [&qm_queries()[0], &qm_queries()[7]] {
         let query = Query::parse(text);
-        group.bench_with_input(BenchmarkId::new("engine_search", label), &query, |b, q| {
-            b.iter(|| black_box(engine.search(q)))
-        });
+        bench("search", &format!("engine_search/{label}"), || engine.search(&query));
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_slca_algorithms, bench_index_build, bench_query_end_to_end);
-criterion_main!(benches);
+fn main() {
+    bench_slca_algorithms();
+    bench_index_build();
+    bench_query_end_to_end();
+}

@@ -1,11 +1,10 @@
-//! Criterion benches for the XML substrate: parsing, serialisation and
-//! feature extraction over the Product Reviews dataset.
+//! Benches for the XML substrate: parsing, serialisation and feature
+//! extraction over the Product Reviews dataset.
 //!
 //! Run with `cargo bench -p xsact-bench --bench xml_substrate`.
+//! (Self-timing harness; criterion is unavailable in the offline build.)
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use std::hint::black_box;
-use std::time::Duration;
+use xsact_bench::harness::{bench, format_duration};
 use xsact_data::{ReviewsGen, ReviewsGenConfig};
 use xsact_entity::{extract_features, StructureSummary};
 use xsact_xml::{parse_document, writer, Document};
@@ -14,37 +13,34 @@ fn dataset() -> Document {
     ReviewsGen::new(ReviewsGenConfig { seed: 42, products: 24, reviews: (20, 60) }).generate()
 }
 
-fn bench_parse_and_write(c: &mut Criterion) {
+fn bench_parse_and_write() {
     let doc = dataset();
     let xml = writer::write_document(&doc, &writer::WriteOptions::compact());
-    let mut group = c.benchmark_group("xml");
-    group
-        .measurement_time(Duration::from_millis(1500))
-        .warm_up_time(Duration::from_millis(300))
-        .throughput(Throughput::Bytes(xml.len() as u64));
-    group.bench_function("parse_reviews_dataset", |b| {
-        b.iter(|| black_box(parse_document(&xml).expect("well-formed")))
+    let parse =
+        bench("xml", "parse_reviews_dataset", || parse_document(&xml).expect("well-formed"));
+    let throughput = xml.len() as f64 / parse.median.as_secs_f64() / (1024.0 * 1024.0);
+    println!(
+        "xml/parse_reviews_dataset: {} of XML, {:.1} MiB/s (median {})",
+        xml.len(),
+        throughput,
+        format_duration(parse.median)
+    );
+    bench("xml", "write_reviews_dataset", || {
+        writer::write_document(&doc, &writer::WriteOptions::compact())
     });
-    group.bench_function("write_reviews_dataset", |b| {
-        b.iter(|| black_box(writer::write_document(&doc, &writer::WriteOptions::compact())))
-    });
-    group.finish();
 }
 
-fn bench_structure_inference(c: &mut Criterion) {
+fn bench_structure_inference() {
     let doc = dataset();
-    let mut group = c.benchmark_group("entity");
-    group.measurement_time(Duration::from_millis(900)).warm_up_time(Duration::from_millis(200));
-    group.bench_function("structure_summary_infer", |b| {
-        b.iter(|| black_box(StructureSummary::infer(&doc)))
-    });
+    bench("entity", "structure_summary_infer", || StructureSummary::infer(&doc));
     let summary = StructureSummary::infer(&doc);
     let product = doc.child_elements(doc.root()).next().expect("a product");
-    group.bench_function("extract_features_one_product", |b| {
-        b.iter(|| black_box(extract_features(&doc, &summary, product, "p")))
+    bench("entity", "extract_features_one_product", || {
+        extract_features(&doc, &summary, product, "p")
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_parse_and_write, bench_structure_inference);
-criterion_main!(benches);
+fn main() {
+    bench_parse_and_write();
+    bench_structure_inference();
+}

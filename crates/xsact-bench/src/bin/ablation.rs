@@ -14,7 +14,9 @@
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use xsact_bench::{movie_engine, prepare_qm_queries, print_row, FIG4_BOUND, FIG4_RESULT_CAP, FIG4_SEED};
+use xsact_bench::{
+    movie_workbench, prepare_qm_queries, print_row, FIG4_BOUND, FIG4_RESULT_CAP, FIG4_SEED,
+};
 use xsact_core::{
     dod_total, exhaustive, greedy_set, multi_swap_from, run_algorithm, single_swap_from,
     snippet_set, Algorithm, DfsConfig, Instance,
@@ -34,19 +36,18 @@ fn threshold_sweep() {
     println!("ablation 1: differentiability threshold x (QM1, 6 results, L = 6)");
     let widths = [8, 10, 10];
     print_row(&["x (%)".into(), "multi".into(), "upper".into()], &widths);
-    let engine = movie_engine(400, FIG4_SEED);
-    let prepared = prepare_qm_queries(&engine, FIG4_RESULT_CAP, FIG4_BOUND);
-    // Instances embed their threshold at build time, so re-extract the QM1
-    // features once and rebuild per x.
-    let results = engine.search(&xsact_index::Query::parse(&prepared[0].text));
-    let feats: Vec<ResultFeatures> = results
-        .iter()
+    let wb = movie_workbench(400, FIG4_SEED);
+    let prepared = prepare_qm_queries(&wb, FIG4_RESULT_CAP, FIG4_BOUND);
+    // Instances embed their threshold at build time, so recall the QM1
+    // features (already cached by the preparation above) and rebuild per x.
+    let feats: Vec<ResultFeatures> = wb
+        .query(&prepared[0].text)
+        .expect("QM1 is non-empty")
         .take(FIG4_RESULT_CAP)
-        .map(|r| engine.extract_features(r))
-        .collect();
+        .features()
+        .expect("QM1 matches the 400-movie dataset");
     for x in [0.0f64, 1.0, 5.0, 10.0, 25.0, 50.0, 100.0, 400.0] {
-        let inst =
-            Instance::build(&feats, DfsConfig { size_bound: FIG4_BOUND, threshold_pct: x });
+        let inst = Instance::build(&feats, DfsConfig { size_bound: FIG4_BOUND, threshold_pct: x });
         let (m, _) = run_algorithm(&inst, Algorithm::MultiSwap);
         print_row(
             &[
@@ -145,8 +146,8 @@ fn restart_ablation() {
         ],
         &widths,
     );
-    let engine = movie_engine(400, FIG4_SEED);
-    let prepared = prepare_qm_queries(&engine, FIG4_RESULT_CAP, FIG4_BOUND);
+    let wb = movie_workbench(400, FIG4_SEED);
+    let prepared = prepare_qm_queries(&wb, FIG4_RESULT_CAP, FIG4_BOUND);
     for p in &prepared {
         let Some(inst) = &p.instance else { continue };
         let mut from_greedy = greedy_set(inst);
@@ -178,12 +179,9 @@ fn restart_ablation() {
 fn annealing_headroom() {
     println!("ablation 5: simulated annealing on top of multi-swap (future-work probe)");
     let widths = [6, 12, 12, 12];
-    print_row(
-        &["query".into(), "multi".into(), "annealed".into(), "upper".into()],
-        &widths,
-    );
-    let engine = movie_engine(400, FIG4_SEED);
-    let prepared = prepare_qm_queries(&engine, FIG4_RESULT_CAP, FIG4_BOUND);
+    print_row(&["query".into(), "multi".into(), "annealed".into(), "upper".into()], &widths);
+    let wb = movie_workbench(400, FIG4_SEED);
+    let prepared = prepare_qm_queries(&wb, FIG4_RESULT_CAP, FIG4_BOUND);
     for p in &prepared {
         let Some(inst) = &p.instance else { continue };
         let (multi, _) = run_algorithm(inst, Algorithm::MultiSwap);
@@ -211,12 +209,9 @@ fn interestingness_tradeoff() {
         "ablation 6: interestingness blending, (DoD, total interestingness) per lambda (L = 4)"
     );
     let widths = [6, 16, 16, 16];
-    print_row(
-        &["query".into(), "lambda 0".into(), "lambda 1".into(), "lambda 5".into()],
-        &widths,
-    );
-    let engine = movie_engine(400, FIG4_SEED);
-    let prepared = prepare_qm_queries(&engine, FIG4_RESULT_CAP, 4);
+    print_row(&["query".into(), "lambda 0".into(), "lambda 1".into(), "lambda 5".into()], &widths);
+    let wb = movie_workbench(400, FIG4_SEED);
+    let prepared = prepare_qm_queries(&wb, FIG4_RESULT_CAP, 4);
     for p in &prepared {
         let Some(inst) = &p.instance else { continue };
         let mut row = vec![p.label.to_string()];

@@ -8,20 +8,16 @@
 //!
 //! Usage: `cargo run -p xsact-bench --bin fig1_stats`
 
+use xsact::prelude::*;
 use xsact_data::fixtures;
-use xsact_index::{Query, SearchEngine};
 
-fn main() {
-    let doc = fixtures::figure1_document();
-    let engine = SearchEngine::build(doc);
-    let results = engine.search(&Query::parse(fixtures::PAPER_QUERY));
-    println!(
-        "query {{TomTom, GPS}} on the Figure 1 dataset: {} results\n",
-        results.len()
-    );
+fn main() -> Result<(), XsactError> {
+    let wb = Workbench::from_document(fixtures::figure1_document());
+    let pipeline = wb.query(fixtures::PAPER_QUERY)?;
+    let results = pipeline.results();
+    println!("query {{TomTom, GPS}} on the Figure 1 dataset: {} results\n", results.len());
 
-    for (i, result) in results.iter().enumerate() {
-        let rf = engine.extract_features(result);
+    for (i, rf) in pipeline.features()?.iter().enumerate() {
         println!("Result {} — {}", i + 1, rf.label);
         println!("  statistics (cf. Figure 1 right-hand panels):");
         for line in rf.stat_panel(8) {
@@ -32,11 +28,12 @@ fn main() {
 
     // The fragment view: the first review subtree of result 1, as the
     // figure's tree diagram shows.
-    let doc = engine.document();
+    let doc = wb.document();
     if let Some(reviews) = doc.child_by_tag(results[0].root, "reviews") {
         if let Some(first) = doc.child_elements(reviews).next() {
             println!("first review fragment of result 1 (cf. the tree in Figure 1):");
             println!("{}", xsact_xml::writer::write_subtree(doc, first));
         }
     }
+    Ok(())
 }

@@ -9,21 +9,15 @@
 //!
 //! Usage: `cargo run -p xsact-bench --bin fig2_table`
 
-use xsact_core::{Algorithm, Comparison};
+use xsact::prelude::*;
 use xsact_data::fixtures;
-use xsact_entity::ResultFeatures;
-use xsact_index::{Query, SearchEngine};
 
-fn main() {
-    let doc = fixtures::figure1_document();
-    let engine = SearchEngine::build(doc);
-    let results = engine.search(&Query::parse(fixtures::PAPER_QUERY));
-    let features: Vec<ResultFeatures> =
-        results.iter().map(|r| engine.extract_features(r)).collect();
+fn main() -> Result<(), XsactError> {
+    let wb = Workbench::from_document(fixtures::figure1_document());
+    let pipeline = wb.query(fixtures::PAPER_QUERY)?;
 
-    let snippet = Comparison::new(&features)
-        .size_bound(fixtures::SNIPPET_BOUND)
-        .run(Algorithm::Snippet);
+    let snippet =
+        pipeline.clone().size_bound(fixtures::SNIPPET_BOUND).compare(Algorithm::Snippet)?;
     println!(
         "snippet DFSs (eXtract-style, L = {}): DoD = {}   [paper: 2]",
         fixtures::SNIPPET_BOUND,
@@ -31,10 +25,9 @@ fn main() {
     );
     println!("{}", snippet.table());
 
+    let table = pipeline.clone().size_bound(fixtures::TABLE_BOUND);
     for algorithm in [Algorithm::SingleSwap, Algorithm::MultiSwap] {
-        let outcome = Comparison::new(&features)
-            .size_bound(fixtures::TABLE_BOUND)
-            .run(algorithm);
+        let outcome = table.compare(algorithm)?;
         println!(
             "{} DFSs (L = {}): DoD = {}   [paper, multi-swap: 5]",
             algorithm.name(),
@@ -46,10 +39,17 @@ fn main() {
         }
     }
 
-    let opt = Comparison::new(&features)
-        .size_bound(fixtures::TABLE_BOUND)
-        .run_exhaustive(5_000_000);
-    if let Some(opt) = opt {
-        println!("exhaustive optimum at L = {}: DoD = {}", fixtures::TABLE_BOUND, opt.dod());
+    match table.compare(Algorithm::Exhaustive { limit: 5_000_000 }) {
+        Ok(opt) => println!(
+            "{} optimum at L = {}: DoD = {}",
+            opt.algorithm.name(),
+            fixtures::TABLE_BOUND,
+            opt.dod()
+        ),
+        Err(XsactError::ExhaustiveLimitExceeded { limit }) => {
+            println!("exhaustive oracle skipped (> {limit} combinations)")
+        }
+        Err(other) => return Err(other),
     }
+    Ok(())
 }

@@ -18,28 +18,27 @@
 
 use std::time::{Duration, Instant};
 use xsact_bench::{
-    movie_engine, prepare_qm_queries, print_row, FIG4_BOUND, FIG4_MOVIES, FIG4_RESULT_CAP,
+    movie_workbench, prepare_qm_queries, print_row, FIG4_BOUND, FIG4_MOVIES, FIG4_RESULT_CAP,
     FIG4_SEED,
 };
 use xsact_core::{dod_total, run_algorithm, Algorithm};
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let movies: usize =
-        args.next().and_then(|a| a.parse().ok()).unwrap_or(FIG4_MOVIES);
+    let movies: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(FIG4_MOVIES);
     let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(FIG4_SEED);
 
     println!("Figure 4 workload: {movies} movies (seed {seed}), result cap {FIG4_RESULT_CAP}, L = {FIG4_BOUND}, x = 10%");
     let t0 = Instant::now();
-    let engine = movie_engine(movies, seed);
+    let wb = movie_workbench(movies, seed);
     println!(
         "dataset + index built in {:?} ({} XML nodes, {} index terms)",
         t0.elapsed(),
-        engine.document().len(),
-        engine.index().stats().terms
+        wb.document().len(),
+        wb.engine().index().stats().terms
     );
     let t1 = Instant::now();
-    let prepared = prepare_qm_queries(&engine, FIG4_RESULT_CAP, FIG4_BOUND);
+    let prepared = prepare_qm_queries(&wb, FIG4_RESULT_CAP, FIG4_BOUND);
     println!("search + feature extraction for 8 queries in {:?}\n", t1.elapsed());
 
     let algorithms = Algorithm::ALL;

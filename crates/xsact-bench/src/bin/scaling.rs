@@ -12,7 +12,7 @@
 //! Usage: `cargo run --release -p xsact-bench --bin scaling`
 
 use std::time::Instant;
-use xsact_bench::{movie_engine, prepare_qm_queries, print_row, FIG4_SEED};
+use xsact_bench::{movie_workbench, prepare_qm_queries, print_row, FIG4_SEED};
 use xsact_core::{dod_total, run_algorithm, Algorithm};
 use xsact_data::movies::{qm_queries, MovieGenConfig, MoviesGen};
 use xsact_index::{Query, SearchEngine};
@@ -38,9 +38,9 @@ fn sweep_result_count() {
         ],
         &widths,
     );
-    let engine = movie_engine(400, FIG4_SEED);
+    let wb = movie_workbench(400, FIG4_SEED);
     for n in [2usize, 4, 6, 8, 12, 16] {
-        let prepared = prepare_qm_queries(&engine, n, 6);
+        let prepared = prepare_qm_queries(&wb, n, 6);
         let Some(inst) = &prepared[0].instance else { continue };
         let t = Instant::now();
         let (s, _) = run_algorithm(inst, Algorithm::SingleSwap);
@@ -71,9 +71,9 @@ fn sweep_size_bound() {
         &["L".into(), "snippet".into(), "greedy".into(), "single".into(), "multi".into()],
         &widths,
     );
-    let engine = movie_engine(400, FIG4_SEED);
+    let wb = movie_workbench(400, FIG4_SEED);
     for bound in [1usize, 2, 3, 4, 6, 8, 12, 16, 24] {
-        let prepared = prepare_qm_queries(&engine, 6, bound);
+        let prepared = prepare_qm_queries(&wb, 6, bound);
         let Some(inst) = &prepared[3].instance else { continue };
         let mut row = vec![bound.to_string()];
         for algo in Algorithm::ALL {

@@ -1,0 +1,130 @@
+//! A tiny self-timing bench harness.
+//!
+//! The build environment is offline, so criterion is unavailable; the
+//! `[[bench]]` targets are plain binaries (`harness = false`) built on this
+//! module instead. It keeps the parts that matter for the paper's tables —
+//! warm-up, multiple timed samples, median/min reporting — and drops the
+//! statistics machinery.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// How long a benchmark warms up and how many samples it takes.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchConfig {
+    /// Warm-up period before sampling starts.
+    pub warm_up: Duration,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Minimum wall-clock time one sample should cover; iterations per
+    /// sample are scaled up until a sample takes at least this long.
+    pub min_sample_time: Duration,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            warm_up: Duration::from_millis(120),
+            samples: 15,
+            min_sample_time: Duration::from_millis(12),
+        }
+    }
+}
+
+/// Timing summary of one benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct Summary {
+    /// Median time per iteration.
+    pub median: Duration,
+    /// Fastest observed time per iteration.
+    pub min: Duration,
+    /// Iterations per timed sample.
+    pub iters_per_sample: u64,
+}
+
+/// Runs `f` under the default configuration and prints one result line,
+/// mirroring `group/name  median  (min)` of the criterion output.
+pub fn bench<T>(group: &str, name: &str, mut f: impl FnMut() -> T) -> Summary {
+    bench_with(BenchConfig::default(), group, name, &mut f)
+}
+
+/// Runs `f` under an explicit configuration and prints one result line.
+pub fn bench_with<T>(
+    cfg: BenchConfig,
+    group: &str,
+    name: &str,
+    f: &mut impl FnMut() -> T,
+) -> Summary {
+    // Warm up and calibrate the per-sample iteration count.
+    let warm_start = Instant::now();
+    let mut warm_iters: u64 = 0;
+    while warm_start.elapsed() < cfg.warm_up || warm_iters == 0 {
+        black_box(f());
+        warm_iters += 1;
+    }
+    let per_iter = warm_start.elapsed() / warm_iters.max(1) as u32;
+    let iters_per_sample = if per_iter.is_zero() {
+        1024
+    } else {
+        (cfg.min_sample_time.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 24) as u64
+    };
+
+    let mut samples: Vec<Duration> = (0..cfg.samples.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            t.elapsed() / iters_per_sample as u32
+        })
+        .collect();
+    samples.sort();
+    let summary = Summary { median: samples[samples.len() / 2], min: samples[0], iters_per_sample };
+    println!(
+        "{group}/{name:<42} {:>12}   (min {:>12}, {} iters/sample)",
+        format_duration(summary.median),
+        format_duration(summary.min),
+        summary.iters_per_sample
+    );
+    summary
+}
+
+/// Human-friendly duration with µs/ms/s scaling.
+pub fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_sane_numbers() {
+        let cfg = BenchConfig {
+            warm_up: Duration::from_millis(2),
+            samples: 3,
+            min_sample_time: Duration::from_micros(200),
+        };
+        let mut work = || (0..100u64).sum::<u64>();
+        let s = bench_with(cfg, "test", "sum", &mut work);
+        assert!(s.min <= s.median);
+        assert!(s.iters_per_sample >= 1);
+    }
+
+    #[test]
+    fn durations_format_with_units() {
+        assert_eq!(format_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(format_duration(Duration::from_micros(3)), "3.00 µs");
+        assert_eq!(format_duration(Duration::from_millis(4)), "4.00 ms");
+        assert_eq!(format_duration(Duration::from_secs(2)), "2.00 s");
+    }
+}

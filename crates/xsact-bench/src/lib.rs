@@ -1,13 +1,17 @@
 //! Shared workload construction for the XSACT benchmark harness.
 //!
-//! Every table/figure binary and every criterion bench builds its inputs
-//! through this module so that the workloads stay consistent across runs
-//! and between the harness and the benches.
+//! Every table/figure binary and every bench builds its inputs through this
+//! module so that the workloads stay consistent across runs and between the
+//! harness and the benches. The workloads run through the [`Workbench`]
+//! facade: one workbench per dataset, so repeated preparations (e.g. the
+//! scaling sweeps that re-prepare the same queries with different caps)
+//! reuse cached features instead of re-extracting them.
 
-use xsact_core::{DfsConfig, Instance};
+use xsact::prelude::*;
+use xsact_core::Instance;
 use xsact_data::movies::{qm_queries, MovieGenConfig, MoviesGen};
-use xsact_entity::ResultFeatures;
-use xsact_index::{Query, SearchEngine};
+
+pub mod harness;
 
 /// Default movie-dataset size for the Figure 4 workload.
 pub const FIG4_MOVIES: usize = 400;
@@ -39,35 +43,29 @@ pub struct PreparedQuery {
     pub instance: Option<Instance>,
 }
 
-/// Builds the movie search engine for the Figure 4 experiments.
-pub fn movie_engine(movies: usize, seed: u64) -> SearchEngine {
+/// Builds the movie-search workbench for the Figure 4 experiments.
+pub fn movie_workbench(movies: usize, seed: u64) -> Workbench {
     let doc = MoviesGen::new(MovieGenConfig { movies, seed, ..Default::default() }).generate();
-    SearchEngine::build(doc)
+    Workbench::from_document(doc)
 }
 
 /// Runs the eight QM queries and preprocesses each into a comparison
-/// instance with the given size bound.
-pub fn prepare_qm_queries(
-    engine: &SearchEngine,
-    result_cap: usize,
-    bound: usize,
-) -> Vec<PreparedQuery> {
+/// instance with the given size bound. Feature extraction goes through the
+/// workbench cache, so only the first preparation per dataset pays it.
+pub fn prepare_qm_queries(wb: &Workbench, result_cap: usize, bound: usize) -> Vec<PreparedQuery> {
     qm_queries()
         .into_iter()
         .map(|(label, text)| {
-            let results = engine.search(&Query::parse(&text));
-            let features: Vec<ResultFeatures> = results
-                .iter()
-                .take(result_cap)
-                .map(|r| engine.extract_features(r))
-                .collect();
-            let instance = (features.len() >= 2).then(|| {
-                Instance::build(
+            let pipeline = wb.query(&text).expect("QM queries are never empty").take(result_cap);
+            let result_count = pipeline.results().len();
+            let instance = match pipeline.features() {
+                Ok(features) if features.len() >= 2 => Some(Instance::build(
                     &features,
                     DfsConfig { size_bound: bound, threshold_pct: 10.0 },
-                )
-            });
-            PreparedQuery { label, text, result_count: results.len(), instance }
+                )),
+                _ => None,
+            };
+            PreparedQuery { label, text, result_count, instance }
         })
         .collect()
 }
@@ -87,8 +85,8 @@ mod tests {
 
     #[test]
     fn prepared_queries_cover_qm1_to_qm8() {
-        let engine = movie_engine(120, 1);
-        let prepared = prepare_qm_queries(&engine, 6, 8);
+        let wb = movie_workbench(120, 1);
+        let prepared = prepare_qm_queries(&wb, 6, 8);
         assert_eq!(prepared.len(), 8);
         assert_eq!(prepared[0].label, "QM1");
         assert_eq!(prepared[7].label, "QM8");
@@ -99,5 +97,16 @@ mod tests {
         for p in prepared.iter().filter_map(|p| p.instance.as_ref()) {
             assert!(p.result_count() <= 6);
         }
+    }
+
+    #[test]
+    fn repeated_preparation_hits_the_feature_cache() {
+        let wb = movie_workbench(80, 1);
+        prepare_qm_queries(&wb, 4, 6);
+        let first = wb.cache_stats();
+        prepare_qm_queries(&wb, 4, 6);
+        let second = wb.cache_stats();
+        assert_eq!(first.misses, second.misses, "second pass re-extracted features");
+        assert!(second.hits > first.hits);
     }
 }

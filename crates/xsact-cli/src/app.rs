@@ -1,75 +1,65 @@
 //! The demo application: dataset loading, search, selection, comparison —
-//! the terminal analogue of the paper's Figure 5 result page.
+//! the terminal analogue of the paper's Figure 5 result page, wired through
+//! the [`Workbench`] pipeline with typed errors.
 
 use crate::args::{Args, Dataset};
-use xsact_core::{Comparison, ComparisonOutcome};
+use xsact::prelude::*;
 use xsact_data::{
     fixtures, JobsGen, JobsGenConfig, MovieGenConfig, MoviesGen, OutdoorGen, OutdoorGenConfig,
     ReviewsGen, ReviewsGenConfig,
 };
-use xsact_entity::ResultFeatures;
-use xsact_index::{Query, SearchEngine, SearchResult};
-use xsact_xml::Document;
 
 /// Loads the chosen dataset.
 pub fn load_dataset(args: &Args) -> Document {
     match args.dataset {
         Dataset::Figure1 => fixtures::figure1_document(),
-        Dataset::Reviews => ReviewsGen::new(ReviewsGenConfig {
-            seed: args.seed,
-            ..Default::default()
-        })
-        .generate(),
-        Dataset::Outdoor => OutdoorGen::new(OutdoorGenConfig {
-            seed: args.seed,
-            ..Default::default()
-        })
-        .generate(),
-        Dataset::Movies => MoviesGen::new(MovieGenConfig {
-            seed: args.seed,
-            movies: 250,
-            ..Default::default()
-        })
-        .generate(),
-        Dataset::Jobs => JobsGen::new(JobsGenConfig {
-            seed: args.seed,
-            ..Default::default()
-        })
-        .generate(),
+        Dataset::Reviews => {
+            ReviewsGen::new(ReviewsGenConfig { seed: args.seed, ..Default::default() }).generate()
+        }
+        Dataset::Outdoor => {
+            OutdoorGen::new(OutdoorGenConfig { seed: args.seed, ..Default::default() }).generate()
+        }
+        Dataset::Movies => {
+            MoviesGen::new(MovieGenConfig { seed: args.seed, movies: 250, ..Default::default() })
+                .generate()
+        }
+        Dataset::Jobs => {
+            JobsGen::new(JobsGenConfig { seed: args.seed, ..Default::default() }).generate()
+        }
     }
 }
 
 /// One full demo run. Returns the text to print, so the logic is testable
 /// without capturing stdout.
-pub fn run(args: &Args) -> Result<String, String> {
+pub fn run(args: &Args) -> Result<String, XsactError> {
     let mut out = String::new();
-    let doc = load_dataset(args);
-    out.push_str(&format!(
-        "dataset: {:?} ({} XML nodes)\n",
-        args.dataset,
-        doc.len()
-    ));
-    let engine = SearchEngine::build(doc);
-    let query = Query::parse(&args.query);
-    if query.is_empty() {
-        return Err("the query contains no search terms".to_owned());
-    }
+    let wb = Workbench::from_document(load_dataset(args));
+    out.push_str(&format!("dataset: {:?} ({} XML nodes)\n", args.dataset, wb.document().len()));
+
+    let mut pipeline = wb
+        .query(&args.query)?
+        .semantics(args.semantics)
+        .ranked(args.ranked)
+        .size_bound(args.bound)
+        .threshold(args.threshold);
+    pipeline = if args.select.is_empty() {
+        pipeline.take(4) // the demo defaults to the first four checkboxes
+    } else {
+        pipeline.select(args.select.iter().copied())
+    };
+    let query = pipeline.query_text();
+
+    // Result list with snippet-ish labels (Figure 5's result page).
     let results = if args.ranked {
-        let ranked = engine.search_ranked(&query);
+        let ranked = pipeline.ranked_results();
         out.push_str(&format!("query {query}: {} results (ranked)\n", ranked.len()));
         for (i, (r, score)) in ranked.iter().enumerate() {
-            out.push_str(&format!(
-                "  [{:>2}] {}  (score {:.3})\n",
-                i + 1,
-                r.label,
-                score.score
-            ));
+            out.push_str(&format!("  [{:>2}] {}  (score {:.3})\n", i + 1, r.label, score.score));
         }
         ranked.into_iter().map(|(r, _)| r).collect::<Vec<_>>()
     } else {
-        let results = engine.search_with(&query, args.semantics);
+        let results = pipeline.results();
         out.push_str(&format!("query {query}: {} results\n", results.len()));
-        // Result list with snippet-ish labels (Figure 5's result page).
         for (i, r) in results.iter().enumerate() {
             out.push_str(&format!("  [{:>2}] {}\n", i + 1, r.label));
         }
@@ -80,8 +70,8 @@ pub fn run(args: &Args) -> Result<String, String> {
         return Ok(out);
     }
 
-    // Selection: the ticked checkboxes.
-    let selected = select_results(&results, &args.select)?;
+    // Selection: the ticked checkboxes (typed out-of-range errors).
+    let selected = pipeline.selection()?;
     out.push_str(&format!(
         "\ncomparing {} results (L = {}, x = {}%, {}):\n",
         selected.len(),
@@ -90,11 +80,9 @@ pub fn run(args: &Args) -> Result<String, String> {
         args.algorithm.name()
     ));
 
-    let features: Vec<ResultFeatures> =
-        selected.iter().map(|r| engine.extract_features(r)).collect();
-
     if args.stats {
-        for rf in &features {
+        for r in &selected {
+            let rf = wb.features_for(r);
             out.push_str(&format!("\nstatistics of {}:\n", rf.label));
             for line in rf.stat_panel(6) {
                 out.push_str(&format!("  {line}\n"));
@@ -104,20 +92,17 @@ pub fn run(args: &Args) -> Result<String, String> {
     }
     if args.show_xml {
         for r in &selected {
-            out.push_str(&format!("\n{}\n", engine.result_xml(r)));
+            out.push_str(&format!("\n{}\n", wb.result_xml(r)));
         }
         out.push('\n');
     }
 
-    if features.len() < 2 {
+    if selected.len() < 2 {
         out.push_str("(need at least two selected results for a comparison table)\n");
         return Ok(out);
     }
 
-    let outcome: ComparisonOutcome = Comparison::new(&features)
-        .size_bound(args.bound)
-        .threshold(args.threshold)
-        .run(args.algorithm);
+    let outcome: ComparisonOutcome = pipeline.compare(args.algorithm)?;
     out.push_str(&outcome.table());
     out.push_str(&format!(
         "DoD = {} (upper bound {}), {} rounds, {} moves, {:?}\n",
@@ -128,26 +113,6 @@ pub fn run(args: &Args) -> Result<String, String> {
         outcome.stats.elapsed
     ));
     Ok(out)
-}
-
-/// Applies the `--select` list (1-based), defaulting to the first four
-/// results.
-fn select_results(
-    results: &[SearchResult],
-    select: &[usize],
-) -> Result<Vec<SearchResult>, String> {
-    if select.is_empty() {
-        return Ok(results.iter().take(4).cloned().collect());
-    }
-    select
-        .iter()
-        .map(|&i| {
-            results
-                .get(i - 1)
-                .cloned()
-                .ok_or_else(|| format!("--select {i} is out of range (1..={})", results.len()))
-        })
-        .collect()
 }
 
 #[cfg(test)]
@@ -223,10 +188,11 @@ mod tests {
     }
 
     #[test]
-    fn bad_selection_is_reported() {
+    fn bad_selection_is_a_typed_error() {
         let a = args_for("figure1", &["--select", "9"]);
         let err = run(&a).unwrap_err();
-        assert!(err.contains("out of range"));
+        assert!(matches!(err, XsactError::InvalidSelection { index: 9, available: 2 }));
+        assert!(err.to_string().contains("out of range"));
     }
 
     #[test]
@@ -238,8 +204,8 @@ mod tests {
     }
 
     #[test]
-    fn empty_query_is_an_error() {
+    fn empty_query_is_a_typed_error() {
         let a = args_for("figure1", &["--query", "!!!"]);
-        assert!(run(&a).is_err());
+        assert!(matches!(run(&a), Err(XsactError::EmptyQuery)));
     }
 }

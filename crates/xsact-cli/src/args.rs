@@ -121,9 +121,8 @@ where
 {
     let mut args = Args::default();
     while let Some(flag) = argv.next() {
-        let mut value = |name: &str| {
-            argv.next().ok_or_else(|| ArgError(format!("{name} requires a value")))
-        };
+        let mut value =
+            |name: &str| argv.next().ok_or_else(|| ArgError(format!("{name} requires a value")));
         match flag.as_str() {
             "--dataset" => args.dataset = Dataset::parse(&value("--dataset")?)?,
             "--query" => args.query = value("--query")?,
@@ -222,8 +221,21 @@ mod tests {
     #[test]
     fn full_flag_set() {
         let a = parse_ok(&[
-            "--dataset", "movies", "--query", "war soldier", "--bound", "5", "--threshold",
-            "25", "--algorithm", "single-swap", "--select", "1,3,4", "--seed", "9", "--stats",
+            "--dataset",
+            "movies",
+            "--query",
+            "war soldier",
+            "--bound",
+            "5",
+            "--threshold",
+            "25",
+            "--algorithm",
+            "single-swap",
+            "--select",
+            "1,3,4",
+            "--seed",
+            "9",
+            "--stats",
             "--xml",
         ]);
         assert_eq!(a.dataset, Dataset::Movies);

@@ -33,12 +33,7 @@ pub struct AnnealingConfig {
 
 impl Default for AnnealingConfig {
     fn default() -> Self {
-        AnnealingConfig {
-            seed: 2010,
-            iterations: 4_000,
-            initial_temperature: 2.0,
-            cooling: 0.999,
-        }
+        AnnealingConfig { seed: 2010, iterations: 4_000, initial_temperature: 2.0, cooling: 0.999 }
     }
 }
 
@@ -274,12 +269,8 @@ mod tests {
         // at the end of each run; exercise many seeds and move mixes.
         let inst = inst();
         for seed in 0..20 {
-            let cfg = AnnealingConfig {
-                seed,
-                iterations: 500,
-                initial_temperature: 3.0,
-                cooling: 0.99,
-            };
+            let cfg =
+                AnnealingConfig { seed, iterations: 500, initial_temperature: 3.0, cooling: 0.99 };
             let start = crate::snippet::snippet_set(&inst);
             let (set, dod) = anneal_from(&inst, start, &cfg);
             assert_eq!(dod, dod_total(&inst, &set), "seed {seed}");

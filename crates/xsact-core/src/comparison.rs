@@ -24,10 +24,22 @@ pub enum Algorithm {
     SingleSwap,
     /// The paper's multi-swap optimal dynamic-programming local search.
     MultiSwap,
+    /// The exhaustive oracle: full enumeration of the DFS combination
+    /// space, bounded by `limit` combinations. Exponential — only feasible
+    /// on small instances; [`Comparison::run_exhaustive`] reports the
+    /// blow-up as `None`, and the `Workbench` facade as a typed error.
+    Exhaustive {
+        /// Maximum number of DFS combinations to enumerate before giving
+        /// up.
+        limit: u64,
+    },
 }
 
 impl Algorithm {
-    /// All algorithms, in cheap-to-expensive order.
+    /// The polynomial-time algorithms, in cheap-to-expensive order. The
+    /// [`Algorithm::Exhaustive`] oracle is deliberately excluded: it is
+    /// exponential and parameterised, so sweeps that iterate `ALL` stay
+    /// tractable on any instance size.
     pub const ALL: [Algorithm; 4] =
         [Algorithm::Snippet, Algorithm::Greedy, Algorithm::SingleSwap, Algorithm::MultiSwap];
 
@@ -38,6 +50,7 @@ impl Algorithm {
             Algorithm::Greedy => "greedy",
             Algorithm::SingleSwap => "single-swap",
             Algorithm::MultiSwap => "multi-swap",
+            Algorithm::Exhaustive { .. } => "exhaustive",
         }
     }
 }
@@ -108,7 +121,17 @@ impl Comparison {
     }
 
     /// Generates DFSs with the chosen algorithm.
+    ///
+    /// For [`Algorithm::Exhaustive`] this panics when the combination count
+    /// exceeds the variant's limit; use [`Comparison::run_exhaustive`] (or
+    /// the `Workbench` facade, which returns a typed error) when the
+    /// instance size is not known in advance.
     pub fn run(&self, algorithm: Algorithm) -> ComparisonOutcome {
+        if let Algorithm::Exhaustive { limit } = algorithm {
+            return self
+                .run_exhaustive(limit)
+                .expect("exhaustive enumeration exceeds its combination limit");
+        }
         let instance = self.instance();
         let start = Instant::now();
         let (set, swap_stats) = run_algorithm(&instance, algorithm);
@@ -124,7 +147,8 @@ impl Comparison {
     }
 
     /// Exhaustive optimum, if the instance is small enough that at most
-    /// `limit` DFS combinations must be enumerated. `None` otherwise.
+    /// `limit` DFS combinations must be enumerated. `None` otherwise. The
+    /// outcome is labelled [`Algorithm::Exhaustive`].
     pub fn run_exhaustive(&self, limit: u64) -> Option<ComparisonOutcome> {
         let instance = self.instance();
         let start = Instant::now();
@@ -134,7 +158,7 @@ impl Comparison {
             instance,
             set,
             dod,
-            algorithm: Algorithm::MultiSwap, // closest label; see `stats`
+            algorithm: Algorithm::Exhaustive { limit },
             stats: RunStats { rounds: 0, moves: 0, elapsed },
         })
     }
@@ -142,12 +166,21 @@ impl Comparison {
 
 /// Runs `algorithm` on a prebuilt instance. The bench harness calls this
 /// directly to exclude preprocessing from timings.
+///
+/// Panics if an [`Algorithm::Exhaustive`] run exceeds its combination
+/// limit — callers that cannot bound the instance should go through
+/// [`Comparison::run_exhaustive`] instead.
 pub fn run_algorithm(inst: &Instance, algorithm: Algorithm) -> (DfsSet, SwapStats) {
     match algorithm {
         Algorithm::Snippet => (snippet_set(inst), SwapStats::default()),
         Algorithm::Greedy => (greedy_set(inst), SwapStats::default()),
         Algorithm::SingleSwap => crate::single_swap::single_swap(inst),
         Algorithm::MultiSwap => crate::multi_swap::multi_swap(inst),
+        Algorithm::Exhaustive { limit } => {
+            let (set, _) = exhaustive(inst, limit)
+                .expect("exhaustive enumeration exceeds its combination limit");
+            (set, SwapStats::default())
+        }
     }
 }
 
@@ -253,13 +286,30 @@ mod tests {
     }
 
     #[test]
+    fn exhaustive_outcome_is_labelled_exhaustive() {
+        let c = Comparison::new(&results()).size_bound(3);
+        let opt = c.run_exhaustive(100_000).unwrap();
+        assert_eq!(opt.algorithm, Algorithm::Exhaustive { limit: 100_000 });
+        assert_eq!(opt.algorithm.name(), "exhaustive");
+        // `run` accepts the variant and produces the same label and DoD.
+        let via_run = c.run(Algorithm::Exhaustive { limit: 100_000 });
+        assert_eq!(via_run.algorithm, opt.algorithm);
+        assert_eq!(via_run.dod(), opt.dod());
+    }
+
+    #[test]
+    fn exhaustive_over_limit_is_none() {
+        let c = Comparison::new(&results()).size_bound(3);
+        assert!(c.run_exhaustive(1).is_none());
+    }
+
+    #[test]
     fn outcome_exposes_selections() {
         let c = Comparison::new(&results()).size_bound(3);
         let out = c.run(Algorithm::MultiSwap);
         assert_eq!(out.labels(), ["A", "B"]);
         assert_eq!(out.dfs_size(0), 3);
-        let attrs: Vec<&str> =
-            out.selected_types(0).iter().map(|t| t.attribute.as_str()).collect();
+        let attrs: Vec<&str> = out.selected_types(0).iter().map(|t| t.attribute.as_str()).collect();
         assert_eq!(attrs, ["same", "x", "y"]);
         assert!(out.table().contains("A"));
     }

@@ -139,9 +139,7 @@ pub struct DfsSet {
 impl DfsSet {
     /// One empty DFS per result.
     pub fn empty(inst: &Instance) -> Self {
-        DfsSet {
-            dfss: vec![Dfs::empty(inst.entities.len()); inst.result_count()],
-        }
+        DfsSet { dfss: vec![Dfs::empty(inst.entities.len()); inst.result_count()] }
     }
 
     /// Wraps pre-built DFSs.
@@ -263,8 +261,7 @@ mod tests {
         d.grow(&inst, 0, r);
         d.grow(&inst, 0, r);
         let selected = d.selected_types(&inst, 0);
-        let attrs: Vec<&str> =
-            selected.iter().map(|&t| inst.types[t].attribute.as_str()).collect();
+        let attrs: Vec<&str> = selected.iter().map(|&t| inst.types[t].attribute.as_str()).collect();
         // x (9) then y (5) — never z before y.
         assert_eq!(attrs, ["x", "y"]);
     }

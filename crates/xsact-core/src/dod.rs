@@ -35,9 +35,7 @@ pub fn dod_total(inst: &Instance, set: &DfsSet) -> u32 {
 /// selects `t` and is differentiable from `i` on it.
 pub fn type_weight(inst: &Instance, set: &DfsSet, i: usize, t: TypeId) -> u32 {
     (0..set.len())
-        .filter(|&j| {
-            j != i && set.dfs(j).contains(inst, j, t) && inst.differentiable(i, j, t)
-        })
+        .filter(|&j| j != i && set.dfs(j).contains(inst, j, t) && inst.differentiable(i, j, t))
         .count() as u32
 }
 
@@ -61,10 +59,7 @@ pub fn all_type_weights(inst: &Instance, set: &DfsSet, i: usize) -> Vec<u32> {
 /// DoD contribution of result `i`'s DFS against all the others — the part of
 /// the total that changes when only `Di` changes.
 pub fn result_contribution(inst: &Instance, set: &DfsSet, i: usize, di: &Dfs) -> u32 {
-    di.selected_types(inst, i)
-        .into_iter()
-        .map(|t| type_weight(inst, set, i, t))
-        .sum()
+    di.selected_types(inst, i).into_iter().map(|t| type_weight(inst, set, i, t)).sum()
 }
 
 /// Marginal DoD change from toggling a single type `t` in result `i`'s
@@ -75,9 +70,8 @@ pub fn result_contribution(inst: &Instance, set: &DfsSet, i: usize, di: &Dfs) ->
 /// `t` to `Di` raises the total by exactly this amount, removing it lowers
 /// it by the same — no other pair is affected.
 pub fn toggle_delta(inst: &Instance, masks: &[Vec<bool>], i: usize, t: TypeId) -> u32 {
-    (0..masks.len())
-        .filter(|&j| j != i && masks[j][t] && inst.differentiable(i, j, t))
-        .count() as u32
+    (0..masks.len()).filter(|&j| j != i && masks[j][t] && inst.differentiable(i, j, t)).count()
+        as u32
 }
 
 /// The *potential* of each of result `i`'s types: the number of other
@@ -109,9 +103,8 @@ pub fn dod_upper_bound(inst: &Instance) -> u32 {
     let mut total = 0;
     for i in 0..n {
         for j in (i + 1)..n {
-            total += (0..inst.type_count())
-                .filter(|&t| inst.differentiable(i, j, t))
-                .count() as u32;
+            total +=
+                (0..inst.type_count()).filter(|&t| inst.differentiable(i, j, t)).count() as u32;
         }
     }
     total
@@ -133,10 +126,8 @@ mod tests {
     /// * type `c`: only in results 0 and 1, differentiable
     fn inst() -> Instance {
         let mk = |label: &str, a: u32, c: Option<u32>| {
-            let mut triplets = vec![
-                (ty("a"), "yes".to_string(), a),
-                (ty("b"), "yes".to_string(), 5),
-            ];
+            let mut triplets =
+                vec![(ty("a"), "yes".to_string(), a), (ty("b"), "yes".to_string(), 5)];
             if let Some(c) = c {
                 triplets.push((ty("c"), "yes".to_string(), c));
             }
@@ -149,9 +140,8 @@ mod tests {
     }
 
     fn full_set(inst: &Instance) -> DfsSet {
-        let dfss = (0..inst.result_count())
-            .map(|i| Dfs::from_prefixes(inst, i, &[usize::MAX]))
-            .collect();
+        let dfss =
+            (0..inst.result_count()).map(|i| Dfs::from_prefixes(inst, i, &[usize::MAX])).collect();
         DfsSet::from_dfss(inst, dfss)
     }
 
@@ -229,9 +219,8 @@ mod tests {
         let mut set = full_set(&inst);
         // Restrict r1 to one type so toggling r0's types changes pair DoD.
         set.replace(1, Dfs::from_prefixes(&inst, 1, &[1]));
-        let masks: Vec<Vec<bool>> = (0..set.len())
-            .map(|i| set.dfs(i).selection_mask(&inst, i))
-            .collect();
+        let masks: Vec<Vec<bool>> =
+            (0..set.len()).map(|i| set.dfs(i).selection_mask(&inst, i)).collect();
         // Toggling each of r0's selected types off must change the total by
         // exactly toggle_delta.
         let before = dod_total(&inst, &set);

@@ -36,11 +36,9 @@ pub fn type_interestingness(inst: &Instance, i: usize, t: TypeId) -> f64 {
         return 0.0;
     }
     let bearing = peers.len() + 1;
-    let sharing =
-        1 + peers.iter().filter(|p| p.value == cell.value).count();
-    let value_surprise = -( (sharing as f64) / (bearing as f64) ).ln();
-    let mean_ratio =
-        (cell.ratio + peers.iter().map(|p| p.ratio).sum::<f64>()) / bearing as f64;
+    let sharing = 1 + peers.iter().filter(|p| p.value == cell.value).count();
+    let value_surprise = -((sharing as f64) / (bearing as f64)).ln();
+    let mean_ratio = (cell.ratio + peers.iter().map(|p| p.ratio).sum::<f64>()) / bearing as f64;
     let ratio_deviation = (cell.ratio - mean_ratio).abs();
     value_surprise + ratio_deviation
 }
@@ -84,15 +82,9 @@ pub fn interesting_set(inst: &Instance, lambda: f64) -> DfsSet {
             let mut best: Option<((u32, f64, f64), usize)> = None;
             for e in 0..inst.entities.len() {
                 let Some(t) = dfs.next_type(inst, i, e) else { continue };
-                let sig = inst.results[i].cells[t]
-                    .as_ref()
-                    .expect("ranked type has a cell")
-                    .sig_ratio;
-                let key = (
-                    weights[t],
-                    f64::from(potentials[t]) + lambda * interest[t],
-                    sig,
-                );
+                let sig =
+                    inst.results[i].cells[t].as_ref().expect("ranked type has a cell").sig_ratio;
+                let key = (weights[t], f64::from(potentials[t]) + lambda * interest[t], sig);
                 let better = match &best {
                     None => true,
                     Some((cur, _)) => {

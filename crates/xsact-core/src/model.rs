@@ -116,8 +116,7 @@ impl Instance {
         let types: Vec<FeatureType> = type_set.into_iter().cloned().collect();
         let entity_idx =
             |path: &str| entities.binary_search_by(|e| e.as_str().cmp(path)).expect("interned");
-        let entity_of: Vec<EntityIdx> =
-            types.iter().map(|t| entity_idx(&t.entity)).collect();
+        let entity_of: Vec<EntityIdx> = types.iter().map(|t| entity_idx(&t.entity)).collect();
         let type_idx = |ty: &FeatureType| types.binary_search(ty).expect("interned");
 
         // Per-result views.
@@ -297,8 +296,7 @@ mod tests {
         let inst = instance();
         let review = inst.entities.iter().position(|e| e == "review").unwrap();
         let ranked = &inst.results[0].ranked[review];
-        let attrs: Vec<&str> =
-            ranked.iter().map(|&t| inst.types[t].attribute.as_str()).collect();
+        let attrs: Vec<&str> = ranked.iter().map(|&t| inst.types[t].attribute.as_str()).collect();
         assert_eq!(
             attrs,
             ["pros:easy_to_read", "pros:compact", "best_use:auto", "pros:large_screen"]
@@ -320,11 +318,7 @@ mod tests {
     #[test]
     fn cells_hold_dominant_value_and_ratio() {
         let inst = instance();
-        let compact = inst
-            .types
-            .iter()
-            .position(|t| t.attribute == "pros:compact")
-            .unwrap();
+        let compact = inst.types.iter().position(|t| t.attribute == "pros:compact").unwrap();
         let cell = inst.results[0].cells[compact].as_ref().unwrap();
         assert_eq!(cell.value, "yes");
         assert_eq!(cell.count, 8);

@@ -96,10 +96,7 @@ fn combined(weight: u32, potential: u32) -> u64 {
 }
 
 fn dfs_value(inst: &Instance, i: usize, dfs: &Dfs, weights: &[u32], potentials: &[u32]) -> u64 {
-    dfs.selected_types(inst, i)
-        .into_iter()
-        .map(|t| combined(weights[t], potentials[t]))
-        .sum()
+    dfs.selected_types(inst, i).into_iter().map(|t| combined(weights[t], potentials[t])).sum()
 }
 
 /// The optimal valid DFS for result `i` given fixed per-type values — the
@@ -217,14 +214,8 @@ mod tests {
                     .collect::<Vec<_>>(),
             )
         };
-        let a = mk(
-            "A",
-            vec![("e.p", 9), ("e.q", 8), ("e.r", 2), ("f.u", 4), ("f.v", 1)],
-        );
-        let b = mk(
-            "B",
-            vec![("e.p", 9), ("e.q", 3), ("e.r", 7), ("f.u", 1), ("f.v", 1)],
-        );
+        let a = mk("A", vec![("e.p", 9), ("e.q", 8), ("e.r", 2), ("f.u", 4), ("f.v", 1)]);
+        let b = mk("B", vec![("e.p", 9), ("e.q", 3), ("e.r", 7), ("f.u", 1), ("f.v", 1)]);
         Instance::build(&[a, b], DfsConfig { size_bound: bound, threshold_pct: 10.0 })
     }
 
@@ -244,10 +235,7 @@ mod tests {
             let inst = two_entity_instance(bound);
             let (single, _) = single_swap(&inst);
             let (multi, _) = multi_swap(&inst);
-            assert!(
-                dod_total(&inst, &multi) >= dod_total(&inst, &single),
-                "bound {bound}"
-            );
+            assert!(dod_total(&inst, &multi) >= dod_total(&inst, &single), "bound {bound}");
         }
     }
 
@@ -278,8 +266,7 @@ mod tests {
             let pots = type_potentials(&inst, i);
             let (_, dp_value) = optimal_response(&inst, i, &weights, &pots);
             // Brute force over prefix pairs.
-            let lens: Vec<usize> =
-                inst.results[i].ranked.iter().map(Vec::len).collect();
+            let lens: Vec<usize> = inst.results[i].ranked.iter().map(Vec::len).collect();
             let mut best = 0u64;
             for p0 in 0..=lens[0] {
                 for p1 in 0..=lens[1] {

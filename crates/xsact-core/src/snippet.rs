@@ -47,8 +47,7 @@ pub fn snippet_dfs(inst: &Instance, result: usize, bound: usize) -> Dfs {
 /// Snippet DFSs for every result, each bounded by the instance's `L`.
 pub fn snippet_set(inst: &Instance) -> DfsSet {
     let bound = inst.config.size_bound;
-    let dfss =
-        (0..inst.result_count()).map(|i| snippet_dfs(inst, i, bound)).collect();
+    let dfss = (0..inst.result_count()).map(|i| snippet_dfs(inst, i, bound)).collect();
     DfsSet::from_dfss(inst, dfss)
 }
 
@@ -80,10 +79,7 @@ mod tests {
     }
 
     fn inst(bound: usize) -> Instance {
-        Instance::build(
-            &[gps1()],
-            DfsConfig { size_bound: bound, threshold_pct: 10.0 },
-        )
+        Instance::build(&[gps1()], DfsConfig { size_bound: bound, threshold_pct: 10.0 })
     }
 
     #[test]
@@ -141,10 +137,8 @@ mod tests {
 
     #[test]
     fn snippet_set_covers_all_results() {
-        let i2 = Instance::build(
-            &[gps1(), gps1()],
-            DfsConfig { size_bound: 5, threshold_pct: 10.0 },
-        );
+        let i2 =
+            Instance::build(&[gps1(), gps1()], DfsConfig { size_bound: 5, threshold_pct: 10.0 });
         let set = snippet_set(&i2);
         assert_eq!(set.len(), 2);
         assert!(set.all_valid(&i2));

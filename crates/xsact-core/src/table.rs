@@ -168,10 +168,8 @@ mod tests {
     fn unselected_types_render_as_dash() {
         let (inst, _) = sample();
         // Only result 0 selects anything.
-        let dfss = vec![
-            Dfs::from_prefixes(&inst, 0, &[9, 9]),
-            Dfs::from_prefixes(&inst, 1, &[0, 0]),
-        ];
+        let dfss =
+            vec![Dfs::from_prefixes(&inst, 0, &[9, 9]), Dfs::from_prefixes(&inst, 1, &[0, 0])];
         let set = DfsSet::from_dfss(&inst, dfss);
         let table = render_table(&inst, &set);
         assert!(table.contains('—'));
@@ -192,8 +190,7 @@ mod tests {
     fn grid_is_rectangular() {
         let (inst, set) = sample();
         let table = render_table(&inst, &set);
-        let line_widths: Vec<usize> =
-            table.lines().map(|l| l.chars().count()).collect();
+        let line_widths: Vec<usize> = table.lines().map(|l| l.chars().count()).collect();
         assert!(line_widths.windows(2).all(|w| w[0] == w[1]));
         // 3 rules + header + 2 body rows.
         assert_eq!(table.lines().count(), 6);

@@ -24,14 +24,27 @@ pub const COMPANIES: &[(&str, &[&str])] = &[
 
 /// The full skill pool.
 pub const SKILLS: &[&str] = &[
-    "sql", "python", "statistics", "rust", "distributed_systems", "linux", "kubernetes", "go",
-    "networking", "spark", "embedded", "c", "javascript", "react", "css", "java",
+    "sql",
+    "python",
+    "statistics",
+    "rust",
+    "distributed_systems",
+    "linux",
+    "kubernetes",
+    "go",
+    "networking",
+    "spark",
+    "embedded",
+    "c",
+    "javascript",
+    "react",
+    "css",
+    "java",
 ];
 
 /// Benefit flags.
-pub const BENEFITS: &[&str] = &[
-    "remote_work", "equity", "bonus", "training_budget", "gym", "relocation",
-];
+pub const BENEFITS: &[&str] =
+    &["remote_work", "equity", "bonus", "training_budget", "gym", "relocation"];
 
 /// Job titles by seniority index.
 pub const TITLES: &[&str] =
@@ -90,11 +103,7 @@ impl JobsGen {
             for _ in 0..n {
                 let opening = doc.add_element(openings, "opening");
                 doc.add_leaf(opening, "title", TITLES[rng.random_range(0..TITLES.len())]);
-                doc.add_leaf(
-                    opening,
-                    "location",
-                    LOCATIONS[rng.random_range(0..LOCATIONS.len())],
-                );
+                doc.add_leaf(opening, "location", LOCATIONS[rng.random_range(0..LOCATIONS.len())]);
                 doc.add_leaf(
                     opening,
                     "seniority",
@@ -158,12 +167,8 @@ mod tests {
 
     #[test]
     fn company_focus_dominates_requirements() {
-        let doc = JobsGen::new(JobsGenConfig {
-            seed: 9,
-            openings: (30, 30),
-            focus_bias: 0.9,
-        })
-        .generate();
+        let doc =
+            JobsGen::new(JobsGenConfig { seed: 9, openings: (30, 30), focus_bias: 0.9 }).generate();
         // ByteForge's skills should be mostly from its focus pool.
         let byteforge = doc
             .children_by_tag(doc.root(), "company")

@@ -102,11 +102,7 @@ impl MoviesGen {
                 doc.add_leaf(
                     movie,
                     "language",
-                    if rng.random_bool(0.8) {
-                        "english"
-                    } else {
-                        pick(&mut rng, vocab::LANGUAGES)
-                    },
+                    if rng.random_bool(0.8) { "english" } else { pick(&mut rng, vocab::LANGUAGES) },
                 );
             }
             doc.add_leaf(
@@ -136,11 +132,7 @@ impl MoviesGen {
                 );
             }
             if rng.random_bool(0.3) {
-                doc.add_leaf(
-                    movie,
-                    "budget",
-                    format!("{}000000", rng.random_range(5..120u32)),
-                );
+                doc.add_leaf(movie, "budget", format!("{}000000", rng.random_range(5..120u32)));
             }
             // Optional constant-valued attributes (every film that records
             // them records the same value). They are pure ballast: never
@@ -310,14 +302,11 @@ mod tests {
 
     #[test]
     fn genre_skew_makes_drama_common() {
-        let doc =
-            MoviesGen::new(MovieGenConfig { movies: 300, ..Default::default() }).generate();
+        let doc = MoviesGen::new(MovieGenConfig { movies: 300, ..Default::default() }).generate();
         let count = |genre: &str| {
             doc.all_nodes()
                 .filter(|&n| {
-                    doc.is_element(n)
-                        && doc.tag(n) == "genre"
-                        && doc.text_content(n) == genre
+                    doc.is_element(n) && doc.tag(n) == "genre" && doc.text_content(n) == genre
                 })
                 .count()
         };
@@ -326,8 +315,7 @@ mod tests {
 
     #[test]
     fn every_qm_query_has_planted_matches() {
-        let doc =
-            MoviesGen::new(MovieGenConfig { movies: 300, ..Default::default() }).generate();
+        let doc = MoviesGen::new(MovieGenConfig { movies: 300, ..Default::default() }).generate();
         for (label, query) in qm_queries() {
             let mut terms = query.split_whitespace();
             let genre = terms.next().unwrap();
@@ -336,12 +324,10 @@ mod tests {
             let matches = doc
                 .children_by_tag(doc.root(), "movie")
                 .filter(|&m| {
-                    let has_genre = doc
-                        .children_by_tag(m, "genre")
-                        .any(|g| doc.text_content(g) == genre);
-                    let has_kw = doc
-                        .children_by_tag(m, "keyword")
-                        .any(|k| doc.text_content(k) == keyword);
+                    let has_genre =
+                        doc.children_by_tag(m, "genre").any(|g| doc.text_content(g) == genre);
+                    let has_kw =
+                        doc.children_by_tag(m, "keyword").any(|k| doc.text_content(k) == keyword);
                     has_genre && has_kw
                 })
                 .count();
@@ -351,14 +337,11 @@ mod tests {
 
     #[test]
     fn qm_selectivity_declines() {
-        let doc =
-            MoviesGen::new(MovieGenConfig { movies: 400, ..Default::default() }).generate();
+        let doc = MoviesGen::new(MovieGenConfig { movies: 400, ..Default::default() }).generate();
         let count_genre = |genre: &str| {
             doc.all_nodes()
                 .filter(|&n| {
-                    doc.is_element(n)
-                        && doc.tag(n) == "genre"
-                        && doc.text_content(n) == genre
+                    doc.is_element(n) && doc.tag(n) == "genre" && doc.text_content(n) == genre
                 })
                 .count()
         };

@@ -94,17 +94,9 @@ impl OutdoorGen {
                 doc.add_leaf(product, "category", *category);
                 doc.add_leaf(product, "subcategory", sub);
                 doc.add_leaf(product, "gender", gender);
-                doc.add_leaf(
-                    product,
-                    "material",
-                    materials[rng.random_range(0..materials.len())],
-                );
+                doc.add_leaf(product, "material", materials[rng.random_range(0..materials.len())]);
                 doc.add_leaf(product, "price", format!("{}.00", rng.random_range(20..700)));
-                doc.add_leaf(
-                    product,
-                    "weight_grams",
-                    rng.random_range(150..3_000u32).to_string(),
-                );
+                doc.add_leaf(product, "weight_grams", rng.random_range(150..3_000u32).to_string());
                 if *category == "jackets" {
                     doc.add_leaf(
                         product,
@@ -145,10 +137,7 @@ mod tests {
     #[test]
     fn all_brands_generated() {
         let doc = small();
-        assert_eq!(
-            doc.children_by_tag(doc.root(), "brand").count(),
-            vocab::BRANDS.len()
-        );
+        assert_eq!(doc.children_by_tag(doc.root(), "brand").count(), vocab::BRANDS.len());
     }
 
     #[test]
@@ -157,9 +146,7 @@ mod tests {
         for brand in doc.children_by_tag(doc.root(), "brand") {
             let products = doc.child_by_tag(brand, "products").unwrap();
             for p in doc.children_by_tag(products, "product") {
-                for tag in
-                    ["name", "category", "subcategory", "gender", "material", "price"]
-                {
+                for tag in ["name", "category", "subcategory", "gender", "material", "price"] {
                     assert!(doc.child_by_tag(p, tag).is_some(), "missing {tag}");
                 }
             }
@@ -168,12 +155,9 @@ mod tests {
 
     #[test]
     fn focus_bias_shapes_brand_profile() {
-        let doc = OutdoorGen::new(OutdoorGenConfig {
-            seed: 11,
-            products: (60, 60),
-            focus_bias: 0.9,
-        })
-        .generate();
+        let doc =
+            OutdoorGen::new(OutdoorGenConfig { seed: 11, products: (60, 60), focus_bias: 0.9 })
+                .generate();
         // Marmot focuses on rain_jackets/tents/sleeping_bags; count its
         // focus products vs. others.
         let marmot = doc
@@ -204,8 +188,7 @@ mod tests {
         let mut saw_jacket = false;
         for n in doc.all_nodes() {
             if doc.is_element(n) && doc.tag(n) == "product" {
-                let cat =
-                    doc.text_content(doc.child_by_tag(n, "category").unwrap());
+                let cat = doc.text_content(doc.child_by_tag(n, "category").unwrap());
                 if cat == "jackets" {
                     saw_jacket = true;
                     assert!(doc.child_by_tag(n, "waterproof").is_some());

@@ -61,11 +61,7 @@ impl ReviewsGen {
             let (kind, brand, models) = vocab::PRODUCT_LINES[p % vocab::PRODUCT_LINES.len()];
             let model = models[rng.random_range(0..models.len())];
             let product = doc.add_element(root, "product");
-            doc.add_leaf(
-                product,
-                "name",
-                format!("{brand} {model} {}", kind.to_uppercase()),
-            );
+            doc.add_leaf(product, "name", format!("{brand} {model} {}", kind.to_uppercase()));
             doc.add_leaf(product, "brand", brand);
             doc.add_leaf(product, "price", format!("{}.95", rng.random_range(49..600)));
             doc.add_leaf(
@@ -80,14 +76,10 @@ impl ReviewsGen {
             let cons = vocab::pool_for(vocab::CONS, kind);
             let uses = vocab::pool_for(vocab::BEST_USES, kind);
             let cats = vocab::pool_for(vocab::USER_CATEGORIES, kind);
-            let pro_profile: Vec<f64> =
-                pros.iter().map(|_| rng.random_range(0.0..0.9)).collect();
-            let con_profile: Vec<f64> =
-                cons.iter().map(|_| rng.random_range(0.0..0.4)).collect();
-            let use_profile: Vec<f64> =
-                uses.iter().map(|_| rng.random_range(0.0..0.7)).collect();
-            let cat_profile: Vec<f64> =
-                cats.iter().map(|_| rng.random_range(0.0..0.6)).collect();
+            let pro_profile: Vec<f64> = pros.iter().map(|_| rng.random_range(0.0..0.9)).collect();
+            let con_profile: Vec<f64> = cons.iter().map(|_| rng.random_range(0.0..0.4)).collect();
+            let use_profile: Vec<f64> = uses.iter().map(|_| rng.random_range(0.0..0.7)).collect();
+            let cat_profile: Vec<f64> = cats.iter().map(|_| rng.random_range(0.0..0.6)).collect();
 
             let reviews = doc.add_element(product, "reviews");
             let n_reviews = rng.random_range(cfg.reviews.0..=cfg.reviews.1);
@@ -180,12 +172,8 @@ mod tests {
 
     #[test]
     fn review_counts_respect_range() {
-        let doc = ReviewsGen::new(ReviewsGenConfig {
-            seed: 3,
-            products: 5,
-            reviews: (50, 60),
-        })
-        .generate();
+        let doc = ReviewsGen::new(ReviewsGenConfig { seed: 3, products: 5, reviews: (50, 60) })
+            .generate();
         for p in doc.children_by_tag(doc.root(), "product") {
             let reviews = doc.child_by_tag(p, "reviews").unwrap();
             let n = doc.children_by_tag(reviews, "review").count();
@@ -225,10 +213,7 @@ mod tests {
             .flat_map(|(_, pool)| pool.iter().copied())
             .collect();
         for n in doc.all_nodes() {
-            if doc.is_element(n)
-                && doc.is_leaf_element(n)
-                && doc.text_content(n) == "yes"
-            {
+            if doc.is_element(n) && doc.is_leaf_element(n) && doc.text_content(n) == "yes" {
                 assert!(all_flags.contains(&doc.tag(n)), "unknown flag {}", doc.tag(n));
             }
         }

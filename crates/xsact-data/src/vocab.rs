@@ -117,27 +117,39 @@ pub const GENRES: &[&str] =
 /// Movie keywords; co-occurrence with genres is controlled by
 /// [`GENRE_KEYWORDS`].
 pub const KEYWORDS: &[&str] = &[
-    "hero", "love", "battle", "family", "detective", "space", "school", "revenge", "alien",
-    "soldier", "murder", "wedding", "robot", "ghost", "desert",
+    "hero",
+    "love",
+    "battle",
+    "family",
+    "detective",
+    "space",
+    "school",
+    "revenge",
+    "alien",
+    "soldier",
+    "murder",
+    "wedding",
+    "robot",
+    "ghost",
+    "desert",
 ];
 
 /// Preferred keywords per genre (same index order as [`GENRES`]).
 pub const GENRE_KEYWORDS: &[&[&str]] = &[
-    &["family", "love", "revenge"],                // drama
-    &["wedding", "school", "family"],              // comedy
-    &["hero", "battle", "revenge"],                // action
-    &["murder", "detective", "revenge"],           // thriller
-    &["love", "wedding", "family"],                // romance
-    &["soldier", "battle", "hero"],                // war
-    &["space", "alien", "robot"],                  // scifi
-    &["ghost", "murder", "school"],                // horror
-    &["desert", "hero", "revenge"],                // western
+    &["family", "love", "revenge"],      // drama
+    &["wedding", "school", "family"],    // comedy
+    &["hero", "battle", "revenge"],      // action
+    &["murder", "detective", "revenge"], // thriller
+    &["love", "wedding", "family"],      // romance
+    &["soldier", "battle", "hero"],      // war
+    &["space", "alien", "robot"],        // scifi
+    &["ghost", "murder", "school"],      // horror
+    &["desert", "hero", "revenge"],      // western
 ];
 
 /// Movie title fragments.
 pub const TITLE_ADJECTIVES: &[&str] = &[
-    "Last", "Dark", "Silent", "Broken", "Golden", "Hidden", "Lost", "Crimson", "Eternal",
-    "Distant",
+    "Last", "Dark", "Silent", "Broken", "Golden", "Hidden", "Lost", "Crimson", "Eternal", "Distant",
 ];
 
 /// Movie title nouns.
@@ -154,23 +166,19 @@ pub const COUNTRIES: &[&str] = &["usa", "uk", "france", "germany", "japan", "can
 
 /// Actor surname pool.
 pub const SURNAMES: &[&str] = &[
-    "Archer", "Bennett", "Castillo", "Donovan", "Ellis", "Fletcher", "Grant", "Hayes",
-    "Iwamoto", "Jensen", "Keller", "Lambert", "Moreau", "Novak", "Okafor", "Petrov",
+    "Archer", "Bennett", "Castillo", "Donovan", "Ellis", "Fletcher", "Grant", "Hayes", "Iwamoto",
+    "Jensen", "Keller", "Lambert", "Moreau", "Novak", "Okafor", "Petrov",
 ];
 
 /// Actor first-name pool.
 pub const FIRST_NAMES: &[&str] = &[
-    "Alice", "Ben", "Clara", "David", "Elena", "Frank", "Grace", "Hugo", "Iris", "Jonas",
-    "Kira", "Leo", "Mara", "Nils", "Olga", "Paul",
+    "Alice", "Ben", "Clara", "David", "Elena", "Frank", "Grace", "Hugo", "Iris", "Jonas", "Kira",
+    "Leo", "Mara", "Nils", "Olga", "Paul",
 ];
 
 /// Looks up the per-category pool in one of the `(&str, &[&str])` tables.
 pub fn pool_for<'a>(table: &'a [(&str, &[&str])], category: &str) -> &'a [&'a str] {
-    table
-        .iter()
-        .find(|(c, _)| *c == category)
-        .map(|(_, pool)| *pool)
-        .unwrap_or(&[])
+    table.iter().find(|(c, _)| *c == category).map(|(_, pool)| *pool).unwrap_or(&[])
 }
 
 #[cfg(test)]

@@ -183,10 +183,7 @@ mod tests {
         let s = StructureSummary::infer(&doc);
         assert_eq!(class(&s, "shop/product/name"), NodeClass::Attribute);
         assert_eq!(class(&s, "shop/product/rating"), NodeClass::Attribute);
-        assert_eq!(
-            class(&s, "shop/product/reviews/review/pros/compact"),
-            NodeClass::Attribute
-        );
+        assert_eq!(class(&s, "shop/product/reviews/review/pros/compact"), NodeClass::Attribute);
         assert_eq!(
             class(&s, "shop/product/reviews/review/uses/best_use/auto"),
             NodeClass::Attribute
@@ -200,10 +197,7 @@ mod tests {
         assert_eq!(class(&s, "shop/product/reviews"), NodeClass::Connection);
         assert_eq!(class(&s, "shop/product/reviews/review/pros"), NodeClass::Connection);
         assert_eq!(class(&s, "shop/product/reviews/review/uses"), NodeClass::Connection);
-        assert_eq!(
-            class(&s, "shop/product/reviews/review/uses/best_use"),
-            NodeClass::Connection
-        );
+        assert_eq!(class(&s, "shop/product/reviews/review/uses/best_use"), NodeClass::Connection);
     }
 
     #[test]
@@ -271,10 +265,8 @@ mod tests {
     fn mixed_leaf_and_internal_instances_lean_entity_or_connection() {
         // A tag that is sometimes internal: `extra` repeats and is internal
         // in one instance => entity.
-        let doc = parse_document(
-            "<r><item><extra>plain</extra><extra><d>x</d></extra></item></r>",
-        )
-        .unwrap();
+        let doc = parse_document("<r><item><extra>plain</extra><extra><d>x</d></extra></item></r>")
+            .unwrap();
         let s = StructureSummary::infer(&doc);
         assert_eq!(class(&s, "r/item/extra"), NodeClass::Entity);
     }
@@ -284,11 +276,8 @@ mod tests {
         let doc = review_doc();
         let s = StructureSummary::infer(&doc);
         assert!(s.path_count() >= 9);
-        let entities: Vec<&str> = s
-            .classes()
-            .filter(|(_, c)| *c == NodeClass::Entity)
-            .map(|(p, _)| p)
-            .collect();
+        let entities: Vec<&str> =
+            s.classes().filter(|(_, c)| *c == NodeClass::Entity).map(|(p, _)| p).collect();
         assert!(entities.contains(&"shop/product"));
         assert!(entities.contains(&"shop/product/reviews/review"));
     }

@@ -104,7 +104,7 @@ impl FeatureStat {
 }
 
 /// All feature statistics of one search result.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ResultFeatures {
     /// Human-readable label of the result (e.g. the product name).
     pub label: String,
@@ -398,8 +398,7 @@ mod tests {
         let review_stats: Vec<&FeatureStat> =
             rf.stats.iter().filter(|s| s.ty.entity == REVIEW).collect();
         // easy_to_read (3) before compact (2) before auto (1).
-        let attrs: Vec<&str> =
-            review_stats.iter().map(|s| s.ty.attribute.as_str()).collect();
+        let attrs: Vec<&str> = review_stats.iter().map(|s| s.ty.attribute.as_str()).collect();
         assert_eq!(attrs, ["pros:easy_to_read", "pros:compact", "uses:best_use:auto"]);
         let counts: Vec<u32> = review_stats.iter().map(|s| s.occurrences).collect();
         assert_eq!(counts, [3, 2, 1]);
@@ -457,8 +456,10 @@ mod tests {
 
     #[test]
     fn whitespace_in_values_normalised() {
-        let d = parse_document("<r><item><name>  Tom   Tom\n 630 </name></item><item><name>b</name></item></r>")
-            .unwrap();
+        let d = parse_document(
+            "<r><item><name>  Tom   Tom\n 630 </name></item><item><name>b</name></item></r>",
+        )
+        .unwrap();
         let summary = StructureSummary::infer(&d);
         let item = d.child_by_tag(d.root(), "item").unwrap();
         let rf = extract_features(&d, &summary, item, "i");

@@ -19,11 +19,7 @@ pub fn prettify(tag: &str) -> String {
 /// The entity path is dropped (the comparison table groups rows by entity
 /// already); attribute path segments are joined with `": "`.
 pub fn display_label(ty: &FeatureType) -> String {
-    ty.attribute
-        .split(':')
-        .map(prettify)
-        .collect::<Vec<_>>()
-        .join(": ")
+    ty.attribute.split(':').map(prettify).collect::<Vec<_>>().join(": ")
 }
 
 /// The short name of an entity path: its last segment, prettified.

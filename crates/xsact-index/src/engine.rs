@@ -88,16 +88,11 @@ impl SearchEngine {
     }
 
     /// Runs a conjunctive keyword query under the chosen LCA semantics.
-    pub fn search_with(
-        &self,
-        query: &Query,
-        semantics: ResultSemantics,
-    ) -> Vec<SearchResult> {
+    pub fn search_with(&self, query: &Query, semantics: ResultSemantics) -> Vec<SearchResult> {
         if query.is_empty() {
             return Vec::new();
         }
-        let lists: Vec<&[NodeId]> =
-            query.terms().iter().map(|t| self.index.postings(t)).collect();
+        let lists: Vec<&[NodeId]> = query.terms().iter().map(|t| self.index.postings(t)).collect();
         let matches = match semantics {
             ResultSemantics::Slca => slca_indexed_lookup(&self.doc, &lists),
             ResultSemantics::Elca => elca_full_scan(&self.doc, &lists),

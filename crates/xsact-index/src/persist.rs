@@ -88,16 +88,12 @@ pub fn load_index(doc: &Document, r: &mut impl Read) -> io::Result<InvertedIndex
     }
     let version = read_u32(r)?;
     if version != VERSION {
-        return Err(bad_data(format!(
-            "unsupported index version {version} (expected {VERSION})"
-        )));
+        return Err(bad_data(format!("unsupported index version {version} (expected {VERSION})")));
     }
     let fingerprint = read_u64(r)?;
     let expected = document_fingerprint(doc);
     if fingerprint != expected {
-        return Err(bad_data(
-            "index fingerprint does not match the document — rebuild the index",
-        ));
+        return Err(bad_data("index fingerprint does not match the document — rebuild the index"));
     }
     let term_count = read_u32(r)? as usize;
     let mut postings: HashMap<String, Vec<NodeId>> = HashMap::with_capacity(term_count);
@@ -108,15 +104,13 @@ pub fn load_index(doc: &Document, r: &mut impl Read) -> io::Result<InvertedIndex
         }
         let mut buf = vec![0u8; len];
         r.read_exact(&mut buf)?;
-        let term = String::from_utf8(buf)
-            .map_err(|_| bad_data("term is not valid UTF-8"))?;
+        let term = String::from_utf8(buf).map_err(|_| bad_data("term is not valid UTF-8"))?;
         let n = read_u32(r)? as usize;
         let mut list = Vec::with_capacity(n);
         for _ in 0..n {
             let idx = read_u32(r)? as usize;
-            let node = doc
-                .node_handle(idx)
-                .ok_or_else(|| bad_data("posting entry out of range"))?;
+            let node =
+                doc.node_handle(idx).ok_or_else(|| bad_data("posting entry out of range"))?;
             list.push(node);
         }
         postings.insert(term, list);
@@ -143,8 +137,8 @@ fn bad_data(msg: impl Into<String>) -> io::Error {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::query::Query;
     use crate::engine::SearchEngine;
+    use crate::query::Query;
     use xsact_xml::parse_document;
 
     fn doc() -> Document {
@@ -185,8 +179,8 @@ mod tests {
         let index = InvertedIndex::build(&d);
         let mut buf = Vec::new();
         save_index(&d, &index, &mut buf).unwrap();
-        let other = parse_document("<shop><product><name>Different</name></product></shop>")
-            .unwrap();
+        let other =
+            parse_document("<shop><product><name>Different</name></product></shop>").unwrap();
         let err = load_index(&other, &mut buf.as_slice()).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         assert!(err.to_string().contains("fingerprint"));
@@ -213,10 +207,7 @@ mod tests {
         let mut buf = Vec::new();
         save_index(&d, &index, &mut buf).unwrap();
         for cut in [3usize, 10, buf.len() / 2, buf.len() - 1] {
-            assert!(
-                load_index(&d, &mut &buf[..cut]).is_err(),
-                "cut at {cut} must fail"
-            );
+            assert!(load_index(&d, &mut &buf[..cut]).is_err(), "cut at {cut} must fail");
         }
     }
 

@@ -86,11 +86,7 @@ impl InvertedIndex {
             total += list.len();
             longest = longest.max(list.len());
         }
-        IndexStats {
-            terms: self.postings.len(),
-            total_postings: total,
-            longest_list: longest,
-        }
+        IndexStats { terms: self.postings.len(), total_postings: total, longest_list: longest }
     }
 }
 

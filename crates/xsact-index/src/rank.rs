@@ -94,9 +94,7 @@ mod tests {
     #[test]
     fn higher_term_frequency_ranks_first() {
         // Two matching elements vs one, at identical subtree size.
-        let (doc, idx) = setup(
-            "<r><p><t>gps</t><u>gps</u></p><p><t>gps</t><pad>a</pad></p></r>",
-        );
+        let (doc, idx) = setup("<r><p><t>gps</t><u>gps</u></p><p><t>gps</t><pad>a</pad></p></r>");
         let roots: Vec<NodeId> = doc.children(doc.root()).to_vec();
         let q = Query::parse("gps");
         let ranked = rank_results(&doc, &idx, &q, &roots);

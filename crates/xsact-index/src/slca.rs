@@ -143,9 +143,7 @@ pub fn slca_indexed_lookup(doc: &Document, lists: &[&[NodeId]]) -> Vec<NodeId> {
 fn deepest_lca_with_closest(doc: &Document, x: &DeweyId, list: &[NodeId]) -> DeweyId {
     let i = list.partition_point(|&n| doc.dewey(n) < x);
     let mut best: Option<DeweyId> = None;
-    for neighbour in [i.checked_sub(1).map(|j| list[j]), list.get(i).copied()]
-        .into_iter()
-        .flatten()
+    for neighbour in [i.checked_sub(1).map(|j| list[j]), list.get(i).copied()].into_iter().flatten()
     {
         if let Some(lca) = x.lca(doc.dewey(neighbour)) {
             if best.as_ref().is_none_or(|b| lca.depth() > b.depth()) {
@@ -289,7 +287,8 @@ mod tests {
 
     #[test]
     fn results_in_document_order() {
-        let xml = "<r><s><a>k1</a><b>k2</b></s><s><a>k1</a><b>k2</b></s><s><a>k1</a><b>k2</b></s></r>";
+        let xml =
+            "<r><s><a>k1</a><b>k2</b></s><s><a>k1</a><b>k2</b></s><s><a>k1</a><b>k2</b></s></r>";
         let doc = parse_document(xml).unwrap();
         let idx = InvertedIndex::build(&doc);
         let lists: Vec<&[NodeId]> = vec![idx.postings("k1"), idx.postings("k2")];

@@ -83,22 +83,14 @@ impl DeweyId {
     /// component, so this returns `None` only when the IDs come from
     /// different documents (differing first components).
     pub fn lca(&self, other: &DeweyId) -> Option<DeweyId> {
-        let common = self
-            .components
-            .iter()
-            .zip(&other.components)
-            .take_while(|(a, b)| a == b)
-            .count();
+        let common =
+            self.components.iter().zip(&other.components).take_while(|(a, b)| a == b).count();
         DeweyId::from_components(&self.components[..common])
     }
 
     /// Length of the longest common prefix with `other`.
     pub fn common_prefix_len(&self, other: &DeweyId) -> usize {
-        self.components
-            .iter()
-            .zip(&other.components)
-            .take_while(|(a, b)| a == b)
-            .count()
+        self.components.iter().zip(&other.components).take_while(|(a, b)| a == b).count()
     }
 
     /// Truncates the ID to its first `depth` components (an ancestor-or-self

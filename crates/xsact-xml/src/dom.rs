@@ -192,10 +192,7 @@ impl Document {
 
     /// Appends a child element to `parent`, returning the new node's handle.
     pub fn add_element(&mut self, parent: NodeId, tag: impl Into<String>) -> NodeId {
-        self.add_node(
-            parent,
-            NodeKind::Element { tag: tag.into(), attrs: Vec::new() },
-        )
+        self.add_node(parent, NodeKind::Element { tag: tag.into(), attrs: Vec::new() })
     }
 
     /// Appends a child element carrying attributes.
@@ -333,11 +330,7 @@ mod tests {
     fn sample() -> (Document, NodeId, NodeId, NodeId) {
         let mut doc = Document::new("shop");
         let root = doc.root();
-        let product = doc.add_element_with_attrs(
-            root,
-            "product",
-            vec![("id".into(), "1".into())],
-        );
+        let product = doc.add_element_with_attrs(root, "product", vec![("id".into(), "1".into())]);
         let name = doc.add_leaf(product, "name", "TomTom");
         doc.add_leaf(product, "rating", "4.2");
         doc.add_text(root, "text");
@@ -380,10 +373,7 @@ mod tests {
         let (doc, _, _, _) = sample();
         assert_eq!(doc.node_at(&DeweyId::from_components(&[1]).unwrap()), None);
         assert_eq!(doc.node_at(&DeweyId::from_components(&[0, 9]).unwrap()), None);
-        assert_eq!(
-            doc.node_at(&DeweyId::from_components(&[0, 0, 0, 0, 0]).unwrap()),
-            None
-        );
+        assert_eq!(doc.node_at(&DeweyId::from_components(&[0, 0, 0, 0, 0]).unwrap()), None);
     }
 
     #[test]
@@ -437,10 +427,7 @@ mod tests {
                 }
             })
             .collect();
-        assert_eq!(
-            tags,
-            ["shop", "product", "name", "#TomTom", "rating", "#4.2", "#text"]
-        );
+        assert_eq!(tags, ["shop", "product", "name", "#TomTom", "rating", "#4.2", "#text"]);
     }
 
     #[test]

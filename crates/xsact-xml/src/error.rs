@@ -77,10 +77,9 @@ impl fmt::Display for XmlError {
             XmlError::UnexpectedEof { offset, context } => {
                 write!(f, "unexpected end of input at byte {offset} while reading {context}")
             }
-            XmlError::UnexpectedChar { offset, found, expected } => write!(
-                f,
-                "unexpected character {found:?} at byte {offset}, expected {expected}"
-            ),
+            XmlError::UnexpectedChar { offset, found, expected } => {
+                write!(f, "unexpected character {found:?} at byte {offset}, expected {expected}")
+            }
             XmlError::MismatchedTag { offset, open, close } => write!(
                 f,
                 "closing tag </{close}> at byte {offset} does not match open element <{open}>"
@@ -117,11 +116,7 @@ mod tests {
         assert!(e.to_string().contains("byte 7"));
         assert!(e.to_string().contains("start tag"));
 
-        let e = XmlError::MismatchedTag {
-            offset: 3,
-            open: "a".into(),
-            close: "b".into(),
-        };
+        let e = XmlError::MismatchedTag { offset: 3, open: "a".into(), close: "b".into() };
         let msg = e.to_string();
         assert!(msg.contains("</b>") && msg.contains("<a>"));
 
@@ -135,9 +130,6 @@ mod tests {
     #[test]
     fn errors_are_comparable() {
         assert_eq!(XmlError::EmptyDocument, XmlError::EmptyDocument);
-        assert_ne!(
-            XmlError::EmptyDocument,
-            XmlError::MultipleRoots { offset: 0 }
-        );
+        assert_ne!(XmlError::EmptyDocument, XmlError::MultipleRoots { offset: 0 });
     }
 }

@@ -129,10 +129,7 @@ mod tests {
 
     #[test]
     fn unescape_predefined_entities() {
-        assert_eq!(
-            unescape("&amp;&lt;&gt;&apos;&quot;", 0).unwrap(),
-            "&<>'\""
-        );
+        assert_eq!(unescape("&amp;&lt;&gt;&apos;&quot;", 0).unwrap(), "&<>'\"");
     }
 
     #[test]
@@ -150,10 +147,7 @@ mod tests {
     #[test]
     fn unescape_rejects_unknown_entity() {
         let err = unescape("x&nbsp;y", 10).unwrap_err();
-        assert_eq!(
-            err,
-            XmlError::BadEntity { offset: 11, entity: "nbsp".into() }
-        );
+        assert_eq!(err, XmlError::BadEntity { offset: 11, entity: "nbsp".into() });
     }
 
     #[test]

@@ -141,10 +141,8 @@ mod tests {
     #[test]
     fn error_mismatched_tags() {
         let err = parse_document("<a><b></a></b>").unwrap_err();
-        assert!(
-            matches!(err, XmlError::MismatchedTag { ref open, ref close, .. }
-                if open == "b" && close == "a")
-        );
+        assert!(matches!(err, XmlError::MismatchedTag { ref open, ref close, .. }
+                if open == "b" && close == "a"));
     }
 
     #[test]
@@ -161,27 +159,18 @@ mod tests {
 
     #[test]
     fn error_multiple_roots() {
-        assert!(matches!(
-            parse_document("<a/><b/>").unwrap_err(),
-            XmlError::MultipleRoots { .. }
-        ));
+        assert!(matches!(parse_document("<a/><b/>").unwrap_err(), XmlError::MultipleRoots { .. }));
         assert!(matches!(
             parse_document("<a></a>stray").unwrap_err(),
             XmlError::MultipleRoots { .. }
         ));
-        assert!(matches!(
-            parse_document("stray<a/>").unwrap_err(),
-            XmlError::MultipleRoots { .. }
-        ));
+        assert!(matches!(parse_document("stray<a/>").unwrap_err(), XmlError::MultipleRoots { .. }));
     }
 
     #[test]
     fn error_empty_document() {
         assert_eq!(parse_document("").unwrap_err(), XmlError::EmptyDocument);
-        assert_eq!(
-            parse_document("<!-- only a comment -->").unwrap_err(),
-            XmlError::EmptyDocument
-        );
+        assert_eq!(parse_document("<!-- only a comment -->").unwrap_err(), XmlError::EmptyDocument);
     }
 
     #[test]

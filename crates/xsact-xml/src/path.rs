@@ -31,9 +31,7 @@ pub fn select(doc: &Document, start: NodeId, path: &str) -> Vec<NodeId> {
         for &node in &current {
             match step {
                 "*" => next.extend(doc.child_elements(node)),
-                "**" => next.extend(
-                    doc.descendants(node).filter(|&n| doc.is_element(n)),
-                ),
+                "**" => next.extend(doc.descendants(node).filter(|&n| doc.is_element(n))),
                 tag => next.extend(doc.children_by_tag(node, tag)),
             }
         }
@@ -97,10 +95,7 @@ mod tests {
         assert_eq!(reviews.len(), 3);
         // `**` includes self, so `**` from root counts every element.
         let all = select(&d, d.root(), "**");
-        assert_eq!(
-            all.len(),
-            d.all_nodes().filter(|&n| d.is_element(n)).count()
-        );
+        assert_eq!(all.len(), d.all_nodes().filter(|&n| d.is_element(n)).count());
     }
 
     #[test]

@@ -95,11 +95,7 @@ impl<'a> Tokenizer<'a> {
                 self.bump();
                 Ok(())
             }
-            Some(c) => Err(XmlError::UnexpectedChar {
-                offset: self.pos,
-                found: c,
-                expected: what,
-            }),
+            Some(c) => Err(XmlError::UnexpectedChar { offset: self.pos, found: c, expected: what }),
             None => Err(XmlError::UnexpectedEof { offset: self.pos, context: what }),
         }
     }
@@ -130,9 +126,7 @@ impl<'a> Tokenizer<'a> {
                     expected: "a name start character",
                 })
             }
-            None => {
-                return Err(XmlError::UnexpectedEof { offset: self.pos, context: "a name" })
-            }
+            None => return Err(XmlError::UnexpectedEof { offset: self.pos, context: "a name" }),
         }
         while matches!(self.peek(), Some(c) if is_name_continue(c)) {
             self.bump();
@@ -290,11 +284,8 @@ impl<'a> Tokenizer<'a> {
             if self.pos >= self.input.len() {
                 return Ok(None);
             }
-            let produced = if self.peek() == Some('<') {
-                self.read_markup()?
-            } else {
-                self.read_text()?
-            };
+            let produced =
+                if self.peek() == Some('<') { self.read_markup()? } else { self.read_text()? };
             if let Some(token) = produced {
                 return Ok(Some(token));
             }
@@ -327,9 +318,7 @@ mod tests {
     }
 
     fn err(input: &str) -> XmlError {
-        Tokenizer::new(input)
-            .collect::<XmlResult<Vec<_>>>()
-            .unwrap_err()
+        Tokenizer::new(input).collect::<XmlResult<Vec<_>>>().unwrap_err()
     }
 
     #[test]

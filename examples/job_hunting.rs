@@ -5,38 +5,36 @@
 //! Run with: `cargo run --example job_hunting`
 
 use xsact::prelude::*;
-use xsact_core::Algorithm;
 use xsact_data::{JobsGen, JobsGenConfig};
 use xsact_xml::NodeId;
 
-fn main() {
-    let doc = JobsGen::new(JobsGenConfig {
-        seed: 17,
-        openings: (12, 40),
-        focus_bias: 0.75,
-    })
-    .generate();
+fn main() -> Result<(), XsactError> {
+    let doc =
+        JobsGen::new(JobsGenConfig { seed: 17, openings: (12, 40), focus_bias: 0.75 }).generate();
     println!(
         "generated job board: {} companies, {} XML nodes",
         doc.children_by_tag(doc.root(), "company").count(),
         doc.len()
     );
-    let engine = SearchEngine::build(doc);
+    let wb = Workbench::from_document(doc);
 
     // A candidate looks for senior engineer roles…
-    let query = Query::parse("senior engineer");
-    let results = engine.search(&query);
-    println!("query {query}: {} matching openings", results.len());
+    let pipeline = wb.query("senior engineer")?;
+    let results = pipeline.results();
+    println!("query {}: {} matching openings", pipeline.query_text(), results.len());
 
     // …and compares the companies behind them.
-    let doc = engine.document();
+    let doc = wb.document();
     let mut companies: Vec<NodeId> = Vec::new();
     for r in &results {
         let mut cur = r.root;
         while doc.tag(cur) != "company" {
-            cur = doc.parent(cur).expect("openings live under companies");
+            match doc.parent(cur) {
+                Some(p) => cur = p,
+                None => break, // structurally impossible in this dataset
+            }
         }
-        if !companies.contains(&cur) {
+        if doc.tag(cur) == "company" && !companies.contains(&cur) {
             companies.push(cur);
         }
     }
@@ -46,10 +44,17 @@ fn main() {
         .iter()
         .take(4)
         .map(|&c| {
-            let name = doc.text_content(doc.child_by_tag(c, "name").expect("company name"));
-            xsact_entity::extract_features(doc, engine.summary(), c, name)
+            let name = doc
+                .child_by_tag(c, "name")
+                .map(|n| doc.text_content(n))
+                .unwrap_or_else(|| doc.tag(c).to_owned());
+            wb.subtree_features(c, name)
         })
         .collect();
+    if features.len() < 2 {
+        println!("not enough companies to compare");
+        return Ok(());
+    }
 
     for algorithm in [Algorithm::Snippet, Algorithm::MultiSwap] {
         let outcome = Comparison::new(&features).size_bound(7).run(algorithm);
@@ -67,10 +72,10 @@ fn main() {
     // The hiring-focus summary the table reveals.
     println!("dominant required skill per company:");
     for rf in &features {
-        if let Some(stat) = rf.stats.iter().find(|s| s.ty.attribute == "requirements:skill")
-        {
+        if let Some(stat) = rf.stats.iter().find(|s| s.ty.attribute == "requirements:skill") {
             let top = stat.dominant();
             println!("  {:<16} {} ({} openings mention it)", rf.label, top.value, top.count);
         }
     }
+    Ok(())
 }

@@ -6,35 +6,31 @@
 //! Run with: `cargo run --example movie_explorer`
 
 use xsact::prelude::*;
-use xsact_core::Algorithm;
 use xsact_data::movies::{qm_queries, MovieGenConfig, MoviesGen};
 
-fn main() {
+fn main() -> Result<(), XsactError> {
     let doc = MoviesGen::new(MovieGenConfig { movies: 250, ..Default::default() }).generate();
     println!(
         "generated movie dataset: {} movies, {} XML nodes",
         doc.children_by_tag(doc.root(), "movie").count(),
         doc.len()
     );
-    let engine = SearchEngine::build(doc);
-    let stats = engine.index().stats();
+    let wb = Workbench::from_document(doc);
+    let stats = wb.engine().index().stats();
     println!(
         "inverted index: {} terms, {} postings, longest list {}\n",
         stats.terms, stats.total_postings, stats.longest_list
     );
 
     for (label, query_text) in qm_queries() {
-        let query = Query::parse(&query_text);
-        let results = engine.search(&query);
-        println!("{label} {query}: {} results", results.len());
-        if results.len() < 2 {
-            continue;
-        }
-        let features: Vec<ResultFeatures> =
-            results.iter().map(|r| engine.extract_features(r)).collect();
-        let comparison = Comparison::new(&features).size_bound(10);
-        let single = comparison.run(Algorithm::SingleSwap);
-        let multi = comparison.run(Algorithm::MultiSwap);
+        let pipeline = wb.query(&query_text)?.size_bound(10);
+        println!("{label} {}: {} results", pipeline.query_text(), pipeline.results().len());
+        let single = match pipeline.compare(Algorithm::SingleSwap) {
+            Ok(outcome) => outcome,
+            Err(XsactError::NoResults { .. } | XsactError::NotEnoughResults { .. }) => continue,
+            Err(other) => return Err(other),
+        };
+        let multi = pipeline.compare(Algorithm::MultiSwap)?;
         println!(
             "    single-swap DoD {:>4}  ({:?});  multi-swap DoD {:>4}  ({:?})",
             single.dod(),
@@ -46,15 +42,17 @@ fn main() {
 
     // Deep dive on one query: print the table for the first three results.
     let (label, query_text) = &qm_queries()[5]; // QM6: war soldier
-    let results = engine.search(&Query::parse(query_text));
-    if results.len() >= 2 {
-        let features: Vec<ResultFeatures> = results
-            .iter()
-            .take(3)
-            .map(|r| engine.extract_features(r))
-            .collect();
-        let outcome = Comparison::new(&features).size_bound(8).run(Algorithm::MultiSwap);
-        println!("\n{label} table for the first {} results:", features.len());
-        println!("{}", outcome.table());
+    match wb.query(query_text)?.take(3).size_bound(8).compare(Algorithm::MultiSwap) {
+        Ok(outcome) => {
+            println!("\n{label} table for the first {} results:", outcome.labels().len());
+            println!("{}", outcome.table());
+        }
+        Err(XsactError::NoResults { .. } | XsactError::NotEnoughResults { .. }) => {
+            println!("\n{label}: not enough results for a deep-dive table");
+        }
+        Err(other) => return Err(other),
     }
+    let cache = wb.cache_stats();
+    println!("feature cache after the session: {} extractions, {} hits", cache.misses, cache.hits);
+    Ok(())
 }

@@ -7,51 +7,58 @@
 //! Run with: `cargo run --example outdoor_brands`
 
 use xsact::prelude::*;
-use xsact_core::Algorithm;
 use xsact_data::{OutdoorGen, OutdoorGenConfig};
 use xsact_xml::NodeId;
 
-fn main() {
-    let doc = OutdoorGen::new(OutdoorGenConfig {
-        seed: 7,
-        products: (40, 90),
-        focus_bias: 0.8,
-    })
-    .generate();
+fn main() -> Result<(), XsactError> {
+    let doc = OutdoorGen::new(OutdoorGenConfig { seed: 7, products: (40, 90), focus_bias: 0.8 })
+        .generate();
     println!(
         "generated Outdoor Retailer dataset: {} brands, {} XML nodes",
         doc.children_by_tag(doc.root(), "brand").count(),
         doc.len()
     );
-    let engine = SearchEngine::build(doc);
+    let wb = Workbench::from_document(doc);
 
     // Product-level matches for {men, jackets} …
-    let results = engine.search(&Query::parse("men jackets"));
+    let results = wb.query("men jackets")?.results();
     println!("query {{men, jackets}}: {} matching products", results.len());
 
     // … lifted to the brand level, as the paper's XSeek configuration
     // returns brands.
-    let doc = engine.document();
+    let doc = wb.document();
     let mut brands: Vec<NodeId> = Vec::new();
     for r in &results {
         let mut cur = r.root;
         while doc.tag(cur) != "brand" {
-            cur = doc.parent(cur).expect("products live under brands");
+            match doc.parent(cur) {
+                Some(p) => cur = p,
+                None => break, // structurally impossible in this dataset
+            }
         }
-        if !brands.contains(&cur) {
+        if doc.tag(cur) == "brand" && !brands.contains(&cur) {
             brands.push(cur);
         }
     }
     println!("…from {} distinct brands\n", brands.len());
 
+    // The user compares a handful of brands; subtree features go through
+    // the workbench cache like any other result.
     let features: Vec<ResultFeatures> = brands
         .iter()
-        .take(4) // the user compares a handful of brands
+        .take(4)
         .map(|&b| {
-            let name = doc.text_content(doc.child_by_tag(b, "name").expect("brand name"));
-            xsact_entity::extract_features(doc, engine.summary(), b, name)
+            let name = doc
+                .child_by_tag(b, "name")
+                .map(|n| doc.text_content(n))
+                .unwrap_or_else(|| doc.tag(b).to_owned());
+            wb.subtree_features(b, name)
         })
         .collect();
+    if features.len() < 2 {
+        println!("not enough brands to compare");
+        return Ok(());
+    }
 
     let outcome = Comparison::new(&features).size_bound(6).run(Algorithm::MultiSwap);
     println!(
@@ -75,4 +82,5 @@ fn main() {
             println!("  {:<12} {} ({} products)", rf.label, vc.value, vc.count);
         }
     }
+    Ok(())
 }

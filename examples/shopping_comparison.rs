@@ -5,10 +5,9 @@
 //! Run with: `cargo run --example shopping_comparison`
 
 use xsact::prelude::*;
-use xsact_core::Algorithm;
 use xsact_data::{ReviewsGen, ReviewsGenConfig};
 
-fn main() {
+fn main() -> Result<(), XsactError> {
     let doc = ReviewsGen::new(ReviewsGenConfig {
         seed: 2010, // the year the paper appeared
         products: 27,
@@ -20,25 +19,23 @@ fn main() {
         doc.children_by_tag(doc.root(), "product").count(),
         doc.len()
     );
-    let engine = SearchEngine::build(doc);
+    let wb = Workbench::from_document(doc);
 
     for query_text in ["TomTom GPS", "Garmin GPS", "Nokia phone"] {
-        let query = Query::parse(query_text);
-        let results = engine.search(&query);
-        println!("\n=== query {query}: {} results", results.len());
-        if results.len() < 2 {
-            println!("    (need at least two results to compare)");
-            continue;
-        }
-
         // A shopper ticks the first few checkboxes and hits "comparison".
-        let selected = &results[..results.len().min(3)];
-        let features: Vec<ResultFeatures> =
-            selected.iter().map(|r| engine.extract_features(r)).collect();
+        let pipeline = wb.query(query_text)?.take(3).size_bound(8);
+        let results = pipeline.results();
+        println!("\n=== query {}: {} results", pipeline.query_text(), results.len());
 
         for algorithm in [Algorithm::Snippet, Algorithm::SingleSwap, Algorithm::MultiSwap] {
-            let outcome =
-                Comparison::new(&features).size_bound(8).run(algorithm);
+            let outcome = match pipeline.compare(algorithm) {
+                Ok(outcome) => outcome,
+                Err(XsactError::NoResults { .. } | XsactError::NotEnoughResults { .. }) => {
+                    println!("    (need at least two results to compare)");
+                    break;
+                }
+                Err(other) => return Err(other),
+            };
             println!(
                 "    {:<12} DoD = {:>3}  ({} rounds, {} moves, {:?})",
                 algorithm.name(),
@@ -52,4 +49,10 @@ fn main() {
             }
         }
     }
+    let stats = wb.cache_stats();
+    println!(
+        "session cache: {} results extracted once, {} repeat lookups served from cache",
+        stats.misses, stats.hits
+    );
+    Ok(())
 }

@@ -1,0 +1,143 @@
+//! The crate-wide error type of the XSACT pipeline.
+//!
+//! Every layer keeps its own error vocabulary (`xsact_xml::XmlError`,
+//! `std::io::Error` from index persistence, …); this module folds them into
+//! one [`XsactError`] enum so that consumers of the [`crate::Workbench`]
+//! facade handle a single type with `?` instead of stringly-typed
+//! `Result<_, String>` plumbing.
+
+use std::fmt;
+use xsact_xml::XmlError;
+
+/// Result alias for facade operations.
+pub type XsactResult<T> = Result<T, XsactError>;
+
+/// Everything that can go wrong in the XSACT pipeline, from XML parsing to
+/// DFS generation.
+#[derive(Debug)]
+pub enum XsactError {
+    /// The input document is not well-formed XML.
+    Xml(XmlError),
+    /// The query contained no indexable search terms (empty string,
+    /// punctuation only, …).
+    EmptyQuery,
+    /// The query was well-formed but matched nothing in the document.
+    NoResults {
+        /// The offending query text.
+        query: String,
+    },
+    /// The query matched, but fewer than the two results a comparison
+    /// needs.
+    NotEnoughResults {
+        /// The query text.
+        query: String,
+        /// How many results the query produced.
+        found: usize,
+    },
+    /// A 1-based result selection pointed past the end of the result list.
+    InvalidSelection {
+        /// The out-of-range 1-based position.
+        index: usize,
+        /// Number of results actually available.
+        available: usize,
+    },
+    /// A pipeline parameter is outside its meaningful domain (e.g. a
+    /// negative differentiability threshold).
+    InvalidConfig(String),
+    /// An [`xsact_core::Algorithm::Exhaustive`] run would have enumerated
+    /// more DFS combinations than its limit allows.
+    ExhaustiveLimitExceeded {
+        /// The configured combination limit.
+        limit: u64,
+    },
+    /// Index persistence (save/load) failed — I/O proper, or a fingerprint
+    /// mismatch between the index and the document.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for XsactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XsactError::Xml(e) => write!(f, "malformed XML: {e}"),
+            XsactError::EmptyQuery => {
+                write!(f, "the query contains no search terms")
+            }
+            XsactError::NoResults { query } => {
+                write!(f, "query {query:?} matched no results")
+            }
+            XsactError::NotEnoughResults { query, found } => write!(
+                f,
+                "query {query:?} matched {found} result{}; a comparison needs at least two",
+                if *found == 1 { "" } else { "s" }
+            ),
+            XsactError::InvalidSelection { index, available } => {
+                write!(f, "selection {index} is out of range (1..={available})")
+            }
+            XsactError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            XsactError::ExhaustiveLimitExceeded { limit } => write!(
+                f,
+                "exhaustive search would enumerate more than {limit} DFS combinations; \
+                 raise the limit or use a local-search algorithm"
+            ),
+            XsactError::Io(e) => write!(f, "index persistence failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for XsactError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            XsactError::Xml(e) => Some(e),
+            XsactError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<XmlError> for XsactError {
+    fn from(e: XmlError) -> Self {
+        XsactError::Xml(e)
+    }
+}
+
+impl From<std::io::Error> for XsactError {
+    fn from(e: std::io::Error) -> Self {
+        XsactError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn display_is_human_readable() {
+        let e = XsactError::NoResults { query: "zeppelin".into() };
+        assert!(e.to_string().contains("zeppelin"));
+        let e = XsactError::InvalidSelection { index: 9, available: 2 };
+        assert!(e.to_string().contains("out of range"));
+        assert!(e.to_string().contains("1..=2"));
+        let e = XsactError::NotEnoughResults { query: "q".into(), found: 1 };
+        assert!(e.to_string().contains("1 result;"));
+        let e = XsactError::ExhaustiveLimitExceeded { limit: 10 };
+        assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn xml_errors_convert_and_chain() {
+        let xml = XmlError::EmptyDocument;
+        let e: XsactError = xml.clone().into();
+        assert!(matches!(&e, XsactError::Xml(inner) if *inner == xml));
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("no root element"));
+    }
+
+    #[test]
+    fn io_errors_convert_and_chain() {
+        let io = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "short read");
+        let e: XsactError = io.into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("short read"));
+    }
+}

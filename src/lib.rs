@@ -4,43 +4,64 @@
 //! (Liu et al., VLDB 2010) and its companion full paper *Structured Search
 //! Result Differentiation* (PVLDB 2009).
 //!
-//! This facade crate re-exports the workspace layers:
-//!
-//! * [`xml`] — XML substrate: parser, DOM with Dewey IDs, writer.
-//! * [`index`] — keyword search engine (XSeek-style): inverted index,
-//!   SLCA/ELCA, result construction.
-//! * [`entity`] — result processor: entity identification and feature
-//!   extraction.
-//! * [`core`] — the paper's contribution: Differentiation Feature Sets,
-//!   the Degree-of-Differentiation objective, and the single-swap /
-//!   multi-swap algorithms.
-//! * [`data`] — dataset generators and the paper's worked example.
+//! The documented entry point is the [`Workbench`]: one session object per
+//! document that owns the search engine, caches per-result features across
+//! queries, and exposes the paper's whole pipeline (keyword search → entity
+//! promotion → feature extraction → Differentiation Feature Set generation)
+//! as a fluent, typed-error API.
 //!
 //! ## Quickstart
 //!
 //! ```
 //! use xsact::prelude::*;
 //!
-//! // 1. Load (or generate) an XML dataset and build a search engine.
-//! let doc = xsact::data::fixtures::figure1_document();
-//! let engine = SearchEngine::build(doc);
+//! # fn main() -> Result<(), XsactError> {
+//! // 1. Load (or generate) an XML dataset; one Workbench per document.
+//! let wb = Workbench::from_document(xsact::data::fixtures::figure1_document());
 //!
-//! // 2. Run a keyword query; each result is an entity subtree.
-//! let results = engine.search(&Query::parse("TomTom GPS"));
-//! assert!(results.len() >= 2);
+//! // 2. Run the paper's query and generate the comparison table in one
+//! //    fluent pipeline. Every failure mode (empty query, no results, …)
+//! //    is a typed `XsactError`.
+//! let outcome = wb
+//!     .query("TomTom GPS")?
+//!     .semantics(ResultSemantics::Slca)
+//!     .take(4)
+//!     .size_bound(7)
+//!     .threshold(10.0)
+//!     .compare(Algorithm::MultiSwap)?;
 //!
-//! // 3. Extract features and generate Differentiation Feature Sets.
-//! let features: Vec<_> = results
-//!     .iter()
-//!     .map(|r| engine.extract_features(r))
-//!     .collect();
-//! let outcome = Comparison::new(&features)
-//!     .size_bound(6)
-//!     .run(Algorithm::MultiSwap);
-//!
-//! // 4. Render the comparison table (paper Figure 2).
+//! // 3. Render the comparison table (paper Figure 2) and inspect the DoD.
 //! println!("{}", outcome.table());
+//! assert_eq!(outcome.dod(), 5); // the paper's headline number
+//!
+//! // 4. Repeated queries reuse the cached features — no re-extraction.
+//! wb.query("TomTom GPS")?.size_bound(6).compare(Algorithm::Snippet)?;
+//! assert_eq!(wb.cache_stats().misses, 2); // still only the first pass
+//! assert!(wb.cache_stats().hits >= 2);
+//! # Ok(())
+//! # }
 //! ```
+//!
+//! ## Layers
+//!
+//! The workbench orchestrates the workspace layers, which remain
+//! independently usable (a design decision recorded in `ROADMAP.md`):
+//!
+//! * [`xml`] — XML substrate: parser, DOM with Dewey IDs, writer.
+//! * [`index`] — keyword search engine (XSeek-style): inverted index,
+//!   SLCA/ELCA, result construction, ranking, persistence.
+//! * [`entity`] — result processor: entity identification and feature
+//!   extraction.
+//! * [`core`] — the paper's contribution: Differentiation Feature Sets,
+//!   the Degree-of-Differentiation objective, and the single-swap /
+//!   multi-swap algorithms (plus the [`Algorithm::Exhaustive`] oracle).
+//! * [`data`] — dataset generators and the paper's worked example.
+
+pub mod error;
+pub mod workbench;
+
+pub use error::{XsactError, XsactResult};
+pub use workbench::{CacheStats, QueryPipeline, Workbench};
 
 pub use xsact_core as core;
 pub use xsact_data as data;
@@ -48,10 +69,14 @@ pub use xsact_entity as entity;
 pub use xsact_index as index;
 pub use xsact_xml as xml;
 
+pub use xsact_core::Algorithm;
+
 /// The most common imports in one place.
 pub mod prelude {
+    pub use crate::error::{XsactError, XsactResult};
+    pub use crate::workbench::{CacheStats, QueryPipeline, Workbench};
     pub use xsact_core::{Algorithm, Comparison, ComparisonOutcome, DfsConfig};
     pub use xsact_entity::{extract_features, FeatureType, ResultFeatures, StructureSummary};
-    pub use xsact_index::{Query, SearchEngine, SearchResult};
+    pub use xsact_index::{Query, ResultSemantics, SearchEngine, SearchResult};
     pub use xsact_xml::{parse_document, Document};
 }

@@ -1,0 +1,521 @@
+//! The [`Workbench`]: one session-oriented entry point for the whole XSACT
+//! pipeline.
+//!
+//! The paper's flow (Figure 3) is *load structured data → keyword search →
+//! select results → extract features → generate Differentiation Feature
+//! Sets → render the comparison table*. Before this module existed every
+//! consumer hand-wired that five-crate sequence; the `Workbench` owns it:
+//!
+//! * it holds the [`SearchEngine`] (inverted index + structural summary)
+//!   built once per document,
+//! * it owns a **per-result feature cache** keyed by the result's root
+//!   [`NodeId`] (plus its display label), so repeated queries over the same
+//!   session never re-extract features for a result they have already seen
+//!   (feature extraction walks the whole result subtree and is the dominant
+//!   per-query cost after the index is built),
+//! * it exposes the fluent [`QueryPipeline`] with typed
+//!   [`XsactError`](crate::XsactError) failures instead of `String`s and
+//!   `unwrap()`s.
+//!
+//! ```
+//! use xsact::prelude::*;
+//!
+//! # fn main() -> Result<(), XsactError> {
+//! let wb = Workbench::from_document(xsact::data::fixtures::figure1_document());
+//! let outcome = wb
+//!     .query("TomTom GPS")?
+//!     .size_bound(7)
+//!     .compare(Algorithm::MultiSwap)?;
+//! assert_eq!(outcome.dod(), 5); // the paper's headline number
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::error::{XsactError, XsactResult};
+use std::cell::{Cell, OnceCell, RefCell};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use xsact_core::{Algorithm, Comparison, ComparisonOutcome, DfsConfig};
+use xsact_entity::ResultFeatures;
+use xsact_index::{Query, ResultSemantics, ScoredResult, SearchEngine, SearchResult};
+use xsact_xml::{parse_document, Document, NodeId};
+
+/// Hit/miss counters of the workbench's feature cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Feature lookups served from the cache.
+    pub hits: u64,
+    /// Feature lookups that had to run extraction.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total number of feature lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+/// A query-ready XSACT session over one document.
+///
+/// Create one per document with [`Workbench::from_xml`] or
+/// [`Workbench::from_document`], then issue any number of queries through
+/// [`Workbench::query`]. The underlying layer crates remain independently
+/// usable; the workbench only orchestrates them and adds caching.
+#[derive(Debug)]
+pub struct Workbench {
+    engine: SearchEngine,
+    features: RefCell<HashMap<(NodeId, String), ResultFeatures>>,
+    hits: Cell<u64>,
+    misses: Cell<u64>,
+}
+
+impl Workbench {
+    /// Parses `xml` and builds the search engine over it.
+    pub fn from_xml(xml: &str) -> XsactResult<Workbench> {
+        Ok(Workbench::from_document(parse_document(xml)?))
+    }
+
+    /// Builds the search engine over an existing document.
+    pub fn from_document(doc: Document) -> Workbench {
+        Workbench::from_engine(SearchEngine::build(doc))
+    }
+
+    /// Wraps an already-built engine (e.g. one restored from a persisted
+    /// index).
+    pub fn from_engine(engine: SearchEngine) -> Workbench {
+        Workbench {
+            engine,
+            features: RefCell::new(HashMap::new()),
+            hits: Cell::new(0),
+            misses: Cell::new(0),
+        }
+    }
+
+    /// Builds a workbench from a document plus a previously
+    /// [saved](Workbench::save_index) index, skipping the indexing scan.
+    /// Fails with [`XsactError::Io`] if the bytes are corrupt or were
+    /// written for a different document (fingerprint mismatch).
+    pub fn from_persisted_index(doc: Document, r: &mut impl Read) -> XsactResult<Workbench> {
+        let index = xsact_index::load_index(&doc, r)?;
+        Ok(Workbench::from_engine(SearchEngine::from_parts(doc, index)))
+    }
+
+    /// Serialises the inverted index (with the document fingerprint) so a
+    /// later session can skip the indexing scan.
+    pub fn save_index(&self, w: &mut impl Write) -> XsactResult<()> {
+        xsact_index::save_index(self.engine.document(), self.engine.index(), w)?;
+        Ok(())
+    }
+
+    /// Starts a query pipeline. Fails with [`XsactError::EmptyQuery`] when
+    /// `text` contains no indexable terms.
+    pub fn query(&self, text: &str) -> XsactResult<QueryPipeline<'_>> {
+        let query = Query::parse(text);
+        if query.is_empty() {
+            return Err(XsactError::EmptyQuery);
+        }
+        Ok(QueryPipeline {
+            wb: self,
+            query,
+            semantics: ResultSemantics::default(),
+            ranked: false,
+            take: None,
+            select: Vec::new(),
+            config: DfsConfig::default(),
+            search_memo: OnceCell::new(),
+        })
+    }
+
+    /// The underlying search engine, for callers that need layer-level
+    /// access (index statistics, raw SLCA runs, …).
+    pub fn engine(&self) -> &SearchEngine {
+        &self.engine
+    }
+
+    /// The underlying document.
+    pub fn document(&self) -> &Document {
+        self.engine.document()
+    }
+
+    /// The features of one search result, served from the per-root cache.
+    pub fn features_for(&self, result: &SearchResult) -> ResultFeatures {
+        self.subtree_features(result.root, result.label.clone())
+    }
+
+    /// The features of an arbitrary subtree under `label`, served from the
+    /// cache. This is the entry point for scenarios that re-root results
+    /// above the engine's master entity (e.g. comparing *brands* while the
+    /// engine returns *products*).
+    pub fn subtree_features(&self, root: NodeId, label: impl Into<String>) -> ResultFeatures {
+        let key = (root, label.into());
+        if let Some(cached) = self.features.borrow().get(&key) {
+            self.hits.set(self.hits.get() + 1);
+            return cached.clone();
+        }
+        self.misses.set(self.misses.get() + 1);
+        let rf = xsact_entity::extract_features(
+            self.engine.document(),
+            self.engine.summary(),
+            root,
+            key.1.clone(),
+        );
+        self.features.borrow_mut().insert(key, rf.clone());
+        rf
+    }
+
+    /// The result subtree serialised as XML (the demo's "click the name to
+    /// see the entire result").
+    pub fn result_xml(&self, result: &SearchResult) -> String {
+        self.engine.result_xml(result)
+    }
+
+    /// Hit/miss counters of the feature cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats { hits: self.hits.get(), misses: self.misses.get() }
+    }
+
+    /// Number of results whose features are currently cached.
+    pub fn cached_results(&self) -> usize {
+        self.features.borrow().len()
+    }
+
+    /// Drops all cached features and resets the counters.
+    pub fn clear_cache(&self) {
+        self.features.borrow_mut().clear();
+        self.hits.set(0);
+        self.misses.set(0);
+    }
+}
+
+/// A fluent, configured query over a [`Workbench`].
+///
+/// Builder methods refine *what* is searched ([`semantics`](Self::semantics),
+/// [`ranked`](Self::ranked)), *which* results enter the comparison
+/// ([`take`](Self::take), [`select`](Self::select)) and *how* DFSs are
+/// generated ([`size_bound`](Self::size_bound),
+/// [`threshold`](Self::threshold)); terminal methods
+/// ([`results`](Self::results), [`features`](Self::features),
+/// [`compare`](Self::compare)) execute it.
+#[derive(Debug, Clone)]
+pub struct QueryPipeline<'a> {
+    wb: &'a Workbench,
+    query: Query,
+    semantics: ResultSemantics,
+    ranked: bool,
+    take: Option<usize>,
+    select: Vec<usize>,
+    config: DfsConfig,
+    /// The search result list, computed once per pipeline configuration —
+    /// the terminals (`results` → `selection` → `features` → `compare`)
+    /// chain into each other, and without the memo each level would re-run
+    /// the same SLCA search. Builder methods that change what the search
+    /// returns reset it.
+    search_memo: OnceCell<Vec<SearchResult>>,
+}
+
+impl<'a> QueryPipeline<'a> {
+    /// Chooses the LCA semantics (SLCA by default).
+    #[must_use]
+    pub fn semantics(mut self, semantics: ResultSemantics) -> Self {
+        self.semantics = semantics;
+        self.search_memo = OnceCell::new();
+        self
+    }
+
+    /// Orders results by TF-IDF relevance instead of document order.
+    ///
+    /// Ranking is defined over SLCA results only (the engine's
+    /// `search_ranked`), so this overrides a previously chosen
+    /// [`semantics`](Self::semantics).
+    #[must_use]
+    pub fn ranked(mut self, ranked: bool) -> Self {
+        self.ranked = ranked;
+        self.search_memo = OnceCell::new();
+        self
+    }
+
+    /// Compares only the first `n` results (after ranking, if enabled).
+    #[must_use]
+    pub fn take(mut self, n: usize) -> Self {
+        self.take = Some(n);
+        self
+    }
+
+    /// Compares exactly the given 1-based result positions — the ticked
+    /// checkboxes of the demo's result page. Takes precedence over
+    /// [`take`](Self::take); an out-of-range position surfaces as
+    /// [`XsactError::InvalidSelection`] at execution time.
+    #[must_use]
+    pub fn select(mut self, positions: impl IntoIterator<Item = usize>) -> Self {
+        self.select = positions.into_iter().collect();
+        self
+    }
+
+    /// Sets the comparison-table size bound `L` (features per DFS).
+    #[must_use]
+    pub fn size_bound(mut self, bound: usize) -> Self {
+        self.config.size_bound = bound;
+        self
+    }
+
+    /// Sets the differentiability threshold `x` in percent.
+    #[must_use]
+    pub fn threshold(mut self, pct: f64) -> Self {
+        self.config.threshold_pct = pct;
+        self
+    }
+
+    /// The query text, as parsed.
+    pub fn query_text(&self) -> String {
+        self.query.to_string()
+    }
+
+    /// Runs the search and returns all results in pipeline order (document
+    /// order, or best-first when [`ranked`](Self::ranked) is enabled). An
+    /// empty list is a valid outcome here; the comparison terminals turn it
+    /// into [`XsactError::NoResults`].
+    pub fn results(&self) -> Vec<SearchResult> {
+        self.raw_results().to_vec()
+    }
+
+    fn raw_results(&self) -> &[SearchResult] {
+        self.search_memo.get_or_init(|| {
+            if self.ranked {
+                self.wb.engine.search_ranked(&self.query).into_iter().map(|(r, _)| r).collect()
+            } else {
+                self.wb.engine.search_with(&self.query, self.semantics)
+            }
+        })
+    }
+
+    /// Runs the search and returns results with their relevance scores,
+    /// best first. When the pipeline is in [`ranked`](Self::ranked) mode
+    /// this also seeds the search memo, so a following terminal
+    /// (`selection`/`features`/`compare`) does not search again.
+    pub fn ranked_results(&self) -> Vec<(SearchResult, ScoredResult)> {
+        let ranked = self.wb.engine.search_ranked(&self.query);
+        if self.ranked {
+            let _ = self.search_memo.set(ranked.iter().map(|(r, _)| r.clone()).collect());
+        }
+        ranked
+    }
+
+    /// The results that enter the comparison after applying
+    /// [`select`](Self::select) / [`take`](Self::take).
+    pub fn selection(&self) -> XsactResult<Vec<SearchResult>> {
+        let results = self.raw_results();
+        if !self.select.is_empty() {
+            return self
+                .select
+                .iter()
+                .map(|&i| {
+                    i.checked_sub(1)
+                        .and_then(|i| results.get(i))
+                        .cloned()
+                        .ok_or(XsactError::InvalidSelection { index: i, available: results.len() })
+                })
+                .collect();
+        }
+        let cap = self.take.unwrap_or(results.len());
+        Ok(results.iter().take(cap).cloned().collect())
+    }
+
+    /// Extracts (or recalls from the workbench cache) the features of the
+    /// selected results. Fails with [`XsactError::NoResults`] when the
+    /// query matched nothing.
+    pub fn features(&self) -> XsactResult<Vec<ResultFeatures>> {
+        let selected = self.selection()?;
+        if selected.is_empty() {
+            return Err(XsactError::NoResults { query: self.query_text() });
+        }
+        Ok(selected.iter().map(|r| self.wb.features_for(r)).collect())
+    }
+
+    /// Generates Differentiation Feature Sets for the selected results with
+    /// the chosen algorithm and returns the full [`ComparisonOutcome`]
+    /// (DoD, table, per-result selections, timings).
+    pub fn compare(&self, algorithm: Algorithm) -> XsactResult<ComparisonOutcome> {
+        self.validate_config()?;
+        let features = self.features()?;
+        if features.len() < 2 {
+            return Err(XsactError::NotEnoughResults {
+                query: self.query_text(),
+                found: features.len(),
+            });
+        }
+        let comparison = Comparison::new(&features)
+            .size_bound(self.config.size_bound)
+            .threshold(self.config.threshold_pct);
+        match algorithm {
+            Algorithm::Exhaustive { limit } => comparison
+                .run_exhaustive(limit)
+                .ok_or(XsactError::ExhaustiveLimitExceeded { limit }),
+            _ => Ok(comparison.run(algorithm)),
+        }
+    }
+
+    fn validate_config(&self) -> XsactResult<()> {
+        if !self.config.threshold_pct.is_finite() || self.config.threshold_pct < 0.0 {
+            return Err(XsactError::InvalidConfig(format!(
+                "differentiability threshold must be a non-negative percentage, got {}",
+                self.config.threshold_pct
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsact_data::fixtures;
+
+    fn wb() -> Workbench {
+        Workbench::from_document(fixtures::figure1_document())
+    }
+
+    #[test]
+    fn from_xml_rejects_malformed_input() {
+        let err = Workbench::from_xml("<open>").unwrap_err();
+        assert!(matches!(err, XsactError::Xml(_)));
+    }
+
+    #[test]
+    fn empty_query_is_typed() {
+        let wb = wb();
+        assert!(matches!(wb.query(""), Err(XsactError::EmptyQuery)));
+        assert!(matches!(wb.query("!!! ???"), Err(XsactError::EmptyQuery)));
+    }
+
+    #[test]
+    fn pipeline_reproduces_the_paper_numbers() {
+        let wb = wb();
+        let outcome = wb
+            .query(fixtures::PAPER_QUERY)
+            .unwrap()
+            .size_bound(fixtures::TABLE_BOUND)
+            .compare(Algorithm::MultiSwap)
+            .unwrap();
+        assert_eq!(outcome.dod(), 5);
+    }
+
+    #[test]
+    fn cache_serves_repeated_queries() {
+        let wb = wb();
+        let pipeline = wb.query(fixtures::PAPER_QUERY).unwrap().size_bound(6);
+        pipeline.compare(Algorithm::MultiSwap).unwrap();
+        let after_first = wb.cache_stats();
+        assert_eq!(after_first.hits, 0);
+        assert_eq!(after_first.misses, 2);
+        pipeline.compare(Algorithm::Snippet).unwrap();
+        let after_second = wb.cache_stats();
+        assert_eq!(after_second.misses, 2, "no re-extraction");
+        assert_eq!(after_second.hits, 2);
+        assert_eq!(wb.cached_results(), 2);
+        wb.clear_cache();
+        assert_eq!(wb.cache_stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn cache_keys_include_the_label() {
+        // The same root under two labels is two cache entries — alternating
+        // labels must not thrash, and cached_results() tracks misses.
+        let wb = wb();
+        let root = wb.query(fixtures::PAPER_QUERY).unwrap().results()[0].root;
+        let a1 = wb.subtree_features(root, "A");
+        let b = wb.subtree_features(root, "B");
+        let a2 = wb.subtree_features(root, "A");
+        assert_eq!(a1, a2);
+        assert_ne!(a1.label, b.label);
+        let stats = wb.cache_stats();
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(wb.cached_results() as u64, stats.misses);
+    }
+
+    #[test]
+    fn selection_validates_positions() {
+        let wb = wb();
+        let err = wb.query(fixtures::PAPER_QUERY).unwrap().select([1, 9]).selection().unwrap_err();
+        assert!(matches!(err, XsactError::InvalidSelection { index: 9, available: 2 }), "{err}");
+        // Position 0 cannot underflow into a valid index.
+        let err = wb.query(fixtures::PAPER_QUERY).unwrap().select([0]).selection().unwrap_err();
+        assert!(matches!(err, XsactError::InvalidSelection { index: 0, .. }));
+    }
+
+    #[test]
+    fn single_result_cannot_compare() {
+        let wb = wb();
+        let err = wb
+            .query(fixtures::PAPER_QUERY)
+            .unwrap()
+            .take(1)
+            .compare(Algorithm::MultiSwap)
+            .unwrap_err();
+        assert!(matches!(err, XsactError::NotEnoughResults { found: 1, .. }));
+    }
+
+    #[test]
+    fn invalid_threshold_is_rejected() {
+        let wb = wb();
+        let err = wb
+            .query(fixtures::PAPER_QUERY)
+            .unwrap()
+            .threshold(-3.0)
+            .compare(Algorithm::MultiSwap)
+            .unwrap_err();
+        assert!(matches!(err, XsactError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn exhaustive_limit_is_typed() {
+        let wb = wb();
+        let pipeline = wb.query(fixtures::PAPER_QUERY).unwrap().size_bound(6);
+        let err = pipeline.compare(Algorithm::Exhaustive { limit: 1 }).unwrap_err();
+        assert!(matches!(err, XsactError::ExhaustiveLimitExceeded { limit: 1 }));
+        let ok = pipeline.compare(Algorithm::Exhaustive { limit: 5_000_000 }).unwrap();
+        assert_eq!(ok.algorithm.name(), "exhaustive");
+    }
+
+    #[test]
+    fn toggling_ranked_after_a_search_resets_the_memo() {
+        // The second product mentions the term far more often, so ranking
+        // reverses document order — a stale memoized search would be
+        // observable as the wrong first result.
+        let wb = Workbench::from_xml(
+            "<shop>\
+               <product><name>Alpha</name><kind>gps</kind></product>\
+               <product><name>Beta</name><kind>gps</kind>\
+                 <reviews><review><pros><gps>gps gps gps</gps></pros></review></reviews>\
+               </product>\
+             </shop>",
+        )
+        .unwrap();
+        let pipeline = wb.query("gps").unwrap();
+        let plain_first = pipeline.results()[0].label.clone();
+        assert_eq!(plain_first, "Alpha"); // document order
+        let ranked_first = pipeline.clone().ranked(true).results()[0].label.clone();
+        assert_eq!(ranked_first, "Beta", "memo not reset by ranked()");
+        // The original pipeline still serves its memoized plain list.
+        assert_eq!(pipeline.results()[0].label, plain_first);
+    }
+
+    #[test]
+    fn index_round_trips_through_persistence() {
+        let wb = wb();
+        let mut bytes = Vec::new();
+        wb.save_index(&mut bytes).unwrap();
+        let restored =
+            Workbench::from_persisted_index(fixtures::figure1_document(), &mut bytes.as_slice())
+                .unwrap();
+        let a = wb.query(fixtures::PAPER_QUERY).unwrap().results();
+        let b = restored.query(fixtures::PAPER_QUERY).unwrap().results();
+        assert_eq!(a, b);
+        // A mismatched document is rejected as a typed I/O error.
+        let other =
+            xsact_xml::parse_document("<shop><product><name>x</name></product></shop>").unwrap();
+        let err = Workbench::from_persisted_index(other, &mut bytes.as_slice()).unwrap_err();
+        assert!(matches!(err, XsactError::Io(_)));
+    }
+}

@@ -5,20 +5,19 @@
 use xsact::prelude::*;
 use xsact_core::Algorithm;
 use xsact_data::movies::{MovieGenConfig, MoviesGen};
-use xsact_data::{JobsGen, JobsGenConfig, OutdoorGen, OutdoorGenConfig, ReviewsGen, ReviewsGenConfig};
+use xsact_data::{
+    JobsGen, JobsGenConfig, OutdoorGen, OutdoorGenConfig, ReviewsGen, ReviewsGenConfig,
+};
 use xsact_xml::writer::write_subtree;
 
 #[test]
 fn all_generators_are_seed_deterministic() {
-    let movies = |seed| {
-        MoviesGen::new(MovieGenConfig { seed, movies: 40, ..Default::default() }).generate()
-    };
-    let reviews = |seed| {
-        ReviewsGen::new(ReviewsGenConfig { seed, products: 8, reviews: (3, 12) }).generate()
-    };
+    let movies =
+        |seed| MoviesGen::new(MovieGenConfig { seed, movies: 40, ..Default::default() }).generate();
+    let reviews =
+        |seed| ReviewsGen::new(ReviewsGenConfig { seed, products: 8, reviews: (3, 12) }).generate();
     let outdoor = |seed| {
-        OutdoorGen::new(OutdoorGenConfig { seed, products: (5, 15), focus_bias: 0.7 })
-            .generate()
+        OutdoorGen::new(OutdoorGenConfig { seed, products: (5, 15), focus_bias: 0.7 }).generate()
     };
     let jobs =
         |seed| JobsGen::new(JobsGenConfig { seed, openings: (4, 9), focus_bias: 0.7 }).generate();
@@ -43,10 +42,8 @@ fn all_generators_are_seed_deterministic() {
 
 #[test]
 fn different_seeds_give_different_data() {
-    let a = MoviesGen::new(MovieGenConfig { seed: 1, movies: 40, ..Default::default() })
-        .generate();
-    let b = MoviesGen::new(MovieGenConfig { seed: 2, movies: 40, ..Default::default() })
-        .generate();
+    let a = MoviesGen::new(MovieGenConfig { seed: 1, movies: 40, ..Default::default() }).generate();
+    let b = MoviesGen::new(MovieGenConfig { seed: 2, movies: 40, ..Default::default() }).generate();
     assert_ne!(write_subtree(&a, a.root()), write_subtree(&b, b.root()));
 }
 
@@ -56,11 +53,8 @@ fn full_pipeline_is_deterministic() {
         let doc = MoviesGen::new(MovieGenConfig { movies: 80, ..Default::default() }).generate();
         let engine = SearchEngine::build(doc);
         let results = engine.search(&Query::parse("drama family"));
-        let features: Vec<ResultFeatures> = results
-            .iter()
-            .take(5)
-            .map(|r| engine.extract_features(r))
-            .collect();
+        let features: Vec<ResultFeatures> =
+            results.iter().take(5).map(|r| engine.extract_features(r)).collect();
         let outcome = Comparison::new(&features).size_bound(5).run(Algorithm::MultiSwap);
         (outcome.dod(), outcome.table())
     };

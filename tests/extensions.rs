@@ -53,11 +53,8 @@ fn elca_comparison_pipeline_works() {
     let q = Query::parse("drama family");
     let results = engine.search_with(&q, ResultSemantics::Elca);
     assert!(results.len() >= 2);
-    let features: Vec<ResultFeatures> = results
-        .iter()
-        .take(4)
-        .map(|r| engine.extract_features(r))
-        .collect();
+    let features: Vec<ResultFeatures> =
+        results.iter().take(4).map(|r| engine.extract_features(r)).collect();
     let outcome = Comparison::new(&features).size_bound(6).run(Algorithm::MultiSwap);
     assert!(outcome.set.all_valid(&outcome.instance));
 }
@@ -65,11 +62,8 @@ fn elca_comparison_pipeline_works() {
 fn qm_instance(engine: &SearchEngine, bound: usize) -> Instance {
     let q = Query::parse("drama family");
     let results = engine.search(&q);
-    let features: Vec<ResultFeatures> = results
-        .iter()
-        .take(5)
-        .map(|r| engine.extract_features(r))
-        .collect();
+    let features: Vec<ResultFeatures> =
+        results.iter().take(5).map(|r| engine.extract_features(r)).collect();
     Instance::build(&features, DfsConfig { size_bound: bound, threshold_pct: 10.0 })
 }
 
@@ -102,10 +96,8 @@ fn annealing_tracks_multi_swap_quality() {
     let engine = movie_engine();
     let inst = qm_instance(&engine, 5);
     let (multi, _) = xsact_core::multi_swap(&inst);
-    let (_, annealed_dod) = xsact_core::anneal(
-        &inst,
-        &AnnealingConfig { iterations: 2_000, ..Default::default() },
-    );
+    let (_, annealed_dod) =
+        xsact_core::anneal(&inst, &AnnealingConfig { iterations: 2_000, ..Default::default() });
     // anneal() starts from multi-swap, so it can only match or improve.
     assert!(annealed_dod >= dod_total(&inst, &multi));
 }

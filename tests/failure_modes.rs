@@ -106,7 +106,11 @@ fn results_with_disjoint_types_cannot_differentiate() {
 #[test]
 fn results_with_no_features_at_all() {
     let empty = |label: &str| {
-        ResultFeatures::from_raw(label, [("e".to_string(), 1)], Vec::<(FeatureType, String, u32)>::new())
+        ResultFeatures::from_raw(
+            label,
+            [("e".to_string(), 1)],
+            Vec::<(FeatureType, String, u32)>::new(),
+        )
     };
     let outcome =
         Comparison::new(&[empty("a"), empty("b")]).size_bound(5).run(Algorithm::MultiSwap);
@@ -144,8 +148,7 @@ fn huge_size_bound_is_clamped_to_available_types() {
         [("e".to_string(), 5)],
         [(FeatureType::new("e", "x"), "yes".to_string(), 1)],
     );
-    let outcome =
-        Comparison::new(&[a, b]).size_bound(1_000_000).run(Algorithm::MultiSwap);
+    let outcome = Comparison::new(&[a, b]).size_bound(1_000_000).run(Algorithm::MultiSwap);
     assert_eq!(outcome.dfs_size(0), 1);
     assert_eq!(outcome.dod(), 1);
 }
@@ -169,10 +172,8 @@ fn extreme_thresholds() {
         .run(Algorithm::MultiSwap);
     assert_eq!(loose.dod(), 1);
     // x = 10_000: a 90% vs 50% gap (0.4) needs to exceed 100 × 0.5 → never.
-    let strict = Comparison::new(&[a, b])
-        .threshold(10_000.0)
-        .size_bound(2)
-        .run(Algorithm::MultiSwap);
+    let strict =
+        Comparison::new(&[a, b]).threshold(10_000.0).size_bound(2).run(Algorithm::MultiSwap);
     assert_eq!(strict.dod(), 0);
 }
 

@@ -8,8 +8,8 @@ use xsact_data::{OutdoorGen, OutdoorGenConfig, ReviewsGen, ReviewsGenConfig};
 
 #[test]
 fn product_reviews_pipeline() {
-    let doc = ReviewsGen::new(ReviewsGenConfig { seed: 7, products: 18, reviews: (5, 40) })
-        .generate();
+    let doc =
+        ReviewsGen::new(ReviewsGenConfig { seed: 7, products: 18, reviews: (5, 40) }).generate();
     let engine = SearchEngine::build(doc);
 
     let results = engine.search(&Query::parse("TomTom GPS"));
@@ -36,12 +36,8 @@ fn product_reviews_pipeline() {
 #[test]
 fn outdoor_brand_comparison_scenario() {
     // The demo's scenario: query {men, jackets}, compare *brands*.
-    let doc = OutdoorGen::new(OutdoorGenConfig {
-        seed: 3,
-        products: (25, 50),
-        focus_bias: 0.8,
-    })
-    .generate();
+    let doc = OutdoorGen::new(OutdoorGenConfig { seed: 3, products: (25, 50), focus_bias: 0.8 })
+        .generate();
     let engine = SearchEngine::build(doc);
     let results = engine.search(&Query::parse("men jackets"));
     assert!(!results.is_empty());
@@ -148,11 +144,13 @@ fn slca_promotion_collapses_duplicate_matches() {
 #[test]
 fn full_pipeline_via_facade_prelude() {
     // The README quickstart, as a test.
-    let doc = xsact::data::fixtures::figure1_document();
-    let engine = SearchEngine::build(doc);
-    let results = engine.search(&Query::parse("TomTom GPS"));
-    let features: Vec<_> = results.iter().map(|r| engine.extract_features(r)).collect();
-    let outcome = Comparison::new(&features).size_bound(6).run(Algorithm::MultiSwap);
+    let wb = Workbench::from_document(xsact::data::fixtures::figure1_document());
+    let outcome = wb
+        .query("TomTom GPS")
+        .expect("non-empty query")
+        .size_bound(6)
+        .compare(Algorithm::MultiSwap)
+        .expect("two results to compare");
     assert!(outcome.dod() >= 4);
     assert!(!outcome.table().is_empty());
 }
