@@ -7,15 +7,18 @@
 
 use xsact::prelude::*;
 use xsact_bench::harness::bench;
-use xsact_bench::{movie_workbench, prepare_qm_queries, FIG4_BOUND, FIG4_RESULT_CAP, FIG4_SEED};
+use xsact_bench::{
+    movie_workbench, prepare_qm_queries, scaled, FIG4_BOUND, FIG4_RESULT_CAP, FIG4_SEED,
+};
 use xsact_core::{exhaustive, run_algorithm, Instance};
 use xsact_data::fixtures;
 
-/// Figure 4(b): one timing series per algorithm over QM1–QM8.
+/// Figure 4(b): one timing series per algorithm over QM1–QM8 (QM1–QM2 in
+/// quick mode).
 fn bench_fig4_algorithms() {
-    let wb = movie_workbench(400, FIG4_SEED);
+    let wb = movie_workbench(scaled(400, 60), FIG4_SEED);
     let prepared = prepare_qm_queries(&wb, FIG4_RESULT_CAP, FIG4_BOUND);
-    for p in &prepared {
+    for p in &prepared[..scaled(prepared.len(), 2)] {
         let Some(inst) = &p.instance else { continue };
         for algo in [Algorithm::SingleSwap, Algorithm::MultiSwap] {
             bench("fig4b", &format!("{}/{}", algo.name(), p.label), || run_algorithm(inst, algo));
@@ -26,7 +29,7 @@ fn bench_fig4_algorithms() {
 /// Preprocessing cost: building the comparison instance (interning + the
 /// differentiability matrix) from extracted features.
 fn bench_instance_build() {
-    let wb = movie_workbench(400, FIG4_SEED);
+    let wb = movie_workbench(scaled(400, 60), FIG4_SEED);
     let prepared = prepare_qm_queries(&wb, FIG4_RESULT_CAP, FIG4_BOUND);
     let features = wb
         .query(&prepared[0].text)
@@ -37,6 +40,22 @@ fn bench_instance_build() {
     bench("preprocess", "instance_build_qm1", || {
         Instance::build(&features, DfsConfig { size_bound: FIG4_BOUND, threshold_pct: 10.0 })
     });
+}
+
+/// The corpus engine: merged ranking over a synthetic fleet, sequential vs
+/// sharded, on the same corpus — the microbench companion of the
+/// `corpus_scaling` sweep binary.
+fn bench_corpus_fan_out() {
+    let docs = scaled(8, 2);
+    let mut corpus = Corpus::synthetic_movies(docs, scaled(150, 20), FIG4_SEED);
+    for shards in [1usize, 4] {
+        corpus.set_shards(shards);
+        // Build the query inside the closure: CorpusQuery memoizes its
+        // ranking, and the fan-out is what this series measures.
+        bench("corpus", &format!("ranking_{docs}_docs/{shards}_shards"), || {
+            corpus.query("drama family").expect("query is non-empty").ranking().hits.len()
+        });
+    }
 }
 
 /// The paper's worked example end-to-end (search → extract → multi-swap →
@@ -79,6 +98,7 @@ fn bench_exhaustive_oracle() {
 fn main() {
     bench_fig4_algorithms();
     bench_instance_build();
+    bench_corpus_fan_out();
     bench_paper_example_pipeline();
     bench_exhaustive_oracle();
 }

@@ -6,14 +6,15 @@
 //! (Self-timing harness; criterion is unavailable in the offline build.)
 
 use xsact_bench::harness::bench;
-use xsact_bench::FIG4_SEED;
+use xsact_bench::{scaled, FIG4_SEED};
 use xsact_data::movies::{qm_queries, MovieGenConfig, MoviesGen};
 use xsact_index::{slca_full_scan, slca_indexed_lookup, InvertedIndex, Query, SearchEngine};
 use xsact_xml::NodeId;
 
 fn bench_slca_algorithms() {
-    let doc = MoviesGen::new(MovieGenConfig { movies: 400, seed: FIG4_SEED, ..Default::default() })
-        .generate();
+    let movies = scaled(400, 60);
+    let doc =
+        MoviesGen::new(MovieGenConfig { movies, seed: FIG4_SEED, ..Default::default() }).generate();
     let idx = InvertedIndex::build(&doc);
     // QM1 (broad: long posting lists) and QM8 (narrow).
     for (label, text) in [&qm_queries()[0], &qm_queries()[7]] {
@@ -27,14 +28,16 @@ fn bench_slca_algorithms() {
 }
 
 fn bench_index_build() {
-    let doc = MoviesGen::new(MovieGenConfig { movies: 200, seed: FIG4_SEED, ..Default::default() })
-        .generate();
-    bench("index", "build_200_movies", || InvertedIndex::build(&doc));
+    let movies = scaled(200, 40);
+    let doc =
+        MoviesGen::new(MovieGenConfig { movies, seed: FIG4_SEED, ..Default::default() }).generate();
+    bench("index", &format!("build_{movies}_movies"), || InvertedIndex::build(&doc));
 }
 
 fn bench_query_end_to_end() {
-    let doc = MoviesGen::new(MovieGenConfig { movies: 400, seed: FIG4_SEED, ..Default::default() })
-        .generate();
+    let movies = scaled(400, 60);
+    let doc =
+        MoviesGen::new(MovieGenConfig { movies, seed: FIG4_SEED, ..Default::default() }).generate();
     let engine = SearchEngine::build(doc);
     for (label, text) in [&qm_queries()[0], &qm_queries()[7]] {
         let query = Query::parse(text);

@@ -5,12 +5,15 @@
 //! (Self-timing harness; criterion is unavailable in the offline build.)
 
 use xsact_bench::harness::{bench, format_duration};
+use xsact_bench::scaled;
 use xsact_data::{ReviewsGen, ReviewsGenConfig};
 use xsact_entity::{extract_features, StructureSummary};
 use xsact_xml::{parse_document, writer, Document};
 
 fn dataset() -> Document {
-    ReviewsGen::new(ReviewsGenConfig { seed: 42, products: 24, reviews: (20, 60) }).generate()
+    let products = scaled(24, 6);
+    let reviews = if xsact_bench::quick_mode() { (5, 10) } else { (20, 60) };
+    ReviewsGen::new(ReviewsGenConfig { seed: 42, products, reviews }).generate()
 }
 
 fn bench_parse_and_write() {

@@ -15,7 +15,7 @@
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use xsact_bench::{
-    movie_workbench, prepare_qm_queries, print_row, FIG4_BOUND, FIG4_RESULT_CAP, FIG4_SEED,
+    movie_workbench, prepare_qm_queries, print_row, scaled, FIG4_BOUND, FIG4_RESULT_CAP, FIG4_SEED,
 };
 use xsact_core::{
     dod_total, exhaustive, greedy_set, multi_swap_from, run_algorithm, single_swap_from,
@@ -36,7 +36,7 @@ fn threshold_sweep() {
     println!("ablation 1: differentiability threshold x (QM1, 6 results, L = 6)");
     let widths = [8, 10, 10];
     print_row(&["x (%)".into(), "multi".into(), "upper".into()], &widths);
-    let wb = movie_workbench(400, FIG4_SEED);
+    let wb = movie_workbench(scaled(400, 80), FIG4_SEED);
     let prepared = prepare_qm_queries(&wb, FIG4_RESULT_CAP, FIG4_BOUND);
     // Instances embed their threshold at build time, so recall the QM1
     // features (already cached by the preparation above) and rebuild per x.
@@ -96,11 +96,11 @@ fn random_instance(rng: &mut StdRng) -> Instance {
 }
 
 fn optimality_gap() {
-    println!("ablation 2: optimality gap vs exhaustive optimum (500 random small instances)");
+    println!("ablation 2: optimality gap vs exhaustive optimum (random small instances)");
     let mut rng = StdRng::seed_from_u64(2010);
     let (mut s_opt, mut m_opt, mut g_opt, mut total) = (0u32, 0u32, 0u32, 0u32);
     let (mut s_gap, mut m_gap, mut g_gap) = (0u32, 0u32, 0u32);
-    for _ in 0..500 {
+    for _ in 0..scaled(500, 25) {
         let inst = random_instance(&mut rng);
         let Some((_, opt)) = exhaustive(&inst, 200_000) else { continue };
         total += 1;
@@ -146,7 +146,7 @@ fn restart_ablation() {
         ],
         &widths,
     );
-    let wb = movie_workbench(400, FIG4_SEED);
+    let wb = movie_workbench(scaled(400, 80), FIG4_SEED);
     let prepared = prepare_qm_queries(&wb, FIG4_RESULT_CAP, FIG4_BOUND);
     for p in &prepared {
         let Some(inst) = &p.instance else { continue };
@@ -180,14 +180,17 @@ fn annealing_headroom() {
     println!("ablation 5: simulated annealing on top of multi-swap (future-work probe)");
     let widths = [6, 12, 12, 12];
     print_row(&["query".into(), "multi".into(), "annealed".into(), "upper".into()], &widths);
-    let wb = movie_workbench(400, FIG4_SEED);
+    let wb = movie_workbench(scaled(400, 80), FIG4_SEED);
     let prepared = prepare_qm_queries(&wb, FIG4_RESULT_CAP, FIG4_BOUND);
     for p in &prepared {
         let Some(inst) = &p.instance else { continue };
         let (multi, _) = run_algorithm(inst, Algorithm::MultiSwap);
         let (_, annealed) = xsact_core::anneal(
             inst,
-            &xsact_core::AnnealingConfig { iterations: 20_000, ..Default::default() },
+            &xsact_core::AnnealingConfig {
+                iterations: scaled(20_000, 500) as u32,
+                ..Default::default()
+            },
         );
         print_row(
             &[
@@ -210,7 +213,7 @@ fn interestingness_tradeoff() {
     );
     let widths = [6, 16, 16, 16];
     print_row(&["query".into(), "lambda 0".into(), "lambda 1".into(), "lambda 5".into()], &widths);
-    let wb = movie_workbench(400, FIG4_SEED);
+    let wb = movie_workbench(scaled(400, 80), FIG4_SEED);
     let prepared = prepare_qm_queries(&wb, FIG4_RESULT_CAP, 4);
     for p in &prepared {
         let Some(inst) = &p.instance else { continue };
@@ -229,10 +232,11 @@ fn interestingness_tradeoff() {
 }
 
 fn divergence_census() {
-    println!("ablation 4: single-swap vs multi-swap divergence on 2000 random instances");
+    println!("ablation 4: single-swap vs multi-swap divergence on random instances");
     let mut rng = StdRng::seed_from_u64(7);
     let (mut diverge, mut total_gap) = (0u32, 0u32);
-    for _ in 0..2000 {
+    let census = scaled(2000, 50);
+    for _ in 0..census {
         let inst = random_instance(&mut rng);
         let (s, _) = run_algorithm(&inst, Algorithm::SingleSwap);
         let (m, _) = run_algorithm(&inst, Algorithm::MultiSwap);
@@ -243,5 +247,7 @@ fn divergence_census() {
             total_gap += md - sd;
         }
     }
-    println!("  multi-swap strictly better on {diverge}/2000 instances (total gap {total_gap})");
+    println!(
+        "  multi-swap strictly better on {diverge}/{census} instances (total gap {total_gap})"
+    );
 }

@@ -1,0 +1,129 @@
+//! EXT-CORPUS — scaling of the sharded corpus engine.
+//!
+//! Two sweeps over synthetic movie fleets:
+//!
+//! 1. **Shard count** on a fixed corpus: wall-clock of the full corpus
+//!    query (fan-out + per-document ranked search + k-way merge) as the
+//!    shard count grows, with the speedup over the single-shard baseline.
+//!    Expected shape: near-linear until shards ≈ cores, flat after (empty
+//!    or tiny shards cost nothing, but cannot help either).
+//! 2. **Document count** at fixed shard counts {1, cores}: the multi-shard
+//!    advantage should widen as the corpus grows, since per-query fixed
+//!    costs amortise.
+//!
+//! Every run asserts the merged rankings are identical across shard
+//! counts before timing anything — a bench that quietly compared different
+//! rankings would be measuring a bug.
+//!
+//! Usage: `cargo run --release -p xsact-bench --bin corpus_scaling [--quick]`
+
+use std::time::{Duration, Instant};
+use xsact::prelude::*;
+use xsact_bench::{print_row, scaled, FIG4_SEED};
+
+/// Best-of-`reps` wall-clock of one full corpus query (search is re-run,
+/// the merged ranking is rebuilt; the feature cache plays no part here).
+/// A fresh `CorpusQuery` per rep — the query memoizes its ranking, and
+/// the fan-out is exactly what this sweep measures.
+fn time_ranking(corpus: &Corpus, query: &str, reps: usize) -> (Duration, usize) {
+    let mut best = Duration::MAX;
+    let mut hits = 0;
+    for _ in 0..reps.max(1) {
+        let q = corpus.query(query).expect("bench query is non-empty");
+        let t = Instant::now();
+        let ranking = q.ranking();
+        let elapsed = t.elapsed();
+        std::hint::black_box(&ranking);
+        best = best.min(elapsed);
+        hits = ranking.hits.len();
+    }
+    (best, hits)
+}
+
+fn check_determinism(corpus: &mut Corpus, query: &str, shard_counts: &[usize]) {
+    let mut baseline: Option<String> = None;
+    for &shards in shard_counts {
+        corpus.set_shards(shards);
+        let rendered = corpus.query(query).expect("non-empty").ranking().render(usize::MAX);
+        match &baseline {
+            Some(b) => assert_eq!(*b, rendered, "ranking changed at {shards} shards"),
+            None => baseline = Some(rendered),
+        }
+    }
+}
+
+fn sweep_shard_count(query: &str, reps: usize) {
+    let docs = scaled(8, 2);
+    let movies = scaled(200, 20);
+    println!("sweep 1: shard count ({docs} documents x {movies} movies, query {query:?})");
+    let t = Instant::now();
+    let mut corpus = Corpus::synthetic_movies(docs, movies, FIG4_SEED);
+    println!("  corpus built in {:.1?}", t.elapsed());
+    let shard_counts: &[usize] = &[1, 2, 4, 8][..scaled(4, 2)];
+    check_determinism(&mut corpus, query, shard_counts);
+    let widths = [8, 8, 14, 10];
+    print_row(&["shards".into(), "hits".into(), "best".into(), "speedup".into()], &widths);
+    let mut baseline = Duration::ZERO;
+    for &shards in shard_counts {
+        corpus.set_shards(shards);
+        let (best, hits) = time_ranking(&corpus, query, reps);
+        if shards == 1 {
+            baseline = best;
+        }
+        print_row(
+            &[
+                shards.to_string(),
+                hits.to_string(),
+                format!("{best:.1?}"),
+                format!("{:.2}x", baseline.as_secs_f64() / best.as_secs_f64().max(1e-12)),
+            ],
+            &widths,
+        );
+    }
+    println!();
+}
+
+fn sweep_document_count(query: &str, reps: usize) {
+    let movies = scaled(100, 20);
+    let max_shards = std::thread::available_parallelism().map_or(4, usize::from);
+    println!(
+        "sweep 2: document count ({movies} movies each, 1 vs {max_shards} shards, query {query:?})"
+    );
+    let widths = [6, 8, 14, 14, 10];
+    print_row(
+        &["docs".into(), "hits".into(), "t_1shard".into(), "t_sharded".into(), "speedup".into()],
+        &widths,
+    );
+    for &docs in &[2usize, 4, 8, 16][..scaled(4, 2)] {
+        let mut corpus = Corpus::synthetic_movies(docs, movies, FIG4_SEED);
+        check_determinism(&mut corpus, query, &[1, max_shards]);
+        corpus.set_shards(1);
+        let (sequential, hits) = time_ranking(&corpus, query, reps);
+        corpus.set_shards(max_shards);
+        let (sharded, _) = time_ranking(&corpus, query, reps);
+        print_row(
+            &[
+                docs.to_string(),
+                hits.to_string(),
+                format!("{sequential:.1?}"),
+                format!("{sharded:.1?}"),
+                format!("{:.2}x", sequential.as_secs_f64() / sharded.as_secs_f64().max(1e-12)),
+            ],
+            &widths,
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let query = "drama family";
+    let reps = scaled(7, 1);
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    println!("machine parallelism: {cores} core{}", if cores == 1 { "" } else { "s" });
+    if cores == 1 {
+        println!("(single core: expect speedup ~1.0x — the sweep then measures sharding overhead)");
+    }
+    println!();
+    sweep_shard_count(query, reps);
+    sweep_document_count(query, reps);
+}

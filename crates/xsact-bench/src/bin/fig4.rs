@@ -25,7 +25,10 @@ use xsact_core::{dod_total, run_algorithm, Algorithm};
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let movies: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(FIG4_MOVIES);
+    let movies: usize = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or_else(|| xsact_bench::scaled(FIG4_MOVIES, 60));
     let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(FIG4_SEED);
 
     println!("Figure 4 workload: {movies} movies (seed {seed}), result cap {FIG4_RESULT_CAP}, L = {FIG4_BOUND}, x = 10%");
@@ -116,9 +119,10 @@ fn main() {
     println!("  every query processed in < 1 s: {all_fast}");
 }
 
-/// Median-of-5 wall-clock time of one algorithm on one instance.
+/// Median wall-clock time of one algorithm on one instance (5 samples, or
+/// a single one in quick mode).
 fn time_algorithm(inst: &xsact_core::Instance, algo: Algorithm) -> Duration {
-    let mut samples: Vec<Duration> = (0..5)
+    let mut samples: Vec<Duration> = (0..xsact_bench::scaled(5, 1))
         .map(|_| {
             let t = Instant::now();
             let (set, _) = run_algorithm(inst, algo);
@@ -127,5 +131,5 @@ fn time_algorithm(inst: &xsact_core::Instance, algo: Algorithm) -> Duration {
         })
         .collect();
     samples.sort();
-    samples[2]
+    samples[samples.len() / 2]
 }

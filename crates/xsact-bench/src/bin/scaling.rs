@@ -9,10 +9,10 @@
 //! 3. **Dataset size** (movies): index build time and query latency of the
 //!    search substrate.
 //!
-//! Usage: `cargo run --release -p xsact-bench --bin scaling`
+//! Usage: `cargo run --release -p xsact-bench --bin scaling [--quick]`
 
 use std::time::Instant;
-use xsact_bench::{movie_workbench, prepare_qm_queries, print_row, FIG4_SEED};
+use xsact_bench::{movie_workbench, prepare_qm_queries, print_row, scaled, FIG4_SEED};
 use xsact_core::{dod_total, run_algorithm, Algorithm};
 use xsact_data::movies::{qm_queries, MovieGenConfig, MoviesGen};
 use xsact_index::{Query, SearchEngine};
@@ -38,8 +38,9 @@ fn sweep_result_count() {
         ],
         &widths,
     );
-    let wb = movie_workbench(400, FIG4_SEED);
-    for n in [2usize, 4, 6, 8, 12, 16] {
+    let wb = movie_workbench(scaled(400, 80), FIG4_SEED);
+    for n in &[2usize, 4, 6, 8, 12, 16][..scaled(6, 2)] {
+        let n = *n;
         let prepared = prepare_qm_queries(&wb, n, 6);
         let Some(inst) = &prepared[0].instance else { continue };
         let t = Instant::now();
@@ -71,8 +72,9 @@ fn sweep_size_bound() {
         &["L".into(), "snippet".into(), "greedy".into(), "single".into(), "multi".into()],
         &widths,
     );
-    let wb = movie_workbench(400, FIG4_SEED);
-    for bound in [1usize, 2, 3, 4, 6, 8, 12, 16, 24] {
+    let wb = movie_workbench(scaled(400, 80), FIG4_SEED);
+    for bound in &[1usize, 2, 3, 4, 6, 8, 12, 16, 24][..scaled(9, 2)] {
+        let bound = *bound;
         let prepared = prepare_qm_queries(&wb, 6, bound);
         let Some(inst) = &prepared[3].instance else { continue };
         let mut row = vec![bound.to_string()];
@@ -98,7 +100,8 @@ fn sweep_dataset_size() {
         ],
         &widths,
     );
-    for movies in [100usize, 200, 400, 800, 1600] {
+    for movies in &[100usize, 200, 400, 800, 1600][..scaled(5, 1)] {
+        let movies = *movies;
         let t = Instant::now();
         let doc = MoviesGen::new(MovieGenConfig { movies, seed: FIG4_SEED, ..Default::default() })
             .generate();

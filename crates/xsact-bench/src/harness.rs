@@ -23,11 +23,44 @@ pub struct BenchConfig {
 
 impl Default for BenchConfig {
     fn default() -> Self {
+        if quick_mode() {
+            return BenchConfig::quick();
+        }
         BenchConfig {
             warm_up: Duration::from_millis(120),
             samples: 15,
             min_sample_time: Duration::from_millis(12),
         }
+    }
+}
+
+impl BenchConfig {
+    /// The smoke-test configuration: one warm-up call, one sample of one
+    /// iteration. The numbers are meaningless as measurements — the point
+    /// is that every bench body still *runs* (so CI catches bit-rot) in a
+    /// fraction of a second.
+    pub fn quick() -> Self {
+        BenchConfig { warm_up: Duration::ZERO, samples: 1, min_sample_time: Duration::ZERO }
+    }
+}
+
+/// Whether this process should run benches in smoke mode: one tiny
+/// iteration per bench, shrunken workloads. Enabled by `XSACT_BENCH_QUICK`
+/// (any value but `0`/empty) or a `--quick` argument; CI sets the
+/// environment variable so every self-timing binary is exercised on every
+/// PR without costing minutes.
+pub fn quick_mode() -> bool {
+    std::env::var_os("XSACT_BENCH_QUICK").is_some_and(|v| !v.is_empty() && v != "0")
+        || std::env::args().any(|a| a == "--quick")
+}
+
+/// `full`, shrunk to `quick` in [smoke mode](quick_mode) — the one-liner
+/// the bench binaries use to scale their workloads.
+pub fn scaled(full: usize, quick: usize) -> usize {
+    if quick_mode() {
+        quick
+    } else {
+        full
     }
 }
 
@@ -118,6 +151,26 @@ mod tests {
         let s = bench_with(cfg, "test", "sum", &mut work);
         assert!(s.min <= s.median);
         assert!(s.iters_per_sample >= 1);
+    }
+
+    #[test]
+    fn quick_config_runs_one_tiny_iteration() {
+        let mut calls = 0u64;
+        let s = bench_with(BenchConfig::quick(), "test", "quick", &mut || calls += 1);
+        assert_eq!(s.iters_per_sample, 1);
+        // One calibration call plus one sample iteration.
+        assert_eq!(calls, 2);
+    }
+
+    #[test]
+    fn scaled_only_shrinks_in_quick_mode() {
+        // The harness honours however this test process was launched, so
+        // assert consistency rather than a fixed mode.
+        if quick_mode() {
+            assert_eq!(scaled(400, 40), 40);
+        } else {
+            assert_eq!(scaled(400, 40), 400);
+        }
     }
 
     #[test]

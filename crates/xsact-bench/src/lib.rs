@@ -13,6 +13,8 @@ use xsact_data::movies::{qm_queries, MovieGenConfig, MoviesGen};
 
 pub mod harness;
 
+pub use harness::{quick_mode, scaled};
+
 /// Default movie-dataset size for the Figure 4 workload.
 pub const FIG4_MOVIES: usize = 400;
 

@@ -2,7 +2,8 @@
 //! the terminal analogue of the paper's Figure 5 result page, wired through
 //! the [`Workbench`] pipeline with typed errors.
 
-use crate::args::{Args, Dataset};
+use crate::args::{Args, CorpusArgs, Dataset};
+use std::time::Instant;
 use xsact::prelude::*;
 use xsact_data::{
     fixtures, JobsGen, JobsGenConfig, MovieGenConfig, MoviesGen, OutdoorGen, OutdoorGenConfig,
@@ -33,7 +34,22 @@ pub fn load_dataset(args: &Args) -> Document {
 /// without capturing stdout.
 pub fn run(args: &Args) -> Result<String, XsactError> {
     let mut out = String::new();
-    let wb = Workbench::from_document(load_dataset(args));
+    let doc = load_dataset(args);
+    let wb = match &args.load_index {
+        // A persisted index skips the indexing scan; the fingerprint check
+        // inside rejects an index saved for a different dataset/seed.
+        Some(path) => {
+            let mut file = std::fs::File::open(path)?;
+            let wb = Workbench::from_persisted_index(doc, &mut file)?;
+            out.push_str(&format!("index: restored from {path}\n"));
+            wb
+        }
+        None => Workbench::from_document(doc),
+    };
+    if let Some(path) = &args.save_index {
+        wb.save_index(&mut std::fs::File::create(path)?)?;
+        out.push_str(&format!("index: saved to {path}\n"));
+    }
     out.push_str(&format!("dataset: {:?} ({} XML nodes)\n", args.dataset, wb.document().len()));
 
     let mut pipeline = wb
@@ -115,6 +131,98 @@ pub fn run(args: &Args) -> Result<String, XsactError> {
     Ok(out)
 }
 
+/// One corpus-mode run: ingest a directory (or generate a synthetic
+/// fleet), fan the query out across shards, print the merged ranking and
+/// the cross-document comparison table.
+pub fn run_corpus(args: &CorpusArgs) -> Result<String, XsactError> {
+    // Validate the cheap knobs before paying for ingestion and fan-out —
+    // compare() would reject them anyway, but only after the whole query.
+    if !args.threshold.is_finite() || args.threshold < 0.0 {
+        return Err(XsactError::InvalidConfig(format!(
+            "differentiability threshold must be a non-negative percentage, got {}",
+            args.threshold
+        )));
+    }
+    let mut out = String::new();
+    let ingest_start = Instant::now();
+    let mut corpus = match (&args.dir, &args.index_dir) {
+        (Some(dir), Some(cache)) => Corpus::from_dir_cached(dir, cache)?,
+        (Some(dir), None) => Corpus::from_dir(dir)?,
+        (None, Some(_)) => {
+            // A synthetic fleet is regenerated from scratch every run, so a
+            // cache it would never read back is a configuration mistake.
+            return Err(XsactError::InvalidConfig(
+                "--index-dir requires --dir (a synthetic fleet never reloads its cache)".into(),
+            ));
+        }
+        (None, None) => Corpus::synthetic_movies(args.docs, args.movies, args.seed),
+    };
+    let ingested = ingest_start.elapsed();
+    if args.shards > 0 {
+        corpus.set_shards(args.shards);
+    }
+    let total_nodes: usize =
+        (0..corpus.len()).map(|i| corpus.workbench(DocId(i as u32)).document().len()).sum();
+    out.push_str(&format!(
+        "corpus: {} documents, {} XML nodes, {} shards (effective {}), ingested in {:.1?}\n",
+        corpus.len(),
+        total_nodes,
+        corpus.shards(),
+        corpus.effective_shards(),
+        ingested
+    ));
+
+    let query =
+        corpus.query(&args.query)?.top(args.top).size_bound(args.bound).threshold(args.threshold);
+    let query_start = Instant::now();
+    let ranking = query.ranking();
+    let fanned_out = query_start.elapsed();
+    let matched_docs: std::collections::HashSet<_> = ranking.hits.iter().map(|h| h.doc).collect();
+    out.push_str(&format!(
+        "query {}: {} results from {} of {} documents in {:.1?}\n",
+        query.query_text(),
+        ranking.hits.len(),
+        matched_docs.len(),
+        corpus.len(),
+        fanned_out
+    ));
+    out.push_str(&ranking.render(args.top.max(8)));
+    if ranking.hits.is_empty() {
+        out.push_str("no results — nothing to compare\n");
+        return Ok(out);
+    }
+    if ranking.hits.len() < 2 {
+        out.push_str("(need at least two results for a comparison table)\n");
+        return Ok(out);
+    }
+    if args.top < 2 {
+        out.push_str(&format!(
+            "(--top {} leaves fewer than the two results a comparison needs)\n",
+            args.top
+        ));
+        return Ok(out);
+    }
+
+    let outcome = query.compare(args.algorithm)?;
+    out.push_str(&format!(
+        "\ncomparing the top {} (L = {}, x = {}%, {}):\n",
+        outcome.hits.len(),
+        args.bound,
+        args.threshold,
+        args.algorithm.name()
+    ));
+    out.push_str(&outcome.table());
+    let spanned: std::collections::HashSet<_> = outcome.hits.iter().map(|h| h.doc).collect();
+    out.push_str(&format!(
+        "DoD = {} over {} results from {} document{}\n",
+        outcome.dod(),
+        outcome.hits.len(),
+        spanned.len(),
+        if spanned.len() == 1 { "" } else { "s" }
+    ));
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -123,7 +231,41 @@ mod tests {
     fn args_for(dataset: &str, extra: &[&str]) -> Args {
         let mut argv = vec!["--dataset".to_string(), dataset.to_string()];
         argv.extend(extra.iter().map(|s| s.to_string()));
-        args::parse(argv.into_iter()).expect("valid args")
+        match args::parse(argv.into_iter()).expect("valid args") {
+            args::Command::Single(a) => a,
+            args::Command::Corpus(c) => panic!("expected single mode: {c:?}"),
+        }
+    }
+
+    fn corpus_args_for(extra: &[&str]) -> CorpusArgs {
+        let mut argv = vec!["corpus".to_string()];
+        argv.extend(extra.iter().map(|s| s.to_string()));
+        match args::parse(argv.into_iter()).expect("valid args") {
+            args::Command::Corpus(c) => c,
+            args::Command::Single(a) => panic!("expected corpus mode: {a:?}"),
+        }
+    }
+
+    /// A scratch directory wiped on drop, so test artefacts never leak.
+    struct TempDir(std::path::PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> TempDir {
+            let path = std::env::temp_dir().join(format!("xsact-cli-{tag}-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&path);
+            std::fs::create_dir_all(&path).expect("create temp dir");
+            TempDir(path)
+        }
+
+        fn path(&self, file: &str) -> String {
+            self.0.join(file).to_string_lossy().into_owned()
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
     }
 
     #[test]
@@ -207,5 +349,101 @@ mod tests {
     fn empty_query_is_a_typed_error() {
         let a = args_for("figure1", &["--query", "!!!"]);
         assert!(matches!(run(&a), Err(XsactError::EmptyQuery)));
+    }
+
+    #[test]
+    fn save_then_load_index_round_trips() {
+        let tmp = TempDir::new("roundtrip");
+        let path = tmp.path("movies.xidx");
+        let save = args_for("movies", &["--bound", "6", "--save-index", &path]);
+        let saved_out = run(&save).expect("save run");
+        assert!(saved_out.contains("index: saved to"));
+        let load = args_for("movies", &["--bound", "6", "--load-index", &path]);
+        let loaded_out = run(&load).expect("load run");
+        assert!(loaded_out.contains("index: restored from"));
+        // Same dataset + same index ⇒ identical results and table.
+        let strip = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with("index:"))
+                // Timings differ run to run; drop the trailing stats line.
+                .filter(|l| !l.contains("rounds"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&saved_out), strip(&loaded_out));
+    }
+
+    #[test]
+    fn loading_an_index_of_another_dataset_is_rejected() {
+        let tmp = TempDir::new("mismatch");
+        let path = tmp.path("figure1.xidx");
+        run(&args_for("figure1", &["--save-index", &path])).expect("save run");
+        // The jobs dataset has a different fingerprint → typed I/O error.
+        let err = run(&args_for("jobs", &["--load-index", &path])).unwrap_err();
+        assert!(matches!(err, XsactError::Io(_)));
+    }
+
+    #[test]
+    fn corpus_mode_reports_merged_ranking_and_table() {
+        let c = corpus_args_for(&["--docs", "4", "--movies", "40", "--shards", "2"]);
+        let out = run_corpus(&c).expect("corpus run");
+        assert!(out.contains("corpus: 4 documents"));
+        assert!(out.contains("2 shards"));
+        assert!(out.contains("@movies-0"), "hits tagged with document names:\n{out}");
+        assert!(out.contains("DoD = "));
+    }
+
+    #[test]
+    fn corpus_mode_ingests_directories_with_index_cache() {
+        let tmp = TempDir::new("corpusdir");
+        for (name, kind) in [("east", "gps"), ("west", "gps navigation")] {
+            std::fs::write(
+                std::path::Path::new(&tmp.path(&format!("{name}.xml"))),
+                format!(
+                    "<shop><product><name>{name} unit</name><kind>{kind}</kind></product></shop>"
+                ),
+            )
+            .unwrap();
+        }
+        let cache = tmp.path("index-cache");
+        let flags = ["--dir", &tmp.path(""), "--query", "gps", "--top", "2", "--index-dir", &cache];
+        let cold: Vec<String> = flags.iter().map(|s| s.to_string()).collect();
+        let cold_args = corpus_args_for(&cold.iter().map(String::as_str).collect::<Vec<_>>());
+        let first = run_corpus(&cold_args).expect("cold corpus run");
+        assert!(first.contains("corpus: 2 documents"));
+        assert!(first.contains("@east") && first.contains("@west"));
+        // The cache now holds one .xidx per document; a warm run loads them
+        // (a corrupted cache would fall back to rebuilding, not fail).
+        assert!(std::path::Path::new(&cache).join("east.xidx").exists());
+        let second = run_corpus(&cold_args).expect("warm corpus run");
+        let strip = |s: &str| {
+            s.lines()
+                .filter(|l| !l.contains("ingested") && !l.contains(" in "))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&first), strip(&second));
+    }
+
+    #[test]
+    fn corpus_mode_surfaces_typed_errors() {
+        let tmp = TempDir::new("emptydir");
+        let dir = tmp.path("");
+        let c = corpus_args_for(&["--dir", &dir]);
+        assert!(matches!(run_corpus(&c), Err(XsactError::EmptyCorpus)));
+        let c = corpus_args_for(&["--docs", "2", "--movies", "20", "--query", "!!!"]);
+        assert!(matches!(run_corpus(&c), Err(XsactError::EmptyQuery)));
+        // An index cache without a directory corpus would never be read.
+        let c = corpus_args_for(&["--docs", "2", "--index-dir", &tmp.path("cache")]);
+        assert!(matches!(run_corpus(&c), Err(XsactError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn corpus_mode_top_below_two_keeps_the_ranking_output() {
+        let c = corpus_args_for(&["--docs", "2", "--movies", "30", "--top", "1"]);
+        let out = run_corpus(&c).expect("a small --top is not an error");
+        assert!(out.contains("results from"), "ranking still printed:\n{out}");
+        assert!(out.contains("--top 1 leaves fewer"), "friendly note expected:\n{out}");
+        assert!(!out.contains("DoD ="), "no comparison possible");
     }
 }

@@ -60,6 +60,11 @@ pub struct Args {
     pub semantics: ResultSemantics,
     /// Order the result list by relevance instead of document order.
     pub ranked: bool,
+    /// Serialise the inverted index to this path after the run.
+    pub save_index: Option<String>,
+    /// Restore the inverted index from this path instead of rebuilding it
+    /// (fingerprint-checked against the dataset).
+    pub load_index: Option<String>,
 }
 
 impl Default for Args {
@@ -76,8 +81,69 @@ impl Default for Args {
             show_xml: false,
             semantics: ResultSemantics::Slca,
             ranked: false,
+            save_index: None,
+            load_index: None,
         }
     }
+}
+
+/// Arguments of the `corpus` subcommand: query a whole directory (or a
+/// synthetic fleet) of documents through the sharded corpus engine.
+#[derive(Debug, Clone)]
+pub struct CorpusArgs {
+    /// Directory of `*.xml` documents to ingest. When absent, a synthetic
+    /// movie fleet of `docs` documents is generated instead.
+    pub dir: Option<String>,
+    /// Synthetic fleet size (used when `dir` is absent).
+    pub docs: usize,
+    /// Movies per synthetic document.
+    pub movies: usize,
+    /// Generator seed for the synthetic fleet.
+    pub seed: u64,
+    /// Keyword query.
+    pub query: String,
+    /// Shard count; 0 = the machine's available parallelism.
+    pub shards: usize,
+    /// How many merged results enter the comparison.
+    pub top: usize,
+    /// Comparison table size bound `L`.
+    pub bound: usize,
+    /// Differentiability threshold `x` in percent.
+    pub threshold: f64,
+    /// DFS generation algorithm.
+    pub algorithm: Algorithm,
+    /// Per-document index cache directory: indexes found here skip the
+    /// indexing scan, missing ones are built and saved. Only meaningful
+    /// with `dir` (a synthetic fleet never reloads a cache).
+    pub index_dir: Option<String>,
+}
+
+impl Default for CorpusArgs {
+    fn default() -> Self {
+        CorpusArgs {
+            dir: None,
+            docs: 8,
+            movies: 120,
+            seed: 42,
+            query: "drama family".to_owned(),
+            shards: 0,
+            top: 4,
+            bound: 8,
+            threshold: 10.0,
+            algorithm: Algorithm::MultiSwap,
+            index_dir: None,
+        }
+    }
+}
+
+/// A parsed invocation: the classic single-document demo, or the sharded
+/// corpus mode.
+#[derive(Debug, Clone)]
+pub enum Command {
+    /// `xsact [OPTIONS]` — one dataset, one workbench.
+    Single(Args),
+    /// `xsact corpus [OPTIONS]` — many documents, parallel fan-out.
+    Corpus(CorpusArgs),
 }
 
 /// A human-readable argument error.
@@ -98,6 +164,7 @@ xsact — compare structured search results (VLDB 2010 demo reproduction)
 
 USAGE:
     xsact-demo [OPTIONS]
+    xsact-demo corpus [CORPUS OPTIONS]
 
 OPTIONS:
     --dataset <name>     figure1 | reviews | outdoor | movies | jobs [figure1]
@@ -111,11 +178,91 @@ OPTIONS:
     --ranked             order results by relevance (TF-IDF)
     --stats              print per-result statistics panels
     --xml                print each selected result's XML
+    --save-index <path>  serialise the inverted index after the run
+    --load-index <path>  restore the index instead of rebuilding it
     --help               this text
+
+CORPUS OPTIONS (sharded multi-document engine):
+    --dir <path>         ingest every *.xml in <path> (sorted order);
+                         the synthetic-fleet flags below are then unused
+    --docs <n>           synthetic movie fleet size when no --dir  [8]
+    --movies <n>         movies per synthetic document (no --dir) [120]
+    --seed <n>           fleet generator seed (no --dir)          [42]
+    --query <text>       keyword query                 [drama family]
+    --shards <n>         shard count (0 = machine parallelism)    [0]
+    --top <k>            merged results entering the comparison   [4]
+    --bound <L>          max features per DFS                     [8]
+    --threshold <x>      differentiability threshold in percent   [10]
+    --algorithm <name>   snippet | greedy | single-swap | multi-swap [multi-swap]
+    --index-dir <path>   per-document index cache for --dir corpora
+                         (skip shard cold starts on reload)
 ";
 
-/// Parses `argv[1..]`.
-pub fn parse<I>(mut argv: I) -> Result<Args, ArgError>
+fn parse_algorithm(s: &str) -> Result<Algorithm, ArgError> {
+    match s {
+        "snippet" => Ok(Algorithm::Snippet),
+        "greedy" => Ok(Algorithm::Greedy),
+        "single-swap" | "single" => Ok(Algorithm::SingleSwap),
+        "multi-swap" | "multi" => Ok(Algorithm::MultiSwap),
+        other => Err(ArgError(format!(
+            "unknown algorithm {other:?}; use snippet | greedy | single-swap | multi-swap"
+        ))),
+    }
+}
+
+/// Parses `argv[1..]`: a leading `corpus` word selects the corpus
+/// subcommand, anything else is the classic single-document demo.
+pub fn parse<I>(argv: I) -> Result<Command, ArgError>
+where
+    I: Iterator<Item = String>,
+{
+    let mut argv = argv.peekable();
+    if argv.peek().map(String::as_str) == Some("corpus") {
+        argv.next();
+        return parse_corpus(argv).map(Command::Corpus);
+    }
+    parse_single(argv).map(Command::Single)
+}
+
+fn parse_corpus<I>(mut argv: I) -> Result<CorpusArgs, ArgError>
+where
+    I: Iterator<Item = String>,
+{
+    let mut args = CorpusArgs::default();
+    let int = |name: &str, v: String| {
+        v.parse::<usize>().map_err(|_| ArgError(format!("{name} expects an integer")))
+    };
+    while let Some(flag) = argv.next() {
+        let mut value =
+            |name: &str| argv.next().ok_or_else(|| ArgError(format!("{name} requires a value")));
+        match flag.as_str() {
+            "--dir" => args.dir = Some(value("--dir")?),
+            "--docs" => args.docs = int("--docs", value("--docs")?)?,
+            "--movies" => args.movies = int("--movies", value("--movies")?)?,
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| ArgError("--seed expects an integer".into()))?;
+            }
+            "--query" => args.query = value("--query")?,
+            "--shards" => args.shards = int("--shards", value("--shards")?)?,
+            "--top" => args.top = int("--top", value("--top")?)?,
+            "--bound" => args.bound = int("--bound", value("--bound")?)?,
+            "--threshold" => {
+                args.threshold = value("--threshold")?
+                    .parse()
+                    .map_err(|_| ArgError("--threshold expects a number".into()))?;
+            }
+            "--algorithm" => args.algorithm = parse_algorithm(&value("--algorithm")?)?,
+            "--index-dir" => args.index_dir = Some(value("--index-dir")?),
+            "--help" | "-h" => return Err(ArgError(USAGE.to_owned())),
+            other => return Err(ArgError(format!("unknown corpus flag {other:?}\n\n{USAGE}"))),
+        }
+    }
+    Ok(args)
+}
+
+fn parse_single<I>(mut argv: I) -> Result<Args, ArgError>
 where
     I: Iterator<Item = String>,
 {
@@ -136,19 +283,7 @@ where
                     .parse()
                     .map_err(|_| ArgError("--threshold expects a number".into()))?;
             }
-            "--algorithm" => {
-                args.algorithm = match value("--algorithm")?.as_str() {
-                    "snippet" => Algorithm::Snippet,
-                    "greedy" => Algorithm::Greedy,
-                    "single-swap" | "single" => Algorithm::SingleSwap,
-                    "multi-swap" | "multi" => Algorithm::MultiSwap,
-                    other => {
-                        return Err(ArgError(format!(
-                            "unknown algorithm {other:?}; use snippet | greedy | single-swap | multi-swap"
-                        )))
-                    }
-                };
-            }
+            "--algorithm" => args.algorithm = parse_algorithm(&value("--algorithm")?)?,
             "--select" => {
                 args.select = value("--select")?
                     .split(',')
@@ -181,6 +316,8 @@ where
             "--ranked" => args.ranked = true,
             "--stats" => args.stats = true,
             "--xml" => args.show_xml = true,
+            "--save-index" => args.save_index = Some(value("--save-index")?),
+            "--load-index" => args.load_index = Some(value("--load-index")?),
             "--help" | "-h" => return Err(ArgError(USAGE.to_owned())),
             other => return Err(ArgError(format!("unknown flag {other:?}\n\n{USAGE}"))),
         }
@@ -206,7 +343,17 @@ mod tests {
     use super::*;
 
     fn parse_ok(args: &[&str]) -> Args {
-        parse(args.iter().map(|s| s.to_string())).expect("parses")
+        match parse(args.iter().map(|s| s.to_string())).expect("parses") {
+            Command::Single(a) => a,
+            Command::Corpus(c) => panic!("expected single mode, got corpus: {c:?}"),
+        }
+    }
+
+    fn parse_corpus_ok(args: &[&str]) -> CorpusArgs {
+        match parse(args.iter().map(|s| s.to_string())).expect("parses") {
+            Command::Corpus(c) => c,
+            Command::Single(a) => panic!("expected corpus mode, got single: {a:?}"),
+        }
     }
 
     #[test]
@@ -282,5 +429,69 @@ mod tests {
         assert!(err(&["--semantics", "xlca"]).0.contains("unknown semantics"));
         assert!(err(&["--frobnicate"]).0.contains("unknown flag"));
         assert!(err(&["--help"]).0.contains("USAGE"));
+    }
+
+    #[test]
+    fn index_persistence_flags() {
+        let a = parse_ok(&["--save-index", "/tmp/a.xidx", "--load-index", "/tmp/b.xidx"]);
+        assert_eq!(a.save_index.as_deref(), Some("/tmp/a.xidx"));
+        assert_eq!(a.load_index.as_deref(), Some("/tmp/b.xidx"));
+        assert_eq!(parse_ok(&[]).save_index, None);
+    }
+
+    #[test]
+    fn corpus_subcommand_defaults() {
+        let c = parse_corpus_ok(&["corpus"]);
+        assert_eq!(c.dir, None);
+        assert_eq!(c.docs, 8);
+        assert_eq!(c.movies, 120);
+        assert_eq!(c.query, "drama family");
+        assert_eq!(c.shards, 0);
+        assert_eq!(c.top, 4);
+        assert_eq!(c.algorithm, Algorithm::MultiSwap);
+    }
+
+    #[test]
+    fn corpus_subcommand_full_flag_set() {
+        let c = parse_corpus_ok(&[
+            "corpus",
+            "--dir",
+            "data/xml",
+            "--docs",
+            "3",
+            "--movies",
+            "50",
+            "--seed",
+            "7",
+            "--query",
+            "war soldier",
+            "--shards",
+            "4",
+            "--top",
+            "6",
+            "--bound",
+            "5",
+            "--threshold",
+            "20",
+            "--algorithm",
+            "greedy",
+            "--index-dir",
+            "cache",
+        ]);
+        assert_eq!(c.dir.as_deref(), Some("data/xml"));
+        assert_eq!((c.docs, c.movies, c.seed), (3, 50, 7));
+        assert_eq!(c.query, "war soldier");
+        assert_eq!((c.shards, c.top, c.bound), (4, 6, 5));
+        assert!((c.threshold - 20.0).abs() < 1e-12);
+        assert_eq!(c.algorithm, Algorithm::Greedy);
+        assert_eq!(c.index_dir.as_deref(), Some("cache"));
+    }
+
+    #[test]
+    fn corpus_subcommand_errors() {
+        let err = |args: &[&str]| parse(args.iter().map(|s| s.to_string())).unwrap_err();
+        assert!(err(&["corpus", "--shards", "x"]).0.contains("integer"));
+        assert!(err(&["corpus", "--select", "1"]).0.contains("unknown corpus flag"));
+        assert!(err(&["corpus", "--help"]).0.contains("CORPUS OPTIONS"));
     }
 }

@@ -7,6 +7,7 @@
 //! ```text
 //! cargo run -p xsact-cli -- --dataset figure1 --bound 7 --stats
 //! cargo run -p xsact-cli -- --dataset movies --query "war soldier" --algorithm multi-swap
+//! cargo run -p xsact-cli -- corpus --dir datasets/ --query "drama family" --shards 4
 //! ```
 
 mod app;
@@ -15,15 +16,18 @@ mod args;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let parsed = args::parse(std::env::args().skip(1));
-    let args = match parsed {
-        Ok(args) => args,
+    let command = match args::parse(std::env::args().skip(1)) {
+        Ok(command) => command,
         Err(e) => {
             eprintln!("{e}");
             return ExitCode::FAILURE;
         }
     };
-    match app::run(&args) {
+    let result = match &command {
+        args::Command::Single(args) => app::run(args),
+        args::Command::Corpus(args) => app::run_corpus(args),
+    };
+    match result {
         Ok(output) => {
             print!("{output}");
             ExitCode::SUCCESS

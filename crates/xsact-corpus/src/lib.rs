@@ -1,0 +1,31 @@
+//! Sharded corpus engine primitives.
+//!
+//! The paper's pipeline runs over one XML document; serving a *corpus* of
+//! documents means partitioning the documents into shards, pushing each
+//! query to every shard in parallel, and merging the per-shard ranked
+//! results into one deterministic global ranking — the shape the LSST
+//! multi-petabyte design in `PAPERS.md` calls shared-nothing partitioning
+//! with result merging.
+//!
+//! This crate holds the engine's *mechanics*, deliberately free of any
+//! XSACT type so each piece is independently testable and reusable:
+//!
+//! * [`ShardPlan`] — deterministic round-robin assignment of documents to
+//!   shards, identical for every run with the same inputs;
+//! * [`fan_out`] — query fan-out on a std-only scoped-thread pool (the
+//!   build environment is offline: no rayon, no tokio), one worker per
+//!   non-empty shard;
+//! * [`k_way_merge`] — heap-based merge of per-shard ranked lists whose
+//!   output order depends only on the comparator, never on the shard
+//!   count or thread interleaving.
+//!
+//! The `xsact` facade's `Corpus` composes these with one `Workbench` per
+//! document; see `src/corpus.rs` in the facade crate.
+
+pub mod merge;
+pub mod pool;
+pub mod shard;
+
+pub use merge::k_way_merge;
+pub use pool::fan_out;
+pub use shard::{DocId, ShardPlan};

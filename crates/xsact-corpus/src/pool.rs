@@ -1,0 +1,97 @@
+//! Scoped-thread query fan-out.
+//!
+//! The build environment is offline — no rayon, no tokio — so the pool is
+//! built on [`std::thread::scope`]: one OS thread per non-empty shard,
+//! borrowing the caller's data for the duration of the query. That is the
+//! right shape for this workload: shard counts are small (bounded by the
+//! machine's cores), each worker runs one multi-document search, and the
+//! scope guarantees every result is back before the merge starts.
+
+/// Runs `work` on every element of `inputs` concurrently — one scoped
+/// thread per element — and returns the outputs *in input order*,
+/// regardless of which thread finished first.
+///
+/// Empty inputs produce no thread at all; a single input runs on the
+/// calling thread, so `shards = 1` has zero threading overhead and is the
+/// exact sequential baseline the scaling bench compares against.
+///
+/// Panics in `work` propagate to the caller (the scope re-raises them), so
+/// a poisoned shard can never silently drop its slice of the corpus from
+/// the merged ranking.
+pub fn fan_out<T, R, F>(inputs: Vec<T>, work: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let mut inputs = inputs;
+    match inputs.len() {
+        0 => Vec::new(),
+        1 => vec![work(0, inputs.pop().expect("len checked"))],
+        _ => std::thread::scope(|scope| {
+            let handles: Vec<_> = inputs
+                .into_iter()
+                .enumerate()
+                .map(|(i, input)| {
+                    scope.spawn({
+                        let work = &work;
+                        move || work(i, input)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("shard worker panicked")).collect()
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn outputs_keep_input_order() {
+        // Make later inputs finish first to prove ordering is positional,
+        // not completion-based.
+        let inputs = vec![30u64, 20, 10, 0];
+        let out = fan_out(inputs, |i, delay_ms| {
+            std::thread::sleep(std::time::Duration::from_millis(delay_ms));
+            (i, delay_ms)
+        });
+        assert_eq!(out, vec![(0, 30), (1, 20), (2, 10), (3, 0)]);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let none: Vec<u32> = Vec::new();
+        assert!(fan_out(none, |_, x: u32| x).is_empty());
+        assert_eq!(fan_out(vec![5], |i, x: u32| x + i as u32), vec![5]);
+    }
+
+    #[test]
+    fn single_input_runs_on_the_calling_thread() {
+        let caller = std::thread::current().id();
+        let out = fan_out(vec![()], |_, ()| std::thread::current().id());
+        assert_eq!(out, vec![caller]);
+    }
+
+    #[test]
+    fn every_input_processed_exactly_once() {
+        let calls = AtomicUsize::new(0);
+        let out = fan_out((0..16).collect::<Vec<usize>>(), |i, x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            assert_eq!(i, x);
+            x * x
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 16);
+        assert_eq!(out, (0..16).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let caught = std::panic::catch_unwind(|| {
+            fan_out(vec![1u32, 2], |_, x| if x == 2 { panic!("shard died") } else { x })
+        });
+        assert!(caught.is_err());
+    }
+}

@@ -32,8 +32,12 @@ pub struct ScoredResult {
 
 /// Scores result roots for a query and returns them best-first.
 ///
-/// Ties (identical scores) keep document order, making ranking
-/// deterministic.
+/// The order is **total and shard-count-independent**: equal scores break
+/// ties by Dewey id (document order), never by input order or float quirks
+/// (`total_cmp`, so even a NaN score cannot destabilise the sort). Rankings
+/// of one document therefore merge deterministically with rankings of
+/// other documents, whatever partition produced them — the property the
+/// corpus engine's cross-shard k-way merge is built on.
 pub fn rank_results(
     doc: &Document,
     index: &InvertedIndex,
@@ -72,10 +76,7 @@ pub fn rank_results(
         })
         .collect();
     scored.sort_by(|a, b| {
-        b.score
-            .partial_cmp(&a.score)
-            .expect("scores are finite")
-            .then_with(|| doc.dewey(a.root).cmp(doc.dewey(b.root)))
+        b.score.total_cmp(&a.score).then_with(|| doc.dewey(a.root).cmp(doc.dewey(b.root)))
     });
     scored
 }
@@ -156,5 +157,33 @@ mod tests {
         let ranked = rank_results(&doc, &idx, &Query::parse("gps"), &roots);
         assert_eq!(ranked[0].root, roots[0]);
         assert_eq!(ranked[1].root, roots[1]);
+    }
+
+    #[test]
+    fn tied_scores_order_by_dewey_regardless_of_input_order() {
+        // Four structurally identical siblings → four deliberately tied
+        // scores (identical tf, df and subtree size give bitwise-equal
+        // f64s). A stable sort without an explicit tie-break would leak
+        // the caller's root order into the ranking; feeding the roots
+        // reversed (and shuffled) must still yield document order, or
+        // cross-shard merges would depend on how each shard enumerated
+        // its candidates.
+        let (doc, idx) =
+            setup("<r><a><t>gps</t></a><b><t>gps</t></b><c><t>gps</t></c><d><t>gps</t></d></r>");
+        let in_order: Vec<NodeId> = doc.children(doc.root()).to_vec();
+        let q = Query::parse("gps");
+        let baseline = rank_results(&doc, &idx, &q, &in_order);
+        assert!(
+            baseline.windows(2).all(|w| w[0].score == w[1].score),
+            "fixture must produce tied scores"
+        );
+        let mut reversed = in_order.clone();
+        reversed.reverse();
+        let shuffled = vec![in_order[2], in_order[0], in_order[3], in_order[1]];
+        for adversarial in [reversed, shuffled] {
+            let ranked = rank_results(&doc, &idx, &q, &adversarial);
+            let roots: Vec<NodeId> = ranked.iter().map(|s| s.root).collect();
+            assert_eq!(roots, in_order, "tie-break must be Dewey order, not input order");
+        }
     }
 }

@@ -1,0 +1,654 @@
+//! The [`Corpus`]: a sharded, multi-document workbench pool.
+//!
+//! One [`Workbench`](crate::Workbench) serves one document; a `Corpus`
+//! serves many. It ingests XML documents (strings, generated fixtures, or
+//! a directory of `.xml` files), builds one workbench per document, and
+//! executes every query by **fanning out across shards in parallel** and
+//! **k-way merging** the per-shard ranked lists into one deterministic
+//! global ranking tagged with document ids:
+//!
+//! * documents are assigned to shards round-robin
+//!   ([`xsact_corpus::ShardPlan`]) — a pure function of document count and
+//!   shard count;
+//! * each shard worker (a std scoped thread, see [`xsact_corpus::fan_out`])
+//!   runs the ranked search over its documents;
+//! * per-shard lists merge under a *total* order — score descending, then
+//!   document id, then Dewey id — so the merged ranking is byte-identical
+//!   for any shard count.
+//!
+//! The top of the merged ranking can be compared *across documents*: the
+//! corpus pulls each hit's features from its owning workbench (cached,
+//! thread-safe) and builds one comparison table whose columns may come
+//! from different documents.
+//!
+//! ```
+//! use xsact::corpus::Corpus;
+//! use xsact::Algorithm;
+//!
+//! # fn main() -> Result<(), xsact::XsactError> {
+//! let corpus = Corpus::synthetic_movies(4, 60, 42).with_shards(2);
+//! let outcome = corpus.query("drama family")?.top(4).compare(Algorithm::MultiSwap)?;
+//! assert!(outcome.hits.iter().any(|h| h.doc != outcome.hits[0].doc), "spans documents");
+//! println!("{}", outcome.table());
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::error::{XsactError, XsactResult};
+use crate::workbench::Workbench;
+use std::cmp::Ordering;
+use std::fs;
+use std::path::Path;
+use xsact_core::{Algorithm, Comparison, ComparisonOutcome, DfsConfig};
+use xsact_corpus::{fan_out, k_way_merge};
+use xsact_data::movies::{MovieGenConfig, MoviesGen};
+use xsact_entity::ResultFeatures;
+use xsact_index::{Query, ScoredResult, SearchResult};
+use xsact_xml::{DeweyId, Document};
+
+pub use xsact_corpus::{DocId, ShardPlan};
+
+/// The demo compares the first four ticked results; corpus queries default
+/// to the same top-k.
+pub const DEFAULT_TOP: usize = 4;
+
+/// One ingested document: its stable id, display name, and workbench.
+/// The name is an `Arc<str>` because every hit of every query carries it —
+/// tagging a hit must not allocate in the fan-out hot path.
+#[derive(Debug)]
+struct CorpusDoc {
+    id: DocId,
+    name: std::sync::Arc<str>,
+    wb: Workbench,
+}
+
+/// A sharded pool of per-document workbenches; see the module docs.
+#[derive(Debug)]
+pub struct Corpus {
+    docs: Vec<CorpusDoc>,
+    shards: usize,
+}
+
+impl Corpus {
+    /// An empty corpus with the default shard count (the machine's
+    /// available parallelism). Add documents with
+    /// [`add_document`](Self::add_document) / [`add_xml`](Self::add_xml).
+    pub fn new() -> Corpus {
+        let shards = std::thread::available_parallelism().map_or(1, usize::from);
+        Corpus { docs: Vec::new(), shards }
+    }
+
+    /// Builds a corpus from `(name, document)` pairs; ids follow iteration
+    /// order.
+    pub fn from_documents(docs: impl IntoIterator<Item = (String, Document)>) -> Corpus {
+        let mut corpus = Corpus::new();
+        for (name, doc) in docs {
+            corpus.add_document(name, doc);
+        }
+        corpus
+    }
+
+    /// Parses and ingests `(name, xml)` pairs. Fails with
+    /// [`XsactError::Xml`] on the first malformed document.
+    pub fn from_xml_strings<'a>(
+        docs: impl IntoIterator<Item = (&'a str, &'a str)>,
+    ) -> XsactResult<Corpus> {
+        let mut corpus = Corpus::new();
+        for (name, xml) in docs {
+            corpus.add_xml(name, xml)?;
+        }
+        Ok(corpus)
+    }
+
+    /// Ingests every `*.xml` file of `dir` in **sorted filename order**
+    /// (so document ids are stable across runs and machines), using the
+    /// file stem as the document name. Fails with
+    /// [`XsactError::EmptyCorpus`] when the directory holds no XML files.
+    pub fn from_dir(dir: impl AsRef<Path>) -> XsactResult<Corpus> {
+        Corpus::from_dir_impl(dir.as_ref(), None)
+    }
+
+    /// Like [`from_dir`](Self::from_dir), but skips the per-document
+    /// indexing scan whenever `index_dir` holds a previously saved index
+    /// for the document (`<stem>.xidx`, fingerprint-checked), and saves
+    /// any index it did have to build — so each shard's cold start is paid
+    /// once, not on every process launch.
+    ///
+    /// A stale or corrupt index file is never trusted: the fingerprint
+    /// check makes the load fail, and the corpus silently rebuilds and
+    /// overwrites it.
+    pub fn from_dir_cached(
+        dir: impl AsRef<Path>,
+        index_dir: impl AsRef<Path>,
+    ) -> XsactResult<Corpus> {
+        fs::create_dir_all(index_dir.as_ref())?;
+        Corpus::from_dir_impl(dir.as_ref(), Some(index_dir.as_ref()))
+    }
+
+    fn from_dir_impl(dir: &Path, index_dir: Option<&Path>) -> XsactResult<Corpus> {
+        let mut paths: Vec<_> = fs::read_dir(dir)?
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|ext| ext == "xml"))
+            .collect();
+        paths.sort();
+        let mut corpus = Corpus::new();
+        for path in paths {
+            let name = path
+                .file_stem()
+                .map_or_else(|| path.display().to_string(), |s| s.to_string_lossy().into_owned());
+            let doc = xsact_xml::parse_document(&fs::read_to_string(&path)?)?;
+            let index_path = index_dir.map(|d| d.join(format!("{name}.xidx")));
+            let wb = match &index_path {
+                Some(ip) => match fs::File::open(ip)
+                    .map_err(XsactError::from)
+                    .and_then(|mut f| Workbench::from_persisted_index(doc.clone(), &mut f))
+                {
+                    Ok(wb) => wb,
+                    Err(_) => {
+                        let wb = Workbench::from_document(doc);
+                        // Best-effort cache write: the corpus is already
+                        // built in memory, so an unwritable index_dir
+                        // (read-only, disk full) must not fail ingestion —
+                        // the next load just rebuilds again.
+                        let _ = fs::File::create(ip)
+                            .map_err(XsactError::from)
+                            .and_then(|mut f| wb.save_index(&mut f));
+                        wb
+                    }
+                },
+                None => Workbench::from_document(doc),
+            };
+            corpus.push(name, wb);
+        }
+        if corpus.is_empty() {
+            return Err(XsactError::EmptyCorpus);
+        }
+        Ok(corpus)
+    }
+
+    /// A synthetic fleet of movie datasets — `docs` documents of
+    /// `movies_per_doc` movies each, seeded `seed`, `seed + 1`, … so every
+    /// document differs but the whole corpus is reproducible. Used by the
+    /// scaling bench, the corpus tests, and the CLI's `--docs` mode.
+    pub fn synthetic_movies(docs: usize, movies_per_doc: usize, seed: u64) -> Corpus {
+        Corpus::from_documents((0..docs).map(|i| {
+            let cfg = MovieGenConfig {
+                seed: seed + i as u64,
+                movies: movies_per_doc,
+                ..Default::default()
+            };
+            (format!("movies-{i:02}"), MoviesGen::new(cfg).generate())
+        }))
+    }
+
+    /// Sets the shard count (builder form). Values are clamped to `1..`;
+    /// counts above the document count leave trailing shards empty, which
+    /// is harmless. The shard count **never** affects query results — only
+    /// how the work is spread over threads.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Corpus {
+        self.set_shards(shards);
+        self
+    }
+
+    /// Sets the shard count in place.
+    pub fn set_shards(&mut self, shards: usize) {
+        self.shards = shards.max(1);
+    }
+
+    /// The configured shard count.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Ingests a parsed document under `name`, returning its id.
+    pub fn add_document(&mut self, name: impl Into<String>, doc: Document) -> DocId {
+        self.push(name.into(), Workbench::from_document(doc))
+    }
+
+    /// Parses and ingests an XML string under `name`.
+    pub fn add_xml(&mut self, name: impl Into<String>, xml: &str) -> XsactResult<DocId> {
+        Ok(self.push(name.into(), Workbench::from_xml(xml)?))
+    }
+
+    fn push(&mut self, name: String, wb: Workbench) -> DocId {
+        let id = DocId(self.docs.len() as u32);
+        self.docs.push(CorpusDoc { id, name: name.into(), wb });
+        id
+    }
+
+    /// Number of ingested documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Whether the corpus holds no documents.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// The display name of a document.
+    pub fn doc_name(&self, id: DocId) -> &str {
+        &self.docs[id.index()].name
+    }
+
+    /// The workbench serving a document, for layer-level access.
+    pub fn workbench(&self, id: DocId) -> &Workbench {
+        &self.docs[id.index()].wb
+    }
+
+    /// Saves every document's inverted index into `dir` as
+    /// `<name>.xidx`, for later cold-start skipping via
+    /// [`from_dir_cached`](Self::from_dir_cached).
+    pub fn save_indexes(&self, dir: impl AsRef<Path>) -> XsactResult<()> {
+        fs::create_dir_all(dir.as_ref())?;
+        for doc in &self.docs {
+            let path = dir.as_ref().join(format!("{}.xidx", doc.name));
+            doc.wb.save_index(&mut fs::File::create(path)?)?;
+        }
+        Ok(())
+    }
+
+    /// Starts a corpus-wide query. Fails with
+    /// [`XsactError::EmptyQuery`] / [`XsactError::EmptyCorpus`] before any
+    /// thread is spawned.
+    pub fn query(&self, text: &str) -> XsactResult<CorpusQuery<'_>> {
+        if self.docs.is_empty() {
+            return Err(XsactError::EmptyCorpus);
+        }
+        let query = Query::parse(text);
+        if query.is_empty() {
+            return Err(XsactError::EmptyQuery);
+        }
+        Ok(CorpusQuery {
+            corpus: self,
+            query,
+            top: DEFAULT_TOP,
+            config: DfsConfig::default(),
+            ranking_memo: std::cell::OnceCell::new(),
+        })
+    }
+
+    /// The number of shards a query will actually use: empty shards are
+    /// not spawned, so this is `min(shards, len)`.
+    pub fn effective_shards(&self) -> usize {
+        self.shards.min(self.docs.len()).max(1)
+    }
+}
+
+impl Default for Corpus {
+    fn default() -> Self {
+        Corpus::new()
+    }
+}
+
+/// One entry of a merged corpus ranking: a search result plus the document
+/// it came from and its relevance score.
+#[derive(Debug, Clone)]
+pub struct CorpusHit {
+    /// Owning document.
+    pub doc: DocId,
+    /// The owning document's display name (shared, not per-hit allocated).
+    pub doc_name: std::sync::Arc<str>,
+    /// The result subtree inside that document.
+    pub result: SearchResult,
+    /// Dewey id of the result root — part of the merge's total order, and
+    /// cheap to render.
+    pub dewey: DeweyId,
+    /// Relevance score and its components.
+    pub score: ScoredResult,
+}
+
+impl CorpusHit {
+    /// The merge's total order: score descending, then document id, then
+    /// Dewey id. Depends only on the hit itself — never on shard count or
+    /// thread timing — which is what makes corpus rankings deterministic.
+    fn ranking_order(&self, other: &CorpusHit) -> Ordering {
+        other
+            .score
+            .score
+            .total_cmp(&self.score.score)
+            .then_with(|| self.doc.cmp(&other.doc))
+            .then_with(|| self.dewey.cmp(&other.dewey))
+    }
+}
+
+/// The merged, deterministic result of one corpus query.
+#[derive(Debug, Clone)]
+pub struct CorpusRanking {
+    /// Globally ranked hits, best first.
+    pub hits: Vec<CorpusHit>,
+    /// How many shard workers produced it.
+    pub shards: usize,
+}
+
+impl CorpusRanking {
+    /// Renders the top `limit` entries, one line per hit — the corpus
+    /// analogue of the demo's result page.
+    pub fn render(&self, limit: usize) -> String {
+        let mut out = String::new();
+        for (i, hit) in self.hits.iter().take(limit).enumerate() {
+            out.push_str(&format!(
+                "  [{:>2}] {}  @{}  (score {:.3})\n",
+                i + 1,
+                hit.result.label,
+                hit.doc_name,
+                hit.score.score
+            ));
+        }
+        out
+    }
+}
+
+/// The outcome of a cross-document comparison: which hits were compared,
+/// and the comparison table they produced.
+#[derive(Debug, Clone)]
+pub struct CorpusOutcome {
+    /// The compared hits, in ranking order (= table column order).
+    pub hits: Vec<CorpusHit>,
+    /// The underlying comparison result.
+    pub comparison: ComparisonOutcome,
+}
+
+impl CorpusOutcome {
+    /// Total degree of differentiation.
+    pub fn dod(&self) -> u32 {
+        self.comparison.dod()
+    }
+
+    /// The cross-document comparison table.
+    pub fn table(&self) -> String {
+        self.comparison.table()
+    }
+}
+
+/// A configured query over a [`Corpus`]: fan out, merge, optionally
+/// compare.
+#[derive(Debug, Clone)]
+pub struct CorpusQuery<'a> {
+    corpus: &'a Corpus,
+    query: Query,
+    top: usize,
+    config: DfsConfig,
+    /// The merged ranking, computed once per query value — `ranking()`
+    /// followed by `compare()` (the CLI's exact shape) must not fan the
+    /// search out across the corpus twice. No builder method changes what
+    /// the search returns (`top`/`size_bound`/`threshold` only shape the
+    /// comparison), so the memo survives them.
+    ranking_memo: std::cell::OnceCell<CorpusRanking>,
+}
+
+impl<'a> CorpusQuery<'a> {
+    /// How many merged results enter the comparison (default
+    /// [`DEFAULT_TOP`]).
+    #[must_use]
+    pub fn top(mut self, k: usize) -> Self {
+        self.top = k;
+        self
+    }
+
+    /// Sets the comparison-table size bound `L` (features per DFS).
+    #[must_use]
+    pub fn size_bound(mut self, bound: usize) -> Self {
+        self.config.size_bound = bound;
+        self
+    }
+
+    /// Sets the differentiability threshold `x` in percent.
+    #[must_use]
+    pub fn threshold(mut self, pct: f64) -> Self {
+        self.config.threshold_pct = pct;
+        self
+    }
+
+    /// The query text, as parsed.
+    pub fn query_text(&self) -> String {
+        self.query.to_string()
+    }
+
+    /// Executes the fan-out and returns the merged global ranking
+    /// (memoized — repeated terminals reuse the first run's result; clone
+    /// the return value for an owned copy).
+    ///
+    /// Per shard count `N`, the corpus spawns min(N, documents) workers;
+    /// each runs the ranked search over its round-robin slice of the
+    /// documents and merges its own per-document lists, then the shard
+    /// lists k-way merge into the global ranking. The output is
+    /// byte-identical for every `N`.
+    pub fn ranking(&self) -> &CorpusRanking {
+        self.ranked()
+    }
+
+    fn ranked(&self) -> &CorpusRanking {
+        // The worker closure captures only `Sync` state (the corpus and
+        // the parsed query) — not `self`, whose memo cell is single-thread.
+        let (corpus, query) = (self.corpus, &self.query);
+        self.ranking_memo.get_or_init(|| {
+            let shards = corpus.effective_shards();
+            // effective_shards() ≤ document count, so round-robin
+            // partitioning never produces an empty shard.
+            let parts = ShardPlan::new(shards).partition(corpus.docs.len());
+            let order = CorpusHit::ranking_order;
+            let shard_lists = fan_out(parts, |_, doc_indexes| {
+                let per_doc: Vec<Vec<CorpusHit>> =
+                    doc_indexes.iter().map(|&d| search_one(query, &corpus.docs[d])).collect();
+                k_way_merge(per_doc, order)
+            });
+            CorpusRanking { hits: k_way_merge(shard_lists, order), shards }
+        })
+    }
+
+    /// The features of the top-k hits, pulled from each hit's owning
+    /// workbench (cached). In a multi-document corpus every label is
+    /// qualified with its document name, so equally-named results from
+    /// different documents stay distinguishable table columns.
+    pub fn features(&self) -> XsactResult<Vec<ResultFeatures>> {
+        Ok(self.features_of(&self.top_hits()?))
+    }
+
+    fn features_of(&self, hits: &[CorpusHit]) -> Vec<ResultFeatures> {
+        let qualify = self.corpus.len() > 1;
+        hits.iter()
+            .map(|h| {
+                let label = if qualify {
+                    format!("{} ({})", h.result.label, h.doc_name)
+                } else {
+                    h.result.label.clone()
+                };
+                self.corpus.docs[h.doc.index()].wb.subtree_features(h.result.root, label)
+            })
+            .collect()
+    }
+
+    fn top_hits(&self) -> XsactResult<Vec<CorpusHit>> {
+        let ranking = self.ranked();
+        if ranking.hits.is_empty() {
+            return Err(XsactError::NoResults { query: self.query_text() });
+        }
+        let k = self.top.min(ranking.hits.len());
+        Ok(ranking.hits[..k].to_vec())
+    }
+
+    /// Fans out, merges, and compares the global top-k — which may span
+    /// several documents — into one comparison table.
+    pub fn compare(&self, algorithm: Algorithm) -> XsactResult<CorpusOutcome> {
+        if !self.config.threshold_pct.is_finite() || self.config.threshold_pct < 0.0 {
+            return Err(XsactError::InvalidConfig(format!(
+                "differentiability threshold must be a non-negative percentage, got {}",
+                self.config.threshold_pct
+            )));
+        }
+        let hits = self.top_hits()?;
+        if hits.len() < 2 {
+            return Err(XsactError::NotEnoughResults {
+                query: self.query_text(),
+                found: hits.len(),
+            });
+        }
+        let features = self.features_of(&hits);
+        let comparison = Comparison::new(&features)
+            .size_bound(self.config.size_bound)
+            .threshold(self.config.threshold_pct);
+        let outcome = match algorithm {
+            Algorithm::Exhaustive { limit } => comparison
+                .run_exhaustive(limit)
+                .ok_or(XsactError::ExhaustiveLimitExceeded { limit })?,
+            _ => comparison.run(algorithm),
+        };
+        Ok(CorpusOutcome { hits, comparison: outcome })
+    }
+}
+
+/// One shard worker's unit of work: the ranked search over one document,
+/// tagged with the document's identity for the cross-shard merge.
+fn search_one(query: &Query, doc: &CorpusDoc) -> Vec<CorpusHit> {
+    let document = doc.wb.document();
+    doc.wb
+        .engine()
+        .search_ranked(query)
+        .into_iter()
+        .map(|(result, score)| CorpusHit {
+            doc: doc.id,
+            doc_name: doc.name.clone(),
+            dewey: document.dewey(result.root).clone(),
+            result,
+            score,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shop(tag: &str, products: &[(&str, &str)]) -> String {
+        let mut xml = format!("<{tag}>");
+        for (name, kind) in products {
+            xml.push_str(&format!("<product><name>{name}</name><kind>{kind}</kind></product>"));
+        }
+        xml.push_str(&format!("</{tag}>"));
+        xml
+    }
+
+    fn small_corpus() -> Corpus {
+        let a = shop("shop", &[("Alpha gps", "gps"), ("Beta cam", "camera")]);
+        let b = shop("shop", &[("Gamma gps", "gps navigation")]);
+        let c = shop("shop", &[("Delta player", "audio")]);
+        Corpus::from_xml_strings([
+            ("store-a", a.as_str()),
+            ("store-b", b.as_str()),
+            ("store-c", c.as_str()),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn corpus_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Corpus>();
+    }
+
+    #[test]
+    fn ingestion_assigns_stable_ids_and_names() {
+        let corpus = small_corpus();
+        assert_eq!(corpus.len(), 3);
+        assert_eq!(corpus.doc_name(DocId(0)), "store-a");
+        assert_eq!(corpus.doc_name(DocId(2)), "store-c");
+        assert!(!corpus.is_empty());
+    }
+
+    #[test]
+    fn query_tags_hits_with_document_ids() {
+        let corpus = small_corpus().with_shards(2);
+        let query = corpus.query("gps").unwrap();
+        let ranking = query.ranking();
+        assert_eq!(ranking.hits.len(), 2);
+        let docs: Vec<DocId> = ranking.hits.iter().map(|h| h.doc).collect();
+        assert!(docs.contains(&DocId(0)) && docs.contains(&DocId(1)));
+        let rendered = ranking.render(10);
+        assert!(rendered.contains("@store-a") && rendered.contains("@store-b"));
+    }
+
+    #[test]
+    fn empty_corpus_and_empty_query_are_typed() {
+        let empty = Corpus::new();
+        assert!(matches!(empty.query("gps"), Err(XsactError::EmptyCorpus)));
+        let corpus = small_corpus();
+        assert!(matches!(corpus.query("???"), Err(XsactError::EmptyQuery)));
+        assert!(matches!(
+            corpus.query("zeppelin").unwrap().compare(Algorithm::MultiSwap),
+            Err(XsactError::NoResults { .. })
+        ));
+    }
+
+    #[test]
+    fn single_hit_cannot_compare() {
+        let corpus = small_corpus();
+        let err = corpus.query("audio").unwrap().compare(Algorithm::MultiSwap).unwrap_err();
+        assert!(matches!(err, XsactError::NotEnoughResults { found: 1, .. }));
+    }
+
+    #[test]
+    fn shard_count_never_changes_the_ranking() {
+        let mut corpus = Corpus::synthetic_movies(5, 40, 7);
+        let baseline = {
+            corpus.set_shards(1);
+            corpus.query("drama family").unwrap().ranking().clone()
+        };
+        assert!(baseline.hits.len() > 2);
+        for shards in [2, 3, 8, 64] {
+            corpus.set_shards(shards);
+            let query = corpus.query("drama family").unwrap();
+            assert_eq!(query.ranking().render(100), baseline.render(100), "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn comparison_spans_documents_with_qualified_labels() {
+        let corpus = small_corpus();
+        let outcome = corpus.query("gps").unwrap().top(2).compare(Algorithm::MultiSwap).unwrap();
+        let labels = outcome.comparison.labels().join(" | ");
+        assert!(labels.contains("(store-a)") && labels.contains("(store-b)"), "{labels}");
+        assert!(outcome.hits[0].doc != outcome.hits[1].doc);
+        assert!(outcome.table().contains("store-a"));
+    }
+
+    #[test]
+    fn synthetic_fleet_is_reproducible_but_diverse() {
+        let a = Corpus::synthetic_movies(3, 20, 9);
+        let b = Corpus::synthetic_movies(3, 20, 9);
+        for id in [DocId(0), DocId(1), DocId(2)] {
+            assert_eq!(
+                xsact_xml::writer::write_subtree(
+                    a.workbench(id).document(),
+                    a.workbench(id).document().root()
+                ),
+                xsact_xml::writer::write_subtree(
+                    b.workbench(id).document(),
+                    b.workbench(id).document().root()
+                ),
+            );
+        }
+        // Different seeds per document: doc 0 and doc 1 differ.
+        assert_ne!(
+            xsact_xml::writer::write_subtree(
+                a.workbench(DocId(0)).document(),
+                a.workbench(DocId(0)).document().root()
+            ),
+            xsact_xml::writer::write_subtree(
+                a.workbench(DocId(1)).document(),
+                a.workbench(DocId(1)).document().root()
+            ),
+        );
+    }
+
+    #[test]
+    fn effective_shards_clamp_to_documents() {
+        let corpus = small_corpus().with_shards(64);
+        assert_eq!(corpus.shards(), 64);
+        assert_eq!(corpus.effective_shards(), 3);
+        assert_eq!(small_corpus().with_shards(0).effective_shards(), 1);
+    }
+}

@@ -21,6 +21,9 @@ pub enum XsactError {
     /// The query contained no indexable search terms (empty string,
     /// punctuation only, …).
     EmptyQuery,
+    /// A corpus operation ran over a corpus holding no documents (empty
+    /// ingestion list, or a directory without `.xml` files).
+    EmptyCorpus,
     /// The query was well-formed but matched nothing in the document.
     NoResults {
         /// The offending query text.
@@ -61,6 +64,9 @@ impl fmt::Display for XsactError {
             XsactError::Xml(e) => write!(f, "malformed XML: {e}"),
             XsactError::EmptyQuery => {
                 write!(f, "the query contains no search terms")
+            }
+            XsactError::EmptyCorpus => {
+                write!(f, "the corpus contains no documents")
             }
             XsactError::NoResults { query } => {
                 write!(f, "query {query:?} matched no results")

@@ -8,7 +8,9 @@
 //! document that owns the search engine, caches per-result features across
 //! queries, and exposes the paper's whole pipeline (keyword search → entity
 //! promotion → feature extraction → Differentiation Feature Set generation)
-//! as a fluent, typed-error API.
+//! as a fluent, typed-error API. For many documents at once, the
+//! [`Corpus`] pools one workbench per document behind a sharded,
+//! deterministic parallel query engine (see [`corpus`]).
 //!
 //! ## Quickstart
 //!
@@ -56,10 +58,17 @@
 //!   the Degree-of-Differentiation objective, and the single-swap /
 //!   multi-swap algorithms (plus the [`Algorithm::Exhaustive`] oracle).
 //! * [`data`] — dataset generators and the paper's worked example.
+//!
+//! The sharded corpus engine adds one more pair: the dependency-free
+//! mechanics crate `xsact-corpus` (shard planning, scoped-thread fan-out,
+//! k-way merge) and the [`corpus`] facade module that composes it with
+//! workbenches.
 
+pub mod corpus;
 pub mod error;
 pub mod workbench;
 
+pub use corpus::{Corpus, CorpusHit, CorpusOutcome, CorpusQuery, CorpusRanking};
 pub use error::{XsactError, XsactResult};
 pub use workbench::{CacheStats, QueryPipeline, Workbench};
 
@@ -73,6 +82,7 @@ pub use xsact_core::Algorithm;
 
 /// The most common imports in one place.
 pub mod prelude {
+    pub use crate::corpus::{Corpus, CorpusHit, CorpusOutcome, CorpusQuery, CorpusRanking, DocId};
     pub use crate::error::{XsactError, XsactResult};
     pub use crate::workbench::{CacheStats, QueryPipeline, Workbench};
     pub use xsact_core::{Algorithm, Comparison, ComparisonOutcome, DfsConfig};

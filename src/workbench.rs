@@ -32,9 +32,12 @@
 //! ```
 
 use crate::error::{XsactError, XsactResult};
-use std::cell::{Cell, OnceCell, RefCell};
+use std::cell::OnceCell;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::io::{Read, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
 use xsact_core::{Algorithm, Comparison, ComparisonOutcome, DfsConfig};
 use xsact_entity::ResultFeatures;
 use xsact_index::{Query, ResultSemantics, ScoredResult, SearchEngine, SearchResult};
@@ -56,18 +59,99 @@ impl CacheStats {
     }
 }
 
+/// Number of independent lock shards in the feature cache. Lock contention
+/// is per-shard, so concurrent queries over disjoint results rarely touch
+/// the same lock; a small power of two keeps the modulo cheap.
+const CACHE_SHARDS: usize = 8;
+
+type FeatureKey = (NodeId, String);
+
+/// One lock shard of the feature cache: a map under its own `RwLock` plus
+/// its share of the hit/miss counters. Counters are atomics (not guarded by
+/// the lock) so a hit only ever takes the shard's *read* lock.
+#[derive(Debug, Default)]
+struct CacheShard {
+    map: RwLock<HashMap<FeatureKey, ResultFeatures>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// The sharded, thread-safe feature cache. Every lookup increments exactly
+/// one of `hits`/`misses` with an atomic add, so the aggregated counters
+/// never lose updates under concurrency and
+/// `stats().lookups()` always equals the number of `get_or_extract` calls.
+#[derive(Debug)]
+struct FeatureCache {
+    shards: [CacheShard; CACHE_SHARDS],
+}
+
+impl FeatureCache {
+    fn new() -> Self {
+        FeatureCache { shards: std::array::from_fn(|_| CacheShard::default()) }
+    }
+
+    fn shard_of(&self, key: &FeatureKey) -> &CacheShard {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[hasher.finish() as usize % CACHE_SHARDS]
+    }
+
+    fn get_or_extract(
+        &self,
+        key: FeatureKey,
+        extract: impl FnOnce(&FeatureKey) -> ResultFeatures,
+    ) -> ResultFeatures {
+        let shard = self.shard_of(&key);
+        if let Some(cached) = shard.map.read().expect("cache lock poisoned").get(&key) {
+            shard.hits.fetch_add(1, Ordering::Relaxed);
+            return cached.clone();
+        }
+        shard.misses.fetch_add(1, Ordering::Relaxed);
+        // Extract outside the lock: extraction walks the whole result
+        // subtree, and holding the write lock across it would serialise
+        // every concurrent miss. Two racing misses may both extract; the
+        // result is identical (extraction is deterministic), so whichever
+        // insert lands second is a no-op.
+        let rf = extract(&key);
+        shard.map.write().expect("cache lock poisoned").entry(key).or_insert_with(|| rf.clone());
+        rf
+    }
+
+    fn stats(&self) -> CacheStats {
+        self.shards.iter().fold(CacheStats::default(), |acc, s| CacheStats {
+            hits: acc.hits + s.hits.load(Ordering::Relaxed),
+            misses: acc.misses + s.misses.load(Ordering::Relaxed),
+        })
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.map.read().expect("cache lock poisoned").len()).sum()
+    }
+
+    fn clear(&self) {
+        for shard in &self.shards {
+            shard.map.write().expect("cache lock poisoned").clear();
+            shard.hits.store(0, Ordering::Relaxed);
+            shard.misses.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
 /// A query-ready XSACT session over one document.
 ///
 /// Create one per document with [`Workbench::from_xml`] or
 /// [`Workbench::from_document`], then issue any number of queries through
 /// [`Workbench::query`]. The underlying layer crates remain independently
 /// usable; the workbench only orchestrates them and adds caching.
+///
+/// A workbench is `Sync`: the feature cache is sharded behind `RwLock`s
+/// with atomic hit/miss counters, so any number of threads may query the
+/// same workbench concurrently (the corpus engine fans out over shards of
+/// workbenches this way).
 #[derive(Debug)]
 pub struct Workbench {
     engine: SearchEngine,
-    features: RefCell<HashMap<(NodeId, String), ResultFeatures>>,
-    hits: Cell<u64>,
-    misses: Cell<u64>,
+    features: FeatureCache,
 }
 
 impl Workbench {
@@ -84,12 +168,7 @@ impl Workbench {
     /// Wraps an already-built engine (e.g. one restored from a persisted
     /// index).
     pub fn from_engine(engine: SearchEngine) -> Workbench {
-        Workbench {
-            engine,
-            features: RefCell::new(HashMap::new()),
-            hits: Cell::new(0),
-            misses: Cell::new(0),
-        }
+        Workbench { engine, features: FeatureCache::new() }
     }
 
     /// Builds a workbench from a document plus a previously
@@ -148,20 +227,14 @@ impl Workbench {
     /// above the engine's master entity (e.g. comparing *brands* while the
     /// engine returns *products*).
     pub fn subtree_features(&self, root: NodeId, label: impl Into<String>) -> ResultFeatures {
-        let key = (root, label.into());
-        if let Some(cached) = self.features.borrow().get(&key) {
-            self.hits.set(self.hits.get() + 1);
-            return cached.clone();
-        }
-        self.misses.set(self.misses.get() + 1);
-        let rf = xsact_entity::extract_features(
-            self.engine.document(),
-            self.engine.summary(),
-            root,
-            key.1.clone(),
-        );
-        self.features.borrow_mut().insert(key, rf.clone());
-        rf
+        self.features.get_or_extract((root, label.into()), |key| {
+            xsact_entity::extract_features(
+                self.engine.document(),
+                self.engine.summary(),
+                key.0,
+                key.1.clone(),
+            )
+        })
     }
 
     /// The result subtree serialised as XML (the demo's "click the name to
@@ -170,21 +243,28 @@ impl Workbench {
         self.engine.result_xml(result)
     }
 
-    /// Hit/miss counters of the feature cache.
+    /// Hit/miss counters of the feature cache, aggregated over all lock
+    /// shards. Under concurrency the two counters are read one shard at a
+    /// time, so a snapshot taken *while* other threads are querying may mix
+    /// counter values from slightly different instants — but every lookup
+    /// is counted exactly once, so once the other threads are done (or at
+    /// any quiescent point) `lookups()` equals the precise number of
+    /// feature lookups since the last [`clear_cache`](Self::clear_cache).
     pub fn cache_stats(&self) -> CacheStats {
-        CacheStats { hits: self.hits.get(), misses: self.misses.get() }
+        self.features.stats()
     }
 
     /// Number of results whose features are currently cached.
     pub fn cached_results(&self) -> usize {
-        self.features.borrow().len()
+        self.features.len()
     }
 
-    /// Drops all cached features and resets the counters.
+    /// Drops all cached features **and** resets the hit/miss counters to
+    /// zero, so [`cache_stats`](Self::cache_stats) after a clear reports
+    /// the warm-rate of the fresh cache only — a clear is a full reset to
+    /// the just-built state, not merely an eviction.
     pub fn clear_cache(&self) {
-        self.features.borrow_mut().clear();
-        self.hits.set(0);
-        self.misses.set(0);
+        self.features.clear();
     }
 }
 
@@ -373,6 +453,59 @@ mod tests {
 
     fn wb() -> Workbench {
         Workbench::from_document(fixtures::figure1_document())
+    }
+
+    #[test]
+    fn workbench_is_send_and_sync() {
+        // The corpus engine shares one workbench per document across its
+        // fan-out threads; losing `Sync` here would break that at a
+        // distance, so pin it down as a compile-time property.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Workbench>();
+        assert_send_sync::<CacheStats>();
+    }
+
+    #[test]
+    fn concurrent_lookups_lose_no_counter_updates() {
+        let wb = wb();
+        let results = wb.query(fixtures::PAPER_QUERY).unwrap().results();
+        assert_eq!(results.len(), 2);
+        const THREADS: u64 = 8;
+        const ROUNDS: u64 = 50;
+        std::thread::scope(|scope| {
+            for _ in 0..THREADS {
+                scope.spawn(|| {
+                    for _ in 0..ROUNDS {
+                        for r in &results {
+                            wb.features_for(r);
+                        }
+                    }
+                });
+            }
+        });
+        let stats = wb.cache_stats();
+        assert_eq!(stats.lookups(), THREADS * ROUNDS * 2, "lost counter updates");
+        // Racing first lookups may extract the same root more than once,
+        // but the cache still holds exactly one entry per key.
+        assert_eq!(wb.cached_results(), 2);
+        assert!(stats.misses >= 2);
+        assert!(stats.hits <= stats.lookups() - 2);
+    }
+
+    #[test]
+    fn clear_cache_resets_contents_and_counters() {
+        let wb = wb();
+        let pipeline = wb.query(fixtures::PAPER_QUERY).unwrap().size_bound(6);
+        pipeline.compare(Algorithm::MultiSwap).unwrap();
+        pipeline.compare(Algorithm::Snippet).unwrap();
+        assert!(wb.cache_stats().lookups() > 0);
+        wb.clear_cache();
+        // A clear is a full reset: contents gone AND stats back to zero, so
+        // warm-rate measurements after a clear start from a clean slate.
+        assert_eq!(wb.cached_results(), 0);
+        assert_eq!(wb.cache_stats(), CacheStats::default());
+        pipeline.compare(Algorithm::MultiSwap).unwrap();
+        assert_eq!(wb.cache_stats().misses, 2, "post-clear lookups re-extract");
     }
 
     #[test]
