@@ -5,7 +5,7 @@
 //! Run with `cargo bench -p xsact-bench --bench search_engine`.
 //! (Self-timing harness; criterion is unavailable in the offline build.)
 
-use xsact_bench::harness::bench;
+use xsact_bench::harness::{bench, format_bytes, stat};
 use xsact_bench::{scaled, FIG4_SEED};
 use xsact_data::movies::{qm_queries, MovieGenConfig, MoviesGen};
 use xsact_index::{slca_full_scan, slca_indexed_lookup, InvertedIndex, Query, SearchEngine};
@@ -34,6 +34,46 @@ fn bench_index_build() {
     bench("index", &format!("build_{movies}_movies"), || InvertedIndex::build(&doc));
 }
 
+/// Per-document resident bytes of the interned substrate versus the seed
+/// layout (owned `String` tag + owned `Vec<u32>` Dewey per node), so the
+/// representation win stays visible on every PR's bench smoke.
+fn report_substrate_footprint() {
+    let movies = scaled(200, 40);
+    let doc =
+        MoviesGen::new(MovieGenConfig { movies, seed: FIG4_SEED, ..Default::default() }).generate();
+    let idx = InvertedIndex::build(&doc);
+    let s = doc.substrate_stats();
+    let interned = s.interned_total();
+    stat(
+        "memory",
+        &format!("document_substrate_{movies}_movies"),
+        format!(
+            "{} interned vs {} seed-layout ({:.2}x smaller; {} nodes, {} distinct symbols)",
+            format_bytes(interned),
+            format_bytes(s.seed_equivalent_bytes),
+            s.seed_equivalent_bytes as f64 / interned.max(1) as f64,
+            s.nodes,
+            s.distinct_symbols,
+        ),
+    );
+    stat(
+        "memory",
+        &format!("document_breakdown_{movies}_movies"),
+        format!(
+            "interner {} + dewey arena {} + text {} + node table {}",
+            format_bytes(s.interner_bytes),
+            format_bytes(s.dewey_bytes),
+            format_bytes(s.text_bytes),
+            format_bytes(s.node_table_bytes),
+        ),
+    );
+    stat(
+        "memory",
+        &format!("inverted_index_{movies}_movies"),
+        format!("{} (term dictionary + flat postings arena)", format_bytes(idx.heap_bytes())),
+    );
+}
+
 fn bench_query_end_to_end() {
     let movies = scaled(400, 60);
     let doc =
@@ -48,5 +88,6 @@ fn bench_query_end_to_end() {
 fn main() {
     bench_slca_algorithms();
     bench_index_build();
+    report_substrate_footprint();
     bench_query_end_to_end();
 }

@@ -122,6 +122,23 @@ pub fn bench_with<T>(
     summary
 }
 
+/// Prints one non-timing statistic line in the bench output format, so
+/// memory-footprint and counter stats line up with the timing rows.
+pub fn stat(group: &str, name: &str, value: impl std::fmt::Display) {
+    println!("{group}/{name:<42} {value}");
+}
+
+/// Human-friendly byte count with KiB/MiB scaling.
+pub fn format_bytes(bytes: usize) -> String {
+    if bytes < 1024 {
+        format!("{bytes} B")
+    } else if bytes < 1024 * 1024 {
+        format!("{:.1} KiB", bytes as f64 / 1024.0)
+    } else {
+        format!("{:.2} MiB", bytes as f64 / (1024.0 * 1024.0))
+    }
+}
+
 /// Human-friendly duration with µs/ms/s scaling.
 pub fn format_duration(d: Duration) -> String {
     let nanos = d.as_nanos();
@@ -179,5 +196,12 @@ mod tests {
         assert_eq!(format_duration(Duration::from_micros(3)), "3.00 µs");
         assert_eq!(format_duration(Duration::from_millis(4)), "4.00 ms");
         assert_eq!(format_duration(Duration::from_secs(2)), "2.00 s");
+    }
+
+    #[test]
+    fn bytes_format_with_units() {
+        assert_eq!(format_bytes(12), "12 B");
+        assert_eq!(format_bytes(2048), "2.0 KiB");
+        assert_eq!(format_bytes(3 * 1024 * 1024), "3.00 MiB");
     }
 }

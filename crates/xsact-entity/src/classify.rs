@@ -17,9 +17,15 @@
 //! of tags from the root), so every instance of `/shop/product/reviews/review`
 //! receives the same class — exactly how XSeek's summary-based inference
 //! behaves.
+//!
+//! Paths are interned: the summary builds a **trie keyed by
+//! `(parent path, tag symbol)`** — one [`PathId`] per distinct tag path —
+//! and records each node's path id in a flat per-node table. Classifying a
+//! node is therefore two array lookups, and the `a/b/c` display string of a
+//! path is materialised once per *distinct* path instead of once per node.
 
 use std::collections::HashMap;
-use xsact_xml::{Document, NodeId};
+use xsact_xml::{Document, NodeId, Sym};
 
 /// The inferred role of a node (more precisely, of its tag path).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -32,55 +38,127 @@ pub enum NodeClass {
     Connection,
 }
 
+/// Dense handle of a distinct tag path inside one [`StructureSummary`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PathId(u32);
+
+impl PathId {
+    /// The dense index of this path (`0..summary.path_count()`).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
 #[derive(Debug, Default, Clone)]
 struct PathInfo {
     /// Did any parent hold two or more children with this tag?
     repeats: bool,
-    /// Number of instances observed.
-    instances: usize,
     /// Number of instances that have at least one element child.
     internal_instances: usize,
 }
 
-/// Per-document structural summary mapping tag paths to classes.
+#[derive(Debug, Clone)]
+struct PathData {
+    /// The rendered `a/b/c` path — one `String` per distinct path.
+    display: String,
+    info: PathInfo,
+}
+
+/// Per-document structural summary mapping interned tag paths to classes.
 ///
 /// Built once with [`StructureSummary::infer`]; classification of an
-/// individual node is then an O(depth) hash lookup.
+/// individual node is then two O(1) array lookups (node → path id →
+/// class), with no string construction or hashing on the query path.
 #[derive(Debug, Clone)]
 pub struct StructureSummary {
-    paths: HashMap<String, PathInfo>,
+    /// One entry per distinct tag path.
+    paths: Vec<PathData>,
+    /// Trie edges: `(parent path, child tag)` → child path. The root
+    /// element's path is keyed under `(u32::MAX, root tag)`.
+    edges: HashMap<(u32, Sym), PathId>,
+    /// Per node arena index, the node's path id (`None` for text runs).
+    node_paths: Vec<Option<PathId>>,
+    /// Display string → path id, for the string-typed compatibility API.
+    by_display: HashMap<String, PathId>,
 }
+
+const NO_PARENT: u32 = u32::MAX;
 
 impl StructureSummary {
     /// Infers the structural summary of `doc` in a single pass.
     pub fn infer(doc: &Document) -> Self {
-        let mut paths: HashMap<String, PathInfo> = HashMap::new();
-        // Count, for every element, how many children share each tag; a tag
-        // with count >= 2 under one parent repeats.
+        let mut summary = StructureSummary {
+            paths: Vec::new(),
+            edges: HashMap::new(),
+            node_paths: vec![None; doc.len()],
+            by_display: HashMap::new(),
+        };
+        // Reused per node: how many children share each tag.
+        let mut child_tag_counts: HashMap<Sym, u32> = HashMap::new();
+        // Preorder guarantees a parent's path id exists before its children
+        // are visited.
         for node in doc.all_nodes() {
-            if !doc.is_element(node) {
-                continue;
-            }
-            let path = path_key(doc, node);
-            let info = paths.entry(path.clone()).or_default();
-            info.instances += 1;
+            let Some(tag) = doc.tag_sym(node) else { continue };
+            let parent_path = match doc.parent(node) {
+                Some(p) => match summary.node_paths[p.index()] {
+                    Some(pid) => pid.0,
+                    // Parent is a text run — impossible for elements.
+                    None => NO_PARENT,
+                },
+                None => NO_PARENT,
+            };
+            let pid = summary.path_for(doc, parent_path, tag);
+            summary.node_paths[node.index()] = Some(pid);
+
+            child_tag_counts.clear();
             let mut has_element_child = false;
-            let mut child_tag_counts: HashMap<&str, usize> = HashMap::new();
             for child in doc.child_elements(node) {
                 has_element_child = true;
-                *child_tag_counts.entry(doc.tag(child)).or_insert(0) += 1;
+                *child_tag_counts
+                    .entry(doc.tag_sym(child).expect("child_elements yields elements"))
+                    .or_insert(0) += 1;
             }
             if has_element_child {
-                paths.get_mut(&path).expect("just inserted").internal_instances += 1;
+                summary.paths[pid.index()].info.internal_instances += 1;
             }
-            for (tag, count) in child_tag_counts {
+            for (&tag, &count) in &child_tag_counts {
                 if count >= 2 {
-                    let child_path = format!("{path}/{tag}");
-                    paths.entry(child_path).or_default().repeats = true;
+                    let child_pid = summary.path_for(doc, pid.0, tag);
+                    summary.paths[child_pid.index()].info.repeats = true;
                 }
             }
         }
-        StructureSummary { paths }
+        summary
+    }
+
+    /// The path id of the trie node `(parent, tag)`, creating it on first
+    /// sight.
+    fn path_for(&mut self, doc: &Document, parent: u32, tag: Sym) -> PathId {
+        if let Some(&pid) = self.edges.get(&(parent, tag)) {
+            return pid;
+        }
+        let tag_str = doc.interner().resolve(tag);
+        let display = if parent == NO_PARENT {
+            tag_str.to_owned()
+        } else {
+            format!("{}/{}", self.paths[parent as usize].display, tag_str)
+        };
+        let pid = PathId(self.paths.len() as u32);
+        self.paths.push(PathData { display: display.clone(), info: PathInfo::default() });
+        self.edges.insert((parent, tag), pid);
+        self.by_display.insert(display, pid);
+        pid
+    }
+
+    /// The path id of an element node, or `None` for text runs (and nodes
+    /// outside the summarised document).
+    pub fn path_id_of(&self, node: NodeId) -> Option<PathId> {
+        self.node_paths.get(node.index()).copied().flatten()
+    }
+
+    /// The `a/b/c` display string of a path.
+    pub fn path_display(&self, path: PathId) -> &str {
+        &self.paths[path.index()].display
     }
 
     /// Classifies the tag path of `node` within `doc`.
@@ -95,16 +173,15 @@ impl StructureSummary {
         if doc.parent(node).is_none() {
             return NodeClass::Entity;
         }
-        let key = path_key(doc, node);
-        self.class_of_path(&key)
+        match self.path_id_of(node) {
+            Some(pid) => self.class_of_id(pid),
+            None => NodeClass::Connection,
+        }
     }
 
-    /// Classifies a raw `a/b/c` tag path.
-    pub fn class_of_path(&self, path: &str) -> NodeClass {
-        let info = match self.paths.get(path) {
-            Some(i) => i,
-            None => return NodeClass::Connection,
-        };
+    /// Classifies a path by its id.
+    pub fn class_of_id(&self, path: PathId) -> NodeClass {
+        let info = &self.paths[path.index()].info;
         let ever_internal = info.internal_instances > 0;
         if info.repeats && ever_internal {
             NodeClass::Entity
@@ -115,9 +192,17 @@ impl StructureSummary {
         }
     }
 
+    /// Classifies a raw `a/b/c` tag path.
+    pub fn class_of_path(&self, path: &str) -> NodeClass {
+        match self.by_display.get(path) {
+            Some(&pid) => self.class_of_id(pid),
+            None => NodeClass::Connection,
+        }
+    }
+
     /// Whether the tag path is known to repeat under a single parent.
     pub fn repeats(&self, path: &str) -> bool {
-        self.paths.get(path).is_some_and(|i| i.repeats)
+        self.by_display.get(path).is_some_and(|&pid| self.paths[pid.index()].info.repeats)
     }
 
     /// Number of distinct tag paths observed.
@@ -128,11 +213,16 @@ impl StructureSummary {
     /// Iterates `(path, class)` pairs, useful for debugging and the CLI's
     /// schema view. Order is unspecified.
     pub fn classes(&self) -> impl Iterator<Item = (&str, NodeClass)> + '_ {
-        self.paths.keys().map(move |p| (p.as_str(), self.class_of_path(p)))
+        (0..self.paths.len())
+            .map(move |i| (self.paths[i].display.as_str(), self.class_of_id(PathId(i as u32))))
     }
 }
 
-/// The `a/b/c` tag-path key of an element node.
+/// The `a/b/c` tag-path key of an element node — the string the summary's
+/// interned [`PathId`]s stand for. The tests use it as an oracle for
+/// [`StructureSummary::path_display`]; production code resolves paths
+/// through the summary instead.
+#[cfg(test)]
 pub(crate) fn path_key(doc: &Document, node: NodeId) -> String {
     doc.tag_path(node).join("/")
 }
@@ -280,5 +370,32 @@ mod tests {
             s.classes().filter(|(_, c)| *c == NodeClass::Entity).map(|(p, _)| p).collect();
         assert!(entities.contains(&"shop/product"));
         assert!(entities.contains(&"shop/product/reviews/review"));
+    }
+
+    #[test]
+    fn path_ids_are_shared_by_instances_of_one_path() {
+        let doc = review_doc();
+        let s = StructureSummary::infer(&doc);
+        let products: Vec<NodeId> = doc.children_by_tag(doc.root(), "product").collect();
+        let a = s.path_id_of(products[0]).unwrap();
+        let b = s.path_id_of(products[1]).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(s.path_display(a), "shop/product");
+        assert_eq!(s.class_of_id(a), NodeClass::Entity);
+        // Text runs have no path id.
+        let name = doc.child_by_tag(products[0], "name").unwrap();
+        assert_eq!(s.path_id_of(doc.children(name)[0]), None);
+    }
+
+    #[test]
+    fn path_display_matches_path_key() {
+        let doc = review_doc();
+        let s = StructureSummary::infer(&doc);
+        for node in doc.all_nodes() {
+            if doc.is_element(node) {
+                let pid = s.path_id_of(node).unwrap();
+                assert_eq!(s.path_display(pid), path_key(&doc, node));
+            }
+        }
     }
 }

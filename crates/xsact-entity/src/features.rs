@@ -16,9 +16,9 @@
 //! (73%)"* — drive both the validity ranking (Desideratum 2) and the
 //! differentiability test (Desideratum 3) in `xsact-core`.
 
-use crate::classify::{path_key, NodeClass, StructureSummary};
+use crate::classify::{NodeClass, PathId, StructureSummary};
 use std::collections::HashMap;
-use xsact_xml::{Document, NodeId};
+use xsact_xml::{Document, NodeId, Sym};
 
 /// A feature type: the `(entity, attribute)` pair identifying one row of a
 /// comparison table.
@@ -177,10 +177,51 @@ impl ResultFeatures {
     }
 }
 
+/// One segment of an attribute path during the symbol-keyed walk. Tags and
+/// XML-attribute names are interned in the document, so a segment is one or
+/// two 4-byte symbols — cloning a path is a flat memcpy, and no strings are
+/// built until the stats are finalised at the `xsact-core` boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Seg {
+    /// A child element step (`pros`).
+    Tag(Sym),
+    /// An XML attribute on the instance itself (`@sku`).
+    RootAttr(Sym),
+    /// An XML attribute on a nested element (`best_use@lang`).
+    TagAttr(Sym, Sym),
+}
+
+impl Seg {
+    fn render(self, doc: &Document, out: &mut String) {
+        let symbols = doc.interner();
+        match self {
+            Seg::Tag(tag) => out.push_str(symbols.resolve(tag)),
+            Seg::RootAttr(name) => {
+                out.push('@');
+                out.push_str(symbols.resolve(name));
+            }
+            Seg::TagAttr(tag, name) => {
+                out.push_str(symbols.resolve(tag));
+                out.push('@');
+                out.push_str(symbols.resolve(name));
+            }
+        }
+    }
+}
+
+/// The symbol-keyed identity of a feature type during aggregation: the
+/// owning entity's interned path plus the attribute path as segments.
+type SymKey = (PathId, Box<[Seg]>);
+
 /// Extracts the aggregated features of the result subtree rooted at `root`.
 ///
 /// `summary` must have been inferred from the same document so entity
 /// classification is consistent across all results.
+///
+/// Aggregation is keyed entirely by interned symbols ([`PathId`] +
+/// [`Sym`] segments); the string-typed [`FeatureType`]s that `xsact-core`
+/// consumes are resolved **once per distinct feature type** when the stats
+/// are finalised, never per node or per comparison.
 pub fn extract_features(
     doc: &Document,
     summary: &StructureSummary,
@@ -198,17 +239,57 @@ pub fn extract_features(
         }
     }
 
-    let mut entity_instances: HashMap<String, u32> = HashMap::new();
-    let mut agg: HashMap<FeatureType, HashMap<String, u32>> = HashMap::new();
+    let mut instance_counts: HashMap<PathId, u32> = HashMap::new();
+    let mut agg: HashMap<SymKey, HashMap<String, u32>> = HashMap::new();
 
     for &instance in &instances {
-        let entity_path = path_key(doc, instance);
-        *entity_instances.entry(entity_path.clone()).or_insert(0) += 1;
-        collect_instance_features(doc, summary, instance, &entity_path, &mut agg);
+        // A text-node root (degenerate but allowed by the seed API) takes
+        // its parent element's path, mirroring `Document::tag_path`.
+        let Some(entity) = instance_path(doc, summary, instance) else { continue };
+        *instance_counts.entry(entity).or_insert(0) += 1;
+        collect_instance_features(doc, summary, instance, entity, &mut agg);
     }
 
-    let stats = finalize(agg, &entity_instances);
+    // Resolve symbols to the string-typed boundary representation. Distinct
+    // symbol keys can render to the same string only if a tag contained the
+    // join characters — XML names cannot — but merge defensively anyway.
+    let mut entity_instances: HashMap<String, u32> = HashMap::with_capacity(instance_counts.len());
+    for (&pid, &n) in &instance_counts {
+        *entity_instances.entry(summary.path_display(pid).to_owned()).or_insert(0) += n;
+    }
+    let mut resolved: HashMap<FeatureType, HashMap<String, u32>> =
+        HashMap::with_capacity(agg.len());
+    for ((entity, segs), values) in agg {
+        let mut attribute = String::new();
+        for (i, seg) in segs.iter().enumerate() {
+            if i > 0 {
+                attribute.push(':');
+            }
+            seg.render(doc, &mut attribute);
+        }
+        let ty = FeatureType::new(summary.path_display(entity), attribute);
+        let merged = resolved.entry(ty).or_default();
+        for (value, count) in values {
+            *merged.entry(value).or_insert(0) += count;
+        }
+    }
+
+    let stats = finalize(resolved, &entity_instances);
     ResultFeatures { label: label.into(), stats, entity_instances }
+}
+
+/// The interned path of an instance node: its own path for elements, the
+/// nearest ancestor element's path for text runs. `None` only for handles
+/// outside the summarised document.
+fn instance_path(doc: &Document, summary: &StructureSummary, node: NodeId) -> Option<PathId> {
+    let mut cur = Some(node);
+    while let Some(n) = cur {
+        if let Some(pid) = summary.path_id_of(n) {
+            return Some(pid);
+        }
+        cur = doc.parent(n);
+    }
+    None
 }
 
 /// Collects `(attribute, value)` pairs of one entity instance, stopping at
@@ -217,29 +298,28 @@ fn collect_instance_features(
     doc: &Document,
     summary: &StructureSummary,
     instance: NodeId,
-    entity_path: &str,
-    agg: &mut HashMap<FeatureType, HashMap<String, u32>>,
+    entity: PathId,
+    agg: &mut HashMap<SymKey, HashMap<String, u32>>,
 ) {
     // Depth-first walk carrying the attribute path relative to the instance.
-    let mut stack: Vec<(NodeId, Vec<String>)> = vec![(instance, Vec::new())];
+    let mut stack: Vec<(NodeId, Vec<Seg>)> = vec![(instance, Vec::new())];
     while let Some((node, attr_path)) = stack.pop() {
         // XML attributes become features at every element we own.
-        for (name, value) in doc.attrs(node) {
+        for (name, value) in doc.attrs_syms(node) {
             let mut segs = attr_path.clone();
-            let leaf_seg = if segs.is_empty() {
-                format!("@{name}")
-            } else {
+            let leaf_seg = match segs.pop() {
                 // Attach to the current element segment: `tag@name`.
-                let last = segs.pop().expect("non-empty");
-                format!("{last}@{name}")
+                Some(Seg::Tag(tag)) => Seg::TagAttr(tag, name),
+                Some(other) => unreachable!("attr path ends in a tag segment, got {other:?}"),
+                None => Seg::RootAttr(name),
             };
             segs.push(leaf_seg);
-            record(agg, entity_path, &segs, value);
+            record(agg, entity, &segs, value);
         }
         if doc.is_leaf_element(node) && node != instance {
             let text = normalize_value(&doc.text_content(node));
             if !text.is_empty() {
-                record(agg, entity_path, &attr_path, &text);
+                record(agg, entity, &attr_path, &text);
             }
             continue;
         }
@@ -249,23 +329,23 @@ fn collect_instance_features(
                 continue;
             }
             let mut child_path = attr_path.clone();
-            child_path.push(doc.tag(child).to_owned());
+            child_path.push(Seg::Tag(doc.tag_sym(child).expect("element child")));
             stack.push((child, child_path));
         }
     }
 }
 
 fn record(
-    agg: &mut HashMap<FeatureType, HashMap<String, u32>>,
-    entity_path: &str,
-    attr_segments: &[String],
+    agg: &mut HashMap<SymKey, HashMap<String, u32>>,
+    entity: PathId,
+    attr_segments: &[Seg],
     value: &str,
 ) {
     if attr_segments.is_empty() {
         return;
     }
-    let ty = FeatureType::new(entity_path, attr_segments.join(":"));
-    *agg.entry(ty).or_default().entry(value.to_owned()).or_insert(0) += 1;
+    let key = (entity, attr_segments.to_vec().into_boxed_slice());
+    *agg.entry(key).or_default().entry(value.to_owned()).or_insert(0) += 1;
 }
 
 /// Collapses runs of whitespace and trims, so `" 4.2\n "` equals `"4.2"`.
@@ -495,6 +575,22 @@ mod tests {
         assert_eq!(a.entity_instances, 10);
         // Significance order: a (9) before b (5).
         assert_eq!(rf.stats[0].ty.attribute, "a");
+    }
+
+    #[test]
+    fn text_node_root_is_degenerate_but_defined() {
+        // The seed API tolerated a text-node result root (it has no
+        // features of its own); the interned path must fall back to the
+        // parent element instead of panicking.
+        let d = parse_document("<r><item><name>A</name></item><item><name>B</name></item></r>")
+            .unwrap();
+        let summary = StructureSummary::infer(&d);
+        let name = d.child_by_tag(d.child_by_tag(d.root(), "item").unwrap(), "name").unwrap();
+        let text = d.children(name)[0];
+        let rf = extract_features(&d, &summary, text, "t");
+        assert_eq!(rf.type_count(), 0);
+        // The instance is counted under the nearest element's path.
+        assert_eq!(rf.instances_of("r/item/name"), 1);
     }
 
     #[test]

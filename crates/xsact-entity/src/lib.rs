@@ -17,6 +17,6 @@ pub mod classify;
 pub mod features;
 pub mod label;
 
-pub use classify::{NodeClass, StructureSummary};
+pub use classify::{NodeClass, PathId, StructureSummary};
 pub use features::{extract_features, FeatureStat, FeatureType, ResultFeatures, ValueCount};
 pub use label::{display_label, prettify};

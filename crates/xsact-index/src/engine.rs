@@ -12,7 +12,7 @@ use crate::postings::InvertedIndex;
 use crate::query::Query;
 use crate::rank::{rank_results, ScoredResult};
 use crate::slca::{elca_full_scan, slca_indexed_lookup};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use xsact_entity::{extract_features, NodeClass, ResultFeatures, StructureSummary};
 use xsact_xml::{writer, Document, NodeId};
 
@@ -106,7 +106,7 @@ impl SearchEngine {
                 results.push(SearchResult { root, slca: m, label: self.label_for(root) });
             }
         }
-        results.sort_by(|a, b| self.doc.dewey(a.root).cmp(self.doc.dewey(b.root)));
+        results.sort_by(|a, b| self.doc.dewey(a.root).cmp(&self.doc.dewey(b.root)));
         results
     }
 
@@ -117,14 +117,16 @@ impl SearchEngine {
         let results = self.search(query);
         let roots: Vec<NodeId> = results.iter().map(|r| r.root).collect();
         let scored = rank_results(&self.doc, &self.index, query, &roots);
+        // Roots are distinct (search deduplicates promotions), so one map
+        // pairs every scored entry with its result by moving it out —
+        // no per-entry rescan of the result list, no clones.
+        let mut by_root: HashMap<NodeId, SearchResult> =
+            results.into_iter().map(|r| (r.root, r)).collect();
         scored
             .into_iter()
             .map(|s| {
-                let result = results
-                    .iter()
-                    .find(|r| r.root == s.root)
-                    .expect("scored roots come from the result list")
-                    .clone();
+                let result =
+                    by_root.remove(&s.root).expect("scored roots come from the result list");
                 (result, s)
             })
             .collect()
@@ -150,7 +152,7 @@ impl SearchEngine {
     /// Extracts the aggregated feature statistics of a result — the input of
     /// the DFS algorithms in `xsact-core`.
     pub fn extract_features(&self, result: &SearchResult) -> ResultFeatures {
-        extract_features(&self.doc, &self.summary, result.root, result.label.clone())
+        extract_features(&self.doc, &self.summary, result.root, result.label.as_str())
     }
 
     /// Serialises the result subtree as XML (the "click the name to see the

@@ -35,6 +35,27 @@ pub fn tokenize_unique(text: &str) -> Vec<String> {
     terms
 }
 
+/// Streams the normalised terms of `text` into `f` without allocating a
+/// `String` per token: the term is assembled in the reusable `scratch`
+/// buffer and handed to the callback as a borrowed slice. This is the
+/// index builder's hot path — it interns each term straight into the index
+/// interner, so steady-state tokenisation allocates nothing.
+pub fn for_each_term(text: &str, scratch: &mut String, mut f: impl FnMut(&str)) {
+    scratch.clear();
+    for c in text.chars() {
+        if c.is_alphanumeric() {
+            scratch.extend(c.to_lowercase());
+        } else if !scratch.is_empty() {
+            f(scratch);
+            scratch.clear();
+        }
+    }
+    if !scratch.is_empty() {
+        f(scratch);
+        scratch.clear();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -64,5 +85,15 @@ mod tests {
     #[test]
     fn unique_preserves_first_seen_order() {
         assert_eq!(tokenize_unique("b a b c a"), vec!["b", "a", "c"]);
+    }
+
+    #[test]
+    fn streaming_terms_match_tokenize() {
+        let mut scratch = String::new();
+        for text in ["TomTom Go-630", "", "!!! ---", "a,b;c d-e_f", "ÉTÉ x ÉTÉ"] {
+            let mut streamed = Vec::new();
+            for_each_term(text, &mut scratch, |t| streamed.push(t.to_owned()));
+            assert_eq!(streamed, tokenize(text), "{text:?}");
+        }
     }
 }

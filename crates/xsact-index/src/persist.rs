@@ -2,17 +2,26 @@
 //!
 //! Building the index is a full document scan; for the demo's "large size
 //! of the two datasets" (paper §3) it pays to build once and reload. The
-//! format is a small, versioned, length-prefixed binary layout:
+//! format is a small, versioned, length-prefixed binary layout that mirrors
+//! the in-memory flat substrate — a sorted term dictionary over one
+//! contiguous postings arena:
 //!
 //! ```text
-//! magic   b"XIDX"            4 bytes
-//! version u32 LE             currently 1
-//! fprint  u64 LE             structural fingerprint of the document
-//! terms   u32 LE             number of terms
-//! per term:
+//! magic    b"XIDX"            4 bytes
+//! version  u32 LE             currently 2
+//! fprint   u64 LE             structural fingerprint of the document
+//! terms    u32 LE             number of dictionary entries
+//! total    u32 LE             total postings across all terms
+//! dictionary, terms in lexicographic order:
 //!   term_len u32 LE, term bytes (UTF-8)
-//!   postings u32 LE, then that many u32 LE arena indices
+//!   post_off u32 LE, post_len u32 LE     span into the postings arena
+//! arena:
+//!   total × u32 LE            node arena indices, term spans back to back
 //! ```
+//!
+//! Version 1 (the pre-interning layout, postings inline per term) is
+//! **rejected** with an "unsupported index version" error — the caller
+//! rebuilds the index, exactly as for a fingerprint mismatch.
 //!
 //! Posting entries are arena indices, which are only meaningful for the
 //! exact document the index was built from — the **fingerprint** (FNV-1a
@@ -20,23 +29,18 @@
 //! rejected, so a stale index can never silently corrupt search results.
 
 use crate::postings::InvertedIndex;
-use std::collections::HashMap;
 use std::io::{self, Read, Write};
-use xsact_xml::{Document, NodeId};
+use xsact_xml::{Document, FnvHasher, NodeId};
 
 const MAGIC: &[u8; 4] = b"XIDX";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 
-/// FNV-1a structural fingerprint of a document: node count, tags,
-/// attributes and text contents in document order.
+/// FNV-style structural fingerprint of a document: node count, tags,
+/// attributes and text contents in document order (the workspace-shared
+/// [`FnvHasher`], so the constants cannot drift from the interner's).
 pub fn document_fingerprint(doc: &Document) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut eat = |bytes: &[u8]| {
-        for &b in bytes {
-            hash ^= u64::from(b);
-            hash = hash.wrapping_mul(0x1000_0000_01b3);
-        }
-    };
+    let mut hasher = FnvHasher::new();
+    let mut eat = |bytes: &[u8]| hasher.write(bytes);
     eat(&(doc.len() as u64).to_le_bytes());
     for node in doc.all_nodes() {
         if doc.is_element(node) {
@@ -53,7 +57,7 @@ pub fn document_fingerprint(doc: &Document) -> u64 {
             eat(t.as_bytes());
         }
     }
-    hash
+    hasher.finish()
 }
 
 /// Serialises the index (with the document's fingerprint) to `w`.
@@ -61,17 +65,23 @@ pub fn save_index(doc: &Document, index: &InvertedIndex, w: &mut impl Write) -> 
     w.write_all(MAGIC)?;
     w.write_all(&VERSION.to_le_bytes())?;
     w.write_all(&document_fingerprint(doc).to_le_bytes())?;
-    // Deterministic term order keeps outputs byte-identical across runs.
-    let mut terms: Vec<&str> = index.terms().collect();
-    terms.sort_unstable();
-    w.write_all(&(terms.len() as u32).to_le_bytes())?;
-    for term in terms {
+    // The in-memory dictionary already iterates in lexicographic term
+    // order, so the output is byte-identical across runs.
+    let entries: Vec<(&str, &[NodeId])> = index.dictionary().collect();
+    let total: usize = entries.iter().map(|(_, l)| l.len()).sum();
+    w.write_all(&(entries.len() as u32).to_le_bytes())?;
+    w.write_all(&(total as u32).to_le_bytes())?;
+    let mut offset = 0u32;
+    for (term, postings) in &entries {
         let bytes = term.as_bytes();
         w.write_all(&(bytes.len() as u32).to_le_bytes())?;
         w.write_all(bytes)?;
-        let postings = index.postings(term);
+        w.write_all(&offset.to_le_bytes())?;
         w.write_all(&(postings.len() as u32).to_le_bytes())?;
-        for &node in postings {
+        offset += postings.len() as u32;
+    }
+    for (_, postings) in &entries {
+        for &node in *postings {
             w.write_all(&(node.index() as u32).to_le_bytes())?;
         }
     }
@@ -88,7 +98,9 @@ pub fn load_index(doc: &Document, r: &mut impl Read) -> io::Result<InvertedIndex
     }
     let version = read_u32(r)?;
     if version != VERSION {
-        return Err(bad_data(format!("unsupported index version {version} (expected {VERSION})")));
+        return Err(bad_data(format!(
+            "unsupported index version {version} (expected {VERSION}) — rebuild the index"
+        )));
     }
     let fingerprint = read_u64(r)?;
     let expected = document_fingerprint(doc);
@@ -96,7 +108,15 @@ pub fn load_index(doc: &Document, r: &mut impl Read) -> io::Result<InvertedIndex
         return Err(bad_data("index fingerprint does not match the document — rebuild the index"));
     }
     let term_count = read_u32(r)? as usize;
-    let mut postings: HashMap<String, Vec<NodeId>> = HashMap::with_capacity(term_count);
+    let total = read_u32(r)? as usize;
+    if total > (1 << 28) {
+        return Err(bad_data("unreasonable postings arena size"));
+    }
+    // Dictionary first: term strings plus their spans into the arena.
+    // Capacity hints are clamped so a corrupt header fails on a read error
+    // instead of aborting inside a huge allocation.
+    const PREALLOC_CAP: usize = 1 << 16;
+    let mut dict: Vec<(String, u32, u32)> = Vec::with_capacity(term_count.min(PREALLOC_CAP));
     for _ in 0..term_count {
         let len = read_u32(r)? as usize;
         if len > 1 << 20 {
@@ -105,17 +125,22 @@ pub fn load_index(doc: &Document, r: &mut impl Read) -> io::Result<InvertedIndex
         let mut buf = vec![0u8; len];
         r.read_exact(&mut buf)?;
         let term = String::from_utf8(buf).map_err(|_| bad_data("term is not valid UTF-8"))?;
-        let n = read_u32(r)? as usize;
-        let mut list = Vec::with_capacity(n);
-        for _ in 0..n {
-            let idx = read_u32(r)? as usize;
-            let node =
-                doc.node_handle(idx).ok_or_else(|| bad_data("posting entry out of range"))?;
-            list.push(node);
+        let off = read_u32(r)?;
+        let n = read_u32(r)?;
+        if (off as usize) + (n as usize) > total {
+            return Err(bad_data("term span leaves the postings arena"));
         }
-        postings.insert(term, list);
+        dict.push((term, off, n));
     }
-    Ok(InvertedIndex::from_parts(postings))
+    // Then the flat arena, validated against the document and adopted
+    // directly as the in-memory postings arena — no per-term copies.
+    let mut arena: Vec<NodeId> = Vec::with_capacity(total.min(PREALLOC_CAP));
+    for _ in 0..total {
+        let idx = read_u32(r)? as usize;
+        let node = doc.node_handle(idx).ok_or_else(|| bad_data("posting entry out of range"))?;
+        arena.push(node);
+    }
+    Ok(InvertedIndex::from_sorted_dict(dict, arena))
 }
 
 fn read_u32(r: &mut impl Read) -> io::Result<u32> {
@@ -171,6 +196,11 @@ mod tests {
         save_index(&d, &index, &mut a).unwrap();
         save_index(&d, &index, &mut b).unwrap();
         assert_eq!(a, b);
+        // A save → load → save cycle is also byte-stable.
+        let loaded = load_index(&d, &mut a.as_slice()).unwrap();
+        let mut c = Vec::new();
+        save_index(&d, &loaded, &mut c).unwrap();
+        assert_eq!(a, c);
     }
 
     #[test]
@@ -197,7 +227,50 @@ mod tests {
         save_index(&d, &index, &mut buf).unwrap();
         buf[4] = 99; // corrupt the version
         let err = load_index(&d, &mut buf.as_slice()).unwrap_err();
-        assert!(err.to_string().contains("version"));
+        assert!(err.to_string().contains("unsupported index version 99"));
+    }
+
+    /// A v1 `.xidx` file (the pre-interning layout) must be rejected with
+    /// the typed "unsupported index version" error — not parsed as garbage
+    /// and not a panic.
+    #[test]
+    fn v1_files_rejected_with_version_error() {
+        let d = doc();
+        // Hand-assemble a well-formed v1 header + body: magic, version 1,
+        // matching fingerprint, one term with one posting (v1 stored
+        // postings inline per term).
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(MAGIC);
+        v1.extend_from_slice(&1u32.to_le_bytes());
+        v1.extend_from_slice(&document_fingerprint(&d).to_le_bytes());
+        v1.extend_from_slice(&1u32.to_le_bytes()); // term count
+        v1.extend_from_slice(&3u32.to_le_bytes()); // term length
+        v1.extend_from_slice(b"gps");
+        v1.extend_from_slice(&1u32.to_le_bytes()); // postings length
+        v1.extend_from_slice(&0u32.to_le_bytes()); // node index
+        let err = load_index(&d, &mut v1.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("unsupported index version 1"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn huge_declared_counts_fail_gracefully() {
+        // A crafted header claiming u32::MAX terms must surface a read
+        // error, not abort inside a giant preallocation.
+        let d = doc();
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&document_fingerprint(&d).to_le_bytes());
+        buf.extend_from_slice(&u32::MAX.to_le_bytes()); // term count
+        buf.extend_from_slice(&0u32.to_le_bytes()); // arena total
+        assert!(load_index(&d, &mut buf.as_slice()).is_err());
+        // Same for an over-limit arena size.
+        let n = buf.len();
+        buf[n - 8..n - 4].copy_from_slice(&0u32.to_le_bytes());
+        buf[n - 4..].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = load_index(&d, &mut buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("unreasonable postings arena size"));
     }
 
     #[test]
@@ -217,11 +290,27 @@ mod tests {
         let index = InvertedIndex::build(&d);
         let mut buf = Vec::new();
         save_index(&d, &index, &mut buf).unwrap();
-        // Flip the last posting entry to a huge index.
+        // Flip the last arena entry to a huge index.
         let n = buf.len();
         buf[n - 4..].copy_from_slice(&u32::MAX.to_le_bytes());
         let err = load_index(&d, &mut buf.as_slice()).unwrap_err();
         assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn span_outside_arena_rejected() {
+        let d = doc();
+        let index = InvertedIndex::build(&d);
+        let mut buf = Vec::new();
+        save_index(&d, &index, &mut buf).unwrap();
+        // The first dictionary entry's span sits right after the header
+        // (4 magic + 4 version + 8 fprint + 4 terms + 4 total) and its
+        // term: corrupt its length field to overrun the arena.
+        let first_term_len = u32::from_le_bytes(buf[24..28].try_into().unwrap()) as usize;
+        let len_pos = 24 + 4 + first_term_len + 4; // skip term, skip offset
+        buf[len_pos..len_pos + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = load_index(&d, &mut buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("leaves the postings arena"), "{err}");
     }
 
     #[test]

@@ -7,92 +7,210 @@
 //! * a **text** run contributes its terms to the *parent element* — so match
 //!   nodes are always elements, which is what LCA semantics expect.
 //!
-//! Posting lists are sorted by Dewey ID (document order) and deduplicated,
-//! ready for the binary-search probes of the Indexed Lookup Eager SLCA
-//! algorithm.
+//! Storage is flat, in the style of the document substrate: terms are
+//! normalised straight into a term [`Interner`] (one heap copy per distinct
+//! term), every posting list is a span into **one contiguous arena** of
+//! [`NodeId`]s, and a sorted term dictionary gives deterministic iteration
+//! order. Posting lists are sorted by Dewey ID (document order) and
+//! deduplicated, ready for the binary-search probes of the Indexed Lookup
+//! Eager SLCA algorithm.
 
-use crate::lexer::tokenize_unique;
-use std::collections::HashMap;
-use xsact_xml::{Document, NodeId};
+use crate::lexer::for_each_term;
+use xsact_xml::{Document, Interner, NodeId, Sym};
 
 /// An inverted index over one [`Document`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct InvertedIndex {
-    postings: HashMap<String, Vec<NodeId>>,
+    /// Distinct normalised terms; a term's [`Sym`] indexes `spans`.
+    terms: Interner,
+    /// Per term symbol, the `(offset, len)` span of its posting list inside
+    /// `postings`.
+    spans: Vec<(u32, u32)>,
+    /// One flat arena holding every posting list back to back.
+    postings: Vec<NodeId>,
+    /// The term dictionary: symbols sorted by term text. Iteration and
+    /// persistence use this order, so both are deterministic.
+    sorted: Vec<Sym>,
 }
 
 impl InvertedIndex {
     /// Builds the index in a single pass over the document.
     pub fn build(doc: &Document) -> Self {
-        let mut postings: HashMap<String, Vec<NodeId>> = HashMap::new();
+        let mut terms = Interner::new();
+        // Per term symbol, the raw posting list (document-order sort and
+        // dedup happen once, in `finish`).
+        let mut lists: Vec<Vec<NodeId>> = Vec::new();
+        let mut scratch = String::new();
+        // Terms already recorded for the node under construction — nodes
+        // carry few distinct terms, so a linear scan beats hashing.
+        let mut node_terms: Vec<Sym> = Vec::new();
+        let add_text = |lists: &mut Vec<Vec<NodeId>>,
+                        terms: &mut Interner,
+                        node_terms: &mut Vec<Sym>,
+                        scratch: &mut String,
+                        text: &str,
+                        node: NodeId| {
+            for_each_term(text, scratch, |term| {
+                let sym = terms.intern(term);
+                if sym.index() == lists.len() {
+                    lists.push(Vec::new());
+                }
+                if !node_terms.contains(&sym) {
+                    node_terms.push(sym);
+                    lists[sym.index()].push(node);
+                }
+            });
+        };
         for node in doc.all_nodes() {
             if doc.is_element(node) {
-                let mut text = String::from(doc.tag(node));
+                node_terms.clear();
+                add_text(
+                    &mut lists,
+                    &mut terms,
+                    &mut node_terms,
+                    &mut scratch,
+                    doc.tag(node),
+                    node,
+                );
                 for (name, value) in doc.attrs(node) {
-                    text.push(' ');
-                    text.push_str(name);
-                    text.push(' ');
-                    text.push_str(value);
+                    add_text(&mut lists, &mut terms, &mut node_terms, &mut scratch, name, node);
+                    add_text(&mut lists, &mut terms, &mut node_terms, &mut scratch, value, node);
                 }
-                add_terms(&mut postings, &text, node);
             } else if let Some(t) = doc.text(node) {
                 if let Some(parent) = doc.parent(node) {
-                    add_terms(&mut postings, t, parent);
+                    // Dedup within this text run only — the parent may
+                    // legitimately appear once per child text run, and the
+                    // final document-order dedup collapses those.
+                    node_terms.clear();
+                    add_text(&mut lists, &mut terms, &mut node_terms, &mut scratch, t, parent);
                 }
             }
         }
-        // Sort by document order and deduplicate (an element may match a
-        // term through both its tag and several text children).
-        for list in postings.values_mut() {
-            list.sort_by(|&a, &b| doc.dewey(a).cmp(doc.dewey(b)));
+        // Sort each list by document order and deduplicate (an element may
+        // match a term through both its tag and several text children).
+        for list in &mut lists {
+            list.sort_by(|&a, &b| doc.dewey(a).cmp(&doc.dewey(b)));
             list.dedup();
         }
-        InvertedIndex { postings }
+        InvertedIndex::from_lists(terms, lists)
+    }
+
+    /// Assembles the flat arena from per-term lists. Lists must already be
+    /// sorted in document order and deduplicated.
+    fn from_lists(terms: Interner, lists: Vec<Vec<NodeId>>) -> Self {
+        let total: usize = lists.iter().map(Vec::len).sum();
+        let mut postings = Vec::with_capacity(total);
+        let mut spans = Vec::with_capacity(lists.len());
+        for list in &lists {
+            spans.push((postings.len() as u32, list.len() as u32));
+            postings.extend_from_slice(list);
+        }
+        let mut sorted: Vec<Sym> = terms.iter().map(|(sym, _)| sym).collect();
+        sorted.sort_by(|&a, &b| terms.resolve(a).cmp(terms.resolve(b)));
+        InvertedIndex { terms, spans, postings, sorted }
+    }
+
+    /// Adopts a loaded flat arena directly: `dict` pairs each term with its
+    /// `(offset, len)` span into `arena`. Spans must lie inside the arena
+    /// (the persistence loader validates this) and each span's postings
+    /// must be in document order — the invariant `save_index` preserves.
+    /// Unlike [`from_term_lists`](Self::from_term_lists) this makes no
+    /// per-term copies; the arena is moved in as-is.
+    pub(crate) fn from_sorted_dict(dict: Vec<(String, u32, u32)>, arena: Vec<NodeId>) -> Self {
+        let mut terms = Interner::new();
+        let mut spans = Vec::with_capacity(dict.len());
+        let mut sorted = Vec::with_capacity(dict.len());
+        for (term, off, len) in &dict {
+            let sym = terms.intern(term);
+            if sym.index() == spans.len() {
+                spans.push((*off, *len));
+                sorted.push(sym);
+            } else {
+                // Duplicate term in the input: keep the last span, matching
+                // the seed's HashMap-based loader.
+                spans[sym.index()] = (*off, *len);
+            }
+        }
+        // A well-formed v2 file is already sorted; enforce it anyway so
+        // dictionary iteration order never depends on input bytes.
+        sorted.sort_by(|&a, &b| terms.resolve(a).cmp(terms.resolve(b)));
+        InvertedIndex { terms, spans, postings: arena, sorted }
+    }
+
+    /// Rebuilds an index from `(term, postings)` pairs. Lists must already
+    /// be sorted in document order — the invariant `build` establishes and
+    /// `save_index` preserves.
+    pub fn from_term_lists(entries: impl IntoIterator<Item = (String, Vec<NodeId>)>) -> Self {
+        let mut terms = Interner::new();
+        let mut lists = Vec::new();
+        for (term, list) in entries {
+            let sym = terms.intern(&term);
+            if sym.index() == lists.len() {
+                lists.push(list);
+            } else {
+                // Duplicate term in the input: keep the last list, like the
+                // seed's HashMap-based loader did.
+                lists[sym.index()] = list;
+            }
+        }
+        InvertedIndex::from_lists(terms, lists)
+    }
+
+    /// The symbol of an (already normalised) term, if it occurs.
+    pub fn term_sym(&self, term: &str) -> Option<Sym> {
+        self.terms.lookup(term)
     }
 
     /// The posting list of a (already normalised) term; empty slice if the
     /// term does not occur.
     pub fn postings(&self, term: &str) -> &[NodeId] {
-        self.postings.get(term).map_or(&[], Vec::as_slice)
+        self.term_sym(term).map_or(&[], |sym| self.postings_of(sym))
+    }
+
+    /// The posting list behind a term symbol.
+    pub fn postings_of(&self, sym: Sym) -> &[NodeId] {
+        let (offset, len) = self.spans[sym.index()];
+        &self.postings[offset as usize..(offset + len) as usize]
     }
 
     /// Whether the term occurs anywhere in the document.
     pub fn contains(&self, term: &str) -> bool {
-        self.postings.contains_key(term)
+        self.term_sym(term).is_some()
     }
 
     /// Number of distinct terms.
     pub fn term_count(&self) -> usize {
-        self.postings.len()
+        self.spans.len()
     }
 
-    /// Iterates the indexed terms (unspecified order).
+    /// Iterates the indexed terms in lexicographic (dictionary) order.
     pub fn terms(&self) -> impl Iterator<Item = &str> {
-        self.postings.keys().map(String::as_str)
+        self.sorted.iter().map(|&sym| self.terms.resolve(sym))
     }
 
-    /// Rebuilds an index from raw posting lists (used by the persistence
-    /// layer). Lists must already be sorted in document order — the
-    /// invariant `build` establishes and `save_index` preserves.
-    pub fn from_parts(postings: HashMap<String, Vec<NodeId>>) -> Self {
-        InvertedIndex { postings }
+    /// Iterates `(term, postings)` in dictionary order — what the
+    /// persistence layer serialises.
+    pub fn dictionary(&self) -> impl Iterator<Item = (&str, &[NodeId])> {
+        self.sorted.iter().map(|&sym| (self.terms.resolve(sym), self.postings_of(sym)))
     }
 
     /// Summary statistics for diagnostics and benchmarks.
     pub fn stats(&self) -> IndexStats {
-        let mut total = 0usize;
-        let mut longest = 0usize;
-        for list in self.postings.values() {
-            total += list.len();
-            longest = longest.max(list.len());
+        let longest = self.spans.iter().map(|&(_, len)| len as usize).max().unwrap_or(0);
+        IndexStats {
+            terms: self.spans.len(),
+            total_postings: self.postings.len(),
+            longest_list: longest,
         }
-        IndexStats { terms: self.postings.len(), total_postings: total, longest_list: longest }
     }
-}
 
-fn add_terms(postings: &mut HashMap<String, Vec<NodeId>>, text: &str, node: NodeId) {
-    for term in tokenize_unique(text) {
-        postings.entry(term).or_default().push(node);
+    /// Heap bytes of the index (term interner + spans + postings arena),
+    /// for the substrate-footprint statistics.
+    pub fn heap_bytes(&self) -> usize {
+        self.terms.heap_bytes()
+            + self.spans.capacity() * std::mem::size_of::<(u32, u32)>()
+            + self.postings.capacity() * std::mem::size_of::<NodeId>()
+            + self.sorted.capacity() * std::mem::size_of::<Sym>()
     }
 }
 
@@ -178,6 +296,7 @@ mod tests {
         assert!(idx.postings("zzz").is_empty());
         assert!(!idx.contains("zzz"));
         assert!(idx.contains("tomtom"));
+        assert_eq!(idx.term_sym("zzz"), None);
     }
 
     #[test]
@@ -194,5 +313,40 @@ mod tests {
         assert_eq!(s.terms, idx.term_count());
         assert!(s.total_postings >= s.terms);
         assert!(s.longest_list >= 2); // "product" has two entries
+        assert!(idx.heap_bytes() > 0);
+    }
+
+    #[test]
+    fn terms_iterate_in_dictionary_order() {
+        let idx = InvertedIndex::build(&doc());
+        let terms: Vec<&str> = idx.terms().collect();
+        let mut sorted = terms.clone();
+        sorted.sort_unstable();
+        assert_eq!(terms, sorted);
+        assert_eq!(terms.len(), idx.term_count());
+        // The dictionary pairs terms with their spans.
+        for (term, list) in idx.dictionary() {
+            assert_eq!(list, idx.postings(term));
+        }
+    }
+
+    #[test]
+    fn term_sym_resolves_to_same_span() {
+        let idx = InvertedIndex::build(&doc());
+        let sym = idx.term_sym("gps").unwrap();
+        assert_eq!(idx.postings_of(sym), idx.postings("gps"));
+    }
+
+    #[test]
+    fn from_term_lists_round_trips() {
+        let d = doc();
+        let built = InvertedIndex::build(&d);
+        let rebuilt = InvertedIndex::from_term_lists(
+            built.dictionary().map(|(t, l)| (t.to_owned(), l.to_vec())),
+        );
+        assert_eq!(rebuilt.term_count(), built.term_count());
+        for (term, list) in built.dictionary() {
+            assert_eq!(rebuilt.postings(term), list, "term {term}");
+        }
     }
 }

@@ -76,7 +76,7 @@ pub fn rank_results(
         })
         .collect();
     scored.sort_by(|a, b| {
-        b.score.total_cmp(&a.score).then_with(|| doc.dewey(a.root).cmp(doc.dewey(b.root)))
+        b.score.total_cmp(&a.score).then_with(|| doc.dewey(a.root).cmp(&doc.dewey(b.root)))
     });
     scored
 }

@@ -18,7 +18,7 @@
 //!   binary-search the others, `O(|S₁| · Σ log |Sᵢ| · d)`. This is what the
 //!   search engine uses.
 
-use xsact_xml::{DeweyId, Document, NodeId};
+use xsact_xml::{DeweyRef, Document, NodeId};
 
 /// Maximum number of keyword lists supported by the bitmask algorithms.
 pub const MAX_KEYWORDS: usize = 64;
@@ -101,6 +101,11 @@ pub fn elca_full_scan(doc: &Document, lists: &[&[NodeId]]) -> Vec<NodeId> {
 /// binary searches per list), then prunes candidates that are ancestors of
 /// other candidates. Produces exactly the same set as [`slca_full_scan`],
 /// in document order — the property tests in this module enforce that.
+///
+/// Every intermediate LCA is a *prefix* of the driving node's Dewey
+/// components, so candidates are borrowed slices into the document's flat
+/// Dewey arena — the whole probe allocates nothing beyond the candidate
+/// vector itself.
 pub fn slca_indexed_lookup(doc: &Document, lists: &[&[NodeId]]) -> Vec<NodeId> {
     if lists.is_empty() || lists.iter().any(|l| l.is_empty()) {
         return Vec::new();
@@ -112,11 +117,11 @@ pub fn slca_indexed_lookup(doc: &Document, lists: &[&[NodeId]]) -> Vec<NodeId> {
     let driver = lists[order[0]];
     let others = &order[1..];
 
-    let mut candidates: Vec<DeweyId> = Vec::with_capacity(driver.len());
+    let mut candidates: Vec<DeweyRef<'_>> = Vec::with_capacity(driver.len());
     for &v in driver {
-        let mut x = doc.dewey(v).clone();
+        let mut x = doc.dewey(v);
         for &li in others {
-            x = deepest_lca_with_closest(doc, &x, lists[li]);
+            x = deepest_lca_with_closest(doc, x, lists[li]);
         }
         candidates.push(x);
     }
@@ -128,9 +133,9 @@ pub fn slca_indexed_lookup(doc: &Document, lists: &[&[NodeId]]) -> Vec<NodeId> {
     let mut result = Vec::with_capacity(candidates.len());
     for i in 0..candidates.len() {
         let is_ancestor_of_next =
-            i + 1 < candidates.len() && candidates[i].is_ancestor_of(&candidates[i + 1]);
+            i + 1 < candidates.len() && candidates[i].is_ancestor_of(candidates[i + 1]);
         if !is_ancestor_of_next {
-            if let Some(node) = doc.node_at(&candidates[i]) {
+            if let Some(node) = doc.node_at(candidates[i]) {
                 result.push(node);
             }
         }
@@ -139,20 +144,18 @@ pub fn slca_indexed_lookup(doc: &Document, lists: &[&[NodeId]]) -> Vec<NodeId> {
 }
 
 /// The deepest LCA of `x` with any node of `list` — only the two nodes
-/// adjacent to `x` in document order can achieve it.
-fn deepest_lca_with_closest(doc: &Document, x: &DeweyId, list: &[NodeId]) -> DeweyId {
+/// adjacent to `x` in document order can achieve it. The result is an
+/// ancestor-or-self prefix of `x`, borrowed from the same arena.
+fn deepest_lca_with_closest<'a>(doc: &Document, x: DeweyRef<'a>, list: &[NodeId]) -> DeweyRef<'a> {
     let i = list.partition_point(|&n| doc.dewey(n) < x);
-    let mut best: Option<DeweyId> = None;
+    let mut best = 0usize;
     for neighbour in [i.checked_sub(1).map(|j| list[j]), list.get(i).copied()].into_iter().flatten()
     {
-        if let Some(lca) = x.lca(doc.dewey(neighbour)) {
-            if best.as_ref().is_none_or(|b| lca.depth() > b.depth()) {
-                best = Some(lca);
-            }
-        }
+        best = best.max(x.common_prefix_len(doc.dewey(neighbour)));
     }
-    // Nodes of one document always share the root, so `best` is set.
-    best.unwrap_or_else(DeweyId::root)
+    // Nodes of one document always share the root component, so `best` ≥ 1
+    // whenever `list` is non-empty (guaranteed by the caller).
+    x.ancestor_at_depth(best.max(1)).expect("prefix depth within bounds")
 }
 
 #[cfg(test)]

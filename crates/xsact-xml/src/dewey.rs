@@ -12,12 +12,126 @@
 //!
 //! This is exactly the encoding assumed by the Indexed Lookup Eager SLCA
 //! algorithm implemented in `xsact-index`.
+//!
+//! Two representations exist:
+//!
+//! * [`DeweyRef`] — a copyable borrowed view over a component slice. This is
+//!   what [`Document::dewey`](crate::Document::dewey) returns: the document
+//!   packs every node's components into one flat arena, so per-node lookups
+//!   borrow instead of allocating, and every comparison/LCA/ancestor
+//!   operation works on slices.
+//! * [`DeweyId`] — the owning form, for data that must outlive its document
+//!   (persisted indexes, cross-document merge keys).
 
 use std::cmp::Ordering;
 use std::fmt;
 
-/// A Dewey identifier: the root has the one-component ID `[0]`; each further
-/// component is the zero-based ordinal of the node among its siblings.
+/// A borrowed Dewey identifier: a view over the component slice
+/// `[0, ordinal₁, ordinal₂, …]`. `Copy`, allocation-free; all structural
+/// operations (order, ancestry, LCA) work directly on the borrowed slice.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DeweyRef<'a> {
+    components: &'a [u32],
+}
+
+impl<'a> DeweyRef<'a> {
+    /// Wraps raw components. Returns `None` for an empty slice — the empty
+    /// path identifies nothing.
+    pub fn from_components(components: &'a [u32]) -> Option<DeweyRef<'a>> {
+        if components.is_empty() {
+            None
+        } else {
+            Some(DeweyRef { components })
+        }
+    }
+
+    /// The raw components, outermost first.
+    pub fn components(self) -> &'a [u32] {
+        self.components
+    }
+
+    /// Depth of the node: the root has depth 1.
+    pub fn depth(self) -> usize {
+        self.components.len()
+    }
+
+    /// Whether `self` is a proper ancestor of `other`.
+    pub fn is_ancestor_of(self, other: DeweyRef<'_>) -> bool {
+        self.components.len() < other.components.len()
+            && other.components[..self.components.len()] == self.components[..]
+    }
+
+    /// Whether `self` is `other` or an ancestor of it.
+    pub fn is_ancestor_or_self_of(self, other: DeweyRef<'_>) -> bool {
+        self.components.len() <= other.components.len()
+            && other.components[..self.components.len()] == self.components[..]
+    }
+
+    /// Length of the longest common prefix with `other`.
+    pub fn common_prefix_len(self, other: DeweyRef<'_>) -> usize {
+        self.components.iter().zip(other.components).take_while(|(a, b)| *a == *b).count()
+    }
+
+    /// The lowest common ancestor: the longest common prefix, borrowed from
+    /// `self`. `None` only when the IDs share no components (nodes of
+    /// different documents).
+    pub fn lca(self, other: DeweyRef<'_>) -> Option<DeweyRef<'a>> {
+        DeweyRef::from_components(&self.components[..self.common_prefix_len(other)])
+    }
+
+    /// Truncates to the first `depth` components (an ancestor-or-self ID).
+    /// Returns `None` if `depth` is zero or exceeds this node's depth.
+    pub fn ancestor_at_depth(self, depth: usize) -> Option<DeweyRef<'a>> {
+        if depth == 0 || depth > self.components.len() {
+            None
+        } else {
+            DeweyRef::from_components(&self.components[..depth])
+        }
+    }
+
+    /// Copies the components into an owning [`DeweyId`].
+    pub fn to_owned(self) -> DeweyId {
+        DeweyId { components: self.components.to_vec() }
+    }
+}
+
+impl PartialOrd for DeweyRef<'_> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Lexicographic component order — equal to document (pre)order for nodes of
+/// one document, with the caveat that an ancestor sorts before its
+/// descendants.
+impl Ord for DeweyRef<'_> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.components.cmp(other.components)
+    }
+}
+
+impl fmt::Display for DeweyRef<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, c) in self.components.iter().enumerate() {
+            if i > 0 {
+                f.write_str(".")?;
+            }
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for DeweyRef<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DeweyRef({self})")
+    }
+}
+
+/// An owning Dewey identifier: the root has the one-component ID `[0]`; each
+/// further component is the zero-based ordinal of the node among its
+/// siblings. Use [`DeweyId::as_ref`] to run the slice-based operations of
+/// [`DeweyRef`] without cloning.
 #[derive(Clone, PartialEq, Eq, Hash, Default)]
 pub struct DeweyId {
     components: Vec<u32>,
@@ -37,6 +151,11 @@ impl DeweyId {
         } else {
             Some(DeweyId { components: components.to_vec() })
         }
+    }
+
+    /// The borrowed view of this ID.
+    pub fn as_ref(&self) -> DeweyRef<'_> {
+        DeweyRef { components: &self.components }
     }
 
     /// The raw components, outermost first.
@@ -68,13 +187,12 @@ impl DeweyId {
 
     /// Whether `self` is a proper ancestor of `other`.
     pub fn is_ancestor_of(&self, other: &DeweyId) -> bool {
-        self.components.len() < other.components.len()
-            && other.components[..self.components.len()] == self.components[..]
+        self.as_ref().is_ancestor_of(other.as_ref())
     }
 
     /// Whether `self` is `other` or an ancestor of it.
     pub fn is_ancestor_or_self_of(&self, other: &DeweyId) -> bool {
-        self == other || self.is_ancestor_of(other)
+        self.as_ref().is_ancestor_or_self_of(other.as_ref())
     }
 
     /// The lowest common ancestor of two IDs: their longest common prefix.
@@ -83,24 +201,18 @@ impl DeweyId {
     /// component, so this returns `None` only when the IDs come from
     /// different documents (differing first components).
     pub fn lca(&self, other: &DeweyId) -> Option<DeweyId> {
-        let common =
-            self.components.iter().zip(&other.components).take_while(|(a, b)| a == b).count();
-        DeweyId::from_components(&self.components[..common])
+        self.as_ref().lca(other.as_ref()).map(DeweyRef::to_owned)
     }
 
     /// Length of the longest common prefix with `other`.
     pub fn common_prefix_len(&self, other: &DeweyId) -> usize {
-        self.components.iter().zip(&other.components).take_while(|(a, b)| a == b).count()
+        self.as_ref().common_prefix_len(other.as_ref())
     }
 
     /// Truncates the ID to its first `depth` components (an ancestor-or-self
     /// ID). Returns `None` if `depth` is zero or exceeds this node's depth.
     pub fn ancestor_at_depth(&self, depth: usize) -> Option<DeweyId> {
-        if depth == 0 || depth > self.components.len() {
-            None
-        } else {
-            DeweyId::from_components(&self.components[..depth])
-        }
+        self.as_ref().ancestor_at_depth(depth).map(DeweyRef::to_owned)
     }
 }
 
@@ -121,13 +233,7 @@ impl Ord for DeweyId {
 
 impl fmt::Display for DeweyId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for (i, c) in self.components.iter().enumerate() {
-            if i > 0 {
-                f.write_str(".")?;
-            }
-            write!(f, "{c}")?;
-        }
-        Ok(())
+        fmt::Display::fmt(&self.as_ref(), f)
     }
 }
 
@@ -159,6 +265,7 @@ mod tests {
     #[test]
     fn empty_components_rejected() {
         assert!(DeweyId::from_components(&[]).is_none());
+        assert!(DeweyRef::from_components(&[]).is_none());
     }
 
     #[test]
@@ -216,5 +323,32 @@ mod tests {
         let a = id(&[0, 10, 3]);
         assert_eq!(a.to_string(), "0.10.3");
         assert_eq!(format!("{a:?}"), "DeweyId(0.10.3)");
+        assert_eq!(a.as_ref().to_string(), "0.10.3");
+        assert_eq!(format!("{:?}", a.as_ref()), "DeweyRef(0.10.3)");
+    }
+
+    #[test]
+    fn borrowed_view_round_trips() {
+        let a = id(&[0, 3, 1]);
+        let r = a.as_ref();
+        assert_eq!(r.components(), &[0, 3, 1]);
+        assert_eq!(r.depth(), 3);
+        assert_eq!(r.to_owned(), a);
+    }
+
+    #[test]
+    fn borrowed_ops_match_owned_ops() {
+        let cases: [&[u32]; 6] = [&[0], &[0, 1], &[0, 1, 2], &[0, 2], &[0, 1, 2, 5], &[1, 0]];
+        for a in cases {
+            for b in cases {
+                let (oa, ob) = (id(a), id(b));
+                let (ra, rb) = (oa.as_ref(), ob.as_ref());
+                assert_eq!(ra.cmp(&rb), oa.cmp(&ob));
+                assert_eq!(ra.is_ancestor_of(rb), oa.is_ancestor_of(&ob));
+                assert_eq!(ra.is_ancestor_or_self_of(rb), oa.is_ancestor_or_self_of(&ob));
+                assert_eq!(ra.lca(rb).map(DeweyRef::to_owned), oa.lca(&ob));
+                assert_eq!(ra.common_prefix_len(rb), oa.common_prefix_len(&ob));
+            }
+        }
     }
 }

@@ -1,13 +1,18 @@
-//! Arena-backed document object model.
+//! Arena-backed document object model over the interned-symbol substrate.
 //!
 //! A [`Document`] owns all nodes in a flat arena; nodes are addressed by the
-//! copyable [`NodeId`] handle. Every node carries the [`DeweyId`] assigned at
-//! construction time, which the search layer uses for SLCA computation.
+//! copyable [`NodeId`] handle. Tag and attribute names are interned into the
+//! document's [`Interner`] (one heap copy per *distinct* name, a 4-byte
+//! [`Sym`] per occurrence), and every node's Dewey components live in one
+//! contiguous `Vec<u32>` arena — [`Document::dewey`] returns a borrowed
+//! [`DeweyRef`] slice, so document-order comparisons and LCA probes never
+//! clone.
 //!
 //! Documents can be built programmatically (dataset generators do this) or by
 //! the parser in [`crate::parse`].
 
-use crate::dewey::DeweyId;
+use crate::dewey::DeweyRef;
+use crate::interner::{Interner, Sym};
 use std::fmt;
 
 /// Handle to a node inside a [`Document`]'s arena.
@@ -25,45 +30,81 @@ impl NodeId {
     }
 }
 
-/// What a node is: an element with a tag and attributes, or a text run.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum NodeKind {
-    /// An element node, e.g. `<product id="3">`.
-    Element {
-        /// Tag name.
-        tag: String,
-        /// Attributes in document order.
-        attrs: Vec<(String, String)>,
-    },
-    /// A text node. Entity references have already been resolved.
+/// Interned node payload: an element (tag + attribute names as symbols) or
+/// a text run. Attribute *values* and text stay owned — they are data, not
+/// vocabulary, and rarely repeat.
+#[derive(Debug, Clone)]
+enum NodeRepr {
+    Element { tag: Sym, attrs: Vec<(Sym, String)> },
     Text(String),
 }
 
 #[derive(Debug, Clone)]
 struct NodeData {
-    kind: NodeKind,
+    repr: NodeRepr,
     parent: Option<NodeId>,
     children: Vec<NodeId>,
-    dewey: DeweyId,
+    /// Span of this node's Dewey components inside the document's flat
+    /// Dewey arena.
+    dewey_off: u32,
+    dewey_len: u32,
 }
 
 /// An XML document: one root element plus its descendants.
 #[derive(Debug, Clone)]
 pub struct Document {
+    symbols: Interner,
     nodes: Vec<NodeData>,
+    dewey_arena: Vec<u32>,
     root: NodeId,
+}
+
+/// Heap-size breakdown of a document's interned substrate, plus an estimate
+/// of what the same tree costs in the pre-interning layout (owned `String`
+/// tag per node, owned `Vec<u32>` Dewey per node). Produced by
+/// [`Document::substrate_stats`]; the bench harness prints it so the
+/// representation win stays visible on every PR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubstrateStats {
+    /// Total nodes (elements + text runs).
+    pub nodes: usize,
+    /// Distinct interned tag/attribute-name symbols.
+    pub distinct_symbols: usize,
+    /// Heap bytes of the symbol interner (arena + spans + hash index).
+    pub interner_bytes: usize,
+    /// Heap bytes of the flat Dewey component arena.
+    pub dewey_bytes: usize,
+    /// Heap bytes of owned text runs and attribute values.
+    pub text_bytes: usize,
+    /// Heap bytes of the node table itself (fixed-size records + child and
+    /// attribute vectors).
+    pub node_table_bytes: usize,
+    /// Estimated heap bytes of the seed layout for the same tree: per node
+    /// an owned tag `String` and an owned Dewey `Vec<u32>`, per attribute an
+    /// owned name `String`.
+    pub seed_equivalent_bytes: usize,
+}
+
+impl SubstrateStats {
+    /// Total heap bytes of the interned substrate.
+    pub fn interned_total(&self) -> usize {
+        self.interner_bytes + self.dewey_bytes + self.text_bytes + self.node_table_bytes
+    }
 }
 
 impl Document {
     /// Creates a document whose root element has tag `root_tag`.
-    pub fn new(root_tag: impl Into<String>) -> Self {
+    pub fn new(root_tag: impl AsRef<str>) -> Self {
+        let mut symbols = Interner::new();
+        let tag = symbols.intern(root_tag.as_ref());
         let root_data = NodeData {
-            kind: NodeKind::Element { tag: root_tag.into(), attrs: Vec::new() },
+            repr: NodeRepr::Element { tag, attrs: Vec::new() },
             parent: None,
             children: Vec::new(),
-            dewey: DeweyId::root(),
+            dewey_off: 0,
+            dewey_len: 1,
         };
-        Document { nodes: vec![root_data], root: NodeId(0) }
+        Document { symbols, nodes: vec![root_data], dewey_arena: vec![0], root: NodeId(0) }
     }
 
     /// The root element.
@@ -101,43 +142,69 @@ impl Document {
         &self.nodes[id.index()]
     }
 
-    /// The node's kind.
-    pub fn kind(&self, id: NodeId) -> &NodeKind {
-        &self.data(id).kind
+    /// The document's symbol interner (tag and attribute names).
+    pub fn interner(&self) -> &Interner {
+        &self.symbols
     }
 
     /// The element tag, or `""` for a text node.
     pub fn tag(&self, id: NodeId) -> &str {
-        match &self.data(id).kind {
-            NodeKind::Element { tag, .. } => tag,
-            NodeKind::Text(_) => "",
+        match &self.data(id).repr {
+            NodeRepr::Element { tag, .. } => self.symbols.resolve(*tag),
+            NodeRepr::Text(_) => "",
+        }
+    }
+
+    /// The element tag's interned symbol, or `None` for a text node.
+    pub fn tag_sym(&self, id: NodeId) -> Option<Sym> {
+        match &self.data(id).repr {
+            NodeRepr::Element { tag, .. } => Some(*tag),
+            NodeRepr::Text(_) => None,
         }
     }
 
     /// The text of a text node, or `None` for an element.
     pub fn text(&self, id: NodeId) -> Option<&str> {
-        match &self.data(id).kind {
-            NodeKind::Text(t) => Some(t),
-            NodeKind::Element { .. } => None,
+        match &self.data(id).repr {
+            NodeRepr::Text(t) => Some(t),
+            NodeRepr::Element { .. } => None,
         }
     }
 
     /// Whether `id` is an element node.
     pub fn is_element(&self, id: NodeId) -> bool {
-        matches!(self.data(id).kind, NodeKind::Element { .. })
+        matches!(self.data(id).repr, NodeRepr::Element { .. })
     }
 
-    /// Attributes of an element (empty slice for text nodes).
-    pub fn attrs(&self, id: NodeId) -> &[(String, String)] {
-        match &self.data(id).kind {
-            NodeKind::Element { attrs, .. } => attrs,
-            NodeKind::Text(_) => &[],
+    /// Attributes of an element in document order, as resolved
+    /// `(name, value)` pairs (empty for text nodes).
+    pub fn attrs(&self, id: NodeId) -> impl Iterator<Item = (&str, &str)> + '_ {
+        self.attrs_syms(id).map(|(name, value)| (self.symbols.resolve(name), value))
+    }
+
+    /// Attributes of an element with interned name symbols (empty for text
+    /// nodes).
+    pub fn attrs_syms(&self, id: NodeId) -> impl Iterator<Item = (Sym, &str)> + '_ {
+        let attrs: &[(Sym, String)] = match &self.data(id).repr {
+            NodeRepr::Element { attrs, .. } => attrs,
+            NodeRepr::Text(_) => &[],
+        };
+        attrs.iter().map(|(name, value)| (*name, value.as_str()))
+    }
+
+    /// Number of attributes on the node.
+    pub fn attr_count(&self, id: NodeId) -> usize {
+        match &self.data(id).repr {
+            NodeRepr::Element { attrs, .. } => attrs.len(),
+            NodeRepr::Text(_) => 0,
         }
     }
 
     /// Looks up an attribute value by name.
     pub fn attr(&self, id: NodeId, name: &str) -> Option<&str> {
-        self.attrs(id).iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+        // A name that was never interned cannot be an attribute of any node.
+        let sym = self.symbols.lookup(name)?;
+        self.attrs_syms(id).find(|&(n, _)| n == sym).map(|(_, v)| v)
     }
 
     /// The node's parent, or `None` for the root.
@@ -157,28 +224,34 @@ impl Document {
 
     /// First child element with the given tag.
     pub fn child_by_tag(&self, id: NodeId, tag: &str) -> Option<NodeId> {
-        self.child_elements(id).find(|&c| self.tag(c) == tag)
+        let sym = self.symbols.lookup(tag)?;
+        self.child_elements(id).find(|&c| self.tag_sym(c) == Some(sym))
     }
 
     /// All child elements with the given tag.
     pub fn children_by_tag<'a>(
         &'a self,
         id: NodeId,
-        tag: &'a str,
+        tag: &str,
     ) -> impl Iterator<Item = NodeId> + 'a {
-        self.child_elements(id).filter(move |&c| self.tag(c) == tag)
+        let sym = self.symbols.lookup(tag);
+        self.child_elements(id).filter(move |&c| sym.is_some() && self.tag_sym(c) == sym)
     }
 
-    /// The Dewey identifier assigned to this node.
-    pub fn dewey(&self, id: NodeId) -> &DeweyId {
-        &self.data(id).dewey
+    /// The Dewey identifier assigned to this node, borrowed from the
+    /// document's flat component arena.
+    pub fn dewey(&self, id: NodeId) -> DeweyRef<'_> {
+        let data = self.data(id);
+        let off = data.dewey_off as usize;
+        DeweyRef::from_components(&self.dewey_arena[off..off + data.dewey_len as usize])
+            .expect("every node has at least one Dewey component")
     }
 
-    /// Resolves a Dewey ID back to a node by walking from the root.
+    /// Resolves Dewey components back to a node by walking from the root.
     ///
     /// Returns `None` if the path leaves the tree or does not start at the
     /// root component `0`.
-    pub fn node_at(&self, dewey: &DeweyId) -> Option<NodeId> {
+    pub fn node_at(&self, dewey: DeweyRef<'_>) -> Option<NodeId> {
         let comps = dewey.components();
         if comps.first() != Some(&0) {
             return None;
@@ -191,23 +264,27 @@ impl Document {
     }
 
     /// Appends a child element to `parent`, returning the new node's handle.
-    pub fn add_element(&mut self, parent: NodeId, tag: impl Into<String>) -> NodeId {
-        self.add_node(parent, NodeKind::Element { tag: tag.into(), attrs: Vec::new() })
+    pub fn add_element(&mut self, parent: NodeId, tag: impl AsRef<str>) -> NodeId {
+        let tag = self.symbols.intern(tag.as_ref());
+        self.add_node(parent, NodeRepr::Element { tag, attrs: Vec::new() })
     }
 
     /// Appends a child element carrying attributes.
     pub fn add_element_with_attrs(
         &mut self,
         parent: NodeId,
-        tag: impl Into<String>,
+        tag: impl AsRef<str>,
         attrs: Vec<(String, String)>,
     ) -> NodeId {
-        self.add_node(parent, NodeKind::Element { tag: tag.into(), attrs })
+        let tag = self.symbols.intern(tag.as_ref());
+        let attrs =
+            attrs.into_iter().map(|(name, value)| (self.symbols.intern(&name), value)).collect();
+        self.add_node(parent, NodeRepr::Element { tag, attrs })
     }
 
     /// Appends a text child to `parent`.
     pub fn add_text(&mut self, parent: NodeId, text: impl Into<String>) -> NodeId {
-        self.add_node(parent, NodeKind::Text(text.into()))
+        self.add_node(parent, NodeRepr::Text(text.into()))
     }
 
     /// Convenience: appends `<tag>text</tag>` under `parent` and returns the
@@ -215,7 +292,7 @@ impl Document {
     pub fn add_leaf(
         &mut self,
         parent: NodeId,
-        tag: impl Into<String>,
+        tag: impl AsRef<str>,
         text: impl Into<String>,
     ) -> NodeId {
         let el = self.add_element(parent, tag);
@@ -227,18 +304,33 @@ impl Document {
     ///
     /// # Panics
     /// Panics if `id` is a text node.
-    pub fn set_attr(&mut self, id: NodeId, name: impl Into<String>, value: impl Into<String>) {
-        match &mut self.nodes[id.index()].kind {
-            NodeKind::Element { attrs, .. } => attrs.push((name.into(), value.into())),
-            NodeKind::Text(_) => panic!("set_attr on a text node"),
+    pub fn set_attr(&mut self, id: NodeId, name: impl AsRef<str>, value: impl Into<String>) {
+        let name = self.symbols.intern(name.as_ref());
+        match &mut self.nodes[id.index()].repr {
+            NodeRepr::Element { attrs, .. } => attrs.push((name, value.into())),
+            NodeRepr::Text(_) => panic!("set_attr on a text node"),
         }
     }
 
-    fn add_node(&mut self, parent: NodeId, kind: NodeKind) -> NodeId {
+    fn add_node(&mut self, parent: NodeId, repr: NodeRepr) -> NodeId {
         let ordinal = self.data(parent).children.len() as u32;
-        let dewey = self.data(parent).dewey.child(ordinal);
+        // Child components = parent components + ordinal, appended to the
+        // flat arena (the arena only ever grows, so spans stay valid).
+        let (poff, plen) = {
+            let p = self.data(parent);
+            (p.dewey_off as usize, p.dewey_len as usize)
+        };
+        let dewey_off = self.dewey_arena.len() as u32;
+        self.dewey_arena.extend_from_within(poff..poff + plen);
+        self.dewey_arena.push(ordinal);
         let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(NodeData { kind, parent: Some(parent), children: Vec::new(), dewey });
+        self.nodes.push(NodeData {
+            repr,
+            parent: Some(parent),
+            children: Vec::new(),
+            dewey_off,
+            dewey_len: (plen + 1) as u32,
+        });
         self.nodes[parent.index()].children.push(id);
         id
     }
@@ -277,7 +369,7 @@ impl Document {
 
     /// Depth of the node (root = 1).
     pub fn depth(&self, id: NodeId) -> usize {
-        self.data(id).dewey.depth()
+        self.data(id).dewey_len as usize
     }
 
     /// The path of tags from the root to `id`, e.g. `["products", "product",
@@ -294,6 +386,56 @@ impl Document {
         }
         path.reverse();
         path
+    }
+
+    /// Measures the heap footprint of the interned substrate and estimates
+    /// the cost of the pre-interning layout for the same tree.
+    pub fn substrate_stats(&self) -> SubstrateStats {
+        use std::mem::size_of;
+        let mut text_bytes = 0usize;
+        let mut node_table_bytes = self.nodes.capacity() * size_of::<NodeData>();
+        let mut seed_equivalent = 0usize;
+        const STRING_HEADER: usize = size_of::<String>(); // ptr + cap + len
+        const VEC_HEADER: usize = size_of::<Vec<u32>>();
+        for node in &self.nodes {
+            node_table_bytes += node.children.capacity() * size_of::<NodeId>();
+            // Seed layout: per-node owned DeweyId (Vec<u32> heap block; the
+            // header lived inline in NodeData, which the flat spans replace).
+            seed_equivalent += node.dewey_len as usize * size_of::<u32>();
+            seed_equivalent += node.children.capacity() * size_of::<NodeId>();
+            match &node.repr {
+                NodeRepr::Element { tag, attrs } => {
+                    node_table_bytes += attrs.capacity() * size_of::<(Sym, String)>();
+                    for (name, value) in attrs {
+                        text_bytes += value.capacity();
+                        // Seed: owned name String per attribute occurrence.
+                        seed_equivalent += self.symbols.resolve(*name).len() + STRING_HEADER;
+                        seed_equivalent += value.capacity() + STRING_HEADER;
+                    }
+                    // Seed: owned tag String per element.
+                    seed_equivalent += self.symbols.resolve(*tag).len();
+                }
+                NodeRepr::Text(t) => {
+                    text_bytes += t.capacity();
+                    seed_equivalent += t.capacity();
+                }
+            }
+        }
+        // Seed NodeData was larger by one String header (tag) and one Vec
+        // header (DeweyId) than the interned record per node.
+        seed_equivalent += self.nodes.capacity()
+            * (size_of::<NodeData>() + STRING_HEADER + VEC_HEADER
+                - size_of::<Sym>()
+                - 2 * size_of::<u32>());
+        SubstrateStats {
+            nodes: self.nodes.len(),
+            distinct_symbols: self.symbols.len(),
+            interner_bytes: self.symbols.heap_bytes(),
+            dewey_bytes: self.dewey_arena.capacity() * size_of::<u32>(),
+            text_bytes,
+            node_table_bytes,
+            seed_equivalent_bytes: seed_equivalent,
+        }
     }
 }
 
@@ -325,6 +467,7 @@ impl fmt::Display for Document {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dewey::DeweyId;
 
     /// `<shop><product id="1"><name>TomTom</name><rating>4.2</rating></product>text</shop>`
     fn sample() -> (Document, NodeId, NodeId, NodeId) {
@@ -371,9 +514,10 @@ mod tests {
     #[test]
     fn node_at_rejects_bad_paths() {
         let (doc, _, _, _) = sample();
-        assert_eq!(doc.node_at(&DeweyId::from_components(&[1]).unwrap()), None);
-        assert_eq!(doc.node_at(&DeweyId::from_components(&[0, 9]).unwrap()), None);
-        assert_eq!(doc.node_at(&DeweyId::from_components(&[0, 0, 0, 0, 0]).unwrap()), None);
+        let at = |cs: &[u32]| doc.node_at(DeweyId::from_components(cs).unwrap().as_ref());
+        assert_eq!(at(&[1]), None);
+        assert_eq!(at(&[0, 9]), None);
+        assert_eq!(at(&[0, 0, 0, 0, 0]), None);
     }
 
     #[test]
@@ -381,7 +525,8 @@ mod tests {
         let (doc, _, product, _) = sample();
         assert_eq!(doc.attr(product, "id"), Some("1"));
         assert_eq!(doc.attr(product, "missing"), None);
-        assert_eq!(doc.attrs(product).len(), 1);
+        assert_eq!(doc.attr_count(product), 1);
+        assert_eq!(doc.attrs(product).collect::<Vec<_>>(), [("id", "1")]);
     }
 
     #[test]
@@ -389,7 +534,7 @@ mod tests {
         let (mut doc, _, product, name) = sample();
         doc.set_attr(product, "lang", "en");
         assert_eq!(doc.attr(product, "lang"), Some("en"));
-        assert_eq!(doc.attrs(product).len(), 2);
+        assert_eq!(doc.attr_count(product), 2);
         // Text node under `name` cannot take attributes.
         let text_node = doc.children(name)[0];
         assert!(!doc.is_element(text_node));
@@ -437,6 +582,7 @@ mod tests {
         assert_eq!(doc.child_by_tag(product, "name").map(|n| doc.tag(n)), Some("name"));
         assert_eq!(doc.child_by_tag(product, "nope"), None);
         assert_eq!(doc.children_by_tag(product, "rating").count(), 1);
+        assert_eq!(doc.children_by_tag(product, "never_interned").count(), 0);
     }
 
     #[test]
@@ -468,5 +614,61 @@ mod tests {
         assert_eq!(doc.depth(root), 1);
         assert_eq!(doc.depth(product), 2);
         assert_eq!(doc.depth(name), 3);
+    }
+
+    #[test]
+    fn tags_share_one_symbol() {
+        let mut doc = Document::new("r");
+        let root = doc.root();
+        let a = doc.add_element(root, "item");
+        let b = doc.add_element(root, "item");
+        assert_eq!(doc.tag_sym(a), doc.tag_sym(b));
+        assert_ne!(doc.tag_sym(a), doc.tag_sym(root));
+        let t = doc.add_text(root, "x");
+        assert_eq!(doc.tag_sym(t), None);
+        // Three distinct names: r, item (x is text, not vocabulary).
+        assert_eq!(doc.interner().len(), 2);
+    }
+
+    #[test]
+    fn attrs_syms_resolve_through_interner() {
+        let (doc, _, product, _) = sample();
+        let (name_sym, value) = doc.attrs_syms(product).next().unwrap();
+        assert_eq!(doc.interner().resolve(name_sym), "id");
+        assert_eq!(value, "1");
+    }
+
+    #[test]
+    fn dewey_components_live_in_one_arena() {
+        let (doc, root, product, name) = sample();
+        assert_eq!(doc.dewey(root).components(), &[0]);
+        assert_eq!(doc.dewey(product).components(), &[0, 0]);
+        assert_eq!(doc.dewey(name).components(), &[0, 0, 0]);
+        // Borrowed refs from the same document compare without cloning.
+        assert!(doc.dewey(root) < doc.dewey(product));
+        assert!(doc.dewey(root).is_ancestor_of(doc.dewey(name)));
+    }
+
+    #[test]
+    fn substrate_stats_report_a_win_on_repetitive_trees() {
+        let mut doc = Document::new("shop");
+        let root = doc.root();
+        for i in 0..200 {
+            let p = doc.add_element(root, "product");
+            doc.add_leaf(p, "name", format!("Item {i}"));
+            doc.add_leaf(p, "rating", "4.2");
+        }
+        let stats = doc.substrate_stats();
+        assert_eq!(stats.nodes, doc.len());
+        assert_eq!(stats.distinct_symbols, 4); // shop, product, name, rating
+        assert!(stats.interned_total() > 0);
+        // The whole point: repeated vocabulary makes the interned layout
+        // strictly smaller than one owned String + Vec per node.
+        assert!(
+            stats.interned_total() < stats.seed_equivalent_bytes,
+            "interned {} vs seed {}",
+            stats.interned_total(),
+            stats.seed_equivalent_bytes
+        );
     }
 }

@@ -6,8 +6,11 @@
 //!
 //! * a streaming [`tokenizer`] producing [`Token`]s,
 //! * a parser ([`parse`]) building a [`Document`] — an arena-backed
-//!   DOM whose nodes carry [`DeweyId`] labels (the node encoding used by the
+//!   DOM whose nodes carry Dewey labels (the node encoding used by the
 //!   SLCA algorithms in `xsact-index`),
+//! * an [`Interner`] of 4-byte [`Sym`] handles — tag and attribute names
+//!   are interned per document, and every node's Dewey components live in
+//!   one flat `u32` arena exposed as borrowed [`DeweyRef`] slices,
 //! * entity [`escape`]/unescape helpers,
 //! * a [`writer`] that serialises a document back to text.
 //!
@@ -31,14 +34,16 @@ pub mod dewey;
 pub mod dom;
 pub mod error;
 pub mod escape;
+pub mod interner;
 pub mod parse;
 pub mod path;
 pub mod tokenizer;
 pub mod writer;
 
-pub use dewey::DeweyId;
-pub use dom::{Document, NodeId, NodeKind};
+pub use dewey::{DeweyId, DeweyRef};
+pub use dom::{Document, NodeId, SubstrateStats};
 pub use error::{XmlError, XmlResult};
+pub use interner::{FnvHasher, Interner, Sym};
 pub use parse::parse_document;
 pub use tokenizer::{Token, Tokenizer};
 pub use writer::{write_document, WriteOptions};

@@ -38,7 +38,7 @@ pub fn select(doc: &Document, start: NodeId, path: &str) -> Vec<NodeId> {
         // `**` can produce overlapping sets; dedupe while keeping document
         // order (descendants are emitted preorder, so sort + dedup by Dewey
         // keeps it stable).
-        next.sort_by(|&a, &b| doc.dewey(a).cmp(doc.dewey(b)));
+        next.sort_by(|&a, &b| doc.dewey(a).cmp(&doc.dewey(b)));
         next.dedup();
         current = next;
     }

@@ -1,6 +1,6 @@
 //! Serialising a [`Document`] back to XML text.
 
-use crate::dom::{Document, NodeId, NodeKind};
+use crate::dom::{Document, NodeId};
 use crate::escape::{escape_attr, escape_text};
 
 /// Controls the output format of [`write_document`].
@@ -53,47 +53,42 @@ pub fn write_subtree(doc: &Document, node: NodeId) -> String {
 }
 
 fn write_node(doc: &Document, node: NodeId, opts: &WriteOptions, level: usize, out: &mut String) {
-    match doc.kind(node) {
-        NodeKind::Text(t) => {
-            indent(opts, level, out);
-            out.push_str(&escape_text(t));
-        }
-        NodeKind::Element { tag, attrs } => {
-            indent(opts, level, out);
-            out.push('<');
-            out.push_str(tag);
-            for (name, value) in attrs {
-                out.push(' ');
-                out.push_str(name);
-                out.push_str("=\"");
-                out.push_str(&escape_attr(value));
-                out.push('"');
-            }
-            let children = doc.children(node);
-            if children.is_empty() {
-                out.push_str("/>");
-                return;
-            }
-            out.push('>');
-            // A single text child stays inline even in pretty mode, so leaf
-            // values read naturally: <name>TomTom</name>.
-            let single_text =
-                children.len() == 1 && matches!(doc.kind(children[0]), NodeKind::Text(_));
-            if single_text {
-                if let NodeKind::Text(t) = doc.kind(children[0]) {
-                    out.push_str(&escape_text(t));
-                }
-            } else {
-                for &child in children {
-                    write_node(doc, child, opts, level + 1, out);
-                }
-                indent(opts, level, out);
-            }
-            out.push_str("</");
-            out.push_str(tag);
-            out.push('>');
-        }
+    if let Some(t) = doc.text(node) {
+        indent(opts, level, out);
+        out.push_str(&escape_text(t));
+        return;
     }
+    let tag = doc.tag(node);
+    indent(opts, level, out);
+    out.push('<');
+    out.push_str(tag);
+    for (name, value) in doc.attrs(node) {
+        out.push(' ');
+        out.push_str(name);
+        out.push_str("=\"");
+        out.push_str(&escape_attr(value));
+        out.push('"');
+    }
+    let children = doc.children(node);
+    if children.is_empty() {
+        out.push_str("/>");
+        return;
+    }
+    out.push('>');
+    // A single text child stays inline even in pretty mode, so leaf
+    // values read naturally: <name>TomTom</name>.
+    let single_text = children.len() == 1 && doc.text(children[0]).is_some();
+    if single_text {
+        out.push_str(&escape_text(doc.text(children[0]).expect("checked")));
+    } else {
+        for &child in children {
+            write_node(doc, child, opts, level + 1, out);
+        }
+        indent(opts, level, out);
+    }
+    out.push_str("</");
+    out.push_str(tag);
+    out.push('>');
 }
 
 fn indent(opts: &WriteOptions, level: usize, out: &mut String) {

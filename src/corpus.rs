@@ -1,6 +1,6 @@
 //! The [`Corpus`]: a sharded, multi-document workbench pool.
 //!
-//! One [`Workbench`](crate::Workbench) serves one document; a `Corpus`
+//! One [`Workbench`] serves one document; a `Corpus`
 //! serves many. It ingests XML documents (strings, generated fixtures, or
 //! a directory of `.xml` files), builds one workbench per document, and
 //! executes every query by **fanning out across shards in parallel** and
@@ -512,7 +512,7 @@ fn search_one(query: &Query, doc: &CorpusDoc) -> Vec<CorpusHit> {
         .map(|(result, score)| CorpusHit {
             doc: doc.id,
             doc_name: doc.name.clone(),
-            dewey: document.dewey(result.root).clone(),
+            dewey: document.dewey(result.root).to_owned(),
             result,
             score,
         })

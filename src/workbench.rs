@@ -14,7 +14,7 @@
 //!   (feature extraction walks the whole result subtree and is the dominant
 //!   per-query cost after the index is built),
 //! * it exposes the fluent [`QueryPipeline`] with typed
-//!   [`XsactError`](crate::XsactError) failures instead of `String`s and
+//!   [`XsactError`] failures instead of `String`s and
 //!   `unwrap()`s.
 //!
 //! ```
@@ -215,6 +215,13 @@ impl Workbench {
     /// The underlying document.
     pub fn document(&self) -> &Document {
         self.engine.document()
+    }
+
+    /// Heap-footprint statistics of the document's interned substrate
+    /// (symbol interner, flat Dewey arena, node table) next to an estimate
+    /// of the pre-interning layout — what the bench smoke prints per PR.
+    pub fn substrate_stats(&self) -> xsact_xml::SubstrateStats {
+        self.engine.document().substrate_stats()
     }
 
     /// The features of one search result, served from the per-root cache.

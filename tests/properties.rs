@@ -9,6 +9,9 @@
 //! * XML writer ∘ parser is the identity on compact output;
 //! * the Indexed Lookup Eager SLCA equals the full-scan oracle on random
 //!   documents and queries;
+//! * the interned flat-substrate index (term interner + postings arena)
+//!   is observably identical to a string-keyed `HashMap` index built the
+//!   seed way, and SLCA over either produces the same results;
 //! * every algorithm produces valid, size-bounded DFS sets;
 //! * the local searches never fall below their snippet starting point and
 //!   reach their respective optimality criteria;
@@ -146,6 +149,108 @@ fn every_slca_is_an_elca() {
                 );
             }
         }
+    }
+}
+
+/// A string-keyed inverted index built exactly the way the seed did it —
+/// `HashMap<String, Vec<NodeId>>`, owned `String` terms, per-node
+/// `tokenize_unique` — used as the oracle for the interned index.
+fn string_keyed_oracle(doc: &Document) -> std::collections::HashMap<String, Vec<NodeId>> {
+    use std::collections::HashMap;
+    let mut postings: HashMap<String, Vec<NodeId>> = HashMap::new();
+    let add_terms = |postings: &mut HashMap<String, Vec<NodeId>>, text: &str, node: NodeId| {
+        for term in xsact_index::lexer::tokenize_unique(text) {
+            postings.entry(term).or_default().push(node);
+        }
+    };
+    for node in doc.all_nodes() {
+        if doc.is_element(node) {
+            let mut text = String::from(doc.tag(node));
+            for (name, value) in doc.attrs(node) {
+                text.push(' ');
+                text.push_str(name);
+                text.push(' ');
+                text.push_str(value);
+            }
+            add_terms(&mut postings, &text, node);
+        } else if let Some(t) = doc.text(node) {
+            if let Some(parent) = doc.parent(node) {
+                add_terms(&mut postings, t, parent);
+            }
+        }
+    }
+    for list in postings.values_mut() {
+        list.sort_by(|&a, &b| doc.dewey(a).cmp(&doc.dewey(b)));
+        list.dedup();
+    }
+    postings
+}
+
+#[test]
+fn interned_index_matches_string_keyed_oracle() {
+    for seed in 0..64u64 {
+        let doc = random_document(&mut StdRng::seed_from_u64(seed));
+        let idx = InvertedIndex::build(&doc);
+        let oracle = string_keyed_oracle(&doc);
+        assert_eq!(idx.term_count(), oracle.len(), "seed {seed}: term universes differ");
+        for (term, list) in &oracle {
+            assert_eq!(idx.postings(term), list.as_slice(), "seed {seed} term {term:?}");
+            assert!(idx.contains(term), "seed {seed} term {term:?}");
+        }
+        // Dictionary iteration covers exactly the oracle's terms, sorted.
+        let dict: Vec<&str> = idx.terms().collect();
+        let mut expected: Vec<&str> = oracle.keys().map(String::as_str).collect();
+        expected.sort_unstable();
+        assert_eq!(dict, expected, "seed {seed}");
+    }
+}
+
+#[test]
+fn slca_over_interned_postings_matches_oracle_lists() {
+    for seed in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let doc = random_document(&mut rng);
+        let idx = InvertedIndex::build(&doc);
+        let oracle = string_keyed_oracle(&doc);
+        let terms = ["a", "item", "root", "b"];
+        let term_count = rng.random_range(1..4usize);
+        let empty: Vec<NodeId> = Vec::new();
+        let interned: Vec<&[NodeId]> =
+            terms.iter().take(term_count).map(|t| idx.postings(t)).collect();
+        let string_keyed: Vec<&[NodeId]> = terms
+            .iter()
+            .take(term_count)
+            .map(|t| oracle.get(*t).unwrap_or(&empty).as_slice())
+            .collect();
+        assert_eq!(
+            slca_indexed_lookup(&doc, &interned),
+            slca_indexed_lookup(&doc, &string_keyed),
+            "seed {seed}: SLCA differs between substrates"
+        );
+        assert_eq!(
+            slca_full_scan(&doc, &interned),
+            slca_full_scan(&doc, &string_keyed),
+            "seed {seed}: full-scan SLCA differs between substrates"
+        );
+    }
+}
+
+#[test]
+fn v1_index_files_always_rejected() {
+    // Whatever the document, a version-1 header must be refused with the
+    // typed "unsupported index version" error, not parsed as garbage.
+    for seed in 0..16u64 {
+        let doc = random_document(&mut StdRng::seed_from_u64(seed));
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(b"XIDX");
+        v1.extend_from_slice(&1u32.to_le_bytes());
+        v1.extend_from_slice(&xsact_index::document_fingerprint(&doc).to_le_bytes());
+        v1.extend_from_slice(&0u32.to_le_bytes());
+        let err = xsact_index::load_index(&doc, &mut v1.as_slice()).unwrap_err();
+        assert!(
+            err.to_string().contains("unsupported index version 1"),
+            "seed {seed}: unexpected error {err}"
+        );
     }
 }
 
