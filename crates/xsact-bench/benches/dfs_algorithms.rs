@@ -12,6 +12,7 @@ use xsact_bench::{
 };
 use xsact_core::{exhaustive, run_algorithm, Instance};
 use xsact_data::fixtures;
+use xsact_entity::{FeatureType, ResultFeatures};
 
 /// Figure 4(b): one timing series per algorithm over QM1–QM8 (QM1–QM2 in
 /// quick mode).
@@ -79,6 +80,51 @@ fn bench_paper_example_pipeline() {
     bench("pipeline", "figure2_end_to_end_warm", || run(&wb));
 }
 
+/// Result-count scaling of the DoD kernel: n ∈ {4, 8, 16, 32} synthetic
+/// results over a fixed type universe (m stays constant, so the sweep
+/// isolates the n² pair loops and the n-wide weight passes). Each step
+/// prints the instance's differentiability bit-matrix footprint next to the
+/// per-algorithm timings. Quick mode stops at n = 8.
+fn bench_result_count_sweep() {
+    const ENTITIES: [&str; 3] = ["product", "review", "spec"];
+    const ATTRS_PER_ENTITY: usize = 8; // m = 24 types, fixed across the sweep
+    let make_result = |i: usize| -> ResultFeatures {
+        let triplets: Vec<(FeatureType, String, u32)> = ENTITIES
+            .iter()
+            .enumerate()
+            .flat_map(|(e, entity)| {
+                (0..ATTRS_PER_ENTITY).map(move |a| {
+                    // Deterministic per-result counts spread over 1..=10 so
+                    // many (pair, type) combinations straddle the threshold.
+                    let count = 1 + ((i * 7 + e * 5 + a * 3) % 10) as u32;
+                    (FeatureType::new(*entity, format!("attr{a}")), "yes".to_string(), count)
+                })
+            })
+            .collect();
+        ResultFeatures::from_raw(
+            format!("r{i}"),
+            ENTITIES.iter().map(|e| (e.to_string(), 10u32)),
+            triplets,
+        )
+    };
+    let counts: &[usize] = if xsact_bench::quick_mode() { &[4, 8] } else { &[4, 8, 16, 32] };
+    for &n in counts {
+        let features: Vec<ResultFeatures> = (0..n).map(make_result).collect();
+        let config = DfsConfig { size_bound: FIG4_BOUND, threshold_pct: 10.0 };
+        let inst = Instance::build(&features, config);
+        println!(
+            "sweep/n{n}: m = {m} types, bitmatrix {bytes} B ({words} words/row)",
+            m = inst.type_count(),
+            bytes = inst.bitmatrix_bytes(),
+            words = inst.words_per_row(),
+        );
+        bench("sweep", &format!("instance_build/n{n}"), || Instance::build(&features, config));
+        for algo in [Algorithm::SingleSwap, Algorithm::MultiSwap] {
+            bench("sweep", &format!("{}/n{n}", algo.name()), || run_algorithm(&inst, algo));
+        }
+    }
+}
+
 /// The exhaustive oracle on the Figure 1 instance — how expensive exactness
 /// is even on two results.
 fn bench_exhaustive_oracle() {
@@ -98,6 +144,7 @@ fn bench_exhaustive_oracle() {
 fn main() {
     bench_fig4_algorithms();
     bench_instance_build();
+    bench_result_count_sweep();
     bench_corpus_fan_out();
     bench_paper_example_pipeline();
     bench_exhaustive_oracle();

@@ -82,10 +82,11 @@ pub fn anneal(inst: &Instance, config: &AnnealingConfig) -> (DfsSet, u32) {
 ///
 /// The DoD is maintained **incrementally**: toggling one type in one DFS
 /// only affects the pairs involving that result, so a proposal is evaluated
-/// in `O(n)` via [`crate::dod::toggle_delta`] on cached selection masks —
-/// not by re-summing all pairs (`O(n² · m)`). The equivalence of the two
-/// evaluations is asserted in tests and (in debug builds) at the end of the
-/// run.
+/// in `O(n)` via [`crate::dod::toggle_delta`] on the set's own selection
+/// bitmasks (kept in sync by `DfsSet::grow`/`shrink`) — not by re-summing
+/// all pairs (`O(n² · m)`). The equivalence of the two evaluations is
+/// asserted in tests and (in debug builds) at the end of the run, together
+/// with mask/prefix consistency.
 pub fn anneal_from(inst: &Instance, start: DfsSet, config: &AnnealingConfig) -> (DfsSet, u32) {
     let n = inst.result_count();
     let entity_count = inst.entities.len();
@@ -94,8 +95,6 @@ pub fn anneal_from(inst: &Instance, start: DfsSet, config: &AnnealingConfig) -> 
 
     let mut current = start;
     let mut current_dod = dod_total(inst, &current);
-    let mut masks: Vec<Vec<bool>> =
-        (0..n).map(|i| current.dfs(i).selection_mask(inst, i)).collect();
     let mut best = current.clone();
     let mut best_dod = current_dod;
     let mut temperature = config.initial_temperature;
@@ -136,28 +135,24 @@ pub fn anneal_from(inst: &Instance, start: DfsSet, config: &AnnealingConfig) -> 
         if added.is_none() && removed.is_none() {
             continue;
         }
-        let delta = added.map_or(0, |t| crate::dod::toggle_delta(inst, &masks, i, t)) as i64
-            - removed.map_or(0, |t| crate::dod::toggle_delta(inst, &masks, i, t)) as i64;
+        let delta = added.map_or(0, |t| crate::dod::toggle_delta(inst, &current, i, t)) as i64
+            - removed.map_or(0, |t| crate::dod::toggle_delta(inst, &current, i, t)) as i64;
         let accept = delta >= 0
             || (temperature > f64::EPSILON && rng.unit() < (delta as f64 / temperature).exp());
         if !accept {
             continue;
         }
-        // Apply the move to the DFS and the cached mask.
-        {
-            let dfs = current.dfs_mut(i);
-            if let Some(t) = removed {
-                let (e, _) = inst.results[i].rank_of[t].expect("removed type is ranked");
-                let ok = dfs.shrink(e);
-                debug_assert!(ok);
-                masks[i][t] = false;
-            }
-            if let Some(t) = added {
-                let (e, _) = inst.results[i].rank_of[t].expect("added type is ranked");
-                let ok = dfs.grow(inst, i, e);
-                debug_assert!(ok);
-                masks[i][t] = true;
-            }
+        // Apply the move; DfsSet::shrink/grow keep the selection bitmasks
+        // in lock-step with the prefix vectors.
+        if let Some(t) = removed {
+            let (e, _) = inst.results[i].rank_of[t].expect("removed type is ranked");
+            let ok = current.shrink(inst, i, e);
+            debug_assert!(ok);
+        }
+        if let Some(t) = added {
+            let (e, _) = inst.results[i].rank_of[t].expect("added type is ranked");
+            let ok = current.grow(inst, i, e);
+            debug_assert!(ok);
         }
         current_dod = (i64::from(current_dod) + delta) as u32;
         if current_dod > best_dod {
@@ -166,6 +161,7 @@ pub fn anneal_from(inst: &Instance, start: DfsSet, config: &AnnealingConfig) -> 
         }
     }
     debug_assert!(best.all_valid(inst));
+    debug_assert!(current.masks_consistent(inst), "selection bitmask drifted from prefixes");
     debug_assert_eq!(current_dod, dod_total(inst, &current), "incremental DoD drifted");
     debug_assert_eq!(best_dod, dod_total(inst, &best));
     (best, best_dod)

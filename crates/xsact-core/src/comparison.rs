@@ -132,6 +132,9 @@ impl Comparison {
                 .run_exhaustive(limit)
                 .expect("exhaustive enumeration exceeds its combination limit");
         }
+        // Build the instance fresh and *move* it into the outcome — the
+        // single-run path never pays a clone; multi-run callers go through
+        // `run_on` instead.
         let instance = self.instance();
         let start = Instant::now();
         let (set, swap_stats) = run_algorithm(&instance, algorithm);
@@ -146,16 +149,47 @@ impl Comparison {
         }
     }
 
+    /// Runs an algorithm over an already-built instance — the entry point
+    /// for callers that compare the *same* result set with several
+    /// algorithms (or repeatedly): preprocessing (interning + the
+    /// differentiability bit matrix) is paid once, each run only clones the
+    /// flat arenas into its outcome.
+    ///
+    /// Panics like [`Comparison::run`] when an [`Algorithm::Exhaustive`]
+    /// run exceeds its combination limit; use
+    /// [`Comparison::run_exhaustive_on`] for the fallible form.
+    pub fn run_on(instance: &Instance, algorithm: Algorithm) -> ComparisonOutcome {
+        if let Algorithm::Exhaustive { limit } = algorithm {
+            return Self::run_exhaustive_on(instance, limit)
+                .expect("exhaustive enumeration exceeds its combination limit");
+        }
+        let start = Instant::now();
+        let (set, swap_stats) = run_algorithm(instance, algorithm);
+        let elapsed = start.elapsed();
+        let dod = dod_total(instance, &set);
+        ComparisonOutcome {
+            instance: instance.clone(),
+            set,
+            dod,
+            algorithm,
+            stats: RunStats { rounds: swap_stats.rounds, moves: swap_stats.moves, elapsed },
+        }
+    }
+
     /// Exhaustive optimum, if the instance is small enough that at most
     /// `limit` DFS combinations must be enumerated. `None` otherwise. The
     /// outcome is labelled [`Algorithm::Exhaustive`].
     pub fn run_exhaustive(&self, limit: u64) -> Option<ComparisonOutcome> {
-        let instance = self.instance();
+        Self::run_exhaustive_on(&self.instance(), limit)
+    }
+
+    /// [`Comparison::run_exhaustive`] over an already-built instance.
+    pub fn run_exhaustive_on(instance: &Instance, limit: u64) -> Option<ComparisonOutcome> {
         let start = Instant::now();
-        let (set, dod) = exhaustive(&instance, limit)?;
+        let (set, dod) = exhaustive(instance, limit)?;
         let elapsed = start.elapsed();
         Some(ComparisonOutcome {
-            instance,
+            instance: instance.clone(),
             set,
             dod,
             algorithm: Algorithm::Exhaustive { limit },

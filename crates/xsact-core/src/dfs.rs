@@ -6,7 +6,16 @@
 //! prefix lengths. This representation makes validity *structural*: every
 //! representable DFS is valid by construction, and the algorithms only have
 //! to respect the size bound.
+//!
+//! [`DfsSet`] additionally maintains one **selection bitmask** per result —
+//! a `⌈m/64⌉`-word bitset over the instance's type universe, updated
+//! incrementally on every [`grow`](DfsSet::grow) / [`shrink`](DfsSet::shrink)
+//! / [`replace`](DfsSet::replace) — which is what the word-parallel DoD
+//! kernels in [`crate::dod`] AND against the differentiability rows. The
+//! prefix vectors stay the public representation; the masks are a derived,
+//! internally-consistent acceleration structure.
 
+use crate::bits;
 use crate::model::{EntityIdx, Instance, TypeId};
 
 /// A valid DFS of one result: `prefix[e]` of entity `e`'s ranked types are
@@ -109,7 +118,21 @@ impl Dfs {
         out
     }
 
-    /// A boolean membership mask over the instance's type universe.
+    /// Calls `f` for every selected type, grouped by entity in significance
+    /// order — the allocation-free form of
+    /// [`selected_types`](Self::selected_types).
+    pub fn for_each_selected(&self, inst: &Instance, result: usize, mut f: impl FnMut(TypeId)) {
+        let ranked = &inst.results[result].ranked;
+        for (e, &len) in self.prefix.iter().enumerate() {
+            for &t in &ranked[e][..len] {
+                f(t);
+            }
+        }
+    }
+
+    /// A boolean membership mask over the instance's type universe. The
+    /// scalar reference form — the hot paths use the word-packed masks
+    /// maintained by [`DfsSet`] instead.
     pub fn selection_mask(&self, inst: &Instance, result: usize) -> Vec<bool> {
         let mut mask = vec![false; inst.type_count()];
         for t in self.selected_types(inst, result) {
@@ -130,16 +153,42 @@ impl Dfs {
     }
 }
 
-/// The DFSs of all results under comparison, one per result.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// The DFSs of all results under comparison, one per result, plus the
+/// per-result selection bitmasks the DoD kernels consume.
+///
+/// All mutation goes through [`grow`](Self::grow), [`shrink`](Self::shrink)
+/// and [`replace`](Self::replace) so the masks can never drift from the
+/// prefix vectors; equality and the public representation remain defined by
+/// the prefix vectors alone.
+#[derive(Debug, Clone)]
 pub struct DfsSet {
     dfss: Vec<Dfs>,
+    /// Flat `n × words` selection bitmask arena; row `i` has bit `t` set
+    /// iff `dfss[i]` selects type `t`.
+    masks: Vec<u64>,
+    /// Words per mask row (= `inst.words_per_row()` at construction).
+    words: usize,
 }
+
+impl PartialEq for DfsSet {
+    fn eq(&self, other: &Self) -> bool {
+        // Masks are derived state: over the same instance, equal prefix
+        // vectors imply equal masks.
+        self.dfss == other.dfss
+    }
+}
+
+impl Eq for DfsSet {}
 
 impl DfsSet {
     /// One empty DFS per result.
     pub fn empty(inst: &Instance) -> Self {
-        DfsSet { dfss: vec![Dfs::empty(inst.entities.len()); inst.result_count()] }
+        let words = inst.words_per_row();
+        DfsSet {
+            dfss: vec![Dfs::empty(inst.entities.len()); inst.result_count()],
+            masks: vec![0; inst.result_count() * words],
+            words,
+        }
     }
 
     /// Wraps pre-built DFSs.
@@ -149,7 +198,12 @@ impl DfsSet {
     /// count (checked by callers that build per-result).
     pub fn from_dfss(inst: &Instance, dfss: Vec<Dfs>) -> Self {
         assert_eq!(dfss.len(), inst.result_count());
-        DfsSet { dfss }
+        let words = inst.words_per_row();
+        let mut set = DfsSet { dfss, masks: vec![0; inst.result_count() * words], words };
+        for i in 0..set.dfss.len() {
+            set.rebuild_mask(inst, i);
+        }
+        set
     }
 
     /// The DFS of result `i`.
@@ -157,14 +211,52 @@ impl DfsSet {
         &self.dfss[i]
     }
 
-    /// Mutable access to the DFS of result `i`.
-    pub fn dfs_mut(&mut self, i: usize) -> &mut Dfs {
-        &mut self.dfss[i]
+    /// The selection bitmask of result `i` as a word slice — bit `t` set
+    /// iff the DFS selects type `t`.
+    pub fn mask(&self, i: usize) -> &[u64] {
+        &self.masks[i * self.words..][..self.words]
     }
 
-    /// Replaces the DFS of result `i`.
-    pub fn replace(&mut self, i: usize, dfs: Dfs) {
+    /// Grows entity `e`'s prefix of result `i` by one, keeping the mask in
+    /// sync. Returns `false` (and changes nothing) when the result has no
+    /// further type for that entity.
+    pub fn grow(&mut self, inst: &Instance, i: usize, e: EntityIdx) -> bool {
+        let Some(t) = self.dfss[i].next_type(inst, i, e) else {
+            return false;
+        };
+        let grown = self.dfss[i].grow(inst, i, e);
+        debug_assert!(grown);
+        bits::set_bit(&mut self.masks[i * self.words..][..self.words], t);
+        true
+    }
+
+    /// Shrinks entity `e`'s prefix of result `i` by one, keeping the mask
+    /// in sync. Returns `false` when already 0.
+    pub fn shrink(&mut self, inst: &Instance, i: usize, e: EntityIdx) -> bool {
+        let Some(t) = self.dfss[i].last_type(inst, i, e) else {
+            return false;
+        };
+        let shrunk = self.dfss[i].shrink(e);
+        debug_assert!(shrunk);
+        bits::clear_bit(&mut self.masks[i * self.words..][..self.words], t);
+        true
+    }
+
+    /// Replaces the DFS of result `i`, rebuilding its mask row.
+    pub fn replace(&mut self, inst: &Instance, i: usize, dfs: Dfs) {
         self.dfss[i] = dfs;
+        self.rebuild_mask(inst, i);
+    }
+
+    fn rebuild_mask(&mut self, inst: &Instance, i: usize) {
+        let row = &mut self.masks[i * self.words..][..self.words];
+        row.fill(0);
+        let ranked = &inst.results[i].ranked;
+        for (e, &len) in self.dfss[i].prefixes().iter().enumerate() {
+            for &t in &ranked[e][..len] {
+                bits::set_bit(row, t);
+            }
+        }
     }
 
     /// Number of DFSs (= results).
@@ -182,12 +274,25 @@ impl DfsSet {
         self.dfss.iter()
     }
 
-    /// All DFSs satisfy the size bound and validity.
+    /// All DFSs satisfy the size bound and validity, and (as part of the
+    /// same debug-time contract) every mask row agrees with its prefix
+    /// vector.
     pub fn all_valid(&self, inst: &Instance) -> bool {
         self.dfss
             .iter()
             .enumerate()
             .all(|(i, d)| d.is_consistent(inst, i) && d.within(inst.config.size_bound))
+            && self.masks_consistent(inst)
+    }
+
+    /// Whether every incremental mask row equals the mask rebuilt from its
+    /// prefix vector — the invariant the annealing debug assertions pin.
+    pub fn masks_consistent(&self, inst: &Instance) -> bool {
+        (0..self.dfss.len()).all(|i| {
+            let mut fresh = vec![0u64; self.words];
+            self.dfss[i].for_each_selected(inst, i, |t| bits::set_bit(&mut fresh, t));
+            fresh == self.mask(i)
+        })
     }
 }
 
@@ -264,6 +369,10 @@ mod tests {
         let attrs: Vec<&str> = selected.iter().map(|&t| inst.types[t].attribute.as_str()).collect();
         // x (9) then y (5) — never z before y.
         assert_eq!(attrs, ["x", "y"]);
+        // The callback form visits the same types in the same order.
+        let mut visited = Vec::new();
+        d.for_each_selected(&inst, 0, |t| visited.push(t));
+        assert_eq!(visited, selected);
     }
 
     #[test]
@@ -307,15 +416,65 @@ mod tests {
         let mut set = DfsSet::empty(&inst);
         assert!(set.all_valid(&inst));
         let r = inst.entities.iter().position(|e| e == "r").unwrap();
-        set.dfs_mut(0).grow(&inst, 0, r);
-        set.dfs_mut(0).grow(&inst, 0, r);
-        set.dfs_mut(0).grow(&inst, 0, r);
+        set.grow(&inst, 0, r);
+        set.grow(&inst, 0, r);
+        set.grow(&inst, 0, r);
         assert!(set.all_valid(&inst)); // size 3 == bound
         let p = inst.entities.iter().position(|e| e == "p").unwrap();
-        set.dfs_mut(0).grow(&inst, 0, p);
+        set.grow(&inst, 0, p);
         assert!(!set.all_valid(&inst)); // size 4 > bound 3
         assert_eq!(set.len(), 2);
         assert!(!set.is_empty());
+    }
+
+    #[test]
+    fn set_mutations_keep_masks_in_sync() {
+        let inst = inst();
+        let p = inst.entities.iter().position(|e| e == "p").unwrap();
+        let r = inst.entities.iter().position(|e| e == "r").unwrap();
+        let mut set = DfsSet::empty(&inst);
+        assert!(set.mask(0).iter().all(|&w| w == 0));
+
+        assert!(set.grow(&inst, 0, r));
+        assert!(set.grow(&inst, 0, p));
+        assert!(set.masks_consistent(&inst));
+        // The packed mask mirrors the scalar reference mask bit for bit.
+        let scalar = set.dfs(0).selection_mask(&inst, 0);
+        for (t, &sel) in scalar.iter().enumerate() {
+            assert_eq!(crate::bits::test_bit(set.mask(0), t), sel, "type {t}");
+        }
+
+        assert!(set.shrink(&inst, 0, r));
+        assert!(set.masks_consistent(&inst));
+        assert!(!set.shrink(&inst, 0, r), "r prefix already empty");
+        assert!(!set.grow(&inst, 0, p), "p exhausted");
+        assert!(set.masks_consistent(&inst));
+
+        set.replace(&inst, 0, Dfs::from_prefixes(&inst, 0, &[1, 3]));
+        assert!(set.masks_consistent(&inst));
+        assert_eq!(crate::bits::and2_count(set.mask(0), set.mask(0)), set.dfs(0).size() as u32);
+
+        // Result 1's mask never moved.
+        assert!(set.mask(1).iter().all(|&w| w == 0));
+    }
+
+    #[test]
+    fn equality_ignores_derived_masks() {
+        let inst = inst();
+        let a = DfsSet::from_dfss(
+            &inst,
+            vec![Dfs::from_prefixes(&inst, 0, &[1, 2]), Dfs::empty(inst.entities.len())],
+        );
+        let mut b = DfsSet::empty(&inst);
+        let p = inst.entities.iter().position(|e| e == "p").unwrap();
+        let r = inst.entities.iter().position(|e| e == "r").unwrap();
+        b.grow(&inst, 0, p);
+        b.grow(&inst, 0, r);
+        b.grow(&inst, 0, r);
+        // Same prefix vectors reached by different routes: equal sets and
+        // equal masks.
+        assert_eq!(a, b);
+        assert_eq!(a.mask(0), b.mask(0));
     }
 
     #[test]

@@ -5,17 +5,23 @@
 //! are differentiable. The crucial decomposition the multi-swap DP exploits:
 //! with all other DFSs fixed, the contribution of result `i`'s DFS is a sum
 //! of independent per-type weights ([`type_weight`]).
+//!
+//! Every quantity here is a **word-parallel bitset kernel**: the instance
+//! stores the differentiability matrix as flat `u64` rows, the [`DfsSet`]
+//! maintains per-result selection bitmasks, and a pairwise DoD is literally
+//! `popcount(sel_i ∧ sel_j ∧ diff_ij)` — 64 feature types per CPU word.
+//! The `_into` variants take caller-provided scratch buffers so the swap
+//! loops run allocation-free per move.
 
+use crate::bits;
 use crate::dfs::{Dfs, DfsSet};
 use crate::model::{Instance, TypeId};
 
-/// Pairwise degree of differentiation of two DFSs.
-pub fn dod_pair(inst: &Instance, i: usize, j: usize, di: &Dfs, dj: &Dfs) -> u32 {
+/// Pairwise degree of differentiation of results `i` and `j` under the
+/// set's current selections: `popcount(sel_i ∧ sel_j ∧ diff_ij)`.
+pub fn dod_pair(inst: &Instance, set: &DfsSet, i: usize, j: usize) -> u32 {
     debug_assert!(i != j);
-    di.selected_types(inst, i)
-        .into_iter()
-        .filter(|&t| dj.contains(inst, j, t) && inst.differentiable(i, j, t))
-        .count() as u32
+    bits::and3_count(set.mask(i), set.mask(j), inst.diff_row(i, j))
 }
 
 /// Total DoD of a DFS set: the paper's objective function.
@@ -24,7 +30,7 @@ pub fn dod_total(inst: &Instance, set: &DfsSet) -> u32 {
     let mut total = 0;
     for i in 0..n {
         for j in (i + 1)..n {
-            total += dod_pair(inst, i, j, set.dfs(i), set.dfs(j));
+            total += dod_pair(inst, set, i, j);
         }
     }
     total
@@ -35,48 +41,63 @@ pub fn dod_total(inst: &Instance, set: &DfsSet) -> u32 {
 /// selects `t` and is differentiable from `i` on it.
 pub fn type_weight(inst: &Instance, set: &DfsSet, i: usize, t: TypeId) -> u32 {
     (0..set.len())
-        .filter(|&j| j != i && set.dfs(j).contains(inst, j, t) && inst.differentiable(i, j, t))
+        .filter(|&j| {
+            j != i && bits::test_bit(set.mask(j), t) && bits::test_bit(inst.diff_row(i, j), t)
+        })
         .count() as u32
 }
 
 /// Per-type weights for all of result `i`'s types at once (types the result
-/// lacks get weight 0). `O(n · m)`.
-pub fn all_type_weights(inst: &Instance, set: &DfsSet, i: usize) -> Vec<u32> {
-    let mut weights = vec![0u32; inst.type_count()];
+/// lacks get weight 0), written into a caller-provided scratch buffer —
+/// the allocation-free primitive behind the swap loops. `O(n · m/64)` word
+/// operations plus one increment per realised (pair, type).
+pub fn all_type_weights_into(inst: &Instance, set: &DfsSet, i: usize, weights: &mut Vec<u32>) {
+    weights.clear();
+    weights.resize(inst.type_count(), 0);
     for j in 0..set.len() {
         if j == i {
             continue;
         }
-        for t in set.dfs(j).selected_types(inst, j) {
-            if inst.results[i].has_type(t) && inst.differentiable(i, j, t) {
-                weights[t] += 1;
-            }
-        }
+        // `diff_ij` is zero wherever result `i` lacks the type, so the
+        // has-type guard of the scalar formulation is implied by the AND.
+        bits::for_each_and2(set.mask(j), inst.diff_row(i, j), |t| weights[t] += 1);
     }
+}
+
+/// Allocating convenience form of [`all_type_weights_into`].
+pub fn all_type_weights(inst: &Instance, set: &DfsSet, i: usize) -> Vec<u32> {
+    let mut weights = Vec::new();
+    all_type_weights_into(inst, set, i, &mut weights);
     weights
 }
 
 /// DoD contribution of result `i`'s DFS against all the others — the part of
-/// the total that changes when only `Di` changes.
+/// the total that changes when only `Di` changes. Accepts an arbitrary
+/// candidate DFS (not necessarily the one in the set).
 pub fn result_contribution(inst: &Instance, set: &DfsSet, i: usize, di: &Dfs) -> u32 {
-    di.selected_types(inst, i).into_iter().map(|t| type_weight(inst, set, i, t)).sum()
+    let mut total = 0;
+    di.for_each_selected(inst, i, |t| total += type_weight(inst, set, i, t));
+    total
 }
 
 /// Marginal DoD change from toggling a single type `t` in result `i`'s
-/// DFS, given per-result selection masks for all results: the number of
-/// *other* results that select `t` and are differentiable from `i` on it.
+/// DFS: the number of *other* results that select `t` and are
+/// differentiable from `i` on it, read off the set's incremental selection
+/// masks.
 ///
 /// This is the `O(n)` primitive behind incremental DoD maintenance: adding
 /// `t` to `Di` raises the total by exactly this amount, removing it lowers
-/// it by the same — no other pair is affected.
-pub fn toggle_delta(inst: &Instance, masks: &[Vec<bool>], i: usize, t: TypeId) -> u32 {
-    (0..masks.len()).filter(|&j| j != i && masks[j][t] && inst.differentiable(i, j, t)).count()
-        as u32
+/// it by the same — no other pair is affected. It *is* the marginal weight
+/// of the type, so this delegates to [`type_weight`]; the separate name
+/// keeps the annealing call sites self-describing.
+pub fn toggle_delta(inst: &Instance, set: &DfsSet, i: usize, t: TypeId) -> u32 {
+    type_weight(inst, set, i, t)
 }
 
 /// The *potential* of each of result `i`'s types: the number of other
 /// results differentiable from `i` on the type — independent of what their
-/// DFSs currently select.
+/// DFSs currently select, so [`Instance::build`] precomputes it and this is
+/// a copy of [`Instance::potentials`].
 ///
 /// Potentials are the tie-breaker of both local-search algorithms: a move
 /// that leaves the DoD unchanged but selects a type other results *could*
@@ -84,15 +105,7 @@ pub fn toggle_delta(inst: &Instance, masks: &[Vec<bool>], i: usize, t: TypeId) -
 /// differentiable type neither had selected yet (pure DoD deltas are 0 on
 /// both sides of such a type, so a DoD-only search could never pick it up).
 pub fn type_potentials(inst: &Instance, i: usize) -> Vec<u32> {
-    let n = inst.result_count();
-    let mut pot = vec![0u32; inst.type_count()];
-    for (t, p) in pot.iter_mut().enumerate() {
-        if !inst.results[i].has_type(t) {
-            continue;
-        }
-        *p = (0..n).filter(|&j| j != i && inst.differentiable(i, j, t)).count() as u32;
-    }
-    pot
+    inst.potentials(i).to_vec()
 }
 
 /// An upper bound on the total DoD: every differentiable (pair, type) counts
@@ -103,8 +116,8 @@ pub fn dod_upper_bound(inst: &Instance) -> u32 {
     let mut total = 0;
     for i in 0..n {
         for j in (i + 1)..n {
-            total +=
-                (0..inst.type_count()).filter(|&t| inst.differentiable(i, j, t)).count() as u32;
+            let row = inst.diff_row(i, j);
+            total += bits::and2_count(row, row);
         }
     }
     total
@@ -150,14 +163,11 @@ mod tests {
         let inst = inst();
         let set = full_set(&inst);
         // (0,1): a and c differentiable, b identical → 2.
-        assert_eq!(dod_pair(&inst, 0, 1, set.dfs(0), set.dfs(1)), 2);
+        assert_eq!(dod_pair(&inst, &set, 0, 1), 2);
         // (0,2): only a (c missing in r2) → 1.
-        assert_eq!(dod_pair(&inst, 0, 2, set.dfs(0), set.dfs(2)), 1);
+        assert_eq!(dod_pair(&inst, &set, 0, 2), 1);
         // Symmetric.
-        assert_eq!(
-            dod_pair(&inst, 0, 1, set.dfs(0), set.dfs(1)),
-            dod_pair(&inst, 1, 0, set.dfs(1), set.dfs(0))
-        );
+        assert_eq!(dod_pair(&inst, &set, 0, 1), dod_pair(&inst, &set, 1, 0));
     }
 
     #[test]
@@ -182,7 +192,7 @@ mod tests {
         let mut set = full_set(&inst);
         // Restrict r1 to its single most significant type. r1's ranking:
         // a(6), b(5), c(2) → prefix 1 = {a}.
-        set.replace(1, Dfs::from_prefixes(&inst, 1, &[1]));
+        set.replace(&inst, 1, Dfs::from_prefixes(&inst, 1, &[1]));
         // (0,1): only a shared-and-selected → 1; (0,2) unchanged 1; (1,2): a → 1.
         assert_eq!(dod_total(&inst, &set), 3);
     }
@@ -205,8 +215,11 @@ mod tests {
     fn all_type_weights_matches_pointwise() {
         let inst = inst();
         let set = full_set(&inst);
+        let mut scratch = Vec::new();
         for i in 0..inst.result_count() {
             let bulk = all_type_weights(&inst, &set, i);
+            all_type_weights_into(&inst, &set, i, &mut scratch);
+            assert_eq!(bulk, scratch, "into/alloc forms agree for result {i}");
             for (t, &w) in bulk.iter().enumerate() {
                 assert_eq!(w, type_weight(&inst, &set, i, t), "result {i} type {t}");
             }
@@ -214,13 +227,25 @@ mod tests {
     }
 
     #[test]
+    fn scratch_buffer_is_reset_between_calls() {
+        let inst = inst();
+        let full = full_set(&inst);
+        let empty = DfsSet::empty(&inst);
+        let mut scratch = vec![99u32; 17]; // stale garbage of the wrong size
+        all_type_weights_into(&inst, &full, 0, &mut scratch);
+        let first = scratch.clone();
+        all_type_weights_into(&inst, &empty, 0, &mut scratch);
+        assert!(scratch.iter().all(|&w| w == 0), "stale weights leaked");
+        all_type_weights_into(&inst, &full, 0, &mut scratch);
+        assert_eq!(scratch, first);
+    }
+
+    #[test]
     fn toggle_delta_matches_total_difference() {
         let inst = inst();
         let mut set = full_set(&inst);
         // Restrict r1 to one type so toggling r0's types changes pair DoD.
-        set.replace(1, Dfs::from_prefixes(&inst, 1, &[1]));
-        let masks: Vec<Vec<bool>> =
-            (0..set.len()).map(|i| set.dfs(i).selection_mask(&inst, i)).collect();
+        set.replace(&inst, 1, Dfs::from_prefixes(&inst, 1, &[1]));
         // Toggling each of r0's selected types off must change the total by
         // exactly toggle_delta.
         let before = dod_total(&inst, &set);
@@ -229,11 +254,11 @@ mod tests {
                 continue;
             }
             let t = *list.last().expect("non-empty");
-            let delta = toggle_delta(&inst, &masks, 0, t);
+            let delta = toggle_delta(&inst, &set, 0, t);
             let mut modified = set.clone();
             let mut dfs = Dfs::from_prefixes(&inst, 0, set.dfs(0).prefixes());
             dfs.shrink(e);
-            modified.replace(0, dfs);
+            modified.replace(&inst, 0, dfs);
             assert_eq!(before - dod_total(&inst, &modified), delta, "type {t}");
         }
     }
@@ -246,7 +271,7 @@ mod tests {
         // Potentials are the same whatever the DFSs select.
         for i in 0..inst.result_count() {
             let p = type_potentials(&inst, i);
-            assert_eq!(p, type_potentials(&inst, i));
+            assert_eq!(p, inst.potentials(i));
             // With everything selected, weights equal potentials.
             assert_eq!(p, all_type_weights(&inst, &full, i));
             // With nothing selected, weights are all zero but potentials
@@ -267,7 +292,7 @@ mod tests {
         // Moving r0's contribution out and back: total = contribution(0) +
         // dod among {1,2}.
         let contrib0 = result_contribution(&inst, &set, 0, set.dfs(0));
-        let pair12 = dod_pair(&inst, 1, 2, set.dfs(1), set.dfs(2));
+        let pair12 = dod_pair(&inst, &set, 1, 2);
         assert_eq!(dod_total(&inst, &set), contrib0 + pair12);
     }
 }

@@ -44,41 +44,73 @@ fn enumerate_rec(
     prefixes[e] = 0;
 }
 
+/// Number of valid DFSs of one result — `enumerate_valid_dfss(..).len()`
+/// without materialising anything: a counting DP over (entity, budget),
+/// with the budget capped by the result's precomputed
+/// [`type_count`](crate::model::ResultData::type_count). `None` on `u64`
+/// overflow (the instance is certainly too large for brute force).
+pub fn count_valid_dfss(inst: &Instance, result: usize) -> Option<u64> {
+    let data = &inst.results[result];
+    let cap = inst.config.size_bound.min(data.type_count());
+    // ways[c] = number of prefix vectors of total size exactly c over the
+    // entities processed so far.
+    let mut ways = vec![0u64; cap + 1];
+    ways[0] = 1;
+    for list in &data.ranked {
+        let mut next = vec![0u64; cap + 1];
+        for (c_prev, &w) in ways.iter().enumerate() {
+            if w == 0 {
+                continue;
+            }
+            for len in 0..=list.len().min(cap - c_prev) {
+                let slot = &mut next[c_prev + len];
+                *slot = slot.checked_add(w)?;
+            }
+        }
+        ways = next;
+    }
+    ways.iter().try_fold(0u64, |acc, &w| acc.checked_add(w))
+}
+
 /// Exhaustively maximises the total DoD over all combinations of valid
 /// DFSs.
 ///
 /// Returns `None` when the number of combinations exceeds `limit` (the
-/// instance is too large for brute force); otherwise the optimal set and its
-/// DoD. Ties are broken towards the combination enumerated first, then by
-/// larger total size (to mirror the local searches' budget-filling rule the
-/// comparison only relies on the DoD value, which is unique).
+/// instance is too large for brute force) — decided by the counting DP
+/// *before* any enumeration is materialised; otherwise the optimal set and
+/// its DoD. Ties are broken towards the combination enumerated first, then
+/// by larger total size (to mirror the local searches' budget-filling rule
+/// the comparison only relies on the DoD value, which is unique).
+///
+/// The branch-and-walk over the combination space is allocation-free per
+/// step: one working [`DfsSet`] is advanced odometer-style, replacing only
+/// the DFSs whose index digit rolled, and the DoD of each combination is a
+/// popcount over the set's selection masks.
 pub fn exhaustive(inst: &Instance, limit: u64) -> Option<(DfsSet, u32)> {
-    let per_result: Vec<Vec<Dfs>> =
-        (0..inst.result_count()).map(|i| enumerate_valid_dfss(inst, i)).collect();
     let mut combos: u64 = 1;
-    for options in &per_result {
-        combos = combos.checked_mul(options.len() as u64)?;
+    for i in 0..inst.result_count() {
+        combos = combos.checked_mul(count_valid_dfss(inst, i)?)?;
         if combos > limit {
             return None;
         }
     }
+    let per_result: Vec<Vec<Dfs>> =
+        (0..inst.result_count()).map(|i| enumerate_valid_dfss(inst, i)).collect();
 
     let mut indices = vec![0usize; per_result.len()];
+    let mut set =
+        DfsSet::from_dfss(inst, per_result.iter().map(|options| options[0].clone()).collect());
     let mut best: Option<(DfsSet, u32)> = None;
     loop {
-        let set = DfsSet::from_dfss(
-            inst,
-            indices.iter().enumerate().map(|(i, &k)| per_result[i][k].clone()).collect(),
-        );
         let dod = dod_total(inst, &set);
         let better = match &best {
             None => true,
             Some((_, cur)) => dod > *cur,
         };
         if better {
-            best = Some((set, dod));
+            best = Some((set.clone(), dod));
         }
-        // Odometer increment.
+        // Odometer increment, swapping in only the DFSs whose digit moved.
         let mut pos = 0;
         loop {
             if pos == indices.len() {
@@ -86,9 +118,11 @@ pub fn exhaustive(inst: &Instance, limit: u64) -> Option<(DfsSet, u32)> {
             }
             indices[pos] += 1;
             if indices[pos] < per_result[pos].len() {
+                set.replace(inst, pos, per_result[pos][indices[pos]].clone());
                 break;
             }
             indices[pos] = 0;
+            set.replace(inst, pos, per_result[pos][0].clone());
             pos += 1;
         }
     }
@@ -161,6 +195,20 @@ mod tests {
     fn limit_guard_refuses_large_instances() {
         let inst = small_instance(3);
         assert!(exhaustive(&inst, 1).is_none());
+    }
+
+    #[test]
+    fn counting_dp_matches_enumeration() {
+        for bound in [0, 1, 2, 3, 5] {
+            let inst = small_instance(bound);
+            for i in 0..inst.result_count() {
+                assert_eq!(
+                    count_valid_dfss(&inst, i),
+                    Some(enumerate_valid_dfss(&inst, i).len() as u64),
+                    "result {i} bound {bound}"
+                );
+            }
+        }
     }
 
     #[test]

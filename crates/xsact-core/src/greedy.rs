@@ -7,18 +7,20 @@
 //! guarantee — the ablation harness quantifies the gap.
 
 use crate::dfs::{Dfs, DfsSet};
-use crate::dod::{all_type_weights, type_potentials};
+use crate::dod::{all_type_weights, all_type_weights_into};
 use crate::model::Instance;
 use crate::snippet::snippet_set;
 
 /// Builds DFSs greedily: snippet initialisation, then one greedy rebuild per
 /// result (in order), each seeing the already-rebuilt DFSs of its
-/// predecessors.
+/// predecessors. One weight buffer serves the whole pass.
 pub fn greedy_set(inst: &Instance) -> DfsSet {
     let mut set = snippet_set(inst);
+    let mut weights: Vec<u32> = Vec::new();
     for i in 0..set.len() {
-        let dfs = greedy_dfs(inst, &set, i);
-        set.replace(i, dfs);
+        all_type_weights_into(inst, &set, i, &mut weights);
+        let dfs = greedy_dfs_weighted(inst, i, &weights);
+        set.replace(inst, i, dfs);
     }
     debug_assert!(set.all_valid(inst));
     set
@@ -26,8 +28,13 @@ pub fn greedy_set(inst: &Instance) -> DfsSet {
 
 /// The greedy best-effort DFS of result `i` against the current set.
 pub fn greedy_dfs(inst: &Instance, set: &DfsSet, i: usize) -> Dfs {
-    let weights = all_type_weights(inst, set, i);
-    let potentials = type_potentials(inst, i);
+    greedy_dfs_weighted(inst, i, &all_type_weights(inst, set, i))
+}
+
+/// The greedy construction over precomputed weights (potentials come from
+/// the instance).
+fn greedy_dfs_weighted(inst: &Instance, i: usize, weights: &[u32]) -> Dfs {
+    let potentials = inst.potentials(i);
     let bound = inst.config.size_bound;
     let mut dfs = Dfs::empty(inst.entities.len());
     while dfs.size() < bound {

@@ -18,7 +18,7 @@
 //! DoD-only algorithms.
 
 use crate::dfs::{Dfs, DfsSet};
-use crate::dod::{all_type_weights, type_potentials};
+use crate::dod::all_type_weights_into;
 use crate::model::{Instance, TypeId};
 
 /// Interestingness of result `i`'s cell for type `t`, in `[0, ~5]`.
@@ -27,25 +27,45 @@ pub fn type_interestingness(inst: &Instance, i: usize, t: TypeId) -> f64 {
     let Some(cell) = inst.results[i].cells[t].as_ref() else {
         return 0.0;
     };
-    // Collect the other results carrying the type.
-    let peers: Vec<&crate::model::CellStat> = (0..inst.result_count())
-        .filter(|&j| j != i)
-        .filter_map(|j| inst.results[j].cells[t].as_ref())
-        .collect();
-    if peers.is_empty() {
+    // Scan the other results carrying the type — one pass, no peer list.
+    let mut peers = 0usize;
+    let mut sharing = 1usize;
+    let mut peer_ratio_sum = 0.0f64;
+    for j in 0..inst.result_count() {
+        if j == i {
+            continue;
+        }
+        let Some(peer) = inst.results[j].cells[t].as_ref() else {
+            continue;
+        };
+        peers += 1;
+        if peer.value == cell.value {
+            sharing += 1;
+        }
+        peer_ratio_sum += peer.ratio;
+    }
+    if peers == 0 {
         return 0.0;
     }
-    let bearing = peers.len() + 1;
-    let sharing = 1 + peers.iter().filter(|p| p.value == cell.value).count();
+    let bearing = peers + 1;
     let value_surprise = -((sharing as f64) / (bearing as f64)).ln();
-    let mean_ratio = (cell.ratio + peers.iter().map(|p| p.ratio).sum::<f64>()) / bearing as f64;
+    let mean_ratio = (cell.ratio + peer_ratio_sum) / bearing as f64;
     let ratio_deviation = (cell.ratio - mean_ratio).abs();
     value_surprise + ratio_deviation
 }
 
+/// The interestingness of every type for result `i`, written into a
+/// caller-provided scratch buffer.
+pub fn interestingness_profile_into(inst: &Instance, i: usize, profile: &mut Vec<f64>) {
+    profile.clear();
+    profile.extend((0..inst.type_count()).map(|t| type_interestingness(inst, i, t)));
+}
+
 /// The interestingness of every type for result `i`.
 pub fn interestingness_profile(inst: &Instance, i: usize) -> Vec<f64> {
-    (0..inst.type_count()).map(|t| type_interestingness(inst, i, t)).collect()
+    let mut profile = Vec::new();
+    interestingness_profile_into(inst, i, &mut profile);
+    profile
 }
 
 /// Total interestingness of a DFS set (sum over results and selected
@@ -72,10 +92,12 @@ pub fn total_interestingness(inst: &Instance, set: &DfsSet) -> f64 {
 /// potentially-differentiating ones.
 pub fn interesting_set(inst: &Instance, lambda: f64) -> DfsSet {
     let mut set = crate::snippet::snippet_set(inst);
+    let mut weights: Vec<u32> = Vec::new();
+    let mut interest: Vec<f64> = Vec::new();
     for i in 0..set.len() {
-        let weights = all_type_weights(inst, &set, i);
-        let potentials = type_potentials(inst, i);
-        let interest = interestingness_profile(inst, i);
+        all_type_weights_into(inst, &set, i, &mut weights);
+        let potentials = inst.potentials(i);
+        interestingness_profile_into(inst, i, &mut interest);
         let bound = inst.config.size_bound;
         let mut dfs = Dfs::empty(inst.entities.len());
         while dfs.size() < bound {
@@ -104,7 +126,7 @@ pub fn interesting_set(inst: &Instance, lambda: f64) -> DfsSet {
                 None => break,
             }
         }
-        set.replace(i, dfs);
+        set.replace(inst, i, dfs);
     }
     debug_assert!(set.all_valid(inst));
     set

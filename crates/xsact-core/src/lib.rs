@@ -19,6 +19,7 @@
 //! Entry point: [`Comparison`].
 
 pub mod annealing;
+pub mod bits;
 pub mod comparison;
 pub mod dfs;
 pub mod dod;
@@ -34,8 +35,11 @@ pub mod table;
 pub use annealing::{anneal, anneal_from, AnnealingConfig};
 pub use comparison::{run_algorithm, Algorithm, Comparison, ComparisonOutcome, RunStats};
 pub use dfs::{Dfs, DfsSet};
-pub use dod::{dod_pair, dod_total, dod_upper_bound};
-pub use exhaustive::exhaustive;
+pub use dod::{
+    all_type_weights, all_type_weights_into, dod_pair, dod_total, dod_upper_bound, toggle_delta,
+    type_potentials, type_weight,
+};
+pub use exhaustive::{count_valid_dfss, exhaustive};
 pub use greedy::greedy_set;
 pub use interestingness::{interesting_set, total_interestingness, type_interestingness};
 pub use model::{CellStat, DfsConfig, Instance};

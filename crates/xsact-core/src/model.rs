@@ -9,9 +9,15 @@
 //!   2: a valid DFS takes a prefix of this ranking),
 //! * the **differentiability matrix**: for every pair of results and every
 //!   shared feature type, whether the occurrence ratios differ by more than
-//!   the threshold `x%` of the smaller one (paper §2),
+//!   the threshold `x%` of the smaller one (paper §2) — stored as one flat
+//!   `u64` bit arena with `⌈m/64⌉` words per `(i, j)` row, so the DoD
+//!   kernels in [`crate::dod`] are AND + popcount loops,
+//! * per result and type, the *potential* (how many other results are
+//!   differentiable on the type), precomputed once since it never depends
+//!   on what the DFSs select,
 //! * per result and type, the display cell for the comparison table.
 
+use crate::bits;
 use std::collections::BTreeSet;
 use xsact_entity::{FeatureStat, FeatureType, ResultFeatures};
 
@@ -63,6 +69,8 @@ pub struct ResultData {
     pub cells: Vec<Option<CellStat>>,
     /// Per type, its `(entity, rank)` position within this result.
     pub rank_of: Vec<Option<(EntityIdx, usize)>>,
+    /// Precomputed number of present types (see [`ResultData::type_count`]).
+    type_count: usize,
 }
 
 impl ResultData {
@@ -72,8 +80,10 @@ impl ResultData {
     }
 
     /// Total number of feature types in this result (the paper's `m`).
+    /// Precomputed at [`Instance::build`]; the exhaustive oracle reads it
+    /// inside its combination-count estimate.
     pub fn type_count(&self) -> usize {
-        self.rank_of.iter().filter(|r| r.is_some()).count()
+        self.type_count
     }
 }
 
@@ -90,9 +100,50 @@ pub struct Instance {
     pub results: Vec<ResultData>,
     /// Configuration used to build the instance.
     pub config: DfsConfig,
-    /// `diff[i * n + j][t]`: results `i` and `j` are differentiable in type
-    /// `t`. Symmetric; `false` whenever either result lacks `t`.
-    diff: Vec<Vec<bool>>,
+    /// Words per bitset row (`⌈type_count/64⌉`).
+    words: usize,
+    /// The differentiability matrix as a flat bit arena: row `(i, j)` is
+    /// `diff[(i*n + j)*words ..][..words]`, bit `t` set iff results `i` and
+    /// `j` are differentiable in type `t`. Symmetric; `false` whenever
+    /// either result lacks `t`.
+    diff: Vec<u64>,
+    /// Per result and type, the *potential*: how many other results are
+    /// differentiable from it on the type. Flat `n × m`; independent of any
+    /// DFS selection, so computed once here.
+    pot: Vec<u32>,
+}
+
+/// Per-(result, type) comparison-ready view of a [`FeatureStat`], computed
+/// once per stat at build time so the `O(n² · m)` matrix fill never touches
+/// strings beyond the pre-sorted value lists.
+struct PreStat<'a> {
+    /// The single numeric value, when the type is single-valued numeric.
+    numeric: Option<f64>,
+    /// Instance count of the owning entity.
+    instances: u32,
+    /// `(value, count)` pairs sorted by value — merge-walk ready.
+    values: Vec<(&'a str, u32)>,
+}
+
+impl<'a> PreStat<'a> {
+    fn new(stat: &'a FeatureStat) -> Self {
+        let mut values: Vec<(&'a str, u32)> =
+            stat.values.iter().map(|vc| (vc.value.as_str(), vc.count)).collect();
+        values.sort_unstable_by(|a, b| a.0.cmp(b.0));
+        PreStat { numeric: single_numeric(stat), instances: stat.entity_instances, values }
+    }
+
+    /// Occurrence ratio of a value count (mirrors
+    /// `FeatureStat::value_ratio` exactly, including the zero-instance
+    /// rule).
+    #[inline]
+    fn ratio(&self, count: u32) -> f64 {
+        if self.instances == 0 {
+            0.0
+        } else {
+            f64::from(count) / f64::from(self.instances)
+        }
+    }
 }
 
 impl Instance {
@@ -119,19 +170,24 @@ impl Instance {
         let entity_of: Vec<EntityIdx> = types.iter().map(|t| entity_idx(&t.entity)).collect();
         let type_idx = |ty: &FeatureType| types.binary_search(ty).expect("interned");
 
-        // Per-result views.
+        // Per-result views, plus each result's stats indexed by interned
+        // `TypeId` (one binary search per stat here — the matrix fill below
+        // then never looks a type up by string again).
+        let mut pre_stats: Vec<Vec<Option<PreStat<'_>>>> = Vec::with_capacity(results.len());
         let result_data: Vec<ResultData> = results
             .iter()
             .map(|rf| {
                 let mut ranked: Vec<Vec<TypeId>> = vec![Vec::new(); entities.len()];
                 let mut cells: Vec<Option<CellStat>> = vec![None; types.len()];
                 let mut rank_of: Vec<Option<(EntityIdx, usize)>> = vec![None; types.len()];
+                let mut pre: Vec<Option<PreStat<'_>>> = (0..types.len()).map(|_| None).collect();
                 // `rf.stats` is already in significance order per entity.
                 for stat in &rf.stats {
                     let t = type_idx(&stat.ty);
                     let e = entity_idx(&stat.ty.entity);
                     rank_of[t] = Some((e, ranked[e].len()));
                     ranked[e].push(t);
+                    pre[t] = Some(PreStat::new(stat));
                     let dom = stat.dominant();
                     let instances = stat.entity_instances;
                     let per_instance = |count: u32| {
@@ -149,27 +205,46 @@ impl Instance {
                         sig_ratio: per_instance(stat.occurrences),
                     });
                 }
-                ResultData { label: rf.label.clone(), ranked, cells, rank_of }
+                let type_count = cells.iter().filter(|c| c.is_some()).count();
+                pre_stats.push(pre);
+                ResultData { label: rf.label.clone(), ranked, cells, rank_of, type_count }
             })
             .collect();
 
-        // Differentiability matrix.
+        // Differentiability matrix: one flat bit arena, filled by dense
+        // iteration over the indexed stats.
         let n = results.len();
-        let mut diff = vec![vec![false; types.len()]; n * n];
+        let m = types.len();
+        let words = bits::words_for(m);
+        let mut diff = vec![0u64; n * n * words];
         for i in 0..n {
             for j in (i + 1)..n {
-                for (t, ty) in types.iter().enumerate() {
-                    let (Some(si), Some(sj)) = (results[i].get(ty), results[j].get(ty)) else {
+                for (t, slot) in pre_stats[i].iter().zip(&pre_stats[j]).enumerate() {
+                    let (Some(si), Some(sj)) = slot else {
                         continue;
                     };
-                    let d = stats_differ(si, sj, config.threshold_pct);
-                    diff[i * n + j][t] = d;
-                    diff[j * n + i][t] = d;
+                    if pre_stats_differ(si, sj, config.threshold_pct) {
+                        bits::set_bit(&mut diff[(i * n + j) * words..][..words], t);
+                        bits::set_bit(&mut diff[(j * n + i) * words..][..words], t);
+                    }
                 }
             }
         }
 
-        Instance { types, entities, entity_of, results: result_data, config, diff }
+        // Potentials: per (result, type), the number of other results
+        // differentiable on the type — a column sum over the bit rows.
+        let mut pot = vec![0u32; n * m];
+        for i in 0..n {
+            let row = &mut pot[i * m..][..m];
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                bits::for_each_bit(&diff[(i * n + j) * words..][..words], |t| row[t] += 1);
+            }
+        }
+
+        Instance { types, entities, entity_of, results: result_data, config, words, diff, pot }
     }
 
     /// Number of results.
@@ -182,11 +257,37 @@ impl Instance {
         self.types.len()
     }
 
+    /// Words per bitset row over the type universe (`⌈m/64⌉`) — the row
+    /// width of [`Instance::diff_row`] and of `DfsSet` selection masks.
+    pub fn words_per_row(&self) -> usize {
+        self.words
+    }
+
+    /// The differentiability row of result pair `(i, j)` as a word slice —
+    /// bit `t` set iff the pair is differentiable in type `t`.
+    pub fn diff_row(&self, i: usize, j: usize) -> &[u64] {
+        &self.diff[(i * self.results.len() + j) * self.words..][..self.words]
+    }
+
     /// Whether results `i` and `j` are differentiable in type `t`
     /// (`false` if either lacks the type — absence means *unknown*, the
     /// paper's NULL-value analogy).
     pub fn differentiable(&self, i: usize, j: usize, t: TypeId) -> bool {
-        self.diff[i * self.results.len() + j][t]
+        bits::test_bit(self.diff_row(i, j), t)
+    }
+
+    /// The precomputed potentials of result `i`, one per type: how many
+    /// other results are differentiable from `i` on the type. See
+    /// [`crate::dod::type_potentials`] for the role potentials play in the
+    /// local searches.
+    pub fn potentials(&self, i: usize) -> &[u32] {
+        &self.pot[i * self.types.len()..][..self.types.len()]
+    }
+
+    /// Heap bytes of the differentiability bit matrix (`n² · ⌈m/64⌉` words)
+    /// — reported by the bench sweeps to make the memory win visible.
+    pub fn bitmatrix_bytes(&self) -> usize {
+        self.diff.len() * std::mem::size_of::<u64>()
     }
 }
 
@@ -206,21 +307,49 @@ impl Instance {
 /// differentiate under the 10% threshold.
 pub fn stats_differ(a: &FeatureStat, b: &FeatureStat, threshold_pct: f64) -> bool {
     debug_assert_eq!(a.ty, b.ty);
-    if let (Some(na), Some(nb)) = (single_numeric(a), single_numeric(b)) {
+    pre_stats_differ(&PreStat::new(a), &PreStat::new(b), threshold_pct)
+}
+
+/// [`stats_differ`] over prebuilt [`PreStat`]s: the numeric rule, then a
+/// merge-walk over the two value lists (pre-sorted by value) in place of the
+/// seed's per-pair `BTreeSet<&str>` union.
+fn pre_stats_differ(a: &PreStat<'_>, b: &PreStat<'_>, threshold_pct: f64) -> bool {
+    if let (Some(na), Some(nb)) = (a.numeric, b.numeric) {
         return (na - nb).abs() > (threshold_pct / 100.0) * na.abs().min(nb.abs());
     }
-    let mut values: BTreeSet<&str> = BTreeSet::new();
-    for vc in &a.values {
-        values.insert(&vc.value);
+    let (mut i, mut j) = (0, 0);
+    while i < a.values.len() || j < b.values.len() {
+        let (pa, pb) = match (a.values.get(i), b.values.get(j)) {
+            (Some(&(va, ca)), Some(&(vb, cb))) => match va.cmp(vb) {
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                    (a.ratio(ca), b.ratio(cb))
+                }
+                std::cmp::Ordering::Less => {
+                    i += 1;
+                    (a.ratio(ca), 0.0)
+                }
+                std::cmp::Ordering::Greater => {
+                    j += 1;
+                    (0.0, b.ratio(cb))
+                }
+            },
+            (Some(&(_, ca)), None) => {
+                i += 1;
+                (a.ratio(ca), 0.0)
+            }
+            (None, Some(&(_, cb))) => {
+                j += 1;
+                (0.0, b.ratio(cb))
+            }
+            (None, None) => unreachable!("loop condition"),
+        };
+        if ratios_differ(pa, pb, threshold_pct) {
+            return true;
+        }
     }
-    for vc in &b.values {
-        values.insert(&vc.value);
-    }
-    values.into_iter().any(|v| {
-        let pa = a.value_ratio(v);
-        let pb = b.value_ratio(v);
-        ratios_differ(pa, pb, threshold_pct)
-    })
+    false
 }
 
 /// Threshold comparison of two occurrence ratios.
@@ -316,6 +445,17 @@ mod tests {
     }
 
     #[test]
+    fn type_count_is_precomputed_per_result() {
+        let inst = instance();
+        for r in &inst.results {
+            assert_eq!(r.type_count(), r.rank_of.iter().filter(|x| x.is_some()).count());
+            assert_eq!(r.type_count(), r.ranked.iter().map(Vec::len).sum::<usize>());
+        }
+        assert_eq!(inst.results[0].type_count(), 5);
+        assert_eq!(inst.results[1].type_count(), 5);
+    }
+
+    #[test]
     fn cells_hold_dominant_value_and_ratio() {
         let inst = instance();
         let compact = inst.types.iter().position(|t| t.attribute == "pros:compact").unwrap();
@@ -343,6 +483,31 @@ mod tests {
         // Symmetry.
         for t in 0..inst.type_count() {
             assert_eq!(inst.differentiable(0, 1, t), inst.differentiable(1, 0, t));
+        }
+    }
+
+    #[test]
+    fn diff_rows_expose_the_bit_view() {
+        let inst = instance();
+        assert_eq!(inst.words_per_row(), 1);
+        assert_eq!(inst.bitmatrix_bytes(), 2 * 2 * 8);
+        for t in 0..inst.type_count() {
+            assert_eq!(crate::bits::test_bit(inst.diff_row(0, 1), t), inst.differentiable(0, 1, t));
+        }
+        // The self row is all zeroes (never filled).
+        assert!(inst.diff_row(0, 0).iter().all(|&w| w == 0));
+    }
+
+    #[test]
+    fn potentials_are_column_sums_of_the_matrix() {
+        let inst = Instance::build(&[gps1(), gps3(), gps1()], DfsConfig::default());
+        let n = inst.result_count();
+        for i in 0..n {
+            for (t, &p) in inst.potentials(i).iter().enumerate() {
+                let expected =
+                    (0..n).filter(|&j| j != i && inst.differentiable(i, j, t)).count() as u32;
+                assert_eq!(p, expected, "result {i} type {t}");
+            }
         }
     }
 
@@ -407,6 +572,48 @@ mod tests {
         );
         let inst = Instance::build(&[a, b], DfsConfig::default());
         assert!(inst.differentiable(0, 1, 0));
+    }
+
+    #[test]
+    fn merge_walk_matches_union_semantics_on_histograms() {
+        // Multi-valued types: the merge-walk must test every value of the
+        // union exactly once, including values present on only one side.
+        let a = ResultFeatures::from_raw(
+            "a",
+            [("e".to_string(), 10)],
+            [
+                (ty("e", "x"), "red".to_string(), 4),
+                (ty("e", "x"), "green".to_string(), 4),
+                (ty("e", "x"), "blue".to_string(), 2),
+            ],
+        );
+        let b = ResultFeatures::from_raw(
+            "b",
+            [("e".to_string(), 10)],
+            [
+                (ty("e", "x"), "red".to_string(), 4),
+                (ty("e", "x"), "green".to_string(), 4),
+                (ty("e", "x"), "violet".to_string(), 2),
+            ],
+        );
+        // Identical on red/green; blue vs violet are one-sided → differ.
+        let inst = Instance::build(&[a.clone(), b], DfsConfig::default());
+        assert!(inst.differentiable(0, 1, 0));
+        // Against itself the union collapses and nothing differs.
+        let inst = Instance::build(&[a.clone(), a], DfsConfig::default());
+        assert!(!inst.differentiable(0, 1, 0));
+    }
+
+    #[test]
+    fn stats_differ_is_exposed_and_symmetric() {
+        let a = gps1();
+        let b = gps3();
+        let compact = ty("review", "pros:compact");
+        let sa = a.get(&compact).unwrap();
+        let sb = b.get(&compact).unwrap();
+        assert!(stats_differ(sa, sb, 10.0));
+        assert_eq!(stats_differ(sa, sb, 10.0), stats_differ(sb, sa, 10.0));
+        assert!(!stats_differ(sa, sa, 10.0));
     }
 
     #[test]

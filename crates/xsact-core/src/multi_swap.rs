@@ -19,7 +19,7 @@
 //! Σ sizes)` — termination is guaranteed.
 
 use crate::dfs::{Dfs, DfsSet};
-use crate::dod::{all_type_weights, type_potentials};
+use crate::dod::{all_type_weights, all_type_weights_into};
 use crate::model::Instance;
 use crate::single_swap::SwapStats;
 use crate::snippet::snippet_set;
@@ -64,18 +64,26 @@ pub fn multi_swap(inst: &Instance) -> (DfsSet, SwapStats) {
 
 /// Runs the multi-swap algorithm from a caller-provided initial solution.
 /// `set` is updated in place.
+///
+/// All per-move state (the weight vector, the DP tables, the reconstructed
+/// prefix vector) lives in scratch buffers reused across results and
+/// rounds, so a best-response evaluation allocates nothing; a `Dfs` is
+/// materialised only when a replacement is actually accepted.
 pub fn multi_swap_from(inst: &Instance, set: &mut DfsSet) -> SwapStats {
     let mut stats = SwapStats::default();
+    let mut weights: Vec<u32> = Vec::new();
+    let mut scratch = ResponseScratch::default();
     loop {
         stats.rounds += 1;
         let mut improved = false;
         for i in 0..set.len() {
-            let weights = all_type_weights(inst, set, i);
-            let potentials = type_potentials(inst, i);
-            let (best, best_value) = optimal_response(inst, i, &weights, &potentials);
-            let current_value = dfs_value(inst, i, set.dfs(i), &weights, &potentials);
-            if (best_value, best.size()) > (current_value, set.dfs(i).size()) {
-                set.replace(i, best);
+            all_type_weights_into(inst, set, i, &mut weights);
+            let potentials = inst.potentials(i);
+            let best_value = optimal_response_into(inst, i, &weights, potentials, &mut scratch);
+            let current_value = dfs_value(inst, i, set.dfs(i), &weights, potentials);
+            let best_size: usize = scratch.prefixes.iter().sum();
+            if (best_value, best_size) > (current_value, set.dfs(i).size()) {
+                set.replace(inst, i, Dfs::from_prefixes(inst, i, &scratch.prefixes));
                 stats.moves += 1;
                 improved = true;
             }
@@ -96,7 +104,27 @@ fn combined(weight: u32, potential: u32) -> u64 {
 }
 
 fn dfs_value(inst: &Instance, i: usize, dfs: &Dfs, weights: &[u32], potentials: &[u32]) -> u64 {
-    dfs.selected_types(inst, i).into_iter().map(|t| combined(weights[t], potentials[t])).sum()
+    let mut value = 0;
+    dfs.for_each_selected(inst, i, |t| value += combined(weights[t], potentials[t]));
+    value
+}
+
+/// Reusable buffers of the knapsack-over-prefixes DP — one per search run,
+/// refilled per best-response call.
+#[derive(Debug, Default)]
+pub struct ResponseScratch {
+    /// dp[c] = best combined value using exactly c features over the
+    /// entities processed so far; `None` marks unreachable budgets.
+    dp: Vec<Option<u64>>,
+    /// Double buffer for `dp`.
+    next: Vec<Option<u64>>,
+    /// Flat `entity_count × (cap + 1)`: chosen prefix length of entity `e`
+    /// in the best solution of budget `c` after processing entity `e`.
+    choice: Vec<usize>,
+    /// Prefix sums of one entity's type values in significance order.
+    cum: Vec<u64>,
+    /// The reconstructed optimal prefix vector — the call's result.
+    prefixes: Vec<usize>,
 }
 
 /// The optimal valid DFS for result `i` given fixed per-type values — the
@@ -107,28 +135,42 @@ pub fn optimal_response(
     weights: &[u32],
     potentials: &[u32],
 ) -> (Dfs, u64) {
+    let mut scratch = ResponseScratch::default();
+    let value = optimal_response_into(inst, i, weights, potentials, &mut scratch);
+    (Dfs::from_prefixes(inst, i, &scratch.prefixes), value)
+}
+
+/// [`optimal_response`] into caller-provided scratch: returns the optimal
+/// combined value and leaves the optimal prefix vector in
+/// `scratch.prefixes`, allocating nothing after the buffers warm up.
+fn optimal_response_into(
+    inst: &Instance,
+    i: usize,
+    weights: &[u32],
+    potentials: &[u32],
+    scratch: &mut ResponseScratch,
+) -> u64 {
     let ranked = &inst.results[i].ranked;
     let entity_count = inst.entities.len();
-    let total: usize = ranked.iter().map(Vec::len).sum();
-    let cap = inst.config.size_bound.min(total);
+    let cap = inst.config.size_bound.min(inst.results[i].type_count());
 
-    // dp[c] = best combined value using exactly c features over the entities
-    // processed so far; `None` marks unreachable budgets.
-    let mut dp: Vec<Option<u64>> = vec![None; cap + 1];
+    let ResponseScratch { dp, next, choice, cum, prefixes } = scratch;
+    dp.clear();
+    dp.resize(cap + 1, None);
     dp[0] = Some(0);
-    // choice[e][c] = prefix length of entity e in the best solution of
-    // budget c after processing entity e.
-    let mut choice: Vec<Vec<usize>> = Vec::with_capacity(entity_count);
+    choice.clear();
+    choice.resize(entity_count * (cap + 1), 0);
 
-    for list in ranked {
+    for (e, list) in ranked.iter().enumerate() {
         // Prefix sums of the entity's type values in significance order.
-        let mut cum = Vec::with_capacity(list.len() + 1);
+        cum.clear();
         cum.push(0u64);
         for &t in list {
             cum.push(cum.last().unwrap() + combined(weights[t], potentials[t]));
         }
-        let mut next: Vec<Option<u64>> = vec![None; cap + 1];
-        let mut chosen = vec![0usize; cap + 1];
+        next.clear();
+        next.resize(cap + 1, None);
+        let chosen = &mut choice[e * (cap + 1)..][..cap + 1];
         for (c_prev, &slot) in dp.iter().enumerate() {
             let Some(base) = slot else { continue };
             let max_len = list.len().min(cap - c_prev);
@@ -141,8 +183,7 @@ pub fn optimal_response(
                 }
             }
         }
-        dp = next;
-        choice.push(chosen);
+        std::mem::swap(dp, next);
     }
 
     // Pick the best (value, size) — larger budgets win ties, so the DFS
@@ -159,15 +200,16 @@ pub fn optimal_response(
     }
 
     // Reconstruct prefix lengths entity by entity, backwards.
-    let mut prefixes = vec![0usize; entity_count];
+    prefixes.clear();
+    prefixes.resize(entity_count, 0);
     let mut c = best_c;
     for e in (0..entity_count).rev() {
-        let len = choice[e][c];
+        let len = choice[e * (cap + 1) + c];
         prefixes[e] = len;
         c -= len;
     }
     debug_assert_eq!(c, 0);
-    (Dfs::from_prefixes(inst, i, &prefixes), best_value)
+    best_value
 }
 
 /// Verifies multi-swap optimality in the paper's sense: for every result,
@@ -263,7 +305,7 @@ mod tests {
         let set = snippet_set(&inst);
         for i in 0..2 {
             let weights = all_type_weights(&inst, &set, i);
-            let pots = type_potentials(&inst, i);
+            let pots = crate::dod::type_potentials(&inst, i);
             let (_, dp_value) = optimal_response(&inst, i, &weights, &pots);
             // Brute force over prefix pairs.
             let lens: Vec<usize> = inst.results[i].ranked.iter().map(Vec::len).collect();

@@ -23,7 +23,7 @@
 //! search terminates.
 
 use crate::dfs::DfsSet;
-use crate::dod::{all_type_weights, type_potentials};
+use crate::dod::{all_type_weights, all_type_weights_into};
 use crate::model::Instance;
 use crate::snippet::snippet_set;
 
@@ -55,15 +55,19 @@ pub fn single_swap_from(inst: &Instance, set: &mut DfsSet) -> SwapStats {
     let bound = inst.config.size_bound;
     let entity_count = inst.entities.len();
     let mut stats = SwapStats::default();
+    // One scratch weight buffer for the whole run — refilled per result,
+    // never reallocated.
+    let mut weights: Vec<u32> = Vec::new();
 
     loop {
         stats.rounds += 1;
         let mut improved = false;
         for i in 0..set.len() {
             // Weights depend only on the *other* DFSs, so they stay valid
-            // while we repeatedly improve result i. Potentials are static.
-            let weights = all_type_weights(inst, set, i);
-            let potentials = type_potentials(inst, i);
+            // while we repeatedly improve result i. Potentials are static
+            // and precomputed by the instance.
+            all_type_weights_into(inst, set, i, &mut weights);
+            let potentials = inst.potentials(i);
             loop {
                 let mut best_key = (0i64, 0i64);
                 let mut best_move: Option<(Option<usize>, usize)> = None; // (shrink e1, grow e2)
@@ -98,10 +102,10 @@ pub fn single_swap_from(inst: &Instance, set: &mut DfsSet) -> SwapStats {
                     // or it is unchanged and the potential improves.
                     Some((shrink, grow)) if best_key > (0, 0) => {
                         if let Some(e1) = shrink {
-                            let ok = set.dfs_mut(i).shrink(e1);
+                            let ok = set.shrink(inst, i, e1);
                             debug_assert!(ok);
                         }
-                        let ok = set.dfs_mut(i).grow(inst, i, grow);
+                        let ok = set.grow(inst, i, grow);
                         debug_assert!(ok);
                         stats.moves += 1;
                         improved = true;

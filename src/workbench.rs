@@ -38,7 +38,7 @@ use std::hash::{Hash, Hasher};
 use std::io::{Read, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
-use xsact_core::{Algorithm, Comparison, ComparisonOutcome, DfsConfig};
+use xsact_core::{Algorithm, Comparison, ComparisonOutcome, DfsConfig, Instance};
 use xsact_entity::ResultFeatures;
 use xsact_index::{Query, ResultSemantics, ScoredResult, SearchEngine, SearchResult};
 use xsact_xml::{parse_document, Document, NodeId};
@@ -203,6 +203,7 @@ impl Workbench {
             select: Vec::new(),
             config: DfsConfig::default(),
             search_memo: OnceCell::new(),
+            instance_memo: OnceCell::new(),
         })
     }
 
@@ -299,6 +300,12 @@ pub struct QueryPipeline<'a> {
     /// the same SLCA search. Builder methods that change what the search
     /// returns reset it.
     search_memo: OnceCell<Vec<SearchResult>>,
+    /// The preprocessed comparison instance (interning + differentiability
+    /// bit matrix) over the selected result features, built once per
+    /// pipeline configuration so comparing the same result set with
+    /// several algorithms pays preprocessing once. Reset by every builder
+    /// method that changes the selection or the DFS config.
+    instance_memo: OnceCell<Instance>,
 }
 
 impl<'a> QueryPipeline<'a> {
@@ -307,6 +314,7 @@ impl<'a> QueryPipeline<'a> {
     pub fn semantics(mut self, semantics: ResultSemantics) -> Self {
         self.semantics = semantics;
         self.search_memo = OnceCell::new();
+        self.instance_memo = OnceCell::new();
         self
     }
 
@@ -319,6 +327,7 @@ impl<'a> QueryPipeline<'a> {
     pub fn ranked(mut self, ranked: bool) -> Self {
         self.ranked = ranked;
         self.search_memo = OnceCell::new();
+        self.instance_memo = OnceCell::new();
         self
     }
 
@@ -326,6 +335,7 @@ impl<'a> QueryPipeline<'a> {
     #[must_use]
     pub fn take(mut self, n: usize) -> Self {
         self.take = Some(n);
+        self.instance_memo = OnceCell::new();
         self
     }
 
@@ -336,6 +346,7 @@ impl<'a> QueryPipeline<'a> {
     #[must_use]
     pub fn select(mut self, positions: impl IntoIterator<Item = usize>) -> Self {
         self.select = positions.into_iter().collect();
+        self.instance_memo = OnceCell::new();
         self
     }
 
@@ -343,6 +354,7 @@ impl<'a> QueryPipeline<'a> {
     #[must_use]
     pub fn size_bound(mut self, bound: usize) -> Self {
         self.config.size_bound = bound;
+        self.instance_memo = OnceCell::new();
         self
     }
 
@@ -350,6 +362,7 @@ impl<'a> QueryPipeline<'a> {
     #[must_use]
     pub fn threshold(mut self, pct: f64) -> Self {
         self.config.threshold_pct = pct;
+        self.instance_memo = OnceCell::new();
         self
     }
 
@@ -419,10 +432,15 @@ impl<'a> QueryPipeline<'a> {
         Ok(selected.iter().map(|r| self.wb.features_for(r)).collect())
     }
 
-    /// Generates Differentiation Feature Sets for the selected results with
-    /// the chosen algorithm and returns the full [`ComparisonOutcome`]
-    /// (DoD, table, per-result selections, timings).
-    pub fn compare(&self, algorithm: Algorithm) -> XsactResult<ComparisonOutcome> {
+    /// The preprocessed comparison instance over the selected results —
+    /// interning plus the differentiability bit matrix — built once per
+    /// pipeline configuration and shared by every
+    /// [`compare`](Self::compare) call, so comparing the same result set
+    /// with several algorithms pays preprocessing once.
+    pub fn instance(&self) -> XsactResult<&Instance> {
+        if let Some(inst) = self.instance_memo.get() {
+            return Ok(inst);
+        }
         self.validate_config()?;
         let features = self.features()?;
         if features.len() < 2 {
@@ -434,11 +452,22 @@ impl<'a> QueryPipeline<'a> {
         let comparison = Comparison::new(&features)
             .size_bound(self.config.size_bound)
             .threshold(self.config.threshold_pct);
+        let _ = self.instance_memo.set(comparison.instance());
+        Ok(self.instance_memo.get().expect("just set"))
+    }
+
+    /// Generates Differentiation Feature Sets for the selected results with
+    /// the chosen algorithm and returns the full [`ComparisonOutcome`]
+    /// (DoD, table, per-result selections, timings). The preprocessed
+    /// instance is memoized per pipeline (see [`instance`](Self::instance)),
+    /// so only the first `compare` on a pipeline pays interning and the
+    /// differentiability matrix.
+    pub fn compare(&self, algorithm: Algorithm) -> XsactResult<ComparisonOutcome> {
+        let instance = self.instance()?;
         match algorithm {
-            Algorithm::Exhaustive { limit } => comparison
-                .run_exhaustive(limit)
+            Algorithm::Exhaustive { limit } => Comparison::run_exhaustive_on(instance, limit)
                 .ok_or(XsactError::ExhaustiveLimitExceeded { limit }),
-            _ => Ok(comparison.run(algorithm)),
+            _ => Ok(Comparison::run_on(instance, algorithm)),
         }
     }
 
@@ -511,8 +540,16 @@ mod tests {
         // warm-rate measurements after a clear start from a clean slate.
         assert_eq!(wb.cached_results(), 0);
         assert_eq!(wb.cache_stats(), CacheStats::default());
-        pipeline.compare(Algorithm::MultiSwap).unwrap();
+        // A *fresh* pipeline re-extracts; the old one still holds its
+        // memoized instance and never touches the cache again.
+        wb.query(fixtures::PAPER_QUERY)
+            .unwrap()
+            .size_bound(6)
+            .compare(Algorithm::MultiSwap)
+            .unwrap();
         assert_eq!(wb.cache_stats().misses, 2, "post-clear lookups re-extract");
+        pipeline.compare(Algorithm::MultiSwap).unwrap();
+        assert_eq!(wb.cache_stats().misses, 2, "memoized pipeline re-extracted");
     }
 
     #[test]
@@ -548,13 +585,40 @@ mod tests {
         let after_first = wb.cache_stats();
         assert_eq!(after_first.hits, 0);
         assert_eq!(after_first.misses, 2);
+        // Same pipeline, second algorithm: the memoized instance answers —
+        // not even a cache lookup happens.
         pipeline.compare(Algorithm::Snippet).unwrap();
         let after_second = wb.cache_stats();
         assert_eq!(after_second.misses, 2, "no re-extraction");
-        assert_eq!(after_second.hits, 2);
+        assert_eq!(after_second.hits, 0, "instance memo short-circuits the cache");
+        // A fresh pipeline over the same query is served from the cache.
+        wb.query(fixtures::PAPER_QUERY).unwrap().size_bound(6).compare(Algorithm::Snippet).unwrap();
+        let after_third = wb.cache_stats();
+        assert_eq!(after_third.misses, 2, "no re-extraction");
+        assert_eq!(after_third.hits, 2);
         assert_eq!(wb.cached_results(), 2);
         wb.clear_cache();
         assert_eq!(wb.cache_stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn compare_reuses_one_instance_per_pipeline() {
+        let wb = wb();
+        let pipeline = wb.query(fixtures::PAPER_QUERY).unwrap().size_bound(6);
+        // The memoized instance is the one every compare() runs on.
+        let first = pipeline.instance().unwrap() as *const _;
+        let again = pipeline.instance().unwrap() as *const _;
+        assert_eq!(first, again, "instance rebuilt within one pipeline");
+        let multi = pipeline.compare(Algorithm::MultiSwap).unwrap();
+        let single = pipeline.compare(Algorithm::SingleSwap).unwrap();
+        assert_eq!(multi.instance.type_count(), single.instance.type_count());
+        assert!(multi.dod() >= single.dod());
+        // Reconfiguring the DFS parameters resets the memo: the new bound
+        // must be visible in the rebuilt instance.
+        let rebound = pipeline.clone().size_bound(3);
+        assert_eq!(rebound.instance().unwrap().config.size_bound, 3);
+        let outcome = rebound.compare(Algorithm::MultiSwap).unwrap();
+        assert!(outcome.dfs_size(0) <= 3);
     }
 
     #[test]

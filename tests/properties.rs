@@ -115,7 +115,9 @@ fn slca_implementations_agree() {
         // in most generated documents, and missing terms are a valid case
         // too.
         let terms = ["a", "item", "root", "b"];
-        let term_count = rng.random_range(1..4usize);
+        // Inclusive of terms.len(), so 4-keyword queries (and the last
+        // declared term) are actually exercised.
+        let term_count = rng.random_range(1..=terms.len());
         let lists: Vec<&[NodeId]> =
             terms.iter().take(term_count).map(|t| idx.postings(t)).collect();
         let full = slca_full_scan(&doc, &lists);
@@ -131,7 +133,9 @@ fn every_slca_is_an_elca() {
         let doc = random_document(&mut rng);
         let idx = InvertedIndex::build(&doc);
         let terms = ["a", "item", "b", "group"];
-        let term_count = rng.random_range(1..4usize);
+        // Inclusive of terms.len(), so 4-keyword queries (and the last
+        // declared term) are actually exercised.
+        let term_count = rng.random_range(1..=terms.len());
         let lists: Vec<&[NodeId]> =
             terms.iter().take(term_count).map(|t| idx.postings(t)).collect();
         let slca = slca_full_scan(&doc, &lists);
@@ -213,7 +217,9 @@ fn slca_over_interned_postings_matches_oracle_lists() {
         let idx = InvertedIndex::build(&doc);
         let oracle = string_keyed_oracle(&doc);
         let terms = ["a", "item", "root", "b"];
-        let term_count = rng.random_range(1..4usize);
+        // Inclusive of terms.len(), so 4-keyword queries (and the last
+        // declared term) are actually exercised.
+        let term_count = rng.random_range(1..=terms.len());
         let empty: Vec<NodeId> = Vec::new();
         let interned: Vec<&[NodeId]> =
             terms.iter().take(term_count).map(|t| idx.postings(t)).collect();
@@ -355,8 +361,8 @@ fn dod_is_symmetric_and_bounded() {
                     continue;
                 }
                 assert_eq!(
-                    xsact_core::dod_pair(&inst, i, j, set.dfs(i), set.dfs(j)),
-                    xsact_core::dod_pair(&inst, j, i, set.dfs(j), set.dfs(i)),
+                    xsact_core::dod_pair(&inst, &set, i, j),
+                    xsact_core::dod_pair(&inst, &set, j, i),
                     "seed {seed}"
                 );
             }
@@ -373,6 +379,106 @@ fn dfs_sizes_respect_bound() {
             let (set, _) = run_algorithm(&inst, algo);
             for i in 0..set.len() {
                 assert!(set.dfs(i).size() <= inst.config.size_bound, "seed {seed}");
+            }
+        }
+    }
+}
+
+// ------------------------------------------------- bitset kernel vs oracle
+//
+// The DoD kernels are word-parallel popcount loops over the instance's bit
+// matrix and the DfsSet's incrementally-maintained selection masks. The
+// oracle below recomputes everything the seed way — `Vec<bool>` masks
+// rebuilt from scratch and scalar triple loops — and must agree bit for bit
+// after every mutation of a random grow/shrink/replace sequence.
+
+fn oracle_masks(inst: &Instance, set: &xsact_core::DfsSet) -> Vec<Vec<bool>> {
+    (0..set.len()).map(|i| set.dfs(i).selection_mask(inst, i)).collect()
+}
+
+fn oracle_dod_total(inst: &Instance, masks: &[Vec<bool>]) -> u32 {
+    let n = masks.len();
+    let mut total = 0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            total += (0..inst.type_count())
+                .filter(|&t| masks[i][t] && masks[j][t] && inst.differentiable(i, j, t))
+                .count() as u32;
+        }
+    }
+    total
+}
+
+fn oracle_weights(inst: &Instance, masks: &[Vec<bool>], i: usize) -> Vec<u32> {
+    let mut weights = vec![0u32; inst.type_count()];
+    for (j, mask) in masks.iter().enumerate() {
+        if j == i {
+            continue;
+        }
+        for (t, w) in weights.iter_mut().enumerate() {
+            if mask[t] && inst.results[i].has_type(t) && inst.differentiable(i, j, t) {
+                *w += 1;
+            }
+        }
+    }
+    weights
+}
+
+#[test]
+fn bitset_kernel_matches_scalar_oracle_under_random_mutation() {
+    for seed in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inst = random_instance(&mut rng);
+        let n = inst.result_count();
+        let entity_count = inst.entities.len();
+        let mut set = xsact_core::DfsSet::empty(&inst);
+        for step in 0..40 {
+            let i = rng.random_range(0..n);
+            let e = rng.random_range(0..entity_count);
+            match rng.random_range(0..4u32) {
+                0 | 1 => {
+                    set.grow(&inst, i, e);
+                }
+                2 => {
+                    set.shrink(&inst, i, e);
+                }
+                _ => {
+                    let prefixes: Vec<usize> =
+                        (0..entity_count).map(|_| rng.random_range(0..4usize)).collect();
+                    set.replace(&inst, i, xsact_core::Dfs::from_prefixes(&inst, i, &prefixes));
+                }
+            }
+            // Masks: the incremental word rows equal freshly-built masks.
+            let masks = oracle_masks(&inst, &set);
+            assert!(set.masks_consistent(&inst), "seed {seed} step {step}: mask drift");
+            for (i, mask) in masks.iter().enumerate() {
+                for (t, &sel) in mask.iter().enumerate() {
+                    let bit = set.mask(i)[t / 64] >> (t % 64) & 1 != 0;
+                    assert_eq!(bit, sel, "seed {seed} step {step} result {i} type {t}");
+                }
+            }
+            // Totals and weights: popcount kernels equal the scalar oracle.
+            assert_eq!(
+                dod_total(&inst, &set),
+                oracle_dod_total(&inst, &masks),
+                "seed {seed} step {step}: dod_total"
+            );
+            for i in 0..n {
+                let expected = oracle_weights(&inst, &masks, i);
+                assert_eq!(
+                    xsact_core::all_type_weights(&inst, &set, i),
+                    expected,
+                    "seed {seed} step {step}: weights of result {i}"
+                );
+                // toggle_delta is the same quantity read pointwise (the
+                // differentiability bit implies the has-type guard).
+                for (t, &w) in expected.iter().enumerate() {
+                    assert_eq!(
+                        xsact_core::toggle_delta(&inst, &set, i, t),
+                        w,
+                        "seed {seed} step {step}: toggle_delta({i}, {t})"
+                    );
+                }
             }
         }
     }
