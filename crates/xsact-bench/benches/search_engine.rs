@@ -5,10 +5,12 @@
 //! Run with `cargo bench -p xsact-bench --bench search_engine`.
 //! (Self-timing harness; criterion is unavailable in the offline build.)
 
-use xsact_bench::harness::{bench, format_bytes, stat};
+use xsact_bench::harness::{bench, format_bytes, quick_mode, stat};
 use xsact_bench::{scaled, FIG4_SEED};
 use xsact_data::movies::{qm_queries, MovieGenConfig, MoviesGen};
-use xsact_index::{slca_full_scan, slca_indexed_lookup, InvertedIndex, Query, SearchEngine};
+use xsact_index::{
+    slca_full_scan, slca_indexed_lookup, InvertedIndex, Query, ResultSemantics, SearchEngine,
+};
 use xsact_xml::NodeId;
 
 fn bench_slca_algorithms() {
@@ -85,9 +87,45 @@ fn bench_query_end_to_end() {
     }
 }
 
+/// The top-k sweep: ranked end-to-end search at k ∈ {1, 10, 100, all}
+/// (quick mode: {1, all}) over all of QM1–QM8 on the 200-movie document,
+/// streaming executor vs the sort-everything oracle, with each query's
+/// `ExecutorStats` printed next to the timings — the table the README's
+/// "Query executor" section reports.
+fn bench_topk_sweep() {
+    let movies = scaled(200, 40);
+    let doc =
+        MoviesGen::new(MovieGenConfig { movies, seed: FIG4_SEED, ..Default::default() }).generate();
+    let engine = SearchEngine::build(doc);
+    let ks: &[usize] = if quick_mode() { &[1, usize::MAX] } else { &[1, 10, 100, usize::MAX] };
+    for (label, text) in qm_queries().iter() {
+        let query = Query::parse(text);
+        bench("topk", &format!("full_sort_oracle/{label}"), || engine.search_ranked(&query));
+        for &k in ks {
+            let k_label = if k == usize::MAX { "all".to_owned() } else { k.to_string() };
+            bench("topk", &format!("search_top_k/{label}/k={k_label}"), || {
+                engine.search_top_k(&query, k, ResultSemantics::Slca)
+            });
+        }
+        let top = engine.search_top_k(&query, 10, ResultSemantics::Slca);
+        stat(
+            "topk",
+            &format!("executor_stats/{label}/k=10"),
+            format!(
+                "{} results · {} postings scanned · {} gallop probes · {} candidates pruned",
+                top.hits.len(),
+                top.stats.postings_scanned,
+                top.stats.gallop_probes,
+                top.stats.candidates_pruned
+            ),
+        );
+    }
+}
+
 fn main() {
     bench_slca_algorithms();
     bench_index_build();
     report_substrate_footprint();
     bench_query_end_to_end();
+    bench_topk_sweep();
 }

@@ -33,6 +33,16 @@ pub fn load_dataset(args: &Args) -> Document {
 /// One full demo run. Returns the text to print, so the logic is testable
 /// without capturing stdout.
 pub fn run(args: &Args) -> Result<String, XsactError> {
+    // Every successful exit of the inner run hands back the executor
+    // counters, so the --explain line is appended in exactly one place.
+    let (mut out, stats) = run_single(args)?;
+    if args.explain {
+        out.push_str(&explain_line(stats));
+    }
+    Ok(out)
+}
+
+fn run_single(args: &Args) -> Result<(String, ExecutorStats), XsactError> {
     let mut out = String::new();
     let doc = load_dataset(args);
     let wb = match &args.load_index {
@@ -59,16 +69,28 @@ pub fn run(args: &Args) -> Result<String, XsactError> {
         .size_bound(args.bound)
         .threshold(args.threshold);
     pipeline = if args.select.is_empty() {
-        pipeline.take(4) // the demo defaults to the first four checkboxes
+        // The demo defaults to the first four checkboxes; --top overrides.
+        pipeline.take(args.top.unwrap_or(4))
     } else {
         pipeline.select(args.select.iter().copied())
     };
     let query = pipeline.query_text();
 
     // Result list with snippet-ish labels (Figure 5's result page).
+    // --select picks positions in the full list, so it disables the
+    // bounded listing (and with it --top, mirroring the pipeline's
+    // select-over-take precedence).
+    let bounded = args.ranked && args.top.is_some() && args.select.is_empty();
     let results = if args.ranked {
-        let ranked = pipeline.ranked_results();
-        out.push_str(&format!("query {query}: {} results (ranked)\n", ranked.len()));
+        let ranked = if bounded {
+            // Bounded mode: the streaming executor materialises only the
+            // best k results — the full ranking never exists.
+            pipeline.top_results()
+        } else {
+            pipeline.ranked_results()
+        };
+        let top = if bounded { "top " } else { "" };
+        out.push_str(&format!("query {query}: {top}{} results (ranked)\n", ranked.len()));
         for (i, (r, score)) in ranked.iter().enumerate() {
             out.push_str(&format!("  [{:>2}] {}  (score {:.3})\n", i + 1, r.label, score.score));
         }
@@ -82,8 +104,17 @@ pub fn run(args: &Args) -> Result<String, XsactError> {
         results
     };
     if results.is_empty() {
-        out.push_str("no results — nothing to compare\n");
-        return Ok(out);
+        let stats = pipeline.executor_stats().unwrap_or_default();
+        // `--top 0` told the bounded executor to keep nothing, which is
+        // not the same as the query matching nothing — a matching query
+        // always scans at least one posting, so zeroed counters mean the
+        // planner proved the query hopeless.
+        if bounded && args.top == Some(0) && !stats.is_zero() {
+            out.push_str("(--top 0 leaves fewer than the two results a comparison needs)\n");
+        } else {
+            out.push_str("no results — nothing to compare\n");
+        }
+        return Ok((out, stats));
     }
 
     // Selection: the ticked checkboxes (typed out-of-range errors).
@@ -115,7 +146,7 @@ pub fn run(args: &Args) -> Result<String, XsactError> {
 
     if selected.len() < 2 {
         out.push_str("(need at least two selected results for a comparison table)\n");
-        return Ok(out);
+        return Ok((out, pipeline.executor_stats().unwrap_or_default()));
     }
 
     let outcome: ComparisonOutcome = pipeline.compare(args.algorithm)?;
@@ -128,13 +159,29 @@ pub fn run(args: &Args) -> Result<String, XsactError> {
         outcome.stats.moves,
         outcome.stats.elapsed
     ));
-    Ok(out)
+    Ok((out, pipeline.executor_stats().unwrap_or_default()))
+}
+
+/// Renders [`ExecutorStats`] as the one-line `--explain` report.
+fn explain_line(stats: ExecutorStats) -> String {
+    format!(
+        "executor: {} postings scanned, {} gallop probes, {} candidates pruned\n",
+        stats.postings_scanned, stats.gallop_probes, stats.candidates_pruned
+    )
 }
 
 /// One corpus-mode run: ingest a directory (or generate a synthetic
 /// fleet), fan the query out across shards, print the merged ranking and
 /// the cross-document comparison table.
 pub fn run_corpus(args: &CorpusArgs) -> Result<String, XsactError> {
+    let (mut out, stats) = run_corpus_inner(args)?;
+    if args.explain {
+        out.push_str(&explain_line(stats));
+    }
+    Ok(out)
+}
+
+fn run_corpus_inner(args: &CorpusArgs) -> Result<(String, ExecutorStats), XsactError> {
     // Validate the cheap knobs before paying for ingestion and fan-out —
     // compare() would reject them anyway, but only after the whole query.
     if !args.threshold.is_finite() || args.threshold < 0.0 {
@@ -189,18 +236,18 @@ pub fn run_corpus(args: &CorpusArgs) -> Result<String, XsactError> {
     out.push_str(&ranking.render(args.top.max(8)));
     if ranking.hits.is_empty() {
         out.push_str("no results — nothing to compare\n");
-        return Ok(out);
+        return Ok((out, corpus.executor_stats()));
     }
     if ranking.hits.len() < 2 {
         out.push_str("(need at least two results for a comparison table)\n");
-        return Ok(out);
+        return Ok((out, corpus.executor_stats()));
     }
     if args.top < 2 {
         out.push_str(&format!(
             "(--top {} leaves fewer than the two results a comparison needs)\n",
             args.top
         ));
-        return Ok(out);
+        return Ok((out, corpus.executor_stats()));
     }
 
     let outcome = query.compare(args.algorithm)?;
@@ -220,7 +267,7 @@ pub fn run_corpus(args: &CorpusArgs) -> Result<String, XsactError> {
         spanned.len(),
         if spanned.len() == 1 { "" } else { "s" }
     ));
-    Ok(out)
+    Ok((out, corpus.executor_stats()))
 }
 
 #[cfg(test)]
@@ -313,6 +360,63 @@ mod tests {
         let out = run(&a).expect("runs");
         assert!(out.contains("(score "));
         assert!(out.contains("(ranked)"));
+    }
+
+    #[test]
+    fn ranked_top_bounds_the_listing() {
+        // The movies demo has many results; --top 3 must list exactly the
+        // best three — the same three the unbounded ranking leads with.
+        let full = run(&args_for("movies", &["--ranked"])).expect("full run");
+        let bounded = run(&args_for("movies", &["--ranked", "--top", "3"])).expect("bounded run");
+        assert!(bounded.contains("top 3 results (ranked)"), "{bounded}");
+        assert!(!bounded.contains("[ 4]"), "only three entries listed:\n{bounded}");
+        fn listing(s: &str, n: usize) -> Vec<&str> {
+            s.lines().filter(|l| l.trim_start().starts_with('[')).take(n).collect()
+        }
+        assert_eq!(listing(&full, 3), listing(&bounded, 3), "same best three, same order");
+    }
+
+    #[test]
+    fn top_without_ranked_overrides_the_default_selection() {
+        let out = run(&args_for("movies", &["--top", "2"])).expect("runs");
+        assert!(out.contains("comparing 2 results"), "{out}");
+    }
+
+    #[test]
+    fn select_disables_the_bounded_top_listing() {
+        // --select picks positions in the full list; --top must not bound
+        // (or mislabel) the listing, and only one search may run.
+        let a = args_for("movies", &["--ranked", "--top", "2", "--select", "1,3"]);
+        let out = run(&a).expect("runs");
+        assert!(!out.contains("top "), "full listing expected:\n{out}");
+        assert!(out.contains("results (ranked)"), "{out}");
+        assert!(out.contains("comparing 2 results"), "{out}");
+    }
+
+    #[test]
+    fn ranked_top_zero_is_not_reported_as_no_results() {
+        let out = run(&args_for("movies", &["--ranked", "--top", "0"])).expect("runs");
+        assert!(out.contains("--top 0 leaves fewer"), "{out}");
+        assert!(!out.contains("no results"), "{out}");
+        // …but a query that truly matches nothing says so, even at --top 0.
+        let none = run(&args_for("movies", &["--ranked", "--top", "0", "--query", "zeppelin"]))
+            .expect("runs");
+        assert!(none.contains("no results"), "{none}");
+        assert!(!none.contains("--top 0 leaves fewer"), "{none}");
+    }
+
+    #[test]
+    fn explain_prints_executor_counters() {
+        let out = run(&args_for("figure1", &["--explain"])).expect("runs");
+        assert!(out.contains("executor: "), "{out}");
+        assert!(out.contains("postings scanned"), "{out}");
+        // A zero-postings term short-circuits: all counters stay zero.
+        let empty =
+            run(&args_for("figure1", &["--query", "tomtom zeppelin", "--explain"])).expect("runs");
+        assert!(
+            empty.contains("executor: 0 postings scanned, 0 gallop probes, 0 candidates pruned"),
+            "{empty}"
+        );
     }
 
     #[test]
@@ -436,6 +540,14 @@ mod tests {
         // An index cache without a directory corpus would never be read.
         let c = corpus_args_for(&["--docs", "2", "--index-dir", &tmp.path("cache")]);
         assert!(matches!(run_corpus(&c), Err(XsactError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn corpus_mode_explain_prints_aggregate_counters() {
+        let c = corpus_args_for(&["--docs", "2", "--movies", "30", "--explain"]);
+        let out = run_corpus(&c).expect("corpus run");
+        assert!(out.contains("executor: "), "{out}");
+        assert!(!out.contains("executor: 0 postings scanned"), "work must be counted:\n{out}");
     }
 
     #[test]

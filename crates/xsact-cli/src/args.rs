@@ -60,6 +60,13 @@ pub struct Args {
     pub semantics: ResultSemantics,
     /// Order the result list by relevance instead of document order.
     pub ranked: bool,
+    /// Bounded top-k: in ranked mode, list and compare only the best `k`
+    /// results via the streaming executor. `None` keeps the classic
+    /// full-listing behaviour (compare the first four).
+    pub top: Option<usize>,
+    /// Print the executor's counters (postings scanned, gallop probes,
+    /// candidates pruned) after the run.
+    pub explain: bool,
     /// Serialise the inverted index to this path after the run.
     pub save_index: Option<String>,
     /// Restore the inverted index from this path instead of rebuilding it
@@ -81,6 +88,8 @@ impl Default for Args {
             show_xml: false,
             semantics: ResultSemantics::Slca,
             ranked: false,
+            top: None,
+            explain: false,
             save_index: None,
             load_index: None,
         }
@@ -116,6 +125,8 @@ pub struct CorpusArgs {
     /// indexing scan, missing ones are built and saved. Only meaningful
     /// with `dir` (a synthetic fleet never reloads a cache).
     pub index_dir: Option<String>,
+    /// Print the corpus-wide executor counters after the run.
+    pub explain: bool,
 }
 
 impl Default for CorpusArgs {
@@ -132,6 +143,7 @@ impl Default for CorpusArgs {
             threshold: 10.0,
             algorithm: Algorithm::MultiSwap,
             index_dir: None,
+            explain: false,
         }
     }
 }
@@ -176,6 +188,11 @@ OPTIONS:
     --seed <n>           generator seed                         [42]
     --semantics <s>      slca | elca result semantics           [slca]
     --ranked             order results by relevance (TF-IDF)
+    --top <k>            compare the first k results instead of 4; with
+                         --ranked the listing itself is bounded to the
+                         best k (streaming executor)
+    --explain            print executor counters (postings scanned,
+                         gallop probes, candidates pruned)
     --stats              print per-result statistics panels
     --xml                print each selected result's XML
     --save-index <path>  serialise the inverted index after the run
@@ -196,6 +213,7 @@ CORPUS OPTIONS (sharded multi-document engine):
     --algorithm <name>   snippet | greedy | single-swap | multi-swap [multi-swap]
     --index-dir <path>   per-document index cache for --dir corpora
                          (skip shard cold starts on reload)
+    --explain            print corpus-wide executor counters
 ";
 
 fn parse_algorithm(s: &str) -> Result<Algorithm, ArgError> {
@@ -255,6 +273,7 @@ where
             }
             "--algorithm" => args.algorithm = parse_algorithm(&value("--algorithm")?)?,
             "--index-dir" => args.index_dir = Some(value("--index-dir")?),
+            "--explain" => args.explain = true,
             "--help" | "-h" => return Err(ArgError(USAGE.to_owned())),
             other => return Err(ArgError(format!("unknown corpus flag {other:?}\n\n{USAGE}"))),
         }
@@ -314,6 +333,14 @@ where
                 };
             }
             "--ranked" => args.ranked = true,
+            "--top" => {
+                args.top = Some(
+                    value("--top")?
+                        .parse()
+                        .map_err(|_| ArgError("--top expects an integer".into()))?,
+                );
+            }
+            "--explain" => args.explain = true,
             "--stats" => args.stats = true,
             "--xml" => args.show_xml = true,
             "--save-index" => args.save_index = Some(value("--save-index")?),
@@ -415,6 +442,20 @@ mod tests {
         assert_eq!(a.semantics, ResultSemantics::Elca);
         assert!(a.ranked);
         assert_eq!(parse_ok(&[]).semantics, ResultSemantics::Slca);
+    }
+
+    #[test]
+    fn top_and_explain_flags() {
+        let a = parse_ok(&["--ranked", "--top", "5", "--explain"]);
+        assert_eq!(a.top, Some(5));
+        assert!(a.explain);
+        let d = parse_ok(&[]);
+        assert_eq!(d.top, None);
+        assert!(!d.explain);
+        let c = parse_corpus_ok(&["corpus", "--explain"]);
+        assert!(c.explain);
+        let err = |args: &[&str]| parse(args.iter().map(|s| s.to_string())).unwrap_err();
+        assert!(err(&["--top", "x"]).0.contains("integer"));
     }
 
     #[test]

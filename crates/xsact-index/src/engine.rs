@@ -8,10 +8,11 @@
 //! of reference \[3\] in the form the demo paper describes ("each result will
 //! be a brand selling men's jackets").
 
+use crate::plan::{ExecutorStats, QueryPlan};
 use crate::postings::InvertedIndex;
 use crate::query::Query;
-use crate::rank::{rank_results, ScoredResult};
-use crate::slca::{elca_full_scan, slca_indexed_lookup};
+use crate::rank::{rank_results, ScoredResult, Scorer, TopK};
+use crate::slca::elca_full_scan;
 use std::collections::{HashMap, HashSet};
 use xsact_entity::{extract_features, NodeClass, ResultFeatures, StructureSummary};
 use xsact_xml::{writer, Document, NodeId};
@@ -37,6 +38,16 @@ pub struct SearchResult {
     pub slca: NodeId,
     /// Display label, e.g. the product's name.
     pub label: String,
+}
+
+/// The outcome of one streaming top-k run: the best `k` results with
+/// their scores, best-first, plus what the executor did to find them.
+#[derive(Debug, Clone)]
+pub struct TopKSearch {
+    /// Ranked results (score descending, Dewey tie-break), at most `k`.
+    pub hits: Vec<(SearchResult, ScoredResult)>,
+    /// Executor counters for this run.
+    pub stats: ExecutorStats,
 }
 
 /// An immutable, query-ready view of one XML document: structural summary +
@@ -89,25 +100,69 @@ impl SearchEngine {
 
     /// Runs a conjunctive keyword query under the chosen LCA semantics.
     pub fn search_with(&self, query: &Query, semantics: ResultSemantics) -> Vec<SearchResult> {
-        if query.is_empty() {
-            return Vec::new();
-        }
-        let lists: Vec<&[NodeId]> = query.terms().iter().map(|t| self.index.postings(t)).collect();
-        let matches = match semantics {
-            ResultSemantics::Slca => slca_indexed_lookup(&self.doc, &lists),
-            ResultSemantics::Elca => elca_full_scan(&self.doc, &lists),
-        };
+        self.search_with_stats(query, semantics).0
+    }
 
-        let mut seen: HashSet<NodeId> = HashSet::with_capacity(matches.len());
-        let mut results = Vec::with_capacity(matches.len());
-        for m in matches {
-            let root = self.master_entity(m);
+    /// Like [`search_with`](Self::search_with), additionally reporting
+    /// what the executor did. A query the planner proves empty (no terms,
+    /// or a term with zero postings) returns zeroed counters — no SLCA
+    /// work ran at all.
+    pub fn search_with_stats(
+        &self,
+        query: &Query,
+        semantics: ResultSemantics,
+    ) -> (Vec<SearchResult>, ExecutorStats) {
+        let mut stats = ExecutorStats::default();
+        let plan = QueryPlan::new(&self.index, query);
+        if plan.is_empty() {
+            return (Vec::new(), stats);
+        }
+        let mut results = Vec::new();
+        self.for_each_promoted(&plan, semantics, &mut stats, |root, slca| {
+            results.push(SearchResult { root, slca, label: self.label_for(root) });
+        });
+        results.sort_by(|a, b| self.doc.dewey(a.root).cmp(&self.doc.dewey(b.root)));
+        (results, stats)
+    }
+
+    /// Runs the planned match stream under `semantics` and hands every
+    /// *distinct* master-entity promotion to `f` as a `(root, slca)` pair,
+    /// in match (document) order — the shared front half of
+    /// [`search_with_stats`](Self::search_with_stats) and
+    /// [`search_top_k`](Self::search_top_k), so promotion, duplicate
+    /// accounting and the per-semantics dispatch cannot drift apart.
+    fn for_each_promoted(
+        &self,
+        plan: &QueryPlan<'_>,
+        semantics: ResultSemantics,
+        stats: &mut ExecutorStats,
+        mut f: impl FnMut(NodeId, NodeId),
+    ) {
+        let mut seen: HashSet<NodeId> = HashSet::new();
+        let mut promote = |slca: NodeId, stats: &mut ExecutorStats| {
+            let root = self.master_entity(slca);
             if seen.insert(root) {
-                results.push(SearchResult { root, slca: m, label: self.label_for(root) });
+                f(root, slca);
+            } else {
+                stats.candidates_pruned += 1;
+            }
+        };
+        match semantics {
+            ResultSemantics::Slca => {
+                let mut stream = plan.stream(&self.doc);
+                for slca in stream.by_ref() {
+                    promote(slca, stats);
+                }
+                *stats += stream.stats();
+            }
+            ResultSemantics::Elca => {
+                // The full scan reads every posting of every list.
+                stats.postings_scanned += plan.total_postings() as u64;
+                for m in elca_full_scan(&self.doc, plan.lists()) {
+                    promote(m, stats);
+                }
             }
         }
-        results.sort_by(|a, b| self.doc.dewey(a.root).cmp(&self.doc.dewey(b.root)));
-        results
     }
 
     /// Runs a query and orders the results by relevance (best first) using
@@ -130,6 +185,41 @@ impl SearchEngine {
                 (result, s)
             })
             .collect()
+    }
+
+    /// Runs the **streaming top-k executor**: plans the query (rarest-first
+    /// term order, zero-postings short-circuit), streams SLCA roots through
+    /// entity promotion and the TF-IDF scorer, and keeps only the best `k`
+    /// in a bounded heap — display labels are built for the survivors
+    /// only. `search_top_k(q, k, s).hits` equals the ranked full search
+    /// truncated to `k` for every `k` (the ranking order is total;
+    /// `tests/properties.rs` pins it), with `usize::MAX` producing the
+    /// complete ranking.
+    ///
+    /// [`search_ranked`](Self::search_ranked) stays as the sort-everything
+    /// correctness oracle.
+    pub fn search_top_k(&self, query: &Query, k: usize, semantics: ResultSemantics) -> TopKSearch {
+        let mut stats = ExecutorStats::default();
+        let plan = QueryPlan::new(&self.index, query);
+        if plan.is_empty() {
+            return TopKSearch { hits: Vec::new(), stats };
+        }
+        let scorer = Scorer::new(&self.doc, &self.index, query);
+        let mut heap: TopK<'_, (ScoredResult, NodeId)> = TopK::new(k);
+        self.for_each_promoted(&plan, semantics, &mut stats, |root, slca| {
+            let scored = scorer.score(root);
+            heap.push(scored.score, self.doc.dewey(root), (scored, slca));
+        });
+        let (kept, evicted) = heap.finish();
+        stats.candidates_pruned += evicted;
+        let hits = kept
+            .into_iter()
+            .map(|(scored, slca)| {
+                let root = scored.root;
+                (SearchResult { root, slca, label: self.label_for(root) }, scored)
+            })
+            .collect();
+        TopKSearch { hits, stats }
     }
 
     /// The nearest ancestor-or-self of `node` classified as an entity
@@ -328,6 +418,73 @@ mod tests {
         let slca = engine.search_with(&q, ResultSemantics::Slca);
         let elca = engine.search_with(&q, ResultSemantics::Elca);
         assert!(elca.len() >= slca.len());
+    }
+
+    #[test]
+    fn zero_postings_term_short_circuits_slca_search() {
+        // Satellite: a hopeless term must be caught by the planner, before
+        // any SLCA work — observable as all-zero executor counters.
+        let engine = shop_engine();
+        let q = Query::parse("tomtom zeppelin");
+        let (results, stats) = engine.search_with_stats(&q, ResultSemantics::Slca);
+        assert!(results.is_empty());
+        assert!(stats.is_zero(), "{stats:?}");
+        let top = engine.search_top_k(&q, 4, ResultSemantics::Slca);
+        assert!(top.hits.is_empty());
+        assert!(top.stats.is_zero(), "{:?}", top.stats);
+    }
+
+    #[test]
+    fn zero_postings_term_short_circuits_elca_search() {
+        let engine = shop_engine();
+        let q = Query::parse("tomtom zeppelin");
+        let (results, stats) = engine.search_with_stats(&q, ResultSemantics::Elca);
+        assert!(results.is_empty());
+        assert!(stats.is_zero(), "no full scan may run: {stats:?}");
+        let top = engine.search_top_k(&q, 4, ResultSemantics::Elca);
+        assert!(top.hits.is_empty());
+        assert!(top.stats.is_zero(), "{:?}", top.stats);
+    }
+
+    #[test]
+    fn matching_searches_report_executor_work() {
+        let engine = shop_engine();
+        let q = Query::parse("TomTom GPS");
+        let (results, stats) = engine.search_with_stats(&q, ResultSemantics::Slca);
+        assert_eq!(results.len(), 2);
+        assert!(stats.postings_scanned > 0);
+        assert!(stats.gallop_probes > 0);
+    }
+
+    #[test]
+    fn search_top_k_equals_truncated_ranked_search() {
+        let engine = shop_engine();
+        for text in ["compact", "TomTom GPS", "review compact", "camera"] {
+            let q = Query::parse(text);
+            let full = engine.search_ranked(&q);
+            for k in 0..=full.len() + 1 {
+                let top = engine.search_top_k(&q, k, ResultSemantics::Slca);
+                assert_eq!(top.hits, full[..k.min(full.len())], "{text}, k = {k}");
+            }
+            let all = engine.search_top_k(&q, usize::MAX, ResultSemantics::Slca);
+            assert_eq!(all.hits, full, "{text}, k = all");
+        }
+    }
+
+    #[test]
+    fn search_top_k_counts_heap_evictions() {
+        let engine = shop_engine();
+        let q = Query::parse("compact");
+        let full = engine.search_top_k(&q, usize::MAX, ResultSemantics::Slca);
+        let n = full.hits.len() as u64;
+        assert!(n > 1, "fixture must produce several results");
+        let top1 = engine.search_top_k(&q, 1, ResultSemantics::Slca);
+        assert_eq!(top1.hits.len(), 1);
+        assert_eq!(
+            top1.stats.candidates_pruned,
+            full.stats.candidates_pruned + (n - 1),
+            "all but one scored candidate evicted by the k = 1 heap"
+        );
     }
 
     #[test]

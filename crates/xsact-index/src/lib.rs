@@ -12,21 +12,28 @@
 //!   XML keyword-search semantics, with two implementations (a full-scan
 //!   oracle and the Indexed Lookup Eager algorithm of Xu &
 //!   Papakonstantinou), plus ELCA as an alternative semantics,
+//! * [`plan`] — the streaming executor: a rarest-first [`QueryPlan`] with
+//!   zero-postings short-circuit, the anchored-gallop [`SlcaStream`], and
+//!   [`ExecutorStats`] observability,
 //! * a [`SearchEngine`] that turns SLCAs into *results* by promoting each
-//!   match to its master entity, as XSeek's return-node inference does.
+//!   match to its master entity, as XSeek's return-node inference does —
+//!   including the bounded [`SearchEngine::search_top_k`] executor behind
+//!   every `take(k)`-style caller.
 
 pub mod engine;
 pub mod lexer;
 pub mod persist;
+pub mod plan;
 pub mod postings;
 pub mod query;
 pub mod rank;
 pub mod slca;
 
-pub use engine::{ResultSemantics, SearchEngine, SearchResult};
+pub use engine::{ResultSemantics, SearchEngine, SearchResult, TopKSearch};
 pub use lexer::tokenize;
 pub use persist::{document_fingerprint, load_index, save_index};
+pub use plan::{ExecutorStats, QueryPlan, SlcaStream};
 pub use postings::{IndexStats, InvertedIndex};
 pub use query::Query;
-pub use rank::{rank_results, ScoredResult};
+pub use rank::{rank_results, rank_top_k, ScoredResult, Scorer};
 pub use slca::{elca_full_scan, slca_full_scan, slca_indexed_lookup};

@@ -1,0 +1,437 @@
+//! Query planning and the streaming SLCA executor.
+//!
+//! The paper's search layer is the cost centre of the whole pipeline, and
+//! most callers only ever consume a handful of results (`take(k)`, corpus
+//! top-k, the CLI's `--top`). This module is the planning half of the
+//! streaming executor that serves them:
+//!
+//! * [`QueryPlan`] resolves a [`Query`] against an [`InvertedIndex`] once,
+//!   orders the posting lists **rarest-first** (the shortest list drives
+//!   the probe loop, so every other list is only ever searched, never
+//!   walked), and **short-circuits to a provably-empty plan** when any term
+//!   has zero postings — conjunctive semantics cannot match, so no SLCA
+//!   work runs at all.
+//! * [`SlcaStream`] executes the plan lazily: an iterator over SLCA roots
+//!   in document order, powered by an **anchored-gallop** variant of the
+//!   Indexed Lookup Eager algorithm. For each driver posting the closest
+//!   neighbours in the other lists are located by exponential search from
+//!   a per-list cursor left behind by the previous probe; because the
+//!   driver is walked in document order the cursors mostly advance, so a
+//!   probe costs `O(log gap)` instead of `O(log |list|)`. All candidate
+//!   comparisons run on borrowed `&[u32]` Dewey prefixes of the document's
+//!   flat component arena — the stream allocates nothing per element.
+//! * [`ExecutorStats`] counts what the executor actually did (postings
+//!   scanned, gallop probes, candidates pruned), so "why was this query
+//!   fast/slow" is observable from the facade (`--explain` in the CLI).
+//!
+//! The full-scan implementations in [`crate::slca`] remain the correctness
+//! oracles; `tests/properties.rs` pins the stream to them over random
+//! documents and queries.
+
+use crate::postings::InvertedIndex;
+use crate::query::Query;
+use std::ops::{Add, AddAssign};
+use xsact_xml::{DeweyRef, Document, NodeId};
+
+/// Counters of one executor run (or an aggregate of many — the type is a
+/// commutative monoid under [`Add`], and the facade's `Workbench`
+/// accumulates it across queries).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecutorStats {
+    /// Posting entries consumed: driver-list entries walked by the SLCA
+    /// stream, plus every entry of every list for full-scan (ELCA) runs.
+    pub postings_scanned: u64,
+    /// Dewey comparisons spent locating neighbours in the non-driver
+    /// lists (exponential bracket probes + the binary search inside the
+    /// bracket).
+    pub gallop_probes: u64,
+    /// Candidates discarded on the way to the final result: SLCA
+    /// candidates collapsed by the ancestor/duplicate pass, duplicate
+    /// entity promotions, and scored results evicted by the bounded
+    /// top-k heap.
+    pub candidates_pruned: u64,
+}
+
+impl ExecutorStats {
+    /// Whether nothing was counted — the signature of a short-circuited
+    /// (provably empty) plan.
+    pub fn is_zero(&self) -> bool {
+        *self == ExecutorStats::default()
+    }
+}
+
+impl Add for ExecutorStats {
+    type Output = ExecutorStats;
+
+    fn add(self, rhs: ExecutorStats) -> ExecutorStats {
+        ExecutorStats {
+            postings_scanned: self.postings_scanned + rhs.postings_scanned,
+            gallop_probes: self.gallop_probes + rhs.gallop_probes,
+            candidates_pruned: self.candidates_pruned + rhs.candidates_pruned,
+        }
+    }
+}
+
+impl AddAssign for ExecutorStats {
+    fn add_assign(&mut self, rhs: ExecutorStats) {
+        *self = *self + rhs;
+    }
+}
+
+/// A resolved, ordered execution plan for one conjunctive query.
+///
+/// Posting lists are held rarest-first; an empty plan (no terms, or a term
+/// with zero postings) is remembered as such and never reaches the SLCA
+/// machinery.
+#[derive(Debug, Clone)]
+pub struct QueryPlan<'a> {
+    /// Posting lists ordered by ascending length. Empty exactly when
+    /// planning proved the result set empty (a plan over actual matches
+    /// always holds at least one non-empty list).
+    lists: Vec<&'a [NodeId]>,
+}
+
+impl<'a> QueryPlan<'a> {
+    /// Plans `query` against `index`: resolves each term's posting list and
+    /// orders them rarest-first. A query with no terms, or with any term
+    /// absent from the index, yields an [empty](Self::is_empty) plan.
+    pub fn new(index: &'a InvertedIndex, query: &Query) -> QueryPlan<'a> {
+        if query.is_empty() {
+            return QueryPlan { lists: Vec::new() };
+        }
+        let mut lists = Vec::with_capacity(query.len());
+        for term in query.iter() {
+            let postings = index.postings(term);
+            if postings.is_empty() {
+                // Conjunctive semantics: one hopeless term sinks the whole
+                // query before any SLCA work happens.
+                return QueryPlan { lists: Vec::new() };
+            }
+            lists.push(postings);
+        }
+        QueryPlan::from_lists(lists)
+    }
+
+    /// Plans over raw posting lists (the layer-level entry point used by
+    /// [`crate::slca::slca_indexed_lookup`]). Lists must be sorted in
+    /// document order, as the index produces them.
+    pub fn from_lists(mut lists: Vec<&'a [NodeId]>) -> QueryPlan<'a> {
+        if lists.is_empty() || lists.iter().any(|l| l.is_empty()) {
+            return QueryPlan { lists: Vec::new() };
+        }
+        lists.sort_by_key(|l| l.len());
+        QueryPlan { lists }
+    }
+
+    /// Whether planning already proved the result set empty.
+    pub fn is_empty(&self) -> bool {
+        self.lists.is_empty()
+    }
+
+    /// The planned posting lists, rarest first (empty for an empty plan).
+    pub fn lists(&self) -> &[&'a [NodeId]] {
+        &self.lists
+    }
+
+    /// Length of the driving (shortest) posting list — the number of SLCA
+    /// probes an execution will pay.
+    pub fn driver_len(&self) -> usize {
+        self.lists.first().map_or(0, |l| l.len())
+    }
+
+    /// Total posting entries across all planned lists.
+    pub fn total_postings(&self) -> usize {
+        self.lists.iter().map(|l| l.len()).sum()
+    }
+
+    /// Starts lazy execution over `doc`: an iterator of SLCA roots in
+    /// document order. An empty plan yields an immediately-exhausted
+    /// stream with zero counters.
+    pub fn stream(&self, doc: &'a Document) -> SlcaStream<'a> {
+        let (driver, others) = match self.lists.split_first() {
+            Some((&driver, rest)) => {
+                (driver, rest.iter().map(|&list| Cursor { list, pos: 0 }).collect())
+            }
+            None => (&[][..], Vec::new()),
+        };
+        SlcaStream {
+            doc,
+            driver,
+            others,
+            next_driver: 0,
+            pending: None,
+            stats: ExecutorStats::default(),
+        }
+    }
+}
+
+/// One non-driver posting list plus the anchor its last probe ended at.
+#[derive(Debug)]
+struct Cursor<'a> {
+    list: &'a [NodeId],
+    pos: usize,
+}
+
+/// Lazy SLCA execution: yields each SLCA root exactly once, in document
+/// order, computing candidates one driver posting at a time.
+///
+/// The single-pass duplicate/ancestor elimination relies on the candidate
+/// sequence produced by a sorted driver list: a candidate can only sort
+/// *before* its predecessor if it is an ancestor of it, so one pending
+/// candidate of lookahead suffices to reproduce the sort + dedup +
+/// ancestor-prune of the batch algorithm (`tests/properties.rs` pins the
+/// equivalence).
+#[derive(Debug)]
+pub struct SlcaStream<'a> {
+    doc: &'a Document,
+    driver: &'a [NodeId],
+    others: Vec<Cursor<'a>>,
+    next_driver: usize,
+    pending: Option<DeweyRef<'a>>,
+    stats: ExecutorStats,
+}
+
+impl<'a> SlcaStream<'a> {
+    /// The counters accumulated so far (final once the stream is
+    /// exhausted; callers that stop early get the cost of what they
+    /// actually consumed — the point of streaming).
+    pub fn stats(&self) -> ExecutorStats {
+        self.stats
+    }
+}
+
+impl Iterator for SlcaStream<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        loop {
+            let Some(&v) = self.driver.get(self.next_driver) else {
+                let last = self.pending.take()?;
+                return Some(node_of(self.doc, last));
+            };
+            self.next_driver += 1;
+            self.stats.postings_scanned += 1;
+            let mut x = self.doc.dewey(v);
+            for cursor in &mut self.others {
+                x = anchored_deepest_lca(self.doc, x, cursor, &mut self.stats.gallop_probes);
+            }
+            match self.pending {
+                None => self.pending = Some(x),
+                // Same candidate again: drop the duplicate.
+                Some(p) if p == x => self.stats.candidates_pruned += 1,
+                // The pending candidate contains the new one: it cannot be
+                // a *smallest* LCA, replace it.
+                Some(p) if p.is_ancestor_of(x) => {
+                    self.stats.candidates_pruned += 1;
+                    self.pending = Some(x);
+                }
+                // The new candidate contains the pending one: drop it.
+                Some(p) if x.is_ancestor_of(p) => self.stats.candidates_pruned += 1,
+                // Unrelated: the pending candidate is final (nothing later
+                // can sort before it without being its ancestor).
+                Some(p) => {
+                    self.pending = Some(x);
+                    return Some(node_of(self.doc, p));
+                }
+            }
+        }
+    }
+}
+
+fn node_of(doc: &Document, dewey: DeweyRef<'_>) -> NodeId {
+    doc.node_at(dewey).expect("SLCA candidates are prefixes of document nodes")
+}
+
+/// The deepest LCA of `x` with any node of the cursor's list — achieved by
+/// one of the two nodes adjacent to `x` in document order, located by
+/// galloping from the cursor's previous position. The result is an
+/// ancestor-or-self prefix of `x`, borrowed from the same arena.
+fn anchored_deepest_lca<'a>(
+    doc: &Document,
+    x: DeweyRef<'a>,
+    cursor: &mut Cursor<'_>,
+    probes: &mut u64,
+) -> DeweyRef<'a> {
+    let i = gallop_insertion(doc, cursor.list, x, cursor.pos, probes);
+    cursor.pos = i;
+    let mut best = 0usize;
+    for neighbour in [i.checked_sub(1).map(|j| cursor.list[j]), cursor.list.get(i).copied()]
+        .into_iter()
+        .flatten()
+    {
+        best = best.max(x.common_prefix_len(doc.dewey(neighbour)));
+    }
+    // Nodes of one document always share the root component, so `best` ≥ 1
+    // whenever the list is non-empty (guaranteed by the planner).
+    x.ancestor_at_depth(best.max(1)).expect("prefix depth within bounds")
+}
+
+/// The first index `i` of `list` with `dewey(list[i]) >= x` — what
+/// `list.partition_point(|n| dewey(n) < x)` computes — located by
+/// bidirectional exponential search from `anchor` instead of bisecting the
+/// whole list. Cursors advance monotonically for the outermost probe of
+/// each driver posting; intersected prefixes can briefly step backwards
+/// (an ancestor sorts before its descendants), which the backward gallop
+/// covers at the same logarithmic cost.
+fn gallop_insertion(
+    doc: &Document,
+    list: &[NodeId],
+    x: DeweyRef<'_>,
+    anchor: usize,
+    probes: &mut u64,
+) -> usize {
+    let n = list.len();
+    let below = |i: usize, probes: &mut u64| {
+        *probes += 1;
+        doc.dewey(list[i]) < x
+    };
+    let a = anchor.min(n);
+    let (lo, hi);
+    if a < n && below(a, probes) {
+        // Insertion point in (a, n]: gallop forward over a+1, a+2, a+4, …
+        let mut last_below = a;
+        let mut step = 1usize;
+        loop {
+            let cand = a + step;
+            if cand >= n {
+                lo = last_below + 1;
+                hi = n;
+                break;
+            }
+            if below(cand, probes) {
+                last_below = cand;
+                step *= 2;
+            } else {
+                lo = last_below + 1;
+                hi = cand;
+                break;
+            }
+        }
+    } else {
+        // Insertion point in [0, a]: gallop backward over a-1, a-2, a-4, …
+        let mut first_at_or_above = a;
+        let mut step = 1usize;
+        loop {
+            if step > a {
+                lo = 0;
+                hi = first_at_or_above;
+                break;
+            }
+            let cand = a - step;
+            if below(cand, probes) {
+                lo = cand + 1;
+                hi = first_at_or_above;
+                break;
+            }
+            first_at_or_above = cand;
+            step *= 2;
+        }
+    }
+    lo + list[lo..hi].partition_point(|&node| {
+        *probes += 1;
+        doc.dewey(node) < x
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slca::slca_full_scan;
+    use xsact_xml::parse_document;
+
+    fn doc_and_index(xml: &str) -> (Document, InvertedIndex) {
+        let doc = parse_document(xml).unwrap();
+        let idx = InvertedIndex::build(&doc);
+        (doc, idx)
+    }
+
+    #[test]
+    fn zero_postings_term_short_circuits() {
+        let (_, idx) = doc_and_index("<r><a>k1</a><b>k2</b></r>");
+        let plan = QueryPlan::new(&idx, &Query::parse("k1 zeppelin"));
+        assert!(plan.is_empty());
+        assert!(plan.lists().is_empty());
+        assert_eq!(plan.driver_len(), 0);
+    }
+
+    #[test]
+    fn empty_query_is_an_empty_plan() {
+        let (_, idx) = doc_and_index("<r><a>k</a></r>");
+        assert!(QueryPlan::new(&idx, &Query::parse("")).is_empty());
+        assert!(QueryPlan::from_lists(Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn empty_plan_streams_nothing_and_counts_nothing() {
+        let (doc, idx) = doc_and_index("<r><a>k1</a></r>");
+        let plan = QueryPlan::new(&idx, &Query::parse("k1 nope"));
+        let mut stream = plan.stream(&doc);
+        assert_eq!(stream.next(), None);
+        assert!(stream.stats().is_zero(), "no SLCA work after a short-circuit");
+    }
+
+    #[test]
+    fn lists_are_ordered_rarest_first() {
+        let (_, idx) = doc_and_index("<r><a>k1 k2</a><b>k2</b><c>k2</c></r>");
+        let plan = QueryPlan::new(&idx, &Query::parse("k2 k1"));
+        assert!(!plan.is_empty());
+        let lens: Vec<usize> = plan.lists().iter().map(|l| l.len()).collect();
+        assert_eq!(lens, [1, 3]);
+        assert_eq!(plan.driver_len(), 1);
+        assert_eq!(plan.total_postings(), 4);
+    }
+
+    #[test]
+    fn stream_matches_full_scan_on_the_paper_example() {
+        let xml = "<r><sec><x>k1</x><y>k2</y></sec><sec><x>k1</x><y>k2</y></sec></r>";
+        let (doc, idx) = doc_and_index(xml);
+        let q = Query::parse("k1 k2");
+        let lists: Vec<&[NodeId]> = q.iter().map(|t| idx.postings(t)).collect();
+        let oracle = slca_full_scan(&doc, &lists);
+        let plan = QueryPlan::new(&idx, &q);
+        let mut stream = plan.stream(&doc);
+        let streamed: Vec<NodeId> = (&mut stream).collect();
+        assert_eq!(streamed, oracle);
+        let stats = stream.stats();
+        assert_eq!(stats.postings_scanned, 2, "driver list has two postings");
+        assert!(stats.gallop_probes > 0);
+    }
+
+    #[test]
+    fn stream_stats_reflect_partial_consumption() {
+        // Three sections, three SLCAs: taking one emits after two driver
+        // probes (one candidate of lookahead), not after all three.
+        let xml =
+            "<r><s><a>k1</a><b>k2</b></s><s><a>k1</a><b>k2</b></s><s><a>k1</a><b>k2</b></s></r>";
+        let (doc, idx) = doc_and_index(xml);
+        let plan = QueryPlan::new(&idx, &Query::parse("k1 k2"));
+        let mut stream = plan.stream(&doc);
+        assert!(stream.next().is_some());
+        assert_eq!(stream.stats().postings_scanned, 2);
+        let consumed: Vec<NodeId> = (&mut stream).collect();
+        assert_eq!(consumed.len(), 2);
+        assert_eq!(stream.stats().postings_scanned, 3);
+    }
+
+    #[test]
+    fn gallop_insertion_equals_partition_point_for_any_anchor() {
+        let xml = "<r><s><a>k</a><a>k</a></s><s><a>k</a></s><s><a>k</a><a>k</a><a>k</a></s></r>";
+        let (doc, idx) = doc_and_index(xml);
+        let list = idx.postings("a");
+        assert!(list.len() >= 6);
+        let probe_points: Vec<NodeId> = doc.all_nodes().collect();
+        for &p in &probe_points {
+            let x = doc.dewey(p);
+            let expected = list.partition_point(|&n| doc.dewey(n) < x);
+            for anchor in 0..=list.len() + 2 {
+                let mut probes = 0;
+                assert_eq!(
+                    gallop_insertion(&doc, list, x, anchor, &mut probes),
+                    expected,
+                    "probe {x} from anchor {anchor}"
+                );
+                assert!(probes > 0);
+            }
+        }
+    }
+}

@@ -42,6 +42,12 @@ impl Query {
         &self.terms
     }
 
+    /// Iterates the normalised terms as string slices — what the query
+    /// planner and the scorer consume (no `&String` double indirection).
+    pub fn iter(&self) -> impl Iterator<Item = &str> {
+        self.terms.iter().map(String::as_str)
+    }
+
     /// Number of distinct terms.
     pub fn len(&self) -> usize {
         self.terms.len()
@@ -69,6 +75,7 @@ mod tests {
         assert_eq!(q.terms(), ["tomtom", "gps"]);
         assert_eq!(q.len(), 2);
         assert!(!q.is_empty());
+        assert_eq!(q.iter().collect::<Vec<_>>(), ["tomtom", "gps"]);
     }
 
     #[test]

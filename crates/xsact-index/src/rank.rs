@@ -12,10 +12,16 @@
 //! * **specificity** — smaller results that still contain every term are
 //!   preferred (`1 / ln(e + subtree_size)`), the structured analogue of
 //!   snippet proximity.
+//!
+//! Two consumers exist: [`rank_results`] sorts every candidate (the
+//! correctness oracle and the full-listing path), and [`rank_top_k`] keeps
+//! only the best `k` in a bounded heap while preserving the exact total
+//! order — the ranking half of the streaming top-k executor.
 
 use crate::postings::InvertedIndex;
 use crate::query::Query;
-use xsact_xml::{Document, NodeId};
+use std::collections::BinaryHeap;
+use xsact_xml::{DeweyRef, Document, NodeId};
 
 /// A scored result, produced by [`rank_results`].
 #[derive(Debug, Clone, PartialEq)]
@@ -44,42 +50,173 @@ pub fn rank_results(
     query: &Query,
     roots: &[NodeId],
 ) -> Vec<ScoredResult> {
-    let element_count = doc.all_nodes().filter(|&n| doc.is_element(n)).count().max(1) as f64;
-    let mut scored: Vec<ScoredResult> = roots
-        .iter()
-        .map(|&root| {
-            let subtree_size = doc.descendants(root).count() as u32;
-            let mut term_hits = 0u32;
-            let mut score = 0.0;
-            // Count in-subtree postings per term by ancestor filtering on
-            // Dewey IDs.
-            let root_dewey = doc.dewey(root);
-            for term in query.terms() {
-                let postings = index.postings(term);
-                if postings.is_empty() {
-                    continue;
-                }
-                let df = postings.len() as f64;
-                let tf = postings
-                    .iter()
-                    .filter(|&&n| root_dewey.is_ancestor_or_self_of(doc.dewey(n)))
-                    .count() as u32;
-                term_hits += tf;
-                if tf > 0 {
-                    let idf = (1.0 + element_count / df).ln();
-                    score += (1.0 + f64::from(tf)).ln() * idf;
-                }
-            }
-            // Specificity: prefer compact results.
-            score /= (std::f64::consts::E + f64::from(subtree_size)).ln();
-            ScoredResult { root, score, term_hits, subtree_size }
-        })
-        .collect();
+    let scorer = Scorer::new(doc, index, query);
+    let mut scored: Vec<ScoredResult> = roots.iter().map(|&root| scorer.score(root)).collect();
     scored.sort_by(|a, b| {
         b.score.total_cmp(&a.score).then_with(|| doc.dewey(a.root).cmp(&doc.dewey(b.root)))
     });
     scored
 }
+
+/// Scores the streamed result roots and keeps only the best `k`, in
+/// exactly the order [`rank_results`] would produce — `rank_top_k(roots,
+/// k)` equals `rank_results(roots)` truncated to `k` for every input
+/// (pinned by `tests/properties.rs`, tied scores included), because the
+/// ranking order is total.
+///
+/// Memory is `O(k)` and time `O(n log k)` for the heap instead of the full
+/// sort's `O(n log n)`; combined with a streaming SLCA source this is the
+/// bounded executor behind `take(k)` and the corpus top-k.
+pub fn rank_top_k(
+    doc: &Document,
+    index: &InvertedIndex,
+    query: &Query,
+    roots: impl IntoIterator<Item = NodeId>,
+    k: usize,
+) -> Vec<ScoredResult> {
+    let scorer = Scorer::new(doc, index, query);
+    let mut heap = TopK::new(k);
+    for root in roots {
+        let scored = scorer.score(root);
+        heap.push(scored.score, doc.dewey(root), scored);
+    }
+    heap.finish().0
+}
+
+/// The per-query scoring context: posting lists resolved once, inverse
+/// document frequencies precomputed once. [`Scorer::score`] then counts
+/// in-subtree postings by **binary range counting** — a result subtree is
+/// a contiguous Dewey interval, so `tf` is two `partition_point`s on the
+/// document-ordered posting list instead of an `O(df)` ancestor-filter
+/// scan per root. Produces bit-identical scores to the seed formula.
+#[derive(Debug)]
+pub struct Scorer<'a> {
+    doc: &'a Document,
+    /// Per query term with at least one posting: the list and its
+    /// precomputed `ln(1 + N / df)` weight, in query order.
+    terms: Vec<(&'a [NodeId], f64)>,
+}
+
+impl<'a> Scorer<'a> {
+    /// Resolves `query` against `index` for repeated scoring over `doc`.
+    pub fn new(doc: &'a Document, index: &'a InvertedIndex, query: &Query) -> Scorer<'a> {
+        let element_count = doc.element_count().max(1) as f64;
+        let terms = query
+            .iter()
+            .filter_map(|term| {
+                let postings = index.postings(term);
+                (!postings.is_empty())
+                    .then(|| (postings, (1.0 + element_count / postings.len() as f64).ln()))
+            })
+            .collect();
+        Scorer { doc, terms }
+    }
+
+    /// Scores one result root (TF·IDF over the subtree, dampened by
+    /// specificity).
+    pub fn score(&self, root: NodeId) -> ScoredResult {
+        let subtree_size = self.doc.descendants(root).count() as u32;
+        let root_dewey = self.doc.dewey(root);
+        let mut term_hits = 0u32;
+        let mut score = 0.0;
+        for &(postings, idf) in &self.terms {
+            // The subtree's postings are the contiguous run of entries
+            // between `root` and the end of its Dewey interval.
+            let lo = postings.partition_point(|&n| self.doc.dewey(n) < root_dewey);
+            let len = postings[lo..]
+                .partition_point(|&n| root_dewey.is_ancestor_or_self_of(self.doc.dewey(n)));
+            let tf = len as u32;
+            term_hits += tf;
+            if tf > 0 {
+                score += (1.0 + f64::from(tf)).ln() * idf;
+            }
+        }
+        // Specificity: prefer compact results.
+        score /= (std::f64::consts::E + f64::from(subtree_size)).ln();
+        ScoredResult { root, score, term_hits, subtree_size }
+    }
+}
+
+/// A bounded top-k collector over the ranking's total order (score
+/// descending, then Dewey ascending). The internal binary heap keeps the
+/// *worst* kept entry on top, so a stream of `n` candidates costs
+/// `O(n log k)` and `O(k)` memory; [`TopK::finish`] returns the survivors
+/// best-first plus the eviction count (candidates scored but pruned).
+#[derive(Debug)]
+pub(crate) struct TopK<'a, T> {
+    k: usize,
+    heap: BinaryHeap<TopKEntry<'a, T>>,
+    evicted: u64,
+}
+
+impl<'a, T> TopK<'a, T> {
+    pub(crate) fn new(k: usize) -> TopK<'a, T> {
+        TopK { k, heap: BinaryHeap::with_capacity(k.min(1024).saturating_add(1)), evicted: 0 }
+    }
+
+    /// Offers one candidate; the payload survives only if the candidate
+    /// ranks among the best `k` seen so far.
+    pub(crate) fn push(&mut self, score: f64, dewey: DeweyRef<'a>, payload: T) {
+        if self.k == 0 {
+            self.evicted += 1;
+            return;
+        }
+        let entry = TopKEntry { score, dewey, payload };
+        if self.heap.len() < self.k {
+            self.heap.push(entry);
+            return;
+        }
+        self.evicted += 1;
+        // `Ord` sorts worse entries greater, so the heap max is the worst
+        // kept entry; replace it only when the newcomer ranks better.
+        if entry < *self.heap.peek().expect("k > 0 and the heap is full") {
+            self.heap.pop();
+            self.heap.push(entry);
+        }
+    }
+
+    /// The kept payloads best-first, and how many candidates were evicted.
+    pub(crate) fn finish(self) -> (Vec<T>, u64) {
+        let ordered = self.heap.into_sorted_vec();
+        (ordered.into_iter().map(|e| e.payload).collect(), self.evicted)
+    }
+}
+
+struct TopKEntry<'a, T> {
+    score: f64,
+    dewey: DeweyRef<'a>,
+    payload: T,
+}
+
+impl<T> std::fmt::Debug for TopKEntry<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TopKEntry({}, {})", self.score, self.dewey)
+    }
+}
+
+/// Worse-is-greater order: lower score sorts greater, ties broken by
+/// *larger* Dewey sorting greater — the exact inverse of the ranking
+/// order, so a max-heap exposes the worst kept entry at its top and
+/// `into_sorted_vec` yields best-first.
+impl<T> Ord for TopKEntry<'_, T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.score.total_cmp(&self.score).then_with(|| self.dewey.cmp(&other.dewey))
+    }
+}
+
+impl<T> PartialOrd for TopKEntry<'_, T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> PartialEq for TopKEntry<'_, T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl<T> Eq for TopKEntry<'_, T> {}
 
 #[cfg(test)]
 mod tests {
@@ -157,6 +294,33 @@ mod tests {
         let ranked = rank_results(&doc, &idx, &Query::parse("gps"), &roots);
         assert_eq!(ranked[0].root, roots[0]);
         assert_eq!(ranked[1].root, roots[1]);
+    }
+
+    #[test]
+    fn rank_top_k_equals_the_truncated_full_sort() {
+        // Mixed scores *and* a deliberately tied pair (identical siblings),
+        // so the heap's tie-break is exercised at every k.
+        let (doc, idx) = setup(
+            "<r><a><t>gps</t></a><b><t>gps</t></b>\
+             <big><t>gps</t><x>pad</x><y>pad</y></big>\
+             <two><t>gps</t><u>gps</u></two></r>",
+        );
+        let roots: Vec<NodeId> = doc.children(doc.root()).to_vec();
+        let q = Query::parse("gps");
+        let full = rank_results(&doc, &idx, &q, &roots);
+        assert!(full.windows(2).any(|w| w[0].score == w[1].score), "fixture must contain a tie");
+        for k in 0..=roots.len() + 2 {
+            let top = rank_top_k(&doc, &idx, &q, roots.iter().copied(), k);
+            assert_eq!(top, full[..k.min(full.len())], "k = {k}");
+        }
+    }
+
+    #[test]
+    fn rank_top_k_handles_empty_inputs() {
+        let (doc, idx) = setup("<r><a><t>gps</t></a></r>");
+        assert!(rank_top_k(&doc, &idx, &Query::parse("gps"), [], 4).is_empty());
+        let roots: Vec<NodeId> = doc.children(doc.root()).to_vec();
+        assert!(rank_top_k(&doc, &idx, &Query::parse("gps"), roots, 0).is_empty());
     }
 
     #[test]

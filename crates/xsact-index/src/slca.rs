@@ -15,10 +15,11 @@
 //!   used as the oracle in property tests and as the baseline in benches.
 //! * [`slca_indexed_lookup`] — the Indexed Lookup Eager algorithm of Xu &
 //!   Papakonstantinou (SIGMOD 2005): iterate the *shortest* posting list and
-//!   binary-search the others, `O(|S₁| · Σ log |Sᵢ| · d)`. This is what the
-//!   search engine uses.
+//!   locate neighbours in the others by anchored exponential search (see
+//!   [`crate::plan`]), `O(|S₁| · Σ log gapᵢ · d)`. This is what the search
+//!   engine uses, as the batch form of the streaming executor.
 
-use xsact_xml::{DeweyRef, Document, NodeId};
+use xsact_xml::{Document, NodeId};
 
 /// Maximum number of keyword lists supported by the bitmask algorithms.
 pub const MAX_KEYWORDS: usize = 64;
@@ -94,68 +95,24 @@ pub fn elca_full_scan(doc: &Document, lists: &[&[NodeId]]) -> Vec<NodeId> {
         .collect()
 }
 
-/// Indexed Lookup Eager SLCA (Xu & Papakonstantinou).
+/// Indexed Lookup Eager SLCA (Xu & Papakonstantinou), anchored-gallop
+/// variant.
 ///
-/// Iterates the shortest posting list; for each of its nodes `v` computes the
-/// smallest LCA of `v` with the *closest* match from every other list (two
-/// binary searches per list), then prunes candidates that are ancestors of
-/// other candidates. Produces exactly the same set as [`slca_full_scan`],
-/// in document order — the property tests in this module enforce that.
+/// Iterates the shortest posting list; for each of its nodes `v` computes
+/// the smallest LCA of `v` with the *closest* match from every other list,
+/// located by exponential search from the previous probe's cursor (see
+/// [`crate::plan`]), and eliminates candidates that are ancestors of other
+/// candidates in a single streaming pass. Produces exactly the same set as
+/// [`slca_full_scan`], in document order — the property tests in this
+/// module and in `tests/properties.rs` enforce that.
 ///
 /// Every intermediate LCA is a *prefix* of the driving node's Dewey
 /// components, so candidates are borrowed slices into the document's flat
-/// Dewey arena — the whole probe allocates nothing beyond the candidate
-/// vector itself.
+/// Dewey arena — the whole probe allocates nothing beyond the result
+/// vector itself. Callers that only need a prefix of the results should
+/// use [`crate::plan::QueryPlan::stream`] directly and stop early.
 pub fn slca_indexed_lookup(doc: &Document, lists: &[&[NodeId]]) -> Vec<NodeId> {
-    if lists.is_empty() || lists.iter().any(|l| l.is_empty()) {
-        return Vec::new();
-    }
-    // Probe order: shortest list drives the loop, remaining lists sorted by
-    // length so cheap eliminations happen first.
-    let mut order: Vec<usize> = (0..lists.len()).collect();
-    order.sort_by_key(|&i| lists[i].len());
-    let driver = lists[order[0]];
-    let others = &order[1..];
-
-    let mut candidates: Vec<DeweyRef<'_>> = Vec::with_capacity(driver.len());
-    for &v in driver {
-        let mut x = doc.dewey(v);
-        for &li in others {
-            x = deepest_lca_with_closest(doc, x, lists[li]);
-        }
-        candidates.push(x);
-    }
-
-    candidates.sort();
-    candidates.dedup();
-    // In lexicographic Dewey order the descendants of a candidate directly
-    // follow it, so an ancestor candidate is detected by its successor.
-    let mut result = Vec::with_capacity(candidates.len());
-    for i in 0..candidates.len() {
-        let is_ancestor_of_next =
-            i + 1 < candidates.len() && candidates[i].is_ancestor_of(candidates[i + 1]);
-        if !is_ancestor_of_next {
-            if let Some(node) = doc.node_at(candidates[i]) {
-                result.push(node);
-            }
-        }
-    }
-    result
-}
-
-/// The deepest LCA of `x` with any node of `list` — only the two nodes
-/// adjacent to `x` in document order can achieve it. The result is an
-/// ancestor-or-self prefix of `x`, borrowed from the same arena.
-fn deepest_lca_with_closest<'a>(doc: &Document, x: DeweyRef<'a>, list: &[NodeId]) -> DeweyRef<'a> {
-    let i = list.partition_point(|&n| doc.dewey(n) < x);
-    let mut best = 0usize;
-    for neighbour in [i.checked_sub(1).map(|j| list[j]), list.get(i).copied()].into_iter().flatten()
-    {
-        best = best.max(x.common_prefix_len(doc.dewey(neighbour)));
-    }
-    // Nodes of one document always share the root component, so `best` ≥ 1
-    // whenever `list` is non-empty (guaranteed by the caller).
-    x.ancestor_at_depth(best.max(1)).expect("prefix depth within bounds")
+    crate::plan::QueryPlan::from_lists(lists.to_vec()).stream(doc).collect()
 }
 
 #[cfg(test)]

@@ -57,6 +57,10 @@ pub struct Document {
     nodes: Vec<NodeData>,
     dewey_arena: Vec<u32>,
     root: NodeId,
+    /// Number of element nodes, maintained incrementally — the ranking
+    /// scorer needs it per query, and recounting 10⁴ nodes per search was
+    /// a measurable constant cost.
+    element_count: usize,
 }
 
 /// Heap-size breakdown of a document's interned substrate, plus an estimate
@@ -104,7 +108,13 @@ impl Document {
             dewey_off: 0,
             dewey_len: 1,
         };
-        Document { symbols, nodes: vec![root_data], dewey_arena: vec![0], root: NodeId(0) }
+        Document {
+            symbols,
+            nodes: vec![root_data],
+            dewey_arena: vec![0],
+            root: NodeId(0),
+            element_count: 1,
+        }
     }
 
     /// The root element.
@@ -121,6 +131,13 @@ impl Document {
     /// Total number of nodes (elements + text runs) in the document.
     pub fn len(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Number of element nodes (text runs excluded), maintained
+    /// incrementally — `O(1)`, equal to
+    /// `all_nodes().filter(|n| is_element(n)).count()`.
+    pub fn element_count(&self) -> usize {
+        self.element_count
     }
 
     /// Reconstructs a [`NodeId`] from its arena index, e.g. when loading a
@@ -313,6 +330,9 @@ impl Document {
     }
 
     fn add_node(&mut self, parent: NodeId, repr: NodeRepr) -> NodeId {
+        if matches!(repr, NodeRepr::Element { .. }) {
+            self.element_count += 1;
+        }
         let ordinal = self.data(parent).children.len() as u32;
         // Child components = parent components + ordinal, appended to the
         // flat arena (the arena only ever grows, so spans stay valid).
@@ -468,6 +488,15 @@ impl fmt::Display for Document {
 mod tests {
     use super::*;
     use crate::dewey::DeweyId;
+
+    #[test]
+    fn element_count_is_maintained_incrementally() {
+        let (doc, ..) = sample();
+        assert_eq!(doc.element_count(), doc.all_nodes().filter(|&n| doc.is_element(n)).count());
+        assert_eq!(doc.element_count(), 4, "shop + product + name + rating; text excluded");
+        let fresh = Document::new("r");
+        assert_eq!(fresh.element_count(), 1);
+    }
 
     /// `<shop><product id="1"><name>TomTom</name><rating>4.2</rating></product>text</shop>`
     fn sample() -> (Document, NodeId, NodeId, NodeId) {

@@ -43,7 +43,7 @@ use xsact_core::{Algorithm, Comparison, ComparisonOutcome, DfsConfig};
 use xsact_corpus::{fan_out, k_way_merge};
 use xsact_data::movies::{MovieGenConfig, MoviesGen};
 use xsact_entity::ResultFeatures;
-use xsact_index::{Query, ScoredResult, SearchResult};
+use xsact_index::{ExecutorStats, Query, ScoredResult, SearchResult};
 use xsact_xml::{DeweyId, Document};
 
 pub use xsact_corpus::{DocId, ShardPlan};
@@ -268,7 +268,14 @@ impl Corpus {
             top: DEFAULT_TOP,
             config: DfsConfig::default(),
             ranking_memo: std::cell::OnceCell::new(),
+            topk_memo: std::cell::OnceCell::new(),
         })
+    }
+
+    /// Executor counters aggregated over every document workbench — the
+    /// corpus-wide view of [`Workbench::executor_stats`].
+    pub fn executor_stats(&self) -> ExecutorStats {
+        self.docs.iter().fold(ExecutorStats::default(), |acc, doc| acc + doc.wb.executor_stats())
     }
 
     /// The number of shards a query will actually use: empty shards are
@@ -372,20 +379,30 @@ pub struct CorpusQuery<'a> {
     query: Query,
     top: usize,
     config: DfsConfig,
-    /// The merged ranking, computed once per query value — `ranking()`
-    /// followed by `compare()` (the CLI's exact shape) must not fan the
-    /// search out across the corpus twice. No builder method changes what
-    /// the search returns (`top`/`size_bound`/`threshold` only shape the
-    /// comparison), so the memo survives them.
+    /// The *full* merged ranking, computed once per query value —
+    /// `ranking()` followed by `compare()` (the CLI's exact shape) must
+    /// not fan the search out across the corpus twice. No builder method
+    /// changes what the search returns (`top`/`size_bound`/`threshold`
+    /// only shape the comparison), so the memo survives them.
     ranking_memo: std::cell::OnceCell<CorpusRanking>,
+    /// The *bounded* merged top-k, produced by pushing `top` down into
+    /// each shard's streaming executor: every shard computes only its
+    /// local top-k and the global merge touches `shards × k` candidates.
+    /// Used by the comparison terminals when the full ranking was never
+    /// requested; reset by [`top`](CorpusQuery::top).
+    topk_memo: std::cell::OnceCell<CorpusRanking>,
 }
 
 impl<'a> CorpusQuery<'a> {
     /// How many merged results enter the comparison (default
-    /// [`DEFAULT_TOP`]).
+    /// [`DEFAULT_TOP`]). This bound is **pushed down** into the shard
+    /// workers: a comparison-only query computes `top` results per
+    /// document and merges `shards × top` candidates, never the full
+    /// corpus-wide ranking.
     #[must_use]
     pub fn top(mut self, k: usize) -> Self {
         self.top = k;
+        self.topk_memo = std::cell::OnceCell::new();
         self
     }
 
@@ -422,22 +439,46 @@ impl<'a> CorpusQuery<'a> {
     }
 
     fn ranked(&self) -> &CorpusRanking {
+        self.ranking_memo.get_or_init(|| self.fan_out_ranked(usize::MAX))
+    }
+
+    /// The bounded fan-out: each shard computes only its local top-k, and
+    /// the global merge sees `shards × k` candidates. Because the merge
+    /// order is total and per-document lists are exact truncations of
+    /// their full rankings, the result equals the full ranking's first
+    /// `k` entries byte for byte (pinned by `tests/corpus.rs`).
+    fn ranked_top_k(&self) -> &CorpusRanking {
+        // Probe at least one result so "matched nothing" (a typed
+        // `NoResults`) stays distinguishable from `top(0)`.
+        self.topk_memo.get_or_init(|| self.fan_out_ranked(self.top.max(1)))
+    }
+
+    /// The one fan-out/merge pipeline behind both memo paths, so the full
+    /// and bounded rankings cannot drift apart: spawn
+    /// min(shards, documents) workers, rank each worker's round-robin
+    /// document slice through the streaming executor bounded by `k`
+    /// (`usize::MAX` = unbounded), merge per shard, then merge the shard
+    /// lists — every merge truncated to `k`.
+    fn fan_out_ranked(&self, k: usize) -> CorpusRanking {
         // The worker closure captures only `Sync` state (the corpus and
-        // the parsed query) — not `self`, whose memo cell is single-thread.
+        // the parsed query) — not `self`, whose memo cells are
+        // single-thread.
         let (corpus, query) = (self.corpus, &self.query);
-        self.ranking_memo.get_or_init(|| {
-            let shards = corpus.effective_shards();
-            // effective_shards() ≤ document count, so round-robin
-            // partitioning never produces an empty shard.
-            let parts = ShardPlan::new(shards).partition(corpus.docs.len());
-            let order = CorpusHit::ranking_order;
-            let shard_lists = fan_out(parts, |_, doc_indexes| {
-                let per_doc: Vec<Vec<CorpusHit>> =
-                    doc_indexes.iter().map(|&d| search_one(query, &corpus.docs[d])).collect();
-                k_way_merge(per_doc, order)
-            });
-            CorpusRanking { hits: k_way_merge(shard_lists, order), shards }
-        })
+        let shards = corpus.effective_shards();
+        // effective_shards() ≤ document count, so round-robin
+        // partitioning never produces an empty shard.
+        let parts = ShardPlan::new(shards).partition(corpus.docs.len());
+        let order = CorpusHit::ranking_order;
+        let shard_lists = fan_out(parts, |_, doc_indexes| {
+            let per_doc: Vec<Vec<CorpusHit>> =
+                doc_indexes.iter().map(|&d| search_one(query, &corpus.docs[d], k)).collect();
+            let mut merged = k_way_merge(per_doc, order);
+            merged.truncate(k);
+            merged
+        });
+        let mut hits = k_way_merge(shard_lists, order);
+        hits.truncate(k);
+        CorpusRanking { hits, shards }
     }
 
     /// The features of the top-k hits, pulled from each hit's owning
@@ -463,7 +504,13 @@ impl<'a> CorpusQuery<'a> {
     }
 
     fn top_hits(&self) -> XsactResult<Vec<CorpusHit>> {
-        let ranking = self.ranked();
+        // Reuse the full ranking when it is already memoized (the CLI
+        // renders it before comparing) instead of fanning out a second,
+        // bounded search; otherwise run only the bounded top-k fan-out.
+        let ranking = match self.ranking_memo.get() {
+            Some(full) => full,
+            None => self.ranked_top_k(),
+        };
         if ranking.hits.is_empty() {
             return Err(XsactError::NoResults { query: self.query_text() });
         }
@@ -501,13 +548,15 @@ impl<'a> CorpusQuery<'a> {
     }
 }
 
-/// One shard worker's unit of work: the ranked search over one document,
-/// tagged with the document's identity for the cross-shard merge.
-fn search_one(query: &Query, doc: &CorpusDoc) -> Vec<CorpusHit> {
+/// One shard worker's unit of work: the ranked search over one document
+/// through the streaming executor (bounded by `k`, `usize::MAX` for the
+/// full ranking), tagged with the document's identity for the cross-shard
+/// merge. Executor counters land in the owning workbench's
+/// [`Workbench::executor_stats`].
+fn search_one(query: &Query, doc: &CorpusDoc, k: usize) -> Vec<CorpusHit> {
     let document = doc.wb.document();
     doc.wb
-        .engine()
-        .search_ranked(query)
+        .search_top_k(query, k)
         .into_iter()
         .map(|(result, score)| CorpusHit {
             doc: doc.id,

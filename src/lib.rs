@@ -79,6 +79,7 @@ pub use xsact_index as index;
 pub use xsact_xml as xml;
 
 pub use xsact_core::Algorithm;
+pub use xsact_index::ExecutorStats;
 
 /// The most common imports in one place.
 pub mod prelude {
@@ -87,6 +88,6 @@ pub mod prelude {
     pub use crate::workbench::{CacheStats, QueryPipeline, Workbench};
     pub use xsact_core::{Algorithm, Comparison, ComparisonOutcome, DfsConfig};
     pub use xsact_entity::{extract_features, FeatureType, ResultFeatures, StructureSummary};
-    pub use xsact_index::{Query, ResultSemantics, SearchEngine, SearchResult};
+    pub use xsact_index::{ExecutorStats, Query, ResultSemantics, SearchEngine, SearchResult};
     pub use xsact_xml::{parse_document, Document};
 }

@@ -32,7 +32,7 @@
 //! ```
 
 use crate::error::{XsactError, XsactResult};
-use std::cell::OnceCell;
+use std::cell::{Cell, OnceCell};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::io::{Read, Write};
@@ -40,7 +40,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
 use xsact_core::{Algorithm, Comparison, ComparisonOutcome, DfsConfig, Instance};
 use xsact_entity::ResultFeatures;
-use xsact_index::{Query, ResultSemantics, ScoredResult, SearchEngine, SearchResult};
+use xsact_index::{
+    ExecutorStats, Query, ResultSemantics, ScoredResult, SearchEngine, SearchResult,
+};
 use xsact_xml::{parse_document, Document, NodeId};
 
 /// Hit/miss counters of the workbench's feature cache.
@@ -137,6 +139,36 @@ impl FeatureCache {
     }
 }
 
+/// Cumulative executor counters of one workbench: every search executed
+/// through the facade (pipeline terminals, bounded top-k runs, corpus
+/// fan-out workers) adds its [`ExecutorStats`] here with relaxed atomics,
+/// so the aggregate is exact at any quiescent point and cheap to record
+/// under concurrency.
+#[derive(Debug, Default)]
+struct ExecCounters {
+    searches: AtomicU64,
+    postings_scanned: AtomicU64,
+    gallop_probes: AtomicU64,
+    candidates_pruned: AtomicU64,
+}
+
+impl ExecCounters {
+    fn record(&self, stats: ExecutorStats) {
+        self.searches.fetch_add(1, Ordering::Relaxed);
+        self.postings_scanned.fetch_add(stats.postings_scanned, Ordering::Relaxed);
+        self.gallop_probes.fetch_add(stats.gallop_probes, Ordering::Relaxed);
+        self.candidates_pruned.fetch_add(stats.candidates_pruned, Ordering::Relaxed);
+    }
+
+    fn totals(&self) -> ExecutorStats {
+        ExecutorStats {
+            postings_scanned: self.postings_scanned.load(Ordering::Relaxed),
+            gallop_probes: self.gallop_probes.load(Ordering::Relaxed),
+            candidates_pruned: self.candidates_pruned.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// A query-ready XSACT session over one document.
 ///
 /// Create one per document with [`Workbench::from_xml`] or
@@ -152,6 +184,7 @@ impl FeatureCache {
 pub struct Workbench {
     engine: SearchEngine,
     features: FeatureCache,
+    exec: ExecCounters,
 }
 
 impl Workbench {
@@ -168,7 +201,7 @@ impl Workbench {
     /// Wraps an already-built engine (e.g. one restored from a persisted
     /// index).
     pub fn from_engine(engine: SearchEngine) -> Workbench {
-        Workbench { engine, features: FeatureCache::new() }
+        Workbench { engine, features: FeatureCache::new(), exec: ExecCounters::default() }
     }
 
     /// Builds a workbench from a document plus a previously
@@ -203,8 +236,43 @@ impl Workbench {
             select: Vec::new(),
             config: DfsConfig::default(),
             search_memo: OnceCell::new(),
+            topk_memo: OnceCell::new(),
             instance_memo: OnceCell::new(),
+            exec_stats: Cell::new(None),
         })
+    }
+
+    /// Runs the streaming top-k executor directly: the best `k` results
+    /// with scores, best-first, equal to the full ranked search truncated
+    /// to `k`. Executor counters are recorded into
+    /// [`executor_stats`](Self::executor_stats). This is the entry point
+    /// the corpus engine's shard workers use for bounded fan-out.
+    pub fn search_top_k(&self, query: &Query, k: usize) -> Vec<(SearchResult, ScoredResult)> {
+        self.search_top_k_stats(query, k).0
+    }
+
+    /// [`search_top_k`](Self::search_top_k) plus this run's own counters
+    /// (the workbench totals are updated either way).
+    fn search_top_k_stats(
+        &self,
+        query: &Query,
+        k: usize,
+    ) -> (Vec<(SearchResult, ScoredResult)>, ExecutorStats) {
+        let top = self.engine.search_top_k(query, k, ResultSemantics::Slca);
+        self.exec.record(top.stats);
+        (top.hits, top.stats)
+    }
+
+    /// Runs the full (unbounded) search under `semantics`, recording
+    /// executor counters.
+    fn search_all_stats(
+        &self,
+        query: &Query,
+        semantics: ResultSemantics,
+    ) -> (Vec<SearchResult>, ExecutorStats) {
+        let (results, stats) = self.engine.search_with_stats(query, semantics);
+        self.exec.record(stats);
+        (results, stats)
     }
 
     /// The underlying search engine, for callers that need layer-level
@@ -262,6 +330,21 @@ impl Workbench {
         self.features.stats()
     }
 
+    /// Cumulative executor counters of every search this workbench has
+    /// run through the facade (pipeline terminals, bounded `take(k)`
+    /// runs, corpus fan-out), aggregated with the same exactly-once
+    /// guarantee as [`cache_stats`](Self::cache_stats). Counters survive
+    /// [`clear_cache`](Self::clear_cache) — they describe executor work,
+    /// not cache contents.
+    pub fn executor_stats(&self) -> ExecutorStats {
+        self.exec.totals()
+    }
+
+    /// How many searches the executor counters aggregate over.
+    pub fn searches_executed(&self) -> u64 {
+        self.exec.searches.load(Ordering::Relaxed)
+    }
+
     /// Number of results whose features are currently cached.
     pub fn cached_results(&self) -> usize {
         self.features.len()
@@ -300,12 +383,22 @@ pub struct QueryPipeline<'a> {
     /// the same SLCA search. Builder methods that change what the search
     /// returns reset it.
     search_memo: OnceCell<Vec<SearchResult>>,
+    /// The *bounded* ranked prefix (streaming top-k executor), memoized
+    /// per `take(k)` configuration. In ranked mode a `take(k)` selection
+    /// is served from here — only `k` results are scored, labelled and
+    /// kept — unless the full list was already materialised, in which
+    /// case truncating it is free. Reset by every builder method that
+    /// changes the search or the bound.
+    topk_memo: OnceCell<Vec<(SearchResult, ScoredResult)>>,
     /// The preprocessed comparison instance (interning + differentiability
     /// bit matrix) over the selected result features, built once per
     /// pipeline configuration so comparing the same result set with
     /// several algorithms pays preprocessing once. Reset by every builder
     /// method that changes the selection or the DFS config.
     instance_memo: OnceCell<Instance>,
+    /// Executor counters summed over the searches this pipeline has run
+    /// (`None` until a terminal executes one).
+    exec_stats: Cell<Option<ExecutorStats>>,
 }
 
 impl<'a> QueryPipeline<'a> {
@@ -314,6 +407,7 @@ impl<'a> QueryPipeline<'a> {
     pub fn semantics(mut self, semantics: ResultSemantics) -> Self {
         self.semantics = semantics;
         self.search_memo = OnceCell::new();
+        self.topk_memo = OnceCell::new();
         self.instance_memo = OnceCell::new();
         self
     }
@@ -327,14 +421,23 @@ impl<'a> QueryPipeline<'a> {
     pub fn ranked(mut self, ranked: bool) -> Self {
         self.ranked = ranked;
         self.search_memo = OnceCell::new();
+        self.topk_memo = OnceCell::new();
         self.instance_memo = OnceCell::new();
         self
     }
 
     /// Compares only the first `n` results (after ranking, if enabled).
+    ///
+    /// In [`ranked`](Self::ranked) mode the bound is **pushed down into
+    /// the executor**: a `take(k)` selection runs the streaming top-k
+    /// search — only `k` results are scored and materialised — instead of
+    /// ranking the full result list and truncating it. The outcome is
+    /// identical either way (the ranking order is total; pinned by
+    /// `tests/properties.rs`).
     #[must_use]
     pub fn take(mut self, n: usize) -> Self {
         self.take = Some(n);
+        self.topk_memo = OnceCell::new();
         self.instance_memo = OnceCell::new();
         self
     }
@@ -346,6 +449,7 @@ impl<'a> QueryPipeline<'a> {
     #[must_use]
     pub fn select(mut self, positions: impl IntoIterator<Item = usize>) -> Self {
         self.select = positions.into_iter().collect();
+        self.topk_memo = OnceCell::new();
         self.instance_memo = OnceCell::new();
         self
     }
@@ -382,9 +486,13 @@ impl<'a> QueryPipeline<'a> {
     fn raw_results(&self) -> &[SearchResult] {
         self.search_memo.get_or_init(|| {
             if self.ranked {
-                self.wb.engine.search_ranked(&self.query).into_iter().map(|(r, _)| r).collect()
+                let (hits, stats) = self.wb.search_top_k_stats(&self.query, usize::MAX);
+                self.note_stats(stats);
+                hits.into_iter().map(|(r, _)| r).collect()
             } else {
-                self.wb.engine.search_with(&self.query, self.semantics)
+                let (results, stats) = self.wb.search_all_stats(&self.query, self.semantics);
+                self.note_stats(stats);
+                results
             }
         })
     }
@@ -393,17 +501,70 @@ impl<'a> QueryPipeline<'a> {
     /// best first. When the pipeline is in [`ranked`](Self::ranked) mode
     /// this also seeds the search memo, so a following terminal
     /// (`selection`/`features`/`compare`) does not search again.
+    ///
+    /// This is always the *full* ranking; with a [`take(k)`](Self::take)
+    /// bound set, each call re-runs the unbounded search (the top-k memo
+    /// holds only `k` entries and cannot serve it) — prefer
+    /// [`top_results`](Self::top_results) on a bounded pipeline.
     pub fn ranked_results(&self) -> Vec<(SearchResult, ScoredResult)> {
-        let ranked = self.wb.engine.search_ranked(&self.query);
+        let ranked = if self.take.is_none() {
+            // Without a bound the top-k memo holds (or will hold) the full
+            // ranking — share it, so pairing this with
+            // [`top_results`](Self::top_results) searches once, not twice.
+            self.bounded_hits().to_vec()
+        } else {
+            let (ranked, stats) = self.wb.search_top_k_stats(&self.query, usize::MAX);
+            self.note_stats(stats);
+            ranked
+        };
         if self.ranked {
             let _ = self.search_memo.set(ranked.iter().map(|(r, _)| r.clone()).collect());
         }
         ranked
     }
 
+    /// The ranked top of the result list with scores, served by the
+    /// **bounded** streaming executor: with [`take(k)`](Self::take) set,
+    /// only `k` results are scored, labelled and kept — the full ranking
+    /// is never materialised. Without a bound this equals
+    /// [`ranked_results`](Self::ranked_results). Always ranks (like
+    /// `ranked_results`), whatever the pipeline's
+    /// [`ranked`](Self::ranked) flag says.
+    pub fn top_results(&self) -> Vec<(SearchResult, ScoredResult)> {
+        self.bounded_hits().to_vec()
+    }
+
+    fn bounded_hits(&self) -> &[(SearchResult, ScoredResult)] {
+        self.topk_memo.get_or_init(|| {
+            let k = self.take.unwrap_or(usize::MAX);
+            let (hits, stats) = self.wb.search_top_k_stats(&self.query, k);
+            self.note_stats(stats);
+            hits
+        })
+    }
+
+    fn note_stats(&self, stats: ExecutorStats) {
+        self.exec_stats.set(Some(self.exec_stats.get().unwrap_or_default() + stats));
+    }
+
+    /// Executor counters summed over the searches this pipeline has run
+    /// so far (`None` before the first terminal). The CLI's `--explain`
+    /// flag prints this.
+    pub fn executor_stats(&self) -> Option<ExecutorStats> {
+        self.exec_stats.get()
+    }
+
     /// The results that enter the comparison after applying
     /// [`select`](Self::select) / [`take`](Self::take).
     pub fn selection(&self) -> XsactResult<Vec<SearchResult>> {
+        if self.select.is_empty() {
+            if let (Some(_), true, None) = (self.take, self.ranked, self.search_memo.get()) {
+                // Ranked take(k) with no full list materialised yet: push
+                // the bound down into the streaming executor instead of
+                // ranking everything and truncating.
+                return Ok(self.bounded_hits().iter().map(|(r, _)| r.clone()).collect());
+            }
+        }
         let results = self.raw_results();
         if !self.select.is_empty() {
             return self

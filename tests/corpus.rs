@@ -46,6 +46,54 @@ fn shard_counts_1_2_8_yield_byte_identical_rankings_and_tables() {
 }
 
 #[test]
+fn bounded_compare_path_matches_ranking_then_compare() {
+    // The compare-only path pushes `top` down into each shard (local
+    // top-k, merge of shards × k candidates); it must produce exactly the
+    // table the full-ranking path produces, at every shard count.
+    let mut corpus = Corpus::synthetic_movies(5, 50, 11);
+    for shards in [1usize, 2, 8] {
+        corpus.set_shards(shards);
+        // Full path: render the ranking first, then compare (reuses memo).
+        let with_ranking = corpus.query("drama family").unwrap().top(4).size_bound(6);
+        let full_render = with_ranking.ranking().render(4);
+        let full = with_ranking.compare(Algorithm::MultiSwap).unwrap();
+        // Bounded path: compare without ever asking for the ranking.
+        let bounded_query = corpus.query("drama family").unwrap().top(4).size_bound(6);
+        let bounded = bounded_query.compare(Algorithm::MultiSwap).unwrap();
+        assert_eq!(bounded.table(), full.table(), "{shards} shards");
+        assert_eq!(bounded.dod(), full.dod(), "{shards} shards");
+        let hits =
+            |o: &CorpusOutcome| o.hits.iter().map(|h| (h.doc, h.dewey.clone())).collect::<Vec<_>>();
+        assert_eq!(hits(&bounded), hits(&full), "{shards} shards");
+        // And the bounded hits are exactly the full ranking's head.
+        let bounded_render = CorpusRanking { hits: bounded.hits.clone(), shards }.render(4);
+        assert_eq!(bounded_render, full_render, "{shards} shards");
+    }
+}
+
+#[test]
+fn compare_after_ranking_reuses_the_fan_out() {
+    // Satellite fix: requesting both the ranking and the table must run
+    // exactly one fan-out — compare() slices the memoized full ranking
+    // instead of launching a second, bounded search.
+    let corpus = Corpus::synthetic_movies(3, 40, 5).with_shards(2);
+    let searches = |c: &Corpus| -> u64 {
+        (0..c.len()).map(|i| c.workbench(DocId(i as u32)).searches_executed()).sum()
+    };
+    let query = corpus.query("drama family").unwrap().top(4);
+    assert!(!query.ranking().hits.is_empty());
+    let after_ranking = searches(&corpus);
+    assert_eq!(after_ranking, corpus.len() as u64, "one search per document");
+    query.compare(Algorithm::MultiSwap).unwrap();
+    assert_eq!(searches(&corpus), after_ranking, "compare() must not search again");
+    // A compare-only query fans out exactly once too (bounded).
+    corpus.query("drama family").unwrap().top(4).compare(Algorithm::MultiSwap).unwrap();
+    assert_eq!(searches(&corpus), after_ranking + corpus.len() as u64);
+    // Executor counters aggregate corpus-wide.
+    assert!(corpus.executor_stats().postings_scanned > 0);
+}
+
+#[test]
 fn merged_ranking_spans_documents_and_is_score_ordered() {
     let corpus = gps_corpus().with_shards(3);
     let query = corpus.query("TomTom GPS").unwrap();

@@ -41,6 +41,43 @@ fn engine_on_trivial_documents() {
     assert_eq!(rf.type_count(), 0);
 }
 
+#[test]
+fn zero_postings_term_surfaces_no_results_under_slca() {
+    // Satellite: the planner short-circuits a query containing a term with
+    // zero postings before any SLCA work; the facade still reports the
+    // typed NoResults, and the executor counters prove nothing ran.
+    let wb = figure1_like_workbench();
+    let err = wb
+        .query("tomtom zeppelin")
+        .unwrap()
+        .semantics(ResultSemantics::Slca)
+        .features()
+        .unwrap_err();
+    assert!(matches!(err, XsactError::NoResults { .. }), "{err}");
+    assert_eq!(wb.executor_stats(), ExecutorStats::default(), "short-circuit must cost nothing");
+}
+
+#[test]
+fn zero_postings_term_surfaces_no_results_under_elca() {
+    let wb = figure1_like_workbench();
+    let err = wb
+        .query("tomtom zeppelin")
+        .unwrap()
+        .semantics(ResultSemantics::Elca)
+        .features()
+        .unwrap_err();
+    assert!(matches!(err, XsactError::NoResults { .. }), "{err}");
+    assert_eq!(wb.executor_stats(), ExecutorStats::default(), "no ELCA full scan may run");
+}
+
+fn figure1_like_workbench() -> Workbench {
+    Workbench::from_xml(
+        "<shop><product><name>TomTom Go</name><kind>GPS</kind></product>\
+         <product><name>Garmin</name><kind>GPS</kind></product></shop>",
+    )
+    .expect("well-formed fixture")
+}
+
 // ------------------------------------------------------- degenerate configs
 
 fn one_result() -> Vec<ResultFeatures> {

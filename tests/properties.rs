@@ -24,7 +24,10 @@ use xsact_core::{
     DfsConfig, Instance,
 };
 use xsact_entity::{FeatureType, ResultFeatures};
-use xsact_index::{slca_full_scan, slca_indexed_lookup, InvertedIndex};
+use xsact_index::{
+    rank_results, rank_top_k, slca_full_scan, slca_indexed_lookup, InvertedIndex, Query, QueryPlan,
+    ResultSemantics, SearchEngine,
+};
 use xsact_xml::{parse_document, writer, Document, NodeId};
 
 // ---------------------------------------------------------------- XML layer
@@ -238,6 +241,121 @@ fn slca_over_interned_postings_matches_oracle_lists() {
             slca_full_scan(&doc, &string_keyed),
             "seed {seed}: full-scan SLCA differs between substrates"
         );
+    }
+}
+
+// ------------------------------------------------ streaming top-k executor
+//
+// The gallop executor (QueryPlan + SlcaStream + the bounded top-k heap)
+// must be observably identical to the batch oracles: slca_full_scan /
+// elca_full_scan for the match set, and rank_results' full sort truncated
+// at k for the ranking — for every k, tied scores included.
+
+/// A random query over the generator's tag universe: 1–4 terms, sometimes
+/// including `missing`, which never occurs in any generated document (so
+/// the zero-postings short-circuit is exercised as a matter of course).
+fn random_query(rng: &mut StdRng) -> Query {
+    let universe = ["a", "item", "root", "b", "group", "missing"];
+    let term_count = rng.random_range(1..=4usize);
+    let start = rng.random_range(0..universe.len() - term_count + 1);
+    Query::from_terms(universe[start..start + term_count].iter())
+}
+
+#[test]
+fn gallop_stream_matches_the_full_scan_oracle() {
+    for seed in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let doc = random_document(&mut rng);
+        let idx = InvertedIndex::build(&doc);
+        let query = random_query(&mut rng);
+        let lists: Vec<&[NodeId]> = query.iter().map(|t| idx.postings(t)).collect();
+        let oracle = slca_full_scan(&doc, &lists);
+        let plan = QueryPlan::new(&idx, &query);
+        let mut stream = plan.stream(&doc);
+        let streamed: Vec<NodeId> = stream.by_ref().collect();
+        assert_eq!(streamed, oracle, "seed {seed}, query {query}");
+        if plan.is_empty() {
+            assert!(oracle.is_empty(), "seed {seed}: planner may only prune hopeless queries");
+            assert!(stream.stats().is_zero(), "seed {seed}: short-circuit must cost nothing");
+        } else {
+            assert_eq!(
+                stream.stats().postings_scanned,
+                plan.driver_len() as u64,
+                "seed {seed}: the driver list is walked exactly once"
+            );
+        }
+    }
+}
+
+#[test]
+fn search_top_k_matches_the_ranked_oracle_for_both_semantics() {
+    for seed in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let doc = random_document(&mut rng);
+        let engine = SearchEngine::build(doc);
+        let query = random_query(&mut rng);
+        for semantics in [ResultSemantics::Slca, ResultSemantics::Elca] {
+            // Oracle: the unbounded search (full-scan ELCA / batch SLCA),
+            // ranked by the sort-everything path.
+            let results = engine.search_with(&query, semantics);
+            let roots: Vec<NodeId> = results.iter().map(|r| r.root).collect();
+            let scored = rank_results(engine.document(), engine.index(), &query, &roots);
+            let full = engine.search_top_k(&query, usize::MAX, semantics);
+            assert_eq!(
+                full.hits.iter().map(|(_, s)| s.clone()).collect::<Vec<_>>(),
+                scored,
+                "seed {seed} {semantics:?}: unbounded executor vs full sort"
+            );
+            assert_eq!(full.hits.len(), results.len(), "seed {seed} {semantics:?}");
+            // Every truncation equals the full run's prefix.
+            for k in 0..=full.hits.len() + 1 {
+                let bounded = engine.search_top_k(&query, k, semantics);
+                assert_eq!(
+                    bounded.hits,
+                    full.hits[..k.min(full.hits.len())],
+                    "seed {seed} {semantics:?} k = {k}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn rank_top_k_equals_the_truncated_full_sort_on_random_documents() {
+    for seed in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let doc = random_document(&mut rng);
+        let idx = InvertedIndex::build(&doc);
+        let query = random_query(&mut rng);
+        // Every element is a candidate root — the tiny tag alphabet makes
+        // structurally identical subtrees (and therefore bitwise-tied
+        // scores) common, which is exactly what the heap's tie-break must
+        // survive.
+        let roots: Vec<NodeId> = doc.all_nodes().filter(|&n| doc.is_element(n)).collect();
+        let full = rank_results(&doc, &idx, &query, &roots);
+        for k in 0..=full.len() {
+            let top = rank_top_k(&doc, &idx, &query, roots.iter().copied(), k);
+            assert_eq!(top, full[..k], "seed {seed} k = {k}");
+        }
+    }
+}
+
+#[test]
+fn rank_top_k_breaks_deliberate_ties_like_the_full_sort() {
+    // Sixteen structurally identical siblings: sixteen bitwise-equal
+    // scores, so every prefix is decided purely by the Dewey tie-break.
+    let xml = format!("<r>{}</r>", "<s><t>gps</t></s>".repeat(16));
+    let doc = parse_document(&xml).unwrap();
+    let idx = InvertedIndex::build(&doc);
+    let query = Query::parse("gps");
+    let roots: Vec<NodeId> = doc.children(doc.root()).to_vec();
+    let full = rank_results(&doc, &idx, &query, &roots);
+    assert!(full.windows(2).all(|w| w[0].score == w[1].score), "fixture must tie every score");
+    for k in 0..=full.len() {
+        // Feed the roots in reverse to prove input order cannot leak
+        // through the bounded heap either.
+        let top = rank_top_k(&doc, &idx, &query, roots.iter().rev().copied(), k);
+        assert_eq!(top, full[..k], "k = {k}");
     }
 }
 

@@ -136,6 +136,68 @@ fn ranked_pipeline_orders_best_first() {
 }
 
 #[test]
+fn ranked_take_pushes_k_down_and_equals_the_truncated_full_sort() {
+    let doc = MoviesGen::new(MovieGenConfig { movies: 80, ..Default::default() }).generate();
+    let wb = Workbench::from_document(doc);
+    let full = wb.query("drama family").unwrap().ranked(true).results();
+    assert!(full.len() > 8, "the fixture must have plenty of results");
+    for k in [0, 1, 3, 7, full.len(), full.len() + 5] {
+        let searches_before = wb.searches_executed();
+        let pipeline = wb.query("drama family").unwrap().ranked(true).take(k);
+        let selection = pipeline.selection().unwrap();
+        assert_eq!(selection, full[..k.min(full.len())], "k = {k}");
+        // The bound went down into the executor: exactly one (bounded)
+        // search ran, and the pipeline observed its counters.
+        assert_eq!(wb.searches_executed(), searches_before + 1, "k = {k}");
+        let stats = pipeline.executor_stats().expect("a search ran");
+        if k < full.len() {
+            assert!(stats.candidates_pruned > 0, "k = {k}: the heap must have evicted");
+        }
+    }
+}
+
+#[test]
+fn top_results_equal_the_ranked_results_prefix() {
+    let doc = MoviesGen::new(MovieGenConfig { movies: 60, ..Default::default() }).generate();
+    let wb = Workbench::from_document(doc);
+    let unbounded = wb.query("drama family").unwrap().ranked_results();
+    let top = wb.query("drama family").unwrap().take(5).top_results();
+    assert_eq!(top, unbounded[..5.min(unbounded.len())]);
+    // Without a bound, top_results is the whole ranking.
+    let all = wb.query("drama family").unwrap().top_results();
+    assert_eq!(all, unbounded);
+    // And an unbounded pipeline shares one memoized search between
+    // top_results() and ranked_results().
+    let before = wb.searches_executed();
+    let pipeline = wb.query("drama family").unwrap();
+    assert_eq!(pipeline.top_results(), pipeline.ranked_results());
+    assert_eq!(wb.searches_executed(), before + 1, "memo must be shared");
+}
+
+#[test]
+fn executor_stats_accumulate_across_queries() {
+    let wb = figure1_workbench();
+    assert_eq!(wb.executor_stats(), ExecutorStats::default());
+    assert_eq!(wb.searches_executed(), 0);
+    let _ = wb.query(fixtures::PAPER_QUERY).unwrap().results();
+    let after_one = wb.executor_stats();
+    assert!(after_one.postings_scanned > 0);
+    assert_eq!(wb.searches_executed(), 1);
+    let _ = wb.query(fixtures::PAPER_QUERY).unwrap().ranked(true).results();
+    let after_two = wb.executor_stats();
+    assert!(after_two.postings_scanned > after_one.postings_scanned);
+    assert_eq!(wb.searches_executed(), 2);
+    // A zero-postings term short-circuits in the planner: the search is
+    // counted, the counters do not move.
+    let _ = wb.query("tomtom zeppelin").unwrap().results();
+    assert_eq!(wb.executor_stats(), after_two);
+    assert_eq!(wb.searches_executed(), 3);
+    // clear_cache resets the feature cache, not the executor history.
+    wb.clear_cache();
+    assert_eq!(wb.executor_stats(), after_two);
+}
+
+#[test]
 fn workbench_from_xml_end_to_end() {
     let wb = Workbench::from_xml(
         "<shop>\
