@@ -1,0 +1,114 @@
+#!/usr/bin/env bash
+# Serve smoke lane: boot `xsact serve` on a loopback socket, drive it with
+# the scripted client, and golden-diff the responses. Three servers run in
+# sequence:
+#
+#   1. a normal server — scripted queries, diffed against serve_smoke.golden
+#   2. a --budget 1 server — the second query must be ERR BUDGET_EXCEEDED
+#   3. a --queue 0 server  — every query must be ERR OVERLOADED
+#
+# The script builds nothing unless target/release/xsact is missing, so the
+# CI step can reuse the workspace build. Exit code 0 = all three passed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+XSACT=target/release/xsact
+GOLDEN=ci/serve_smoke.golden
+if [[ ! -x "$XSACT" ]]; then
+    cargo build --release -p xsact-cli
+fi
+
+SERVER_PID=""
+SERVER_LOG=""
+cleanup() {
+    if [[ -n "$SERVER_PID" ]] && kill -0 "$SERVER_PID" 2>/dev/null; then
+        kill "$SERVER_PID" 2>/dev/null || true
+    fi
+}
+trap cleanup EXIT
+
+# Starts a server on an ephemeral port with the fixed smoke dataset plus
+# any extra flags, waits for its "listening on" line, and sets ADDR.
+start_server() {
+    SERVER_LOG=$(mktemp)
+    "$XSACT" serve --addr 127.0.0.1:0 --docs 6 --movies 40 --seed 42 --shards 2 "$@" \
+        >"$SERVER_LOG" &
+    SERVER_PID=$!
+    ADDR=""
+    for _ in $(seq 1 100); do
+        ADDR=$(sed -n 's/^listening on //p' "$SERVER_LOG")
+        [[ -n "$ADDR" ]] && return 0
+        if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+            echo "FAIL: server exited before binding; log:" >&2
+            cat "$SERVER_LOG" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    echo "FAIL: server never reported its address; log:" >&2
+    cat "$SERVER_LOG" >&2
+    exit 1
+}
+
+# Waits for the server process and echoes its remaining output (the
+# shutdown summary), so a hung drain fails the lane visibly.
+finish_server() {
+    wait "$SERVER_PID"
+    SERVER_PID=""
+    cat "$SERVER_LOG"
+    rm -f "$SERVER_LOG"
+}
+
+echo "== serve smoke 1/3: scripted session vs golden =="
+start_server
+"$XSACT" client --addr "$ADDR" <<'EOF' >/tmp/serve_smoke.out
+QUERY drama family
+TOP 2
+QUERY drama family
+STATS
+QUERY ???
+BOGUS verb
+SHUTDOWN
+EOF
+finish_server >/dev/null
+if ! diff -u "$GOLDEN" /tmp/serve_smoke.out; then
+    echo "FAIL: scripted session diverged from $GOLDEN" >&2
+    exit 1
+fi
+echo "golden diff clean"
+
+echo "== serve smoke 2/3: session budget rejects the second query =="
+start_server --budget 1
+"$XSACT" client --addr "$ADDR" <<'EOF' >/tmp/serve_budget.out
+QUERY drama family
+QUERY drama family
+SHUTDOWN
+EOF
+finish_server >/dev/null
+grep -q '^OK ' /tmp/serve_budget.out || {
+    echo "FAIL: first query should fit the budget" >&2
+    cat /tmp/serve_budget.out >&2
+    exit 1
+}
+grep -q '^ERR BUDGET_EXCEEDED ' /tmp/serve_budget.out || {
+    echo "FAIL: second query should exceed the budget" >&2
+    cat /tmp/serve_budget.out >&2
+    exit 1
+}
+echo "budget rejection surfaced"
+
+echo "== serve smoke 3/3: zero-capacity queue rejects as overloaded =="
+start_server --queue 0
+"$XSACT" client --addr "$ADDR" <<'EOF' >/tmp/serve_overload.out
+QUERY drama family
+SHUTDOWN
+EOF
+finish_server >/dev/null
+grep -q '^ERR OVERLOADED ' /tmp/serve_overload.out || {
+    echo "FAIL: zero-capacity server should reject with OVERLOADED" >&2
+    cat /tmp/serve_overload.out >&2
+    exit 1
+}
+echo "overload rejection surfaced"
+
+echo "serve smoke: all three scenarios passed"

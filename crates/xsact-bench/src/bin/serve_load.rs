@@ -1,0 +1,234 @@
+//! SERVE-LOAD — the serving runtime under load.
+//!
+//! Two experiments against one `CorpusServer` (persistent shard pool,
+//! batching dispatcher, bounded admission queue):
+//!
+//! 1. **Closed loop**: N client threads, each submitting its next query the
+//!    moment the previous answer lands. Reports per-query latency (p50,
+//!    p99) and aggregate throughput as N grows — the batching dispatcher
+//!    should turn extra concurrency into larger batches, not proportionally
+//!    longer queues.
+//! 2. **Open loop**: a pacer thread injects queries at fixed offered rates
+//!    regardless of completions, the realistic arrival model. Latency is
+//!    measured from the *scheduled* arrival instant, so queueing delay (and
+//!    coordinated omission) is included; admission-control rejections are
+//!    counted rather than hidden.
+//!
+//! Before timing anything, every distinct query in the mix is checked
+//! byte-identical against sequential execution — a load bench that quietly
+//! served different bytes would be measuring a bug.
+//!
+//! Usage: `cargo run --release -p xsact-bench --bin serve_load [--quick]`
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use xsact::data::movies::qm_queries;
+use xsact::prelude::*;
+use xsact_bench::harness::format_duration;
+use xsact_bench::{print_row, scaled, FIG4_SEED};
+
+/// Latency percentile over an unsorted sample set (nearest-rank).
+fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+fn sorted(mut samples: Vec<Duration>) -> Vec<Duration> {
+    samples.sort();
+    samples
+}
+
+/// The query mix: the paper's QM1–QM8 movie workload texts.
+fn query_mix() -> Vec<String> {
+    qm_queries().into_iter().map(|(_, text)| text).collect()
+}
+
+/// Asserts the server returns sequential bytes for every query in the mix.
+fn check_bytes(corpus: &Corpus, server: &CorpusServer, mix: &[String], k: usize) {
+    let mut session = server.session();
+    for text in mix {
+        let served = session.query(text).expect("mix queries are non-empty");
+        let sequential = corpus.query(text).expect("non-empty").ranking().render(k);
+        assert_eq!(served.ranking.render(k), sequential, "served bytes diverged for {text:?}");
+    }
+}
+
+/// Closed loop: each of `clients` threads issues `per_client` queries
+/// back-to-back. Returns all latencies plus the wall time of the storm.
+fn closed_loop(
+    server: &CorpusServer,
+    mix: &[String],
+    clients: usize,
+    per_client: usize,
+) -> (Vec<Duration>, Duration) {
+    let wall = Instant::now();
+    let mut all = Vec::with_capacity(clients * per_client);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut session = server.session();
+                    let mut latencies = Vec::with_capacity(per_client);
+                    for i in 0..per_client {
+                        // Offset per client so concurrent threads mix
+                        // coalescable and distinct queries.
+                        let text = &mix[(i + c) % mix.len()];
+                        let t = Instant::now();
+                        session.query(text).expect("closed loop never overloads the queue");
+                        latencies.push(t.elapsed());
+                    }
+                    latencies
+                })
+            })
+            .collect();
+        for handle in handles {
+            all.extend(handle.join().expect("client thread panicked"));
+        }
+    });
+    (all, wall.elapsed())
+}
+
+/// One open-loop outcome: latencies of served queries (measured from the
+/// scheduled arrival) and how many submissions admission control rejected.
+struct OpenLoopOutcome {
+    latencies: Vec<Duration>,
+    rejected: u64,
+    wall: Duration,
+}
+
+/// Open loop at `rate` queries/second for `total` queries: a pacer thread
+/// schedules arrivals on a fixed grid and `workers` threads execute them.
+/// A full submission queue surfaces as a counted rejection, not a stall.
+fn open_loop(server: &CorpusServer, mix: &[String], rate: u64, total: usize) -> OpenLoopOutcome {
+    let workers = scaled(4, 2);
+    let interval = Duration::from_nanos(1_000_000_000 / rate.max(1));
+    let (tx, rx) = mpsc::channel::<(Instant, usize)>();
+    let rx = Arc::new(std::sync::Mutex::new(rx));
+    let wall = Instant::now();
+    let mut latencies = Vec::with_capacity(total);
+    let mut rejected = 0u64;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                scope.spawn(move || {
+                    let mut session = server.session();
+                    let mut latencies = Vec::new();
+                    let mut rejected = 0u64;
+                    loop {
+                        let job = rx.lock().expect("job queue lock poisoned").recv();
+                        let Ok((scheduled, query)) = job else { break };
+                        match session.query(&mix[query]) {
+                            Ok(_) => latencies.push(scheduled.elapsed()),
+                            Err(XsactError::Overloaded { .. }) => rejected += 1,
+                            Err(e) => panic!("unexpected serving error: {e}"),
+                        }
+                    }
+                    (latencies, rejected)
+                })
+            })
+            .collect();
+        // The pacer: arrival i is due at start + i·interval, whether or not
+        // earlier queries have finished (that is what "offered load" means).
+        let start = Instant::now();
+        for i in 0..total {
+            let due = start + interval * i as u32;
+            if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                std::thread::sleep(wait);
+            }
+            tx.send((due, i % mix.len())).expect("workers outlive the pacer");
+        }
+        drop(tx);
+        for handle in handles {
+            let (worker_latencies, worker_rejected) = handle.join().expect("worker panicked");
+            latencies.extend(worker_latencies);
+            rejected += worker_rejected;
+        }
+    });
+    OpenLoopOutcome { latencies, rejected, wall: wall.elapsed() }
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    println!("machine parallelism: {cores} core{}", if cores == 1 { "" } else { "s" });
+
+    let docs = scaled(8, 2);
+    let movies = scaled(120, 20);
+    let shards = cores.min(docs);
+    let t = Instant::now();
+    let corpus = Arc::new(Corpus::synthetic_movies(docs, movies, FIG4_SEED).with_shards(shards));
+    println!(
+        "corpus: {docs} documents x {movies} movies, {shards} shards (built in {:.1?})",
+        t.elapsed()
+    );
+    let config = ServeConfig::default();
+    let k = config.default_top;
+    let server = CorpusServer::start(Arc::clone(&corpus), config);
+    let mix = query_mix();
+    check_bytes(&corpus, &server, &mix, k);
+    println!("byte-identity check passed for {} queries\n", mix.len());
+
+    // ---- closed loop -----------------------------------------------------
+    let per_client = scaled(200, 8);
+    println!("closed loop ({per_client} queries per client)");
+    let widths = [8, 10, 12, 12, 12];
+    print_row(
+        &["clients".into(), "queries".into(), "p50".into(), "p99".into(), "qps".into()],
+        &widths,
+    );
+    for clients in [1usize, 4] {
+        let (latencies, wall) = closed_loop(&server, &mix, clients, per_client);
+        let latencies = sorted(latencies);
+        print_row(
+            &[
+                clients.to_string(),
+                latencies.len().to_string(),
+                format_duration(percentile(&latencies, 0.50)),
+                format_duration(percentile(&latencies, 0.99)),
+                format!("{:.0}", latencies.len() as f64 / wall.as_secs_f64().max(1e-9)),
+            ],
+            &widths,
+        );
+    }
+    println!();
+
+    // ---- open loop -------------------------------------------------------
+    let total = scaled(400, 16);
+    println!("open loop ({total} offered queries per rate; latency from scheduled arrival)");
+    let widths = [10, 10, 12, 12, 12, 10];
+    print_row(
+        &[
+            "rate/s".into(),
+            "served".into(),
+            "p50".into(),
+            "p99".into(),
+            "qps".into(),
+            "rejected".into(),
+        ],
+        &widths,
+    );
+    for rate in [scaled(500, 200) as u64, scaled(2_000, 800) as u64] {
+        let outcome = open_loop(&server, &mix, rate, total);
+        let latencies = sorted(outcome.latencies);
+        print_row(
+            &[
+                rate.to_string(),
+                latencies.len().to_string(),
+                format_duration(percentile(&latencies, 0.50)),
+                format_duration(percentile(&latencies, 0.99)),
+                format!("{:.0}", latencies.len() as f64 / outcome.wall.as_secs_f64().max(1e-9)),
+                outcome.rejected.to_string(),
+            ],
+            &widths,
+        );
+    }
+    println!();
+
+    println!("server counters after the runs:");
+    server.join();
+    println!("{}", server.stats());
+}

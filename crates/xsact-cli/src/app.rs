@@ -2,9 +2,13 @@
 //! the terminal analogue of the paper's Figure 5 result page, wired through
 //! the [`Workbench`] pipeline with typed errors.
 
-use crate::args::{Args, CorpusArgs, Dataset};
-use std::time::Instant;
+use crate::args::{Args, ClientArgs, CorpusArgs, Dataset, ServeArgs};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 use xsact::prelude::*;
+use xsact::serve::{serve_tcp, END_MARKER};
 use xsact_data::{
     fixtures, JobsGen, JobsGenConfig, MovieGenConfig, MoviesGen, OutdoorGen, OutdoorGenConfig,
     ReviewsGen, ReviewsGenConfig,
@@ -270,6 +274,106 @@ fn run_corpus_inner(args: &CorpusArgs) -> Result<(String, ExecutorStats), XsactE
     Ok((out, corpus.executor_stats()))
 }
 
+/// Builds the corpus a server will hold, from the same source knobs as
+/// corpus mode (directory with optional index cache, or a synthetic
+/// fleet).
+fn build_serve_corpus(args: &ServeArgs) -> Result<Corpus, XsactError> {
+    let mut corpus = match (&args.dir, &args.index_dir) {
+        (Some(dir), Some(cache)) => Corpus::from_dir_cached(dir, cache)?,
+        (Some(dir), None) => Corpus::from_dir(dir)?,
+        (None, Some(_)) => {
+            return Err(XsactError::InvalidConfig(
+                "--index-dir requires --dir (a synthetic fleet never reloads its cache)".into(),
+            ));
+        }
+        (None, None) => Corpus::synthetic_movies(args.docs, args.movies, args.seed),
+    };
+    if args.shards > 0 {
+        corpus.set_shards(args.shards);
+    }
+    Ok(corpus)
+}
+
+/// The `serve` subcommand: run the corpus server over TCP until a client
+/// sends `SHUTDOWN`. The listening line is printed (and flushed)
+/// immediately so scripts can tell the server is up; the returned string
+/// is the post-shutdown counter summary.
+pub fn run_serve(args: &ServeArgs) -> Result<String, XsactError> {
+    let corpus = Arc::new(build_serve_corpus(args)?);
+    let config = ServeConfig {
+        queue_capacity: args.queue,
+        max_batch: args.max_batch,
+        default_top: args.top,
+        budget: args.budget,
+    };
+    let server = CorpusServer::start(Arc::clone(&corpus), config);
+    let handle = serve_tcp(server, &args.addr)?;
+    println!(
+        "xsact-serve: {} documents, {} shards (effective {}), queue {}, max batch {}, top {}{}",
+        corpus.len(),
+        corpus.shards(),
+        corpus.effective_shards(),
+        args.queue,
+        args.max_batch,
+        args.top,
+        match args.budget {
+            Some(b) => format!(", budget {b}"),
+            None => String::new(),
+        }
+    );
+    println!("listening on {}", handle.addr());
+    std::io::stdout().flush()?;
+    let stats = handle.wait();
+    Ok(format!("shutdown complete\n{stats}\n"))
+}
+
+/// The `client` subcommand: read request lines from stdin, send each to
+/// the server, and print every response body (the lone `.` terminator is
+/// consumed, not printed — output is exactly what the server said).
+pub fn run_client(args: &ClientArgs) -> Result<String, XsactError> {
+    let stream = connect_with_retry(&args.addr, args.retry_ms)?;
+    let mut writer = stream.try_clone()?;
+    let mut responses = BufReader::new(stream).lines();
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line?;
+        let request = line.trim();
+        if request.is_empty() {
+            continue;
+        }
+        writer.write_all(format!("{request}\n").as_bytes())?;
+        loop {
+            match responses.next() {
+                Some(Ok(l)) if l == END_MARKER => break,
+                Some(Ok(l)) => println!("{l}"),
+                // Server closed the stream mid-response (shutdown race).
+                Some(Err(_)) | None => return Ok(String::new()),
+            }
+        }
+        if request == "QUIT" || request == "SHUTDOWN" {
+            break;
+        }
+    }
+    Ok(String::new())
+}
+
+/// Retries the connect until it succeeds or `total_ms` elapses, so a
+/// scripted client can be started in the same breath as the server.
+fn connect_with_retry(addr: &str, total_ms: u64) -> std::io::Result<TcpStream> {
+    let deadline = Instant::now() + Duration::from_millis(total_ms);
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(e);
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -280,7 +384,7 @@ mod tests {
         argv.extend(extra.iter().map(|s| s.to_string()));
         match args::parse(argv.into_iter()).expect("valid args") {
             args::Command::Single(a) => a,
-            args::Command::Corpus(c) => panic!("expected single mode: {c:?}"),
+            other => panic!("expected single mode: {other:?}"),
         }
     }
 
@@ -289,7 +393,7 @@ mod tests {
         argv.extend(extra.iter().map(|s| s.to_string()));
         match args::parse(argv.into_iter()).expect("valid args") {
             args::Command::Corpus(c) => c,
-            args::Command::Single(a) => panic!("expected corpus mode: {a:?}"),
+            other => panic!("expected corpus mode: {other:?}"),
         }
     }
 

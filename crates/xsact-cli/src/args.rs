@@ -148,14 +148,82 @@ impl Default for CorpusArgs {
     }
 }
 
-/// A parsed invocation: the classic single-document demo, or the sharded
-/// corpus mode.
+/// Arguments of the `serve` subcommand: run the long-lived corpus server
+/// with its TCP line-protocol front end.
+#[derive(Debug, Clone)]
+pub struct ServeArgs {
+    /// Directory of `*.xml` documents to serve. When absent, a synthetic
+    /// movie fleet of `docs` documents is generated instead.
+    pub dir: Option<String>,
+    /// Synthetic fleet size (used when `dir` is absent).
+    pub docs: usize,
+    /// Movies per synthetic document.
+    pub movies: usize,
+    /// Generator seed for the synthetic fleet.
+    pub seed: u64,
+    /// Shard count; 0 = the machine's available parallelism.
+    pub shards: usize,
+    /// Per-document index cache directory (only meaningful with `dir`).
+    pub index_dir: Option<String>,
+    /// Address to listen on; port 0 binds an ephemeral port (printed).
+    pub addr: String,
+    /// Submission-queue capacity; 0 rejects everything (test servers).
+    pub queue: usize,
+    /// Largest batch one dispatch round may form.
+    pub max_batch: usize,
+    /// Default per-session top-k (sessions change it with `TOP`).
+    pub top: usize,
+    /// Per-session executor-work budget in posting entries scanned.
+    pub budget: Option<u64>,
+}
+
+impl Default for ServeArgs {
+    fn default() -> Self {
+        ServeArgs {
+            dir: None,
+            docs: 8,
+            movies: 120,
+            seed: 42,
+            shards: 0,
+            index_dir: None,
+            addr: "127.0.0.1:4141".to_owned(),
+            queue: 64,
+            max_batch: 16,
+            top: 4,
+            budget: None,
+        }
+    }
+}
+
+/// Arguments of the `client` subcommand: a scriptable line-protocol
+/// client (reads requests from stdin, prints each response body).
+#[derive(Debug, Clone)]
+pub struct ClientArgs {
+    /// Server address to connect to.
+    pub addr: String,
+    /// Total time in milliseconds to keep retrying the connect (covers
+    /// the race between starting the server and the first client).
+    pub retry_ms: u64,
+}
+
+impl Default for ClientArgs {
+    fn default() -> Self {
+        ClientArgs { addr: "127.0.0.1:4141".to_owned(), retry_ms: 2000 }
+    }
+}
+
+/// A parsed invocation: the classic single-document demo, the sharded
+/// corpus mode, or the serving runtime's two ends.
 #[derive(Debug, Clone)]
 pub enum Command {
     /// `xsact [OPTIONS]` — one dataset, one workbench.
     Single(Args),
     /// `xsact corpus [OPTIONS]` — many documents, parallel fan-out.
     Corpus(CorpusArgs),
+    /// `xsact serve [OPTIONS]` — long-lived corpus server over TCP.
+    Serve(ServeArgs),
+    /// `xsact client [OPTIONS]` — line-protocol client (stdin → server).
+    Client(ClientArgs),
 }
 
 /// A human-readable argument error.
@@ -214,6 +282,22 @@ CORPUS OPTIONS (sharded multi-document engine):
     --index-dir <path>   per-document index cache for --dir corpora
                          (skip shard cold starts on reload)
     --explain            print corpus-wide executor counters
+
+SERVE OPTIONS (long-lived corpus server, TCP line protocol):
+    --dir/--docs/--movies/--seed/--shards/--index-dir
+                         corpus source, as in corpus mode
+    --addr <host:port>   listen address (port 0 = ephemeral) [127.0.0.1:4141]
+    --queue <n>          submission-queue capacity; 0 rejects all   [64]
+    --max-batch <n>      largest batch one dispatch round forms     [16]
+    --top <k>            default per-session top-k (TOP verb resets) [4]
+    --budget <n>         per-session budget in posting entries scanned
+                         (a session past it gets ERR BUDGET_EXCEEDED)
+    protocol verbs: QUERY <text> | TOP <k> | STATS | QUIT | SHUTDOWN;
+    every response ends with a lone '.' line
+
+CLIENT OPTIONS (scriptable line-protocol client; requests from stdin):
+    --addr <host:port>   server address                 [127.0.0.1:4141]
+    --retry-ms <n>       connect retry window in milliseconds     [2000]
 ";
 
 fn parse_algorithm(s: &str) -> Result<Algorithm, ArgError> {
@@ -235,11 +319,83 @@ where
     I: Iterator<Item = String>,
 {
     let mut argv = argv.peekable();
-    if argv.peek().map(String::as_str) == Some("corpus") {
-        argv.next();
-        return parse_corpus(argv).map(Command::Corpus);
+    match argv.peek().map(String::as_str) {
+        Some("corpus") => {
+            argv.next();
+            parse_corpus(argv).map(Command::Corpus)
+        }
+        Some("serve") => {
+            argv.next();
+            parse_serve(argv).map(Command::Serve)
+        }
+        Some("client") => {
+            argv.next();
+            parse_client(argv).map(Command::Client)
+        }
+        _ => parse_single(argv).map(Command::Single),
     }
-    parse_single(argv).map(Command::Single)
+}
+
+fn parse_serve<I>(mut argv: I) -> Result<ServeArgs, ArgError>
+where
+    I: Iterator<Item = String>,
+{
+    let mut args = ServeArgs::default();
+    let int = |name: &str, v: String| {
+        v.parse::<usize>().map_err(|_| ArgError(format!("{name} expects an integer")))
+    };
+    while let Some(flag) = argv.next() {
+        let mut value =
+            |name: &str| argv.next().ok_or_else(|| ArgError(format!("{name} requires a value")));
+        match flag.as_str() {
+            "--dir" => args.dir = Some(value("--dir")?),
+            "--docs" => args.docs = int("--docs", value("--docs")?)?,
+            "--movies" => args.movies = int("--movies", value("--movies")?)?,
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| ArgError("--seed expects an integer".into()))?;
+            }
+            "--shards" => args.shards = int("--shards", value("--shards")?)?,
+            "--index-dir" => args.index_dir = Some(value("--index-dir")?),
+            "--addr" => args.addr = value("--addr")?,
+            "--queue" => args.queue = int("--queue", value("--queue")?)?,
+            "--max-batch" => args.max_batch = int("--max-batch", value("--max-batch")?)?,
+            "--top" => args.top = int("--top", value("--top")?)?,
+            "--budget" => {
+                args.budget = Some(
+                    value("--budget")?
+                        .parse()
+                        .map_err(|_| ArgError("--budget expects an integer".into()))?,
+                );
+            }
+            "--help" | "-h" => return Err(ArgError(USAGE.to_owned())),
+            other => return Err(ArgError(format!("unknown serve flag {other:?}\n\n{USAGE}"))),
+        }
+    }
+    Ok(args)
+}
+
+fn parse_client<I>(mut argv: I) -> Result<ClientArgs, ArgError>
+where
+    I: Iterator<Item = String>,
+{
+    let mut args = ClientArgs::default();
+    while let Some(flag) = argv.next() {
+        let mut value =
+            |name: &str| argv.next().ok_or_else(|| ArgError(format!("{name} requires a value")));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--retry-ms" => {
+                args.retry_ms = value("--retry-ms")?
+                    .parse()
+                    .map_err(|_| ArgError("--retry-ms expects an integer".into()))?;
+            }
+            "--help" | "-h" => return Err(ArgError(USAGE.to_owned())),
+            other => return Err(ArgError(format!("unknown client flag {other:?}\n\n{USAGE}"))),
+        }
+    }
+    Ok(args)
 }
 
 fn parse_corpus<I>(mut argv: I) -> Result<CorpusArgs, ArgError>
@@ -372,14 +528,14 @@ mod tests {
     fn parse_ok(args: &[&str]) -> Args {
         match parse(args.iter().map(|s| s.to_string())).expect("parses") {
             Command::Single(a) => a,
-            Command::Corpus(c) => panic!("expected single mode, got corpus: {c:?}"),
+            other => panic!("expected single mode, got {other:?}"),
         }
     }
 
     fn parse_corpus_ok(args: &[&str]) -> CorpusArgs {
         match parse(args.iter().map(|s| s.to_string())).expect("parses") {
             Command::Corpus(c) => c,
-            Command::Single(a) => panic!("expected corpus mode, got single: {a:?}"),
+            other => panic!("expected corpus mode, got {other:?}"),
         }
     }
 
@@ -534,5 +690,80 @@ mod tests {
         assert!(err(&["corpus", "--shards", "x"]).0.contains("integer"));
         assert!(err(&["corpus", "--select", "1"]).0.contains("unknown corpus flag"));
         assert!(err(&["corpus", "--help"]).0.contains("CORPUS OPTIONS"));
+    }
+
+    fn parse_serve_ok(args: &[&str]) -> ServeArgs {
+        match parse(args.iter().map(|s| s.to_string())).expect("parses") {
+            Command::Serve(s) => s,
+            other => panic!("expected serve mode, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_subcommand_defaults() {
+        let s = parse_serve_ok(&["serve"]);
+        assert_eq!(s.addr, "127.0.0.1:4141");
+        assert_eq!((s.queue, s.max_batch, s.top), (64, 16, 4));
+        assert_eq!(s.budget, None);
+        assert_eq!((s.docs, s.movies, s.shards), (8, 120, 0));
+    }
+
+    #[test]
+    fn serve_subcommand_full_flag_set() {
+        let s = parse_serve_ok(&[
+            "serve",
+            "--dir",
+            "data/xml",
+            "--shards",
+            "2",
+            "--index-dir",
+            "cache",
+            "--addr",
+            "127.0.0.1:0",
+            "--queue",
+            "8",
+            "--max-batch",
+            "4",
+            "--top",
+            "3",
+            "--budget",
+            "100",
+        ]);
+        assert_eq!(s.dir.as_deref(), Some("data/xml"));
+        assert_eq!(s.shards, 2);
+        assert_eq!(s.index_dir.as_deref(), Some("cache"));
+        assert_eq!(s.addr, "127.0.0.1:0");
+        assert_eq!((s.queue, s.max_batch, s.top), (8, 4, 3));
+        assert_eq!(s.budget, Some(100));
+    }
+
+    #[test]
+    fn client_subcommand_parses() {
+        let c = match parse(["client"].iter().map(|s| s.to_string())).expect("parses") {
+            Command::Client(c) => c,
+            other => panic!("expected client mode, got {other:?}"),
+        };
+        assert_eq!(c.addr, "127.0.0.1:4141");
+        assert_eq!(c.retry_ms, 2000);
+        let c = match parse(
+            ["client", "--addr", "127.0.0.1:9", "--retry-ms", "10"].iter().map(|s| s.to_string()),
+        )
+        .expect("parses")
+        {
+            Command::Client(c) => c,
+            other => panic!("expected client mode, got {other:?}"),
+        };
+        assert_eq!(c.addr, "127.0.0.1:9");
+        assert_eq!(c.retry_ms, 10);
+    }
+
+    #[test]
+    fn serve_and_client_errors() {
+        let err = |args: &[&str]| parse(args.iter().map(|s| s.to_string())).unwrap_err();
+        assert!(err(&["serve", "--queue", "x"]).0.contains("integer"));
+        assert!(err(&["serve", "--select", "1"]).0.contains("unknown serve flag"));
+        assert!(err(&["serve", "--help"]).0.contains("SERVE OPTIONS"));
+        assert!(err(&["client", "--queue", "1"]).0.contains("unknown client flag"));
+        assert!(err(&["client", "--retry-ms"]).0.contains("requires a value"));
     }
 }

@@ -26,6 +26,8 @@ fn main() -> ExitCode {
     let result = match &command {
         args::Command::Single(args) => app::run(args),
         args::Command::Corpus(args) => app::run_corpus(args),
+        args::Command::Serve(args) => app::run_serve(args),
+        args::Command::Client(args) => app::run_client(args),
     };
     match result {
         Ok(output) => {

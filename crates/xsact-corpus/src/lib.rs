@@ -15,6 +15,9 @@
 //! * [`fan_out`] — query fan-out on a std-only scoped-thread pool (the
 //!   build environment is offline: no rayon, no tokio), one worker per
 //!   non-empty shard;
+//! * [`ShardPool`] — the persistent flavour of the same contract: workers
+//!   pinned to shard indexes for the lifetime of a server, broadcast
+//!   requests, responses in shard order;
 //! * [`k_way_merge`] — heap-based merge of per-shard ranked lists whose
 //!   output order depends only on the comparator, never on the shard
 //!   count or thread interleaving.
@@ -27,5 +30,5 @@ pub mod pool;
 pub mod shard;
 
 pub use merge::k_way_merge;
-pub use pool::fan_out;
+pub use pool::{fan_out, ShardPool};
 pub use shard::{DocId, ShardPlan};

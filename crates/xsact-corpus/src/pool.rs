@@ -1,11 +1,19 @@
-//! Scoped-thread query fan-out.
+//! Shard-parallel execution: scoped fan-out and the persistent pool.
 //!
-//! The build environment is offline — no rayon, no tokio — so the pool is
-//! built on [`std::thread::scope`]: one OS thread per non-empty shard,
-//! borrowing the caller's data for the duration of the query. That is the
-//! right shape for this workload: shard counts are small (bounded by the
-//! machine's cores), each worker runs one multi-document search, and the
-//! scope guarantees every result is back before the merge starts.
+//! The build environment is offline — no rayon, no tokio — so both shapes
+//! are built on std threads only:
+//!
+//! * [`fan_out`] spawns **scoped** threads per query: one OS thread per
+//!   non-empty shard, borrowing the caller's data for the duration of the
+//!   query. Right for one-shot queries — the scope guarantees every
+//!   result is back before the merge starts.
+//! * [`ShardPool`] keeps **long-lived** workers pinned to shard indexes
+//!   and broadcasts each request to all of them. Right for a serving
+//!   runtime, where paying thread spawn/teardown per query would dominate
+//!   sub-millisecond searches and defeat batching.
+//!
+//! Both produce outputs in shard order regardless of completion order, so
+//! swapping one for the other can never change result bytes.
 
 /// Runs `work` on every element of `inputs` concurrently — one scoped
 /// thread per element — and returns the outputs *in input order*,
@@ -41,6 +49,110 @@ where
                 .collect();
             handles.into_iter().map(|h| h.join().expect("shard worker panicked")).collect()
         }),
+    }
+}
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// One unit of pool work: the shared request plus the channel the worker
+/// answers on. The shard index is implicit — each worker knows its own.
+type Job<Req, Resp> = (Arc<Req>, mpsc::Sender<(usize, Resp)>);
+
+/// A pool of long-lived worker threads, one pinned to each shard index,
+/// answering broadcast requests until dropped.
+///
+/// Where [`fan_out`] pays a thread spawn per shard per query, the pool
+/// pays it once at construction: [`ShardPool::broadcast`] hands the shared
+/// request to every worker over a channel and collects one response per
+/// shard, returned **in shard order** regardless of completion order —
+/// the same ordering contract as `fan_out`, so the two are byte-for-byte
+/// interchangeable above the merge.
+///
+/// A worker that panics drops its reply sender; `broadcast` then sees
+/// fewer responses than shards and panics on the calling thread, so a
+/// poisoned shard can never silently vanish from a merged ranking.
+pub struct ShardPool<Req, Resp> {
+    senders: Vec<mpsc::Sender<Job<Req, Resp>>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl<Req, Resp> ShardPool<Req, Resp>
+where
+    Req: Send + Sync + 'static,
+    Resp: Send + 'static,
+{
+    /// Spawns `shards` workers (at least one), each running
+    /// `work(shard_index, &request)` for every broadcast request.
+    pub fn new<F>(shards: usize, work: F) -> ShardPool<Req, Resp>
+    where
+        F: Fn(usize, &Req) -> Resp + Send + Sync + 'static,
+    {
+        assert!(shards > 0, "a shard pool needs at least one worker");
+        let work = Arc::new(work);
+        let mut senders = Vec::with_capacity(shards);
+        let mut workers = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let (tx, rx) = mpsc::channel::<Job<Req, Resp>>();
+            let work = Arc::clone(&work);
+            let handle = std::thread::Builder::new()
+                .name(format!("xsact-shard-{shard}"))
+                .spawn(move || {
+                    // Ends when the pool drops its sender (or mid-broadcast
+                    // if the pool itself is gone; the reply send then fails
+                    // harmlessly into a dropped receiver).
+                    while let Ok((req, reply)) = rx.recv() {
+                        let resp = work(shard, req.as_ref());
+                        let _ = reply.send((shard, resp));
+                    }
+                })
+                .expect("failed to spawn shard worker");
+            senders.push(tx);
+            workers.push(handle);
+        }
+        ShardPool { senders, workers }
+    }
+
+    /// Number of pinned workers.
+    pub fn shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Runs `req` on every worker and returns the responses in shard
+    /// order. Blocks until all shards have answered.
+    ///
+    /// # Panics
+    ///
+    /// If any worker has panicked (its response never arrives).
+    pub fn broadcast(&self, req: Req) -> Vec<Resp> {
+        let req = Arc::new(req);
+        let (reply_tx, reply_rx) = mpsc::channel::<(usize, Resp)>();
+        for tx in &self.senders {
+            tx.send((Arc::clone(&req), reply_tx.clone())).expect("shard worker exited early");
+        }
+        drop(reply_tx);
+        let mut slots: Vec<Option<Resp>> = (0..self.senders.len()).map(|_| None).collect();
+        let mut received = 0;
+        while let Ok((shard, resp)) = reply_rx.recv() {
+            debug_assert!(slots[shard].is_none(), "duplicate response from shard {shard}");
+            slots[shard] = Some(resp);
+            received += 1;
+        }
+        assert_eq!(received, self.senders.len(), "a shard worker panicked mid-broadcast");
+        slots.into_iter().map(|s| s.expect("counted above")).collect()
+    }
+}
+
+impl<Req, Resp> Drop for ShardPool<Req, Resp> {
+    fn drop(&mut self) {
+        // Disconnect the job channels so every worker's `recv` ends, then
+        // join. A worker that already panicked is ignored — its absence
+        // was (or would have been) reported by `broadcast`.
+        self.senders.clear();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
     }
 }
 
@@ -93,5 +205,60 @@ mod tests {
             fan_out(vec![1u32, 2], |_, x| if x == 2 { panic!("shard died") } else { x })
         });
         assert!(caught.is_err());
+    }
+
+    #[test]
+    fn pool_broadcast_returns_shard_ordered_responses() {
+        let pool: ShardPool<u32, (usize, u32)> = ShardPool::new(4, |shard, req| {
+            // Later shards answer first to prove ordering is positional.
+            std::thread::sleep(std::time::Duration::from_millis(30 - 10 * (shard as u64 % 4)));
+            (shard, *req * 2)
+        });
+        assert_eq!(pool.shards(), 4);
+        let out = pool.broadcast(21);
+        assert_eq!(out, vec![(0, 42), (1, 42), (2, 42), (3, 42)]);
+    }
+
+    #[test]
+    fn pool_workers_persist_across_broadcasts() {
+        use std::thread::ThreadId;
+        let pool: ShardPool<(), ThreadId> = ShardPool::new(2, |_, ()| std::thread::current().id());
+        let first = pool.broadcast(());
+        let second = pool.broadcast(());
+        assert_eq!(first, second, "each shard keeps its pinned thread");
+        assert_ne!(first[0], first[1], "shards run on distinct threads");
+    }
+
+    #[test]
+    fn pool_matches_fan_out_byte_for_byte() {
+        let inputs: Vec<usize> = (0..6).collect();
+        let scoped = fan_out(inputs, |i, x| format!("shard {i} item {x}"));
+        let pool: ShardPool<Vec<usize>, Vec<String>> =
+            ShardPool::new(6, |i, req: &Vec<usize>| vec![format!("shard {i} item {}", req[i])]);
+        let pooled: Vec<String> = pool.broadcast((0..6).collect()).into_iter().flatten().collect();
+        assert_eq!(scoped, pooled);
+    }
+
+    #[test]
+    fn pool_worker_panic_fails_the_broadcast() {
+        let pool: ShardPool<u32, u32> =
+            ShardPool::new(3, |shard, req| if shard == 1 { panic!("shard died") } else { *req });
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| pool.broadcast(7)));
+        assert!(caught.is_err(), "a dead shard must not silently vanish");
+    }
+
+    #[test]
+    fn pool_drop_joins_workers_cleanly() {
+        let done = Arc::new(AtomicUsize::new(0));
+        let pool: ShardPool<u32, u32> = ShardPool::new(3, {
+            let done = Arc::clone(&done);
+            move |_, req| {
+                done.fetch_add(1, Ordering::Relaxed);
+                *req
+            }
+        });
+        pool.broadcast(1);
+        drop(pool);
+        assert_eq!(done.load(Ordering::Relaxed), 3);
     }
 }

@@ -1,0 +1,67 @@
+//! Batch coalescing: one execution per distinct question.
+//!
+//! When several concurrent callers ask the same query, resolving the
+//! posting lists and running the SLCA stream once per *caller* is pure
+//! waste — the engine's answer is deterministic, so one execution can feed
+//! every waiter. [`coalesce`] turns one drained slice of the submission
+//! queue into groups that share a key; the dispatcher executes each group
+//! once and fans the (shared, immutable) response out to all members.
+//!
+//! Grouping preserves **first-seen order**: the earliest submission of a
+//! key decides the key's position, so serving order follows arrival order
+//! and no key can be starved by later arrivals. Batches are small (bounded
+//! by the queue capacity), so the linear key scan beats a hash map on both
+//! allocation and code size.
+
+/// Groups `items` by `key`, preserving the order in which keys were first
+/// seen, and within a group the items' original order.
+pub fn coalesce<T, K, F>(items: Vec<T>, key: F) -> Vec<Vec<T>>
+where
+    K: PartialEq,
+    F: Fn(&T) -> K,
+{
+    let mut groups: Vec<(K, Vec<T>)> = Vec::new();
+    for item in items {
+        let k = key(&item);
+        match groups.iter_mut().find(|(existing, _)| *existing == k) {
+            Some((_, group)) => group.push(item),
+            None => groups.push((k, vec![item])),
+        }
+    }
+    groups.into_iter().map(|(_, group)| group).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_yields_no_groups() {
+        let groups = coalesce(Vec::<u32>::new(), |x| *x);
+        assert!(groups.is_empty());
+    }
+
+    #[test]
+    fn groups_preserve_first_seen_key_order_and_member_order() {
+        let items = vec![("b", 1), ("a", 2), ("b", 3), ("c", 4), ("a", 5)];
+        let groups = coalesce(items, |(k, _)| *k);
+        assert_eq!(
+            groups,
+            vec![vec![("b", 1), ("b", 3)], vec![("a", 2), ("a", 5)], vec![("c", 4)]]
+        );
+    }
+
+    #[test]
+    fn distinct_keys_stay_singleton_batches() {
+        let groups = coalesce(vec![1, 2, 3], |x| *x);
+        assert_eq!(groups.len(), 3);
+        assert!(groups.iter().all(|g| g.len() == 1));
+    }
+
+    #[test]
+    fn one_key_collapses_to_one_batch() {
+        let groups = coalesce(vec!["q"; 7], |s| *s);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].len(), 7);
+    }
+}

@@ -1,0 +1,40 @@
+//! Serving-runtime primitives for the XSACT corpus engine.
+//!
+//! The corpus engine (PR 2–5) executes one query at a time: every
+//! `CorpusQuery` spins up scoped threads, runs, and tears them down. A
+//! *service* has concurrent callers, and those need machinery the engine
+//! deliberately does not know about: a bounded submission queue with
+//! admission control, batching of queries that share terms, per-session
+//! budgets, and counters that describe the server rather than a single
+//! query.
+//!
+//! This crate holds that machinery's *mechanics*, dependency-free and free
+//! of any XSACT type (mirroring `xsact-corpus`), so every piece is
+//! independently testable:
+//!
+//! * [`SubmissionQueue`] — a bounded MPMC queue whose `push` **rejects**
+//!   instead of blocking (admission control is backpressure made visible
+//!   to the caller), and whose `close` drains: queued work is still
+//!   handed out after a close, new work is turned away.
+//! * [`coalesce`] — groups pending submissions by key so one execution
+//!   can serve every concurrent caller that asked the same question.
+//! * [`ServeCounters`] — atomic server-level counters: queries served,
+//!   batches formed, a batch-size histogram, typed rejection counts, and
+//!   the executor work aggregated over every batch.
+//! * [`protocol`] — the newline-delimited request/response framing the
+//!   TCP front end speaks (`QUERY …`, `TOP k`, `STATS`, `QUIT`,
+//!   `SHUTDOWN`; every response ends with a lone `.` line).
+//!
+//! The `xsact` facade's `serve` module composes these with the corpus and
+//! `xsact-corpus`'s persistent `ShardPool` into the actual server; see
+//! `src/serve.rs` in the facade crate.
+
+pub mod batch;
+pub mod protocol;
+pub mod queue;
+pub mod stats;
+
+pub use batch::coalesce;
+pub use protocol::{err_line, Request, END_MARKER};
+pub use queue::{Rejected, SubmissionQueue};
+pub use stats::{ServeCounters, ServeSnapshot, BATCH_HIST_BUCKETS};

@@ -1,0 +1,158 @@
+//! The line protocol the TCP front end speaks.
+//!
+//! Newline-delimited text in both directions — trivially scriptable with
+//! any socket tool, no framing library needed (the container is offline,
+//! and a length-prefixed binary protocol would buy nothing at this
+//! message size).
+//!
+//! **Requests** are one line each: a verb, optionally followed by
+//! arguments.
+//!
+//! ```text
+//! QUERY drama family      run the query under the session's top-k
+//! TOP 3                   set the session's top-k
+//! STATS                   server counters
+//! QUIT                    close this connection
+//! SHUTDOWN                drain the server and stop it
+//! ```
+//!
+//! **Responses** are one or more lines terminated by a lone `.` line
+//! ([`END_MARKER`]), SMTP-style, so clients read until the marker without
+//! needing a length header:
+//!
+//! ```text
+//! OK 3
+//!   [ 1] Movie …  @movies-01  (score 1.234)
+//!   …
+//! .
+//! ```
+//!
+//! Errors are a single `ERR <CODE> <message>` line (plus the marker);
+//! codes are stable identifiers (`OVERLOADED`, `BUDGET_EXCEEDED`,
+//! `EMPTY_QUERY`, `BAD_REQUEST`, `INTERNAL`), messages are the facade's
+//! human-readable `Display` text.
+
+/// The line ending every response: a lone `.`.
+pub const END_MARKER: &str = ".";
+
+/// One parsed request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Run a keyword query.
+    Query {
+        /// The raw query text (everything after the verb).
+        text: String,
+    },
+    /// Set the session's top-k for subsequent queries.
+    Top {
+        /// The new bound.
+        k: usize,
+    },
+    /// Report server counters.
+    Stats,
+    /// Close this connection.
+    Quit,
+    /// Drain the server and stop it.
+    Shutdown,
+}
+
+impl Request {
+    /// Parses one request line. Blank lines are ignored (`Ok(None)`), so
+    /// interactive sessions can hit return without tripping an error;
+    /// anything else unrecognised is a `BAD_REQUEST`-worthy message.
+    pub fn parse(line: &str) -> Result<Option<Request>, String> {
+        let line = line.trim();
+        if line.is_empty() {
+            return Ok(None);
+        }
+        let (verb, rest) = match line.split_once(char::is_whitespace) {
+            Some((verb, rest)) => (verb, rest.trim()),
+            None => (line, ""),
+        };
+        match verb {
+            "QUERY" => {
+                if rest.is_empty() {
+                    return Err("QUERY needs query text".to_owned());
+                }
+                Ok(Some(Request::Query { text: rest.to_owned() }))
+            }
+            "TOP" => {
+                let k = rest
+                    .parse::<usize>()
+                    .map_err(|_| format!("TOP needs a non-negative integer, got {rest:?}"))?;
+                Ok(Some(Request::Top { k }))
+            }
+            "STATS" => Request::bare(verb, rest, Request::Stats),
+            "QUIT" => Request::bare(verb, rest, Request::Quit),
+            "SHUTDOWN" => Request::bare(verb, rest, Request::Shutdown),
+            other => {
+                Err(format!("unknown verb {other:?}; use QUERY | TOP | STATS | QUIT | SHUTDOWN"))
+            }
+        }
+    }
+
+    fn bare(verb: &str, rest: &str, req: Request) -> Result<Option<Request>, String> {
+        if rest.is_empty() {
+            Ok(Some(req))
+        } else {
+            Err(format!("{verb} takes no arguments"))
+        }
+    }
+}
+
+/// Renders an `ERR` line. Control characters in `message` are flattened to
+/// spaces so one logical error can never span (and thereby corrupt) the
+/// line framing.
+pub fn err_line(code: &str, message: &str) -> String {
+    let flat: String = message.chars().map(|c| if c.is_control() { ' ' } else { c }).collect();
+    format!("ERR {code} {flat}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verbs_parse() {
+        assert_eq!(
+            Request::parse("QUERY drama family").unwrap(),
+            Some(Request::Query { text: "drama family".into() })
+        );
+        assert_eq!(Request::parse("TOP 5").unwrap(), Some(Request::Top { k: 5 }));
+        assert_eq!(Request::parse("STATS").unwrap(), Some(Request::Stats));
+        assert_eq!(Request::parse("QUIT").unwrap(), Some(Request::Quit));
+        assert_eq!(Request::parse("SHUTDOWN").unwrap(), Some(Request::Shutdown));
+    }
+
+    #[test]
+    fn blank_lines_are_ignored() {
+        assert_eq!(Request::parse("").unwrap(), None);
+        assert_eq!(Request::parse("   \t ").unwrap(), None);
+    }
+
+    #[test]
+    fn query_text_survives_inner_whitespace() {
+        assert_eq!(
+            Request::parse("QUERY   war  soldier ").unwrap(),
+            Some(Request::Query { text: "war  soldier".into() })
+        );
+    }
+
+    #[test]
+    fn malformed_requests_are_described() {
+        assert!(Request::parse("QUERY").unwrap_err().contains("query text"));
+        assert!(Request::parse("TOP").unwrap_err().contains("integer"));
+        assert!(Request::parse("TOP many").unwrap_err().contains("integer"));
+        assert!(Request::parse("STATS now").unwrap_err().contains("no arguments"));
+        assert!(Request::parse("EXPLODE").unwrap_err().contains("unknown verb"));
+        // Verbs are case-sensitive — lowercase is a different (unknown) verb.
+        assert!(Request::parse("query x").unwrap_err().contains("unknown verb"));
+    }
+
+    #[test]
+    fn err_line_never_spans_lines() {
+        let line = err_line("INTERNAL", "multi\nline\r\nmessage");
+        assert_eq!(line.lines().count(), 1);
+        assert!(line.starts_with("ERR INTERNAL "));
+    }
+}

@@ -1,0 +1,215 @@
+//! Server-level counters: the server's own observability, as opposed to
+//! the per-query `ExecutorStats` the engine already reports.
+//!
+//! Everything is a relaxed atomic so the dispatcher, the admission path,
+//! and any number of connection threads can record without contention;
+//! [`ServeCounters::snapshot`] reads one counter at a time, so a snapshot
+//! taken *while* traffic flows may mix instants — at any quiescent point it
+//! is exact (the same guarantee the workbench cache counters give).
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of batch-size histogram buckets: sizes 1..`BATCH_HIST_BUCKETS`
+/// count individually, the last bucket collects everything at or above
+/// `BATCH_HIST_BUCKETS`.
+pub const BATCH_HIST_BUCKETS: usize = 8;
+
+/// Atomic server-level counters; see the module docs.
+#[derive(Debug, Default)]
+pub struct ServeCounters {
+    queries_served: AtomicU64,
+    batches: AtomicU64,
+    batch_hist: [AtomicU64; BATCH_HIST_BUCKETS],
+    rejected_overload: AtomicU64,
+    rejected_budget: AtomicU64,
+    // Executor work aggregated over every batch execution. Kept as plain
+    // integers (not the engine's `ExecutorStats` type) so this crate stays
+    // dependency-free; the facade does the typing.
+    postings_scanned: AtomicU64,
+    gallop_probes: AtomicU64,
+    candidates_pruned: AtomicU64,
+}
+
+impl ServeCounters {
+    /// Records one executed batch: `size` queries answered by one
+    /// execution that did the given executor work.
+    pub fn record_batch(&self, size: usize, postings: u64, probes: u64, pruned: u64) {
+        self.queries_served.fetch_add(size as u64, Ordering::Relaxed);
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        let bucket = size.clamp(1, BATCH_HIST_BUCKETS) - 1;
+        self.batch_hist[bucket].fetch_add(1, Ordering::Relaxed);
+        self.postings_scanned.fetch_add(postings, Ordering::Relaxed);
+        self.gallop_probes.fetch_add(probes, Ordering::Relaxed);
+        self.candidates_pruned.fetch_add(pruned, Ordering::Relaxed);
+    }
+
+    /// Records one submission turned away by admission control.
+    pub fn record_overload_rejection(&self) {
+        self.rejected_overload.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one query turned away by a session budget.
+    pub fn record_budget_rejection(&self) {
+        self.rejected_budget.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> ServeSnapshot {
+        ServeSnapshot {
+            queries_served: self.queries_served.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batch_hist: std::array::from_fn(|i| self.batch_hist[i].load(Ordering::Relaxed)),
+            rejected_overload: self.rejected_overload.load(Ordering::Relaxed),
+            rejected_budget: self.rejected_budget.load(Ordering::Relaxed),
+            postings_scanned: self.postings_scanned.load(Ordering::Relaxed),
+            gallop_probes: self.gallop_probes.load(Ordering::Relaxed),
+            candidates_pruned: self.candidates_pruned.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`ServeCounters`], renderable as the `STATS`
+/// protocol response and the CLI's shutdown summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeSnapshot {
+    /// Queries answered (every member of every batch counts).
+    pub queries_served: u64,
+    /// Batch executions (one per distinct key per dispatch round).
+    pub batches: u64,
+    /// Batch-size histogram; bucket `i` counts batches of size `i + 1`,
+    /// the last bucket counts size ≥ [`BATCH_HIST_BUCKETS`].
+    pub batch_hist: [u64; BATCH_HIST_BUCKETS],
+    /// Submissions rejected by admission control (queue full or closed).
+    pub rejected_overload: u64,
+    /// Queries rejected by a session budget.
+    pub rejected_budget: u64,
+    /// Posting entries scanned, summed over every batch execution.
+    pub postings_scanned: u64,
+    /// Gallop probes, summed over every batch execution.
+    pub gallop_probes: u64,
+    /// Candidates pruned, summed over every batch execution.
+    pub candidates_pruned: u64,
+}
+
+impl ServeSnapshot {
+    /// Queries saved by batching: members that rode along on another
+    /// caller's execution.
+    pub fn coalesced_queries(&self) -> u64 {
+        self.queries_served.saturating_sub(self.batches)
+    }
+
+    /// The histogram as `1:n 2:n … 8+:n`, skipping empty buckets.
+    fn render_hist(&self) -> String {
+        let mut out = String::new();
+        for (i, &count) in self.batch_hist.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            if i + 1 == BATCH_HIST_BUCKETS {
+                out.push_str(&format!("{}+:{count}", BATCH_HIST_BUCKETS));
+            } else {
+                out.push_str(&format!("{}:{count}", i + 1));
+            }
+        }
+        if out.is_empty() {
+            out.push('-');
+        }
+        out
+    }
+}
+
+impl fmt::Display for ServeSnapshot {
+    /// The `STATS` verb's body: one `name value` pair per line, stable
+    /// names so scripted clients can parse it.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "queries_served {}", self.queries_served)?;
+        writeln!(f, "batches_formed {}", self.batches)?;
+        writeln!(f, "batch_size_hist {}", self.render_hist())?;
+        writeln!(f, "coalesced_queries {}", self.coalesced_queries())?;
+        writeln!(f, "rejected_overload {}", self.rejected_overload)?;
+        writeln!(f, "rejected_budget {}", self.rejected_budget)?;
+        writeln!(f, "postings_scanned {}", self.postings_scanned)?;
+        writeln!(f, "gallop_probes {}", self.gallop_probes)?;
+        write!(f, "candidates_pruned {}", self.candidates_pruned)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_accumulate_into_every_counter() {
+        let c = ServeCounters::default();
+        c.record_batch(1, 10, 2, 1);
+        c.record_batch(3, 30, 6, 3);
+        let s = c.snapshot();
+        assert_eq!(s.queries_served, 4);
+        assert_eq!(s.batches, 2);
+        assert_eq!(s.batch_hist[0], 1);
+        assert_eq!(s.batch_hist[2], 1);
+        assert_eq!(s.coalesced_queries(), 2);
+        assert_eq!((s.postings_scanned, s.gallop_probes, s.candidates_pruned), (40, 8, 4));
+    }
+
+    #[test]
+    fn oversized_batches_land_in_the_top_bucket() {
+        let c = ServeCounters::default();
+        c.record_batch(BATCH_HIST_BUCKETS + 5, 0, 0, 0);
+        c.record_batch(BATCH_HIST_BUCKETS, 0, 0, 0);
+        let s = c.snapshot();
+        assert_eq!(s.batch_hist[BATCH_HIST_BUCKETS - 1], 2);
+    }
+
+    #[test]
+    fn rejections_are_counted_separately() {
+        let c = ServeCounters::default();
+        c.record_overload_rejection();
+        c.record_overload_rejection();
+        c.record_budget_rejection();
+        let s = c.snapshot();
+        assert_eq!(s.rejected_overload, 2);
+        assert_eq!(s.rejected_budget, 1);
+        assert_eq!(s.queries_served, 0);
+    }
+
+    #[test]
+    fn display_is_line_oriented_and_stable() {
+        let c = ServeCounters::default();
+        c.record_batch(2, 7, 1, 0);
+        let text = c.snapshot().to_string();
+        assert!(text.contains("queries_served 2"), "{text}");
+        assert!(text.contains("batch_size_hist 2:1"), "{text}");
+        assert!(text.contains("postings_scanned 7"), "{text}");
+        assert!(!text.ends_with('\n'), "no trailing newline; the framer adds it");
+    }
+
+    #[test]
+    fn empty_histogram_renders_a_dash() {
+        let s = ServeCounters::default().snapshot();
+        assert!(s.to_string().contains("batch_size_hist -"));
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let c = ServeCounters::default();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..100 {
+                        c.record_batch(2, 1, 1, 1);
+                        c.record_overload_rejection();
+                    }
+                });
+            }
+        });
+        let s = c.snapshot();
+        assert_eq!(s.queries_served, 1600);
+        assert_eq!(s.batches, 800);
+        assert_eq!(s.rejected_overload, 800);
+    }
+}

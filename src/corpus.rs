@@ -283,6 +283,38 @@ impl Corpus {
     pub fn effective_shards(&self) -> usize {
         self.shards.min(self.docs.len()).max(1)
     }
+
+    /// One shard's unit of work, shared verbatim by the scoped-thread
+    /// fan-out ([`CorpusQuery::ranking`]) and the serving runtime's
+    /// persistent shard pool (`crate::serve`): rank each document of the
+    /// shard's round-robin slice through the streaming executor bounded by
+    /// `k`, then merge the per-document lists under the ranking's total
+    /// order and truncate to `k`. Because both execution paths run *this*
+    /// function over *the same* [`ShardPlan`] partition, pooling can never
+    /// change result bytes.
+    ///
+    /// Returns the shard's merged list plus the executor work it cost,
+    /// summed over the shard's documents (also recorded into each owning
+    /// workbench's cumulative counters).
+    pub(crate) fn execute_shard(
+        &self,
+        query: &Query,
+        doc_indexes: &[usize],
+        k: usize,
+    ) -> (Vec<CorpusHit>, ExecutorStats) {
+        let mut stats = ExecutorStats::default();
+        let per_doc: Vec<Vec<CorpusHit>> = doc_indexes
+            .iter()
+            .map(|&d| {
+                let (hits, s) = search_one(query, &self.docs[d], k);
+                stats += s;
+                hits
+            })
+            .collect();
+        let mut merged = k_way_merge(per_doc, CorpusHit::ranking_order);
+        merged.truncate(k);
+        (merged, stats)
+    }
 }
 
 impl Default for Corpus {
@@ -312,7 +344,9 @@ impl CorpusHit {
     /// The merge's total order: score descending, then document id, then
     /// Dewey id. Depends only on the hit itself — never on shard count or
     /// thread timing — which is what makes corpus rankings deterministic.
-    fn ranking_order(&self, other: &CorpusHit) -> Ordering {
+    /// `pub(crate)` so the serving runtime's global merge uses the *same*
+    /// comparator as the scoped fan-out.
+    pub(crate) fn ranking_order(&self, other: &CorpusHit) -> Ordering {
         other
             .score
             .score
@@ -468,17 +502,9 @@ impl<'a> CorpusQuery<'a> {
         // effective_shards() ≤ document count, so round-robin
         // partitioning never produces an empty shard.
         let parts = ShardPlan::new(shards).partition(corpus.docs.len());
-        let order = CorpusHit::ranking_order;
-        let shard_lists = fan_out(parts, |_, doc_indexes| {
-            let per_doc: Vec<Vec<CorpusHit>> =
-                doc_indexes.iter().map(|&d| search_one(query, &corpus.docs[d], k)).collect();
-            let mut merged = k_way_merge(per_doc, order);
-            merged.truncate(k);
-            merged
-        });
-        let mut hits = k_way_merge(shard_lists, order);
-        hits.truncate(k);
-        CorpusRanking { hits, shards }
+        let shard_lists =
+            fan_out(parts, |_, doc_indexes| corpus.execute_shard(query, &doc_indexes, k).0);
+        merge_shard_lists(shard_lists, k, shards)
     }
 
     /// The features of the top-k hits, pulled from each hit's owning
@@ -548,15 +574,28 @@ impl<'a> CorpusQuery<'a> {
     }
 }
 
-/// One shard worker's unit of work: the ranked search over one document
-/// through the streaming executor (bounded by `k`, `usize::MAX` for the
-/// full ranking), tagged with the document's identity for the cross-shard
-/// merge. Executor counters land in the owning workbench's
+/// The global half of the merge pipeline, shared by the scoped fan-out and
+/// the serving runtime: k-way merge the per-shard lists under the
+/// ranking's total order and truncate to `k`.
+pub(crate) fn merge_shard_lists(
+    shard_lists: Vec<Vec<CorpusHit>>,
+    k: usize,
+    shards: usize,
+) -> CorpusRanking {
+    let mut hits = k_way_merge(shard_lists, CorpusHit::ranking_order);
+    hits.truncate(k);
+    CorpusRanking { hits, shards }
+}
+
+/// One document's slice of a shard's work: the ranked search through the
+/// streaming executor (bounded by `k`, `usize::MAX` for the full ranking),
+/// tagged with the document's identity for the cross-shard merge, plus the
+/// executor work it cost. Counters also land in the owning workbench's
 /// [`Workbench::executor_stats`].
-fn search_one(query: &Query, doc: &CorpusDoc, k: usize) -> Vec<CorpusHit> {
+fn search_one(query: &Query, doc: &CorpusDoc, k: usize) -> (Vec<CorpusHit>, ExecutorStats) {
     let document = doc.wb.document();
-    doc.wb
-        .search_top_k(query, k)
+    let (hits, stats) = doc.wb.search_top_k_stats(query, k);
+    let hits = hits
         .into_iter()
         .map(|(result, score)| CorpusHit {
             doc: doc.id,
@@ -565,7 +604,8 @@ fn search_one(query: &Query, doc: &CorpusDoc, k: usize) -> Vec<CorpusHit> {
             result,
             score,
         })
-        .collect()
+        .collect();
+    (hits, stats)
 }
 
 #[cfg(test)]

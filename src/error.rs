@@ -56,6 +56,23 @@ pub enum XsactError {
     /// Index persistence (save/load) failed — I/O proper, or a fingerprint
     /// mismatch between the index and the document.
     Io(std::io::Error),
+    /// The serving runtime turned the submission away at the door: its
+    /// bounded queue was full (or the server was shutting down). The
+    /// caller should back off and retry; nothing was executed.
+    Overloaded {
+        /// Queue depth the submission collided with.
+        depth: usize,
+        /// The queue's configured capacity.
+        capacity: usize,
+    },
+    /// A serving session spent its executor-work budget; further queries
+    /// on the session are refused before reaching the queue.
+    BudgetExceeded {
+        /// Posting entries the session's queries have scanned so far.
+        spent: u64,
+        /// The session's budget in posting entries.
+        budget: u64,
+    },
 }
 
 impl fmt::Display for XsactError {
@@ -86,6 +103,15 @@ impl fmt::Display for XsactError {
                  raise the limit or use a local-search algorithm"
             ),
             XsactError::Io(e) => write!(f, "index persistence failed: {e}"),
+            XsactError::Overloaded { depth, capacity } => write!(
+                f,
+                "server overloaded: submission queue holds {depth} of {capacity} entries; \
+                 back off and retry"
+            ),
+            XsactError::BudgetExceeded { spent, budget } => write!(
+                f,
+                "session budget exceeded: {spent} posting entries scanned of {budget} budgeted"
+            ),
         }
     }
 }
@@ -128,6 +154,12 @@ mod tests {
         assert!(e.to_string().contains("1 result;"));
         let e = XsactError::ExhaustiveLimitExceeded { limit: 10 };
         assert!(e.to_string().contains("10"));
+        let e = XsactError::Overloaded { depth: 64, capacity: 64 };
+        assert!(e.to_string().contains("overloaded"));
+        assert!(e.to_string().contains("64"));
+        let e = XsactError::BudgetExceeded { spent: 120, budget: 100 };
+        assert!(e.to_string().contains("120"));
+        assert!(e.to_string().contains("100"));
     }
 
     #[test]

@@ -62,14 +62,20 @@
 //! The sharded corpus engine adds one more pair: the dependency-free
 //! mechanics crate `xsact-corpus` (shard planning, scoped-thread fan-out,
 //! k-way merge) and the [`corpus`] facade module that composes it with
-//! workbenches.
+//! workbenches. The serving runtime repeats the pattern: the mechanics
+//! crate `xsact-serve` (bounded submission queue, batch coalescing,
+//! server counters, line protocol) composes with a persistent shard pool
+//! in the [`serve`] facade module — a long-lived [`CorpusServer`] whose
+//! batching and pooling never change result bytes.
 
 pub mod corpus;
 pub mod error;
+pub mod serve;
 pub mod workbench;
 
 pub use corpus::{Corpus, CorpusHit, CorpusOutcome, CorpusQuery, CorpusRanking};
 pub use error::{XsactError, XsactResult};
+pub use serve::{CorpusServer, QueryAnswer, ServeConfig, ServeSession};
 pub use workbench::{CacheStats, QueryPipeline, Workbench};
 
 pub use xsact_core as core;
@@ -85,6 +91,7 @@ pub use xsact_index::ExecutorStats;
 pub mod prelude {
     pub use crate::corpus::{Corpus, CorpusHit, CorpusOutcome, CorpusQuery, CorpusRanking, DocId};
     pub use crate::error::{XsactError, XsactResult};
+    pub use crate::serve::{CorpusServer, QueryAnswer, ServeConfig, ServeSession};
     pub use crate::workbench::{CacheStats, QueryPipeline, Workbench};
     pub use xsact_core::{Algorithm, Comparison, ComparisonOutcome, DfsConfig};
     pub use xsact_entity::{extract_features, FeatureType, ResultFeatures, StructureSummary};

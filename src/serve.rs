@@ -1,0 +1,563 @@
+//! The serving runtime: a long-lived corpus server with query batching,
+//! admission control, session budgets, and a TCP line-protocol front end.
+//!
+//! The corpus engine executes one query at a time, paying scoped-thread
+//! spawn and teardown per query. [`CorpusServer`] amortises that: at
+//! startup it builds one persistent [`xsact_corpus::ShardPool`] worker per
+//! effective shard, and a dispatcher thread feeds the pool from a bounded
+//! [`xsact_serve::SubmissionQueue`]. Concurrent submissions that ask the
+//! same question (same canonical query text, same top-k) **coalesce** into
+//! one batch: the pool executes once and every waiter receives the same
+//! shared [`CorpusRanking`].
+//!
+//! ## The invariant: batching and pooling never change bytes
+//!
+//! The pooled path runs `Corpus::execute_shard` — the *same function*
+//! the scoped-thread fan-out runs — over the *same*
+//! [`xsact_corpus::ShardPlan`] partition, and merges with the same
+//! comparator. A response from the server is therefore byte-identical to
+//! sequential one-query-at-a-time execution, at any shard count and under
+//! any interleaving of concurrent clients (pinned by `tests/serve.rs`).
+//! `k` still travels down: each batch executes bounded by its key's
+//! top-k, so a served query does exactly the work of its sequential twin.
+//!
+//! ## Failure modes are typed
+//!
+//! * Queue full (or server shutting down) →
+//!   [`XsactError::Overloaded`] — nothing was executed; back off and
+//!   retry.
+//! * Session spent its executor-work budget →
+//!   [`XsactError::BudgetExceeded`] — rejected before reaching the queue.
+//!
+//! Shutdown is a drain: admitted submissions are still answered, new ones
+//! are turned away.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use xsact::corpus::Corpus;
+//! use xsact::serve::{CorpusServer, ServeConfig};
+//!
+//! # fn main() -> Result<(), xsact::XsactError> {
+//! let corpus = Arc::new(Corpus::synthetic_movies(4, 30, 42).with_shards(2));
+//! let server = CorpusServer::start(corpus, ServeConfig::default());
+//! let mut session = server.session();
+//! let answer = session.query("drama family")?;
+//! println!("{}", answer.ranking.render(session.top()));
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::corpus::{merge_shard_lists, Corpus, CorpusHit, CorpusRanking, DEFAULT_TOP};
+use crate::error::{XsactError, XsactResult};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use xsact_corpus::{ShardPlan, ShardPool};
+use xsact_index::{ExecutorStats, Query};
+use xsact_serve::{coalesce, err_line, Rejected, Request, SubmissionQueue};
+
+pub use xsact_serve::{ServeCounters, ServeSnapshot, END_MARKER};
+
+/// Configuration of a [`CorpusServer`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Bound of the submission queue; submissions beyond it are rejected
+    /// with [`XsactError::Overloaded`]. Zero is valid and rejects every
+    /// submission (a deterministic "always overloaded" server, used by the
+    /// CI smoke test).
+    pub queue_capacity: usize,
+    /// Most submissions one dispatch round will pull from the queue (and
+    /// therefore the largest possible batch). Clamped to at least 1.
+    pub max_batch: usize,
+    /// Top-k a fresh session starts with (changeable per session via
+    /// [`ServeSession::set_top`] / the `TOP` verb).
+    pub default_top: usize,
+    /// Per-session executor-work budget in posting entries scanned;
+    /// `None` = unlimited. A session whose spend has reached the budget
+    /// gets [`XsactError::BudgetExceeded`] before its query is queued, so
+    /// budget `1` admits exactly one matching query — handy for
+    /// deterministic tests.
+    pub budget: Option<u64>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig { queue_capacity: 64, max_batch: 16, default_top: DEFAULT_TOP, budget: None }
+    }
+}
+
+/// What a served query returns: the shared ranking plus the cost of the
+/// batch that produced it.
+#[derive(Debug, Clone)]
+pub struct QueryAnswer {
+    /// The merged ranking — shared (`Arc`) among every member of the
+    /// batch, byte-identical to sequential execution.
+    pub ranking: Arc<CorpusRanking>,
+    /// Executor work of the whole batch (each member is charged the full
+    /// batch cost against its session budget — riding along is not free,
+    /// it is shared).
+    pub stats: ExecutorStats,
+    /// How many queries the batch answered (1 = no coalescing happened).
+    pub batch_size: usize,
+}
+
+/// One queued query: what to run, the key it coalesces under, and where
+/// the answer goes.
+struct Submission {
+    /// Canonical text of the parsed query — the batch key's first half
+    /// (two spellings of the same term multiset coalesce).
+    canonical: String,
+    query: Query,
+    k: usize,
+    reply: mpsc::Sender<QueryAnswer>,
+}
+
+/// State shared by the server handle, its sessions, and the dispatcher.
+struct ServerInner {
+    corpus: Arc<Corpus>,
+    queue: SubmissionQueue<Submission>,
+    counters: ServeCounters,
+    config: ServeConfig,
+}
+
+/// A running corpus server; see the module docs. Dropping it shuts down
+/// gracefully: the queue closes, admitted work drains, the dispatcher and
+/// its shard pool join.
+pub struct CorpusServer {
+    inner: Arc<ServerInner>,
+    dispatcher: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl CorpusServer {
+    /// Starts the dispatcher and its persistent shard pool (one worker
+    /// per [`Corpus::effective_shards`], pinned for the server's
+    /// lifetime).
+    pub fn start(corpus: Arc<Corpus>, config: ServeConfig) -> CorpusServer {
+        let config = ServeConfig { max_batch: config.max_batch.max(1), ..config };
+        let inner = Arc::new(ServerInner {
+            corpus,
+            queue: SubmissionQueue::new(config.queue_capacity),
+            counters: ServeCounters::default(),
+            config,
+        });
+        let dispatcher = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("xsact-dispatch".to_owned())
+                .spawn(move || dispatch_loop(&inner))
+                .expect("failed to spawn dispatcher")
+        };
+        CorpusServer { inner, dispatcher: Mutex::new(Some(dispatcher)) }
+    }
+
+    /// Opens a session: its own top-k and its own budget meter, safe to
+    /// use from any thread (the TCP front end opens one per connection).
+    pub fn session(&self) -> ServeSession {
+        ServeSession {
+            inner: Arc::clone(&self.inner),
+            top: self.inner.config.default_top,
+            spent: 0,
+        }
+    }
+
+    /// The served corpus.
+    pub fn corpus(&self) -> &Corpus {
+        &self.inner.corpus
+    }
+
+    /// A point-in-time copy of the server-level counters (the `STATS`
+    /// verb's body).
+    pub fn stats(&self) -> ServeSnapshot {
+        self.inner.counters.snapshot()
+    }
+
+    /// Begins shutdown: the queue closes (new submissions rejected),
+    /// admitted submissions keep draining. Idempotent; does not block.
+    pub fn shutdown(&self) {
+        self.inner.queue.close();
+    }
+
+    /// [`shutdown`](Self::shutdown), then blocks until the dispatcher has
+    /// drained the queue and the shard pool has joined.
+    pub fn join(&self) {
+        self.shutdown();
+        let handle = self.dispatcher.lock().expect("dispatcher lock poisoned").take();
+        if let Some(handle) = handle {
+            handle.join().expect("dispatcher panicked");
+        }
+    }
+}
+
+impl Drop for CorpusServer {
+    fn drop(&mut self) {
+        self.join();
+    }
+}
+
+/// The dispatcher: pop one submission (blocking), sweep in whoever else is
+/// already in line, coalesce by `(canonical query, k)`, execute each group
+/// once on the shard pool, fan each shared answer out. Exits when the
+/// queue is closed *and* drained.
+fn dispatch_loop(inner: &ServerInner) {
+    let shards = inner.corpus.effective_shards();
+    let pool: ShardPool<(Query, usize), (Vec<CorpusHit>, ExecutorStats)> =
+        ShardPool::new(shards, {
+            let corpus = Arc::clone(&inner.corpus);
+            move |shard, (query, k): &(Query, usize)| {
+                // The exact partition the scoped fan-out uses — a pure
+                // function of (shards, documents), recomputed per broadcast
+                // because it is trivially cheap next to a search.
+                let parts = ShardPlan::new(shards).partition(corpus.len());
+                corpus.execute_shard(query, &parts[shard], *k)
+            }
+        });
+    while let Some(first) = inner.queue.pop() {
+        let mut round = vec![first];
+        round.extend(inner.queue.drain_pending(inner.config.max_batch - 1));
+        for group in coalesce(round, |s| (s.canonical.clone(), s.k)) {
+            let k = group[0].k;
+            let shard_results = pool.broadcast((group[0].query.clone(), k));
+            let mut stats = ExecutorStats::default();
+            let mut lists = Vec::with_capacity(shard_results.len());
+            for (hits, shard_stats) in shard_results {
+                stats += shard_stats;
+                lists.push(hits);
+            }
+            let ranking = Arc::new(merge_shard_lists(lists, k, shards));
+            inner.counters.record_batch(
+                group.len(),
+                stats.postings_scanned,
+                stats.gallop_probes,
+                stats.candidates_pruned,
+            );
+            let batch_size = group.len();
+            for member in group {
+                // A waiter that gave up (dropped its receiver) is fine —
+                // the batch ran for the others.
+                let _ = member.reply.send(QueryAnswer {
+                    ranking: Arc::clone(&ranking),
+                    stats,
+                    batch_size,
+                });
+            }
+        }
+    }
+}
+
+/// One caller's view of a [`CorpusServer`]: a top-k setting and a budget
+/// meter. Sessions are independent; drop one and nothing happens to the
+/// server.
+pub struct ServeSession {
+    inner: Arc<ServerInner>,
+    top: usize,
+    spent: u64,
+}
+
+impl ServeSession {
+    /// The session's current top-k.
+    pub fn top(&self) -> usize {
+        self.top
+    }
+
+    /// Sets the session's top-k for subsequent queries (the `TOP` verb).
+    pub fn set_top(&mut self, k: usize) {
+        self.top = k;
+    }
+
+    /// Posting entries this session's queries have scanned so far.
+    pub fn spent(&self) -> u64 {
+        self.spent
+    }
+
+    /// The session's budget, if the server configured one.
+    pub fn budget(&self) -> Option<u64> {
+        self.inner.config.budget
+    }
+
+    /// Submits one query and blocks for the (possibly batched) answer.
+    ///
+    /// Typed failure modes, in checking order: [`XsactError::EmptyQuery`]
+    /// (no indexable terms), [`XsactError::BudgetExceeded`] (the session's
+    /// spend reached its budget; nothing queued), and
+    /// [`XsactError::Overloaded`] (the queue was full or the server is
+    /// shutting down; nothing executed).
+    pub fn query(&mut self, text: &str) -> XsactResult<QueryAnswer> {
+        let query = Query::parse(text);
+        if query.is_empty() {
+            return Err(XsactError::EmptyQuery);
+        }
+        if let Some(budget) = self.inner.config.budget {
+            if self.spent >= budget {
+                self.inner.counters.record_budget_rejection();
+                return Err(XsactError::BudgetExceeded { spent: self.spent, budget });
+            }
+        }
+        let (reply, answer_rx) = mpsc::channel();
+        let submission = Submission { canonical: query.to_string(), query, k: self.top, reply };
+        self.inner.queue.push(submission).map_err(|rejection| {
+            self.inner.counters.record_overload_rejection();
+            match rejection {
+                Rejected::Full { depth, capacity } => XsactError::Overloaded { depth, capacity },
+                Rejected::Closed => XsactError::Overloaded {
+                    depth: self.inner.queue.depth(),
+                    capacity: self.inner.queue.capacity(),
+                },
+            }
+        })?;
+        // An admitted submission is always answered (drain-on-shutdown);
+        // a recv error means the dispatcher died, which only a panic can
+        // cause — surface it as such rather than inventing an error code.
+        let answer = answer_rx.recv().expect("dispatcher died with admitted work queued");
+        self.spent = self.spent.saturating_add(answer.stats.postings_scanned);
+        Ok(answer)
+    }
+}
+
+/// The protocol error code of a facade error (`ERR <code> <message>`).
+/// Codes are stable identifiers; messages may evolve.
+pub fn error_code(error: &XsactError) -> &'static str {
+    match error {
+        XsactError::Overloaded { .. } => "OVERLOADED",
+        XsactError::BudgetExceeded { .. } => "BUDGET_EXCEEDED",
+        XsactError::EmptyQuery => "EMPTY_QUERY",
+        _ => "INTERNAL",
+    }
+}
+
+/// State shared by the accept loop, the connection threads, and the
+/// shutdown trigger.
+struct TcpShared {
+    server: CorpusServer,
+    stop: AtomicBool,
+    addr: SocketAddr,
+    /// `try_clone`d handles of live connections, so shutdown can end their
+    /// blocking reads (read half only — in-flight responses still go out).
+    conns: Mutex<Vec<TcpStream>>,
+}
+
+impl TcpShared {
+    /// Starts TCP teardown exactly once: close the submission queue
+    /// (drain), wake the accept loop with a self-connect, and end every
+    /// connection's read half so its thread can finish and exit.
+    fn trigger_stop(&self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.server.shutdown();
+        let _ = TcpStream::connect(self.addr);
+        for conn in self.conns.lock().expect("conns lock poisoned").drain(..) {
+            let _ = conn.shutdown(Shutdown::Read);
+        }
+    }
+}
+
+/// A running TCP front end; see [`serve_tcp`].
+pub struct TcpServeHandle {
+    shared: Arc<TcpShared>,
+    accept: Option<JoinHandle<Vec<JoinHandle<()>>>>,
+}
+
+impl TcpServeHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Starts shutdown from outside (equivalent to a client's `SHUTDOWN`
+    /// verb). Idempotent; does not block — follow with
+    /// [`wait`](Self::wait).
+    pub fn shutdown(&self) {
+        self.shared.trigger_stop();
+    }
+
+    /// Blocks until the server has stopped (via the `SHUTDOWN` verb or
+    /// [`shutdown`](Self::shutdown)): joins the accept loop, every
+    /// connection thread, and the dispatcher, then returns the final
+    /// counters.
+    pub fn wait(mut self) -> ServeSnapshot {
+        if let Some(accept) = self.accept.take() {
+            for conn in accept.join().expect("accept loop panicked") {
+                let _ = conn.join();
+            }
+        }
+        self.shared.server.join();
+        self.shared.server.stats()
+    }
+}
+
+/// Binds `addr` (e.g. `127.0.0.1:4141`, port 0 for an ephemeral port) and
+/// serves `server` over the line protocol: one thread per connection, one
+/// [`ServeSession`] per connection, every response terminated by a lone
+/// `.` line. Returns once the listener is bound and accepting.
+pub fn serve_tcp(server: CorpusServer, addr: &str) -> XsactResult<TcpServeHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(TcpShared {
+        server,
+        stop: AtomicBool::new(false),
+        addr,
+        conns: Mutex::new(Vec::new()),
+    });
+    let accept = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("xsact-accept".to_owned())
+            .spawn(move || {
+                let mut conn_threads = Vec::new();
+                for stream in listener.incoming() {
+                    if shared.stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    if let Ok(clone) = stream.try_clone() {
+                        shared.conns.lock().expect("conns lock poisoned").push(clone);
+                    }
+                    let shared = Arc::clone(&shared);
+                    conn_threads.push(std::thread::spawn(move || {
+                        serve_connection(&shared, stream);
+                    }));
+                }
+                conn_threads
+            })
+            .expect("failed to spawn accept loop")
+    };
+    Ok(TcpServeHandle { shared, accept: Some(accept) })
+}
+
+/// One connection's request loop. Exits on `QUIT`, `SHUTDOWN`, EOF, or a
+/// broken stream.
+fn serve_connection(shared: &TcpShared, stream: TcpStream) {
+    let Ok(read_half) = stream.try_clone() else { return };
+    let reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let mut session = shared.server.session();
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        let (body, done) = match Request::parse(&line) {
+            Ok(None) => continue,
+            Ok(Some(request)) => respond(shared, &mut session, request),
+            Err(message) => (format!("{}\n", err_line("BAD_REQUEST", &message)), false),
+        };
+        if writer.write_all(format!("{body}{END_MARKER}\n").as_bytes()).is_err() {
+            break;
+        }
+        if done {
+            break;
+        }
+    }
+}
+
+/// Builds one response body (always newline-terminated; the caller appends
+/// the end marker) and whether the connection should close afterwards.
+fn respond(shared: &TcpShared, session: &mut ServeSession, request: Request) -> (String, bool) {
+    match request {
+        Request::Query { text } => match session.query(&text) {
+            Ok(answer) => {
+                let shown = answer.ranking.hits.len().min(session.top());
+                (format!("OK {shown}\n{}", answer.ranking.render(session.top())), false)
+            }
+            Err(e) => (format!("{}\n", err_line(error_code(&e), &e.to_string())), false),
+        },
+        Request::Top { k } => {
+            session.set_top(k);
+            (format!("OK top={k}\n"), false)
+        }
+        Request::Stats => (format!("OK stats\n{}\n", shared.server.stats()), false),
+        Request::Quit => ("OK bye\n".to_owned(), true),
+        Request::Shutdown => {
+            // Answer first, then tear down — the trigger ends this
+            // connection's read half, which is fine: we are done reading.
+            shared.trigger_stop();
+            ("OK shutting down\n".to_owned(), true)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_corpus(shards: usize) -> Arc<Corpus> {
+        Arc::new(Corpus::synthetic_movies(5, 24, 11).with_shards(shards))
+    }
+
+    #[test]
+    fn served_answer_matches_sequential_bytes() {
+        let corpus = test_corpus(2);
+        let server = CorpusServer::start(Arc::clone(&corpus), ServeConfig::default());
+        let mut session = server.session();
+        let answer = session.query("drama family").unwrap();
+        let sequential = corpus.query("drama family").unwrap().ranking().render(session.top());
+        assert_eq!(answer.ranking.render(session.top()), sequential);
+        assert!(!sequential.is_empty());
+    }
+
+    #[test]
+    fn budget_admits_then_rejects() {
+        let server = CorpusServer::start(
+            test_corpus(1),
+            ServeConfig { budget: Some(1), ..ServeConfig::default() },
+        );
+        let mut session = server.session();
+        session.query("drama").unwrap();
+        assert!(session.spent() >= 1, "a matching query scans postings");
+        let err = session.query("drama").unwrap_err();
+        assert!(matches!(err, XsactError::BudgetExceeded { budget: 1, .. }), "{err}");
+        // Budgets are per session, not per server.
+        server.session().query("drama").unwrap();
+        assert_eq!(server.stats().rejected_budget, 1);
+    }
+
+    #[test]
+    fn zero_capacity_queue_is_always_overloaded() {
+        let server = CorpusServer::start(
+            test_corpus(1),
+            ServeConfig { queue_capacity: 0, ..ServeConfig::default() },
+        );
+        let err = server.session().query("drama").unwrap_err();
+        assert!(matches!(err, XsactError::Overloaded { capacity: 0, .. }), "{err}");
+        assert_eq!(server.stats().rejected_overload, 1);
+        assert_eq!(server.stats().queries_served, 0);
+    }
+
+    #[test]
+    fn shutdown_rejects_new_work_as_overloaded() {
+        let server = CorpusServer::start(test_corpus(1), ServeConfig::default());
+        server.shutdown();
+        let err = server.session().query("drama").unwrap_err();
+        assert!(matches!(err, XsactError::Overloaded { .. }), "{err}");
+    }
+
+    #[test]
+    fn empty_query_is_rejected_before_queueing() {
+        let server = CorpusServer::start(test_corpus(1), ServeConfig::default());
+        let err = server.session().query("???").unwrap_err();
+        assert!(matches!(err, XsactError::EmptyQuery));
+        assert_eq!(server.stats().queries_served, 0);
+    }
+
+    #[test]
+    fn error_codes_are_stable() {
+        assert_eq!(error_code(&XsactError::Overloaded { depth: 1, capacity: 1 }), "OVERLOADED");
+        assert_eq!(
+            error_code(&XsactError::BudgetExceeded { spent: 2, budget: 1 }),
+            "BUDGET_EXCEEDED"
+        );
+        assert_eq!(error_code(&XsactError::EmptyQuery), "EMPTY_QUERY");
+        assert_eq!(error_code(&XsactError::EmptyCorpus), "INTERNAL");
+    }
+
+    #[test]
+    fn stats_count_batches_and_queries() {
+        let server = CorpusServer::start(test_corpus(2), ServeConfig::default());
+        let mut session = server.session();
+        session.query("drama").unwrap();
+        session.query("family").unwrap();
+        let stats = server.stats();
+        assert_eq!(stats.queries_served, 2);
+        assert!(stats.batches >= 1);
+        assert!(stats.postings_scanned > 0);
+    }
+}

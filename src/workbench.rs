@@ -252,8 +252,10 @@ impl Workbench {
     }
 
     /// [`search_top_k`](Self::search_top_k) plus this run's own counters
-    /// (the workbench totals are updated either way).
-    fn search_top_k_stats(
+    /// (the workbench totals are updated either way). The serving
+    /// runtime's shard workers use this to charge batch work to session
+    /// budgets.
+    pub(crate) fn search_top_k_stats(
         &self,
         query: &Query,
         k: usize,

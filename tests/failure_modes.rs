@@ -1,7 +1,11 @@
 //! Failure-injection and edge-case tests: malformed inputs, degenerate
 //! configurations, and boundary conditions across the stack.
 
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
 use xsact::prelude::*;
+use xsact::serve::{serve_tcp, END_MARKER};
 use xsact_core::{Algorithm, DfsConfig, Instance};
 use xsact_entity::{FeatureType, ResultFeatures};
 use xsact_xml::XmlError;
@@ -230,6 +234,110 @@ fn instance_with_zero_entity_instances_is_safe() {
     let inst = Instance::build(&[a, b], DfsConfig::default());
     // Ratio 0 vs 0.2 → differentiable; must not panic or divide by zero.
     assert!(inst.differentiable(0, 1, 0));
+}
+
+// ------------------------------------------------- serving failure modes
+
+fn serve_corpus() -> Arc<Corpus> {
+    Arc::new(Corpus::synthetic_movies(4, 24, 11).with_shards(2))
+}
+
+/// One line-protocol exchange: send a request, read up to the terminator.
+fn tcp_exchange(
+    writer: &mut TcpStream,
+    responses: &mut impl Iterator<Item = std::io::Result<String>>,
+    request: &str,
+) -> Vec<String> {
+    writer.write_all(format!("{request}\n").as_bytes()).expect("request sent");
+    let mut lines = Vec::new();
+    loop {
+        match responses.next() {
+            Some(Ok(line)) if line == END_MARKER => return lines,
+            Some(Ok(line)) => lines.push(line),
+            other => panic!("connection ended mid-response: {other:?}"),
+        }
+    }
+}
+
+/// Satellite: the serving runtime's two new failure modes are *typed* —
+/// [`XsactError::Overloaded`] and [`XsactError::BudgetExceeded`] carry
+/// their numbers through the facade, not stringly-typed panics.
+#[test]
+fn overload_and_budget_are_typed_through_the_facade() {
+    // A zero-capacity queue is deterministically overloaded.
+    let overloaded = CorpusServer::start(
+        serve_corpus(),
+        ServeConfig { queue_capacity: 0, ..ServeConfig::default() },
+    );
+    match overloaded.session().query("drama").unwrap_err() {
+        XsactError::Overloaded { depth, capacity } => {
+            assert_eq!(capacity, 0);
+            assert_eq!(depth, 0);
+        }
+        other => panic!("expected Overloaded, got {other}"),
+    }
+
+    // Budget 1 admits exactly one matching query per session.
+    let budgeted = CorpusServer::start(
+        serve_corpus(),
+        ServeConfig { budget: Some(1), ..ServeConfig::default() },
+    );
+    let mut session = budgeted.session();
+    session.query("drama").expect("first query fits the budget");
+    match session.query("drama").unwrap_err() {
+        XsactError::BudgetExceeded { spent, budget } => {
+            assert_eq!(budget, 1);
+            assert!(spent >= 1, "spend reflects postings actually scanned");
+        }
+        other => panic!("expected BudgetExceeded, got {other}"),
+    }
+    // Both errors render actionable messages.
+    let msg = XsactError::Overloaded { depth: 3, capacity: 3 }.to_string();
+    assert!(msg.contains("overloaded") && msg.contains('3'), "{msg}");
+    let msg = XsactError::BudgetExceeded { spent: 9, budget: 4 }.to_string();
+    assert!(msg.contains("budget") && msg.contains('9'), "{msg}");
+}
+
+/// Satellite, other half: the same two failure modes surface over the TCP
+/// line protocol as stable `ERR <CODE>` lines a scripted client can match.
+#[test]
+fn overload_and_budget_surface_through_the_line_protocol() {
+    // Overload: zero-capacity queue behind a real socket.
+    let server = CorpusServer::start(
+        serve_corpus(),
+        ServeConfig { queue_capacity: 0, ..ServeConfig::default() },
+    );
+    let handle = serve_tcp(server, "127.0.0.1:0").expect("binds");
+    let stream = TcpStream::connect(handle.addr()).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut responses = BufReader::new(stream).lines();
+    let resp = tcp_exchange(&mut writer, &mut responses, "QUERY drama");
+    assert!(resp[0].starts_with("ERR OVERLOADED "), "{resp:?}");
+    let stats = tcp_exchange(&mut writer, &mut responses, "STATS");
+    assert!(stats.iter().any(|l| l == "rejected_overload 1"), "{stats:?}");
+    tcp_exchange(&mut writer, &mut responses, "SHUTDOWN");
+    handle.wait();
+
+    // Budget: one query succeeds, the next on the same connection is
+    // rejected with the budget code (sessions are per connection).
+    let server = CorpusServer::start(
+        serve_corpus(),
+        ServeConfig { budget: Some(1), ..ServeConfig::default() },
+    );
+    let handle = serve_tcp(server, "127.0.0.1:0").expect("binds");
+    let stream = TcpStream::connect(handle.addr()).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut responses = BufReader::new(stream).lines();
+    let first = tcp_exchange(&mut writer, &mut responses, "QUERY drama");
+    assert!(first[0].starts_with("OK "), "{first:?}");
+    let second = tcp_exchange(&mut writer, &mut responses, "QUERY drama");
+    assert!(second[0].starts_with("ERR BUDGET_EXCEEDED "), "{second:?}");
+    let stats = tcp_exchange(&mut writer, &mut responses, "STATS");
+    assert!(stats.iter().any(|l| l == "rejected_budget 1"), "{stats:?}");
+    tcp_exchange(&mut writer, &mut responses, "SHUTDOWN");
+    let snapshot = handle.wait();
+    assert_eq!(snapshot.queries_served, 1);
+    assert_eq!(snapshot.rejected_budget, 1);
 }
 
 #[test]

@@ -1,0 +1,249 @@
+//! Integration tests of the serving runtime: the batching-determinism
+//! invariant (pooling and batching never change bytes), drain-on-shutdown,
+//! and the TCP line protocol end to end on a loopback socket.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use xsact::data::movies::qm_queries;
+use xsact::prelude::*;
+use xsact::serve::{serve_tcp, END_MARKER};
+
+/// The synthetic fleet every test serves: six distinct movie documents.
+fn fleet(shards: usize) -> Arc<Corpus> {
+    Arc::new(Corpus::synthetic_movies(6, 40, 42).with_shards(shards))
+}
+
+/// The QM1–QM8 query texts of the paper's movie workload.
+fn qm_mix() -> Vec<String> {
+    qm_queries().into_iter().map(|(_, text)| text).collect()
+}
+
+// ----------------------------------------------------- batching determinism
+
+/// The tentpole invariant, pinned: N concurrent client threads submitting a
+/// shuffled mix of QM1–QM8 receive responses byte-identical to sequential
+/// one-query-at-a-time execution — at 1, 2, and 8 shards, under whatever
+/// batching the dispatcher happens to form.
+#[test]
+fn concurrent_batched_responses_match_sequential_bytes() {
+    const CLIENTS: u64 = 6;
+    const PASSES: usize = 3;
+    let k = 4; // ServeConfig::default().default_top
+    for shards in [1usize, 2, 8] {
+        let corpus = fleet(shards);
+        // Sequential oracle: the scoped-thread engine, one query at a time.
+        let expected: Vec<(String, String)> = qm_mix()
+            .into_iter()
+            .map(|text| {
+                let rendered = corpus.query(&text).unwrap().ranking().render(k);
+                (text, rendered)
+            })
+            .collect();
+        let server = CorpusServer::start(Arc::clone(&corpus), ServeConfig::default());
+        std::thread::scope(|scope| {
+            for client in 0..CLIENTS {
+                let server = &server;
+                let expected = &expected;
+                scope.spawn(move || {
+                    let mut session = server.session();
+                    // Each client shuffles its own submission order, so the
+                    // dispatcher sees interleavings the oracle never ran.
+                    let mut rng = StdRng::seed_from_u64(client);
+                    let mut order: Vec<usize> = (0..expected.len()).collect();
+                    for i in (1..order.len()).rev() {
+                        order.swap(i, rng.random_range(0..=i));
+                    }
+                    for _ in 0..PASSES {
+                        for &i in &order {
+                            let (text, want) = &expected[i];
+                            let answer = session.query(text).unwrap();
+                            assert_eq!(
+                                &answer.ranking.render(k),
+                                want,
+                                "shards {shards}, client {client}, query {text:?}"
+                            );
+                        }
+                    }
+                });
+            }
+        });
+        let stats = server.stats();
+        assert_eq!(
+            stats.queries_served,
+            CLIENTS * PASSES as u64 * expected.len() as u64,
+            "every submission answered exactly once at {shards} shards"
+        );
+        assert!(stats.batches >= 1 && stats.batches <= stats.queries_served);
+        assert_eq!(stats.queries_served - stats.batches, stats.coalesced_queries());
+    }
+}
+
+/// Hammering one query from many threads must coalesce *correctly* whatever
+/// batches form: every caller gets the same bytes and the counters balance.
+#[test]
+fn same_query_storm_coalesces_without_changing_bytes() {
+    let corpus = fleet(2);
+    let expected = corpus.query("drama family").unwrap().ranking().render(4);
+    let server = CorpusServer::start(Arc::clone(&corpus), ServeConfig::default());
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            let server = &server;
+            let expected = &expected;
+            scope.spawn(move || {
+                let mut session = server.session();
+                for _ in 0..10 {
+                    let answer = session.query("drama family").unwrap();
+                    assert_eq!(&answer.ranking.render(4), expected);
+                    assert!(answer.batch_size >= 1);
+                }
+            });
+        }
+    });
+    let stats = server.stats();
+    assert_eq!(stats.queries_served, 80);
+    assert!(stats.batches <= 80);
+    let histogram_total: u64 = stats.batch_hist.iter().sum();
+    assert_eq!(histogram_total, stats.batches, "every batch lands in one bucket");
+}
+
+// --------------------------------------------------------- shutdown drains
+
+/// Shutdown under load: every submission either completes with correct
+/// bytes or is rejected with the typed overload error — nothing hangs,
+/// nothing is silently dropped, and the counters account for every query.
+#[test]
+fn shutdown_drains_admitted_work_and_rejects_the_rest() {
+    const CLIENTS: usize = 4;
+    const PER_CLIENT: usize = 20;
+    let corpus = fleet(2);
+    let expected = corpus.query("drama family").unwrap().ranking().render(4);
+    let server = CorpusServer::start(Arc::clone(&corpus), ServeConfig::default());
+    std::thread::scope(|scope| {
+        for _ in 0..CLIENTS {
+            let server = &server;
+            let expected = &expected;
+            scope.spawn(move || {
+                let mut session = server.session();
+                for _ in 0..PER_CLIENT {
+                    match session.query("drama family") {
+                        Ok(answer) => assert_eq!(&answer.ranking.render(4), expected),
+                        Err(XsactError::Overloaded { .. }) => {}
+                        Err(other) => panic!("unexpected rejection: {other}"),
+                    }
+                }
+            });
+        }
+        // Shut down mid-storm; admitted work must still be answered.
+        server.shutdown();
+    });
+    server.join();
+    let stats = server.stats();
+    assert_eq!(
+        stats.queries_served + stats.rejected_overload,
+        (CLIENTS * PER_CLIENT) as u64,
+        "every submission either served or typed-rejected"
+    );
+}
+
+// ------------------------------------------------------------ TCP protocol
+
+/// A line-protocol client for the tests: send one request, collect the
+/// response lines up to (excluding) the `.` terminator.
+fn roundtrip(
+    writer: &mut TcpStream,
+    responses: &mut impl Iterator<Item = std::io::Result<String>>,
+    request: &str,
+) -> Vec<String> {
+    writer.write_all(format!("{request}\n").as_bytes()).expect("request sent");
+    let mut lines = Vec::new();
+    loop {
+        match responses.next() {
+            Some(Ok(line)) if line == END_MARKER => return lines,
+            Some(Ok(line)) => lines.push(line),
+            other => panic!("connection ended mid-response: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn tcp_line_protocol_end_to_end() {
+    let corpus = fleet(2);
+    let server = CorpusServer::start(Arc::clone(&corpus), ServeConfig::default());
+    let handle = serve_tcp(server, "127.0.0.1:0").expect("binds an ephemeral port");
+
+    let stream = TcpStream::connect(handle.addr()).expect("connects");
+    let mut writer = stream.try_clone().expect("clones");
+    let mut responses = BufReader::new(stream).lines();
+
+    // QUERY: bytes identical to the sequential engine, prefixed OK <n>.
+    let expected = corpus.query("drama family").unwrap().ranking().render(4);
+    let resp = roundtrip(&mut writer, &mut responses, "QUERY drama family");
+    assert_eq!(resp[0], format!("OK {}", expected.lines().count()));
+    assert_eq!(resp[1..].join("\n") + "\n", expected);
+
+    // TOP changes the session's k; the listing shrinks accordingly.
+    assert_eq!(roundtrip(&mut writer, &mut responses, "TOP 2"), vec!["OK top=2"]);
+    let bounded = roundtrip(&mut writer, &mut responses, "QUERY drama family");
+    assert_eq!(bounded[0], "OK 2");
+    assert_eq!(bounded.len(), 3, "header plus exactly two hits");
+    assert_eq!(bounded[1..], resp[1..=2], "top-2 is a prefix of the full listing");
+
+    // STATS reports the server counters.
+    let stats = roundtrip(&mut writer, &mut responses, "STATS");
+    assert_eq!(stats[0], "OK stats");
+    assert!(stats.iter().any(|l| l == "queries_served 2"), "{stats:?}");
+    assert!(stats.iter().any(|l| l.starts_with("batch_size_hist ")), "{stats:?}");
+
+    // Typed protocol errors: unknown verbs and unindexable queries.
+    let bad = roundtrip(&mut writer, &mut responses, "EXPLODE now");
+    assert!(bad[0].starts_with("ERR BAD_REQUEST "), "{bad:?}");
+    let empty = roundtrip(&mut writer, &mut responses, "QUERY ???");
+    assert!(empty[0].starts_with("ERR EMPTY_QUERY "), "{empty:?}");
+    let top_bad = roundtrip(&mut writer, &mut responses, "TOP many");
+    assert!(top_bad[0].starts_with("ERR BAD_REQUEST "), "{top_bad:?}");
+
+    // SHUTDOWN answers, then the whole front end winds down.
+    let bye = roundtrip(&mut writer, &mut responses, "SHUTDOWN");
+    assert_eq!(bye, vec!["OK shutting down"]);
+    let final_stats = handle.wait();
+    assert_eq!(final_stats.queries_served, 2);
+}
+
+#[test]
+fn tcp_sessions_are_per_connection() {
+    let server = CorpusServer::start(fleet(1), ServeConfig::default());
+    let handle = serve_tcp(server, "127.0.0.1:0").expect("binds");
+
+    // Connection A narrows its top-k; connection B must be unaffected.
+    let a = TcpStream::connect(handle.addr()).unwrap();
+    let mut a_writer = a.try_clone().unwrap();
+    let mut a_resp = BufReader::new(a).lines();
+    roundtrip(&mut a_writer, &mut a_resp, "TOP 1");
+    let narrowed = roundtrip(&mut a_writer, &mut a_resp, "QUERY drama family");
+    assert_eq!(narrowed[0], "OK 1");
+
+    let b = TcpStream::connect(handle.addr()).unwrap();
+    let mut b_writer = b.try_clone().unwrap();
+    let mut b_resp = BufReader::new(b).lines();
+    let full = roundtrip(&mut b_writer, &mut b_resp, "QUERY drama family");
+    assert_eq!(full[0], "OK 4", "connection B keeps the default top-k");
+
+    assert_eq!(roundtrip(&mut a_writer, &mut a_resp, "QUIT"), vec!["OK bye"]);
+    handle.shutdown();
+    let stats = handle.wait();
+    assert_eq!(stats.queries_served, 2);
+}
+
+#[test]
+fn tcp_handle_shutdown_stops_an_idle_server() {
+    let server = CorpusServer::start(fleet(1), ServeConfig::default());
+    let handle = serve_tcp(server, "127.0.0.1:0").expect("binds");
+    // A connected-but-idle client must not block the wind-down.
+    let _idle = TcpStream::connect(handle.addr()).expect("connects");
+    handle.shutdown();
+    let stats = handle.wait();
+    assert_eq!(stats.queries_served, 0);
+}
