@@ -59,23 +59,43 @@ finish_server() {
     rm -f "$SERVER_LOG"
 }
 
+# Latency values vary run to run; the *shape* of the observability output
+# does not. Replace every nanosecond sample in the METRICS exposition and
+# every quantile summary in the STATS body with a placeholder, keeping
+# metric names, ordering, and the (deterministic) observation counts.
+normalize() {
+    sed -e 's/^\(xsact_[a-z0-9_]*_ns[^ ]*\) [0-9][0-9]*$/\1 <ns>/' \
+        -e 's/^\(\(queue_wait\|execute\|e2e\)_us count:[0-9]*\).*/\1 <quantiles>/'
+}
+
 echo "== serve smoke 1/3: scripted session vs golden =="
 start_server
-"$XSACT" client --addr "$ADDR" <<'EOF' >/tmp/serve_smoke.out
+"$XSACT" client --addr "$ADDR" <<'EOF' >/tmp/serve_smoke.raw
 QUERY drama family
 TOP 2
 QUERY drama family
 STATS
+METRICS
 QUERY ???
 BOGUS verb
 SHUTDOWN
 EOF
 finish_server >/dev/null
+normalize </tmp/serve_smoke.raw >/tmp/serve_smoke.out
 if ! diff -u "$GOLDEN" /tmp/serve_smoke.out; then
     echo "FAIL: scripted session diverged from $GOLDEN" >&2
     exit 1
 fi
-echo "golden diff clean"
+# The exposition contract: every latency histogram recorded exactly one
+# observation per served query (2 at the time METRICS ran).
+for metric in xsact_queue_wait_ns xsact_execute_ns xsact_e2e_ns; do
+    grep -q "^${metric}_count 2$" /tmp/serve_smoke.raw || {
+        echo "FAIL: ${metric}_count should equal the 2 served queries" >&2
+        grep "^${metric}" /tmp/serve_smoke.raw >&2 || true
+        exit 1
+    }
+done
+echo "golden diff clean; latency histogram counts match queries served"
 
 echo "== serve smoke 2/3: session budget rejects the second query =="
 start_server --budget 1

@@ -16,7 +16,11 @@
 //!
 //! Before timing anything, every distinct query in the mix is checked
 //! byte-identical against sequential execution — a load bench that quietly
-//! served different bytes would be measuring a bug.
+//! served different bytes would be measuring a bug. After the runs, the
+//! client-side latency distribution is cross-checked against the server's
+//! own `METRICS` exposition: both sides bucket through the same
+//! `xsact_obs::Histogram`, so their percentiles must agree to within
+//! bucket resolution.
 //!
 //! Usage: `cargo run --release -p xsact-bench --bin serve_load [--quick]`
 
@@ -24,22 +28,14 @@ use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use xsact::data::movies::qm_queries;
+use xsact::obs::{Histogram, HistogramSnapshot};
 use xsact::prelude::*;
 use xsact_bench::harness::format_duration;
 use xsact_bench::{print_row, scaled, FIG4_SEED};
 
-/// Latency percentile over an unsorted sample set (nearest-rank).
-fn percentile(sorted: &[Duration], q: f64) -> Duration {
-    if sorted.is_empty() {
-        return Duration::ZERO;
-    }
-    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
-    sorted[idx]
-}
-
-fn sorted(mut samples: Vec<Duration>) -> Vec<Duration> {
-    samples.sort();
-    samples
+/// Renders a histogram-snapshot quantile (nanoseconds) for a table cell.
+fn cell(nanos: u64) -> String {
+    format_duration(Duration::from_nanos(nanos))
 }
 
 /// The query mix: the paper's QM1–QM8 movie workload texts.
@@ -58,44 +54,40 @@ fn check_bytes(corpus: &Corpus, server: &CorpusServer, mix: &[String], k: usize)
 }
 
 /// Closed loop: each of `clients` threads issues `per_client` queries
-/// back-to-back. Returns all latencies plus the wall time of the storm.
+/// back-to-back, recording into one shared lock-free histogram. Returns
+/// the latency distribution plus the wall time of the storm.
 fn closed_loop(
     server: &CorpusServer,
     mix: &[String],
     clients: usize,
     per_client: usize,
-) -> (Vec<Duration>, Duration) {
+) -> (HistogramSnapshot, Duration) {
+    let latencies = Histogram::new();
     let wall = Instant::now();
-    let mut all = Vec::with_capacity(clients * per_client);
     std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..clients)
-            .map(|c| {
-                scope.spawn(move || {
-                    let mut session = server.session();
-                    let mut latencies = Vec::with_capacity(per_client);
-                    for i in 0..per_client {
-                        // Offset per client so concurrent threads mix
-                        // coalescable and distinct queries.
-                        let text = &mix[(i + c) % mix.len()];
-                        let t = Instant::now();
-                        session.query(text).expect("closed loop never overloads the queue");
-                        latencies.push(t.elapsed());
-                    }
-                    latencies
-                })
-            })
-            .collect();
-        for handle in handles {
-            all.extend(handle.join().expect("client thread panicked"));
+        for c in 0..clients {
+            let latencies = &latencies;
+            scope.spawn(move || {
+                let mut session = server.session();
+                for i in 0..per_client {
+                    // Offset per client so concurrent threads mix
+                    // coalescable and distinct queries.
+                    let text = &mix[(i + c) % mix.len()];
+                    let t = Instant::now();
+                    session.query(text).expect("closed loop never overloads the queue");
+                    latencies.record_duration(t.elapsed());
+                }
+            });
         }
     });
-    (all, wall.elapsed())
+    (latencies.snapshot(), wall.elapsed())
 }
 
-/// One open-loop outcome: latencies of served queries (measured from the
-/// scheduled arrival) and how many submissions admission control rejected.
+/// One open-loop outcome: the latency distribution of served queries
+/// (measured from the scheduled arrival) and how many submissions
+/// admission control rejected.
 struct OpenLoopOutcome {
-    latencies: Vec<Duration>,
+    latencies: HistogramSnapshot,
     rejected: u64,
     wall: Duration,
 }
@@ -108,27 +100,27 @@ fn open_loop(server: &CorpusServer, mix: &[String], rate: u64, total: usize) -> 
     let interval = Duration::from_nanos(1_000_000_000 / rate.max(1));
     let (tx, rx) = mpsc::channel::<(Instant, usize)>();
     let rx = Arc::new(std::sync::Mutex::new(rx));
+    let latencies = Histogram::new();
     let wall = Instant::now();
-    let mut latencies = Vec::with_capacity(total);
     let mut rejected = 0u64;
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 let rx = Arc::clone(&rx);
+                let latencies = &latencies;
                 scope.spawn(move || {
                     let mut session = server.session();
-                    let mut latencies = Vec::new();
                     let mut rejected = 0u64;
                     loop {
                         let job = rx.lock().expect("job queue lock poisoned").recv();
                         let Ok((scheduled, query)) = job else { break };
                         match session.query(&mix[query]) {
-                            Ok(_) => latencies.push(scheduled.elapsed()),
+                            Ok(_) => latencies.record_duration(scheduled.elapsed()),
                             Err(XsactError::Overloaded { .. }) => rejected += 1,
                             Err(e) => panic!("unexpected serving error: {e}"),
                         }
                     }
-                    (latencies, rejected)
+                    rejected
                 })
             })
             .collect();
@@ -144,12 +136,55 @@ fn open_loop(server: &CorpusServer, mix: &[String], rate: u64, total: usize) -> 
         }
         drop(tx);
         for handle in handles {
-            let (worker_latencies, worker_rejected) = handle.join().expect("worker panicked");
-            latencies.extend(worker_latencies);
-            rejected += worker_rejected;
+            rejected += handle.join().expect("worker panicked");
         }
     });
-    OpenLoopOutcome { latencies, rejected, wall: wall.elapsed() }
+    OpenLoopOutcome { latencies: latencies.snapshot(), rejected, wall: wall.elapsed() }
+}
+
+/// Pulls one quantile sample (integer nanoseconds) out of a Prometheus
+/// text exposition — the same bytes the `METRICS` verb serves.
+fn scrape_quantile(exposition: &str, metric: &str, q: &str) -> u64 {
+    let needle = format!("{metric}{{quantile=\"{q}\"}} ");
+    exposition
+        .lines()
+        .find_map(|line| line.strip_prefix(needle.as_str()))
+        .unwrap_or_else(|| panic!("{needle}<value> missing from exposition:\n{exposition}"))
+        .trim()
+        .parse()
+        .expect("quantile samples are integer nanoseconds")
+}
+
+/// Cross-checks the client-side latency distribution against the server's
+/// own end-to-end histogram, scraped from the `METRICS` exposition. Both
+/// sides measure (almost) the same interval through the same √2-bucketed
+/// histogram, so each quantile must land within a few buckets — a factor
+/// 2^1.5 covers three bucket boundaries plus the client's call overhead.
+fn cross_check(client: &HistogramSnapshot, exposition: &str) {
+    let server_count: u64 = exposition
+        .lines()
+        .find_map(|l| l.strip_prefix("xsact_e2e_ns_count "))
+        .expect("e2e count present")
+        .trim()
+        .parse()
+        .expect("count is an integer");
+    assert_eq!(client.count, server_count, "server recorded one e2e observation per client query");
+    for (label, client_q, q) in [("p50", client.p50(), "0.5"), ("p99", client.p99(), "0.99")] {
+        let server_q = scrape_quantile(exposition, "xsact_e2e_ns", q);
+        let lo = client_q.min(server_q).max(1) as f64;
+        let hi = client_q.max(server_q).max(1) as f64;
+        assert!(
+            hi / lo <= 2.0_f64.powf(1.5) + 1e-9,
+            "{label} diverged past bucket resolution: client {} vs server {}",
+            cell(client_q),
+            cell(server_q)
+        );
+        println!(
+            "cross-check {label}: client {} vs server {} (within bucket resolution)",
+            cell(client_q),
+            cell(server_q)
+        );
+    }
 }
 
 fn main() {
@@ -182,14 +217,13 @@ fn main() {
     );
     for clients in [1usize, 4] {
         let (latencies, wall) = closed_loop(&server, &mix, clients, per_client);
-        let latencies = sorted(latencies);
         print_row(
             &[
                 clients.to_string(),
-                latencies.len().to_string(),
-                format_duration(percentile(&latencies, 0.50)),
-                format_duration(percentile(&latencies, 0.99)),
-                format!("{:.0}", latencies.len() as f64 / wall.as_secs_f64().max(1e-9)),
+                latencies.count.to_string(),
+                cell(latencies.p50()),
+                cell(latencies.p99()),
+                format!("{:.0}", latencies.count as f64 / wall.as_secs_f64().max(1e-9)),
             ],
             &widths,
         );
@@ -213,19 +247,30 @@ fn main() {
     );
     for rate in [scaled(500, 200) as u64, scaled(2_000, 800) as u64] {
         let outcome = open_loop(&server, &mix, rate, total);
-        let latencies = sorted(outcome.latencies);
+        let latencies = outcome.latencies;
         print_row(
             &[
                 rate.to_string(),
-                latencies.len().to_string(),
-                format_duration(percentile(&latencies, 0.50)),
-                format_duration(percentile(&latencies, 0.99)),
-                format!("{:.0}", latencies.len() as f64 / outcome.wall.as_secs_f64().max(1e-9)),
+                latencies.count.to_string(),
+                cell(latencies.p50()),
+                cell(latencies.p99()),
+                format!("{:.0}", latencies.count as f64 / outcome.wall.as_secs_f64().max(1e-9)),
                 outcome.rejected.to_string(),
             ],
             &widths,
         );
     }
+    println!();
+
+    // ---- client vs server percentile cross-check -------------------------
+    // A fresh server so its e2e histogram holds exactly this phase's
+    // traffic; the client histogram and the scraped METRICS exposition
+    // must then tell the same story.
+    println!("percentile cross-check (client histogram vs METRICS exposition)");
+    let check_server = CorpusServer::start(Arc::clone(&corpus), ServeConfig::default());
+    let (client, _) = closed_loop(&check_server, &mix, 2, scaled(100, 8));
+    check_server.join();
+    cross_check(&client, &check_server.metrics());
     println!();
 
     println!("server counters after the runs:");

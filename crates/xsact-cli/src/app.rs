@@ -39,14 +39,24 @@ pub fn load_dataset(args: &Args) -> Document {
 pub fn run(args: &Args) -> Result<String, XsactError> {
     // Every successful exit of the inner run hands back the executor
     // counters, so the --explain line is appended in exactly one place.
-    let (mut out, stats) = run_single(args)?;
+    let sink = args.trace.then(TraceSink::new);
+    let (mut out, stats) = run_single(args, sink.as_ref())?;
     if args.explain {
         out.push_str(&explain_line(stats));
+    }
+    // The trace table is appended last, after every result line, so
+    // scripted consumers can strip it without touching the answer.
+    if let Some(sink) = &sink {
+        out.push_str("\ntrace:\n");
+        out.push_str(&sink.take().render());
     }
     Ok(out)
 }
 
-fn run_single(args: &Args) -> Result<(String, ExecutorStats), XsactError> {
+fn run_single(
+    args: &Args,
+    trace: Option<&TraceSink>,
+) -> Result<(String, ExecutorStats), XsactError> {
     let mut out = String::new();
     let doc = load_dataset(args);
     let wb = match &args.load_index {
@@ -66,8 +76,11 @@ fn run_single(args: &Args) -> Result<(String, ExecutorStats), XsactError> {
     }
     out.push_str(&format!("dataset: {:?} ({} XML nodes)\n", args.dataset, wb.document().len()));
 
-    let mut pipeline = wb
-        .query(&args.query)?
+    let pipeline = match trace {
+        Some(sink) => wb.query_traced(&args.query, sink),
+        None => wb.query(&args.query),
+    }?;
+    let mut pipeline = pipeline
         .semantics(args.semantics)
         .ranked(args.ranked)
         .size_bound(args.bound)
@@ -166,26 +179,32 @@ fn run_single(args: &Args) -> Result<(String, ExecutorStats), XsactError> {
     Ok((out, pipeline.executor_stats().unwrap_or_default()))
 }
 
-/// Renders [`ExecutorStats`] as the one-line `--explain` report.
+/// Renders [`ExecutorStats`] as the one-line `--explain` report (single
+/// mode, corpus mode, and the serve shutdown summary all use this).
 fn explain_line(stats: ExecutorStats) -> String {
-    format!(
-        "executor: {} postings scanned, {} gallop probes, {} candidates pruned\n",
-        stats.postings_scanned, stats.gallop_probes, stats.candidates_pruned
-    )
+    format!("executor: {stats}\n")
 }
 
 /// One corpus-mode run: ingest a directory (or generate a synthetic
 /// fleet), fan the query out across shards, print the merged ranking and
 /// the cross-document comparison table.
 pub fn run_corpus(args: &CorpusArgs) -> Result<String, XsactError> {
-    let (mut out, stats) = run_corpus_inner(args)?;
+    let sink = args.trace.then(TraceSink::new);
+    let (mut out, stats) = run_corpus_inner(args, sink.as_ref())?;
     if args.explain {
         out.push_str(&explain_line(stats));
+    }
+    if let Some(sink) = &sink {
+        out.push_str("\ntrace:\n");
+        out.push_str(&sink.take().render());
     }
     Ok(out)
 }
 
-fn run_corpus_inner(args: &CorpusArgs) -> Result<(String, ExecutorStats), XsactError> {
+fn run_corpus_inner(
+    args: &CorpusArgs,
+    trace: Option<&TraceSink>,
+) -> Result<(String, ExecutorStats), XsactError> {
     // Validate the cheap knobs before paying for ingestion and fan-out —
     // compare() would reject them anyway, but only after the whole query.
     if !args.threshold.is_finite() || args.threshold < 0.0 {
@@ -223,8 +242,13 @@ fn run_corpus_inner(args: &CorpusArgs) -> Result<(String, ExecutorStats), XsactE
         ingested
     ));
 
-    let query =
-        corpus.query(&args.query)?.top(args.top).size_bound(args.bound).threshold(args.threshold);
+    let query = match trace {
+        Some(sink) => corpus.query_traced(&args.query, sink),
+        None => corpus.query(&args.query),
+    }?
+    .top(args.top)
+    .size_bound(args.bound)
+    .threshold(args.threshold);
     let query_start = Instant::now();
     let ranking = query.ranking();
     let fanned_out = query_start.elapsed();
@@ -305,9 +329,16 @@ pub fn run_serve(args: &ServeArgs) -> Result<String, XsactError> {
         max_batch: args.max_batch,
         default_top: args.top,
         budget: args.budget,
+        slow_query: args.slow_query_ms.map(Duration::from_millis),
     };
     let server = CorpusServer::start(Arc::clone(&corpus), config);
+    let registry = server.metrics_registry();
     let handle = serve_tcp(server, &args.addr)?;
+    // The HTTP endpoint scrapes the same registry the METRICS verb reads.
+    let metrics = match &args.metrics_addr {
+        Some(addr) => Some(xsact::obs::serve_metrics(registry, addr)?),
+        None => None,
+    };
     println!(
         "xsact-serve: {} documents, {} shards (effective {}), queue {}, max batch {}, top {}{}",
         corpus.len(),
@@ -321,10 +352,19 @@ pub fn run_serve(args: &ServeArgs) -> Result<String, XsactError> {
             None => String::new(),
         }
     );
+    if let Some(metrics) = &metrics {
+        println!("metrics on http://{}/metrics", metrics.addr());
+    }
     println!("listening on {}", handle.addr());
     std::io::stdout().flush()?;
     let stats = handle.wait();
-    Ok(format!("shutdown complete\n{stats}\n"))
+    drop(metrics); // stop the scrape endpoint before reporting
+    let executor = ExecutorStats {
+        postings_scanned: stats.postings_scanned,
+        gallop_probes: stats.gallop_probes,
+        candidates_pruned: stats.candidates_pruned,
+    };
+    Ok(format!("shutdown complete\n{stats}\n{}", explain_line(executor)))
 }
 
 /// The `client` subcommand: read request lines from stdin, send each to
@@ -521,6 +561,27 @@ mod tests {
             empty.contains("executor: 0 postings scanned, 0 gallop probes, 0 candidates pruned"),
             "{empty}"
         );
+    }
+
+    #[test]
+    fn trace_prints_a_per_stage_table_after_the_answer() {
+        let out = run(&args_for("figure1", &["--trace"])).expect("runs");
+        let (answer, trace) = out.split_once("\ntrace:\n").expect("trace section appended");
+        assert!(answer.contains("DoD = 5"), "answer precedes the trace:\n{out}");
+        for stage in ["stage", "parse", "plan", "slca-stream", "total"] {
+            assert!(trace.contains(stage), "missing {stage} in trace:\n{trace}");
+        }
+        assert!(!run(&args_for("figure1", &[])).expect("runs").contains("\ntrace:\n"));
+    }
+
+    #[test]
+    fn corpus_trace_shows_per_shard_spans() {
+        let c = corpus_args_for(&["--docs", "3", "--movies", "30", "--shards", "2", "--trace"]);
+        let out = run_corpus(&c).expect("corpus run");
+        let (_, trace) = out.split_once("\ntrace:\n").expect("trace section appended");
+        for stage in ["parse", "shard 0", "shard 1", "merge", "total"] {
+            assert!(trace.contains(stage), "missing {stage} in trace:\n{trace}");
+        }
     }
 
     #[test]

@@ -67,6 +67,9 @@ pub struct Args {
     /// Print the executor's counters (postings scanned, gallop probes,
     /// candidates pruned) after the run.
     pub explain: bool,
+    /// Print a per-stage trace table (parse, plan, slca-stream, rank) of
+    /// the query after the run. Purely observational.
+    pub trace: bool,
     /// Serialise the inverted index to this path after the run.
     pub save_index: Option<String>,
     /// Restore the inverted index from this path instead of rebuilding it
@@ -90,6 +93,7 @@ impl Default for Args {
             ranked: false,
             top: None,
             explain: false,
+            trace: false,
             save_index: None,
             load_index: None,
         }
@@ -127,6 +131,9 @@ pub struct CorpusArgs {
     pub index_dir: Option<String>,
     /// Print the corpus-wide executor counters after the run.
     pub explain: bool,
+    /// Print a per-stage trace table (parse, per-shard execution, merge)
+    /// of the corpus query after the run. Purely observational.
+    pub trace: bool,
 }
 
 impl Default for CorpusArgs {
@@ -144,6 +151,7 @@ impl Default for CorpusArgs {
             algorithm: Algorithm::MultiSwap,
             index_dir: None,
             explain: false,
+            trace: false,
         }
     }
 }
@@ -175,6 +183,12 @@ pub struct ServeArgs {
     pub top: usize,
     /// Per-session executor-work budget in posting entries scanned.
     pub budget: Option<u64>,
+    /// Address for the plain-HTTP `GET /metrics` endpoint; `None` = no
+    /// HTTP exposition (the `METRICS` verb still works).
+    pub metrics_addr: Option<String>,
+    /// End-to-end latency threshold in milliseconds above which a served
+    /// query is logged to stderr; `None` disables the slow-query log.
+    pub slow_query_ms: Option<u64>,
 }
 
 impl Default for ServeArgs {
@@ -191,6 +205,8 @@ impl Default for ServeArgs {
             max_batch: 16,
             top: 4,
             budget: None,
+            metrics_addr: None,
+            slow_query_ms: None,
         }
     }
 }
@@ -261,6 +277,8 @@ OPTIONS:
                          best k (streaming executor)
     --explain            print executor counters (postings scanned,
                          gallop probes, candidates pruned)
+    --trace              print a per-stage latency table for the query
+                         (parse, plan, slca-stream, rank)
     --stats              print per-result statistics panels
     --xml                print each selected result's XML
     --save-index <path>  serialise the inverted index after the run
@@ -282,6 +300,8 @@ CORPUS OPTIONS (sharded multi-document engine):
     --index-dir <path>   per-document index cache for --dir corpora
                          (skip shard cold starts on reload)
     --explain            print corpus-wide executor counters
+    --trace              print a per-stage latency table for the query
+                         (parse, per-shard execution, merge)
 
 SERVE OPTIONS (long-lived corpus server, TCP line protocol):
     --dir/--docs/--movies/--seed/--shards/--index-dir
@@ -292,8 +312,12 @@ SERVE OPTIONS (long-lived corpus server, TCP line protocol):
     --top <k>            default per-session top-k (TOP verb resets) [4]
     --budget <n>         per-session budget in posting entries scanned
                          (a session past it gets ERR BUDGET_EXCEEDED)
-    protocol verbs: QUERY <text> | TOP <k> | STATS | QUIT | SHUTDOWN;
-    every response ends with a lone '.' line
+    --metrics-addr <a>   also serve plain-HTTP GET /metrics on <a>
+                         (Prometheus text exposition; off by default)
+    --slow-query-ms <n>  log queries slower than <n> ms end-to-end
+                         to stderr (off by default)
+    protocol verbs: QUERY <text> | TOP <k> | STATS | METRICS | QUIT |
+    SHUTDOWN; every response ends with a lone '.' line
 
 CLIENT OPTIONS (scriptable line-protocol client; requests from stdin):
     --addr <host:port>   server address                 [127.0.0.1:4141]
@@ -369,6 +393,14 @@ where
                         .map_err(|_| ArgError("--budget expects an integer".into()))?,
                 );
             }
+            "--metrics-addr" => args.metrics_addr = Some(value("--metrics-addr")?),
+            "--slow-query-ms" => {
+                args.slow_query_ms = Some(
+                    value("--slow-query-ms")?
+                        .parse()
+                        .map_err(|_| ArgError("--slow-query-ms expects an integer".into()))?,
+                );
+            }
             "--help" | "-h" => return Err(ArgError(USAGE.to_owned())),
             other => return Err(ArgError(format!("unknown serve flag {other:?}\n\n{USAGE}"))),
         }
@@ -430,6 +462,7 @@ where
             "--algorithm" => args.algorithm = parse_algorithm(&value("--algorithm")?)?,
             "--index-dir" => args.index_dir = Some(value("--index-dir")?),
             "--explain" => args.explain = true,
+            "--trace" => args.trace = true,
             "--help" | "-h" => return Err(ArgError(USAGE.to_owned())),
             other => return Err(ArgError(format!("unknown corpus flag {other:?}\n\n{USAGE}"))),
         }
@@ -497,6 +530,7 @@ where
                 );
             }
             "--explain" => args.explain = true,
+            "--trace" => args.trace = true,
             "--stats" => args.stats = true,
             "--xml" => args.show_xml = true,
             "--save-index" => args.save_index = Some(value("--save-index")?),
@@ -612,6 +646,14 @@ mod tests {
         assert!(c.explain);
         let err = |args: &[&str]| parse(args.iter().map(|s| s.to_string())).unwrap_err();
         assert!(err(&["--top", "x"]).0.contains("integer"));
+    }
+
+    #[test]
+    fn trace_flag_in_single_and_corpus_modes() {
+        assert!(parse_ok(&["--trace"]).trace);
+        assert!(!parse_ok(&[]).trace);
+        assert!(parse_corpus_ok(&["corpus", "--trace"]).trace);
+        assert!(!parse_corpus_ok(&["corpus"]).trace);
     }
 
     #[test]
@@ -735,6 +777,20 @@ mod tests {
         assert_eq!(s.addr, "127.0.0.1:0");
         assert_eq!((s.queue, s.max_batch, s.top), (8, 4, 3));
         assert_eq!(s.budget, Some(100));
+    }
+
+    #[test]
+    fn serve_observability_flags() {
+        let d = parse_serve_ok(&["serve"]);
+        assert_eq!(d.metrics_addr, None);
+        assert_eq!(d.slow_query_ms, None);
+        let s =
+            parse_serve_ok(&["serve", "--metrics-addr", "127.0.0.1:0", "--slow-query-ms", "250"]);
+        assert_eq!(s.metrics_addr.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(s.slow_query_ms, Some(250));
+        let err = |args: &[&str]| parse(args.iter().map(|s| s.to_string())).unwrap_err();
+        assert!(err(&["serve", "--slow-query-ms", "x"]).0.contains("integer"));
+        assert!(err(&["serve", "--metrics-addr"]).0.contains("requires a value"));
     }
 
     #[test]

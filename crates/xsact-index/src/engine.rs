@@ -15,6 +15,7 @@ use crate::rank::{rank_results, ScoredResult, Scorer, TopK};
 use crate::slca::elca_full_scan;
 use std::collections::{HashMap, HashSet};
 use xsact_entity::{extract_features, NodeClass, ResultFeatures, StructureSummary};
+use xsact_obs::TraceSink;
 use xsact_xml::{writer, Document, NodeId};
 
 /// Which lowest-common-ancestor semantics defines a keyword match.
@@ -48,6 +49,22 @@ pub struct TopKSearch {
     pub hits: Vec<(SearchResult, ScoredResult)>,
     /// Executor counters for this run.
     pub stats: ExecutorStats,
+}
+
+/// Annotates a `plan` span with the plan's shape.
+fn note_plan(span: &mut xsact_obs::Span<'_>, plan: &QueryPlan<'_>) {
+    span.note("lists", plan.lists().len() as u64);
+    if !plan.is_empty() {
+        span.note("driver_postings", plan.driver_len() as u64);
+        span.note("total_postings", plan.total_postings() as u64);
+    }
+}
+
+/// Annotates a `slca-stream` span with the executor counters it produced.
+fn note_stream(span: &mut xsact_obs::Span<'_>, stats: ExecutorStats, streamed: usize) {
+    span.note("postings_scanned", stats.postings_scanned);
+    span.note("gallop_probes", stats.gallop_probes);
+    span.note("streamed", streamed as u64);
 }
 
 /// An immutable, query-ready view of one XML document: structural summary +
@@ -112,16 +129,43 @@ impl SearchEngine {
         query: &Query,
         semantics: ResultSemantics,
     ) -> (Vec<SearchResult>, ExecutorStats) {
+        self.search_with_stats_traced(query, semantics, None)
+    }
+
+    /// [`search_with_stats`](Self::search_with_stats) with an optional
+    /// stage trace (`plan` → `slca-stream` → `sort` spans). With `None`
+    /// no timestamps are taken at all, and tracing never changes the
+    /// results — only observes them.
+    pub fn search_with_stats_traced(
+        &self,
+        query: &Query,
+        semantics: ResultSemantics,
+        trace: Option<&TraceSink>,
+    ) -> (Vec<SearchResult>, ExecutorStats) {
         let mut stats = ExecutorStats::default();
+        let span = trace.map(|sink| sink.span("plan"));
         let plan = QueryPlan::new(&self.index, query);
+        if let Some(mut span) = span {
+            note_plan(&mut span, &plan);
+            span.finish();
+        }
         if plan.is_empty() {
             return (Vec::new(), stats);
         }
+        let span = trace.map(|sink| sink.span("slca-stream"));
         let mut results = Vec::new();
         self.for_each_promoted(&plan, semantics, &mut stats, |root, slca| {
             results.push(SearchResult { root, slca, label: self.label_for(root) });
         });
+        if let Some(mut span) = span {
+            note_stream(&mut span, stats, results.len());
+            span.finish();
+        }
+        let span = trace.map(|sink| sink.span("sort"));
         results.sort_by(|a, b| self.doc.dewey(a.root).cmp(&self.doc.dewey(b.root)));
+        if let Some(span) = span {
+            span.finish();
+        }
         (results, stats)
     }
 
@@ -199,26 +243,58 @@ impl SearchEngine {
     /// [`search_ranked`](Self::search_ranked) stays as the sort-everything
     /// correctness oracle.
     pub fn search_top_k(&self, query: &Query, k: usize, semantics: ResultSemantics) -> TopKSearch {
+        self.search_top_k_traced(query, k, semantics, None)
+    }
+
+    /// [`search_top_k`](Self::search_top_k) with an optional stage trace
+    /// (`plan` → `slca-stream` → `rank` spans, executor counters attached
+    /// as span notes). With `None` no timestamps are taken at all;
+    /// tracing never changes the ranked bytes (`tests/obs.rs` pins it).
+    pub fn search_top_k_traced(
+        &self,
+        query: &Query,
+        k: usize,
+        semantics: ResultSemantics,
+        trace: Option<&TraceSink>,
+    ) -> TopKSearch {
         let mut stats = ExecutorStats::default();
+        let span = trace.map(|sink| sink.span("plan"));
         let plan = QueryPlan::new(&self.index, query);
+        if let Some(mut span) = span {
+            note_plan(&mut span, &plan);
+            span.finish();
+        }
         if plan.is_empty() {
             return TopKSearch { hits: Vec::new(), stats };
         }
         let scorer = Scorer::new(&self.doc, &self.index, query);
+        let span = trace.map(|sink| sink.span("slca-stream"));
         let mut heap: TopK<'_, (ScoredResult, NodeId)> = TopK::new(k);
+        let mut streamed = 0usize;
         self.for_each_promoted(&plan, semantics, &mut stats, |root, slca| {
             let scored = scorer.score(root);
             heap.push(scored.score, self.doc.dewey(root), (scored, slca));
+            streamed += 1;
         });
+        if let Some(mut span) = span {
+            note_stream(&mut span, stats, streamed);
+            span.finish();
+        }
+        let span = trace.map(|sink| sink.span("rank"));
         let (kept, evicted) = heap.finish();
         stats.candidates_pruned += evicted;
-        let hits = kept
+        let hits: Vec<_> = kept
             .into_iter()
             .map(|(scored, slca)| {
                 let root = scored.root;
                 (SearchResult { root, slca, label: self.label_for(root) }, scored)
             })
             .collect();
+        if let Some(mut span) = span {
+            span.note("kept", hits.len() as u64);
+            span.note("heap_evicted", evicted);
+            span.finish();
+        }
         TopKSearch { hits, stats }
     }
 

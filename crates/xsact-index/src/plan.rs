@@ -30,6 +30,7 @@
 
 use crate::postings::InvertedIndex;
 use crate::query::Query;
+use std::fmt;
 use std::ops::{Add, AddAssign};
 use xsact_xml::{DeweyRef, Document, NodeId};
 
@@ -75,6 +76,19 @@ impl Add for ExecutorStats {
 impl AddAssign for ExecutorStats {
     fn add_assign(&mut self, rhs: ExecutorStats) {
         *self = *self + rhs;
+    }
+}
+
+impl fmt::Display for ExecutorStats {
+    /// The one human-facing spelling of the counters, shared by the CLI's
+    /// `--explain` line, the corpus aggregate, and the serve shutdown
+    /// summary so the three can never drift apart.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} postings scanned, {} gallop probes, {} candidates pruned",
+            self.postings_scanned, self.gallop_probes, self.candidates_pruned
+        )
     }
 }
 

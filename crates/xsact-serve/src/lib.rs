@@ -8,9 +8,10 @@
 //! budgets, and counters that describe the server rather than a single
 //! query.
 //!
-//! This crate holds that machinery's *mechanics*, dependency-free and free
-//! of any XSACT type (mirroring `xsact-corpus`), so every piece is
-//! independently testable:
+//! This crate holds that machinery's *mechanics*, free of any XSACT
+//! engine type (its only dependency is the observability layer
+//! `xsact-obs`, mirroring how `xsact-corpus` stays engine-free), so every
+//! piece is independently testable:
 //!
 //! * [`SubmissionQueue`] — a bounded MPMC queue whose `push` **rejects**
 //!   instead of blocking (admission control is backpressure made visible
@@ -18,12 +19,15 @@
 //!   handed out after a close, new work is turned away.
 //! * [`coalesce`] — groups pending submissions by key so one execution
 //!   can serve every concurrent caller that asked the same question.
-//! * [`ServeCounters`] — atomic server-level counters: queries served,
-//!   batches formed, a batch-size histogram, typed rejection counts, and
-//!   the executor work aggregated over every batch.
+//! * [`ServeCounters`] — server-level metrics backed by an `xsact-obs`
+//!   registry: queries served, batches formed, batch-size and latency
+//!   histograms (queue wait, batch formation, execute, reply write,
+//!   end-to-end), typed rejection counts, and the executor work
+//!   aggregated over every batch — all scrapeable as one Prometheus-style
+//!   exposition.
 //! * [`protocol`] — the newline-delimited request/response framing the
-//!   TCP front end speaks (`QUERY …`, `TOP k`, `STATS`, `QUIT`,
-//!   `SHUTDOWN`; every response ends with a lone `.` line).
+//!   TCP front end speaks (`QUERY …`, `TOP k`, `STATS`, `METRICS`,
+//!   `QUIT`, `SHUTDOWN`; every response ends with a lone `.` line).
 //!
 //! The `xsact` facade's `serve` module composes these with the corpus and
 //! `xsact-corpus`'s persistent `ShardPool` into the actual server; see
@@ -37,4 +41,4 @@ pub mod stats;
 pub use batch::coalesce;
 pub use protocol::{err_line, Request, END_MARKER};
 pub use queue::{Rejected, SubmissionQueue};
-pub use stats::{ServeCounters, ServeSnapshot, BATCH_HIST_BUCKETS};
+pub use stats::{ServeCounters, ServeSnapshot};

@@ -12,6 +12,7 @@
 //! QUERY drama family      run the query under the session's top-k
 //! TOP 3                   set the session's top-k
 //! STATS                   server counters
+//! METRICS                 Prometheus-style metrics exposition
 //! QUIT                    close this connection
 //! SHUTDOWN                drain the server and stop it
 //! ```
@@ -50,6 +51,8 @@ pub enum Request {
     },
     /// Report server counters.
     Stats,
+    /// Report the full metrics exposition (Prometheus text format).
+    Metrics,
     /// Close this connection.
     Quit,
     /// Drain the server and stop it.
@@ -83,11 +86,12 @@ impl Request {
                 Ok(Some(Request::Top { k }))
             }
             "STATS" => Request::bare(verb, rest, Request::Stats),
+            "METRICS" => Request::bare(verb, rest, Request::Metrics),
             "QUIT" => Request::bare(verb, rest, Request::Quit),
             "SHUTDOWN" => Request::bare(verb, rest, Request::Shutdown),
-            other => {
-                Err(format!("unknown verb {other:?}; use QUERY | TOP | STATS | QUIT | SHUTDOWN"))
-            }
+            other => Err(format!(
+                "unknown verb {other:?}; use QUERY | TOP | STATS | METRICS | QUIT | SHUTDOWN"
+            )),
         }
     }
 
@@ -120,6 +124,7 @@ mod tests {
         );
         assert_eq!(Request::parse("TOP 5").unwrap(), Some(Request::Top { k: 5 }));
         assert_eq!(Request::parse("STATS").unwrap(), Some(Request::Stats));
+        assert_eq!(Request::parse("METRICS").unwrap(), Some(Request::Metrics));
         assert_eq!(Request::parse("QUIT").unwrap(), Some(Request::Quit));
         assert_eq!(Request::parse("SHUTDOWN").unwrap(), Some(Request::Shutdown));
     }
@@ -144,6 +149,7 @@ mod tests {
         assert!(Request::parse("TOP").unwrap_err().contains("integer"));
         assert!(Request::parse("TOP many").unwrap_err().contains("integer"));
         assert!(Request::parse("STATS now").unwrap_err().contains("no arguments"));
+        assert!(Request::parse("METRICS all").unwrap_err().contains("no arguments"));
         assert!(Request::parse("EXPLODE").unwrap_err().contains("unknown verb"));
         // Verbs are case-sensitive — lowercase is a different (unknown) verb.
         assert!(Request::parse("query x").unwrap_err().contains("unknown verb"));

@@ -1,70 +1,157 @@
-//! Server-level counters: the server's own observability, as opposed to
-//! the per-query `ExecutorStats` the engine already reports.
+//! Server-level counters and latency histograms: the server's own
+//! observability, as opposed to the per-query `ExecutorStats` the engine
+//! already reports.
 //!
-//! Everything is a relaxed atomic so the dispatcher, the admission path,
-//! and any number of connection threads can record without contention;
-//! [`ServeCounters::snapshot`] reads one counter at a time, so a snapshot
-//! taken *while* traffic flows may mix instants — at any quiescent point it
-//! is exact (the same guarantee the workbench cache counters give).
+//! Every metric lives in an `xsact-obs` [`MetricsRegistry`], so the whole
+//! set has a machine-readable exposition (the `METRICS` verb and the
+//! `/metrics` HTTP endpoint) for free; the typed [`ServeCounters`] struct
+//! keeps `Arc` handles to the hot metrics so the dispatcher, the
+//! admission path, and any number of connection threads record through
+//! one atomic op without ever touching the registry again. A snapshot
+//! reads one metric at a time, so a snapshot taken *while* traffic flows
+//! may mix instants — at any quiescent point it is exact (the same
+//! guarantee the workbench cache counters give).
+//!
+//! Latency histograms record nanoseconds. Per the serving contract,
+//! `queue_wait`, `execute`, and `e2e` are recorded **once per query**
+//! (every member of a coalesced batch observed that latency), so each
+//! histogram's count equals `queries_served` at any quiescent point —
+//! the CI smoke test pins it.
 
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use xsact_obs::{Counter, Histogram, HistogramSnapshot, MetricsRegistry};
 
-/// Number of batch-size histogram buckets: sizes 1..`BATCH_HIST_BUCKETS`
-/// count individually, the last bucket collects everything at or above
-/// `BATCH_HIST_BUCKETS`.
-pub const BATCH_HIST_BUCKETS: usize = 8;
-
-/// Atomic server-level counters; see the module docs.
-#[derive(Debug, Default)]
+/// Typed handles over the serving metrics registry; see the module docs.
+#[derive(Debug)]
 pub struct ServeCounters {
-    queries_served: AtomicU64,
-    batches: AtomicU64,
-    batch_hist: [AtomicU64; BATCH_HIST_BUCKETS],
-    rejected_overload: AtomicU64,
-    rejected_budget: AtomicU64,
+    registry: Arc<MetricsRegistry>,
+    queries_served: Arc<Counter>,
+    batches: Arc<Counter>,
+    batch_size: Arc<Histogram>,
+    rejected_overload: Arc<Counter>,
+    rejected_budget: Arc<Counter>,
     // Executor work aggregated over every batch execution. Kept as plain
-    // integers (not the engine's `ExecutorStats` type) so this crate stays
-    // dependency-free; the facade does the typing.
-    postings_scanned: AtomicU64,
-    gallop_probes: AtomicU64,
-    candidates_pruned: AtomicU64,
+    // counters (not the engine's `ExecutorStats` type) so this crate stays
+    // free of engine types; the facade does the typing.
+    postings_scanned: Arc<Counter>,
+    gallop_probes: Arc<Counter>,
+    candidates_pruned: Arc<Counter>,
+    queue_wait_ns: Arc<Histogram>,
+    batch_form_ns: Arc<Histogram>,
+    execute_ns: Arc<Histogram>,
+    reply_write_ns: Arc<Histogram>,
+    e2e_ns: Arc<Histogram>,
+}
+
+impl Default for ServeCounters {
+    fn default() -> Self {
+        ServeCounters::new()
+    }
 }
 
 impl ServeCounters {
+    /// A fresh counter set backed by its own registry.
+    pub fn new() -> ServeCounters {
+        let registry = Arc::new(MetricsRegistry::new());
+        ServeCounters {
+            queries_served: registry.counter("xsact_queries_served"),
+            batches: registry.counter("xsact_batches_formed"),
+            batch_size: registry.histogram("xsact_batch_size"),
+            rejected_overload: registry.counter("xsact_rejected_overload"),
+            rejected_budget: registry.counter("xsact_rejected_budget"),
+            postings_scanned: registry.counter("xsact_postings_scanned"),
+            gallop_probes: registry.counter("xsact_gallop_probes"),
+            candidates_pruned: registry.counter("xsact_candidates_pruned"),
+            queue_wait_ns: registry.histogram("xsact_queue_wait_ns"),
+            batch_form_ns: registry.histogram("xsact_batch_form_ns"),
+            execute_ns: registry.histogram("xsact_execute_ns"),
+            reply_write_ns: registry.histogram("xsact_reply_write_ns"),
+            e2e_ns: registry.histogram("xsact_e2e_ns"),
+            registry,
+        }
+    }
+
+    /// The backing registry — the place to register *additional* metrics
+    /// that should ride along in the same exposition (the facade adds
+    /// per-shard busy-time histograms here).
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// The full Prometheus-style exposition (the `METRICS` verb's body).
+    pub fn exposition(&self) -> String {
+        self.registry.expose()
+    }
+
     /// Records one executed batch: `size` queries answered by one
     /// execution that did the given executor work.
     pub fn record_batch(&self, size: usize, postings: u64, probes: u64, pruned: u64) {
-        self.queries_served.fetch_add(size as u64, Ordering::Relaxed);
-        self.batches.fetch_add(1, Ordering::Relaxed);
-        let bucket = size.clamp(1, BATCH_HIST_BUCKETS) - 1;
-        self.batch_hist[bucket].fetch_add(1, Ordering::Relaxed);
-        self.postings_scanned.fetch_add(postings, Ordering::Relaxed);
-        self.gallop_probes.fetch_add(probes, Ordering::Relaxed);
-        self.candidates_pruned.fetch_add(pruned, Ordering::Relaxed);
+        self.queries_served.add(size as u64);
+        self.batches.inc();
+        self.batch_size.record(size as u64);
+        self.postings_scanned.add(postings);
+        self.gallop_probes.add(probes);
+        self.candidates_pruned.add(pruned);
     }
 
     /// Records one submission turned away by admission control.
     pub fn record_overload_rejection(&self) {
-        self.rejected_overload.fetch_add(1, Ordering::Relaxed);
+        self.rejected_overload.inc();
     }
 
     /// Records one query turned away by a session budget.
     pub fn record_budget_rejection(&self) {
-        self.rejected_budget.fetch_add(1, Ordering::Relaxed);
+        self.rejected_budget.inc();
+    }
+
+    /// Records how long one submission sat in the queue before its
+    /// dispatch round swept it up (once per query).
+    pub fn record_queue_wait(&self, wait: Duration) {
+        self.queue_wait_ns.record_duration(wait);
+    }
+
+    /// Records how long one dispatch round took to sweep and coalesce its
+    /// submissions (once per round).
+    pub fn record_batch_form(&self, took: Duration) {
+        self.batch_form_ns.record_duration(took);
+    }
+
+    /// Records one batch's shard-pool execution latency, once per member
+    /// — every query in the batch observed it, and keeping the count
+    /// equal to `queries_served` is part of the exposition contract.
+    pub fn record_execute(&self, took: Duration, members: usize) {
+        for _ in 0..members {
+            self.execute_ns.record_duration(took);
+        }
+    }
+
+    /// Records the time one response spent in the socket write.
+    pub fn record_reply_write(&self, took: Duration) {
+        self.reply_write_ns.record_duration(took);
+    }
+
+    /// Records one query's end-to-end latency, submission to answer in
+    /// hand (once per query).
+    pub fn record_e2e(&self, took: Duration) {
+        self.e2e_ns.record_duration(took);
     }
 
     /// A point-in-time copy of every counter.
     pub fn snapshot(&self) -> ServeSnapshot {
         ServeSnapshot {
-            queries_served: self.queries_served.load(Ordering::Relaxed),
-            batches: self.batches.load(Ordering::Relaxed),
-            batch_hist: std::array::from_fn(|i| self.batch_hist[i].load(Ordering::Relaxed)),
-            rejected_overload: self.rejected_overload.load(Ordering::Relaxed),
-            rejected_budget: self.rejected_budget.load(Ordering::Relaxed),
-            postings_scanned: self.postings_scanned.load(Ordering::Relaxed),
-            gallop_probes: self.gallop_probes.load(Ordering::Relaxed),
-            candidates_pruned: self.candidates_pruned.load(Ordering::Relaxed),
+            queries_served: self.queries_served.get(),
+            batches: self.batches.get(),
+            batch_size: self.batch_size.snapshot(),
+            rejected_overload: self.rejected_overload.get(),
+            rejected_budget: self.rejected_budget.get(),
+            postings_scanned: self.postings_scanned.get(),
+            gallop_probes: self.gallop_probes.get(),
+            candidates_pruned: self.candidates_pruned.get(),
+            queue_wait_ns: self.queue_wait_ns.snapshot(),
+            execute_ns: self.execute_ns.snapshot(),
+            e2e_ns: self.e2e_ns.snapshot(),
         }
     }
 }
@@ -77,9 +164,9 @@ pub struct ServeSnapshot {
     pub queries_served: u64,
     /// Batch executions (one per distinct key per dispatch round).
     pub batches: u64,
-    /// Batch-size histogram; bucket `i` counts batches of size `i + 1`,
-    /// the last bucket counts size ≥ [`BATCH_HIST_BUCKETS`].
-    pub batch_hist: [u64; BATCH_HIST_BUCKETS],
+    /// Batch-size distribution (one observation per batch; log-bucketed,
+    /// so arbitrarily large `--max-batch` values stay resolvable).
+    pub batch_size: HistogramSnapshot,
     /// Submissions rejected by admission control (queue full or closed).
     pub rejected_overload: u64,
     /// Queries rejected by a session budget.
@@ -90,6 +177,14 @@ pub struct ServeSnapshot {
     pub gallop_probes: u64,
     /// Candidates pruned, summed over every batch execution.
     pub candidates_pruned: u64,
+    /// Queue-wait latency, one observation per query, nanoseconds.
+    pub queue_wait_ns: HistogramSnapshot,
+    /// Shard-pool execution latency, one observation per query,
+    /// nanoseconds.
+    pub execute_ns: HistogramSnapshot,
+    /// End-to-end latency (submission to answer), one observation per
+    /// query, nanoseconds.
+    pub e2e_ns: HistogramSnapshot,
 }
 
 impl ServeSnapshot {
@@ -98,43 +193,26 @@ impl ServeSnapshot {
     pub fn coalesced_queries(&self) -> u64 {
         self.queries_served.saturating_sub(self.batches)
     }
-
-    /// The histogram as `1:n 2:n … 8+:n`, skipping empty buckets.
-    fn render_hist(&self) -> String {
-        let mut out = String::new();
-        for (i, &count) in self.batch_hist.iter().enumerate() {
-            if count == 0 {
-                continue;
-            }
-            if !out.is_empty() {
-                out.push(' ');
-            }
-            if i + 1 == BATCH_HIST_BUCKETS {
-                out.push_str(&format!("{}+:{count}", BATCH_HIST_BUCKETS));
-            } else {
-                out.push_str(&format!("{}:{count}", i + 1));
-            }
-        }
-        if out.is_empty() {
-            out.push('-');
-        }
-        out
-    }
 }
 
 impl fmt::Display for ServeSnapshot {
     /// The `STATS` verb's body: one `name value` pair per line, stable
-    /// names so scripted clients can parse it.
+    /// names so scripted clients can parse it. Histogram values render as
+    /// `count:N p50:V p99:V max:V` summaries (`-` when empty); the
+    /// `_us` lines are microseconds.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "queries_served {}", self.queries_served)?;
         writeln!(f, "batches_formed {}", self.batches)?;
-        writeln!(f, "batch_size_hist {}", self.render_hist())?;
+        writeln!(f, "batch_size_hist {}", self.batch_size.summary_line(1))?;
         writeln!(f, "coalesced_queries {}", self.coalesced_queries())?;
         writeln!(f, "rejected_overload {}", self.rejected_overload)?;
         writeln!(f, "rejected_budget {}", self.rejected_budget)?;
         writeln!(f, "postings_scanned {}", self.postings_scanned)?;
         writeln!(f, "gallop_probes {}", self.gallop_probes)?;
-        write!(f, "candidates_pruned {}", self.candidates_pruned)
+        writeln!(f, "candidates_pruned {}", self.candidates_pruned)?;
+        writeln!(f, "queue_wait_us {}", self.queue_wait_ns.summary_line(1_000))?;
+        writeln!(f, "execute_us {}", self.execute_ns.summary_line(1_000))?;
+        write!(f, "e2e_us {}", self.e2e_ns.summary_line(1_000))
     }
 }
 
@@ -150,19 +228,22 @@ mod tests {
         let s = c.snapshot();
         assert_eq!(s.queries_served, 4);
         assert_eq!(s.batches, 2);
-        assert_eq!(s.batch_hist[0], 1);
-        assert_eq!(s.batch_hist[2], 1);
+        assert_eq!(s.batch_size.count, 2);
+        assert_eq!(s.batch_size.max, 3);
         assert_eq!(s.coalesced_queries(), 2);
         assert_eq!((s.postings_scanned, s.gallop_probes, s.candidates_pruned), (40, 8, 4));
     }
 
     #[test]
-    fn oversized_batches_land_in_the_top_bucket() {
+    fn large_batches_stay_resolvable() {
+        // The old fixed 1..8+ histogram lumped everything above 8 into one
+        // bucket; the log-bucketed histogram keeps resolution.
         let c = ServeCounters::default();
-        c.record_batch(BATCH_HIST_BUCKETS + 5, 0, 0, 0);
-        c.record_batch(BATCH_HIST_BUCKETS, 0, 0, 0);
+        c.record_batch(64, 0, 0, 0);
+        c.record_batch(1024, 0, 0, 0);
         let s = c.snapshot();
-        assert_eq!(s.batch_hist[BATCH_HIST_BUCKETS - 1], 2);
+        assert_eq!(s.batch_size.max, 1024);
+        assert_eq!(s.batch_size.p50(), 64);
     }
 
     #[test]
@@ -178,20 +259,49 @@ mod tests {
     }
 
     #[test]
+    fn latency_recorders_feed_their_histograms() {
+        let c = ServeCounters::default();
+        c.record_queue_wait(Duration::from_micros(5));
+        c.record_execute(Duration::from_micros(40), 3);
+        c.record_e2e(Duration::from_micros(50));
+        c.record_batch_form(Duration::from_nanos(300));
+        c.record_reply_write(Duration::from_nanos(900));
+        let s = c.snapshot();
+        assert_eq!(s.queue_wait_ns.count, 1);
+        assert_eq!(s.execute_ns.count, 3, "execute records once per member");
+        assert_eq!(s.e2e_ns.count, 1);
+        assert!(s.e2e_ns.max >= 50_000);
+    }
+
+    #[test]
     fn display_is_line_oriented_and_stable() {
         let c = ServeCounters::default();
         c.record_batch(2, 7, 1, 0);
         let text = c.snapshot().to_string();
         assert!(text.contains("queries_served 2"), "{text}");
-        assert!(text.contains("batch_size_hist 2:1"), "{text}");
+        assert!(text.contains("batch_size_hist count:1 p50:2 p99:2 max:2"), "{text}");
         assert!(text.contains("postings_scanned 7"), "{text}");
+        assert!(text.contains("queue_wait_us -"), "{text}");
+        assert!(text.contains("e2e_us -"), "{text}");
         assert!(!text.ends_with('\n'), "no trailing newline; the framer adds it");
     }
 
     #[test]
-    fn empty_histogram_renders_a_dash() {
-        let s = ServeCounters::default().snapshot();
-        assert!(s.to_string().contains("batch_size_hist -"));
+    fn exposition_contains_the_serving_metrics() {
+        let c = ServeCounters::default();
+        c.record_batch(1, 5, 1, 0);
+        c.record_e2e(Duration::from_micros(10));
+        let text = c.exposition();
+        for name in [
+            "# TYPE xsact_queries_served counter",
+            "# TYPE xsact_batch_size summary",
+            "# TYPE xsact_queue_wait_ns summary",
+            "# TYPE xsact_execute_ns summary",
+            "# TYPE xsact_e2e_ns summary",
+            "xsact_e2e_ns_count 1",
+        ] {
+            assert!(text.contains(name), "missing {name:?} in:\n{text}");
+        }
     }
 
     #[test]
@@ -203,6 +313,7 @@ mod tests {
                     for _ in 0..100 {
                         c.record_batch(2, 1, 1, 1);
                         c.record_overload_rejection();
+                        c.record_e2e(Duration::from_nanos(500));
                     }
                 });
             }
@@ -211,5 +322,6 @@ mod tests {
         assert_eq!(s.queries_served, 1600);
         assert_eq!(s.batches, 800);
         assert_eq!(s.rejected_overload, 800);
+        assert_eq!(s.e2e_ns.count, 800);
     }
 }

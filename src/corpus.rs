@@ -44,6 +44,7 @@ use xsact_corpus::{fan_out, k_way_merge};
 use xsact_data::movies::{MovieGenConfig, MoviesGen};
 use xsact_entity::ResultFeatures;
 use xsact_index::{ExecutorStats, Query, ScoredResult, SearchResult};
+use xsact_obs::TraceSink;
 use xsact_xml::{DeweyId, Document};
 
 pub use xsact_corpus::{DocId, ShardPlan};
@@ -255,10 +256,36 @@ impl Corpus {
     /// [`XsactError::EmptyQuery`] / [`XsactError::EmptyCorpus`] before any
     /// thread is spawned.
     pub fn query(&self, text: &str) -> XsactResult<CorpusQuery<'_>> {
+        self.build_query(text, None)
+    }
+
+    /// [`query`](Self::query) with a stage trace attached from the start:
+    /// the `parse` span, one `shard N` span per worker (so skew across
+    /// shards is visible), and the global `merge` span all land in
+    /// `sink`. Tracing never changes the ranked bytes (pinned by
+    /// `tests/obs.rs`).
+    pub fn query_traced<'a>(
+        &'a self,
+        text: &str,
+        sink: &'a TraceSink,
+    ) -> XsactResult<CorpusQuery<'a>> {
+        self.build_query(text, Some(sink))
+    }
+
+    fn build_query<'a>(
+        &'a self,
+        text: &str,
+        trace: Option<&'a TraceSink>,
+    ) -> XsactResult<CorpusQuery<'a>> {
         if self.docs.is_empty() {
             return Err(XsactError::EmptyCorpus);
         }
+        let span = trace.map(|sink| sink.span("parse"));
         let query = Query::parse(text);
+        if let Some(mut span) = span {
+            span.note("terms", query.terms().len() as u64);
+            span.finish();
+        }
         if query.is_empty() {
             return Err(XsactError::EmptyQuery);
         }
@@ -267,6 +294,7 @@ impl Corpus {
             query,
             top: DEFAULT_TOP,
             config: DfsConfig::default(),
+            trace,
             ranking_memo: std::cell::OnceCell::new(),
             topk_memo: std::cell::OnceCell::new(),
         })
@@ -425,6 +453,10 @@ pub struct CorpusQuery<'a> {
     /// Used by the comparison terminals when the full ranking was never
     /// requested; reset by [`top`](CorpusQuery::top).
     topk_memo: std::cell::OnceCell<CorpusRanking>,
+    /// Where stage spans go when the caller asked for a trace
+    /// ([`Corpus::query_traced`]); `None` takes no timestamps. Purely
+    /// observational, so it never resets a memo.
+    trace: Option<&'a TraceSink>,
 }
 
 impl<'a> CorpusQuery<'a> {
@@ -494,17 +526,34 @@ impl<'a> CorpusQuery<'a> {
     /// (`usize::MAX` = unbounded), merge per shard, then merge the shard
     /// lists — every merge truncated to `k`.
     fn fan_out_ranked(&self, k: usize) -> CorpusRanking {
-        // The worker closure captures only `Sync` state (the corpus and
-        // the parsed query) — not `self`, whose memo cells are
-        // single-thread.
-        let (corpus, query) = (self.corpus, &self.query);
+        // The worker closure captures only `Sync` state (the corpus, the
+        // parsed query, and the mutex-guarded trace sink) — not `self`,
+        // whose memo cells are single-thread.
+        let (corpus, query, trace) = (self.corpus, &self.query, self.trace);
         let shards = corpus.effective_shards();
         // effective_shards() ≤ document count, so round-robin
         // partitioning never produces an empty shard.
         let parts = ShardPlan::new(shards).partition(corpus.docs.len());
-        let shard_lists =
-            fan_out(parts, |_, doc_indexes| corpus.execute_shard(query, &doc_indexes, k).0);
-        merge_shard_lists(shard_lists, k, shards)
+        let shard_lists = fan_out(parts, |shard, doc_indexes| {
+            let span = trace.map(|sink| sink.span(format!("shard {shard}")));
+            let (hits, stats) = corpus.execute_shard(query, &doc_indexes, k);
+            if let Some(mut span) = span {
+                span.note("docs", doc_indexes.len() as u64);
+                span.note("postings_scanned", stats.postings_scanned);
+                span.note("hits", hits.len() as u64);
+                span.finish();
+            }
+            hits
+        });
+        let span = trace.map(|sink| sink.span("merge"));
+        let candidates: usize = shard_lists.iter().map(Vec::len).sum();
+        let ranking = merge_shard_lists(shard_lists, k, shards);
+        if let Some(mut span) = span {
+            span.note("candidates", candidates as u64);
+            span.note("kept", ranking.hits.len() as u64);
+            span.finish();
+        }
+        ranking
     }
 
     /// The features of the top-k hits, pulled from each hit's owning

@@ -82,6 +82,7 @@ pub use xsact_core as core;
 pub use xsact_data as data;
 pub use xsact_entity as entity;
 pub use xsact_index as index;
+pub use xsact_obs as obs;
 pub use xsact_xml as xml;
 
 pub use xsact_core::Algorithm;
@@ -96,5 +97,6 @@ pub mod prelude {
     pub use xsact_core::{Algorithm, Comparison, ComparisonOutcome, DfsConfig};
     pub use xsact_entity::{extract_features, FeatureType, ResultFeatures, StructureSummary};
     pub use xsact_index::{ExecutorStats, Query, ResultSemantics, SearchEngine, SearchResult};
+    pub use xsact_obs::{MetricsRegistry, QueryTrace, TraceSink};
     pub use xsact_xml::{parse_document, Document};
 }

@@ -54,8 +54,10 @@ use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 use xsact_corpus::{ShardPlan, ShardPool};
 use xsact_index::{ExecutorStats, Query};
+use xsact_obs::{format_nanos, Histogram, MetricsRegistry};
 use xsact_serve::{coalesce, err_line, Rejected, Request, SubmissionQueue};
 
 pub use xsact_serve::{ServeCounters, ServeSnapshot, END_MARKER};
@@ -80,11 +82,22 @@ pub struct ServeConfig {
     /// budget `1` admits exactly one matching query — handy for
     /// deterministic tests.
     pub budget: Option<u64>,
+    /// End-to-end latency threshold above which a served query is logged
+    /// to stderr (one line per offending query, with its stage timings);
+    /// `None` disables the log. Purely observational — answers are
+    /// byte-identical either way.
+    pub slow_query: Option<Duration>,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        ServeConfig { queue_capacity: 64, max_batch: 16, default_top: DEFAULT_TOP, budget: None }
+        ServeConfig {
+            queue_capacity: 64,
+            max_batch: 16,
+            default_top: DEFAULT_TOP,
+            budget: None,
+            slow_query: None,
+        }
     }
 }
 
@@ -101,6 +114,12 @@ pub struct QueryAnswer {
     pub stats: ExecutorStats,
     /// How many queries the batch answered (1 = no coalescing happened).
     pub batch_size: usize,
+    /// How long this query sat in the submission queue before its dispatch
+    /// round swept it up.
+    pub queue_wait: Duration,
+    /// How long the shard pool took to execute the batch that answered
+    /// this query.
+    pub execute: Duration,
 }
 
 /// One queued query: what to run, the key it coalesces under, and where
@@ -112,6 +131,11 @@ struct Submission {
     query: Query,
     k: usize,
     reply: mpsc::Sender<QueryAnswer>,
+    /// When the session pushed this submission (queue-wait starts here).
+    submitted: Instant,
+    /// Queue wait, measured by the dispatcher when its round sweeps this
+    /// submission up (zero until then).
+    queued: Duration,
 }
 
 /// State shared by the server handle, its sessions, and the dispatcher.
@@ -173,6 +197,19 @@ impl CorpusServer {
         self.inner.counters.snapshot()
     }
 
+    /// The full metrics exposition, Prometheus text format (the `METRICS`
+    /// verb's body and the `/metrics` HTTP response).
+    pub fn metrics(&self) -> String {
+        self.inner.counters.exposition()
+    }
+
+    /// The server's metrics registry — shareable with an
+    /// [`xsact_obs::serve_metrics`] HTTP endpoint so scrapes see live
+    /// values.
+    pub fn metrics_registry(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(self.inner.counters.registry())
+    }
+
     /// Begins shutdown: the queue closes (new submissions rejected),
     /// admitted submissions keep draining. Idempotent; does not block.
     pub fn shutdown(&self) {
@@ -202,22 +239,40 @@ impl Drop for CorpusServer {
 /// queue is closed *and* drained.
 fn dispatch_loop(inner: &ServerInner) {
     let shards = inner.corpus.effective_shards();
+    // Per-shard busy-time histograms, registered alongside the serving
+    // metrics so one scrape shows pool balance. Recorded inside the worker
+    // closure, so they measure true worker busy time (search only, no
+    // queue or merge).
+    let shard_busy: Vec<Arc<Histogram>> = (0..shards)
+        .map(|shard| inner.counters.registry().histogram(&format!("xsact_shard_{shard}_busy_ns")))
+        .collect();
     let pool: ShardPool<(Query, usize), (Vec<CorpusHit>, ExecutorStats)> =
         ShardPool::new(shards, {
             let corpus = Arc::clone(&inner.corpus);
             move |shard, (query, k): &(Query, usize)| {
+                let busy = Instant::now();
                 // The exact partition the scoped fan-out uses — a pure
                 // function of (shards, documents), recomputed per broadcast
                 // because it is trivially cheap next to a search.
                 let parts = ShardPlan::new(shards).partition(corpus.len());
-                corpus.execute_shard(query, &parts[shard], *k)
+                let result = corpus.execute_shard(query, &parts[shard], *k);
+                shard_busy[shard].record_duration(busy.elapsed());
+                result
             }
         });
     while let Some(first) = inner.queue.pop() {
+        let round_start = Instant::now();
         let mut round = vec![first];
         round.extend(inner.queue.drain_pending(inner.config.max_batch - 1));
-        for group in coalesce(round, |s| (s.canonical.clone(), s.k)) {
+        for submission in &mut round {
+            submission.queued = submission.submitted.elapsed();
+            inner.counters.record_queue_wait(submission.queued);
+        }
+        let groups = coalesce(round, |s| (s.canonical.clone(), s.k));
+        inner.counters.record_batch_form(round_start.elapsed());
+        for group in groups {
             let k = group[0].k;
+            let execute_start = Instant::now();
             let shard_results = pool.broadcast((group[0].query.clone(), k));
             let mut stats = ExecutorStats::default();
             let mut lists = Vec::with_capacity(shard_results.len());
@@ -226,6 +281,11 @@ fn dispatch_loop(inner: &ServerInner) {
                 lists.push(hits);
             }
             let ranking = Arc::new(merge_shard_lists(lists, k, shards));
+            let execute = execute_start.elapsed();
+            // Once per member, not per batch: every query in the batch
+            // observed this latency, and the exposition contract pins each
+            // latency histogram's count to queries_served.
+            inner.counters.record_execute(execute, group.len());
             inner.counters.record_batch(
                 group.len(),
                 stats.postings_scanned,
@@ -240,6 +300,8 @@ fn dispatch_loop(inner: &ServerInner) {
                     ranking: Arc::clone(&ranking),
                     stats,
                     batch_size,
+                    queue_wait: member.queued,
+                    execute,
                 });
             }
         }
@@ -284,6 +346,7 @@ impl ServeSession {
     /// [`XsactError::Overloaded`] (the queue was full or the server is
     /// shutting down; nothing executed).
     pub fn query(&mut self, text: &str) -> XsactResult<QueryAnswer> {
+        let start = Instant::now();
         let query = Query::parse(text);
         if query.is_empty() {
             return Err(XsactError::EmptyQuery);
@@ -295,7 +358,14 @@ impl ServeSession {
             }
         }
         let (reply, answer_rx) = mpsc::channel();
-        let submission = Submission { canonical: query.to_string(), query, k: self.top, reply };
+        let submission = Submission {
+            canonical: query.to_string(),
+            query,
+            k: self.top,
+            reply,
+            submitted: start,
+            queued: Duration::ZERO,
+        };
         self.inner.queue.push(submission).map_err(|rejection| {
             self.inner.counters.record_overload_rejection();
             match rejection {
@@ -311,6 +381,22 @@ impl ServeSession {
         // cause — surface it as such rather than inventing an error code.
         let answer = answer_rx.recv().expect("dispatcher died with admitted work queued");
         self.spent = self.spent.saturating_add(answer.stats.postings_scanned);
+        let e2e = start.elapsed();
+        self.inner.counters.record_e2e(e2e);
+        if let Some(threshold) = self.inner.config.slow_query {
+            if e2e >= threshold {
+                eprintln!(
+                    "xsact-serve: slow query {text:?} k={}: e2e={} queue_wait={} execute={} \
+                     batch={} ({})",
+                    self.top,
+                    format_nanos(e2e.as_nanos().try_into().unwrap_or(u64::MAX)),
+                    format_nanos(answer.queue_wait.as_nanos().try_into().unwrap_or(u64::MAX)),
+                    format_nanos(answer.execute.as_nanos().try_into().unwrap_or(u64::MAX)),
+                    answer.batch_size,
+                    answer.stats,
+                );
+            }
+        }
         Ok(answer)
     }
 }
@@ -440,7 +526,10 @@ fn serve_connection(shared: &TcpShared, stream: TcpStream) {
             Ok(Some(request)) => respond(shared, &mut session, request),
             Err(message) => (format!("{}\n", err_line("BAD_REQUEST", &message)), false),
         };
-        if writer.write_all(format!("{body}{END_MARKER}\n").as_bytes()).is_err() {
+        let write_start = Instant::now();
+        let written = writer.write_all(format!("{body}{END_MARKER}\n").as_bytes());
+        shared.server.inner.counters.record_reply_write(write_start.elapsed());
+        if written.is_err() {
             break;
         }
         if done {
@@ -465,6 +554,8 @@ fn respond(shared: &TcpShared, session: &mut ServeSession, request: Request) -> 
             (format!("OK top={k}\n"), false)
         }
         Request::Stats => (format!("OK stats\n{}\n", shared.server.stats()), false),
+        // The exposition already ends with a newline; no extra framing.
+        Request::Metrics => (format!("OK metrics\n{}", shared.server.metrics()), false),
         Request::Quit => ("OK bye\n".to_owned(), true),
         Request::Shutdown => {
             // Answer first, then tear down — the trigger ends this
@@ -547,6 +638,24 @@ mod tests {
         );
         assert_eq!(error_code(&XsactError::EmptyQuery), "EMPTY_QUERY");
         assert_eq!(error_code(&XsactError::EmptyCorpus), "INTERNAL");
+    }
+
+    #[test]
+    fn latency_histogram_counts_equal_queries_served() {
+        let server = CorpusServer::start(test_corpus(2), ServeConfig::default());
+        let mut session = server.session();
+        session.query("drama").unwrap();
+        session.query("family").unwrap();
+        session.query("drama").unwrap();
+        let stats = server.stats();
+        assert_eq!(stats.queries_served, 3);
+        assert_eq!(stats.queue_wait_ns.count, stats.queries_served);
+        assert_eq!(stats.execute_ns.count, stats.queries_served);
+        assert_eq!(stats.e2e_ns.count, stats.queries_served);
+        let metrics = server.metrics();
+        assert!(metrics.contains("xsact_queries_served 3"), "{metrics}");
+        assert!(metrics.contains("xsact_e2e_ns_count 3"), "{metrics}");
+        assert!(metrics.contains("# TYPE xsact_shard_0_busy_ns summary"), "{metrics}");
     }
 
     #[test]

@@ -43,6 +43,7 @@ use xsact_entity::ResultFeatures;
 use xsact_index::{
     ExecutorStats, Query, ResultSemantics, ScoredResult, SearchEngine, SearchResult,
 };
+use xsact_obs::TraceSink;
 use xsact_xml::{parse_document, Document, NodeId};
 
 /// Hit/miss counters of the workbench's feature cache.
@@ -223,7 +224,32 @@ impl Workbench {
     /// Starts a query pipeline. Fails with [`XsactError::EmptyQuery`] when
     /// `text` contains no indexable terms.
     pub fn query(&self, text: &str) -> XsactResult<QueryPipeline<'_>> {
+        self.build_pipeline(text, None)
+    }
+
+    /// [`query`](Self::query) with a stage trace attached from the start,
+    /// so the `parse` span is captured too (a pipeline obtained from
+    /// [`query`](Self::query) can still opt in later via
+    /// [`QueryPipeline::traced`], minus the parse span).
+    pub fn query_traced<'a>(
+        &'a self,
+        text: &str,
+        sink: &'a TraceSink,
+    ) -> XsactResult<QueryPipeline<'a>> {
+        self.build_pipeline(text, Some(sink))
+    }
+
+    fn build_pipeline<'a>(
+        &'a self,
+        text: &str,
+        trace: Option<&'a TraceSink>,
+    ) -> XsactResult<QueryPipeline<'a>> {
+        let span = trace.map(|sink| sink.span("parse"));
         let query = Query::parse(text);
+        if let Some(mut span) = span {
+            span.note("terms", query.terms().len() as u64);
+            span.finish();
+        }
         if query.is_empty() {
             return Err(XsactError::EmptyQuery);
         }
@@ -235,6 +261,7 @@ impl Workbench {
             take: None,
             select: Vec::new(),
             config: DfsConfig::default(),
+            trace,
             search_memo: OnceCell::new(),
             topk_memo: OnceCell::new(),
             instance_memo: OnceCell::new(),
@@ -260,7 +287,20 @@ impl Workbench {
         query: &Query,
         k: usize,
     ) -> (Vec<(SearchResult, ScoredResult)>, ExecutorStats) {
-        let top = self.engine.search_top_k(query, k, ResultSemantics::Slca);
+        self.search_top_k_traced(query, k, None)
+    }
+
+    /// [`search_top_k_stats`](Self::search_top_k_stats) with an optional
+    /// per-stage trace. Tracing only observes the run — the returned hits
+    /// are byte-identical with the sink present or absent (pinned by
+    /// `tests/obs.rs`), and with `None` no timestamps are taken.
+    pub(crate) fn search_top_k_traced(
+        &self,
+        query: &Query,
+        k: usize,
+        trace: Option<&TraceSink>,
+    ) -> (Vec<(SearchResult, ScoredResult)>, ExecutorStats) {
+        let top = self.engine.search_top_k_traced(query, k, ResultSemantics::Slca, trace);
         self.exec.record(top.stats);
         (top.hits, top.stats)
     }
@@ -271,8 +311,9 @@ impl Workbench {
         &self,
         query: &Query,
         semantics: ResultSemantics,
+        trace: Option<&TraceSink>,
     ) -> (Vec<SearchResult>, ExecutorStats) {
-        let (results, stats) = self.engine.search_with_stats(query, semantics);
+        let (results, stats) = self.engine.search_with_stats_traced(query, semantics, trace);
         self.exec.record(stats);
         (results, stats)
     }
@@ -379,6 +420,11 @@ pub struct QueryPipeline<'a> {
     take: Option<usize>,
     select: Vec<usize>,
     config: DfsConfig,
+    /// Where stage spans go, when the caller asked for a trace
+    /// ([`traced`](Self::traced)); `None` means no timestamps are taken.
+    /// Purely observational — never consulted for memo resets because it
+    /// cannot change what any terminal returns.
+    trace: Option<&'a TraceSink>,
     /// The search result list, computed once per pipeline configuration —
     /// the terminals (`results` → `selection` → `features` → `compare`)
     /// chain into each other, and without the memo each level would re-run
@@ -472,6 +518,16 @@ impl<'a> QueryPipeline<'a> {
         self
     }
 
+    /// Records per-stage spans (`parse` → `plan` → `slca-stream` → `rank`)
+    /// into `sink` when the pipeline's searches execute. Tracing is purely
+    /// observational: results are byte-identical with or without it, and
+    /// stages already served from a memo record no spans (nothing ran).
+    #[must_use]
+    pub fn traced(mut self, sink: &'a TraceSink) -> Self {
+        self.trace = Some(sink);
+        self
+    }
+
     /// The query text, as parsed.
     pub fn query_text(&self) -> String {
         self.query.to_string()
@@ -488,11 +544,13 @@ impl<'a> QueryPipeline<'a> {
     fn raw_results(&self) -> &[SearchResult] {
         self.search_memo.get_or_init(|| {
             if self.ranked {
-                let (hits, stats) = self.wb.search_top_k_stats(&self.query, usize::MAX);
+                let (hits, stats) =
+                    self.wb.search_top_k_traced(&self.query, usize::MAX, self.trace);
                 self.note_stats(stats);
                 hits.into_iter().map(|(r, _)| r).collect()
             } else {
-                let (results, stats) = self.wb.search_all_stats(&self.query, self.semantics);
+                let (results, stats) =
+                    self.wb.search_all_stats(&self.query, self.semantics, self.trace);
                 self.note_stats(stats);
                 results
             }
@@ -515,7 +573,7 @@ impl<'a> QueryPipeline<'a> {
             // [`top_results`](Self::top_results) searches once, not twice.
             self.bounded_hits().to_vec()
         } else {
-            let (ranked, stats) = self.wb.search_top_k_stats(&self.query, usize::MAX);
+            let (ranked, stats) = self.wb.search_top_k_traced(&self.query, usize::MAX, self.trace);
             self.note_stats(stats);
             ranked
         };
@@ -539,7 +597,7 @@ impl<'a> QueryPipeline<'a> {
     fn bounded_hits(&self) -> &[(SearchResult, ScoredResult)] {
         self.topk_memo.get_or_init(|| {
             let k = self.take.unwrap_or(usize::MAX);
-            let (hits, stats) = self.wb.search_top_k_stats(&self.query, k);
+            let (hits, stats) = self.wb.search_top_k_traced(&self.query, k, self.trace);
             self.note_stats(stats);
             hits
         })

@@ -105,8 +105,11 @@ fn same_query_storm_coalesces_without_changing_bytes() {
     let stats = server.stats();
     assert_eq!(stats.queries_served, 80);
     assert!(stats.batches <= 80);
-    let histogram_total: u64 = stats.batch_hist.iter().sum();
-    assert_eq!(histogram_total, stats.batches, "every batch lands in one bucket");
+    assert_eq!(stats.batch_size.count, stats.batches, "one batch-size observation per batch");
+    assert_eq!(
+        stats.e2e_ns.count, stats.queries_served,
+        "one end-to-end latency observation per query"
+    );
 }
 
 // --------------------------------------------------------- shutdown drains
@@ -196,6 +199,13 @@ fn tcp_line_protocol_end_to_end() {
     assert_eq!(stats[0], "OK stats");
     assert!(stats.iter().any(|l| l == "queries_served 2"), "{stats:?}");
     assert!(stats.iter().any(|l| l.starts_with("batch_size_hist ")), "{stats:?}");
+    assert!(stats.iter().any(|l| l.starts_with("e2e_us count:2 ")), "{stats:?}");
+
+    // METRICS exposes the same registry in Prometheus text format.
+    let metrics = roundtrip(&mut writer, &mut responses, "METRICS");
+    assert_eq!(metrics[0], "OK metrics");
+    assert!(metrics.iter().any(|l| l == "xsact_queries_served 2"), "{metrics:?}");
+    assert!(metrics.iter().any(|l| l == "xsact_e2e_ns_count 2"), "{metrics:?}");
 
     // Typed protocol errors: unknown verbs and unindexable queries.
     let bad = roundtrip(&mut writer, &mut responses, "EXPLODE now");
