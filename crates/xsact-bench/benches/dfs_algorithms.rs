@@ -6,7 +6,7 @@
 //! (Self-timing harness; criterion is unavailable in the offline build.)
 
 use xsact::prelude::*;
-use xsact_bench::harness::bench;
+use xsact_bench::harness::{bench, emit_json};
 use xsact_bench::{
     movie_workbench, prepare_qm_queries, scaled, FIG4_BOUND, FIG4_RESULT_CAP, FIG4_SEED,
 };
@@ -40,6 +40,41 @@ fn bench_instance_build() {
         .expect("QM1 matches the 400-movie dataset");
     bench("preprocess", "instance_build_qm1", || {
         Instance::build(&features, DfsConfig { size_bound: FIG4_BOUND, threshold_pct: 10.0 })
+    });
+}
+
+/// The raw kernels: runtime-dispatched arm vs the scalar oracle, on mask
+/// widths the dispatcher actually vectorises. The figure workloads' DoD
+/// matrices are 1–2 words per row — below the ≥8-word SIMD cut-over, so
+/// they run scalar either way; this series is where the dispatch win is
+/// measured (and it reports which arm the process selected).
+fn bench_kernel_dispatch() {
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(FIG4_SEED);
+    const WORDS: usize = 512; // 32 768 feature types per row
+    let a: Vec<u64> = (0..WORDS).map(|_| rng.next_u64()).collect();
+    let b: Vec<u64> = (0..WORDS).map(|_| rng.next_u64()).collect();
+    let c: Vec<u64> = (0..WORDS).map(|_| rng.next_u64()).collect();
+    const LANES: usize = 4096;
+    let vals: Vec<u32> = (0..LANES).map(|_| rng.next_u64() as u32).collect();
+    let (lo, hi) = (u32::MAX / 4, u32::MAX / 4 * 3);
+    println!("kernel/active_level: {}", xsact_kernel::active_level().name());
+    bench("kernel", &format!("and2_count_{WORDS}w/dispatch"), || xsact_kernel::and2_count(&a, &b));
+    bench("kernel", &format!("and2_count_{WORDS}w/scalar"), || {
+        xsact_kernel::scalar::and2_count(&a, &b)
+    });
+    bench("kernel", &format!("and3_count_{WORDS}w/dispatch"), || {
+        xsact_kernel::and3_count(&a, &b, &c)
+    });
+    bench("kernel", &format!("and3_count_{WORDS}w/scalar"), || {
+        xsact_kernel::scalar::and3_count(&a, &b, &c)
+    });
+    bench("kernel", &format!("range_count_{LANES}l/dispatch"), || {
+        xsact_kernel::count_in_range_u32(&vals, lo, hi)
+    });
+    bench("kernel", &format!("range_count_{LANES}l/scalar"), || {
+        xsact_kernel::scalar::count_in_range_u32(&vals, lo, hi)
     });
 }
 
@@ -144,8 +179,10 @@ fn bench_exhaustive_oracle() {
 fn main() {
     bench_fig4_algorithms();
     bench_instance_build();
+    bench_kernel_dispatch();
     bench_result_count_sweep();
     bench_corpus_fan_out();
     bench_paper_example_pipeline();
     bench_exhaustive_oracle();
+    emit_json("dfs_algorithms");
 }

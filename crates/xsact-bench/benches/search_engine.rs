@@ -5,11 +5,12 @@
 //! Run with `cargo bench -p xsact-bench --bench search_engine`.
 //! (Self-timing harness; criterion is unavailable in the offline build.)
 
-use xsact_bench::harness::{bench, format_bytes, quick_mode, stat};
+use xsact_bench::harness::{bench, emit_json, format_bytes, quick_mode, record, stat};
 use xsact_bench::{scaled, FIG4_SEED};
 use xsact_data::movies::{qm_queries, MovieGenConfig, MoviesGen};
 use xsact_index::{
-    slca_full_scan, slca_indexed_lookup, InvertedIndex, Query, ResultSemantics, SearchEngine,
+    slca_full_scan, slca_indexed_lookup, InvertedIndex, Query, QueryPlan, ResultSemantics,
+    SearchEngine,
 };
 use xsact_xml::NodeId;
 
@@ -21,12 +22,64 @@ fn bench_slca_algorithms() {
     // QM1 (broad: long posting lists) and QM8 (narrow).
     for (label, text) in [&qm_queries()[0], &qm_queries()[7]] {
         let terms: Vec<String> = text.split_whitespace().map(str::to_owned).collect();
-        let lists: Vec<&[NodeId]> = terms.iter().map(|t| idx.postings(t)).collect();
+        let decoded: Vec<Vec<NodeId>> = terms.iter().map(|t| idx.postings(t).to_vec()).collect();
+        let lists: Vec<&[NodeId]> = decoded.iter().map(Vec::as_slice).collect();
         bench("slca", &format!("indexed_lookup_eager/{label}"), || {
             slca_indexed_lookup(&doc, &lists)
         });
         bench("slca", &format!("full_scan/{label}"), || slca_full_scan(&doc, &lists));
     }
+}
+
+/// The packed-vs-flat sweep the `.xidx` v3 PR pins: frame decode
+/// throughput, the anchored gallop over packed frames vs decoded flat
+/// slices on all of QM1–QM8, and the resident-postings shrink.
+fn bench_packed_vs_flat() {
+    let movies = scaled(400, 60);
+    let doc =
+        MoviesGen::new(MovieGenConfig { movies, seed: FIG4_SEED, ..Default::default() }).generate();
+    let idx = InvertedIndex::build(&doc);
+
+    // Decode throughput: unpack every posting list back to node ids.
+    let total: usize = idx.dictionary().map(|(_, p)| p.len()).sum();
+    let decode = bench("packed", "decode_all_postings", || {
+        idx.dictionary().map(|(_, p)| p.iter().count()).sum::<usize>()
+    });
+    let per_entry = decode.median.as_nanos() as f64 / total.max(1) as f64;
+    stat("packed", "decode_throughput", format!("{per_entry:.2} ns/posting ({total} postings)"));
+    record("packed/decode_throughput", "ns_per_posting", per_entry);
+
+    // Gallop: the streaming SLCA executor over packed frames vs the same
+    // lists decoded to flat slices — the byte-identity invariant says the
+    // probe counts match, so this isolates the frame-skip cost.
+    for (label, text) in qm_queries().iter() {
+        let query = Query::parse(text);
+        let terms: Vec<String> = text.split_whitespace().map(str::to_owned).collect();
+        let decoded: Vec<Vec<NodeId>> = terms.iter().map(|t| idx.postings(t).to_vec()).collect();
+        let flat_refs: Vec<&[NodeId]> = decoded.iter().map(Vec::as_slice).collect();
+        // Plans are built outside the timers: the comparison is the stream
+        // (frame-skip gallop vs flat-slice gallop), not term hashing.
+        let packed_plan = QueryPlan::new(&idx, &query);
+        let flat_plan = QueryPlan::from_lists(flat_refs);
+        bench("packed", &format!("gallop_packed/{label}"), || packed_plan.stream(&doc).count());
+        bench("packed", &format!("gallop_flat/{label}"), || flat_plan.stream(&doc).count());
+    }
+
+    // Resident postings bytes: packed frames vs the flat u32 arena.
+    let s = idx.stats();
+    let ratio = s.flat_postings_bytes as f64 / s.packed_postings_bytes.max(1) as f64;
+    stat(
+        "packed",
+        "resident_postings_bytes",
+        format!(
+            "{} packed vs {} flat ({ratio:.2}x smaller)",
+            format_bytes(s.packed_postings_bytes),
+            format_bytes(s.flat_postings_bytes),
+        ),
+    );
+    record("packed/resident_postings", "packed_bytes", s.packed_postings_bytes as f64);
+    record("packed/resident_postings", "flat_bytes", s.flat_postings_bytes as f64);
+    record("packed/resident_postings", "shrink_ratio", ratio);
 }
 
 fn bench_index_build() {
@@ -72,7 +125,21 @@ fn report_substrate_footprint() {
     stat(
         "memory",
         &format!("inverted_index_{movies}_movies"),
-        format!("{} (term dictionary + flat postings arena)", format_bytes(idx.heap_bytes())),
+        format!(
+            "{} (term dictionary + delta-bit-packed posting frames)",
+            format_bytes(idx.heap_bytes())
+        ),
+    );
+    let i = idx.stats();
+    stat(
+        "memory",
+        &format!("postings_{movies}_movies"),
+        format!(
+            "{} packed vs {} flat ({:.2}x smaller)",
+            format_bytes(i.packed_postings_bytes),
+            format_bytes(i.flat_postings_bytes),
+            i.flat_postings_bytes as f64 / i.packed_postings_bytes.max(1) as f64,
+        ),
     );
 }
 
@@ -124,8 +191,10 @@ fn bench_topk_sweep() {
 
 fn main() {
     bench_slca_algorithms();
+    bench_packed_vs_flat();
     bench_index_build();
     report_substrate_footprint();
     bench_query_end_to_end();
     bench_topk_sweep();
+    emit_json("search_engine");
 }

@@ -4,7 +4,7 @@
 //! Run with `cargo bench -p xsact-bench --bench xml_substrate`.
 //! (Self-timing harness; criterion is unavailable in the offline build.)
 
-use xsact_bench::harness::{bench, format_duration};
+use xsact_bench::harness::{bench, emit_json, format_duration};
 use xsact_bench::scaled;
 use xsact_data::{ReviewsGen, ReviewsGenConfig};
 use xsact_entity::{extract_features, StructureSummary};
@@ -46,4 +46,5 @@ fn bench_structure_inference() {
 fn main() {
     bench_parse_and_write();
     bench_structure_inference();
+    emit_json("xml_substrate");
 }

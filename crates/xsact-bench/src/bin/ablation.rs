@@ -15,7 +15,8 @@
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use xsact_bench::{
-    movie_workbench, prepare_qm_queries, print_row, scaled, FIG4_BOUND, FIG4_RESULT_CAP, FIG4_SEED,
+    emit_json, movie_workbench, prepare_qm_queries, print_row, record, scaled, FIG4_BOUND,
+    FIG4_RESULT_CAP, FIG4_SEED,
 };
 use xsact_core::{
     dod_total, exhaustive, greedy_set, multi_swap_from, run_algorithm, single_swap_from,
@@ -30,6 +31,7 @@ fn main() {
     divergence_census();
     annealing_headroom();
     interestingness_tradeoff();
+    emit_json("ablation");
 }
 
 fn threshold_sweep() {
@@ -130,6 +132,9 @@ fn optimality_gap() {
     println!("  greedy      optimal on {g_opt}, total gap {g_gap}");
     println!("  single-swap optimal on {s_opt}, total gap {s_gap}");
     println!("  multi-swap  optimal on {m_opt}, total gap {m_gap}");
+    record("ablation/optimality_gap/greedy", "total_gap", f64::from(g_gap));
+    record("ablation/optimality_gap/single_swap", "total_gap", f64::from(s_gap));
+    record("ablation/optimality_gap/multi_swap", "total_gap", f64::from(m_gap));
     println!();
 }
 
@@ -250,4 +255,6 @@ fn divergence_census() {
     println!(
         "  multi-swap strictly better on {diverge}/{census} instances (total gap {total_gap})"
     );
+    record("ablation/divergence_census", "diverging_instances", f64::from(diverge));
+    record("ablation/divergence_census", "total_gap", f64::from(total_gap));
 }

@@ -19,7 +19,7 @@
 
 use std::time::{Duration, Instant};
 use xsact::prelude::*;
-use xsact_bench::{print_row, scaled, FIG4_SEED};
+use xsact_bench::{emit_json, print_row, record, scaled, FIG4_SEED};
 
 /// Best-of-`reps` wall-clock of one full corpus query (search is re-run,
 /// the merged ranking is rebuilt; the feature cache plays no part here).
@@ -70,6 +70,7 @@ fn sweep_shard_count(query: &str, reps: usize) {
         if shards == 1 {
             baseline = best;
         }
+        record(&format!("corpus/shard_sweep/{shards}_shards"), "best_ns", best.as_nanos() as f64);
         print_row(
             &[
                 shards.to_string(),
@@ -126,4 +127,5 @@ fn main() {
     println!();
     sweep_shard_count(query, reps);
     sweep_document_count(query, reps);
+    emit_json("corpus_scaling");
 }

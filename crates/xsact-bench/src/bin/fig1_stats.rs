@@ -9,6 +9,7 @@
 //! Usage: `cargo run -p xsact-bench --bin fig1_stats`
 
 use xsact::prelude::*;
+use xsact_bench::{emit_json, record};
 use xsact_data::fixtures;
 
 fn main() -> Result<(), XsactError> {
@@ -16,6 +17,7 @@ fn main() -> Result<(), XsactError> {
     let pipeline = wb.query(fixtures::PAPER_QUERY)?;
     let results = pipeline.results();
     println!("query {{TomTom, GPS}} on the Figure 1 dataset: {} results\n", results.len());
+    record("fig1/paper_query", "results", results.len() as f64);
 
     for (i, rf) in pipeline.features()?.iter().enumerate() {
         println!("Result {} — {}", i + 1, rf.label);
@@ -35,5 +37,6 @@ fn main() -> Result<(), XsactError> {
             println!("{}", xsact_xml::writer::write_subtree(doc, first));
         }
     }
+    emit_json("fig1_stats");
     Ok(())
 }

@@ -10,6 +10,7 @@
 //! Usage: `cargo run -p xsact-bench --bin fig2_table`
 
 use xsact::prelude::*;
+use xsact_bench::{emit_json, record};
 use xsact_data::fixtures;
 
 fn main() -> Result<(), XsactError> {
@@ -23,6 +24,7 @@ fn main() -> Result<(), XsactError> {
         fixtures::SNIPPET_BOUND,
         snippet.dod()
     );
+    record("fig2/snippet", "dod", f64::from(snippet.dod()));
     println!("{}", snippet.table());
 
     let table = pipeline.clone().size_bound(fixtures::TABLE_BOUND);
@@ -34,6 +36,7 @@ fn main() -> Result<(), XsactError> {
             fixtures::TABLE_BOUND,
             outcome.dod()
         );
+        record(&format!("fig2/{}", algorithm.name()), "dod", f64::from(outcome.dod()));
         if algorithm == Algorithm::MultiSwap {
             println!("{}", outcome.table());
         }
@@ -51,5 +54,6 @@ fn main() -> Result<(), XsactError> {
         }
         Err(other) => return Err(other),
     }
+    emit_json("fig2_table");
     Ok(())
 }

@@ -18,8 +18,8 @@
 
 use std::time::{Duration, Instant};
 use xsact_bench::{
-    movie_workbench, prepare_qm_queries, print_row, FIG4_BOUND, FIG4_MOVIES, FIG4_RESULT_CAP,
-    FIG4_SEED,
+    emit_json, movie_workbench, prepare_qm_queries, print_row, record, FIG4_BOUND, FIG4_MOVIES,
+    FIG4_RESULT_CAP, FIG4_SEED,
 };
 use xsact_core::{dod_total, run_algorithm, Algorithm};
 
@@ -104,6 +104,8 @@ fn main() {
         let (s, _) = run_algorithm(inst, Algorithm::SingleSwap);
         let (m, _) = run_algorithm(inst, Algorithm::MultiSwap);
         let (sd, md) = (dod_total(inst, &s), dod_total(inst, &m));
+        record(&format!("fig4a/single_swap/{}", p.label), "dod", f64::from(sd));
+        record(&format!("fig4a/multi_swap/{}", p.label), "dod", f64::from(md));
         if md > sd {
             multi_wins += 1;
         }
@@ -117,6 +119,7 @@ fn main() {
     println!("  multi-swap DoD >= single-swap DoD on every query: {single_never_above}");
     println!("  queries where multi-swap strictly wins: {multi_wins}");
     println!("  every query processed in < 1 s: {all_fast}");
+    emit_json("fig4");
 }
 
 /// Median wall-clock time of one algorithm on one instance (5 samples, or

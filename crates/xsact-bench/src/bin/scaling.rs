@@ -12,7 +12,9 @@
 //! Usage: `cargo run --release -p xsact-bench --bin scaling [--quick]`
 
 use std::time::Instant;
-use xsact_bench::{movie_workbench, prepare_qm_queries, print_row, scaled, FIG4_SEED};
+use xsact_bench::{
+    emit_json, movie_workbench, prepare_qm_queries, print_row, record, scaled, FIG4_SEED,
+};
 use xsact_core::{dod_total, run_algorithm, Algorithm};
 use xsact_data::movies::{qm_queries, MovieGenConfig, MoviesGen};
 use xsact_index::{Query, SearchEngine};
@@ -21,6 +23,7 @@ fn main() {
     sweep_result_count();
     sweep_size_bound();
     sweep_dataset_size();
+    emit_json("scaling");
 }
 
 fn sweep_result_count() {
@@ -115,6 +118,16 @@ fn sweep_dataset_size() {
             total_results += engine.search(&Query::parse(text)).len();
         }
         let avg_search = t.elapsed() / queries.len() as u32;
+        record(
+            &format!("scaling/index_build/{movies}_movies"),
+            "build_ns",
+            build.as_nanos() as f64,
+        );
+        record(
+            &format!("scaling/avg_search/{movies}_movies"),
+            "avg_search_ns",
+            avg_search.as_nanos() as f64,
+        );
         print_row(
             &[
                 movies.to_string(),

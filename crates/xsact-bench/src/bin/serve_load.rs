@@ -31,7 +31,7 @@ use xsact::data::movies::qm_queries;
 use xsact::obs::{Histogram, HistogramSnapshot};
 use xsact::prelude::*;
 use xsact_bench::harness::format_duration;
-use xsact_bench::{print_row, scaled, FIG4_SEED};
+use xsact_bench::{emit_json, print_row, record, scaled, FIG4_SEED};
 
 /// Renders a histogram-snapshot quantile (nanoseconds) for a table cell.
 fn cell(nanos: u64) -> String {
@@ -217,6 +217,13 @@ fn main() {
     );
     for clients in [1usize, 4] {
         let (latencies, wall) = closed_loop(&server, &mix, clients, per_client);
+        record(&format!("serve/closed_loop/{clients}_clients"), "p50_ns", latencies.p50() as f64);
+        record(&format!("serve/closed_loop/{clients}_clients"), "p99_ns", latencies.p99() as f64);
+        record(
+            &format!("serve/closed_loop/{clients}_clients"),
+            "qps",
+            latencies.count as f64 / wall.as_secs_f64().max(1e-9),
+        );
         print_row(
             &[
                 clients.to_string(),
@@ -276,4 +283,5 @@ fn main() {
     println!("server counters after the runs:");
     server.join();
     println!("{}", server.stats());
+    emit_json("serve_load");
 }

@@ -13,7 +13,7 @@ use xsact_data::movies::{qm_queries, MovieGenConfig, MoviesGen};
 
 pub mod harness;
 
-pub use harness::{quick_mode, scaled};
+pub use harness::{emit_json, quick_mode, record, scaled};
 
 /// Default movie-dataset size for the Figure 4 workload.
 pub const FIG4_MOVIES: usize = 400;

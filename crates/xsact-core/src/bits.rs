@@ -32,18 +32,24 @@ pub fn clear_bit(row: &mut [u64], t: usize) {
 }
 
 /// `popcount(a ∧ b)` — the word-parallel pair kernel.
+///
+/// Dispatches to the widest SIMD lane the CPU supports (see `xsact-kernel`);
+/// the byte-identical scalar oracle lives in `xsact_kernel::scalar`.
 #[inline]
 pub fn and2_count(a: &[u64], b: &[u64]) -> u32 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(&x, &y)| (x & y).count_ones()).sum()
+    xsact_kernel::and2_count(a, b)
 }
 
 /// `popcount(a ∧ b ∧ c)` — the DoD pair kernel (`sel_i ∧ sel_j ∧ diff_ij`).
+///
+/// Dispatches to the widest SIMD lane the CPU supports (see `xsact-kernel`);
+/// the byte-identical scalar oracle lives in `xsact_kernel::scalar`.
 #[inline]
 pub fn and3_count(a: &[u64], b: &[u64], c: &[u64]) -> u32 {
     debug_assert_eq!(a.len(), b.len());
     debug_assert_eq!(a.len(), c.len());
-    a.iter().zip(b).zip(c).map(|((&x, &y), &z)| (x & y & z).count_ones()).sum()
+    xsact_kernel::and3_count(a, b, c)
 }
 
 /// Calls `f(t)` for every set bit of a row, in ascending bit order.

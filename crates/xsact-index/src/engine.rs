@@ -53,7 +53,7 @@ pub struct TopKSearch {
 
 /// Annotates a `plan` span with the plan's shape.
 fn note_plan(span: &mut xsact_obs::Span<'_>, plan: &QueryPlan<'_>) {
-    span.note("lists", plan.lists().len() as u64);
+    span.note("lists", plan.num_lists() as u64);
     if !plan.is_empty() {
         span.note("driver_postings", plan.driver_len() as u64);
         span.note("total_postings", plan.total_postings() as u64);
@@ -200,9 +200,13 @@ impl SearchEngine {
                 *stats += stream.stats();
             }
             ResultSemantics::Elca => {
-                // The full scan reads every posting of every list.
+                // The full scan reads every posting of every list — it
+                // needs the whole lists in memory, so decode the packed
+                // frames up front (the streaming SLCA path never does).
                 stats.postings_scanned += plan.total_postings() as u64;
-                for m in elca_full_scan(&self.doc, plan.lists()) {
+                let decoded = plan.decoded_lists();
+                let lists: Vec<&[NodeId]> = decoded.iter().map(Vec::as_slice).collect();
+                for m in elca_full_scan(&self.doc, &lists) {
                     promote(m, stats);
                 }
             }

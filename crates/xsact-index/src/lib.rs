@@ -33,7 +33,7 @@ pub use engine::{ResultSemantics, SearchEngine, SearchResult, TopKSearch};
 pub use lexer::tokenize;
 pub use persist::{document_fingerprint, load_index, save_index};
 pub use plan::{ExecutorStats, QueryPlan, SlcaStream};
-pub use postings::{IndexStats, InvertedIndex};
+pub use postings::{IndexStats, InvertedIndex, PostingsIter, PostingsRef};
 pub use query::Query;
 pub use rank::{rank_results, rank_top_k, ScoredResult, Scorer};
 pub use slca::{elca_full_scan, slca_full_scan, slca_indexed_lookup};

@@ -3,37 +3,52 @@
 //! Building the index is a full document scan; for the demo's "large size
 //! of the two datasets" (paper §3) it pays to build once and reload. The
 //! format is a small, versioned, length-prefixed binary layout that mirrors
-//! the in-memory flat substrate — a sorted term dictionary over one
-//! contiguous postings arena:
+//! the in-memory substrate — a sorted term dictionary over one shared
+//! arena of delta-bit-packed posting frames:
 //!
 //! ```text
-//! magic    b"XIDX"            4 bytes
-//! version  u32 LE             currently 2
-//! fprint   u64 LE             structural fingerprint of the document
-//! terms    u32 LE             number of dictionary entries
-//! total    u32 LE             total postings across all terms
+//! magic      b"XIDX"          4 bytes
+//! version    u32 LE           currently 3
+//! fprint     u64 LE           structural fingerprint of the document
+//! terms      u32 LE           number of dictionary entries
+//! total      u32 LE           total postings across all terms
+//! frames     u32 LE           number of posting frames
+//! data_words u32 LE           u64 words of packed payload
 //! dictionary, terms in lexicographic order:
 //!   term_len u32 LE, term bytes (UTF-8)
-//!   post_off u32 LE, post_len u32 LE     span into the postings arena
-//! arena:
-//!   total × u32 LE            node arena indices, term spans back to back
+//!   post_len u32 LE           posting count (frame spans are derived:
+//!                             frames are contiguous per term, in
+//!                             dictionary order, all full but the last)
+//! frame table, dictionary order, 9 bytes per frame:
+//!   first    u32 LE           first node id of the frame
+//!   bit_off  u32 LE           payload bit offset into the data arena
+//!   width    u8               0..=32 delta bit width, 0xFF = absolute
+//! data:
+//!   data_words × u64 LE       payload bits, back to back
 //! ```
 //!
-//! Version 1 (the pre-interning layout, postings inline per term) is
-//! **rejected** with an "unsupported index version" error — the caller
-//! rebuilds the index, exactly as for a fingerprint mismatch.
+//! Versions 1 (pre-interning, postings inline per term) and 2 (flat
+//! `u32` postings arena) are **rejected** with an "unsupported index
+//! version" error — the caller rebuilds the index, exactly as for a
+//! fingerprint mismatch.
 //!
 //! Posting entries are arena indices, which are only meaningful for the
 //! exact document the index was built from — the **fingerprint** (FNV-1a
 //! over the document structure) is verified on load and mismatches are
 //! rejected, so a stale index can never silently corrupt search results.
+//! Every frame is bounds-checked against the payload arena and fully
+//! decoded once during load (delta accumulation checked for overflow,
+//! every id checked against the document), so a corrupt file fails with a
+//! typed [`io::ErrorKind::InvalidData`] error, never a panic — and the
+//! validated arrays are then adopted as-is, which keeps a save → load →
+//! save cycle byte-stable.
 
-use crate::postings::InvertedIndex;
+use crate::postings::{is_preorder, InvertedIndex, PackedStore, ABS_WIDTH, FRAME};
 use std::io::{self, Read, Write};
-use xsact_xml::{Document, FnvHasher, NodeId};
+use xsact_xml::{Document, FnvHasher};
 
 const MAGIC: &[u8; 4] = b"XIDX";
-const VERSION: u32 = 2;
+const VERSION: u32 = 3;
 
 /// FNV-style structural fingerprint of a document: node count, tags,
 /// attributes and text contents in document order (the workspace-shared
@@ -66,30 +81,39 @@ pub fn save_index(doc: &Document, index: &InvertedIndex, w: &mut impl Write) -> 
     w.write_all(&VERSION.to_le_bytes())?;
     w.write_all(&document_fingerprint(doc).to_le_bytes())?;
     // The in-memory dictionary already iterates in lexicographic term
-    // order, so the output is byte-identical across runs.
-    let entries: Vec<(&str, &[NodeId])> = index.dictionary().collect();
+    // order, so the output is byte-identical across runs. Frame headers
+    // are written in the same order; their bit offsets address the shared
+    // payload arena, which is written verbatim.
+    let store = index.store();
+    let entries: Vec<_> = index.dictionary().collect();
     let total: usize = entries.iter().map(|(_, l)| l.len()).sum();
+    let frames: usize = entries.iter().map(|(_, l)| l.frame_count()).sum();
     w.write_all(&(entries.len() as u32).to_le_bytes())?;
     w.write_all(&(total as u32).to_le_bytes())?;
-    let mut offset = 0u32;
+    w.write_all(&(frames as u32).to_le_bytes())?;
+    w.write_all(&(store.data.len() as u32).to_le_bytes())?;
     for (term, postings) in &entries {
         let bytes = term.as_bytes();
         w.write_all(&(bytes.len() as u32).to_le_bytes())?;
         w.write_all(bytes)?;
-        w.write_all(&offset.to_le_bytes())?;
         w.write_all(&(postings.len() as u32).to_le_bytes())?;
-        offset += postings.len() as u32;
     }
     for (_, postings) in &entries {
-        for &node in *postings {
-            w.write_all(&(node.index() as u32).to_le_bytes())?;
+        for f in 0..postings.frame_count() {
+            let g = postings.first_frame as usize + f;
+            w.write_all(&store.frame_first[g].to_le_bytes())?;
+            w.write_all(&store.frame_bit_off[g].to_le_bytes())?;
+            w.write_all(&[store.frame_width[g]])?;
         }
+    }
+    for &word in &store.data {
+        w.write_all(&word.to_le_bytes())?;
     }
     Ok(())
 }
 
-/// Deserialises an index for `doc`, verifying magic, version and the
-/// document fingerprint.
+/// Deserialises an index for `doc`, verifying magic, version, the document
+/// fingerprint, and every frame of the payload.
 pub fn load_index(doc: &Document, r: &mut impl Read) -> io::Result<InvertedIndex> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
@@ -112,11 +136,22 @@ pub fn load_index(doc: &Document, r: &mut impl Read) -> io::Result<InvertedIndex
     if total > (1 << 28) {
         return Err(bad_data("unreasonable postings arena size"));
     }
-    // Dictionary first: term strings plus their spans into the arena.
-    // Capacity hints are clamped so a corrupt header fails on a read error
-    // instead of aborting inside a huge allocation.
+    let frame_count = read_u32(r)? as usize;
+    if frame_count > total {
+        return Err(bad_data("more posting frames than postings"));
+    }
+    let data_words = read_u32(r)? as usize;
+    if data_words > (1 << 25) {
+        return Err(bad_data("unreasonable postings payload size"));
+    }
+    // Dictionary first: term strings plus their posting counts. Frame
+    // spans are derived, so the dictionary must account for exactly the
+    // declared totals. Capacity hints are clamped so a corrupt header
+    // fails on a read error instead of aborting inside a huge allocation.
     const PREALLOC_CAP: usize = 1 << 16;
-    let mut dict: Vec<(String, u32, u32)> = Vec::with_capacity(term_count.min(PREALLOC_CAP));
+    let mut dict: Vec<(String, u32)> = Vec::with_capacity(term_count.min(PREALLOC_CAP));
+    let mut sum_postings = 0usize;
+    let mut sum_frames = 0usize;
     for _ in 0..term_count {
         let len = read_u32(r)? as usize;
         if len > 1 << 20 {
@@ -125,22 +160,80 @@ pub fn load_index(doc: &Document, r: &mut impl Read) -> io::Result<InvertedIndex
         let mut buf = vec![0u8; len];
         r.read_exact(&mut buf)?;
         let term = String::from_utf8(buf).map_err(|_| bad_data("term is not valid UTF-8"))?;
-        let off = read_u32(r)?;
-        let n = read_u32(r)?;
-        if (off as usize) + (n as usize) > total {
-            return Err(bad_data("term span leaves the postings arena"));
+        if let Some((prev, _)) = dict.last() {
+            if *prev >= term {
+                return Err(bad_data("dictionary terms are not sorted and unique"));
+            }
         }
-        dict.push((term, off, n));
+        let n = read_u32(r)?;
+        sum_postings += n as usize;
+        sum_frames += (n as usize).div_ceil(FRAME);
+        dict.push((term, n));
     }
-    // Then the flat arena, validated against the document and adopted
-    // directly as the in-memory postings arena — no per-term copies.
-    let mut arena: Vec<NodeId> = Vec::with_capacity(total.min(PREALLOC_CAP));
-    for _ in 0..total {
-        let idx = read_u32(r)? as usize;
-        let node = doc.node_handle(idx).ok_or_else(|| bad_data("posting entry out of range"))?;
-        arena.push(node);
+    if sum_postings != total {
+        return Err(bad_data("dictionary postings do not sum to the declared total"));
     }
-    Ok(InvertedIndex::from_sorted_dict(dict, arena))
+    if sum_frames != frame_count {
+        return Err(bad_data("frame table does not match the dictionary"));
+    }
+    // Frame table: validate each width and each payload span against the
+    // payload arena (entry counts are derived from the dictionary).
+    let mut frame_first = Vec::with_capacity(frame_count.min(PREALLOC_CAP));
+    let mut frame_bit_off = Vec::with_capacity(frame_count.min(PREALLOC_CAP));
+    let mut frame_width = Vec::with_capacity(frame_count.min(PREALLOC_CAP));
+    let data_bits = data_words as u64 * 64;
+    for &(_, n) in &dict {
+        let n = n as usize;
+        let frames = n.div_ceil(FRAME);
+        for f in 0..frames {
+            let count = if (f + 1) * FRAME <= n { FRAME } else { n - f * FRAME };
+            let first = read_u32(r)?;
+            let bit_off = read_u32(r)?;
+            let width = read_u8(r)?;
+            let payload_bits = match width {
+                w if w <= 32 => (count as u64 - 1) * u64::from(w),
+                ABS_WIDTH => (count as u64 - 1) * 32,
+                w => return Err(bad_data(format!("corrupt frame bit width {w}"))),
+            };
+            if u64::from(bit_off) + payload_bits > data_bits {
+                return Err(bad_data("frame payload leaves the data arena"));
+            }
+            frame_first.push(first);
+            frame_bit_off.push(bit_off);
+            frame_width.push(width);
+        }
+    }
+    let mut data = Vec::with_capacity(data_words.min(PREALLOC_CAP));
+    for _ in 0..data_words {
+        data.push(read_u64(r)?);
+    }
+    let store = PackedStore {
+        frame_first,
+        frame_bit_off,
+        frame_width,
+        data,
+        doc_ordered: is_preorder(doc),
+    };
+    let index = InvertedIndex::from_packed_parts(dict, store);
+    // Decode-validate every list once: delta accumulation checked for u32
+    // overflow, every id checked against the document. After this pass the
+    // unchecked frame decoders can never read a value the document does
+    // not have.
+    for (term, postings) in index.dictionary() {
+        let ids = postings
+            .decode_all_checked()
+            .ok_or_else(|| bad_data(format!("corrupt posting delta for term {term:?}")))?;
+        for id in ids {
+            doc.node_handle(id as usize).ok_or_else(|| bad_data("posting entry out of range"))?;
+        }
+    }
+    Ok(index)
+}
+
+fn read_u8(r: &mut impl Read) -> io::Result<u8> {
+    let mut buf = [0u8; 1];
+    r.read_exact(&mut buf)?;
+    Ok(buf[0])
 }
 
 fn read_u32(r: &mut impl Read) -> io::Result<u32> {
@@ -174,6 +267,18 @@ mod tests {
         .unwrap()
     }
 
+    /// Byte offset of the frame table: fixed 32-byte header, then the
+    /// dictionary entries.
+    fn frame_table_pos(buf: &[u8]) -> usize {
+        let terms = u32::from_le_bytes(buf[16..20].try_into().unwrap()) as usize;
+        let mut pos = 32;
+        for _ in 0..terms {
+            let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap()) as usize;
+            pos += 4 + len + 4;
+        }
+        pos
+    }
+
     #[test]
     fn round_trip_preserves_postings() {
         let d = doc();
@@ -185,6 +290,15 @@ mod tests {
         for term in ["tomtom", "gps", "product", "garmin"] {
             assert_eq!(loaded.postings(term), index.postings(term), "term {term}");
         }
+    }
+
+    #[test]
+    fn declared_version_is_3() {
+        let d = doc();
+        let index = InvertedIndex::build(&d);
+        let mut buf = Vec::new();
+        save_index(&d, &index, &mut buf).unwrap();
+        assert_eq!(u32::from_le_bytes(buf[4..8].try_into().unwrap()), 3);
     }
 
     #[test]
@@ -253,24 +367,57 @@ mod tests {
         assert!(err.to_string().contains("unsupported index version 1"), "unexpected error: {err}");
     }
 
+    /// A v2 `.xidx` file (the flat-arena layout) must likewise be rejected
+    /// with the typed version error, whatever follows its header.
+    #[test]
+    fn v2_files_rejected_with_version_error() {
+        let d = doc();
+        // Hand-assemble a well-formed v2 header + body: magic, version 2,
+        // matching fingerprint, one term with a (offset, len) span into a
+        // one-entry flat postings arena.
+        let mut v2 = Vec::new();
+        v2.extend_from_slice(MAGIC);
+        v2.extend_from_slice(&2u32.to_le_bytes());
+        v2.extend_from_slice(&document_fingerprint(&d).to_le_bytes());
+        v2.extend_from_slice(&1u32.to_le_bytes()); // term count
+        v2.extend_from_slice(&1u32.to_le_bytes()); // arena total
+        v2.extend_from_slice(&3u32.to_le_bytes()); // term length
+        v2.extend_from_slice(b"gps");
+        v2.extend_from_slice(&0u32.to_le_bytes()); // post_off
+        v2.extend_from_slice(&1u32.to_le_bytes()); // post_len
+        v2.extend_from_slice(&0u32.to_le_bytes()); // arena entry
+        let err = load_index(&d, &mut v2.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("unsupported index version 2"), "unexpected error: {err}");
+    }
+
     #[test]
     fn huge_declared_counts_fail_gracefully() {
         // A crafted header claiming u32::MAX terms must surface a read
         // error, not abort inside a giant preallocation.
         let d = doc();
-        let mut buf = Vec::new();
-        buf.extend_from_slice(MAGIC);
-        buf.extend_from_slice(&VERSION.to_le_bytes());
-        buf.extend_from_slice(&document_fingerprint(&d).to_le_bytes());
-        buf.extend_from_slice(&u32::MAX.to_le_bytes()); // term count
-        buf.extend_from_slice(&0u32.to_le_bytes()); // arena total
-        assert!(load_index(&d, &mut buf.as_slice()).is_err());
-        // Same for an over-limit arena size.
-        let n = buf.len();
-        buf[n - 8..n - 4].copy_from_slice(&0u32.to_le_bytes());
-        buf[n - 4..].copy_from_slice(&u32::MAX.to_le_bytes());
-        let err = load_index(&d, &mut buf.as_slice()).unwrap_err();
-        assert!(err.to_string().contains("unreasonable postings arena size"));
+        let mut head = Vec::new();
+        head.extend_from_slice(MAGIC);
+        head.extend_from_slice(&VERSION.to_le_bytes());
+        head.extend_from_slice(&document_fingerprint(&d).to_le_bytes());
+        let crafted = |terms: u32, total: u32, frames: u32, words: u32| {
+            let mut buf = head.clone();
+            buf.extend_from_slice(&terms.to_le_bytes());
+            buf.extend_from_slice(&total.to_le_bytes());
+            buf.extend_from_slice(&frames.to_le_bytes());
+            buf.extend_from_slice(&words.to_le_bytes());
+            load_index(&d, &mut buf.as_slice()).unwrap_err()
+        };
+        assert!(
+            crafted(u32::MAX, 0, 0, 0).to_string().contains("more posting frames")
+                || crafted(u32::MAX, 0, 0, 0).kind() == io::ErrorKind::UnexpectedEof
+        );
+        let err = crafted(0, u32::MAX, 0, 0);
+        assert!(err.to_string().contains("unreasonable postings arena size"), "{err}");
+        let err = crafted(0, 1 << 20, 1 << 21, 0);
+        assert!(err.to_string().contains("more posting frames than postings"), "{err}");
+        let err = crafted(0, 1 << 20, 1 << 19, u32::MAX);
+        assert!(err.to_string().contains("unreasonable postings payload size"), "{err}");
     }
 
     #[test]
@@ -284,33 +431,74 @@ mod tests {
         }
     }
 
+    /// A frame whose declared payload extends past the data arena must be
+    /// rejected with the typed bounds error before anything decodes.
     #[test]
-    fn out_of_range_posting_rejected() {
+    fn truncated_frame_payload_rejected() {
         let d = doc();
         let index = InvertedIndex::build(&d);
         let mut buf = Vec::new();
         save_index(&d, &index, &mut buf).unwrap();
-        // Flip the last arena entry to a huge index.
-        let n = buf.len();
-        buf[n - 4..].copy_from_slice(&u32::MAX.to_le_bytes());
+        // Shrinking the declared payload to zero words orphans every
+        // payload-carrying frame.
+        buf[28..32].copy_from_slice(&0u32.to_le_bytes());
         let err = load_index(&d, &mut buf.as_slice()).unwrap_err();
-        assert!(err.to_string().contains("out of range"));
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("frame payload leaves the data arena"), "{err}");
     }
 
+    /// A frame with an impossible bit width (not `0..=32`, not the
+    /// absolute marker) must fail with the typed width error, not a panic
+    /// or a garbage decode.
     #[test]
-    fn span_outside_arena_rejected() {
+    fn corrupt_frame_bit_width_rejected() {
         let d = doc();
         let index = InvertedIndex::build(&d);
         let mut buf = Vec::new();
         save_index(&d, &index, &mut buf).unwrap();
-        // The first dictionary entry's span sits right after the header
-        // (4 magic + 4 version + 8 fprint + 4 terms + 4 total) and its
-        // term: corrupt its length field to overrun the arena.
-        let first_term_len = u32::from_le_bytes(buf[24..28].try_into().unwrap()) as usize;
-        let len_pos = 24 + 4 + first_term_len + 4; // skip term, skip offset
-        buf[len_pos..len_pos + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let width_pos = frame_table_pos(&buf) + 8; // first frame's width byte
+        buf[width_pos] = 40;
         let err = load_index(&d, &mut buf.as_slice()).unwrap_err();
-        assert!(err.to_string().contains("leaves the postings arena"), "{err}");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("corrupt frame bit width 40"), "{err}");
+    }
+
+    /// Deltas that accumulate past `u32::MAX` (or ids past the document)
+    /// are caught by the decode-validation pass with typed errors.
+    #[test]
+    fn corrupt_frame_payload_rejected() {
+        let d = doc();
+        let index = InvertedIndex::build(&d);
+        let mut saved = Vec::new();
+        save_index(&d, &index, &mut saved).unwrap();
+        let data_words = u32::from_le_bytes(saved[28..32].try_into().unwrap()) as usize;
+        assert!(data_words > 0, "fixture must carry packed payload");
+        let data_start = saved.len() - 8 * data_words;
+
+        // Max out every delta (widths untouched): the small widths decode,
+        // but some id lands past the document's node arena.
+        let mut buf = saved.clone();
+        for b in &mut buf[data_start..] {
+            *b = 0xFF;
+        }
+        let err = load_index(&d, &mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("posting entry out of range"), "{err}");
+
+        // Additionally widen "gps"'s delta frame (third dictionary entry,
+        // after the payload-free width-0 frames of "garmin" and "go") to
+        // 32 bits: the all-ones delta then overflows the u32 id space.
+        let mut buf = saved.clone();
+        let ft = frame_table_pos(&buf);
+        let gps_width = &mut buf[ft + 2 * 9 + 8];
+        assert!(*gps_width >= 1 && *gps_width <= 32, "gps frame must be a delta frame");
+        *gps_width = 32;
+        for b in &mut buf[data_start..] {
+            *b = 0xFF;
+        }
+        let err = load_index(&d, &mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("corrupt posting delta"), "{err}");
     }
 
     #[test]

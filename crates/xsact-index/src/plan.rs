@@ -17,18 +17,27 @@
 //!   neighbours in the other lists are located by exponential search from
 //!   a per-list cursor left behind by the previous probe; because the
 //!   driver is walked in document order the cursors mostly advance, so a
-//!   probe costs `O(log gap)` instead of `O(log |list|)`. All candidate
-//!   comparisons run on borrowed `&[u32]` Dewey prefixes of the document's
-//!   flat component arena — the stream allocates nothing per element.
+//!   probe costs `O(log gap)` instead of `O(log |list|)`.
 //! * [`ExecutorStats`] counts what the executor actually did (postings
 //!   scanned, gallop probes, candidates pruned), so "why was this query
 //!   fast/slow" is observable from the facade (`--explain` in the CLI).
+//!
+//! Plans built from an index run directly on the **packed posting frames**:
+//! each cursor answers gallop probes from the per-frame skip headers where
+//! it can (a probe that brackets a whole frame never touches its payload)
+//! and unpacks at most one cached frame when a probe lands inside it. On a
+//! `doc_ordered` document the probes compare raw `u32` node ids instead of
+//! Dewey prefixes. Neither shortcut changes any probe's outcome *or its
+//! count*: one `below(i)` evaluation is one probe in every representation,
+//! which is what keeps `ExecutorStats` byte-identical between the packed
+//! path, the flat-slice path ([`QueryPlan::from_lists`]), and the pinned
+//! serve goldens.
 //!
 //! The full-scan implementations in [`crate::slca`] remain the correctness
 //! oracles; `tests/properties.rs` pins the stream to them over random
 //! documents and queries.
 
-use crate::postings::InvertedIndex;
+use crate::postings::{InvertedIndex, PostingsRef, FRAME};
 use crate::query::Query;
 use std::fmt;
 use std::ops::{Add, AddAssign};
@@ -92,6 +101,24 @@ impl fmt::Display for ExecutorStats {
     }
 }
 
+/// One planned posting list: either a packed frame list straight from the
+/// index, or a borrowed flat slice (the oracle path used by the full-scan
+/// comparisons and layer-level callers).
+#[derive(Debug, Clone, Copy)]
+enum ListRef<'a> {
+    Flat(&'a [NodeId]),
+    Packed(PostingsRef<'a>),
+}
+
+impl ListRef<'_> {
+    fn len(&self) -> usize {
+        match self {
+            ListRef::Flat(l) => l.len(),
+            ListRef::Packed(p) => p.len(),
+        }
+    }
+}
+
 /// A resolved, ordered execution plan for one conjunctive query.
 ///
 /// Posting lists are held rarest-first; an empty plan (no terms, or a term
@@ -102,13 +129,15 @@ pub struct QueryPlan<'a> {
     /// Posting lists ordered by ascending length. Empty exactly when
     /// planning proved the result set empty (a plan over actual matches
     /// always holds at least one non-empty list).
-    lists: Vec<&'a [NodeId]>,
+    lists: Vec<ListRef<'a>>,
 }
 
 impl<'a> QueryPlan<'a> {
     /// Plans `query` against `index`: resolves each term's posting list and
     /// orders them rarest-first. A query with no terms, or with any term
-    /// absent from the index, yields an [empty](Self::is_empty) plan.
+    /// absent from the index, yields an [empty](Self::is_empty) plan. The
+    /// resulting stream runs directly on the packed frames — no posting
+    /// list is decoded up front.
     pub fn new(index: &'a InvertedIndex, query: &Query) -> QueryPlan<'a> {
         if query.is_empty() {
             return QueryPlan { lists: Vec::new() };
@@ -121,19 +150,22 @@ impl<'a> QueryPlan<'a> {
                 // query before any SLCA work happens.
                 return QueryPlan { lists: Vec::new() };
             }
-            lists.push(postings);
+            lists.push(ListRef::Packed(postings));
         }
-        QueryPlan::from_lists(lists)
+        lists.sort_by_key(ListRef::len);
+        QueryPlan { lists }
     }
 
     /// Plans over raw posting lists (the layer-level entry point used by
-    /// [`crate::slca::slca_indexed_lookup`]). Lists must be sorted in
-    /// document order, as the index produces them.
-    pub fn from_lists(mut lists: Vec<&'a [NodeId]>) -> QueryPlan<'a> {
+    /// [`crate::slca::slca_indexed_lookup`], and the flat oracle the
+    /// property suite compares the packed path against). Lists must be
+    /// sorted in document order, as the index produces them.
+    pub fn from_lists(lists: Vec<&'a [NodeId]>) -> QueryPlan<'a> {
         if lists.is_empty() || lists.iter().any(|l| l.is_empty()) {
             return QueryPlan { lists: Vec::new() };
         }
-        lists.sort_by_key(|l| l.len());
+        let mut lists: Vec<ListRef<'a>> = lists.into_iter().map(ListRef::Flat).collect();
+        lists.sort_by_key(ListRef::len);
         QueryPlan { lists }
     }
 
@@ -142,36 +174,54 @@ impl<'a> QueryPlan<'a> {
         self.lists.is_empty()
     }
 
-    /// The planned posting lists, rarest first (empty for an empty plan).
-    pub fn lists(&self) -> &[&'a [NodeId]] {
-        &self.lists
+    /// Number of planned posting lists (0 for an empty plan).
+    pub fn num_lists(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// The planned lists decoded to flat vectors, rarest first — the form
+    /// the full-scan (ELCA) oracles consume.
+    pub fn decoded_lists(&self) -> Vec<Vec<NodeId>> {
+        self.lists
+            .iter()
+            .map(|l| match l {
+                ListRef::Flat(s) => s.to_vec(),
+                ListRef::Packed(p) => p.to_vec(),
+            })
+            .collect()
     }
 
     /// Length of the driving (shortest) posting list — the number of SLCA
     /// probes an execution will pay.
     pub fn driver_len(&self) -> usize {
-        self.lists.first().map_or(0, |l| l.len())
+        self.lists.first().map_or(0, ListRef::len)
     }
 
     /// Total posting entries across all planned lists.
     pub fn total_postings(&self) -> usize {
-        self.lists.iter().map(|l| l.len()).sum()
+        self.lists.iter().map(ListRef::len).sum()
     }
 
     /// Starts lazy execution over `doc`: an iterator of SLCA roots in
     /// document order. An empty plan yields an immediately-exhausted
     /// stream with zero counters.
     pub fn stream(&self, doc: &'a Document) -> SlcaStream<'a> {
+        // Raw-id comparisons are sound only when id order is document
+        // order, which the index records per store; flat oracle lists
+        // always take the Dewey path.
+        let use_ids = !self.lists.is_empty()
+            && self.lists.iter().all(|l| matches!(l, ListRef::Packed(p) if p.store.doc_ordered));
         let (driver, others) = match self.lists.split_first() {
             Some((&driver, rest)) => {
-                (driver, rest.iter().map(|&list| Cursor { list, pos: 0 }).collect())
+                (ListCursor::new(driver), rest.iter().map(|&l| ListCursor::new(l)).collect())
             }
-            None => (&[][..], Vec::new()),
+            None => (ListCursor::new(ListRef::Flat(&[])), Vec::new()),
         };
         SlcaStream {
             doc,
             driver,
             others,
+            use_ids,
             next_driver: 0,
             pending: None,
             stats: ExecutorStats::default(),
@@ -179,11 +229,104 @@ impl<'a> QueryPlan<'a> {
     }
 }
 
-/// One non-driver posting list plus the anchor its last probe ended at.
+/// One posting list plus the anchor its last probe ended at, and (for
+/// packed lists) a one-frame decode cache.
 #[derive(Debug)]
-struct Cursor<'a> {
-    list: &'a [NodeId],
+struct ListCursor<'a> {
+    src: ListRef<'a>,
     pos: usize,
+    buf: [u32; FRAME],
+    buf_frame: usize,
+    buf_len: usize,
+}
+
+impl<'a> ListCursor<'a> {
+    fn new(src: ListRef<'a>) -> ListCursor<'a> {
+        ListCursor { src, pos: 0, buf: [0; FRAME], buf_frame: usize::MAX, buf_len: 0 }
+    }
+
+    fn len(&self) -> usize {
+        self.src.len()
+    }
+
+    /// The `i`-th posting, unpacking (and caching) its frame if needed.
+    fn node_at(&mut self, i: usize) -> NodeId {
+        match self.src {
+            ListRef::Flat(list) => list[i],
+            ListRef::Packed(p) => {
+                let f = i / FRAME;
+                if f != self.buf_frame {
+                    self.buf_len = p.decode_frame_into(f, &mut self.buf);
+                    self.buf_frame = f;
+                }
+                debug_assert!(i % FRAME < self.buf_len);
+                NodeId::from_index(self.buf[i % FRAME])
+            }
+        }
+    }
+
+    /// One gallop probe: whether entry `i` sorts strictly before `x` in
+    /// document order. For packed lists the skip headers of frame `i/128`
+    /// and its successor answer most probes without unpacking: entries
+    /// increase strictly along the list, so the next frame's first entry
+    /// bounds this frame from above and the own frame's first bounds it
+    /// from below. Only a probe neither bound decides unpacks the (cached)
+    /// frame. Every code path returns the same boolean the flat comparison
+    /// would — this function is *why* packed and flat executions count
+    /// identical stats.
+    fn below(
+        &mut self,
+        doc: &Document,
+        x: DeweyRef<'_>,
+        x_id: u32,
+        use_ids: bool,
+        i: usize,
+    ) -> bool {
+        let value_below = |v: u32| {
+            if use_ids {
+                v < x_id
+            } else {
+                doc.dewey(NodeId::from_index(v)) < x
+            }
+        };
+        match self.src {
+            ListRef::Flat(list) => doc.dewey(list[i]) < x,
+            ListRef::Packed(p) => {
+                let f = i / FRAME;
+                let r = i % FRAME;
+                if f == self.buf_frame {
+                    // Frame already decoded: answer straight from the
+                    // payload cache, as cheap as a flat-slice read.
+                    return value_below(self.buf[r]);
+                }
+                let first = p.frame_first(f);
+                if r == 0 {
+                    return value_below(first);
+                }
+                if f + 1 < p.frame_count() {
+                    let next_first = p.frame_first(f + 1);
+                    let next_le = if use_ids {
+                        next_first <= x_id
+                    } else {
+                        doc.dewey(NodeId::from_index(next_first)) <= x
+                    };
+                    if next_le {
+                        return true; // entry i < next frame's first <= x
+                    }
+                }
+                let first_ge =
+                    if use_ids { first >= x_id } else { doc.dewey(NodeId::from_index(first)) >= x };
+                if first_ge {
+                    return false; // entry i > own frame's first >= x
+                }
+                if self.buf_frame != f {
+                    self.buf_len = p.decode_frame_into(f, &mut self.buf);
+                    self.buf_frame = f;
+                }
+                value_below(self.buf[r])
+            }
+        }
+    }
 }
 
 /// Lazy SLCA execution: yields each SLCA root exactly once, in document
@@ -198,8 +341,9 @@ struct Cursor<'a> {
 #[derive(Debug)]
 pub struct SlcaStream<'a> {
     doc: &'a Document,
-    driver: &'a [NodeId],
-    others: Vec<Cursor<'a>>,
+    driver: ListCursor<'a>,
+    others: Vec<ListCursor<'a>>,
+    use_ids: bool,
     next_driver: usize,
     pending: Option<DeweyRef<'a>>,
     stats: ExecutorStats,
@@ -219,15 +363,24 @@ impl Iterator for SlcaStream<'_> {
 
     fn next(&mut self) -> Option<NodeId> {
         loop {
-            let Some(&v) = self.driver.get(self.next_driver) else {
+            if self.next_driver >= self.driver.len() {
                 let last = self.pending.take()?;
                 return Some(node_of(self.doc, last));
-            };
+            }
+            let v = self.driver.node_at(self.next_driver);
             self.next_driver += 1;
             self.stats.postings_scanned += 1;
             let mut x = self.doc.dewey(v);
+            let mut x_node = v;
             for cursor in &mut self.others {
-                x = anchored_deepest_lca(self.doc, x, cursor, &mut self.stats.gallop_probes);
+                (x, x_node) = anchored_deepest_lca(
+                    self.doc,
+                    x,
+                    x_node,
+                    self.use_ids,
+                    cursor,
+                    &mut self.stats.gallop_probes,
+                );
             }
             match self.pending {
                 None => self.pending = Some(x),
@@ -258,50 +411,60 @@ fn node_of(doc: &Document, dewey: DeweyRef<'_>) -> NodeId {
 
 /// The deepest LCA of `x` with any node of the cursor's list — achieved by
 /// one of the two nodes adjacent to `x` in document order, located by
-/// galloping from the cursor's previous position. The result is an
-/// ancestor-or-self prefix of `x`, borrowed from the same arena.
+/// galloping from the cursor's previous position. Returns the LCA prefix
+/// (borrowed from `x`'s arena) together with its node handle, maintained by
+/// climbing parents so the raw-id fast path never has to resolve a Dewey
+/// path back to a node.
 fn anchored_deepest_lca<'a>(
     doc: &Document,
     x: DeweyRef<'a>,
-    cursor: &mut Cursor<'_>,
+    x_node: NodeId,
+    use_ids: bool,
+    cursor: &mut ListCursor<'_>,
     probes: &mut u64,
-) -> DeweyRef<'a> {
-    let i = gallop_insertion(doc, cursor.list, x, cursor.pos, probes);
+) -> (DeweyRef<'a>, NodeId) {
+    let x_id = x_node.index() as u32;
+    let n = cursor.len();
+    let i = gallop_insertion_by(n, cursor.pos, |j| {
+        *probes += 1;
+        cursor.below(doc, x, x_id, use_ids, j)
+    });
     cursor.pos = i;
     let mut best = 0usize;
-    for neighbour in [i.checked_sub(1).map(|j| cursor.list[j]), cursor.list.get(i).copied()]
-        .into_iter()
-        .flatten()
-    {
+    for j in [i.checked_sub(1), (i < n).then_some(i)].into_iter().flatten() {
+        let neighbour = cursor.node_at(j);
         best = best.max(x.common_prefix_len(doc.dewey(neighbour)));
     }
     // Nodes of one document always share the root component, so `best` ≥ 1
     // whenever the list is non-empty (guaranteed by the planner).
-    x.ancestor_at_depth(best.max(1)).expect("prefix depth within bounds")
+    let depth = best.max(1);
+    let lca = x.ancestor_at_depth(depth).expect("prefix depth within bounds");
+    let mut node = x_node;
+    if use_ids {
+        for _ in depth..x.depth() {
+            node = doc.parent(node).expect("climbing within the candidate's own path");
+        }
+    }
+    (lca, node)
 }
 
-/// The first index `i` of `list` with `dewey(list[i]) >= x` — what
-/// `list.partition_point(|n| dewey(n) < x)` computes — located by
-/// bidirectional exponential search from `anchor` instead of bisecting the
-/// whole list. Cursors advance monotonically for the outermost probe of
-/// each driver posting; intersected prefixes can briefly step backwards
-/// (an ancestor sorts before its descendants), which the backward gallop
-/// covers at the same logarithmic cost.
-fn gallop_insertion(
-    doc: &Document,
-    list: &[NodeId],
-    x: DeweyRef<'_>,
-    anchor: usize,
-    probes: &mut u64,
-) -> usize {
-    let n = list.len();
-    let below = |i: usize, probes: &mut u64| {
-        *probes += 1;
-        doc.dewey(list[i]) < x
-    };
+/// The first index `i` in `0..n` for which `below(i)` is false — what
+/// `partition_point(below)` computes — located by bidirectional exponential
+/// search from `anchor` instead of bisecting the whole range. Cursors
+/// advance monotonically for the outermost probe of each driver posting;
+/// intersected prefixes can briefly step backwards (an ancestor sorts
+/// before its descendants), which the backward gallop covers at the same
+/// logarithmic cost.
+///
+/// `below` must be monotone (true-prefix). It is invoked exactly once per
+/// probe, and the bracket bisection replicates `slice::partition_point`'s
+/// midpoint sequence — so the probe *count* is a pure function of `(n,
+/// anchor, insertion point)`, independent of the list representation
+/// behind the closure. The serve goldens pin that count.
+fn gallop_insertion_by(n: usize, anchor: usize, mut below: impl FnMut(usize) -> bool) -> usize {
     let a = anchor.min(n);
     let (lo, hi);
-    if a < n && below(a, probes) {
+    if a < n && below(a) {
         // Insertion point in (a, n]: gallop forward over a+1, a+2, a+4, …
         let mut last_below = a;
         let mut step = 1usize;
@@ -312,7 +475,7 @@ fn gallop_insertion(
                 hi = n;
                 break;
             }
-            if below(cand, probes) {
+            if below(cand) {
                 last_below = cand;
                 step *= 2;
             } else {
@@ -332,7 +495,7 @@ fn gallop_insertion(
                 break;
             }
             let cand = a - step;
-            if below(cand, probes) {
+            if below(cand) {
                 lo = cand + 1;
                 hi = first_at_or_above;
                 break;
@@ -341,10 +504,26 @@ fn gallop_insertion(
             step *= 2;
         }
     }
-    lo + list[lo..hi].partition_point(|&node| {
-        *probes += 1;
-        doc.dewey(node) < x
-    })
+    // `slice::partition_point` replica: std's branchless bisection halves
+    // `size` with one probe per halving plus one final probe at `base`
+    // (position-independent count, unlike the classic `while lo < hi`
+    // loop). Spelled out so packed lists probe through the same closure
+    // with the same call count the flat slices paid — the serve goldens
+    // pin the aggregate.
+    let mut size = hi - lo;
+    let mut base = lo;
+    while size > 1 {
+        let half = size / 2;
+        let mid = base + half;
+        if below(mid) {
+            base = mid;
+        }
+        size -= half;
+    }
+    if size > 0 && below(base) {
+        base += 1;
+    }
+    base
 }
 
 #[cfg(test)]
@@ -364,7 +543,7 @@ mod tests {
         let (_, idx) = doc_and_index("<r><a>k1</a><b>k2</b></r>");
         let plan = QueryPlan::new(&idx, &Query::parse("k1 zeppelin"));
         assert!(plan.is_empty());
-        assert!(plan.lists().is_empty());
+        assert_eq!(plan.num_lists(), 0);
         assert_eq!(plan.driver_len(), 0);
     }
 
@@ -389,7 +568,7 @@ mod tests {
         let (_, idx) = doc_and_index("<r><a>k1 k2</a><b>k2</b><c>k2</c></r>");
         let plan = QueryPlan::new(&idx, &Query::parse("k2 k1"));
         assert!(!plan.is_empty());
-        let lens: Vec<usize> = plan.lists().iter().map(|l| l.len()).collect();
+        let lens: Vec<usize> = plan.decoded_lists().iter().map(Vec::len).collect();
         assert_eq!(lens, [1, 3]);
         assert_eq!(plan.driver_len(), 1);
         assert_eq!(plan.total_postings(), 4);
@@ -400,7 +579,8 @@ mod tests {
         let xml = "<r><sec><x>k1</x><y>k2</y></sec><sec><x>k1</x><y>k2</y></sec></r>";
         let (doc, idx) = doc_and_index(xml);
         let q = Query::parse("k1 k2");
-        let lists: Vec<&[NodeId]> = q.iter().map(|t| idx.postings(t)).collect();
+        let decoded: Vec<Vec<NodeId>> = q.iter().map(|t| idx.postings(t).to_vec()).collect();
+        let lists: Vec<&[NodeId]> = decoded.iter().map(Vec::as_slice).collect();
         let oracle = slca_full_scan(&doc, &lists);
         let plan = QueryPlan::new(&idx, &q);
         let mut stream = plan.stream(&doc);
@@ -409,6 +589,25 @@ mod tests {
         let stats = stream.stats();
         assert_eq!(stats.postings_scanned, 2, "driver list has two postings");
         assert!(stats.gallop_probes > 0);
+    }
+
+    #[test]
+    fn packed_stream_matches_flat_stream_probe_for_probe() {
+        let xml = "<r><s><a>k1</a><b>k2</b></s><s><a>k1</a><b>k2</b></s><s><a>k1</a><b>k2</b></s>\
+                   <s><a>k1 k2</a></s></r>";
+        let (doc, idx) = doc_and_index(xml);
+        let q = Query::parse("k1 k2");
+        let decoded: Vec<Vec<NodeId>> = q.iter().map(|t| idx.postings(t).to_vec()).collect();
+        let flat_plan = QueryPlan::from_lists(decoded.iter().map(Vec::as_slice).collect());
+        let packed_plan = QueryPlan::new(&idx, &q);
+        let mut flat = flat_plan.stream(&doc);
+        let mut packed = packed_plan.stream(&doc);
+        assert!(packed.use_ids, "built index over a parsed doc runs the raw-id path");
+        assert!(!flat.use_ids, "flat oracle lists take the Dewey path");
+        let a: Vec<NodeId> = (&mut flat).collect();
+        let b: Vec<NodeId> = (&mut packed).collect();
+        assert_eq!(a, b);
+        assert_eq!(flat.stats(), packed.stats(), "identical counters across representations");
     }
 
     #[test]
@@ -431,20 +630,132 @@ mod tests {
     fn gallop_insertion_equals_partition_point_for_any_anchor() {
         let xml = "<r><s><a>k</a><a>k</a></s><s><a>k</a></s><s><a>k</a><a>k</a><a>k</a></s></r>";
         let (doc, idx) = doc_and_index(xml);
-        let list = idx.postings("a");
+        let list = idx.postings("a").to_vec();
         assert!(list.len() >= 6);
         let probe_points: Vec<NodeId> = doc.all_nodes().collect();
         for &p in &probe_points {
             let x = doc.dewey(p);
             let expected = list.partition_point(|&n| doc.dewey(n) < x);
             for anchor in 0..=list.len() + 2 {
-                let mut probes = 0;
-                assert_eq!(
-                    gallop_insertion(&doc, list, x, anchor, &mut probes),
-                    expected,
-                    "probe {x} from anchor {anchor}"
-                );
+                let mut probes = 0u64;
+                let got = gallop_insertion_by(list.len(), anchor, |i| {
+                    probes += 1;
+                    doc.dewey(list[i]) < x
+                });
+                assert_eq!(got, expected, "probe {x} from anchor {anchor}");
                 assert!(probes > 0);
+            }
+        }
+    }
+
+    /// The pre-packing executor bisected its gallop bracket with
+    /// `slice::partition_point`; the closure-based replica must pay the
+    /// exact same probe count (std's bisection is branchless — one probe
+    /// per halving plus a final probe — NOT the classic `while lo < hi`
+    /// loop, which probes fewer). The serve goldens pin the aggregate, so
+    /// pin the equivalence here over every (length, target, anchor).
+    #[test]
+    fn gallop_probe_count_matches_the_partition_point_reference() {
+        fn reference(list: &[usize], target: usize, anchor: usize, probes: &mut u64) -> usize {
+            let n = list.len();
+            let below = |i: usize, probes: &mut u64| {
+                *probes += 1;
+                list[i] < target
+            };
+            let a = anchor.min(n);
+            let (lo, hi);
+            if a < n && below(a, probes) {
+                let mut last_below = a;
+                let mut step = 1usize;
+                loop {
+                    let cand = a + step;
+                    if cand >= n {
+                        lo = last_below + 1;
+                        hi = n;
+                        break;
+                    }
+                    if below(cand, probes) {
+                        last_below = cand;
+                        step *= 2;
+                    } else {
+                        lo = last_below + 1;
+                        hi = cand;
+                        break;
+                    }
+                }
+            } else {
+                let mut first_at_or_above = a;
+                let mut step = 1usize;
+                loop {
+                    if step > a {
+                        lo = 0;
+                        hi = first_at_or_above;
+                        break;
+                    }
+                    let cand = a - step;
+                    if below(cand, probes) {
+                        lo = cand + 1;
+                        hi = first_at_or_above;
+                        break;
+                    }
+                    first_at_or_above = cand;
+                    step *= 2;
+                }
+            }
+            lo + list[lo..hi].partition_point(|&v| {
+                *probes += 1;
+                v < target
+            })
+        }
+        for n in 0..24usize {
+            let list: Vec<usize> = (0..n).collect();
+            for target in 0..=n {
+                for anchor in 0..=n + 2 {
+                    let mut ref_probes = 0u64;
+                    let expected = reference(&list, target, anchor, &mut ref_probes);
+                    let mut probes = 0u64;
+                    let got = gallop_insertion_by(n, anchor, |i| {
+                        probes += 1;
+                        list[i] < target
+                    });
+                    assert_eq!(got, expected, "n {n} target {target} anchor {anchor}");
+                    assert_eq!(got, target, "n {n} target {target} anchor {anchor}");
+                    assert_eq!(
+                        probes, ref_probes,
+                        "n {n} target {target} anchor {anchor}: probe count drifted"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_cursor_probes_match_flat_cursor_probes() {
+        // Same insertion point AND same probe count from every anchor, for
+        // every probe node — the invariant behind the pinned golden stats.
+        let xml = "<r><s><a>k</a><a>k</a></s><s><a>k</a></s><s><a>k</a><a>k</a><a>k</a></s></r>";
+        let (doc, idx) = doc_and_index(xml);
+        let packed = idx.postings("a");
+        let flat = packed.to_vec();
+        for p in doc.all_nodes() {
+            let x = doc.dewey(p);
+            let x_id = p.index() as u32;
+            for anchor in 0..=flat.len() + 2 {
+                for use_ids in [false, true] {
+                    let mut flat_probes = 0u64;
+                    let flat_i = gallop_insertion_by(flat.len(), anchor, |i| {
+                        flat_probes += 1;
+                        doc.dewey(flat[i]) < x
+                    });
+                    let mut cursor = ListCursor::new(ListRef::Packed(packed));
+                    let mut packed_probes = 0u64;
+                    let packed_i = gallop_insertion_by(packed.len(), anchor, |i| {
+                        packed_probes += 1;
+                        cursor.below(&doc, x, x_id, use_ids, i)
+                    });
+                    assert_eq!(packed_i, flat_i, "anchor {anchor} use_ids {use_ids}");
+                    assert_eq!(packed_probes, flat_probes, "anchor {anchor} use_ids {use_ids}");
+                }
             }
         }
     }

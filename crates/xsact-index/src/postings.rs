@@ -7,27 +7,194 @@
 //! * a **text** run contributes its terms to the *parent element* — so match
 //!   nodes are always elements, which is what LCA semantics expect.
 //!
-//! Storage is flat, in the style of the document substrate: terms are
-//! normalised straight into a term [`Interner`] (one heap copy per distinct
-//! term), every posting list is a span into **one contiguous arena** of
-//! [`NodeId`]s, and a sorted term dictionary gives deterministic iteration
-//! order. Posting lists are sorted by Dewey ID (document order) and
-//! deduplicated, ready for the binary-search probes of the Indexed Lookup
-//! Eager SLCA algorithm.
+//! Storage is compressed: terms are normalised straight into a term
+//! [`Interner`] (one heap copy per distinct term) and every posting list is
+//! split into 128-entry (`FRAME`) **delta-bit-packed frames** living in one
+//! shared bit arena. Each frame carries a tiny skip header — first node id,
+//! bit offset, bit width — so the gallop probes of the Indexed Lookup Eager
+//! SLCA algorithm can step over whole frames without touching the payload,
+//! and a frame is only unpacked when a probe actually lands inside it.
+//!
+//! Frame encodings, selected per frame by the `width` header byte:
+//!
+//! * `0` — a consecutive run: entry `i` is `first + i`, zero payload bits.
+//!   (Single-entry lists are the degenerate case.)
+//! * `1..=32` — strictly increasing ids stored as `delta − 1` values of
+//!   `width` bits each; the first id lives in the header.
+//! * `0xFF` — absolute fallback for non-monotone id sequences (a document
+//!   whose arena order differs from document order): raw 32-bit ids.
+//!
+//! Posting lists are sorted by Dewey ID (document order) and deduplicated.
+//! For documents whose node ids are assigned in preorder (`doc_ordered`),
+//! document order coincides with id order, which makes every frame a
+//! `width ≤ 32` delta frame and unlocks the integer fast paths in the query
+//! planner and the scorer. The flat `Vec<NodeId>` representation survives
+//! only as [`PostingsRef::to_vec`] — the oracle the property suite compares
+//! against.
 
 use crate::lexer::for_each_term;
 use xsact_xml::{Document, Interner, NodeId, Sym};
+
+/// Entries per posting frame. 128 ids keep the skip headers at ~0.6 bits
+/// per posting while one frame still fits a pair of cache lines unpacked.
+pub(crate) const FRAME: usize = 128;
+
+/// `frame_width` marker for absolute (non-delta) frames.
+pub(crate) const ABS_WIDTH: u8 = 0xFF;
+
+/// The shared frame arena behind every posting list of one index.
+///
+/// Frames are stored as parallel arrays (9 bytes of header per frame instead
+/// of a padded struct) plus one bit-granular payload arena — payloads are
+/// packed back to back with no word alignment, which is what keeps the
+/// packed form ≥3× smaller than the flat `Vec<NodeId>` arena it replaced.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct PackedStore {
+    /// First node id of each frame (also the anchor deltas decode from).
+    pub(crate) frame_first: Vec<u32>,
+    /// Bit offset of each frame's payload inside `data`.
+    pub(crate) frame_bit_off: Vec<u32>,
+    /// Bits per packed entry: `0..=32` for delta frames, [`ABS_WIDTH`] for
+    /// absolute frames.
+    pub(crate) frame_width: Vec<u8>,
+    /// The payload bit arena.
+    pub(crate) data: Vec<u64>,
+    /// Whether node ids are assigned in preorder, i.e. id order == document
+    /// order and every subtree is one contiguous id interval. Gates the
+    /// integer-compare fast paths; `false` is always safe.
+    pub(crate) doc_ordered: bool,
+}
+
+impl PackedStore {
+    /// Bytes of the packed representation: skip headers + payload.
+    pub(crate) fn packed_bytes(&self) -> usize {
+        self.frame_first.len() * 4
+            + self.frame_bit_off.len() * 4
+            + self.frame_width.len()
+            + self.data.len() * 8
+    }
+}
+
+/// Reads `width ≤ 32` bits at bit offset `bit_off` of `data`.
+#[inline]
+pub(crate) fn read_bits(data: &[u64], bit_off: u64, width: u32) -> u32 {
+    debug_assert!((1..=32).contains(&width));
+    let word = (bit_off / 64) as usize;
+    let shift = (bit_off % 64) as u32;
+    let mut v = data[word] >> shift;
+    if shift + width > 64 {
+        v |= data[word + 1] << (64 - shift);
+    }
+    let mask = if width == 32 { u64::from(u32::MAX) } else { (1u64 << width) - 1 };
+    (v & mask) as u32
+}
+
+/// Bits needed to store `x` (0 for `x == 0`).
+#[inline]
+fn bits_for(x: u32) -> u32 {
+    32 - x.leading_zeros()
+}
+
+/// Append-only encoder producing a [`PackedStore`].
+#[derive(Default)]
+struct PackedBuilder {
+    frame_first: Vec<u32>,
+    frame_bit_off: Vec<u32>,
+    frame_width: Vec<u8>,
+    data: Vec<u64>,
+    bit_len: u64,
+}
+
+impl PackedBuilder {
+    fn push_bits(&mut self, v: u32, width: u32) {
+        if width == 0 {
+            return;
+        }
+        let end_words = (self.bit_len + u64::from(width)).div_ceil(64) as usize;
+        if self.data.len() < end_words {
+            self.data.resize(end_words, 0);
+        }
+        let word = (self.bit_len / 64) as usize;
+        let shift = (self.bit_len % 64) as u32;
+        self.data[word] |= u64::from(v) << shift;
+        if shift + width > 64 {
+            self.data[word + 1] |= u64::from(v) >> (64 - shift);
+        }
+        self.bit_len += u64::from(width);
+    }
+
+    /// Encodes one frame (≤ [`FRAME`] ids, first id always in the header).
+    fn push_frame(&mut self, ids: &[u32]) {
+        debug_assert!(!ids.is_empty() && ids.len() <= FRAME);
+        // Bit offsets are persisted as u32 — a ~512 MB payload ceiling the
+        // loader also enforces.
+        debug_assert!(self.bit_len <= u64::from(u32::MAX));
+        let first = ids[0];
+        let mut monotone = true;
+        let mut max_dm1 = 0u32;
+        let mut prev = first;
+        for &v in &ids[1..] {
+            if v <= prev {
+                monotone = false;
+                break;
+            }
+            max_dm1 = max_dm1.max(v - prev - 1);
+            prev = v;
+        }
+        self.frame_first.push(first);
+        self.frame_bit_off.push(self.bit_len as u32);
+        if monotone {
+            let width = bits_for(max_dm1);
+            self.frame_width.push(width as u8);
+            let mut prev = first;
+            for &v in &ids[1..] {
+                self.push_bits(v - prev - 1, width);
+                prev = v;
+            }
+        } else {
+            self.frame_width.push(ABS_WIDTH);
+            for &v in &ids[1..] {
+                self.push_bits(v, 32);
+            }
+        }
+    }
+
+    fn finish(self, doc_ordered: bool) -> PackedStore {
+        PackedStore {
+            frame_first: self.frame_first,
+            frame_bit_off: self.frame_bit_off,
+            frame_width: self.frame_width,
+            data: self.data,
+            doc_ordered,
+        }
+    }
+}
+
+/// Whether node ids were assigned in preorder: the `n`-th node of a
+/// document-order traversal has arena index `n`, so id order is document
+/// order and a subtree is the contiguous interval
+/// `[root, root + subtree_size)`.
+pub(crate) fn is_preorder(doc: &Document) -> bool {
+    let mut next = 0usize;
+    for n in doc.all_nodes() {
+        if n.index() != next {
+            return false;
+        }
+        next += 1;
+    }
+    next == doc.len()
+}
 
 /// An inverted index over one [`Document`].
 #[derive(Debug, Clone, Default)]
 pub struct InvertedIndex {
     /// Distinct normalised terms; a term's [`Sym`] indexes `spans`.
     terms: Interner,
-    /// Per term symbol, the `(offset, len)` span of its posting list inside
-    /// `postings`.
+    /// Per term symbol, `(first_frame, posting_count)` into the store.
+    /// A term's frames are contiguous; all are full except the last.
     spans: Vec<(u32, u32)>,
-    /// One flat arena holding every posting list back to back.
-    postings: Vec<NodeId>,
+    /// The shared frame arena.
+    store: PackedStore,
     /// The term dictionary: symbols sorted by term text. Iteration and
     /// persistence use this order, so both are deterministic.
     sorted: Vec<Sym>,
@@ -92,54 +259,56 @@ impl InvertedIndex {
             list.sort_by(|&a, &b| doc.dewey(a).cmp(&doc.dewey(b)));
             list.dedup();
         }
-        InvertedIndex::from_lists(terms, lists)
+        InvertedIndex::from_lists(terms, lists, is_preorder(doc))
     }
 
-    /// Assembles the flat arena from per-term lists. Lists must already be
-    /// sorted in document order and deduplicated.
-    fn from_lists(terms: Interner, lists: Vec<Vec<NodeId>>) -> Self {
-        let total: usize = lists.iter().map(Vec::len).sum();
-        let mut postings = Vec::with_capacity(total);
+    /// Packs per-term lists into the frame store. Lists must already be
+    /// sorted in document order and deduplicated; `doc_ordered` states
+    /// whether document order is also id order (see [`PackedStore`]).
+    fn from_lists(terms: Interner, lists: Vec<Vec<NodeId>>, doc_ordered: bool) -> Self {
+        let mut b = PackedBuilder::default();
         let mut spans = Vec::with_capacity(lists.len());
+        let mut ids: Vec<u32> = Vec::new();
         for list in &lists {
-            spans.push((postings.len() as u32, list.len() as u32));
-            postings.extend_from_slice(list);
+            let first_frame = b.frame_first.len() as u32;
+            for chunk in list.chunks(FRAME) {
+                ids.clear();
+                ids.extend(chunk.iter().map(|n| n.index() as u32));
+                b.push_frame(&ids);
+            }
+            spans.push((first_frame, list.len() as u32));
         }
         let mut sorted: Vec<Sym> = terms.iter().map(|(sym, _)| sym).collect();
         sorted.sort_by(|&a, &b| terms.resolve(a).cmp(terms.resolve(b)));
-        InvertedIndex { terms, spans, postings, sorted }
+        InvertedIndex { terms, spans, store: b.finish(doc_ordered), sorted }
     }
 
-    /// Adopts a loaded flat arena directly: `dict` pairs each term with its
-    /// `(offset, len)` span into `arena`. Spans must lie inside the arena
-    /// (the persistence loader validates this) and each span's postings
-    /// must be in document order — the invariant `save_index` preserves.
-    /// Unlike [`from_term_lists`](Self::from_term_lists) this makes no
-    /// per-term copies; the arena is moved in as-is.
-    pub(crate) fn from_sorted_dict(dict: Vec<(String, u32, u32)>, arena: Vec<NodeId>) -> Self {
+    /// Adopts a loaded frame store directly: `dict` pairs each term with its
+    /// posting count, in the same order the store's frames were written
+    /// (frames of consecutive terms are contiguous, all full but the last).
+    /// The persistence loader validates terms (sorted, unique) and frames
+    /// before calling this, so the arrays are moved in as-is — which is what
+    /// keeps save → load → save byte-stable.
+    pub(crate) fn from_packed_parts(dict: Vec<(String, u32)>, store: PackedStore) -> Self {
         let mut terms = Interner::new();
         let mut spans = Vec::with_capacity(dict.len());
         let mut sorted = Vec::with_capacity(dict.len());
-        for (term, off, len) in &dict {
+        let mut next_frame = 0u32;
+        for (term, len) in &dict {
             let sym = terms.intern(term);
-            if sym.index() == spans.len() {
-                spans.push((*off, *len));
-                sorted.push(sym);
-            } else {
-                // Duplicate term in the input: keep the last span, matching
-                // the seed's HashMap-based loader.
-                spans[sym.index()] = (*off, *len);
-            }
+            debug_assert_eq!(sym.index(), spans.len(), "loader guarantees unique terms");
+            spans.push((next_frame, *len));
+            sorted.push(sym);
+            next_frame += (*len as usize).div_ceil(FRAME) as u32;
         }
-        // A well-formed v2 file is already sorted; enforce it anyway so
-        // dictionary iteration order never depends on input bytes.
-        sorted.sort_by(|&a, &b| terms.resolve(a).cmp(terms.resolve(b)));
-        InvertedIndex { terms, spans, postings: arena, sorted }
+        InvertedIndex { terms, spans, store, sorted }
     }
 
     /// Rebuilds an index from `(term, postings)` pairs. Lists must already
     /// be sorted in document order — the invariant `build` establishes and
-    /// `save_index` preserves.
+    /// `save_index` preserves. Without a document to check against, the
+    /// result is conservatively marked not `doc_ordered` (integer fast
+    /// paths stay off; results are identical either way).
     pub fn from_term_lists(entries: impl IntoIterator<Item = (String, Vec<NodeId>)>) -> Self {
         let mut terms = Interner::new();
         let mut lists = Vec::new();
@@ -153,7 +322,7 @@ impl InvertedIndex {
                 lists[sym.index()] = list;
             }
         }
-        InvertedIndex::from_lists(terms, lists)
+        InvertedIndex::from_lists(terms, lists, false)
     }
 
     /// The symbol of an (already normalised) term, if it occurs.
@@ -161,16 +330,19 @@ impl InvertedIndex {
         self.terms.lookup(term)
     }
 
-    /// The posting list of a (already normalised) term; empty slice if the
-    /// term does not occur.
-    pub fn postings(&self, term: &str) -> &[NodeId] {
-        self.term_sym(term).map_or(&[], |sym| self.postings_of(sym))
+    /// The posting list of a (already normalised) term; empty if the term
+    /// does not occur.
+    pub fn postings(&self, term: &str) -> PostingsRef<'_> {
+        self.term_sym(term)
+            .map_or(PostingsRef { store: &self.store, first_frame: 0, len: 0 }, |sym| {
+                self.postings_of(sym)
+            })
     }
 
     /// The posting list behind a term symbol.
-    pub fn postings_of(&self, sym: Sym) -> &[NodeId] {
-        let (offset, len) = self.spans[sym.index()];
-        &self.postings[offset as usize..(offset + len) as usize]
+    pub fn postings_of(&self, sym: Sym) -> PostingsRef<'_> {
+        let (first_frame, len) = self.spans[sym.index()];
+        PostingsRef { store: &self.store, first_frame, len }
     }
 
     /// Whether the term occurs anywhere in the document.
@@ -183,6 +355,17 @@ impl InvertedIndex {
         self.spans.len()
     }
 
+    /// Whether node id order is document order for the indexed document
+    /// (see [`PackedStore::doc_ordered`]).
+    pub(crate) fn doc_ordered(&self) -> bool {
+        self.store.doc_ordered
+    }
+
+    /// The shared frame store (persistence serialises its arrays).
+    pub(crate) fn store(&self) -> &PackedStore {
+        &self.store
+    }
+
     /// Iterates the indexed terms in lexicographic (dictionary) order.
     pub fn terms(&self) -> impl Iterator<Item = &str> {
         self.sorted.iter().map(|&sym| self.terms.resolve(sym))
@@ -190,29 +373,306 @@ impl InvertedIndex {
 
     /// Iterates `(term, postings)` in dictionary order — what the
     /// persistence layer serialises.
-    pub fn dictionary(&self) -> impl Iterator<Item = (&str, &[NodeId])> {
+    pub fn dictionary(&self) -> impl Iterator<Item = (&str, PostingsRef<'_>)> {
         self.sorted.iter().map(|&sym| (self.terms.resolve(sym), self.postings_of(sym)))
     }
 
     /// Summary statistics for diagnostics and benchmarks.
     pub fn stats(&self) -> IndexStats {
         let longest = self.spans.iter().map(|&(_, len)| len as usize).max().unwrap_or(0);
+        let total: usize = self.spans.iter().map(|&(_, len)| len as usize).sum();
         IndexStats {
             terms: self.spans.len(),
-            total_postings: self.postings.len(),
+            total_postings: total,
             longest_list: longest,
+            packed_postings_bytes: self.store.packed_bytes(),
+            flat_postings_bytes: total * std::mem::size_of::<NodeId>(),
         }
     }
 
-    /// Heap bytes of the index (term interner + spans + postings arena),
-    /// for the substrate-footprint statistics.
+    /// Heap bytes of the index (term interner + spans + frame store), for
+    /// the substrate-footprint statistics.
     pub fn heap_bytes(&self) -> usize {
         self.terms.heap_bytes()
             + self.spans.capacity() * std::mem::size_of::<(u32, u32)>()
-            + self.postings.capacity() * std::mem::size_of::<NodeId>()
+            + self.store.frame_first.capacity() * std::mem::size_of::<u32>()
+            + self.store.frame_bit_off.capacity() * std::mem::size_of::<u32>()
+            + self.store.frame_width.capacity()
+            + self.store.data.capacity() * std::mem::size_of::<u64>()
             + self.sorted.capacity() * std::mem::size_of::<Sym>()
     }
 }
+
+/// A borrowed view of one packed posting list.
+///
+/// Random access decodes a whole frame, so hot loops either iterate
+/// ([`iter`](Self::iter) caches the current frame) or keep their own frame
+/// cache keyed by frame number (the query planner's cursors do).
+#[derive(Clone, Copy)]
+pub struct PostingsRef<'a> {
+    pub(crate) store: &'a PackedStore,
+    pub(crate) first_frame: u32,
+    pub(crate) len: u32,
+}
+
+impl<'a> PostingsRef<'a> {
+    /// Number of postings.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of frames backing the list.
+    pub(crate) fn frame_count(&self) -> usize {
+        self.len().div_ceil(FRAME)
+    }
+
+    /// Entries in frame `f` (all frames are full except the last).
+    pub(crate) fn count_in_frame(&self, f: usize) -> usize {
+        debug_assert!(f < self.frame_count());
+        if (f + 1) * FRAME <= self.len() {
+            FRAME
+        } else {
+            self.len() - f * FRAME
+        }
+    }
+
+    /// First node id of frame `f` — straight from the skip header, no
+    /// decode.
+    pub(crate) fn frame_first(&self, f: usize) -> u32 {
+        self.store.frame_first[self.first_frame as usize + f]
+    }
+
+    /// Unpacks frame `f` into `out`, returning the entry count.
+    pub(crate) fn decode_frame_into(&self, f: usize, out: &mut [u32; FRAME]) -> usize {
+        let n = self.count_in_frame(f);
+        let g = self.first_frame as usize + f;
+        let first = self.store.frame_first[g];
+        out[0] = first;
+        match self.store.frame_width[g] {
+            0 => {
+                for (i, slot) in out[..n].iter_mut().enumerate() {
+                    *slot = first + i as u32;
+                }
+            }
+            ABS_WIDTH => {
+                let mut off = u64::from(self.store.frame_bit_off[g]);
+                for slot in &mut out[1..n] {
+                    *slot = read_bits(&self.store.data, off, 32);
+                    off += 32;
+                }
+            }
+            w if n > 1 => {
+                // Rolling bit buffer: one word fetch per 64 payload bits
+                // instead of a div/mod/shift recomputation per delta.
+                let w = u32::from(w);
+                let data = &self.store.data;
+                let off = u64::from(self.store.frame_bit_off[g]);
+                let mut word = (off / 64) as usize;
+                let shift = (off % 64) as u32;
+                let mut acc = data[word] >> shift;
+                let mut avail = 64 - shift;
+                word += 1;
+                let mask = if w == 32 { u64::from(u32::MAX) } else { (1u64 << w) - 1 };
+                let mut prev = first;
+                for slot in &mut out[1..n] {
+                    let d = if avail >= w {
+                        let d = (acc & mask) as u32;
+                        acc >>= w;
+                        avail -= w;
+                        d
+                    } else {
+                        let next = data[word];
+                        word += 1;
+                        let d = ((acc | (next << avail)) & mask) as u32;
+                        let taken = w - avail;
+                        acc = next >> taken;
+                        avail = 64 - taken;
+                        d
+                    };
+                    prev = prev + d + 1;
+                    *slot = prev;
+                }
+            }
+            // Single-entry frame with a nonzero width byte: no payload to
+            // touch (and its bit offset may sit at the end of the arena).
+            _ => {}
+        }
+        n
+    }
+
+    /// Iterates the list in document order, decoding one frame at a time.
+    pub fn iter(&self) -> PostingsIter<'a> {
+        PostingsIter { list: *self, pos: 0, buf: [0; FRAME], buf_frame: usize::MAX, buf_len: 0 }
+    }
+
+    /// Decodes the whole list into the flat representation the pre-packed
+    /// index stored — the oracle form.
+    pub fn to_vec(&self) -> Vec<NodeId> {
+        self.iter().collect()
+    }
+
+    /// The `i`-th posting. Decodes the containing frame — O(`FRAME`);
+    /// prefer [`iter`](Self::iter) or a cached-frame cursor in loops.
+    pub fn get(&self, i: usize) -> NodeId {
+        assert!(i < self.len(), "posting index {i} out of range (len {})", self.len());
+        let mut buf = [0u32; FRAME];
+        let n = self.decode_frame_into(i / FRAME, &mut buf);
+        debug_assert!(i % FRAME < n);
+        NodeId::from_index(buf[i % FRAME])
+    }
+
+    /// Counts postings with id in `[lo, hi)`. Requires a `doc_ordered`
+    /// store (ids strictly increasing). Interior frames are counted from
+    /// their skip headers alone; only the two boundary frames are decoded,
+    /// and those are counted with the SIMD range kernel.
+    pub(crate) fn count_in_id_range(&self, lo: u32, hi: u32) -> u32 {
+        debug_assert!(self.store.doc_ordered);
+        if lo >= hi || self.len == 0 {
+            return 0;
+        }
+        let nf = self.frame_count();
+        let mut buf = [0u32; FRAME];
+        let mut total = 0u32;
+        for f in 0..nf {
+            let first = self.frame_first(f);
+            if first >= hi {
+                break;
+            }
+            let next_first = if f + 1 < nf { Some(self.frame_first(f + 1)) } else { None };
+            // Ids increase strictly across frames, so `next_first` bounds
+            // this frame's last id from above.
+            if let Some(nx) = next_first {
+                if nx <= lo {
+                    continue; // entire frame below the interval
+                }
+                if first >= lo && nx <= hi {
+                    total += self.count_in_frame(f) as u32; // entirely inside
+                    continue;
+                }
+            }
+            let n = self.decode_frame_into(f, &mut buf);
+            total += xsact_kernel::count_in_range_u32(&buf[..n], lo, hi);
+        }
+        total
+    }
+
+    /// Decodes the whole list as raw ids, with the delta accumulation
+    /// checked for `u32` overflow — the persistence loader's validation
+    /// pass. Returns `None` on overflow.
+    pub(crate) fn decode_all_checked(&self) -> Option<Vec<u32>> {
+        let mut out = Vec::with_capacity(self.len());
+        for f in 0..self.frame_count() {
+            let n = self.count_in_frame(f);
+            let g = self.first_frame as usize + f;
+            let first = self.store.frame_first[g];
+            out.push(first);
+            match self.store.frame_width[g] {
+                0 => {
+                    for i in 1..n {
+                        out.push(u32::try_from(u64::from(first) + i as u64).ok()?);
+                    }
+                }
+                ABS_WIDTH => {
+                    let mut off = u64::from(self.store.frame_bit_off[g]);
+                    for _ in 1..n {
+                        out.push(read_bits(&self.store.data, off, 32));
+                        off += 32;
+                    }
+                }
+                w => {
+                    let w = u32::from(w);
+                    let mut off = u64::from(self.store.frame_bit_off[g]);
+                    let mut prev = u64::from(first);
+                    for _ in 1..n {
+                        let d = read_bits(&self.store.data, off, w);
+                        off += u64::from(w);
+                        prev = prev + u64::from(d) + 1;
+                        out.push(u32::try_from(prev).ok()?);
+                    }
+                }
+            }
+        }
+        Some(out)
+    }
+}
+
+impl std::fmt::Debug for PostingsRef<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+impl PartialEq for PostingsRef<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.iter().eq(other.iter())
+    }
+}
+
+impl PartialEq<[NodeId]> for PostingsRef<'_> {
+    fn eq(&self, other: &[NodeId]) -> bool {
+        self.len() == other.len() && self.iter().eq(other.iter().copied())
+    }
+}
+
+impl PartialEq<&[NodeId]> for PostingsRef<'_> {
+    fn eq(&self, other: &&[NodeId]) -> bool {
+        *self == **other
+    }
+}
+
+impl PartialEq<Vec<NodeId>> for PostingsRef<'_> {
+    fn eq(&self, other: &Vec<NodeId>) -> bool {
+        *self == other[..]
+    }
+}
+
+impl<'a> IntoIterator for PostingsRef<'a> {
+    type Item = NodeId;
+    type IntoIter = PostingsIter<'a>;
+    fn into_iter(self) -> PostingsIter<'a> {
+        self.iter()
+    }
+}
+
+/// Iterator over a packed posting list; decodes one frame at a time into an
+/// internal buffer.
+pub struct PostingsIter<'a> {
+    list: PostingsRef<'a>,
+    pos: usize,
+    buf: [u32; FRAME],
+    buf_frame: usize,
+    buf_len: usize,
+}
+
+impl Iterator for PostingsIter<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        if self.pos >= self.list.len() {
+            return None;
+        }
+        let f = self.pos / FRAME;
+        if f != self.buf_frame {
+            self.buf_len = self.list.decode_frame_into(f, &mut self.buf);
+            self.buf_frame = f;
+        }
+        let v = self.buf[self.pos % FRAME];
+        self.pos += 1;
+        Some(NodeId::from_index(v))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rest = self.list.len() - self.pos;
+        (rest, Some(rest))
+    }
+}
+
+impl ExactSizeIterator for PostingsIter<'_> {}
 
 /// Aggregate size figures of an [`InvertedIndex`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -223,6 +683,12 @@ pub struct IndexStats {
     pub total_postings: usize,
     /// Length of the longest posting list.
     pub longest_list: usize,
+    /// Resident bytes of the delta-bit-packed posting frames (skip headers
+    /// + payload; term dictionary and spans excluded).
+    pub packed_postings_bytes: usize,
+    /// Bytes the same postings would occupy as a flat `Vec<NodeId>` arena —
+    /// the pre-v3 representation, kept as the compression baseline.
+    pub flat_postings_bytes: usize,
 }
 
 #[cfg(test)]
@@ -245,7 +711,7 @@ mod tests {
         // Every element tagged `product` matches the term.
         assert_eq!(idx.postings("product").len(), 2);
         assert_eq!(idx.postings("shop").len(), 1);
-        assert_eq!(idx.postings("shop")[0], d.root());
+        assert_eq!(idx.postings("shop").get(0), d.root());
     }
 
     #[test]
@@ -254,7 +720,7 @@ mod tests {
         let idx = InvertedIndex::build(&d);
         let tomtom = idx.postings("tomtom");
         assert_eq!(tomtom.len(), 1);
-        assert_eq!(d.tag(tomtom[0]), "name");
+        assert_eq!(d.tag(tomtom.get(0)), "name");
     }
 
     #[test]
@@ -265,8 +731,8 @@ mod tests {
         // product 2's note.
         let gps = idx.postings("gps");
         assert_eq!(gps.len(), 2);
-        assert_eq!(d.tag(gps[0]), "product");
-        assert_eq!(d.tag(gps[1]), "note");
+        assert_eq!(d.tag(gps.get(0)), "product");
+        assert_eq!(d.tag(gps.get(1)), "note");
         assert_eq!(idx.postings("category").len(), 1);
     }
 
@@ -275,7 +741,7 @@ mod tests {
         let d = doc();
         let idx = InvertedIndex::build(&d);
         for term in ["product", "gps", "name"] {
-            let list = idx.postings(term);
+            let list = idx.postings(term).to_vec();
             for pair in list.windows(2) {
                 assert!(d.dewey(pair[0]) < d.dewey(pair[1]), "term {term} out of order");
             }
@@ -294,6 +760,7 @@ mod tests {
     fn missing_term_is_empty() {
         let idx = InvertedIndex::build(&doc());
         assert!(idx.postings("zzz").is_empty());
+        assert_eq!(idx.postings("zzz").to_vec(), Vec::new());
         assert!(!idx.contains("zzz"));
         assert!(idx.contains("tomtom"));
         assert_eq!(idx.term_sym("zzz"), None);
@@ -313,6 +780,8 @@ mod tests {
         assert_eq!(s.terms, idx.term_count());
         assert!(s.total_postings >= s.terms);
         assert!(s.longest_list >= 2); // "product" has two entries
+        assert_eq!(s.flat_postings_bytes, s.total_postings * 4);
+        assert!(s.packed_postings_bytes > 0);
         assert!(idx.heap_bytes() > 0);
     }
 
@@ -324,7 +793,7 @@ mod tests {
         sorted.sort_unstable();
         assert_eq!(terms, sorted);
         assert_eq!(terms.len(), idx.term_count());
-        // The dictionary pairs terms with their spans.
+        // The dictionary pairs terms with their posting lists.
         for (term, list) in idx.dictionary() {
             assert_eq!(list, idx.postings(term));
         }
@@ -347,6 +816,89 @@ mod tests {
         assert_eq!(rebuilt.term_count(), built.term_count());
         for (term, list) in built.dictionary() {
             assert_eq!(rebuilt.postings(term), list, "term {term}");
+        }
+    }
+
+    /// Packs raw ids as a single-term index and returns the decoded list.
+    fn pack_round_trip(ids: &[u32]) -> Vec<u32> {
+        let nodes: Vec<NodeId> = ids.iter().map(|&v| NodeId::from_index(v)).collect();
+        let idx = InvertedIndex::from_term_lists([("t".to_owned(), nodes)]);
+        let list = idx.postings("t");
+        assert_eq!(list.len(), ids.len());
+        // Exercise get() alongside iter().
+        if !ids.is_empty() {
+            assert_eq!(list.get(0).index() as u32, ids[0]);
+            assert_eq!(list.get(ids.len() - 1).index() as u32, ids[ids.len() - 1]);
+        }
+        assert_eq!(list.decode_all_checked().unwrap(), ids);
+        list.iter().map(|n| n.index() as u32).collect()
+    }
+
+    #[test]
+    fn consecutive_runs_pack_to_zero_width() {
+        let ids: Vec<u32> = (500..500 + 300).collect();
+        assert_eq!(pack_round_trip(&ids), ids);
+        let nodes: Vec<NodeId> = ids.iter().map(|&v| NodeId::from_index(v)).collect();
+        let idx = InvertedIndex::from_term_lists([("t".to_owned(), nodes)]);
+        let st = idx.store();
+        // 300 consecutive ids → three frames, all width 0, zero payload.
+        assert_eq!(st.frame_width, vec![0, 0, 0]);
+        assert!(st.data.is_empty());
+        assert_eq!(idx.postings("t").frame_count(), 3);
+        assert_eq!(idx.postings("t").count_in_frame(2), 300 - 2 * FRAME);
+    }
+
+    #[test]
+    fn wide_deltas_cross_word_boundaries() {
+        // Deltas needing 31 bits force packed values to straddle u64 words.
+        let ids: Vec<u32> = (0u64..140).map(|i| (i * 0x4000_1234 % 0x7fff_ffff) as u32).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(pack_round_trip(&sorted), sorted);
+    }
+
+    #[test]
+    fn non_monotone_ids_fall_back_to_absolute_frames() {
+        // Document order ≠ id order: the frame must store absolute ids.
+        let ids = vec![90u32, 10, 80, 20, 70, 30];
+        assert_eq!(pack_round_trip(&ids), ids);
+        let nodes: Vec<NodeId> = ids.iter().map(|&v| NodeId::from_index(v)).collect();
+        let idx = InvertedIndex::from_term_lists([("t".to_owned(), nodes)]);
+        assert_eq!(idx.store().frame_width, vec![ABS_WIDTH]);
+    }
+
+    #[test]
+    fn random_lists_round_trip() {
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for len in [1usize, 2, 127, 128, 129, 255, 256, 400, 1000] {
+            let mut ids: Vec<u32> = (0..len).map(|_| (rng() % 5_000_000) as u32).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(pack_round_trip(&ids), ids, "len {len}");
+        }
+    }
+
+    #[test]
+    fn count_in_id_range_matches_scan() {
+        let mut ids: Vec<u32> = (0..1000u32).map(|i| i * 7 % 4096).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        let nodes: Vec<NodeId> = ids.iter().map(|&v| NodeId::from_index(v)).collect();
+        let mut idx = InvertedIndex::from_term_lists([("t".to_owned(), nodes)]);
+        idx.store.doc_ordered = true; // ids are strictly increasing
+        let list = idx.postings("t");
+        for (lo, hi) in
+            [(0, 4096), (0, 0), (100, 90), (500, 501), (0, 1), (1000, 3000), (4095, 4096)]
+        {
+            let expect = ids.iter().filter(|&&v| v >= lo && v < hi).count() as u32;
+            assert_eq!(list.count_in_id_range(lo, hi), expect, "range [{lo}, {hi})");
         }
     }
 }

@@ -18,7 +18,7 @@
 //! only the best `k` in a bounded heap while preserving the exact total
 //! order — the ranking half of the streaming top-k executor.
 
-use crate::postings::InvertedIndex;
+use crate::postings::{InvertedIndex, PostingsRef};
 use crate::query::Query;
 use std::collections::BinaryHeap;
 use xsact_xml::{DeweyRef, Document, NodeId};
@@ -83,18 +83,33 @@ pub fn rank_top_k(
     heap.finish().0
 }
 
+/// One resolved posting list inside a [`Scorer`], in whichever shape the
+/// index admits for subtree counting.
+#[derive(Debug)]
+enum ScorerList<'a> {
+    /// `doc_ordered` index: a subtree is the contiguous **id** interval
+    /// `[root, root + subtree_size)`, so `tf` is a range count straight on
+    /// the packed frames — interior frames counted from their skip headers
+    /// alone, boundary frames unpacked and counted by the SIMD kernel.
+    Packed(PostingsRef<'a>),
+    /// Fallback (id order ≠ document order): the list decoded once at
+    /// construction, counted by the seed's two Dewey `partition_point`s.
+    Flat(Vec<NodeId>),
+}
+
 /// The per-query scoring context: posting lists resolved once, inverse
 /// document frequencies precomputed once. [`Scorer::score`] then counts
-/// in-subtree postings by **binary range counting** — a result subtree is
-/// a contiguous Dewey interval, so `tf` is two `partition_point`s on the
-/// document-ordered posting list instead of an `O(df)` ancestor-filter
-/// scan per root. Produces bit-identical scores to the seed formula.
+/// in-subtree postings by **range counting** — a result subtree is a
+/// contiguous interval of the document order, resolved once per root (not
+/// re-derived per term) and counted per posting list as `ScorerList`
+/// describes. Produces bit-identical scores to the seed formula: the `tf`
+/// integers agree on every root, and the float pipeline is unchanged.
 #[derive(Debug)]
 pub struct Scorer<'a> {
     doc: &'a Document,
     /// Per query term with at least one posting: the list and its
     /// precomputed `ln(1 + N / df)` weight, in query order.
-    terms: Vec<(&'a [NodeId], f64)>,
+    terms: Vec<(ScorerList<'a>, f64)>,
 }
 
 impl<'a> Scorer<'a> {
@@ -105,8 +120,15 @@ impl<'a> Scorer<'a> {
             .iter()
             .filter_map(|term| {
                 let postings = index.postings(term);
-                (!postings.is_empty())
-                    .then(|| (postings, (1.0 + element_count / postings.len() as f64).ln()))
+                (!postings.is_empty()).then(|| {
+                    let idf = (1.0 + element_count / postings.len() as f64).ln();
+                    let list = if index.doc_ordered() {
+                        ScorerList::Packed(postings)
+                    } else {
+                        ScorerList::Flat(postings.to_vec())
+                    };
+                    (list, idf)
+                })
             })
             .collect();
         Scorer { doc, terms }
@@ -117,15 +139,27 @@ impl<'a> Scorer<'a> {
     pub fn score(&self, root: NodeId) -> ScoredResult {
         let subtree_size = self.doc.descendants(root).count() as u32;
         let root_dewey = self.doc.dewey(root);
+        // The subtree interval, resolved once per root and shared by every
+        // term's range count ([`descendants`] includes `root`, so on a
+        // preorder document the ids covered are exactly
+        // `[root, root + subtree_size)`).
+        let lo_id = root.index() as u32;
+        let hi_id = lo_id + subtree_size;
         let mut term_hits = 0u32;
         let mut score = 0.0;
-        for &(postings, idf) in &self.terms {
-            // The subtree's postings are the contiguous run of entries
-            // between `root` and the end of its Dewey interval.
-            let lo = postings.partition_point(|&n| self.doc.dewey(n) < root_dewey);
-            let len = postings[lo..]
-                .partition_point(|&n| root_dewey.is_ancestor_or_self_of(self.doc.dewey(n)));
-            let tf = len as u32;
+        for (list, idf) in &self.terms {
+            let tf = match list {
+                ScorerList::Packed(p) => p.count_in_id_range(lo_id, hi_id),
+                ScorerList::Flat(postings) => {
+                    // The subtree's postings are the contiguous run of
+                    // entries between `root` and the end of its Dewey
+                    // interval.
+                    let lo = postings.partition_point(|&n| self.doc.dewey(n) < root_dewey);
+                    postings[lo..]
+                        .partition_point(|&n| root_dewey.is_ancestor_or_self_of(self.doc.dewey(n)))
+                        as u32
+                }
+            };
             term_hits += tf;
             if tf > 0 {
                 score += (1.0 + f64::from(tf)).ln() * idf;

@@ -124,7 +124,8 @@ mod tests {
     fn run_both(xml: &str, terms: &[&str]) -> (Vec<String>, Vec<String>) {
         let doc = parse_document(xml).unwrap();
         let idx = InvertedIndex::build(&doc);
-        let lists: Vec<&[NodeId]> = terms.iter().map(|t| idx.postings(t)).collect();
+        let decoded: Vec<Vec<NodeId>> = terms.iter().map(|t| idx.postings(t).to_vec()).collect();
+        let lists: Vec<&[NodeId]> = decoded.iter().map(Vec::as_slice).collect();
         let a = slca_full_scan(&doc, &lists);
         let b = slca_indexed_lookup(&doc, &lists);
         let path = |v: Vec<NodeId>| -> Vec<String> {
@@ -212,7 +213,8 @@ mod tests {
         let xml = "<r><sec><a>k1</a><b>k2</b></sec><x>k1</x><y>k2</y></r>";
         let doc = parse_document(xml).unwrap();
         let idx = InvertedIndex::build(&doc);
-        let lists: Vec<&[NodeId]> = vec![idx.postings("k1"), idx.postings("k2")];
+        let (k1, k2) = (idx.postings("k1").to_vec(), idx.postings("k2").to_vec());
+        let lists: Vec<&[NodeId]> = vec![&k1, &k2];
         let slca: Vec<String> =
             slca_full_scan(&doc, &lists).iter().map(|&n| doc.dewey(n).to_string()).collect();
         let elca: Vec<String> =
@@ -226,7 +228,8 @@ mod tests {
         let xml = "<r><sec><a>k1</a><b>k2</b></sec><x>k1</x></r>";
         let doc = parse_document(xml).unwrap();
         let idx = InvertedIndex::build(&doc);
-        let lists: Vec<&[NodeId]> = vec![idx.postings("k1"), idx.postings("k2")];
+        let (k1, k2) = (idx.postings("k1").to_vec(), idx.postings("k2").to_vec());
+        let lists: Vec<&[NodeId]> = vec![&k1, &k2];
         let elca: Vec<String> =
             elca_full_scan(&doc, &lists).iter().map(|&n| doc.dewey(n).to_string()).collect();
         assert_eq!(elca, ["0.0"]);
@@ -237,7 +240,8 @@ mod tests {
         let xml = "<r><s><a>k1</a><b>k2</b></s><s><a>k1 k2</a></s><x>k1</x><y>k2</y></r>";
         let doc = parse_document(xml).unwrap();
         let idx = InvertedIndex::build(&doc);
-        let lists: Vec<&[NodeId]> = vec![idx.postings("k1"), idx.postings("k2")];
+        let (k1, k2) = (idx.postings("k1").to_vec(), idx.postings("k2").to_vec());
+        let lists: Vec<&[NodeId]> = vec![&k1, &k2];
         let slca = slca_full_scan(&doc, &lists);
         let elca = elca_full_scan(&doc, &lists);
         for n in slca {
@@ -251,7 +255,8 @@ mod tests {
             "<r><s><a>k1</a><b>k2</b></s><s><a>k1</a><b>k2</b></s><s><a>k1</a><b>k2</b></s></r>";
         let doc = parse_document(xml).unwrap();
         let idx = InvertedIndex::build(&doc);
-        let lists: Vec<&[NodeId]> = vec![idx.postings("k1"), idx.postings("k2")];
+        let (k1, k2) = (idx.postings("k1").to_vec(), idx.postings("k2").to_vec());
+        let lists: Vec<&[NodeId]> = vec![&k1, &k2];
         for algo in [slca_full_scan, slca_indexed_lookup] {
             let out = algo(&doc, &lists);
             for pair in out.windows(2) {

@@ -28,6 +28,15 @@ impl NodeId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Reconstructs a handle from an arena index previously obtained via
+    /// [`NodeId::index`] — e.g. when unpacking a compressed posting frame
+    /// whose entries were validated against the document when it was built.
+    /// Performs no bounds check; for untrusted indices use the checked
+    /// [`Document::node_handle`] instead.
+    pub fn from_index(index: u32) -> NodeId {
+        NodeId(index)
+    }
 }
 
 /// Interned node payload: an element (tag + attribute names as symbols) or

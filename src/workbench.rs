@@ -336,6 +336,13 @@ impl Workbench {
         self.engine.document().substrate_stats()
     }
 
+    /// Heap-footprint statistics of the inverted index: term count, total
+    /// postings, and the delta-bit-packed resident bytes next to what the
+    /// flat `u32` arena would cost.
+    pub fn index_stats(&self) -> xsact_index::IndexStats {
+        self.engine.index().stats()
+    }
+
     /// The features of one search result, served from the per-root cache.
     pub fn features_for(&self, result: &SearchResult) -> ResultFeatures {
         self.subtree_features(result.root, result.label.clone())

@@ -12,13 +12,18 @@
 //! * the interned flat-substrate index (term interner + postings arena)
 //!   is observably identical to a string-keyed `HashMap` index built the
 //!   seed way, and SLCA over either produces the same results;
+//! * the delta-bit-packed posting frames are observably identical to the
+//!   flat-arena decode — iteration, the frame-skip gallop (down to the
+//!   `ExecutorStats` counters) and the scorer's id-interval fast path;
+//! * the dispatched SIMD kernels agree with their scalar oracles on random
+//!   masks and the all-zero/all-one extremes;
 //! * every algorithm produces valid, size-bounded DFS sets;
 //! * the local searches never fall below their snippet starting point and
 //!   reach their respective optimality criteria;
 //! * multi-swap matches the exhaustive optimum on tiny instances.
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{RngCore, RngExt, SeedableRng};
 use xsact_core::{
     dod_total, is_multi_swap_optimal, is_single_swap_optimal, run_algorithm, Algorithm, Comparison,
     DfsConfig, Instance,
@@ -121,8 +126,9 @@ fn slca_implementations_agree() {
         // Inclusive of terms.len(), so 4-keyword queries (and the last
         // declared term) are actually exercised.
         let term_count = rng.random_range(1..=terms.len());
-        let lists: Vec<&[NodeId]> =
-            terms.iter().take(term_count).map(|t| idx.postings(t)).collect();
+        let decoded: Vec<Vec<NodeId>> =
+            terms.iter().take(term_count).map(|t| idx.postings(t).to_vec()).collect();
+        let lists: Vec<&[NodeId]> = decoded.iter().map(Vec::as_slice).collect();
         let full = slca_full_scan(&doc, &lists);
         let eager = slca_indexed_lookup(&doc, &lists);
         assert_eq!(full, eager, "seed {seed}, {term_count} terms");
@@ -139,8 +145,9 @@ fn every_slca_is_an_elca() {
         // Inclusive of terms.len(), so 4-keyword queries (and the last
         // declared term) are actually exercised.
         let term_count = rng.random_range(1..=terms.len());
-        let lists: Vec<&[NodeId]> =
-            terms.iter().take(term_count).map(|t| idx.postings(t)).collect();
+        let decoded: Vec<Vec<NodeId>> =
+            terms.iter().take(term_count).map(|t| idx.postings(t).to_vec()).collect();
+        let lists: Vec<&[NodeId]> = decoded.iter().map(Vec::as_slice).collect();
         let slca = slca_full_scan(&doc, &lists);
         let elca = xsact_index::elca_full_scan(&doc, &lists);
         for n in &slca {
@@ -224,8 +231,9 @@ fn slca_over_interned_postings_matches_oracle_lists() {
         // declared term) are actually exercised.
         let term_count = rng.random_range(1..=terms.len());
         let empty: Vec<NodeId> = Vec::new();
-        let interned: Vec<&[NodeId]> =
-            terms.iter().take(term_count).map(|t| idx.postings(t)).collect();
+        let interned_decoded: Vec<Vec<NodeId>> =
+            terms.iter().take(term_count).map(|t| idx.postings(t).to_vec()).collect();
+        let interned: Vec<&[NodeId]> = interned_decoded.iter().map(Vec::as_slice).collect();
         let string_keyed: Vec<&[NodeId]> = terms
             .iter()
             .take(term_count)
@@ -268,7 +276,8 @@ fn gallop_stream_matches_the_full_scan_oracle() {
         let doc = random_document(&mut rng);
         let idx = InvertedIndex::build(&doc);
         let query = random_query(&mut rng);
-        let lists: Vec<&[NodeId]> = query.iter().map(|t| idx.postings(t)).collect();
+        let decoded: Vec<Vec<NodeId>> = query.iter().map(|t| idx.postings(t).to_vec()).collect();
+        let lists: Vec<&[NodeId]> = decoded.iter().map(Vec::as_slice).collect();
         let oracle = slca_full_scan(&doc, &lists);
         let plan = QueryPlan::new(&idx, &query);
         let mut stream = plan.stream(&doc);
@@ -389,6 +398,140 @@ fn index_persistence_round_trips() {
         assert_eq!(loaded.term_count(), idx.term_count(), "seed {seed}");
         for term in ["a", "b", "item", "group", "root"] {
             assert_eq!(loaded.postings(term), idx.postings(term), "seed {seed} term {term}");
+        }
+    }
+}
+
+// ------------------------------------------- packed postings vs flat oracle
+//
+// The `.xidx` v3 index stores postings as delta-bit-packed 128-entry
+// frames; the invariant the whole PR rests on is that no observable output
+// changes: frame-decoded iteration equals the flat decode, the frame-skip
+// gallop produces the same SLCA stream with the *same* ExecutorStats, and
+// the scorer's id-interval fast path ranks exactly like the Dewey-interval
+// fallback.
+
+#[test]
+fn packed_postings_iteration_matches_flat_decode() {
+    for seed in 0..64u64 {
+        let doc = random_document(&mut StdRng::seed_from_u64(seed));
+        let idx = InvertedIndex::build(&doc);
+        for (term, p) in idx.dictionary() {
+            let flat = p.to_vec();
+            assert_eq!(p.len(), flat.len(), "seed {seed} term {term:?}");
+            let iterated: Vec<NodeId> = p.iter().collect();
+            assert_eq!(iterated, flat, "seed {seed} term {term:?}: iteration diverges");
+            for (i, &n) in flat.iter().enumerate() {
+                assert_eq!(p.get(i), n, "seed {seed} term {term:?} position {i}");
+            }
+        }
+    }
+}
+
+#[test]
+fn packed_gallop_matches_flat_gallop_with_identical_stats() {
+    for seed in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let doc = random_document(&mut rng);
+        let idx = InvertedIndex::build(&doc);
+        let query = random_query(&mut rng);
+        let decoded: Vec<Vec<NodeId>> = query.iter().map(|t| idx.postings(t).to_vec()).collect();
+        let flat_lists: Vec<&[NodeId]> = decoded.iter().map(Vec::as_slice).collect();
+        let packed_plan = QueryPlan::new(&idx, &query);
+        let flat_plan = QueryPlan::from_lists(flat_lists);
+        let mut packed = packed_plan.stream(&doc);
+        let mut flat = flat_plan.stream(&doc);
+        let packed_out: Vec<NodeId> = packed.by_ref().collect();
+        let flat_out: Vec<NodeId> = flat.by_ref().collect();
+        assert_eq!(packed_out, flat_out, "seed {seed} query {query}: SLCA stream diverges");
+        assert_eq!(
+            packed.stats(),
+            flat.stats(),
+            "seed {seed} query {query}: executor stats diverge between packed and flat"
+        );
+    }
+}
+
+#[test]
+fn scorer_fast_path_matches_flat_fallback_rankings() {
+    for seed in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let doc = random_document(&mut rng);
+        let idx = InvertedIndex::build(&doc);
+        // The same postings fed through `from_term_lists` lose the
+        // document-order guarantee, so the scorer takes the Dewey-interval
+        // fallback — both paths must produce bitwise-equal scores.
+        let entries: Vec<(String, Vec<NodeId>)> =
+            idx.dictionary().map(|(t, p)| (t.to_owned(), p.to_vec())).collect();
+        let flat_idx = InvertedIndex::from_term_lists(entries);
+        let query = random_query(&mut rng);
+        let roots: Vec<NodeId> = doc.all_nodes().filter(|&n| doc.is_element(n)).collect();
+        let fast = rank_results(&doc, &idx, &query, &roots);
+        let slow = rank_results(&doc, &flat_idx, &query, &roots);
+        assert_eq!(fast, slow, "seed {seed} query {query}: scorer fast path diverges");
+    }
+}
+
+// ------------------------------------------------ SIMD kernels vs scalar
+//
+// The dispatched popcount/range kernels must agree with the scalar oracle
+// on every input — random masks, the all-zero/all-one extremes, and every
+// length around the short-slice bypass and the SIMD block boundaries.
+
+#[test]
+fn simd_popcount_kernels_match_scalar_on_random_masks() {
+    for seed in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let len = rng.random_range(0..48usize);
+        let word = |rng: &mut StdRng| match rng.random_range(0..4u32) {
+            0 => 0u64,
+            1 => u64::MAX,
+            2 => rng.next_u64() & 0x0101_0101_0101_0101,
+            _ => rng.next_u64(),
+        };
+        let a: Vec<u64> = (0..len).map(|_| word(&mut rng)).collect();
+        let b: Vec<u64> = (0..len).map(|_| word(&mut rng)).collect();
+        let c: Vec<u64> = (0..len).map(|_| word(&mut rng)).collect();
+        assert_eq!(
+            xsact_kernel::and2_count(&a, &b),
+            xsact_kernel::scalar::and2_count(&a, &b),
+            "seed {seed} len {len}: and2"
+        );
+        assert_eq!(
+            xsact_kernel::and3_count(&a, &b, &c),
+            xsact_kernel::scalar::and3_count(&a, &b, &c),
+            "seed {seed} len {len}: and3"
+        );
+    }
+    // The extremes at a length well past every block boundary.
+    let zeros = vec![0u64; 37];
+    let ones = vec![u64::MAX; 37];
+    assert_eq!(xsact_kernel::and2_count(&zeros, &ones), 0);
+    assert_eq!(xsact_kernel::and2_count(&ones, &ones), 37 * 64);
+    assert_eq!(xsact_kernel::and3_count(&ones, &ones, &zeros), 0);
+    assert_eq!(xsact_kernel::and3_count(&ones, &ones, &ones), 37 * 64);
+}
+
+#[test]
+fn simd_range_count_matches_scalar_on_random_values() {
+    for seed in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let len = rng.random_range(0..80usize);
+        let vals: Vec<u32> = (0..len)
+            .map(|_| match rng.random_range(0..3u32) {
+                0 => rng.random_range(0..64u32),
+                1 => u32::MAX - rng.random_range(0..64u32),
+                _ => rng.next_u64() as u32,
+            })
+            .collect();
+        let (x, y) = (rng.next_u64() as u32, rng.next_u64() as u32);
+        let (lo, hi) = (x.min(y), x.max(y));
+        for (l, h) in [(lo, hi), (0, u32::MAX), (hi, hi), (0, 0)] {
+            assert_eq!(
+                xsact_kernel::count_in_range_u32(&vals, l, h),
+                xsact_kernel::scalar::count_in_range_u32(&vals, l, h),
+                "seed {seed} len {len} range [{l}, {h})"
+            );
         }
     }
 }
