@@ -1,14 +1,21 @@
 #!/usr/bin/env bash
 # Serve smoke lane: boot `xsact serve` on a loopback socket, drive it with
-# the scripted client, and golden-diff the responses. Three servers run in
+# the scripted client, and golden-diff the responses. Four servers run in
 # sequence:
 #
 #   1. a normal server — scripted queries, diffed against serve_smoke.golden
 #   2. a --budget 1 server — the second query must be ERR BUDGET_EXCEEDED
 #   3. a --queue 0 server  — every query must be ERR OVERLOADED
+#   4. an XSACT_FAULTS=shard_panic@2 server — the first query must be
+#      ERR SHARD_FAILED, the second byte-identical to a healthy run
+#      (diffed against serve_chaos.golden), with shard_restarts 1
+#
+# The script also greps the fault module for its disarmed early-return and
+# pins the XSACT_FAULTS read to that one module, so fault injection stays
+# one branch on the production hot path.
 #
 # The script builds nothing unless target/release/xsact is missing, so the
-# CI step can reuse the workspace build. Exit code 0 = all three passed.
+# CI step can reuse the workspace build. Exit code 0 = all four passed.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -31,8 +38,10 @@ trap cleanup EXIT
 # any extra flags, waits for its "listening on" line, and sets ADDR.
 start_server() {
     SERVER_LOG=$(mktemp)
+    # stderr joins the log: the chaos phase's injected panic and the
+    # "fault injection armed" warning belong there, not in the CI output.
     "$XSACT" serve --addr 127.0.0.1:0 --docs 6 --movies 40 --seed 42 --shards 2 "$@" \
-        >"$SERVER_LOG" &
+        >"$SERVER_LOG" 2>&1 &
     SERVER_PID=$!
     ADDR=""
     for _ in $(seq 1 100); do
@@ -68,7 +77,7 @@ normalize() {
         -e 's/^\(\(queue_wait\|execute\|e2e\)_us count:[0-9]*\).*/\1 <quantiles>/'
 }
 
-echo "== serve smoke 1/3: scripted session vs golden =="
+echo "== serve smoke 1/4: scripted session vs golden =="
 start_server
 "$XSACT" client --addr "$ADDR" <<'EOF' >/tmp/serve_smoke.raw
 QUERY drama family
@@ -97,7 +106,7 @@ for metric in xsact_queue_wait_ns xsact_execute_ns xsact_e2e_ns; do
 done
 echo "golden diff clean; latency histogram counts match queries served"
 
-echo "== serve smoke 2/3: session budget rejects the second query =="
+echo "== serve smoke 2/4: session budget rejects the second query =="
 start_server --budget 1
 "$XSACT" client --addr "$ADDR" <<'EOF' >/tmp/serve_budget.out
 QUERY drama family
@@ -117,7 +126,7 @@ grep -q '^ERR BUDGET_EXCEEDED ' /tmp/serve_budget.out || {
 }
 echo "budget rejection surfaced"
 
-echo "== serve smoke 3/3: zero-capacity queue rejects as overloaded =="
+echo "== serve smoke 3/4: zero-capacity queue rejects as overloaded =="
 start_server --queue 0
 "$XSACT" client --addr "$ADDR" <<'EOF' >/tmp/serve_overload.out
 QUERY drama family
@@ -131,4 +140,44 @@ grep -q '^ERR OVERLOADED ' /tmp/serve_overload.out || {
 }
 echo "overload rejection surfaced"
 
-echo "serve smoke: all three scenarios passed"
+echo "== serve smoke 4/4: injected shard panic is typed and recovered =="
+# shard_panic@2 fires during the first broadcast (both shards hit the
+# counter once); which shard wins the race varies, so shard numbers in
+# the ERR line are normalized before the diff. Everything after the
+# failed batch must be byte-identical to the healthy phase-1 answers.
+XSACT_FAULTS=shard_panic@2 start_server
+"$XSACT" client --addr "$ADDR" <<'EOF' >/tmp/serve_chaos.raw
+QUERY drama family
+QUERY drama family
+STATS
+METRICS
+SHUTDOWN
+EOF
+finish_server >/dev/null
+normalize </tmp/serve_chaos.raw \
+    | sed -e 's/shard [0-9][0-9]*/shard N/g' >/tmp/serve_chaos.out
+if ! diff -u ci/serve_chaos.golden /tmp/serve_chaos.out; then
+    echo "FAIL: chaos session diverged from ci/serve_chaos.golden" >&2
+    exit 1
+fi
+grep -q '^xsact_shard_restarts 1$' /tmp/serve_chaos.raw || {
+    echo "FAIL: the panicked worker should be respawned exactly once" >&2
+    grep '^xsact_shard' /tmp/serve_chaos.raw >&2 || true
+    exit 1
+}
+echo "shard panic surfaced as ERR SHARD_FAILED; recovery matched the golden"
+
+echo "== zero-cost guards: disarmed faults stay one branch =="
+grep -q 'self.0.as_ref()?' crates/xsact-serve/src/fault.rs || {
+    echo "FAIL: FaultPlan::should_fire lost its disarmed early-return" >&2
+    exit 1
+}
+FAULT_READERS=$(grep -rl --include='*.rs' 'env::var("XSACT_FAULTS")' src crates)
+if [[ "$FAULT_READERS" != "crates/xsact-serve/src/fault.rs" ]]; then
+    echo "FAIL: XSACT_FAULTS must be read only by FaultPlan::from_env; found:" >&2
+    echo "$FAULT_READERS" >&2
+    exit 1
+fi
+echo "guards held"
+
+echo "serve smoke: all four scenarios passed"

@@ -255,6 +255,8 @@ fn main() {
     for rate in [scaled(500, 200) as u64, scaled(2_000, 800) as u64] {
         let outcome = open_loop(&server, &mix, rate, total);
         let latencies = outcome.latencies;
+        record(&format!("serve/open_loop/{rate}_rps"), "served", latencies.count as f64);
+        record(&format!("serve/open_loop/{rate}_rps"), "rejected", outcome.rejected as f64);
         print_row(
             &[
                 rate.to_string(),
@@ -282,6 +284,20 @@ fn main() {
 
     println!("server counters after the runs:");
     server.join();
-    println!("{}", server.stats());
+    let stats = server.stats();
+    println!("{stats}");
+    // Persist the robustness counters next to the latency numbers: a load
+    // run that silently rejected work (or restarted a shard) would
+    // otherwise report flattering percentiles over a shrunken population.
+    for (key, value) in [
+        ("queries_served", stats.queries_served),
+        ("rejected_overload", stats.rejected_overload),
+        ("rejected_budget", stats.rejected_budget),
+        ("rejected_deadline", stats.rejected_deadline),
+        ("shard_failed", stats.shard_failed),
+        ("shard_restarts", stats.shard_restarts),
+    ] {
+        record("serve/counters", key, value as f64);
+    }
     emit_json("serve_load");
 }

@@ -8,7 +8,7 @@ use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use xsact::prelude::*;
-use xsact::serve::{serve_tcp, END_MARKER};
+use xsact::serve::{serve_tcp, FaultPlan, END_MARKER};
 use xsact_data::{
     fixtures, JobsGen, JobsGenConfig, MovieGenConfig, MoviesGen, OutdoorGen, OutdoorGenConfig,
     ReviewsGen, ReviewsGenConfig,
@@ -71,7 +71,7 @@ fn run_single(
         None => Workbench::from_document(doc),
     };
     if let Some(path) = &args.save_index {
-        wb.save_index(&mut std::fs::File::create(path)?)?;
+        xsact::save_index_atomic(&wb, std::path::Path::new(path))?;
         out.push_str(&format!("index: saved to {path}\n"));
     }
     out.push_str(&format!("dataset: {:?} ({} XML nodes)\n", args.dataset, wb.document().len()));
@@ -324,12 +324,21 @@ fn build_serve_corpus(args: &ServeArgs) -> Result<Corpus, XsactError> {
 /// is the post-shutdown counter summary.
 pub fn run_serve(args: &ServeArgs) -> Result<String, XsactError> {
     let corpus = Arc::new(build_serve_corpus(args)?);
+    // Fault injection is armed from the environment exactly once, at
+    // startup — request paths only ever see the parsed plan.
+    let faults = FaultPlan::from_env().map_err(XsactError::InvalidConfig)?;
+    if faults.is_armed() {
+        eprintln!("xsact-serve: fault injection armed (chaos testing)");
+    }
     let config = ServeConfig {
         queue_capacity: args.queue,
         max_batch: args.max_batch,
         default_top: args.top,
         budget: args.budget,
         slow_query: args.slow_query_ms.map(Duration::from_millis),
+        deadline: args.deadline_ms.map(Duration::from_millis),
+        faults,
+        ..ServeConfig::default()
     };
     let server = CorpusServer::start(Arc::clone(&corpus), config);
     let registry = server.metrics_registry();
@@ -370,6 +379,9 @@ pub fn run_serve(args: &ServeArgs) -> Result<String, XsactError> {
 /// The `client` subcommand: read request lines from stdin, send each to
 /// the server, and print every response body (the lone `.` terminator is
 /// consumed, not printed — output is exactly what the server said).
+/// With `--retry-overloaded <n>`, a request answered `ERR OVERLOADED` is
+/// resent up to `n` times under exponential backoff before its (final)
+/// response is printed.
 pub fn run_client(args: &ClientArgs) -> Result<String, XsactError> {
     let stream = connect_with_retry(&args.addr, args.retry_ms)?;
     let mut writer = stream.try_clone()?;
@@ -381,20 +393,56 @@ pub fn run_client(args: &ClientArgs) -> Result<String, XsactError> {
         if request.is_empty() {
             continue;
         }
-        writer.write_all(format!("{request}\n").as_bytes())?;
+        let mut attempt = 0u32;
         loop {
-            match responses.next() {
-                Some(Ok(l)) if l == END_MARKER => break,
-                Some(Ok(l)) => println!("{l}"),
-                // Server closed the stream mid-response (shutdown race).
-                Some(Err(_)) | None => return Ok(String::new()),
+            writer.write_all(format!("{request}\n").as_bytes())?;
+            // Server closed the stream mid-response (shutdown race, or a
+            // dropped connection) — nothing more to print.
+            let Some(body) = read_response(&mut responses) else { return Ok(String::new()) };
+            if attempt < args.retry_overloaded
+                && body.first().is_some_and(|l| l.starts_with("ERR OVERLOADED"))
+            {
+                std::thread::sleep(overload_backoff(request, attempt));
+                attempt += 1;
+                continue;
             }
+            for l in &body {
+                println!("{l}");
+            }
+            break;
         }
         if request == "QUIT" || request == "SHUTDOWN" {
             break;
         }
     }
     Ok(String::new())
+}
+
+/// Reads one response body (every line up to the lone `.` marker, which
+/// is consumed); `None` when the server closed the stream mid-response.
+fn read_response(
+    responses: &mut impl Iterator<Item = std::io::Result<String>>,
+) -> Option<Vec<String>> {
+    let mut body = Vec::new();
+    loop {
+        match responses.next() {
+            Some(Ok(l)) if l == END_MARKER => return Some(body),
+            Some(Ok(l)) => body.push(l),
+            Some(Err(_)) | None => return None,
+        }
+    }
+}
+
+/// Backoff before overload-retry `attempt`: a doubling 25 ms base plus a
+/// 0..16 ms jitter hashed (FNV-1a) from the request text and the attempt
+/// number — concurrent clients de-synchronise without an RNG, and reruns
+/// are bit-reproducible.
+fn overload_backoff(request: &str, attempt: u32) -> Duration {
+    let mut hasher = xsact::xml::FnvHasher::new();
+    hasher.write(request.as_bytes());
+    hasher.write(&attempt.to_le_bytes());
+    let jitter_ms = hasher.finish() % 16;
+    Duration::from_millis(25u64.saturating_mul(1u64 << attempt.min(6)) + jitter_ms)
 }
 
 /// Retries the connect until it succeeds or `total_ms` elapses, so a

@@ -189,6 +189,9 @@ pub struct ServeArgs {
     /// End-to-end latency threshold in milliseconds above which a served
     /// query is logged to stderr; `None` disables the slow-query log.
     pub slow_query_ms: Option<u64>,
+    /// Per-query deadline in milliseconds (queue wait + execute); a query
+    /// past it gets `ERR DEADLINE_EXCEEDED`. `None` = unlimited.
+    pub deadline_ms: Option<u64>,
 }
 
 impl Default for ServeArgs {
@@ -207,6 +210,7 @@ impl Default for ServeArgs {
             budget: None,
             metrics_addr: None,
             slow_query_ms: None,
+            deadline_ms: None,
         }
     }
 }
@@ -220,11 +224,15 @@ pub struct ClientArgs {
     /// Total time in milliseconds to keep retrying the connect (covers
     /// the race between starting the server and the first client).
     pub retry_ms: u64,
+    /// How many times to retry a request answered `ERR OVERLOADED`
+    /// (exponential backoff with deterministic jitter); 0 = print the
+    /// error like any other.
+    pub retry_overloaded: u32,
 }
 
 impl Default for ClientArgs {
     fn default() -> Self {
-        ClientArgs { addr: "127.0.0.1:4141".to_owned(), retry_ms: 2000 }
+        ClientArgs { addr: "127.0.0.1:4141".to_owned(), retry_ms: 2000, retry_overloaded: 0 }
     }
 }
 
@@ -316,12 +324,19 @@ SERVE OPTIONS (long-lived corpus server, TCP line protocol):
                          (Prometheus text exposition; off by default)
     --slow-query-ms <n>  log queries slower than <n> ms end-to-end
                          to stderr (off by default)
+    --deadline-ms <n>    per-query deadline (queue wait + execute); a
+                         query past it gets ERR DEADLINE_EXCEEDED
+    env XSACT_FAULTS     arm deterministic fault-injection sites (chaos
+                         testing; see the fault module docs)
     protocol verbs: QUERY <text> | TOP <k> | STATS | METRICS | QUIT |
     SHUTDOWN; every response ends with a lone '.' line
 
 CLIENT OPTIONS (scriptable line-protocol client; requests from stdin):
     --addr <host:port>   server address                 [127.0.0.1:4141]
     --retry-ms <n>       connect retry window in milliseconds     [2000]
+    --retry-overloaded <n>  retry a request answered ERR OVERLOADED up
+                         to <n> times (exponential backoff, deterministic
+                         jitter)                                     [0]
 ";
 
 fn parse_algorithm(s: &str) -> Result<Algorithm, ArgError> {
@@ -401,6 +416,13 @@ where
                         .map_err(|_| ArgError("--slow-query-ms expects an integer".into()))?,
                 );
             }
+            "--deadline-ms" => {
+                args.deadline_ms = Some(
+                    value("--deadline-ms")?
+                        .parse()
+                        .map_err(|_| ArgError("--deadline-ms expects an integer".into()))?,
+                );
+            }
             "--help" | "-h" => return Err(ArgError(USAGE.to_owned())),
             other => return Err(ArgError(format!("unknown serve flag {other:?}\n\n{USAGE}"))),
         }
@@ -422,6 +444,11 @@ where
                 args.retry_ms = value("--retry-ms")?
                     .parse()
                     .map_err(|_| ArgError("--retry-ms expects an integer".into()))?;
+            }
+            "--retry-overloaded" => {
+                args.retry_overloaded = value("--retry-overloaded")?
+                    .parse()
+                    .map_err(|_| ArgError("--retry-overloaded expects an integer".into()))?;
             }
             "--help" | "-h" => return Err(ArgError(USAGE.to_owned())),
             other => return Err(ArgError(format!("unknown client flag {other:?}\n\n{USAGE}"))),
@@ -770,6 +797,8 @@ mod tests {
             "3",
             "--budget",
             "100",
+            "--deadline-ms",
+            "750",
         ]);
         assert_eq!(s.dir.as_deref(), Some("data/xml"));
         assert_eq!(s.shards, 2);
@@ -777,6 +806,7 @@ mod tests {
         assert_eq!(s.addr, "127.0.0.1:0");
         assert_eq!((s.queue, s.max_batch, s.top), (8, 4, 3));
         assert_eq!(s.budget, Some(100));
+        assert_eq!(s.deadline_ms, Some(750));
     }
 
     #[test]
@@ -801,8 +831,11 @@ mod tests {
         };
         assert_eq!(c.addr, "127.0.0.1:4141");
         assert_eq!(c.retry_ms, 2000);
+        assert_eq!(c.retry_overloaded, 0);
         let c = match parse(
-            ["client", "--addr", "127.0.0.1:9", "--retry-ms", "10"].iter().map(|s| s.to_string()),
+            ["client", "--addr", "127.0.0.1:9", "--retry-ms", "10", "--retry-overloaded", "3"]
+                .iter()
+                .map(|s| s.to_string()),
         )
         .expect("parses")
         {
@@ -811,6 +844,7 @@ mod tests {
         };
         assert_eq!(c.addr, "127.0.0.1:9");
         assert_eq!(c.retry_ms, 10);
+        assert_eq!(c.retry_overloaded, 3);
     }
 
     #[test]
@@ -818,8 +852,10 @@ mod tests {
         let err = |args: &[&str]| parse(args.iter().map(|s| s.to_string())).unwrap_err();
         assert!(err(&["serve", "--queue", "x"]).0.contains("integer"));
         assert!(err(&["serve", "--select", "1"]).0.contains("unknown serve flag"));
+        assert!(err(&["serve", "--deadline-ms", "soon"]).0.contains("integer"));
         assert!(err(&["serve", "--help"]).0.contains("SERVE OPTIONS"));
         assert!(err(&["client", "--queue", "1"]).0.contains("unknown client flag"));
         assert!(err(&["client", "--retry-ms"]).0.contains("requires a value"));
+        assert!(err(&["client", "--retry-overloaded", "x"]).0.contains("integer"));
     }
 }

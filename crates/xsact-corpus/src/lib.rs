@@ -17,7 +17,10 @@
 //!   non-empty shard;
 //! * [`ShardPool`] — the persistent flavour of the same contract: workers
 //!   pinned to shard indexes for the lifetime of a server, broadcast
-//!   requests, responses in shard order;
+//!   requests, responses in shard order. Workers are **supervised**: a
+//!   panic becomes a typed [`ShardPanic`] outcome for the affected
+//!   broadcast and the worker is respawned from the retained work
+//!   closure, so the next request is byte-identical to a fault-free run;
 //! * [`k_way_merge`] — heap-based merge of per-shard ranked lists whose
 //!   output order depends only on the comparator, never on the shard
 //!   count or thread interleaving.
@@ -30,5 +33,5 @@ pub mod pool;
 pub mod shard;
 
 pub use merge::k_way_merge;
-pub use pool::{fan_out, ShardPool};
+pub use pool::{fan_out, ShardPanic, ShardPool};
 pub use shard::{DocId, ShardPlan};

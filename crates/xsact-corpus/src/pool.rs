@@ -52,13 +52,43 @@ where
     }
 }
 
+use std::panic::AssertUnwindSafe;
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// One unit of pool work: the shared request plus the channel the worker
 /// answers on. The shard index is implicit — each worker knows its own.
-type Job<Req, Resp> = (Arc<Req>, mpsc::Sender<(usize, Resp)>);
+type Job<Req, Resp> = (Arc<Req>, mpsc::Sender<(usize, Result<Resp, ShardPanic>)>);
+
+/// A typed record of a shard worker panicking mid-request — what
+/// [`ShardPool::broadcast`] returns for the affected shard instead of
+/// re-raising on the calling thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPanic {
+    /// The shard whose worker panicked.
+    pub shard: usize,
+    /// The panic payload's message (when it was a string).
+    pub detail: String,
+}
+
+/// Renders a panic payload's message, the way the default hook does.
+fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// One supervised worker: its job channel plus the join handle the pool
+/// reaps when the worker dies or the pool drops.
+struct Worker<Req, Resp> {
+    sender: mpsc::Sender<Job<Req, Resp>>,
+    handle: JoinHandle<()>,
+}
 
 /// A pool of long-lived worker threads, one pinned to each shard index,
 /// answering broadcast requests until dropped.
@@ -70,13 +100,27 @@ type Job<Req, Resp> = (Arc<Req>, mpsc::Sender<(usize, Resp)>);
 /// the same ordering contract as `fan_out`, so the two are byte-for-byte
 /// interchangeable above the merge.
 ///
-/// A worker that panics drops its reply sender; `broadcast` then sees
-/// fewer responses than shards and panics on the calling thread, so a
-/// poisoned shard can never silently vanish from a merged ranking.
+/// ## Supervision
+///
+/// Workers run each request under `catch_unwind`. A panic becomes a typed
+/// [`ShardPanic`] response for the affected broadcast — it can never
+/// silently vanish from a merged ranking, and it never takes the calling
+/// thread (the dispatcher) down with it. The poisoned worker exits and the
+/// pool **respawns** it from the retained work closure (the state factory)
+/// before `broadcast` returns, so the next request runs on a fresh worker
+/// and produces bytes identical to a fault-free run. Restarts are counted
+/// ([`ShardPool::restarts`]) for the serving metrics.
 pub struct ShardPool<Req, Resp> {
-    senders: Vec<mpsc::Sender<Job<Req, Resp>>>,
-    workers: Vec<JoinHandle<()>>,
+    workers: Vec<Worker<Req, Resp>>,
+    /// The state factory: respawning shard `i` is spawning a fresh thread
+    /// over this same closure — all per-request state lives below it.
+    work: ShardWork<Req, Resp>,
+    restarts: u64,
 }
+
+/// The shared per-shard work closure; the pool retains it so a panicked
+/// worker can be respawned from the same state factory.
+type ShardWork<Req, Resp> = Arc<dyn Fn(usize, &Req) -> Resp + Send + Sync>;
 
 impl<Req, Resp> ShardPool<Req, Resp>
 where
@@ -90,68 +134,112 @@ where
         F: Fn(usize, &Req) -> Resp + Send + Sync + 'static,
     {
         assert!(shards > 0, "a shard pool needs at least one worker");
-        let work = Arc::new(work);
-        let mut senders = Vec::with_capacity(shards);
-        let mut workers = Vec::with_capacity(shards);
-        for shard in 0..shards {
-            let (tx, rx) = mpsc::channel::<Job<Req, Resp>>();
-            let work = Arc::clone(&work);
-            let handle = std::thread::Builder::new()
-                .name(format!("xsact-shard-{shard}"))
-                .spawn(move || {
-                    // Ends when the pool drops its sender (or mid-broadcast
-                    // if the pool itself is gone; the reply send then fails
-                    // harmlessly into a dropped receiver).
-                    while let Ok((req, reply)) = rx.recv() {
-                        let resp = work(shard, req.as_ref());
-                        let _ = reply.send((shard, resp));
-                    }
-                })
-                .expect("failed to spawn shard worker");
-            senders.push(tx);
-            workers.push(handle);
-        }
-        ShardPool { senders, workers }
+        let work: ShardWork<Req, Resp> = Arc::new(work);
+        let workers = (0..shards).map(|shard| spawn_worker(shard, Arc::clone(&work))).collect();
+        ShardPool { workers, work, restarts: 0 }
     }
 
     /// Number of pinned workers.
     pub fn shards(&self) -> usize {
-        self.senders.len()
+        self.workers.len()
     }
 
-    /// Runs `req` on every worker and returns the responses in shard
-    /// order. Blocks until all shards have answered.
-    ///
-    /// # Panics
-    ///
-    /// If any worker has panicked (its response never arrives).
-    pub fn broadcast(&self, req: Req) -> Vec<Resp> {
+    /// How many workers have been respawned after a panic over the pool's
+    /// lifetime.
+    pub fn restarts(&self) -> u64 {
+        self.restarts
+    }
+
+    /// Runs `req` on every worker and returns one outcome per shard, in
+    /// shard order: `Ok(response)`, or a typed [`ShardPanic`] for any
+    /// worker that panicked. Panicked workers are respawned before this
+    /// returns, so the next broadcast runs on a full pool.
+    pub fn broadcast(&mut self, req: Req) -> Vec<Result<Resp, ShardPanic>> {
         let req = Arc::new(req);
-        let (reply_tx, reply_rx) = mpsc::channel::<(usize, Resp)>();
-        for tx in &self.senders {
-            tx.send((Arc::clone(&req), reply_tx.clone())).expect("shard worker exited early");
+        let (reply_tx, reply_rx) = mpsc::channel::<(usize, Result<Resp, ShardPanic>)>();
+        for worker in &self.workers {
+            // A send can only fail if the worker died outside a request
+            // (exceptional); the missing reply is synthesised below.
+            let _ = worker.sender.send((Arc::clone(&req), reply_tx.clone()));
         }
         drop(reply_tx);
-        let mut slots: Vec<Option<Resp>> = (0..self.senders.len()).map(|_| None).collect();
-        let mut received = 0;
-        while let Ok((shard, resp)) = reply_rx.recv() {
+        let mut slots: Vec<Option<Result<Resp, ShardPanic>>> =
+            (0..self.workers.len()).map(|_| None).collect();
+        while let Ok((shard, outcome)) = reply_rx.recv() {
             debug_assert!(slots[shard].is_none(), "duplicate response from shard {shard}");
-            slots[shard] = Some(resp);
-            received += 1;
+            slots[shard] = Some(outcome);
         }
-        assert_eq!(received, self.senders.len(), "a shard worker panicked mid-broadcast");
-        slots.into_iter().map(|s| s.expect("counted above")).collect()
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(shard, outcome)| {
+                let outcome = outcome.unwrap_or_else(|| {
+                    // The worker died without even sending its typed
+                    // failure — treat it exactly like a reported panic.
+                    Err(ShardPanic { shard, detail: "worker died without replying".to_owned() })
+                });
+                if outcome.is_err() {
+                    self.respawn(shard);
+                }
+                outcome
+            })
+            .collect()
     }
+
+    /// Reaps shard `shard`'s dead worker and spawns a replacement from the
+    /// state factory.
+    fn respawn(&mut self, shard: usize) {
+        let fresh = spawn_worker(shard, Arc::clone(&self.work));
+        let dead = std::mem::replace(&mut self.workers[shard], fresh);
+        drop(dead.sender);
+        let _ = dead.handle.join(); // it panicked; the Err is expected
+        self.restarts += 1;
+    }
+}
+
+/// Spawns the supervised worker loop for one shard.
+fn spawn_worker<Req, Resp>(shard: usize, work: ShardWork<Req, Resp>) -> Worker<Req, Resp>
+where
+    Req: Send + Sync + 'static,
+    Resp: Send + 'static,
+{
+    let (tx, rx) = mpsc::channel::<Job<Req, Resp>>();
+    let handle = std::thread::Builder::new()
+        .name(format!("xsact-shard-{shard}"))
+        .spawn(move || {
+            // Ends when the pool drops its sender (or mid-broadcast if the
+            // pool itself is gone; the reply send then fails harmlessly
+            // into a dropped receiver).
+            while let Ok((req, reply)) = rx.recv() {
+                let outcome =
+                    std::panic::catch_unwind(AssertUnwindSafe(|| work(shard, req.as_ref())));
+                match outcome {
+                    Ok(resp) => {
+                        let _ = reply.send((shard, Ok(resp)));
+                    }
+                    Err(payload) => {
+                        // Report the typed failure, then exit: the pool
+                        // replaces this worker with a fresh one rather
+                        // than trusting a post-panic closure invocation.
+                        let detail = panic_detail(payload.as_ref());
+                        let _ = reply.send((shard, Err(ShardPanic { shard, detail })));
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        })
+        .expect("failed to spawn shard worker");
+    Worker { sender: tx, handle }
 }
 
 impl<Req, Resp> Drop for ShardPool<Req, Resp> {
     fn drop(&mut self) {
         // Disconnect the job channels so every worker's `recv` ends, then
-        // join. A worker that already panicked is ignored — its absence
-        // was (or would have been) reported by `broadcast`.
-        self.senders.clear();
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
+        // join. A worker that already panicked was reported (and replaced)
+        // by `broadcast`; its join error here is ignored.
+        for worker in self.workers.drain(..) {
+            drop(worker.sender);
+            let _ = worker.handle.join();
         }
     }
 }
@@ -207,50 +295,108 @@ mod tests {
         assert!(caught.is_err());
     }
 
+    /// Unwraps every per-shard outcome of a fault-free broadcast.
+    fn all_ok<Resp>(outcomes: Vec<Result<Resp, ShardPanic>>) -> Vec<Resp> {
+        outcomes.into_iter().map(|o| o.expect("no shard panicked")).collect()
+    }
+
     #[test]
     fn pool_broadcast_returns_shard_ordered_responses() {
-        let pool: ShardPool<u32, (usize, u32)> = ShardPool::new(4, |shard, req| {
+        let mut pool: ShardPool<u32, (usize, u32)> = ShardPool::new(4, |shard, req| {
             // Later shards answer first to prove ordering is positional.
             std::thread::sleep(std::time::Duration::from_millis(30 - 10 * (shard as u64 % 4)));
             (shard, *req * 2)
         });
         assert_eq!(pool.shards(), 4);
-        let out = pool.broadcast(21);
+        let out = all_ok(pool.broadcast(21));
         assert_eq!(out, vec![(0, 42), (1, 42), (2, 42), (3, 42)]);
     }
 
     #[test]
     fn pool_workers_persist_across_broadcasts() {
         use std::thread::ThreadId;
-        let pool: ShardPool<(), ThreadId> = ShardPool::new(2, |_, ()| std::thread::current().id());
-        let first = pool.broadcast(());
-        let second = pool.broadcast(());
+        let mut pool: ShardPool<(), ThreadId> =
+            ShardPool::new(2, |_, ()| std::thread::current().id());
+        let first = all_ok(pool.broadcast(()));
+        let second = all_ok(pool.broadcast(()));
         assert_eq!(first, second, "each shard keeps its pinned thread");
         assert_ne!(first[0], first[1], "shards run on distinct threads");
+        assert_eq!(pool.restarts(), 0);
     }
 
     #[test]
     fn pool_matches_fan_out_byte_for_byte() {
         let inputs: Vec<usize> = (0..6).collect();
         let scoped = fan_out(inputs, |i, x| format!("shard {i} item {x}"));
-        let pool: ShardPool<Vec<usize>, Vec<String>> =
+        let mut pool: ShardPool<Vec<usize>, Vec<String>> =
             ShardPool::new(6, |i, req: &Vec<usize>| vec![format!("shard {i} item {}", req[i])]);
-        let pooled: Vec<String> = pool.broadcast((0..6).collect()).into_iter().flatten().collect();
+        let pooled: Vec<String> =
+            all_ok(pool.broadcast((0..6).collect())).into_iter().flatten().collect();
         assert_eq!(scoped, pooled);
     }
 
     #[test]
-    fn pool_worker_panic_fails_the_broadcast() {
-        let pool: ShardPool<u32, u32> =
-            ShardPool::new(3, |shard, req| if shard == 1 { panic!("shard died") } else { *req });
-        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| pool.broadcast(7)));
-        assert!(caught.is_err(), "a dead shard must not silently vanish");
+    fn pool_worker_panic_is_a_typed_outcome_not_a_crash() {
+        let trip = Arc::new(AtomicUsize::new(0));
+        let mut pool: ShardPool<u32, u32> = ShardPool::new(3, {
+            let trip = Arc::clone(&trip);
+            move |shard, req| {
+                if shard == 1 && trip.fetch_add(1, Ordering::Relaxed) == 0 {
+                    panic!("shard died");
+                }
+                *req
+            }
+        });
+        let outcomes = pool.broadcast(7);
+        assert_eq!(outcomes[0], Ok(7), "healthy shards still answer");
+        assert_eq!(outcomes[2], Ok(7));
+        let panic = outcomes[1].as_ref().unwrap_err();
+        assert_eq!(panic.shard, 1);
+        assert_eq!(panic.detail, "shard died", "panic message survives in the typed outcome");
+        assert_eq!(pool.restarts(), 1);
+    }
+
+    #[test]
+    fn pool_recovers_byte_identical_after_a_panic() {
+        let trip = Arc::new(AtomicUsize::new(0));
+        let mut pool: ShardPool<u32, String> = ShardPool::new(2, {
+            let trip = Arc::clone(&trip);
+            move |shard, req| {
+                if shard == 1 && trip.fetch_add(1, Ordering::Relaxed) == 0 {
+                    panic!("injected");
+                }
+                format!("shard {shard} saw {req}")
+            }
+        });
+        let mut oracle: ShardPool<u32, String> =
+            ShardPool::new(2, |shard, req| format!("shard {shard} saw {req}"));
+        assert!(pool.broadcast(1)[1].is_err(), "first broadcast trips the fault");
+        // Every broadcast after the respawn matches the fault-free pool.
+        for req in [1u32, 2, 3] {
+            assert_eq!(all_ok(pool.broadcast(req)), all_ok(oracle.broadcast(req)));
+        }
+        assert_eq!(pool.restarts(), 1, "one panic, one respawn");
+    }
+
+    #[test]
+    fn pool_survives_repeated_panics_on_every_shard() {
+        let mut pool: ShardPool<u32, u32> = ShardPool::new(3, |_, req| {
+            if *req == 0 {
+                panic!("poisoned request");
+            }
+            *req
+        });
+        for round in 1..=3u32 {
+            assert!(pool.broadcast(0).iter().all(Result::is_err), "every shard fails");
+            assert_eq!(all_ok(pool.broadcast(round)), vec![round; 3], "then all recover");
+            assert_eq!(pool.restarts(), u64::from(round) * 3);
+        }
     }
 
     #[test]
     fn pool_drop_joins_workers_cleanly() {
         let done = Arc::new(AtomicUsize::new(0));
-        let pool: ShardPool<u32, u32> = ShardPool::new(3, {
+        let mut pool: ShardPool<u32, u32> = ShardPool::new(3, {
             let done = Arc::clone(&done);
             move |_, req| {
                 done.fetch_add(1, Ordering::Relaxed);

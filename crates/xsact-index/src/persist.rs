@@ -8,7 +8,7 @@
 //!
 //! ```text
 //! magic      b"XIDX"          4 bytes
-//! version    u32 LE           currently 3
+//! version    u32 LE           currently 4
 //! fprint     u64 LE           structural fingerprint of the document
 //! terms      u32 LE           number of dictionary entries
 //! total      u32 LE           total postings across all terms
@@ -25,12 +25,21 @@
 //!   width    u8               0..=32 delta bit width, 0xFF = absolute
 //! data:
 //!   data_words × u64 LE       payload bits, back to back
+//! trailer:
+//!   checksum u64 LE           FNV-1a over every preceding byte
 //! ```
 //!
-//! Versions 1 (pre-interning, postings inline per term) and 2 (flat
-//! `u32` postings arena) are **rejected** with an "unsupported index
-//! version" error — the caller rebuilds the index, exactly as for a
-//! fingerprint mismatch.
+//! Versions 1 (pre-interning, postings inline per term), 2 (flat `u32`
+//! postings arena), and 3 (packed frames, but no checksum trailer) are
+//! **rejected** with an "unsupported index version" error — the caller
+//! rebuilds the index, exactly as for a fingerprint mismatch.
+//!
+//! The trailer makes torn writes detectable: a crash (or `kill -9`)
+//! mid-save can truncate or interleave bytes, and a file whose body does
+//! not hash to its trailer is rejected before the decode-validation pass
+//! runs. Writers should pair it with write-to-temp + fsync + atomic
+//! rename (the facade's corpus save helpers do), so a reader never
+//! observes a half-written file under the final name at all.
 //!
 //! Posting entries are arena indices, which are only meaningful for the
 //! exact document the index was built from — the **fingerprint** (FNV-1a
@@ -48,7 +57,43 @@ use std::io::{self, Read, Write};
 use xsact_xml::{Document, FnvHasher};
 
 const MAGIC: &[u8; 4] = b"XIDX";
-const VERSION: u32 = 3;
+const VERSION: u32 = 4;
+
+/// Write adapter folding every byte into an FNV-1a checksum on the way
+/// through, so the save path computes its trailer without buffering the
+/// file.
+struct HashingWriter<'a, W: Write> {
+    inner: &'a mut W,
+    hasher: FnvHasher,
+}
+
+impl<W: Write> Write for HashingWriter<'_, W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.hasher.write(&buf[..n]);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Read twin of [`HashingWriter`]: hashes every byte handed to the
+/// parser, so the load path can compare its running checksum against the
+/// trailer once the body is consumed.
+struct HashingReader<'a, R: Read> {
+    inner: &'a mut R,
+    hasher: FnvHasher,
+}
+
+impl<R: Read> Read for HashingReader<'_, R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.hasher.write(&buf[..n]);
+        Ok(n)
+    }
+}
 
 /// FNV-style structural fingerprint of a document: node count, tags,
 /// attributes and text contents in document order (the workspace-shared
@@ -75,8 +120,11 @@ pub fn document_fingerprint(doc: &Document) -> u64 {
     hasher.finish()
 }
 
-/// Serialises the index (with the document's fingerprint) to `w`.
+/// Serialises the index (with the document's fingerprint) to `w`,
+/// ending with the FNV-1a checksum trailer over every preceding byte.
 pub fn save_index(doc: &Document, index: &InvertedIndex, w: &mut impl Write) -> io::Result<()> {
+    let mut w = HashingWriter { inner: w, hasher: FnvHasher::new() };
+    let w = &mut w;
     w.write_all(MAGIC)?;
     w.write_all(&VERSION.to_le_bytes())?;
     w.write_all(&document_fingerprint(doc).to_le_bytes())?;
@@ -109,12 +157,18 @@ pub fn save_index(doc: &Document, index: &InvertedIndex, w: &mut impl Write) -> 
     for &word in &store.data {
         w.write_all(&word.to_le_bytes())?;
     }
+    // The trailer itself is written past the hashed span, straight to the
+    // underlying writer.
+    let checksum = w.hasher.finish();
+    w.inner.write_all(&checksum.to_le_bytes())?;
     Ok(())
 }
 
 /// Deserialises an index for `doc`, verifying magic, version, the document
-/// fingerprint, and every frame of the payload.
+/// fingerprint, the checksum trailer, and every frame of the payload.
 pub fn load_index(doc: &Document, r: &mut impl Read) -> io::Result<InvertedIndex> {
+    let mut r = HashingReader { inner: r, hasher: FnvHasher::new() };
+    let r = &mut r;
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
@@ -207,6 +261,15 @@ pub fn load_index(doc: &Document, r: &mut impl Read) -> io::Result<InvertedIndex
     for _ in 0..data_words {
         data.push(read_u64(r)?);
     }
+    // Body fully consumed — verify the trailer before the (more
+    // expensive) decode-validation pass. A torn or bit-flipped file fails
+    // here with a typed error; the trailer itself is read past the hashed
+    // span.
+    let computed = r.hasher.finish();
+    let stored = read_u64(r.inner)?;
+    if stored != computed {
+        return Err(bad_data("index checksum mismatch — rebuild the index"));
+    }
     let store = PackedStore {
         frame_first,
         frame_bit_off,
@@ -279,6 +342,17 @@ mod tests {
         pos
     }
 
+    /// Recomputes the checksum trailer after a test mutated the body, so
+    /// the mutation reaches the layer under test (decode-validation)
+    /// instead of tripping the checksum first.
+    fn refresh_trailer(buf: &mut [u8]) {
+        let body = buf.len() - 8;
+        let mut hasher = FnvHasher::new();
+        hasher.write(&buf[..body]);
+        let checksum = hasher.finish();
+        buf[body..].copy_from_slice(&checksum.to_le_bytes());
+    }
+
     #[test]
     fn round_trip_preserves_postings() {
         let d = doc();
@@ -293,12 +367,12 @@ mod tests {
     }
 
     #[test]
-    fn declared_version_is_3() {
+    fn declared_version_is_4() {
         let d = doc();
         let index = InvertedIndex::build(&d);
         let mut buf = Vec::new();
         save_index(&d, &index, &mut buf).unwrap();
-        assert_eq!(u32::from_le_bytes(buf[4..8].try_into().unwrap()), 3);
+        assert_eq!(u32::from_le_bytes(buf[4..8].try_into().unwrap()), 4);
     }
 
     #[test]
@@ -391,6 +465,22 @@ mod tests {
         assert!(err.to_string().contains("unsupported index version 2"), "unexpected error: {err}");
     }
 
+    /// A v3 `.xidx` file — the current layout minus the checksum trailer
+    /// — must be rejected by the version gate (a v3 body would otherwise
+    /// misparse its final data word as a trailer).
+    #[test]
+    fn v3_files_rejected_with_version_error() {
+        let d = doc();
+        let index = InvertedIndex::build(&d);
+        let mut buf = Vec::new();
+        save_index(&d, &index, &mut buf).unwrap();
+        buf.truncate(buf.len() - 8); // exactly the v3 byte stream
+        buf[4..8].copy_from_slice(&3u32.to_le_bytes());
+        let err = load_index(&d, &mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("unsupported index version 3"), "unexpected error: {err}");
+    }
+
     #[test]
     fn huge_declared_counts_fail_gracefully() {
         // A crafted header claiming u32::MAX terms must surface a read
@@ -473,14 +563,18 @@ mod tests {
         save_index(&d, &index, &mut saved).unwrap();
         let data_words = u32::from_le_bytes(saved[28..32].try_into().unwrap()) as usize;
         assert!(data_words > 0, "fixture must carry packed payload");
-        let data_start = saved.len() - 8 * data_words;
+        // The payload sits between the frame table and the 8-byte trailer.
+        let data_end = saved.len() - 8;
+        let data_start = data_end - 8 * data_words;
 
         // Max out every delta (widths untouched): the small widths decode,
-        // but some id lands past the document's node arena.
+        // but some id lands past the document's node arena. The trailer is
+        // refreshed so the mutation reaches decode-validation.
         let mut buf = saved.clone();
-        for b in &mut buf[data_start..] {
+        for b in &mut buf[data_start..data_end] {
             *b = 0xFF;
         }
+        refresh_trailer(&mut buf);
         let err = load_index(&d, &mut buf.as_slice()).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         assert!(err.to_string().contains("posting entry out of range"), "{err}");
@@ -493,12 +587,36 @@ mod tests {
         let gps_width = &mut buf[ft + 2 * 9 + 8];
         assert!(*gps_width >= 1 && *gps_width <= 32, "gps frame must be a delta frame");
         *gps_width = 32;
-        for b in &mut buf[data_start..] {
+        for b in &mut buf[data_start..data_end] {
             *b = 0xFF;
         }
+        refresh_trailer(&mut buf);
         let err = load_index(&d, &mut buf.as_slice()).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         assert!(err.to_string().contains("corrupt posting delta"), "{err}");
+    }
+
+    /// A single flipped payload bit — the torn-write shape the trailer
+    /// exists for — is caught by the checksum before decode-validation
+    /// ever runs.
+    #[test]
+    fn flipped_bit_fails_the_checksum() {
+        let d = doc();
+        let index = InvertedIndex::build(&d);
+        let mut buf = Vec::new();
+        save_index(&d, &index, &mut buf).unwrap();
+        let data_start = buf.len() - 8 - 8;
+        buf[data_start] ^= 0x01;
+        let err = load_index(&d, &mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("checksum mismatch"), "{err}");
+        // A corrupt trailer (body intact) fails the same way.
+        let mut buf2 = Vec::new();
+        save_index(&d, &index, &mut buf2).unwrap();
+        let last = buf2.len() - 1;
+        buf2[last] ^= 0x80;
+        let err = load_index(&d, &mut buf2.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("checksum mismatch"), "{err}");
     }
 
     #[test]

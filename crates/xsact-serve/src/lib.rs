@@ -28,17 +28,24 @@
 //! * [`protocol`] — the newline-delimited request/response framing the
 //!   TCP front end speaks (`QUERY …`, `TOP k`, `STATS`, `METRICS`,
 //!   `QUIT`, `SHUTDOWN`; every response ends with a lone `.` line).
+//! * [`fault`] — deterministic fault injection: a [`FaultPlan`] arms
+//!   named sites (`shard_panic`, `slow_execute`, `io_error_on_save`,
+//!   `drop_connection`) that fire on exact hit counts, so the chaos suite
+//!   can pin recovery byte-identical to a fault-free run. Disarmed (the
+//!   production default) a site check is a single branch.
 //!
 //! The `xsact` facade's `serve` module composes these with the corpus and
 //! `xsact-corpus`'s persistent `ShardPool` into the actual server; see
 //! `src/serve.rs` in the facade crate.
 
 pub mod batch;
+pub mod fault;
 pub mod protocol;
 pub mod queue;
 pub mod stats;
 
 pub use batch::coalesce;
+pub use fault::FaultPlan;
 pub use protocol::{err_line, Request, END_MARKER};
 pub use queue::{Rejected, SubmissionQueue};
 pub use stats::{ServeCounters, ServeSnapshot};

@@ -30,8 +30,11 @@
 //!
 //! Errors are a single `ERR <CODE> <message>` line (plus the marker);
 //! codes are stable identifiers (`OVERLOADED`, `BUDGET_EXCEEDED`,
-//! `EMPTY_QUERY`, `BAD_REQUEST`, `INTERNAL`), messages are the facade's
-//! human-readable `Display` text.
+//! `DEADLINE_EXCEEDED`, `SHARD_FAILED`, `EMPTY_QUERY`, `BAD_REQUEST`,
+//! `INTERNAL`), messages are the facade's human-readable `Display` text.
+//! `OVERLOADED`, `DEADLINE_EXCEEDED`, and `SHARD_FAILED` are retryable:
+//! nothing (durable) was executed on the caller's behalf, and a
+//! `SHARD_FAILED` worker is respawned before the error line is written.
 
 /// The line ending every response: a lone `.`.
 pub const END_MARKER: &str = ".";

@@ -32,6 +32,9 @@ pub struct ServeCounters {
     batch_size: Arc<Histogram>,
     rejected_overload: Arc<Counter>,
     rejected_budget: Arc<Counter>,
+    rejected_deadline: Arc<Counter>,
+    shard_failed: Arc<Counter>,
+    shard_restarts: Arc<Counter>,
     // Executor work aggregated over every batch execution. Kept as plain
     // counters (not the engine's `ExecutorStats` type) so this crate stays
     // free of engine types; the facade does the typing.
@@ -61,6 +64,9 @@ impl ServeCounters {
             batch_size: registry.histogram("xsact_batch_size"),
             rejected_overload: registry.counter("xsact_rejected_overload"),
             rejected_budget: registry.counter("xsact_rejected_budget"),
+            rejected_deadline: registry.counter("xsact_rejected_deadline"),
+            shard_failed: registry.counter("xsact_shard_failed"),
+            shard_restarts: registry.counter("xsact_shard_restarts"),
             postings_scanned: registry.counter("xsact_postings_scanned"),
             gallop_probes: registry.counter("xsact_gallop_probes"),
             candidates_pruned: registry.counter("xsact_candidates_pruned"),
@@ -106,6 +112,20 @@ impl ServeCounters {
         self.rejected_budget.inc();
     }
 
+    /// Records one query whose deadline elapsed before an answer could be
+    /// produced (checked at dispatch and again after batch execute).
+    pub fn record_deadline_rejection(&self) {
+        self.rejected_deadline.inc();
+    }
+
+    /// Records one batch lost to a shard-worker panic: `members` queries
+    /// answered with the typed shard failure, and `restarts` workers
+    /// respawned by the pool's supervisor.
+    pub fn record_shard_failure(&self, members: usize, restarts: u64) {
+        self.shard_failed.add(members as u64);
+        self.shard_restarts.add(restarts);
+    }
+
     /// Records how long one submission sat in the queue before its
     /// dispatch round swept it up (once per query).
     pub fn record_queue_wait(&self, wait: Duration) {
@@ -146,6 +166,9 @@ impl ServeCounters {
             batch_size: self.batch_size.snapshot(),
             rejected_overload: self.rejected_overload.get(),
             rejected_budget: self.rejected_budget.get(),
+            rejected_deadline: self.rejected_deadline.get(),
+            shard_failed: self.shard_failed.get(),
+            shard_restarts: self.shard_restarts.get(),
             postings_scanned: self.postings_scanned.get(),
             gallop_probes: self.gallop_probes.get(),
             candidates_pruned: self.candidates_pruned.get(),
@@ -171,6 +194,13 @@ pub struct ServeSnapshot {
     pub rejected_overload: u64,
     /// Queries rejected by a session budget.
     pub rejected_budget: u64,
+    /// Queries whose deadline elapsed before an answer could be produced.
+    pub rejected_deadline: u64,
+    /// Queries answered with a typed shard failure (their batch's worker
+    /// panicked).
+    pub shard_failed: u64,
+    /// Shard workers respawned by the pool supervisor after a panic.
+    pub shard_restarts: u64,
     /// Posting entries scanned, summed over every batch execution.
     pub postings_scanned: u64,
     /// Gallop probes, summed over every batch execution.
@@ -207,6 +237,9 @@ impl fmt::Display for ServeSnapshot {
         writeln!(f, "coalesced_queries {}", self.coalesced_queries())?;
         writeln!(f, "rejected_overload {}", self.rejected_overload)?;
         writeln!(f, "rejected_budget {}", self.rejected_budget)?;
+        writeln!(f, "rejected_deadline {}", self.rejected_deadline)?;
+        writeln!(f, "shard_failed {}", self.shard_failed)?;
+        writeln!(f, "shard_restarts {}", self.shard_restarts)?;
         writeln!(f, "postings_scanned {}", self.postings_scanned)?;
         writeln!(f, "gallop_probes {}", self.gallop_probes)?;
         writeln!(f, "candidates_pruned {}", self.candidates_pruned)?;
@@ -252,10 +285,30 @@ mod tests {
         c.record_overload_rejection();
         c.record_overload_rejection();
         c.record_budget_rejection();
+        c.record_deadline_rejection();
         let s = c.snapshot();
         assert_eq!(s.rejected_overload, 2);
         assert_eq!(s.rejected_budget, 1);
+        assert_eq!(s.rejected_deadline, 1);
         assert_eq!(s.queries_served, 0);
+    }
+
+    #[test]
+    fn shard_failures_count_members_and_restarts() {
+        let c = ServeCounters::default();
+        c.record_shard_failure(3, 1);
+        c.record_shard_failure(1, 2);
+        let s = c.snapshot();
+        assert_eq!(s.shard_failed, 4, "every member of a failed batch counts");
+        assert_eq!(s.shard_restarts, 3);
+        assert_eq!(s.queries_served, 0, "a failed batch serves nobody");
+        let text = s.to_string();
+        assert!(text.contains("shard_failed 4"), "{text}");
+        assert!(text.contains("shard_restarts 3"), "{text}");
+        assert!(text.contains("rejected_deadline 0"), "{text}");
+        let exposition = c.exposition();
+        assert!(exposition.contains("xsact_shard_restarts 3"), "{exposition}");
+        assert!(exposition.contains("# TYPE xsact_shard_failed counter"), "{exposition}");
     }
 
     #[test]

@@ -45,6 +45,7 @@ use xsact_data::movies::{MovieGenConfig, MoviesGen};
 use xsact_entity::ResultFeatures;
 use xsact_index::{ExecutorStats, Query, ScoredResult, SearchResult};
 use xsact_obs::TraceSink;
+use xsact_serve::FaultPlan;
 use xsact_xml::{DeweyId, Document};
 
 pub use xsact_corpus::{DocId, ShardPlan};
@@ -68,6 +69,9 @@ struct CorpusDoc {
 pub struct Corpus {
     docs: Vec<CorpusDoc>,
     shards: usize,
+    /// Armed fault-injection sites for the persistence paths (chaos
+    /// testing only); disarmed by default, which costs one branch.
+    faults: FaultPlan,
 }
 
 impl Corpus {
@@ -76,7 +80,7 @@ impl Corpus {
     /// [`add_document`](Self::add_document) / [`add_xml`](Self::add_xml).
     pub fn new() -> Corpus {
         let shards = std::thread::available_parallelism().map_or(1, usize::from);
-        Corpus { docs: Vec::new(), shards }
+        Corpus { docs: Vec::new(), shards, faults: FaultPlan::disarmed() }
     }
 
     /// Builds a corpus from `(name, document)` pairs; ids follow iteration
@@ -142,20 +146,34 @@ impl Corpus {
             let doc = xsact_xml::parse_document(&fs::read_to_string(&path)?)?;
             let index_path = index_dir.map(|d| d.join(format!("{name}.xidx")));
             let wb = match &index_path {
-                Some(ip) => match fs::File::open(ip)
-                    .map_err(XsactError::from)
-                    .and_then(|mut f| Workbench::from_persisted_index(doc.clone(), &mut f))
-                {
-                    Ok(wb) => wb,
+                Some(ip) => match fs::File::open(ip) {
+                    Ok(mut f) => match Workbench::from_persisted_index(doc.clone(), &mut f) {
+                        Ok(wb) => wb,
+                        Err(e) => {
+                            // Degrade loudly but gracefully: one warning
+                            // per unusable file saying *why* (stale
+                            // fingerprint, checksum mismatch, old
+                            // version), then rebuild from the XML and
+                            // resave so the next launch loads cleanly.
+                            eprintln!(
+                                "xsact: index cache {} unusable ({e}); rebuilding from XML",
+                                ip.display()
+                            );
+                            let wb = Workbench::from_document(doc);
+                            // Best-effort cache write: the corpus is
+                            // already built in memory, so an unwritable
+                            // index_dir (read-only, disk full) must not
+                            // fail ingestion — the next load just
+                            // rebuilds again.
+                            let _ = save_index_atomic(&wb, ip);
+                            wb
+                        }
+                    },
+                    // No cache file yet (cold start) — build and write
+                    // it quietly.
                     Err(_) => {
                         let wb = Workbench::from_document(doc);
-                        // Best-effort cache write: the corpus is already
-                        // built in memory, so an unwritable index_dir
-                        // (read-only, disk full) must not fail ingestion —
-                        // the next load just rebuilds again.
-                        let _ = fs::File::create(ip)
-                            .map_err(XsactError::from)
-                            .and_then(|mut f| wb.save_index(&mut f));
+                        let _ = save_index_atomic(&wb, ip);
                         wb
                     }
                 },
@@ -197,6 +215,19 @@ impl Corpus {
     /// Sets the shard count in place.
     pub fn set_shards(&mut self, shards: usize) {
         self.shards = shards.max(1);
+    }
+
+    /// Arms fault-injection sites on the persistence paths (builder
+    /// form); chaos tests only.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Corpus {
+        self.set_faults(faults);
+        self
+    }
+
+    /// Arms fault-injection sites in place.
+    pub fn set_faults(&mut self, faults: FaultPlan) {
+        self.faults = faults;
     }
 
     /// The configured shard count.
@@ -242,12 +273,14 @@ impl Corpus {
 
     /// Saves every document's inverted index into `dir` as
     /// `<name>.xidx`, for later cold-start skipping via
-    /// [`from_dir_cached`](Self::from_dir_cached).
+    /// [`from_dir_cached`](Self::from_dir_cached). Each file is written
+    /// crash-safely (see [`save_index_atomic`]): a crash mid-save leaves
+    /// the previous file (or none), never a torn one.
     pub fn save_indexes(&self, dir: impl AsRef<Path>) -> XsactResult<()> {
         fs::create_dir_all(dir.as_ref())?;
         for doc in &self.docs {
             let path = dir.as_ref().join(format!("{}.xidx", doc.name));
-            doc.wb.save_index(&mut fs::File::create(path)?)?;
+            save_index_atomic_faulted(&doc.wb, &path, &self.faults)?;
         }
         Ok(())
     }
@@ -349,6 +382,43 @@ impl Default for Corpus {
     fn default() -> Self {
         Corpus::new()
     }
+}
+
+/// Crash-safe index save: the bytes go to `<path>.tmp`, are fsynced, and
+/// only then atomically renamed over `path`. A crash (or `kill -9`) at
+/// any point leaves either the previous file or no file under the final
+/// name — never a torn one — and the `.xidx` checksum trailer catches
+/// anything the filesystem still manages to mangle. The temp file is
+/// removed on failure.
+pub fn save_index_atomic(wb: &Workbench, path: &Path) -> XsactResult<()> {
+    save_index_atomic_faulted(wb, path, &FaultPlan::disarmed())
+}
+
+/// [`save_index_atomic`] with an `io_error_on_save` injection site, for
+/// the chaos suite to prove a failed save never leaves a temp file or a
+/// loadable-but-wrong index behind.
+fn save_index_atomic_faulted(wb: &Workbench, path: &Path, faults: &FaultPlan) -> XsactResult<()> {
+    let tmp = {
+        let mut os = path.as_os_str().to_owned();
+        os.push(".tmp");
+        std::path::PathBuf::from(os)
+    };
+    let result = (|| -> XsactResult<()> {
+        let mut file = fs::File::create(&tmp)?;
+        wb.save_index(&mut file)?;
+        if faults.should_fire("io_error_on_save", 0).is_some() {
+            return Err(XsactError::Io(std::io::Error::other("injected io_error_on_save fault")));
+        }
+        // fsync before the rename: an atomic rename of unsynced bytes can
+        // still surface an empty file after a power loss.
+        file.sync_all()?;
+        fs::rename(&tmp, path)?;
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
 }
 
 /// One entry of a merged corpus ranking: a search result plus the document

@@ -73,6 +73,27 @@ pub enum XsactError {
         /// The session's budget in posting entries.
         budget: u64,
     },
+    /// The query's deadline (queue wait + execute) elapsed before an
+    /// answer could be produced. Checked at dispatch (the query never
+    /// executed) and again after batch execute (the answer arrived too
+    /// late to matter); either way the caller should treat the result as
+    /// unknown and retry with a fresh deadline.
+    DeadlineExceeded {
+        /// Milliseconds that had elapsed when the deadline check fired.
+        elapsed_ms: u64,
+        /// The configured deadline in milliseconds.
+        deadline_ms: u64,
+    },
+    /// A shard worker panicked while executing the batch this query rode
+    /// in. The worker has been respawned from a fresh state factory, so a
+    /// retry runs on a healthy pool and is byte-identical to a fault-free
+    /// run; no other batch was affected.
+    ShardFailed {
+        /// The shard whose worker panicked.
+        shard: usize,
+        /// The panic payload's message.
+        detail: String,
+    },
 }
 
 impl fmt::Display for XsactError {
@@ -111,6 +132,16 @@ impl fmt::Display for XsactError {
             XsactError::BudgetExceeded { spent, budget } => write!(
                 f,
                 "session budget exceeded: {spent} posting entries scanned of {budget} budgeted"
+            ),
+            XsactError::DeadlineExceeded { elapsed_ms, deadline_ms } => write!(
+                f,
+                "deadline exceeded: {elapsed_ms}ms elapsed of the {deadline_ms}ms allowed; \
+                 retry with a fresh deadline"
+            ),
+            XsactError::ShardFailed { shard, detail } => write!(
+                f,
+                "shard {shard} failed while executing this batch ({detail}); \
+                 the worker was restarted — retry"
             ),
         }
     }
@@ -160,6 +191,14 @@ mod tests {
         let e = XsactError::BudgetExceeded { spent: 120, budget: 100 };
         assert!(e.to_string().contains("120"));
         assert!(e.to_string().contains("100"));
+        let e = XsactError::DeadlineExceeded { elapsed_ms: 75, deadline_ms: 50 };
+        assert!(e.to_string().contains("75ms"));
+        assert!(e.to_string().contains("50ms"));
+        assert!(e.to_string().contains("retry"));
+        let e = XsactError::ShardFailed { shard: 1, detail: "injected fault".into() };
+        assert!(e.to_string().contains("shard 1"));
+        assert!(e.to_string().contains("injected fault"));
+        assert!(e.to_string().contains("restarted"));
     }
 
     #[test]

@@ -73,7 +73,7 @@ pub mod error;
 pub mod serve;
 pub mod workbench;
 
-pub use corpus::{Corpus, CorpusHit, CorpusOutcome, CorpusQuery, CorpusRanking};
+pub use corpus::{save_index_atomic, Corpus, CorpusHit, CorpusOutcome, CorpusQuery, CorpusRanking};
 pub use error::{XsactError, XsactResult};
 pub use serve::{CorpusServer, QueryAnswer, ServeConfig, ServeSession};
 pub use workbench::{CacheStats, QueryPipeline, Workbench};

@@ -28,9 +28,20 @@
 //!   retry.
 //! * Session spent its executor-work budget →
 //!   [`XsactError::BudgetExceeded`] — rejected before reaching the queue.
+//! * Deadline elapsed (queue wait + execute) →
+//!   [`XsactError::DeadlineExceeded`] — checked at dispatch (the query
+//!   never executed) and again after batch execute; retry with a fresh
+//!   deadline.
+//! * Shard worker panicked mid-batch → [`XsactError::ShardFailed`] for
+//!   exactly the members of the affected batch. The supervisor respawns
+//!   the worker before the error is delivered, so a retry — and every
+//!   *other* request, concurrent or subsequent — is byte-identical to a
+//!   fault-free run (pinned by `tests/chaos.rs`).
 //!
 //! Shutdown is a drain: admitted submissions are still answered, new ones
-//! are turned away.
+//! are turned away. Recovery paths are exercised deterministically via
+//! [`FaultPlan`] (`XSACT_FAULTS` in the CLI); a disarmed plan costs one
+//! branch per site.
 //!
 //! ```
 //! use std::sync::Arc;
@@ -60,10 +71,10 @@ use xsact_index::{ExecutorStats, Query};
 use xsact_obs::{format_nanos, Histogram, MetricsRegistry};
 use xsact_serve::{coalesce, err_line, Rejected, Request, SubmissionQueue};
 
-pub use xsact_serve::{ServeCounters, ServeSnapshot, END_MARKER};
+pub use xsact_serve::{FaultPlan, ServeCounters, ServeSnapshot, END_MARKER};
 
 /// Configuration of a [`CorpusServer`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Bound of the submission queue; submissions beyond it are rejected
     /// with [`XsactError::Overloaded`]. Zero is valid and rejects every
@@ -87,6 +98,21 @@ pub struct ServeConfig {
     /// `None` disables the log. Purely observational — answers are
     /// byte-identical either way.
     pub slow_query: Option<Duration>,
+    /// Per-query deadline covering queue wait plus execute; `None` =
+    /// unlimited. Checked at dispatch (an expired query is answered
+    /// [`XsactError::DeadlineExceeded`] without executing) and again after
+    /// batch execute (a late answer is discarded — the caller already
+    /// stopped caring).
+    pub deadline: Option<Duration>,
+    /// Read/write timeout applied to every TCP connection, so a stalled
+    /// or slow-dripping client (slowloris) releases its thread instead of
+    /// occupying it forever; `None` disables. A timed-out connection is
+    /// closed; its session dies with it.
+    pub io_timeout: Option<Duration>,
+    /// Armed fault-injection sites (chaos testing only); the default is
+    /// disarmed, which costs one branch per site. Binaries arm it from
+    /// `XSACT_FAULTS` at startup.
+    pub faults: FaultPlan,
 }
 
 impl Default for ServeConfig {
@@ -97,6 +123,9 @@ impl Default for ServeConfig {
             default_top: DEFAULT_TOP,
             budget: None,
             slow_query: None,
+            deadline: None,
+            io_timeout: Some(Duration::from_secs(30)),
+            faults: FaultPlan::disarmed(),
         }
     }
 }
@@ -130,7 +159,9 @@ struct Submission {
     canonical: String,
     query: Query,
     k: usize,
-    reply: mpsc::Sender<QueryAnswer>,
+    /// Typed outcome: the shared answer, or the failure that kept this
+    /// member from getting one (deadline, shard panic).
+    reply: mpsc::Sender<XsactResult<QueryAnswer>>,
     /// When the session pushed this submission (queue-wait starts here).
     submitted: Instant,
     /// Queue wait, measured by the dispatcher when its round sweeps this
@@ -246,10 +277,17 @@ fn dispatch_loop(inner: &ServerInner) {
     let shard_busy: Vec<Arc<Histogram>> = (0..shards)
         .map(|shard| inner.counters.registry().histogram(&format!("xsact_shard_{shard}_busy_ns")))
         .collect();
-    let pool: ShardPool<(Query, usize), (Vec<CorpusHit>, ExecutorStats)> =
+    let mut pool: ShardPool<(Query, usize), (Vec<CorpusHit>, ExecutorStats)> =
         ShardPool::new(shards, {
             let corpus = Arc::clone(&inner.corpus);
+            let faults = inner.config.faults.clone();
             move |shard, (query, k): &(Query, usize)| {
+                if let Some(millis) = faults.should_fire("slow_execute", shard) {
+                    std::thread::sleep(Duration::from_millis(millis));
+                }
+                if faults.should_fire("shard_panic", shard).is_some() {
+                    panic!("injected shard_panic fault (shard {shard})");
+                }
                 let busy = Instant::now();
                 // The exact partition the scoped fan-out uses — a pure
                 // function of (shards, documents), recomputed per broadcast
@@ -266,45 +304,100 @@ fn dispatch_loop(inner: &ServerInner) {
         round.extend(inner.queue.drain_pending(inner.config.max_batch - 1));
         for submission in &mut round {
             submission.queued = submission.submitted.elapsed();
-            inner.counters.record_queue_wait(submission.queued);
         }
         let groups = coalesce(round, |s| (s.canonical.clone(), s.k));
         inner.counters.record_batch_form(round_start.elapsed());
         for group in groups {
-            let k = group[0].k;
+            // Dispatch-time deadline check: a member whose budget already
+            // elapsed never executes — its answer could only arrive late.
+            let live = match reject_expired(inner, group) {
+                Some(live) => live,
+                None => continue, // every member expired; nothing to run
+            };
+            let k = live[0].k;
             let execute_start = Instant::now();
-            let shard_results = pool.broadcast((group[0].query.clone(), k));
+            let restarts_before = pool.restarts();
+            let shard_results = pool.broadcast((live[0].query.clone(), k));
+            let execute = execute_start.elapsed();
+            let panicked = shard_results.iter().find_map(|r| r.as_ref().err().cloned());
+            if let Some(panic) = panicked {
+                // The batch is lost, but *only* this batch: the supervisor
+                // already respawned every failed worker inside broadcast,
+                // so the next group runs on a healthy pool.
+                inner.counters.record_shard_failure(live.len(), pool.restarts() - restarts_before);
+                for member in live {
+                    let _ = member.reply.send(Err(XsactError::ShardFailed {
+                        shard: panic.shard,
+                        detail: panic.detail.clone(),
+                    }));
+                }
+                continue;
+            }
             let mut stats = ExecutorStats::default();
             let mut lists = Vec::with_capacity(shard_results.len());
-            for (hits, shard_stats) in shard_results {
+            for result in shard_results {
+                let (hits, shard_stats) = result.expect("panic outcomes handled above");
                 stats += shard_stats;
                 lists.push(hits);
             }
             let ranking = Arc::new(merge_shard_lists(lists, k, shards));
-            let execute = execute_start.elapsed();
-            // Once per member, not per batch: every query in the batch
-            // observed this latency, and the exposition contract pins each
-            // latency histogram's count to queries_served.
-            inner.counters.record_execute(execute, group.len());
+            // Post-execute deadline check: an answer that arrived after
+            // the member's deadline is discarded, not delivered late.
+            let answered = match reject_expired(inner, live) {
+                Some(answered) => answered,
+                None => continue,
+            };
+            // Latency histograms record once per *answered* member — the
+            // exposition contract pins each count to queries_served, and
+            // rejected members are counted in their rejection counters
+            // instead.
+            inner.counters.record_execute(execute, answered.len());
             inner.counters.record_batch(
-                group.len(),
+                answered.len(),
                 stats.postings_scanned,
                 stats.gallop_probes,
                 stats.candidates_pruned,
             );
-            let batch_size = group.len();
-            for member in group {
+            let batch_size = answered.len();
+            for member in answered {
+                inner.counters.record_queue_wait(member.queued);
                 // A waiter that gave up (dropped its receiver) is fine —
                 // the batch ran for the others.
-                let _ = member.reply.send(QueryAnswer {
+                let _ = member.reply.send(Ok(QueryAnswer {
                     ranking: Arc::clone(&ranking),
                     stats,
                     batch_size,
                     queue_wait: member.queued,
                     execute,
-                });
+                }));
             }
         }
+    }
+}
+
+/// Splits expired members out of `group`, answering each with a typed
+/// [`XsactError::DeadlineExceeded`]; returns the still-live members, or
+/// `None` when nobody survived. With no configured deadline this is a
+/// single branch.
+fn reject_expired(inner: &ServerInner, group: Vec<Submission>) -> Option<Vec<Submission>> {
+    let Some(deadline) = inner.config.deadline else { return Some(group) };
+    let mut live = Vec::with_capacity(group.len());
+    for member in group {
+        let elapsed = member.submitted.elapsed();
+        if elapsed >= deadline {
+            inner.counters.record_deadline_rejection();
+            let _ = member.reply.send(Err(XsactError::DeadlineExceeded {
+                elapsed_ms: elapsed.as_millis().try_into().unwrap_or(u64::MAX),
+                deadline_ms: deadline.as_millis().try_into().unwrap_or(u64::MAX),
+            }));
+        } else {
+            live.push(member);
+        }
+    }
+    if live.is_empty() {
+        None
+    } else {
+        Some(live)
     }
 }
 
@@ -342,9 +435,12 @@ impl ServeSession {
     ///
     /// Typed failure modes, in checking order: [`XsactError::EmptyQuery`]
     /// (no indexable terms), [`XsactError::BudgetExceeded`] (the session's
-    /// spend reached its budget; nothing queued), and
+    /// spend reached its budget; nothing queued),
     /// [`XsactError::Overloaded`] (the queue was full or the server is
-    /// shutting down; nothing executed).
+    /// shutting down; nothing executed), and — from the dispatcher —
+    /// [`XsactError::DeadlineExceeded`] and [`XsactError::ShardFailed`]
+    /// (both retryable; a failed shard is respawned before the error is
+    /// delivered).
     pub fn query(&mut self, text: &str) -> XsactResult<QueryAnswer> {
         let start = Instant::now();
         let query = Query::parse(text);
@@ -379,7 +475,9 @@ impl ServeSession {
         // An admitted submission is always answered (drain-on-shutdown);
         // a recv error means the dispatcher died, which only a panic can
         // cause — surface it as such rather than inventing an error code.
-        let answer = answer_rx.recv().expect("dispatcher died with admitted work queued");
+        // The `?` surfaces the dispatcher's typed failures (deadline,
+        // shard panic) without charging the session budget.
+        let answer = answer_rx.recv().expect("dispatcher died with admitted work queued")?;
         self.spent = self.spent.saturating_add(answer.stats.postings_scanned);
         let e2e = start.elapsed();
         self.inner.counters.record_e2e(e2e);
@@ -407,6 +505,8 @@ pub fn error_code(error: &XsactError) -> &'static str {
     match error {
         XsactError::Overloaded { .. } => "OVERLOADED",
         XsactError::BudgetExceeded { .. } => "BUDGET_EXCEEDED",
+        XsactError::DeadlineExceeded { .. } => "DEADLINE_EXCEEDED",
+        XsactError::ShardFailed { .. } => "SHARD_FAILED",
         XsactError::EmptyQuery => "EMPTY_QUERY",
         _ => "INTERNAL",
     }
@@ -512,9 +612,15 @@ pub fn serve_tcp(server: CorpusServer, addr: &str) -> XsactResult<TcpServeHandle
     Ok(TcpServeHandle { shared, accept: Some(accept) })
 }
 
-/// One connection's request loop. Exits on `QUIT`, `SHUTDOWN`, EOF, or a
-/// broken stream.
+/// One connection's request loop. Exits on `QUIT`, `SHUTDOWN`, EOF, a
+/// broken stream, or an I/O timeout (a slowloris client that stops
+/// mid-line loses its thread after [`ServeConfig::io_timeout`], not
+/// never).
 fn serve_connection(shared: &TcpShared, stream: TcpStream) {
+    let io_timeout = shared.server.inner.config.io_timeout;
+    let _ = stream.set_read_timeout(io_timeout);
+    let _ = stream.set_write_timeout(io_timeout);
+    let faults = shared.server.inner.config.faults.clone();
     let Ok(read_half) = stream.try_clone() else { return };
     let reader = BufReader::new(read_half);
     let mut writer = stream;
@@ -526,6 +632,12 @@ fn serve_connection(shared: &TcpShared, stream: TcpStream) {
             Ok(Some(request)) => respond(shared, &mut session, request),
             Err(message) => (format!("{}\n", err_line("BAD_REQUEST", &message)), false),
         };
+        if faults.should_fire("drop_connection", 0).is_some() {
+            // Chaos site: vanish without a reply — the client sees EOF
+            // mid-exchange, exactly like a crashed peer.
+            let _ = writer.shutdown(Shutdown::Both);
+            break;
+        }
         let write_start = Instant::now();
         let written = writer.write_all(format!("{body}{END_MARKER}\n").as_bytes());
         shared.server.inner.counters.record_reply_write(write_start.elapsed());
@@ -636,8 +748,56 @@ mod tests {
             error_code(&XsactError::BudgetExceeded { spent: 2, budget: 1 }),
             "BUDGET_EXCEEDED"
         );
+        assert_eq!(
+            error_code(&XsactError::DeadlineExceeded { elapsed_ms: 2, deadline_ms: 1 }),
+            "DEADLINE_EXCEEDED"
+        );
+        assert_eq!(
+            error_code(&XsactError::ShardFailed { shard: 0, detail: "boom".into() }),
+            "SHARD_FAILED"
+        );
         assert_eq!(error_code(&XsactError::EmptyQuery), "EMPTY_QUERY");
         assert_eq!(error_code(&XsactError::EmptyCorpus), "INTERNAL");
+    }
+
+    #[test]
+    fn zero_deadline_rejects_at_dispatch_without_executing() {
+        let server = CorpusServer::start(
+            test_corpus(2),
+            ServeConfig { deadline: Some(Duration::ZERO), ..ServeConfig::default() },
+        );
+        let err = server.session().query("drama").unwrap_err();
+        assert!(matches!(err, XsactError::DeadlineExceeded { .. }), "{err}");
+        let stats = server.stats();
+        assert_eq!(stats.rejected_deadline, 1);
+        assert_eq!(stats.queries_served, 0, "an expired query never executes");
+        assert_eq!(stats.queue_wait_ns.count, 0, "histograms record answered queries only");
+    }
+
+    #[test]
+    fn shard_panic_is_typed_and_recovery_is_byte_identical() {
+        let corpus = test_corpus(2);
+        let server = CorpusServer::start(
+            Arc::clone(&corpus),
+            ServeConfig {
+                faults: FaultPlan::parse("shard_panic@1").unwrap(),
+                ..ServeConfig::default()
+            },
+        );
+        let mut session = server.session();
+        let err = session.query("drama family").unwrap_err();
+        assert!(matches!(err, XsactError::ShardFailed { .. }), "{err}");
+        assert!(err.to_string().contains("injected shard_panic fault"), "{err}");
+        // The same session retries on the respawned worker and the answer
+        // is byte-identical to sequential execution.
+        let answer = session.query("drama family").unwrap();
+        let sequential = corpus.query("drama family").unwrap().ranking().render(session.top());
+        assert_eq!(answer.ranking.render(session.top()), sequential);
+        let stats = server.stats();
+        assert_eq!(stats.shard_failed, 1);
+        assert_eq!(stats.shard_restarts, 1);
+        assert_eq!(stats.queries_served, 1, "only the recovered query counts as served");
+        assert_eq!(stats.execute_ns.count, stats.queries_served);
     }
 
     #[test]

@@ -1,0 +1,241 @@
+//! Chaos suite: deterministic fault injection driven end-to-end.
+//!
+//! Every test arms a [`FaultPlan`] against a serving runtime (or the
+//! persistence layer) and pins the *recovery contract*, not just the
+//! failure: the affected request gets a typed, retryable error, and
+//! everything after it is byte-identical to a fault-free run. The plans
+//! are seeded and count-based — no clocks, no RNG — so a failure here
+//! reproduces exactly on any machine.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+use xsact::prelude::*;
+use xsact::serve::{serve_tcp, FaultPlan, END_MARKER};
+use xsact_data::movies::{qm_queries, MovieGenConfig, MoviesGen};
+
+/// Eight documents so shard 1 is non-empty at every shard count under
+/// test (2 and 8).
+fn chaos_corpus(shards: usize) -> Arc<Corpus> {
+    Arc::new(Corpus::synthetic_movies(8, 40, 42).with_shards(shards))
+}
+
+/// A query outcome normalised to bytes: the rendered ranking on success,
+/// the error's display form otherwise. Byte-identity between a chaos run
+/// and a fault-free oracle is asserted on this form.
+fn rendered(session: &mut ServeSession, text: &str) -> String {
+    match session.query(text) {
+        Ok(answer) => answer.ranking.render(session.top()),
+        Err(err) => format!("ERR {err}"),
+    }
+}
+
+// ------------------------------------------------------- shard supervision
+
+/// The acceptance pin: with a seeded plan panicking shard 1 on its 3rd
+/// batch, the server returns a typed `ShardFailed` for exactly that
+/// batch, respawns the worker, and then serves QM1–QM8 byte-identical to
+/// a fault-free run — at both ends of the shard-count range.
+#[test]
+fn shard_panic_on_third_batch_recovers_byte_identical() {
+    for shards in [2usize, 8] {
+        let corpus = chaos_corpus(shards);
+        let oracle = CorpusServer::start(Arc::clone(&corpus), ServeConfig::default());
+        let chaos = CorpusServer::start(
+            Arc::clone(&corpus),
+            ServeConfig {
+                faults: FaultPlan::parse("shard_panic:1@3,seed=42").unwrap(),
+                ..ServeConfig::default()
+            },
+        );
+        let mut oracle_session = oracle.session();
+        let mut chaos_session = chaos.session();
+
+        // Two warm-up batches advance shard 1's hit counter without firing.
+        for warmup in ["drama family", "comedy wedding"] {
+            assert_eq!(
+                rendered(&mut chaos_session, warmup),
+                rendered(&mut oracle_session, warmup),
+                "warm-up {warmup:?} must not be affected (shards={shards})"
+            );
+        }
+
+        // The 3rd batch lands on the armed hit: exactly this request fails,
+        // with the typed error naming the shard and promising a restart.
+        let err = chaos_session.query("action hero").unwrap_err();
+        assert!(matches!(err, XsactError::ShardFailed { shard: 1, .. }), "{err}");
+        assert!(err.to_string().contains("injected shard_panic fault"), "{err}");
+
+        // Recovery: the full Figure-4 workload is byte-identical to the
+        // fault-free oracle on the respawned pool.
+        for (label, query) in qm_queries() {
+            assert_eq!(
+                rendered(&mut chaos_session, &query),
+                rendered(&mut oracle_session, &query),
+                "{label} diverged after recovery (shards={shards})"
+            );
+        }
+
+        let stats = chaos.stats();
+        assert_eq!(stats.shard_failed, 1, "exactly one batch failed (shards={shards})");
+        assert_eq!(stats.shard_restarts, 1, "exactly one respawn (shards={shards})");
+        assert_eq!(stats.queries_served, 10, "2 warm-ups + 8 QM answers (shards={shards})");
+        assert_eq!(stats.execute_ns.count, stats.queries_served);
+        let metrics = chaos.metrics();
+        assert!(metrics.contains("xsact_shard_restarts 1"), "{metrics}");
+        assert!(oracle.stats().shard_restarts == 0 && oracle.stats().shard_failed == 0);
+    }
+}
+
+// ------------------------------------------------------ deadlines under load
+
+/// `slow_execute` stalls a worker past the deadline: the answer is
+/// computed but *discarded* at the post-execute check, the client gets a
+/// typed `DeadlineExceeded`, and the next request is unaffected.
+#[test]
+fn slow_shard_trips_the_deadline_after_execution() {
+    let corpus = chaos_corpus(2);
+    let server = CorpusServer::start(
+        Arc::clone(&corpus),
+        ServeConfig {
+            deadline: Some(Duration::from_millis(100)),
+            faults: FaultPlan::parse("slow_execute@1x400").unwrap(),
+            ..ServeConfig::default()
+        },
+    );
+    let mut session = server.session();
+    let err = session.query("drama family").unwrap_err();
+    match err {
+        XsactError::DeadlineExceeded { elapsed_ms, deadline_ms } => {
+            assert_eq!(deadline_ms, 100);
+            assert!(elapsed_ms >= 400, "the injected stall dominates: {elapsed_ms}ms");
+        }
+        other => panic!("expected DeadlineExceeded, got {other}"),
+    }
+    let stats = server.stats();
+    assert_eq!(stats.rejected_deadline, 1);
+    assert_eq!(stats.queries_served, 0, "a late answer must be discarded, not served");
+    assert_eq!(stats.e2e_ns.count, 0, "histograms record answered queries only");
+
+    // The site fired once; the retry comes back well under the deadline
+    // and byte-identical to sequential execution.
+    let answer = session.query("drama family").unwrap();
+    let sequential = corpus.query("drama family").unwrap().ranking().render(session.top());
+    assert_eq!(answer.ranking.render(session.top()), sequential);
+    assert_eq!(server.stats().queries_served, 1);
+}
+
+// -------------------------------------------------- crash-safe persistence
+
+/// Scratch directory removed on drop.
+struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let path = std::env::temp_dir().join(format!("xsact-chaos-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).expect("create temp dir");
+        TempDir(path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// `io_error_on_save` fires after the temp file is written but before it
+/// is durable — exactly where a crash would land. The save must surface
+/// the error, leave no `.tmp` dropping, and leave the previously saved
+/// index byte-identical (the atomic rename never ran).
+#[test]
+fn injected_save_error_never_leaves_a_torn_or_temporary_file() {
+    let tmp = TempDir::new("io-error");
+    let dir = tmp.0.clone();
+    let mut corpus = Corpus::synthetic_movies(2, 12, 7);
+    corpus.save_indexes(&dir).expect("baseline save");
+    let baseline = std::fs::read(dir.join("movies-00.xidx")).expect("baseline file");
+
+    corpus.set_faults(FaultPlan::parse("io_error_on_save@1").unwrap());
+    let err = corpus.save_indexes(&dir).expect_err("injected IO error must surface");
+    assert!(err.to_string().contains("injected io_error_on_save fault"), "{err}");
+
+    let leftovers: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "tmp"))
+        .collect();
+    assert!(leftovers.is_empty(), "temp files leaked: {leftovers:?}");
+    assert_eq!(
+        std::fs::read(dir.join("movies-00.xidx")).unwrap(),
+        baseline,
+        "a failed save must not touch the previously committed bytes"
+    );
+
+    // The entry fired once: the retry commits cleanly, and the committed
+    // file round-trips through the checksummed loader.
+    corpus.save_indexes(&dir).expect("retry after the one-shot fault");
+    let doc =
+        MoviesGen::new(MovieGenConfig { seed: 7, movies: 12, ..Default::default() }).generate();
+    let mut f = std::fs::File::open(dir.join("movies-00.xidx")).unwrap();
+    Workbench::from_persisted_index(doc, &mut f).expect("retried save loads cleanly");
+}
+
+// --------------------------------------------------- connection resilience
+
+/// One line-protocol exchange: send a request, read up to the terminator.
+fn tcp_exchange(
+    writer: &mut TcpStream,
+    responses: &mut impl Iterator<Item = std::io::Result<String>>,
+    request: &str,
+) -> Vec<String> {
+    writer.write_all(format!("{request}\n").as_bytes()).expect("request sent");
+    let mut lines = Vec::new();
+    loop {
+        match responses.next() {
+            Some(Ok(line)) if line == END_MARKER => return lines,
+            Some(Ok(line)) => lines.push(line),
+            other => panic!("connection ended mid-response: {other:?}"),
+        }
+    }
+}
+
+/// `drop_connection` severs the socket after the answer is computed but
+/// before it is written — the victim sees EOF mid-exchange, like a
+/// crashed peer, while the listener and every other client carry on.
+#[test]
+fn dropped_connection_is_isolated_to_one_client() {
+    let server = CorpusServer::start(
+        chaos_corpus(2),
+        ServeConfig {
+            faults: FaultPlan::parse("drop_connection@1").unwrap(),
+            ..ServeConfig::default()
+        },
+    );
+    let handle = serve_tcp(server, "127.0.0.1:0").expect("bind ephemeral port");
+    let addr = handle.addr();
+
+    let mut victim = TcpStream::connect(addr).expect("victim connects");
+    victim.write_all(b"QUERY drama family\n").expect("victim request");
+    let mut victim_lines = BufReader::new(victim.try_clone().unwrap()).lines();
+    let mut saw_terminator = false;
+    for line in victim_lines.by_ref() {
+        let Ok(line) = line else { break };
+        if line == END_MARKER {
+            saw_terminator = true;
+            break;
+        }
+    }
+    assert!(!saw_terminator, "the injected drop must end the stream before the terminator");
+
+    // A fresh client on the same listener is unaffected.
+    let mut ok = TcpStream::connect(addr).expect("second client connects");
+    let mut responses = BufReader::new(ok.try_clone().unwrap()).lines();
+    let resp = tcp_exchange(&mut ok, &mut responses, "QUERY drama family");
+    assert!(resp.first().is_some_and(|l| l.starts_with("OK ")), "{resp:?}");
+    drop(ok);
+
+    handle.shutdown();
+}

@@ -340,6 +340,101 @@ fn overload_and_budget_surface_through_the_line_protocol() {
     assert_eq!(snapshot.rejected_budget, 1);
 }
 
+/// Satellite: the robustness PR's two new failure modes are typed through
+/// the facade — [`XsactError::DeadlineExceeded`] and
+/// [`XsactError::ShardFailed`] carry their context, map to stable error
+/// codes, and never poison the server.
+#[test]
+fn deadline_and_shard_failure_are_typed_through_the_facade() {
+    use std::time::Duration;
+    use xsact::serve::{error_code, FaultPlan};
+
+    // A zero deadline deterministically expires every query at dispatch.
+    let expired = CorpusServer::start(
+        serve_corpus(),
+        ServeConfig { deadline: Some(Duration::ZERO), ..ServeConfig::default() },
+    );
+    match expired.session().query("drama").unwrap_err() {
+        e @ XsactError::DeadlineExceeded { deadline_ms: 0, .. } => {
+            assert_eq!(error_code(&e), "DEADLINE_EXCEEDED");
+            assert!(e.to_string().contains("deadline exceeded"), "{e}");
+        }
+        other => panic!("expected DeadlineExceeded, got {other}"),
+    }
+    assert_eq!(expired.stats().rejected_deadline, 1);
+
+    // An armed shard_panic fails exactly one batch, typed, and the
+    // respawned worker serves the retry.
+    let faulty = CorpusServer::start(
+        serve_corpus(),
+        ServeConfig {
+            faults: FaultPlan::parse("shard_panic@1").unwrap(),
+            ..ServeConfig::default()
+        },
+    );
+    let mut session = faulty.session();
+    match session.query("drama").unwrap_err() {
+        e @ XsactError::ShardFailed { .. } => {
+            assert_eq!(error_code(&e), "SHARD_FAILED");
+            assert!(e.to_string().contains("retry"), "{e}");
+        }
+        other => panic!("expected ShardFailed, got {other}"),
+    }
+    session.query("drama").expect("the respawned worker serves the retry");
+    let stats = faulty.stats();
+    assert_eq!((stats.shard_failed, stats.shard_restarts), (1, 1));
+}
+
+/// Satellite, other half: the same failure modes surface over the TCP
+/// line protocol as stable `ERR <CODE>` lines, and the connection (and
+/// server) stay usable afterwards.
+#[test]
+fn deadline_and_shard_failure_surface_through_the_line_protocol() {
+    use std::time::Duration;
+    use xsact::serve::FaultPlan;
+
+    // Deadline: zero budget behind a real socket.
+    let server = CorpusServer::start(
+        serve_corpus(),
+        ServeConfig { deadline: Some(Duration::ZERO), ..ServeConfig::default() },
+    );
+    let handle = serve_tcp(server, "127.0.0.1:0").expect("binds");
+    let stream = TcpStream::connect(handle.addr()).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut responses = BufReader::new(stream).lines();
+    let resp = tcp_exchange(&mut writer, &mut responses, "QUERY drama");
+    assert!(resp[0].starts_with("ERR DEADLINE_EXCEEDED "), "{resp:?}");
+    let stats = tcp_exchange(&mut writer, &mut responses, "STATS");
+    assert!(stats.iter().any(|l| l == "rejected_deadline 1"), "{stats:?}");
+    tcp_exchange(&mut writer, &mut responses, "SHUTDOWN");
+    handle.wait();
+
+    // Shard failure: the panicked batch is an ERR line, the next query on
+    // the same connection succeeds, and the counters say what happened.
+    let server = CorpusServer::start(
+        serve_corpus(),
+        ServeConfig {
+            faults: FaultPlan::parse("shard_panic@1").unwrap(),
+            ..ServeConfig::default()
+        },
+    );
+    let handle = serve_tcp(server, "127.0.0.1:0").expect("binds");
+    let stream = TcpStream::connect(handle.addr()).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut responses = BufReader::new(stream).lines();
+    let failed = tcp_exchange(&mut writer, &mut responses, "QUERY drama");
+    assert!(failed[0].starts_with("ERR SHARD_FAILED "), "{failed:?}");
+    let recovered = tcp_exchange(&mut writer, &mut responses, "QUERY drama");
+    assert!(recovered[0].starts_with("OK "), "{recovered:?}");
+    let metrics = tcp_exchange(&mut writer, &mut responses, "METRICS");
+    assert!(metrics.iter().any(|l| l == "xsact_shard_restarts 1"), "{metrics:?}");
+    tcp_exchange(&mut writer, &mut responses, "SHUTDOWN");
+    let snapshot = handle.wait();
+    assert_eq!(snapshot.shard_failed, 1);
+    assert_eq!(snapshot.shard_restarts, 1);
+    assert_eq!(snapshot.queries_served, 1);
+}
+
 #[test]
 fn unicode_content_flows_through_the_pipeline() {
     let xml = "<shop><product><name>Caf\u{e9} Nav \u{2603} GPS</name>\
