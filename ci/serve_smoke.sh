@@ -1,21 +1,28 @@
 #!/usr/bin/env bash
 # Serve smoke lane: boot `xsact serve` on a loopback socket, drive it with
-# the scripted client, and golden-diff the responses. Four servers run in
+# the scripted client, and golden-diff the responses. Six servers run in
 # sequence:
 #
 #   1. a normal server — scripted queries, diffed against serve_smoke.golden
 #   2. a --budget 1 server — the second query must be ERR BUDGET_EXCEEDED
 #   3. a --queue 0 server  — every query must be ERR OVERLOADED
-#   4. an XSACT_FAULTS=shard_panic@2 server — the first query must be
-#      ERR SHARD_FAILED, the second byte-identical to a healthy run
-#      (diffed against serve_chaos.golden), with shard_restarts 1
+#   4. an XSACT_FAULTS=shard_panic@2 server (result-page cache enabled) —
+#      the first query must be ERR SHARD_FAILED, the second byte-identical
+#      to a healthy run (diffed against serve_chaos.golden), with
+#      shard_restarts 1 and cache_hits 0 (a failure is never cached)
+#   5. a --mux server — the phase-1 script again, one poll-driven front-end
+#      thread, diffed against the *same* serve_smoke.golden (multiplexing
+#      never changes bytes)
+#   6. a --cache-entries 0 server vs the default — the same --repeat 3
+#      client script against both; outputs must be byte-identical (the
+#      cache never changes bytes, armed or disarmed)
 #
 # The script also greps the fault module for its disarmed early-return and
 # pins the XSACT_FAULTS read to that one module, so fault injection stays
 # one branch on the production hot path.
 #
 # The script builds nothing unless target/release/xsact is missing, so the
-# CI step can reuse the workspace build. Exit code 0 = all four passed.
+# CI step can reuse the workspace build. Exit code 0 = all six passed.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -77,7 +84,7 @@ normalize() {
         -e 's/^\(\(queue_wait\|execute\|e2e\)_us count:[0-9]*\).*/\1 <quantiles>/'
 }
 
-echo "== serve smoke 1/4: scripted session vs golden =="
+echo "== serve smoke 1/6: scripted session vs golden =="
 start_server
 "$XSACT" client --addr "$ADDR" <<'EOF' >/tmp/serve_smoke.raw
 QUERY drama family
@@ -106,7 +113,7 @@ for metric in xsact_queue_wait_ns xsact_execute_ns xsact_e2e_ns; do
 done
 echo "golden diff clean; latency histogram counts match queries served"
 
-echo "== serve smoke 2/4: session budget rejects the second query =="
+echo "== serve smoke 2/6: session budget rejects the second query =="
 start_server --budget 1
 "$XSACT" client --addr "$ADDR" <<'EOF' >/tmp/serve_budget.out
 QUERY drama family
@@ -126,7 +133,7 @@ grep -q '^ERR BUDGET_EXCEEDED ' /tmp/serve_budget.out || {
 }
 echo "budget rejection surfaced"
 
-echo "== serve smoke 3/4: zero-capacity queue rejects as overloaded =="
+echo "== serve smoke 3/6: zero-capacity queue rejects as overloaded =="
 start_server --queue 0
 "$XSACT" client --addr "$ADDR" <<'EOF' >/tmp/serve_overload.out
 QUERY drama family
@@ -140,7 +147,7 @@ grep -q '^ERR OVERLOADED ' /tmp/serve_overload.out || {
 }
 echo "overload rejection surfaced"
 
-echo "== serve smoke 4/4: injected shard panic is typed and recovered =="
+echo "== serve smoke 4/6: injected shard panic is typed and recovered =="
 # shard_panic@2 fires during the first broadcast (both shards hit the
 # counter once); which shard wins the race varies, so shard numbers in
 # the ERR line are normalized before the diff. Everything after the
@@ -165,7 +172,68 @@ grep -q '^xsact_shard_restarts 1$' /tmp/serve_chaos.raw || {
     grep '^xsact_shard' /tmp/serve_chaos.raw >&2 || true
     exit 1
 }
+# The result-page cache was enabled (the default): both submissions were
+# fresh lookups, and the ShardFailed answer was never cached — a hit here
+# would mean an error page was replayed.
+grep -q '^xsact_cache_hits 0$' /tmp/serve_chaos.raw || {
+    echo "FAIL: a failed query must never be served from the cache" >&2
+    grep '^xsact_cache' /tmp/serve_chaos.raw >&2 || true
+    exit 1
+}
+grep -q '^xsact_cache_misses 2$' /tmp/serve_chaos.raw || {
+    echo "FAIL: both chaos submissions should be cache misses" >&2
+    grep '^xsact_cache' /tmp/serve_chaos.raw >&2 || true
+    exit 1
+}
 echo "shard panic surfaced as ERR SHARD_FAILED; recovery matched the golden"
+
+echo "== serve smoke 5/6: mux front end matches the same golden =="
+# The identical phase-1 script against --mux: one poll-driven thread
+# serves the connection, and the bytes must match the thread-per-connection
+# golden exactly — multiplexing never changes bytes.
+start_server --mux
+"$XSACT" client --addr "$ADDR" <<'EOF2' >/tmp/serve_mux.raw
+QUERY drama family
+TOP 2
+QUERY drama family
+STATS
+METRICS
+QUERY ???
+BOGUS verb
+SHUTDOWN
+EOF2
+finish_server >/dev/null
+normalize </tmp/serve_mux.raw >/tmp/serve_mux.out
+if ! diff -u "$GOLDEN" /tmp/serve_mux.out; then
+    echo "FAIL: mux session diverged from $GOLDEN" >&2
+    exit 1
+fi
+echo "mux lane matched the thread-per-connection golden"
+
+echo "== serve smoke 6/6: disarmed cache is byte-identical =="
+# The same --repeat 3 script against the default (cached) server and a
+# --cache-entries 0 server: repeats are hits on one and fresh executions
+# on the other, and the client-visible bytes must not differ.
+cache_script() {
+    "$XSACT" client --addr "$ADDR" --repeat 3 <<'EOF2'
+QUERY drama family
+TOP 2
+QUERY drama family
+QUERY comedy wedding
+EOF2
+    "$XSACT" client --addr "$ADDR" <<'EOF2'
+SHUTDOWN
+EOF2
+}
+start_server
+cache_script >/tmp/serve_cached.out
+start_server --cache-entries 0
+cache_script >/tmp/serve_uncached.out
+if ! diff -u /tmp/serve_cached.out /tmp/serve_uncached.out; then
+    echo "FAIL: cache on vs off changed client-visible bytes" >&2
+    exit 1
+fi
+echo "cache on/off outputs byte-identical"
 
 echo "== zero-cost guards: disarmed faults stay one branch =="
 grep -q 'self.0.as_ref()?' crates/xsact-serve/src/fault.rs || {
@@ -180,4 +248,4 @@ if [[ "$FAULT_READERS" != "crates/xsact-serve/src/fault.rs" ]]; then
 fi
 echo "guards held"
 
-echo "serve smoke: all four scenarios passed"
+echo "serve smoke: all six scenarios passed"

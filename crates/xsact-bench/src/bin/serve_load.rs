@@ -14,6 +14,18 @@
 //!    coordinated omission) is included; admission-control rejections are
 //!    counted rather than hidden.
 //!
+//! Plus three hot-path experiments from PR 10:
+//!
+//! 3. **Result-page cache**: the mix is served once cold (misses) and then
+//!    repeatedly warm (hits); the hit/miss p50 ratio is the cache's
+//!    speedup. Both loops assert byte-identity along the way.
+//! 4. **Zipfian skew**: a seeded Zipf(s≈1.1) stream over a 16-query mix
+//!    against a deliberately tiny cache vs no cache — hit ratio and
+//!    speedup under a realistic skewed workload with constant eviction.
+//! 5. **Plan sharing**: term-overlapping queries submitted concurrently so
+//!    one dispatch round batches them; `postings_shared > 0` proves the
+//!    per-(doc, term) resolutions were reused, with identical bytes.
+//!
 //! Before timing anything, every distinct query in the mix is checked
 //! byte-identical against sequential execution — a load bench that quietly
 //! served different bytes would be measuring a bug. After the runs, the
@@ -24,12 +36,15 @@
 //!
 //! Usage: `cargo run --release -p xsact-bench --bin serve_load [--quick]`
 
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use xsact::data::movies::qm_queries;
 use xsact::obs::{Histogram, HistogramSnapshot};
 use xsact::prelude::*;
+use xsact::serve::ServeSnapshot;
 use xsact_bench::harness::format_duration;
 use xsact_bench::{emit_json, print_row, record, scaled, FIG4_SEED};
 
@@ -187,6 +202,197 @@ fn cross_check(client: &HistogramSnapshot, exposition: &str) {
     }
 }
 
+/// Phase 3: the result-page cache. One cold pass over the mix (every
+/// query a miss), then warm passes (every query a hit); the p50 ratio is
+/// the cache's speedup, with bytes asserted identical throughout.
+fn cache_phase(corpus: &Arc<Corpus>, mix: &[String], k: usize) {
+    println!("result-page cache (cold pass = misses, warm passes = hits)");
+    let server = CorpusServer::start(Arc::clone(corpus), ServeConfig::default());
+    let expected: Vec<String> =
+        mix.iter().map(|t| corpus.query(t).expect("non-empty").ranking().render(k)).collect();
+    let mut session = server.session();
+    let miss = Histogram::new();
+    for (text, want) in mix.iter().zip(&expected) {
+        let t = Instant::now();
+        let answer = session.query(text).expect("mix queries are non-empty");
+        miss.record_duration(t.elapsed());
+        assert_eq!(&answer.ranking.render(k), want, "cold bytes diverged for {text:?}");
+    }
+    let hit = Histogram::new();
+    for _ in 0..scaled(50, 4) {
+        for (text, want) in mix.iter().zip(&expected) {
+            let t = Instant::now();
+            let answer = session.query(text).expect("mix queries are non-empty");
+            hit.record_duration(t.elapsed());
+            assert_eq!(&answer.ranking.render(k), want, "cached bytes diverged for {text:?}");
+        }
+    }
+    server.join();
+    let stats = server.stats();
+    assert_eq!(stats.cache_misses, mix.len() as u64, "the cold pass misses exactly once per key");
+    assert_eq!(stats.cache_hits, hit.snapshot().count, "every warm query hit");
+    let (miss, hit) = (miss.snapshot(), hit.snapshot());
+    let speedup = miss.p50() as f64 / hit.p50().max(1) as f64;
+    record("serve/cache", "miss_p50_ns", miss.p50() as f64);
+    record("serve/cache", "hit_p50_ns", hit.p50() as f64);
+    record("serve/cache", "speedup_p50", speedup);
+    record("serve/cache", "hits", stats.cache_hits as f64);
+    record("serve/cache", "misses", stats.cache_misses as f64);
+    println!(
+        "miss p50 {}  hit p50 {}  speedup {speedup:.1}x  ({} hits / {} misses)
+",
+        cell(miss.p50()),
+        cell(hit.p50()),
+        stats.cache_hits,
+        stats.cache_misses
+    );
+}
+
+/// Deterministic Zipf(s) sampler over `n` ranks: cumulative weights
+/// 1/r^s, inverted by a 53-bit uniform draw from the seeded StdRng.
+struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: usize, s: f64) -> Zipf {
+        let weights: Vec<f64> = (1..=n).map(|r| 1.0 / (r as f64).powf(s)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let cumulative = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        Zipf { cumulative }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.cumulative.iter().position(|&c| u < c).unwrap_or(self.cumulative.len() - 1)
+    }
+}
+
+/// Phase 4: a seeded Zipfian-skewed stream over a 16-query mix, served by
+/// a deliberately tiny cache (4 pages — the tail evicts constantly) and
+/// by no cache at all. The hit ratio the skew buys and the wall-clock
+/// speedup it translates to are recorded side by side.
+fn zipf_phase(corpus: &Arc<Corpus>, _k: usize) {
+    let mut mix = query_mix();
+    mix.extend(
+        [
+            "drama wedding",
+            "comedy love",
+            "action space",
+            "thriller ghost",
+            "romance hero",
+            "war detective",
+            "scifi soldier",
+            "horror family",
+        ]
+        .map(str::to_owned),
+    );
+    let zipf = Zipf::new(mix.len(), 1.1);
+    let total = scaled(2_000, 64);
+    // The identical seeded stream drives both servers.
+    let stream: Vec<usize> = {
+        let mut rng = StdRng::seed_from_u64(FIG4_SEED);
+        (0..total).map(|_| zipf.sample(&mut rng)).collect()
+    };
+    println!("zipfian mix (s=1.1, {} keys, {total} queries, 4-page cache vs none)", mix.len());
+    let run = |entries: usize| -> (HistogramSnapshot, Duration, ServeSnapshot) {
+        let server = CorpusServer::start(
+            Arc::clone(corpus),
+            ServeConfig { cache_entries: entries, ..ServeConfig::default() },
+        );
+        let mut session = server.session();
+        let latencies = Histogram::new();
+        let wall = Instant::now();
+        for &i in &stream {
+            let t = Instant::now();
+            session.query(&mix[i]).expect("mix queries are non-empty");
+            latencies.record_duration(t.elapsed());
+        }
+        let wall = wall.elapsed();
+        server.join();
+        (latencies.snapshot(), wall, server.stats())
+    };
+    let (cached, cached_wall, stats) = run(4);
+    let (uncached, uncached_wall, _) = run(0);
+    let hit_ratio = stats.cache_hits as f64 / (stats.cache_hits + stats.cache_misses) as f64;
+    let speedup = uncached_wall.as_secs_f64() / cached_wall.as_secs_f64().max(1e-9);
+    record("serve/zipf", "hit_ratio", hit_ratio);
+    record("serve/zipf", "evictions", stats.cache_evictions as f64);
+    record("serve/zipf", "cached_p50_ns", cached.p50() as f64);
+    record("serve/zipf", "uncached_p50_ns", uncached.p50() as f64);
+    record("serve/zipf", "wall_speedup", speedup);
+    println!(
+        "hit ratio {:.0}%  p50 {} vs {}  wall {} vs {}  speedup {speedup:.1}x
+",
+        hit_ratio * 100.0,
+        cell(cached.p50()),
+        cell(uncached.p50()),
+        format_duration(cached_wall),
+        format_duration(uncached_wall),
+    );
+}
+
+/// Phase 5: batch-level plan sharing. Term-overlapping queries are
+/// released through a barrier so one dispatch round batches them (retried
+/// until the timing works out); the server's `postings_shared` counter
+/// then proves each repeated term's posting lists were resolved once per
+/// (document, term) — and the bytes are checked against sequential
+/// execution as always.
+fn sharing_phase(corpus: &Arc<Corpus>, k: usize) {
+    // Every query shares the term "drama"; the second terms differ, so
+    // the batch coalesces nothing and shares everything it can.
+    let overlapping =
+        ["drama family", "drama wedding", "drama hero", "drama detective", "drama love"];
+    let expected: Vec<String> = overlapping
+        .iter()
+        .map(|t| corpus.query(t).expect("non-empty").ranking().render(k))
+        .collect();
+    // Caching would satisfy repeats without executing, so it is off here.
+    let server = CorpusServer::start(
+        Arc::clone(corpus),
+        ServeConfig { cache_entries: 0, ..ServeConfig::default() },
+    );
+    let mut shared = 0;
+    for _attempt in 0..50 {
+        let barrier = std::sync::Barrier::new(overlapping.len());
+        std::thread::scope(|scope| {
+            for (i, text) in overlapping.iter().enumerate() {
+                let server = &server;
+                let barrier = &barrier;
+                let expected = &expected;
+                scope.spawn(move || {
+                    let mut session = server.session();
+                    barrier.wait();
+                    let answer = session.query(text).expect("mix queries are non-empty");
+                    assert_eq!(
+                        answer.ranking.render(k),
+                        expected[i],
+                        "shared-plan bytes diverged for {text:?}"
+                    );
+                });
+            }
+        });
+        shared = server.stats().postings_shared;
+        if shared > 0 {
+            break;
+        }
+    }
+    server.join();
+    assert!(shared > 0, "an overlapping batch never formed in 50 attempts");
+    record("serve/plan_sharing", "postings_shared", shared as f64);
+    println!(
+        "plan sharing: {shared} posting entries resolved once and reused
+"
+    );
+}
+
 fn main() {
     let cores = std::thread::available_parallelism().map_or(1, usize::from);
     println!("machine parallelism: {cores} core{}", if cores == 1 { "" } else { "s" });
@@ -200,7 +406,10 @@ fn main() {
         "corpus: {docs} documents x {movies} movies, {shards} shards (built in {:.1?})",
         t.elapsed()
     );
-    let config = ServeConfig::default();
+    // The load phases measure the *execution* path — batching under
+    // concurrency — so the result-page cache is disabled here; the cache
+    // phases below measure it separately against this same corpus.
+    let config = ServeConfig { cache_entries: 0, ..ServeConfig::default() };
     let k = config.default_top;
     let server = CorpusServer::start(Arc::clone(&corpus), config);
     let mix = query_mix();
@@ -282,6 +491,15 @@ fn main() {
     cross_check(&client, &check_server.metrics());
     println!();
 
+    // ---- result-page cache: hit vs miss ----------------------------------
+    cache_phase(&corpus, &mix, k);
+
+    // ---- Zipfian-skewed query mix ----------------------------------------
+    zipf_phase(&corpus, k);
+
+    // ---- batch-level plan sharing ----------------------------------------
+    sharing_phase(&corpus, k);
+
     println!("server counters after the runs:");
     server.join();
     let stats = server.stats();
@@ -296,6 +514,10 @@ fn main() {
         ("rejected_deadline", stats.rejected_deadline),
         ("shard_failed", stats.shard_failed),
         ("shard_restarts", stats.shard_restarts),
+        ("cache_hits", stats.cache_hits),
+        ("cache_misses", stats.cache_misses),
+        ("cache_evictions", stats.cache_evictions),
+        ("postings_shared", stats.postings_shared),
     ] {
         record("serve/counters", key, value as f64);
     }

@@ -8,7 +8,7 @@ use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use xsact::prelude::*;
-use xsact::serve::{serve_tcp, FaultPlan, END_MARKER};
+use xsact::serve::{serve_tcp, serve_tcp_mux, FaultPlan, END_MARKER};
 use xsact_data::{
     fixtures, JobsGen, JobsGenConfig, MovieGenConfig, MoviesGen, OutdoorGen, OutdoorGenConfig,
     ReviewsGen, ReviewsGenConfig,
@@ -337,12 +337,19 @@ pub fn run_serve(args: &ServeArgs) -> Result<String, XsactError> {
         budget: args.budget,
         slow_query: args.slow_query_ms.map(Duration::from_millis),
         deadline: args.deadline_ms.map(Duration::from_millis),
+        cache_entries: args.cache_entries,
+        cache_bytes: args.cache_bytes,
         faults,
         ..ServeConfig::default()
     };
     let server = CorpusServer::start(Arc::clone(&corpus), config);
     let registry = server.metrics_registry();
-    let handle = serve_tcp(server, &args.addr)?;
+    // The two front ends are wire-identical; --mux only changes the
+    // threading model (one poll-driven thread vs one thread per
+    // connection). Deliberately absent from the config print below, so a
+    // mux run diffs clean against a thread-per-connection golden.
+    let handle =
+        if args.mux { serve_tcp_mux(server, &args.addr)? } else { serve_tcp(server, &args.addr)? };
     // The HTTP endpoint scrapes the same registry the METRICS verb reads.
     let metrics = match &args.metrics_addr {
         Some(addr) => Some(xsact::obs::serve_metrics(registry, addr)?),
@@ -361,6 +368,10 @@ pub fn run_serve(args: &ServeArgs) -> Result<String, XsactError> {
             None => String::new(),
         }
     );
+    match args.cache_entries {
+        0 => println!("result-page cache disabled"),
+        entries => println!("result-page cache: {} entries, {} bytes", entries, args.cache_bytes),
+    }
     if let Some(metrics) = &metrics {
         println!("metrics on http://{}/metrics", metrics.addr());
     }
@@ -372,6 +383,7 @@ pub fn run_serve(args: &ServeArgs) -> Result<String, XsactError> {
         postings_scanned: stats.postings_scanned,
         gallop_probes: stats.gallop_probes,
         candidates_pruned: stats.candidates_pruned,
+        postings_shared: stats.postings_shared,
     };
     Ok(format!("shutdown complete\n{stats}\n{}", explain_line(executor)))
 }
@@ -393,26 +405,30 @@ pub fn run_client(args: &ClientArgs) -> Result<String, XsactError> {
         if request.is_empty() {
             continue;
         }
-        let mut attempt = 0u32;
-        loop {
-            writer.write_all(format!("{request}\n").as_bytes())?;
-            // Server closed the stream mid-response (shutdown race, or a
-            // dropped connection) — nothing more to print.
-            let Some(body) = read_response(&mut responses) else { return Ok(String::new()) };
-            if attempt < args.retry_overloaded
-                && body.first().is_some_and(|l| l.starts_with("ERR OVERLOADED"))
-            {
-                std::thread::sleep(overload_backoff(request, attempt));
-                attempt += 1;
-                continue;
+        // --repeat sends the same request N times (the warm/hit loop of a
+        // cache experiment); each send prints its own response.
+        for _ in 0..args.repeat.max(1) {
+            let mut attempt = 0u32;
+            loop {
+                writer.write_all(format!("{request}\n").as_bytes())?;
+                // Server closed the stream mid-response (shutdown race, or
+                // a dropped connection) — nothing more to print.
+                let Some(body) = read_response(&mut responses) else { return Ok(String::new()) };
+                if attempt < args.retry_overloaded
+                    && body.first().is_some_and(|l| l.starts_with("ERR OVERLOADED"))
+                {
+                    std::thread::sleep(overload_backoff(request, attempt));
+                    attempt += 1;
+                    continue;
+                }
+                for l in &body {
+                    println!("{l}");
+                }
+                break;
             }
-            for l in &body {
-                println!("{l}");
+            if request == "QUIT" || request == "SHUTDOWN" {
+                return Ok(String::new());
             }
-            break;
-        }
-        if request == "QUIT" || request == "SHUTDOWN" {
-            break;
         }
     }
     Ok(String::new())

@@ -192,6 +192,14 @@ pub struct ServeArgs {
     /// Per-query deadline in milliseconds (queue wait + execute); a query
     /// past it gets `ERR DEADLINE_EXCEEDED`. `None` = unlimited.
     pub deadline_ms: Option<u64>,
+    /// Entry bound of the result-page cache; 0 disables caching.
+    pub cache_entries: usize,
+    /// Approximate byte bound of the result-page cache (0 = entry bound
+    /// only).
+    pub cache_bytes: usize,
+    /// Serve with the single-thread poll-multiplexed front end instead of
+    /// thread-per-connection (wire behaviour is identical).
+    pub mux: bool,
 }
 
 impl Default for ServeArgs {
@@ -211,6 +219,9 @@ impl Default for ServeArgs {
             metrics_addr: None,
             slow_query_ms: None,
             deadline_ms: None,
+            cache_entries: 1024,
+            cache_bytes: 4 << 20,
+            mux: false,
         }
     }
 }
@@ -228,11 +239,19 @@ pub struct ClientArgs {
     /// (exponential backoff with deterministic jitter); 0 = print the
     /// error like any other.
     pub retry_overloaded: u32,
+    /// Send each stdin request this many times, printing every response
+    /// (cache warm/hit experiments); clamped to at least 1.
+    pub repeat: u32,
 }
 
 impl Default for ClientArgs {
     fn default() -> Self {
-        ClientArgs { addr: "127.0.0.1:4141".to_owned(), retry_ms: 2000, retry_overloaded: 0 }
+        ClientArgs {
+            addr: "127.0.0.1:4141".to_owned(),
+            retry_ms: 2000,
+            retry_overloaded: 0,
+            repeat: 1,
+        }
     }
 }
 
@@ -326,6 +345,13 @@ SERVE OPTIONS (long-lived corpus server, TCP line protocol):
                          to stderr (off by default)
     --deadline-ms <n>    per-query deadline (queue wait + execute); a
                          query past it gets ERR DEADLINE_EXCEEDED
+    --cache-entries <n>  result-page cache entry bound; 0 disables the
+                         cache (hits skip queue and shard pool)   [1024]
+    --cache-bytes <n>    result-page cache byte bound; 0 = entry bound
+                         only                                  [4194304]
+    --mux                multiplex all connections on one front-end
+                         thread (poll-based readiness loop); bytes are
+                         identical to thread-per-connection
     env XSACT_FAULTS     arm deterministic fault-injection sites (chaos
                          testing; see the fault module docs)
     protocol verbs: QUERY <text> | TOP <k> | STATS | METRICS | QUIT |
@@ -337,6 +363,8 @@ CLIENT OPTIONS (scriptable line-protocol client; requests from stdin):
     --retry-overloaded <n>  retry a request answered ERR OVERLOADED up
                          to <n> times (exponential backoff, deterministic
                          jitter)                                     [0]
+    --repeat <n>         send each stdin request <n> times, printing
+                         every response (cache experiments)          [1]
 ";
 
 fn parse_algorithm(s: &str) -> Result<Algorithm, ArgError> {
@@ -423,6 +451,11 @@ where
                         .map_err(|_| ArgError("--deadline-ms expects an integer".into()))?,
                 );
             }
+            "--cache-entries" => {
+                args.cache_entries = int("--cache-entries", value("--cache-entries")?)?;
+            }
+            "--cache-bytes" => args.cache_bytes = int("--cache-bytes", value("--cache-bytes")?)?,
+            "--mux" => args.mux = true,
             "--help" | "-h" => return Err(ArgError(USAGE.to_owned())),
             other => return Err(ArgError(format!("unknown serve flag {other:?}\n\n{USAGE}"))),
         }
@@ -449,6 +482,12 @@ where
                 args.retry_overloaded = value("--retry-overloaded")?
                     .parse()
                     .map_err(|_| ArgError("--retry-overloaded expects an integer".into()))?;
+            }
+            "--repeat" => {
+                args.repeat = value("--repeat")?
+                    .parse::<u32>()
+                    .map_err(|_| ArgError("--repeat expects an integer".into()))?
+                    .max(1);
             }
             "--help" | "-h" => return Err(ArgError(USAGE.to_owned())),
             other => return Err(ArgError(format!("unknown client flag {other:?}\n\n{USAGE}"))),
@@ -775,6 +814,20 @@ mod tests {
         assert_eq!((s.queue, s.max_batch, s.top), (64, 16, 4));
         assert_eq!(s.budget, None);
         assert_eq!((s.docs, s.movies, s.shards), (8, 120, 0));
+        assert_eq!((s.cache_entries, s.cache_bytes), (1024, 4 << 20));
+        assert!(!s.mux, "thread-per-connection is the default front end");
+    }
+
+    #[test]
+    fn serve_cache_and_mux_flags() {
+        let s = parse_serve_ok(&["serve", "--cache-entries", "0", "--mux"]);
+        assert_eq!(s.cache_entries, 0, "--cache-entries 0 disables the cache");
+        assert!(s.mux);
+        let s = parse_serve_ok(&["serve", "--cache-entries", "2", "--cache-bytes", "4096"]);
+        assert_eq!((s.cache_entries, s.cache_bytes), (2, 4096));
+        let err = |args: &[&str]| parse(args.iter().map(|s| s.to_string())).unwrap_err();
+        assert!(err(&["serve", "--cache-entries", "x"]).0.contains("integer"));
+        assert!(err(&["serve", "--cache-bytes"]).0.contains("requires a value"));
     }
 
     #[test]
@@ -845,6 +898,27 @@ mod tests {
         assert_eq!(c.addr, "127.0.0.1:9");
         assert_eq!(c.retry_ms, 10);
         assert_eq!(c.retry_overloaded, 3);
+        assert_eq!(c.repeat, 1, "--repeat defaults to a single send");
+    }
+
+    #[test]
+    fn client_repeat_flag() {
+        let c = match parse(["client", "--repeat", "5"].iter().map(|s| s.to_string()))
+            .expect("parses")
+        {
+            Command::Client(c) => c,
+            other => panic!("expected client mode, got {other:?}"),
+        };
+        assert_eq!(c.repeat, 5);
+        let c = match parse(["client", "--repeat", "0"].iter().map(|s| s.to_string()))
+            .expect("parses")
+        {
+            Command::Client(c) => c,
+            other => panic!("expected client mode, got {other:?}"),
+        };
+        assert_eq!(c.repeat, 1, "--repeat 0 is clamped to one send");
+        let err = |args: &[&str]| parse(args.iter().map(|s| s.to_string())).unwrap_err();
+        assert!(err(&["client", "--repeat", "x"]).0.contains("integer"));
     }
 
     #[test]

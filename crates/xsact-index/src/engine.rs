@@ -8,7 +8,7 @@
 //! of reference \[3\] in the form the demo paper describes ("each result will
 //! be a brand selling men's jackets").
 
-use crate::plan::{ExecutorStats, QueryPlan};
+use crate::plan::{ExecutorStats, PlanFragments, QueryPlan};
 use crate::postings::InvertedIndex;
 use crate::query::Query;
 use crate::rank::{rank_results, ScoredResult, Scorer, TopK};
@@ -261,13 +261,52 @@ impl SearchEngine {
         semantics: ResultSemantics,
         trace: Option<&TraceSink>,
     ) -> TopKSearch {
-        let mut stats = ExecutorStats::default();
+        let stats = ExecutorStats::default();
         let span = trace.map(|sink| sink.span("plan"));
         let plan = QueryPlan::new(&self.index, query);
         if let Some(mut span) = span {
             note_plan(&mut span, &plan);
             span.finish();
         }
+        self.top_k_planned(&plan, query, k, semantics, trace, stats)
+    }
+
+    /// [`search_top_k`](Self::search_top_k), but planning through a shared
+    /// per-batch [`PlanFragments`] table: terms already resolved by an
+    /// earlier query of the same batch are served from the table, and the
+    /// reused entry count lands in [`ExecutorStats::postings_shared`].
+    /// Every other byte — hits, ranking order, the three legacy counters —
+    /// is identical to the independent path (`tests/properties.rs` pins
+    /// it over random batches).
+    pub fn search_top_k_shared<'e>(
+        &'e self,
+        query: &Query,
+        k: usize,
+        semantics: ResultSemantics,
+        fragments: &mut PlanFragments<'e>,
+    ) -> TopKSearch {
+        let shared_before = fragments.shared_entries();
+        let plan = QueryPlan::new_shared(&self.index, query, fragments);
+        let stats = ExecutorStats {
+            postings_shared: fragments.shared_entries() - shared_before,
+            ..ExecutorStats::default()
+        };
+        self.top_k_planned(&plan, query, k, semantics, None, stats)
+    }
+
+    /// The execution half of the top-k search, shared by the independent
+    /// and plan-sharing entry points: score, stream, and keep the best
+    /// `k` in a bounded heap. `stats` carries whatever planning already
+    /// counted (zero, or the shared-entry credit).
+    fn top_k_planned<'e>(
+        &'e self,
+        plan: &QueryPlan<'e>,
+        query: &Query,
+        k: usize,
+        semantics: ResultSemantics,
+        trace: Option<&TraceSink>,
+        mut stats: ExecutorStats,
+    ) -> TopKSearch {
         if plan.is_empty() {
             return TopKSearch { hits: Vec::new(), stats };
         }
@@ -275,7 +314,7 @@ impl SearchEngine {
         let span = trace.map(|sink| sink.span("slca-stream"));
         let mut heap: TopK<'_, (ScoredResult, NodeId)> = TopK::new(k);
         let mut streamed = 0usize;
-        self.for_each_promoted(&plan, semantics, &mut stats, |root, slca| {
+        self.for_each_promoted(plan, semantics, &mut stats, |root, slca| {
             let scored = scorer.score(root);
             heap.push(scored.score, self.doc.dewey(root), (scored, slca));
             streamed += 1;

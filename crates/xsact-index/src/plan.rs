@@ -60,6 +60,12 @@ pub struct ExecutorStats {
     /// entity promotions, and scored results evicted by the bounded
     /// top-k heap.
     pub candidates_pruned: u64,
+    /// Posting entries served from a shared [`PlanFragments`] table
+    /// instead of being resolved against the index again — the proof that
+    /// batch-level plan sharing reused work. Always zero on the
+    /// independent ([`QueryPlan::new`]) path; sharing never changes any
+    /// other counter (the lists are the same lists).
+    pub postings_shared: u64,
 }
 
 impl ExecutorStats {
@@ -78,6 +84,7 @@ impl Add for ExecutorStats {
             postings_scanned: self.postings_scanned + rhs.postings_scanned,
             gallop_probes: self.gallop_probes + rhs.gallop_probes,
             candidates_pruned: self.candidates_pruned + rhs.candidates_pruned,
+            postings_shared: self.postings_shared + rhs.postings_shared,
         }
     }
 }
@@ -97,7 +104,11 @@ impl fmt::Display for ExecutorStats {
             f,
             "{} postings scanned, {} gallop probes, {} candidates pruned",
             self.postings_scanned, self.gallop_probes, self.candidates_pruned
-        )
+        )?;
+        if self.postings_shared > 0 {
+            write!(f, ", {} postings shared", self.postings_shared)?;
+        }
+        Ok(())
     }
 }
 
@@ -116,6 +127,67 @@ impl ListRef<'_> {
             ListRef::Flat(l) => l.len(),
             ListRef::Packed(p) => p.len(),
         }
+    }
+}
+
+/// A per-batch plan-fragment table: term → resolved posting list, shared
+/// by every query of one batch against **one** index.
+///
+/// Queries in a batch that share terms resolve each shared term once; the
+/// second and later resolutions are served from this table, and their
+/// entry counts accumulate into [`shared_entries`](Self::shared_entries)
+/// (surfaced per query as [`ExecutorStats::postings_shared`]). Sharing is
+/// pure memoisation of [`InvertedIndex::postings`] — the returned
+/// [`PostingsRef`] is the same list the independent path would resolve,
+/// so plans built through a table are byte-identical to independent
+/// plans: same lists, same rarest-first order (the sort is stable and the
+/// keys are identical), same probes.
+///
+/// A table is only meaningful for a single index; building plans for two
+/// different indexes through one table is a logic error (debug-asserted).
+#[derive(Debug, Default)]
+pub struct PlanFragments<'a> {
+    /// Linear memo — batch queries hold a handful of terms, so a scan
+    /// beats hashing.
+    entries: Vec<(String, PostingsRef<'a>)>,
+    shared_entries: u64,
+    /// Identity of the index the fragments were resolved against.
+    index: Option<*const InvertedIndex>,
+}
+
+impl<'a> PlanFragments<'a> {
+    /// An empty table for one batch over one index.
+    pub fn new() -> PlanFragments<'a> {
+        PlanFragments::default()
+    }
+
+    /// Posting entries served from the table instead of a fresh index
+    /// resolution, accumulated over every plan built through it.
+    pub fn shared_entries(&self) -> u64 {
+        self.shared_entries
+    }
+
+    /// Distinct terms resolved so far.
+    pub fn terms(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Resolves `term`, serving repeats from the memo. Empty lists are
+    /// memoised too: a hopeless term short-circuits every query that
+    /// carries it, and the table remembers that verdict.
+    fn resolve(&mut self, index: &'a InvertedIndex, term: &str) -> PostingsRef<'a> {
+        debug_assert!(
+            std::ptr::eq(*self.index.get_or_insert(index as *const InvertedIndex), index),
+            "a PlanFragments table must not span indexes"
+        );
+        if let Some((_, postings)) = self.entries.iter().find(|(t, _)| t == term) {
+            let postings = *postings;
+            self.shared_entries += postings.len() as u64;
+            return postings;
+        }
+        let postings = index.postings(term);
+        self.entries.push((term.to_owned(), postings));
+        postings
     }
 }
 
@@ -148,6 +220,32 @@ impl<'a> QueryPlan<'a> {
             if postings.is_empty() {
                 // Conjunctive semantics: one hopeless term sinks the whole
                 // query before any SLCA work happens.
+                return QueryPlan { lists: Vec::new() };
+            }
+            lists.push(ListRef::Packed(postings));
+        }
+        lists.sort_by_key(ListRef::len);
+        QueryPlan { lists }
+    }
+
+    /// [`new`](Self::new), but with every term resolution routed through a
+    /// per-batch [`PlanFragments`] table so queries sharing terms resolve
+    /// each shared list once. The resulting plan is byte-identical to the
+    /// independent path — same lists in the same stable rarest-first
+    /// order, same short-circuit point — only the resolution work is
+    /// shared (and counted via [`PlanFragments::shared_entries`]).
+    pub fn new_shared(
+        index: &'a InvertedIndex,
+        query: &Query,
+        fragments: &mut PlanFragments<'a>,
+    ) -> QueryPlan<'a> {
+        if query.is_empty() {
+            return QueryPlan { lists: Vec::new() };
+        }
+        let mut lists = Vec::with_capacity(query.len());
+        for term in query.iter() {
+            let postings = fragments.resolve(index, term);
+            if postings.is_empty() {
                 return QueryPlan { lists: Vec::new() };
             }
             lists.push(ListRef::Packed(postings));

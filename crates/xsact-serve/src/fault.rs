@@ -17,6 +17,9 @@
 //! | `slow_execute`     | shard index  | sleep millis     | worker stalls before executing |
 //! | `io_error_on_save` | —            | —                | index save returns an IO error |
 //! | `drop_connection`  | —            | —                | TCP connection closed mid-talk |
+//! | `cache_poison`     | —            | —                | result-page cache insert races |
+//! |                    |              |                  | an invalidation (stale-        |
+//! |                    |              |                  | generation guard must reject)  |
 //!
 //! The *call sites* live where the behaviour belongs (the dispatch
 //! closure, the persistence helpers, the connection loop); this module

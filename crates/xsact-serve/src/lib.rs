@@ -25,9 +25,18 @@
 //!   end-to-end), typed rejection counts, and the executor work
 //!   aggregated over every batch — all scrapeable as one Prometheus-style
 //!   exposition.
+//! * [`PageCache`] — the bounded LRU result-page cache (entry and byte
+//!   bounds, generation-based invalidation) the facade checks before a
+//!   query ever reaches the queue. Caching never changes bytes; a
+//!   generation mismatch rejects the insert (the anti-poison guard).
 //! * [`protocol`] — the newline-delimited request/response framing the
 //!   TCP front end speaks (`QUERY …`, `TOP k`, `STATS`, `METRICS`,
 //!   `QUIT`, `SHUTDOWN`; every response ends with a lone `.` line).
+//! * [`mux`] — readiness multiplexing for the TCP front end: a
+//!   dependency-free `poll(2)` wrapper (scalar fallback off Unix) and
+//!   incremental [`LineBuffer`] framing that matches `BufRead::lines`
+//!   byte for byte, so one thread can serve every connection
+//!   wire-identically to thread-per-connection.
 //! * [`fault`] — deterministic fault injection: a [`FaultPlan`] arms
 //!   named sites (`shard_panic`, `slow_execute`, `io_error_on_save`,
 //!   `drop_connection`) that fire on exact hit counts, so the chaos suite
@@ -39,13 +48,17 @@
 //! `src/serve.rs` in the facade crate.
 
 pub mod batch;
+pub mod cache;
 pub mod fault;
+pub mod mux;
 pub mod protocol;
 pub mod queue;
 pub mod stats;
 
 pub use batch::coalesce;
+pub use cache::{Inserted, PageCache};
 pub use fault::FaultPlan;
+pub use mux::LineBuffer;
 pub use protocol::{err_line, Request, END_MARKER};
 pub use queue::{Rejected, SubmissionQueue};
 pub use stats::{ServeCounters, ServeSnapshot};

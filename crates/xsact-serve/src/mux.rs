@@ -1,0 +1,333 @@
+//! Readiness multiplexing for the TCP front end: a dependency-free
+//! `poll(2)` wrapper plus incremental line-protocol framing.
+//!
+//! The thread-per-connection front end spends one OS thread per client —
+//! fine for tens of connections, a ceiling for thousands. The mux front
+//! end replaces it with **one** thread running a readiness loop over
+//! nonblocking sockets. This module provides the two engine-free pieces
+//! that loop needs:
+//!
+//! * [`poll`] — a thin FFI wrapper over the platform's `poll(2)` (no
+//!   `libc` crate; the workspace carries zero external dependencies). On
+//!   non-Unix platforms a scalar `select`-style fallback takes over:
+//!   after a short sleep it conservatively reports every registered
+//!   interest as ready. That is *correct* (level-triggered readiness is
+//!   only ever a hint; all I/O on the loop handles `WouldBlock`) just not
+//!   as efficient — the same contract an eventfd-less `select` loop has.
+//! * [`LineBuffer`] — incremental framing: bytes arrive in whatever
+//!   chunks the kernel delivers, complete lines come out. Mirrors
+//!   `BufRead::lines` exactly (trailing `\r` stripped, UTF-8 required) so
+//!   the mux front end is wire-identical to the threaded one — the serve
+//!   smoke script diffs both against the *same* golden.
+
+use std::io;
+use std::time::Duration;
+
+/// Interest / readiness: the caller wants to read.
+pub const INTEREST_READ: u8 = 0b01;
+/// Interest / readiness: the caller wants to write.
+pub const INTEREST_WRITE: u8 = 0b10;
+
+/// One registered descriptor: interest in, readiness out.
+#[derive(Debug, Clone, Copy)]
+pub struct PollEntry {
+    /// Raw file descriptor (`as_raw_fd()` on Unix; ignored by the
+    /// fallback poller).
+    pub fd: i32,
+    /// Bitmask of `INTEREST_*` the caller wants readiness for.
+    pub interest: u8,
+    /// Readiness reported by the last [`poll`] call (bitmask of
+    /// `INTEREST_*`).
+    pub ready: u8,
+    /// The peer hung up or the descriptor errored — read to observe the
+    /// EOF/error, then drop the connection.
+    pub hangup: bool,
+}
+
+impl PollEntry {
+    /// An entry watching `fd` for `interest`.
+    pub fn new(fd: i32, interest: u8) -> PollEntry {
+        PollEntry { fd, interest, ready: 0, hangup: false }
+    }
+
+    /// Whether the last poll reported the read interest ready.
+    pub fn readable(&self) -> bool {
+        self.ready & INTEREST_READ != 0
+    }
+
+    /// Whether the last poll reported the write interest ready.
+    pub fn writable(&self) -> bool {
+        self.ready & INTEREST_WRITE != 0
+    }
+}
+
+#[cfg(unix)]
+mod sys {
+    //! The real `poll(2)`, reached by direct FFI: `pollfd` is three
+    //! integers with a layout fixed by POSIX, so no `libc` crate is
+    //! needed to call it.
+
+    use super::{PollEntry, INTEREST_READ, INTEREST_WRITE};
+    use std::io;
+    use std::time::Duration;
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+
+    #[repr(C)]
+    struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: core::ffi::c_ulong, timeout: i32) -> i32;
+    }
+
+    pub fn poll_impl(entries: &mut [PollEntry], timeout: Option<Duration>) -> io::Result<usize> {
+        let mut fds: Vec<PollFd> = entries
+            .iter()
+            .map(|e| {
+                let mut events = 0i16;
+                if e.interest & INTEREST_READ != 0 {
+                    events |= POLLIN;
+                }
+                if e.interest & INTEREST_WRITE != 0 {
+                    events |= POLLOUT;
+                }
+                PollFd { fd: e.fd, events, revents: 0 }
+            })
+            .collect();
+        let timeout_ms: i32 = match timeout {
+            None => -1,
+            Some(t) => t.as_millis().try_into().unwrap_or(i32::MAX),
+        };
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as core::ffi::c_ulong, timeout_ms) };
+        if rc < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                // EINTR: report "nothing ready"; the loop re-polls.
+                for entry in entries.iter_mut() {
+                    entry.ready = 0;
+                    entry.hangup = false;
+                }
+                return Ok(0);
+            }
+            return Err(err);
+        }
+        let mut ready = 0;
+        for (entry, fd) in entries.iter_mut().zip(&fds) {
+            entry.ready = 0;
+            if fd.revents & POLLIN != 0 {
+                entry.ready |= INTEREST_READ;
+            }
+            if fd.revents & POLLOUT != 0 {
+                entry.ready |= INTEREST_WRITE;
+            }
+            entry.hangup = fd.revents & (POLLERR | POLLHUP) != 0;
+            if entry.hangup {
+                // A hangup is observed by reading (EOF) — surface it as
+                // read readiness so the loop's read path runs.
+                entry.ready |= INTEREST_READ;
+            }
+            if entry.ready != 0 || entry.hangup {
+                ready += 1;
+            }
+        }
+        Ok(ready)
+    }
+}
+
+/// Scalar fallback poller: sleep briefly, then conservatively report
+/// every registered interest as ready. Level-triggered readiness is a
+/// hint — every consumer on the loop tolerates `WouldBlock` — so this is
+/// correct on any platform, merely busier. Also used by unit tests to pin
+/// the loop's WouldBlock-tolerance.
+pub fn poll_fallback(entries: &mut [PollEntry], timeout: Option<Duration>) -> io::Result<usize> {
+    let nap = timeout.unwrap_or(Duration::from_millis(5)).min(Duration::from_millis(5));
+    if !nap.is_zero() {
+        std::thread::sleep(nap);
+    }
+    for entry in entries.iter_mut() {
+        entry.ready = entry.interest;
+        entry.hangup = false;
+    }
+    Ok(entries.len())
+}
+
+/// Blocks until a registered interest is ready or `timeout` elapses
+/// (`None` = wait forever); fills each entry's `ready`/`hangup` and
+/// returns how many entries have something to report. Spurious readiness
+/// is allowed (and is the fallback's whole strategy) — callers must
+/// treat readiness as a hint and handle `WouldBlock`.
+pub fn poll(entries: &mut [PollEntry], timeout: Option<Duration>) -> io::Result<usize> {
+    #[cfg(unix)]
+    {
+        sys::poll_impl(entries, timeout)
+    }
+    #[cfg(not(unix))]
+    {
+        poll_fallback(entries, timeout)
+    }
+}
+
+/// Incremental line framing over a byte stream: push the chunks the
+/// kernel delivers, pop complete lines. Framing matches `BufRead::lines`
+/// byte for byte — the line terminator is `\n`, one trailing `\r` is
+/// stripped (CRLF clients), and lines must be UTF-8 — so a mux connection
+/// sees exactly the requests a threaded connection would.
+#[derive(Debug, Default)]
+pub struct LineBuffer {
+    buf: Vec<u8>,
+    /// Bytes already scanned for `\n` (resume point, so a slow-dripping
+    /// client costs one scan per byte, not per chunk).
+    scanned: usize,
+    max_line: usize,
+}
+
+impl LineBuffer {
+    /// Default cap on one line's length (a line-protocol request is tens
+    /// of bytes; a client that streams megabytes without a newline is
+    /// attacking the buffer, not querying).
+    pub const DEFAULT_MAX_LINE: usize = 64 * 1024;
+
+    /// A fresh buffer with the default line cap.
+    pub fn new() -> LineBuffer {
+        LineBuffer { buf: Vec::new(), scanned: 0, max_line: Self::DEFAULT_MAX_LINE }
+    }
+
+    /// A fresh buffer capping lines at `max_line` bytes.
+    pub fn with_max_line(max_line: usize) -> LineBuffer {
+        LineBuffer { buf: Vec::new(), scanned: 0, max_line }
+    }
+
+    /// Appends one received chunk.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet returned as lines.
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Pops the next complete line, `\n` and one trailing `\r` stripped.
+    ///
+    /// Errors when the line is not UTF-8 or exceeds the cap — both are
+    /// protocol violations; the connection should be dropped (exactly
+    /// what `BufRead::lines` does to a threaded connection on bad UTF-8).
+    pub fn next_line(&mut self) -> Result<Option<String>, LineError> {
+        match self.buf[self.scanned..].iter().position(|&b| b == b'\n') {
+            Some(offset) => {
+                let end = self.scanned + offset;
+                let mut line: Vec<u8> = self.buf.drain(..=end).collect();
+                line.pop(); // the \n
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                self.scanned = 0;
+                match String::from_utf8(line) {
+                    Ok(line) => Ok(Some(line)),
+                    Err(_) => Err(LineError::NotUtf8),
+                }
+            }
+            None if self.buf.len() > self.max_line => Err(LineError::TooLong),
+            None => {
+                self.scanned = self.buf.len();
+                Ok(None)
+            }
+        }
+    }
+}
+
+/// Why [`LineBuffer::next_line`] gave up on the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineError {
+    /// The line is not valid UTF-8.
+    NotUtf8,
+    /// The unterminated line outgrew the cap.
+    TooLong,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lines_assemble_across_partial_pushes() {
+        let mut lb = LineBuffer::new();
+        lb.push(b"QUERY dra");
+        assert_eq!(lb.next_line().unwrap(), None, "no newline yet");
+        lb.push(b"ma family\nSTA");
+        assert_eq!(lb.next_line().unwrap().as_deref(), Some("QUERY drama family"));
+        assert_eq!(lb.next_line().unwrap(), None);
+        lb.push(b"TS\n\nQUIT\n");
+        assert_eq!(lb.next_line().unwrap().as_deref(), Some("STATS"));
+        assert_eq!(lb.next_line().unwrap().as_deref(), Some(""), "blank lines frame as empty");
+        assert_eq!(lb.next_line().unwrap().as_deref(), Some("QUIT"));
+        assert_eq!(lb.next_line().unwrap(), None);
+        assert_eq!(lb.pending(), 0);
+    }
+
+    #[test]
+    fn crlf_is_stripped_like_bufread_lines() {
+        let mut lb = LineBuffer::new();
+        lb.push(b"STATS\r\nQUERY a\r\n");
+        assert_eq!(lb.next_line().unwrap().as_deref(), Some("STATS"));
+        assert_eq!(lb.next_line().unwrap().as_deref(), Some("QUERY a"));
+    }
+
+    #[test]
+    fn bad_utf8_and_oversized_lines_are_errors() {
+        let mut lb = LineBuffer::new();
+        lb.push(&[0xFF, 0xFE, b'\n']);
+        assert_eq!(lb.next_line(), Err(LineError::NotUtf8));
+
+        let mut lb = LineBuffer::with_max_line(8);
+        lb.push(b"0123456789");
+        assert_eq!(lb.next_line(), Err(LineError::TooLong));
+    }
+
+    #[test]
+    fn fallback_poller_reports_everything_ready() {
+        let mut entries = [PollEntry::new(-1, INTEREST_READ), PollEntry::new(-1, INTEREST_WRITE)];
+        let n = poll_fallback(&mut entries, Some(Duration::ZERO)).unwrap();
+        assert_eq!(n, 2);
+        assert!(entries[0].readable() && !entries[0].writable());
+        assert!(entries[1].writable() && !entries[1].readable());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn real_poll_sees_pipe_readiness() {
+        use std::io::{Read, Write};
+        use std::net::{TcpListener, TcpStream};
+        use std::os::unix::io::AsRawFd;
+
+        // A connected TCP pair: writable immediately, readable only once
+        // bytes arrive.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (mut server, _) = listener.accept().unwrap();
+
+        let mut entries = [PollEntry::new(server.as_raw_fd(), INTEREST_READ | INTEREST_WRITE)];
+        poll(&mut entries, Some(Duration::from_millis(500))).unwrap();
+        assert!(entries[0].writable(), "an idle socket has send-buffer space");
+        assert!(!entries[0].readable(), "nothing to read yet");
+
+        client.write_all(b"x").unwrap();
+        poll(&mut entries, Some(Duration::from_millis(500))).unwrap();
+        assert!(entries[0].readable(), "a sent byte makes the peer readable");
+        let mut byte = [0u8; 1];
+        server.read_exact(&mut byte).unwrap();
+
+        // Peer closes: readable (EOF) and eventually hangup-flagged.
+        drop(client);
+        poll(&mut entries, Some(Duration::from_millis(500))).unwrap();
+        assert!(entries[0].readable(), "EOF is observed by reading");
+    }
+}

@@ -376,6 +376,44 @@ impl Corpus {
         merged.truncate(k);
         (merged, stats)
     }
+
+    /// [`execute_shard`](Self::execute_shard) over a whole dispatch
+    /// round: every query of the batch runs against every document of the
+    /// shard's slice, with one per-document plan-fragment table shared
+    /// across the batch (`Workbench::search_top_k_batch`), so queries
+    /// sharing terms resolve each (doc, term) posting list once. The
+    /// returned per-query `(merged list, stats)` pairs are byte-identical
+    /// to calling `execute_shard` once per query — sharing only memoises
+    /// index resolutions — except that `ExecutorStats::postings_shared`
+    /// counts the reused entries.
+    pub(crate) fn execute_shard_batch(
+        &self,
+        queries: &[(Query, usize)],
+        doc_indexes: &[usize],
+    ) -> Vec<(Vec<CorpusHit>, ExecutorStats)> {
+        let mut per_query: Vec<(Vec<Vec<CorpusHit>>, ExecutorStats)> = queries
+            .iter()
+            .map(|_| (Vec::with_capacity(doc_indexes.len()), ExecutorStats::default()))
+            .collect();
+        for &d in doc_indexes {
+            let doc = &self.docs[d];
+            for (slot, (hits, stats)) in
+                per_query.iter_mut().zip(doc.wb.search_top_k_batch(queries))
+            {
+                slot.1 += stats;
+                slot.0.push(tag_hits(doc, hits));
+            }
+        }
+        per_query
+            .into_iter()
+            .zip(queries)
+            .map(|((per_doc, stats), (_, k))| {
+                let mut merged = k_way_merge(per_doc, CorpusHit::ranking_order);
+                merged.truncate(*k);
+                (merged, stats)
+            })
+            .collect()
+    }
 }
 
 impl Default for Corpus {
@@ -423,7 +461,7 @@ fn save_index_atomic_faulted(wb: &Workbench, path: &Path, faults: &FaultPlan) ->
 
 /// One entry of a merged corpus ranking: a search result plus the document
 /// it came from and its relevance score.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CorpusHit {
     /// Owning document.
     pub doc: DocId,
@@ -712,10 +750,16 @@ pub(crate) fn merge_shard_lists(
 /// executor work it cost. Counters also land in the owning workbench's
 /// [`Workbench::executor_stats`].
 fn search_one(query: &Query, doc: &CorpusDoc, k: usize) -> (Vec<CorpusHit>, ExecutorStats) {
-    let document = doc.wb.document();
     let (hits, stats) = doc.wb.search_top_k_stats(query, k);
-    let hits = hits
-        .into_iter()
+    (tag_hits(doc, hits), stats)
+}
+
+/// Tags one document's ranked hits with the document's identity for the
+/// cross-shard merge — shared by the per-query and batch shard paths so
+/// the tagging cannot drift.
+fn tag_hits(doc: &CorpusDoc, hits: Vec<(SearchResult, ScoredResult)>) -> Vec<CorpusHit> {
+    let document = doc.wb.document();
+    hits.into_iter()
         .map(|(result, score)| CorpusHit {
             doc: doc.id,
             doc_name: doc.name.clone(),
@@ -723,8 +767,7 @@ fn search_one(query: &Query, doc: &CorpusDoc, k: usize) -> (Vec<CorpusHit>, Exec
             result,
             score,
         })
-        .collect();
-    (hits, stats)
+        .collect()
 }
 
 #[cfg(test)]
@@ -858,5 +901,63 @@ mod tests {
         assert_eq!(corpus.shards(), 64);
         assert_eq!(corpus.effective_shards(), 3);
         assert_eq!(small_corpus().with_shards(0).effective_shards(), 1);
+    }
+
+    /// A singleton batch is the identity: `execute_shard_batch([q])`
+    /// returns exactly what `execute_shard(q)` returns, hits and legacy
+    /// counters alike, over every document slice.
+    #[test]
+    fn singleton_batch_equals_execute_shard() {
+        let corpus = small_corpus();
+        let slices: [&[usize]; 4] = [&[0, 1, 2], &[0], &[1, 2], &[]];
+        for slice in slices {
+            for (text, k) in [("gps", 4), ("gps navigation", 2), ("player", 1), ("gps", 0)] {
+                let query = Query::parse(text);
+                let (hits, stats) = corpus.execute_shard(&query, slice, k);
+                let batch = corpus.execute_shard_batch(&[(query, k)], slice);
+                assert_eq!(batch.len(), 1);
+                assert_eq!(batch[0].0, hits, "{text:?} k={k} slice {slice:?}");
+                assert_eq!(
+                    (
+                        batch[0].1.postings_scanned,
+                        batch[0].1.gallop_probes,
+                        batch[0].1.candidates_pruned,
+                    ),
+                    (stats.postings_scanned, stats.gallop_probes, stats.candidates_pruned),
+                    "{text:?} k={k} slice {slice:?}"
+                );
+                assert_eq!(batch[0].1.postings_shared, 0, "one query shares nothing");
+            }
+        }
+    }
+
+    /// A term-overlapping batch shares posting resolutions without
+    /// changing a single hit or legacy counter relative to independent
+    /// execution.
+    #[test]
+    fn overlapping_batch_shares_postings_without_changing_results() {
+        let corpus = small_corpus();
+        let slice = [0usize, 1, 2];
+        let batch: Vec<(Query, usize)> = [("gps", 4), ("gps navigation", 4), ("gps camera", 4)]
+            .into_iter()
+            .map(|(text, k)| (Query::parse(text), k))
+            .collect();
+        let shared = corpus.execute_shard_batch(&batch, &slice);
+        let mut total_shared = 0;
+        for ((query, k), (hits, stats)) in batch.iter().zip(&shared) {
+            let (independent_hits, independent_stats) = corpus.execute_shard(query, &slice, *k);
+            assert_eq!(hits, &independent_hits, "{query} diverged under sharing");
+            assert_eq!(
+                (stats.postings_scanned, stats.gallop_probes, stats.candidates_pruned),
+                (
+                    independent_stats.postings_scanned,
+                    independent_stats.gallop_probes,
+                    independent_stats.candidates_pruned,
+                ),
+                "{query}: sharing changed the work counters"
+            );
+            total_shared += stats.postings_shared;
+        }
+        assert!(total_shared > 0, "\"gps\" repeats across the batch: entries must be shared");
     }
 }

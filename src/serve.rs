@@ -60,7 +60,7 @@
 
 use crate::corpus::{merge_shard_lists, Corpus, CorpusHit, CorpusRanking, DEFAULT_TOP};
 use crate::error::{XsactError, XsactResult};
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
@@ -69,7 +69,8 @@ use std::time::{Duration, Instant};
 use xsact_corpus::{ShardPlan, ShardPool};
 use xsact_index::{ExecutorStats, Query};
 use xsact_obs::{format_nanos, Histogram, MetricsRegistry};
-use xsact_serve::{coalesce, err_line, Rejected, Request, SubmissionQueue};
+use xsact_serve::mux::{poll, LineBuffer, PollEntry, INTEREST_READ, INTEREST_WRITE};
+use xsact_serve::{coalesce, err_line, Inserted, PageCache, Rejected, Request, SubmissionQueue};
 
 pub use xsact_serve::{FaultPlan, ServeCounters, ServeSnapshot, END_MARKER};
 
@@ -109,6 +110,16 @@ pub struct ServeConfig {
     /// occupying it forever; `None` disables. A timed-out connection is
     /// closed; its session dies with it.
     pub io_timeout: Option<Duration>,
+    /// Entry bound of the result-page cache keyed on `(canonical query,
+    /// k)`; 0 disables caching entirely. A hit skips the submission queue
+    /// *and* the shard pool and returns the stored answer byte-identical
+    /// to fresh execution (the corpus is immutable and the executor
+    /// deterministic — pinned by `tests/serve.rs`).
+    pub cache_entries: usize,
+    /// Approximate byte bound of the result-page cache (0 = entry bound
+    /// only). Least-recently-used pages are evicted to stay inside both
+    /// bounds.
+    pub cache_bytes: usize,
     /// Armed fault-injection sites (chaos testing only); the default is
     /// disarmed, which costs one branch per site. Binaries arm it from
     /// `XSACT_FAULTS` at startup.
@@ -125,6 +136,8 @@ impl Default for ServeConfig {
             slow_query: None,
             deadline: None,
             io_timeout: Some(Duration::from_secs(30)),
+            cache_entries: 1024,
+            cache_bytes: 4 << 20,
             faults: FaultPlan::disarmed(),
         }
     }
@@ -167,6 +180,11 @@ struct Submission {
     /// Queue wait, measured by the dispatcher when its round sweeps this
     /// submission up (zero until then).
     queued: Duration,
+    /// Cache generation observed at the lookup-miss that queued this
+    /// submission; the dispatcher's insert is rejected if an
+    /// `invalidate_all` bumped the generation in between (the anti-poison
+    /// guard).
+    cache_gen: u64,
 }
 
 /// State shared by the server handle, its sessions, and the dispatcher.
@@ -175,6 +193,11 @@ struct ServerInner {
     queue: SubmissionQueue<Submission>,
     counters: ServeCounters,
     config: ServeConfig,
+    /// The result-page cache (`None` when `cache_entries` is 0). Sessions
+    /// check it before queueing; the dispatcher inserts successful
+    /// answers. The mutex is uncontended next to a search — lookups are a
+    /// few string compares.
+    cache: Option<Mutex<PageCache<QueryAnswer>>>,
 }
 
 /// A running corpus server; see the module docs. Dropping it shuts down
@@ -191,11 +214,14 @@ impl CorpusServer {
     /// lifetime).
     pub fn start(corpus: Arc<Corpus>, config: ServeConfig) -> CorpusServer {
         let config = ServeConfig { max_batch: config.max_batch.max(1), ..config };
+        let cache = (config.cache_entries > 0)
+            .then(|| Mutex::new(PageCache::new(config.cache_entries, config.cache_bytes)));
         let inner = Arc::new(ServerInner {
             corpus,
             queue: SubmissionQueue::new(config.queue_capacity),
             counters: ServeCounters::default(),
             config,
+            cache,
         });
         let dispatcher = {
             let inner = Arc::clone(&inner);
@@ -241,6 +267,25 @@ impl CorpusServer {
         Arc::clone(self.inner.counters.registry())
     }
 
+    /// Flash-clears the result-page cache and bumps its generation, so an
+    /// insert racing this call (a lookup-miss that executed across it) is
+    /// rejected. The hook a future mutable corpus calls on every write;
+    /// a no-op when caching is disabled.
+    pub fn invalidate_cache(&self) {
+        if let Some(cache) = &self.inner.cache {
+            cache.lock().expect("cache lock poisoned").invalidate_all();
+        }
+    }
+
+    /// The result-page cache's current generation (0 when caching is
+    /// disabled) — observable so tests can pin the invalidation protocol.
+    pub fn cache_generation(&self) -> u64 {
+        self.inner
+            .cache
+            .as_ref()
+            .map_or(0, |cache| cache.lock().expect("cache lock poisoned").generation())
+    }
+
     /// Begins shutdown: the queue closes (new submissions rejected),
     /// admitted submissions keep draining. Idempotent; does not block.
     pub fn shutdown(&self) {
@@ -264,6 +309,10 @@ impl Drop for CorpusServer {
     }
 }
 
+/// One shard's answer for a dispatch round: per coalesced group (in round
+/// order), that shard's top-k hits and the executor stats of the search.
+type ShardRoundResults = Vec<(Vec<CorpusHit>, ExecutorStats)>;
+
 /// The dispatcher: pop one submission (blocking), sweep in whoever else is
 /// already in line, coalesce by `(canonical query, k)`, execute each group
 /// once on the shard pool, fan each shared answer out. Exits when the
@@ -277,27 +326,28 @@ fn dispatch_loop(inner: &ServerInner) {
     let shard_busy: Vec<Arc<Histogram>> = (0..shards)
         .map(|shard| inner.counters.registry().histogram(&format!("xsact_shard_{shard}_busy_ns")))
         .collect();
-    let mut pool: ShardPool<(Query, usize), (Vec<CorpusHit>, ExecutorStats)> =
-        ShardPool::new(shards, {
-            let corpus = Arc::clone(&inner.corpus);
-            let faults = inner.config.faults.clone();
-            move |shard, (query, k): &(Query, usize)| {
-                if let Some(millis) = faults.should_fire("slow_execute", shard) {
-                    std::thread::sleep(Duration::from_millis(millis));
-                }
-                if faults.should_fire("shard_panic", shard).is_some() {
-                    panic!("injected shard_panic fault (shard {shard})");
-                }
-                let busy = Instant::now();
-                // The exact partition the scoped fan-out uses — a pure
-                // function of (shards, documents), recomputed per broadcast
-                // because it is trivially cheap next to a search.
-                let parts = ShardPlan::new(shards).partition(corpus.len());
-                let result = corpus.execute_shard(query, &parts[shard], *k);
-                shard_busy[shard].record_duration(busy.elapsed());
-                result
+    let mut pool: ShardPool<Vec<(Query, usize)>, ShardRoundResults> = ShardPool::new(shards, {
+        let corpus = Arc::clone(&inner.corpus);
+        let faults = inner.config.faults.clone();
+        move |shard, batch: &Vec<(Query, usize)>| {
+            if let Some(millis) = faults.should_fire("slow_execute", shard) {
+                std::thread::sleep(Duration::from_millis(millis));
             }
-        });
+            if faults.should_fire("shard_panic", shard).is_some() {
+                panic!("injected shard_panic fault (shard {shard})");
+            }
+            let busy = Instant::now();
+            // The exact partition the scoped fan-out uses — a pure
+            // function of (shards, documents), recomputed per broadcast
+            // because it is trivially cheap next to a search. The whole
+            // round executes in one broadcast so queries sharing terms
+            // resolve each (doc, term) posting list once per shard.
+            let parts = ShardPlan::new(shards).partition(corpus.len());
+            let result = corpus.execute_shard_batch(batch, &parts[shard]);
+            shard_busy[shard].record_duration(busy.elapsed());
+            result
+        }
+    });
     while let Some(first) = inner.queue.pop() {
         let round_start = Instant::now();
         let mut round = vec![first];
@@ -307,43 +357,62 @@ fn dispatch_loop(inner: &ServerInner) {
         }
         let groups = coalesce(round, |s| (s.canonical.clone(), s.k));
         inner.counters.record_batch_form(round_start.elapsed());
-        for group in groups {
-            // Dispatch-time deadline check: a member whose budget already
-            // elapsed never executes — its answer could only arrive late.
-            let live = match reject_expired(inner, group) {
-                Some(live) => live,
-                None => continue, // every member expired; nothing to run
-            };
-            let k = live[0].k;
-            let execute_start = Instant::now();
-            let restarts_before = pool.restarts();
-            let shard_results = pool.broadcast((live[0].query.clone(), k));
-            let execute = execute_start.elapsed();
-            let panicked = shard_results.iter().find_map(|r| r.as_ref().err().cloned());
-            if let Some(panic) = panicked {
-                // The batch is lost, but *only* this batch: the supervisor
-                // already respawned every failed worker inside broadcast,
-                // so the next group runs on a healthy pool.
-                inner.counters.record_shard_failure(live.len(), pool.restarts() - restarts_before);
-                for member in live {
-                    let _ = member.reply.send(Err(XsactError::ShardFailed {
-                        shard: panic.shard,
-                        detail: panic.detail.clone(),
-                    }));
-                }
-                continue;
+        // Dispatch-time deadline check: a member whose budget already
+        // elapsed never executes — its answer could only arrive late.
+        let live_groups: Vec<Vec<Submission>> =
+            groups.into_iter().filter_map(|group| reject_expired(inner, group)).collect();
+        if live_groups.is_empty() {
+            continue; // every member expired; nothing to run
+        }
+        // One broadcast executes the whole round: each shard worker runs
+        // every group's query over its document slice through one shared
+        // plan-fragment table, so queries sharing terms resolve each
+        // posting list once per (doc, term).
+        let round_batch: Vec<(Query, usize)> =
+            live_groups.iter().map(|group| (group[0].query.clone(), group[0].k)).collect();
+        let execute_start = Instant::now();
+        let restarts_before = pool.restarts();
+        let shard_results = pool.broadcast(round_batch);
+        let execute = execute_start.elapsed();
+        let panicked = shard_results.iter().find_map(|r| r.as_ref().err().cloned());
+        if let Some(panic) = panicked {
+            // The round is lost, but *only* this round: the supervisor
+            // already respawned every failed worker inside broadcast, so
+            // the next round runs on a healthy pool.
+            let members: usize = live_groups.iter().map(Vec::len).sum();
+            inner.counters.record_shard_failure(members, pool.restarts() - restarts_before);
+            for member in live_groups.into_iter().flatten() {
+                let _ = member.reply.send(Err(XsactError::ShardFailed {
+                    shard: panic.shard,
+                    detail: panic.detail.clone(),
+                }));
             }
+            continue;
+        }
+        // Per-shard result streams, consumed group by group in shard
+        // order — exactly the order the per-group broadcast produced.
+        let mut per_shard: Vec<std::vec::IntoIter<(Vec<CorpusHit>, ExecutorStats)>> = shard_results
+            .into_iter()
+            .map(|result| result.expect("panic outcomes handled above").into_iter())
+            .collect();
+        for group in live_groups {
+            let k = group[0].k;
+            let canonical = group[0].canonical.clone();
+            // The most conservative generation across members: if *any*
+            // member looked up before an invalidation, do not cache.
+            let cache_gen = group.iter().map(|m| m.cache_gen).min().unwrap_or(0);
             let mut stats = ExecutorStats::default();
-            let mut lists = Vec::with_capacity(shard_results.len());
-            for result in shard_results {
-                let (hits, shard_stats) = result.expect("panic outcomes handled above");
+            let mut lists = Vec::with_capacity(per_shard.len());
+            for shard_stream in &mut per_shard {
+                let (hits, shard_stats) =
+                    shard_stream.next().expect("one result per group per shard");
                 stats += shard_stats;
                 lists.push(hits);
             }
             let ranking = Arc::new(merge_shard_lists(lists, k, shards));
             // Post-execute deadline check: an answer that arrived after
             // the member's deadline is discarded, not delivered late.
-            let answered = match reject_expired(inner, live) {
+            let answered = match reject_expired(inner, group) {
                 Some(answered) => answered,
                 None => continue,
             };
@@ -357,8 +426,42 @@ fn dispatch_loop(inner: &ServerInner) {
                 stats.postings_scanned,
                 stats.gallop_probes,
                 stats.candidates_pruned,
+                stats.postings_shared,
             );
             let batch_size = answered.len();
+            // Only delivered answers are cached — a `ShardFailed`, a
+            // deadline rejection, or any other error can never be
+            // replayed from the cache.
+            if let Some(cache) = &inner.cache {
+                let answer = QueryAnswer {
+                    ranking: Arc::clone(&ranking),
+                    stats,
+                    batch_size,
+                    queue_wait: Duration::ZERO,
+                    execute,
+                };
+                let generation = match inner.config.faults.should_fire("cache_poison", 0) {
+                    // Chaos site: pretend this insert raced an
+                    // `invalidate_all` — the generation guard must reject
+                    // it (pinned by `tests/chaos.rs`).
+                    Some(_) => cache_gen.wrapping_sub(1),
+                    None => cache_gen,
+                };
+                let bytes = answer_bytes(&canonical, &answer);
+                let mut cache = cache.lock().expect("cache lock poisoned");
+                match cache.insert(generation, &canonical, k, answer, bytes) {
+                    Inserted::Stored { evicted } if evicted > 0 => {
+                        inner.counters.record_cache_evictions(evicted);
+                    }
+                    Inserted::Stored { .. } | Inserted::TooLarge => {}
+                    Inserted::StaleGeneration => {
+                        debug_assert!(
+                            generation != cache.generation(),
+                            "a current-generation insert must never be rejected"
+                        );
+                    }
+                }
+            }
             for member in answered {
                 inner.counters.record_queue_wait(member.queued);
                 // A waiter that gave up (dropped its receiver) is fine —
@@ -373,6 +476,19 @@ fn dispatch_loop(inner: &ServerInner) {
             }
         }
     }
+}
+
+/// Approximate heap footprint of one cached answer, for the cache's byte
+/// bound: the key, the fixed-size answer, and each hit's owned strings.
+/// Deterministic — the same answer always weighs the same.
+fn answer_bytes(key: &str, answer: &QueryAnswer) -> usize {
+    let hits: usize = answer
+        .ranking
+        .hits
+        .iter()
+        .map(|hit| std::mem::size_of::<CorpusHit>() + hit.result.label.len() + hit.doc_name.len())
+        .sum();
+    key.len() + std::mem::size_of::<QueryAnswer>() + hits
 }
 
 /// Splits expired members out of `group`, answering each with a typed
@@ -442,42 +558,102 @@ impl ServeSession {
     /// (both retryable; a failed shard is respawned before the error is
     /// delivered).
     pub fn query(&mut self, text: &str) -> XsactResult<QueryAnswer> {
+        let (start, submitted) = self.submit(text);
+        let result = match submitted {
+            Submitted::Immediate(result) => result,
+            // An admitted submission is always answered
+            // (drain-on-shutdown); a recv error means the dispatcher
+            // died, which only a panic can cause — surface it as such
+            // rather than inventing an error code.
+            Submitted::Queued(pending) => {
+                pending.rx.recv().expect("dispatcher died with admitted work queued")
+            }
+        };
+        self.settle(text, start, result)
+    }
+
+    /// The non-blocking first half of [`query`](Self::query): parse,
+    /// admission checks, the cache lookup, and the queue push. Returns
+    /// either an immediate outcome (a cache hit or an admission error) or
+    /// the pending slot the dispatcher will answer — the mux front end
+    /// polls other connections instead of blocking on it.
+    fn submit(&mut self, text: &str) -> (Instant, Submitted) {
         let start = Instant::now();
         let query = Query::parse(text);
         if query.is_empty() {
-            return Err(XsactError::EmptyQuery);
+            return (start, Submitted::Immediate(Err(XsactError::EmptyQuery)));
         }
         if let Some(budget) = self.inner.config.budget {
             if self.spent >= budget {
                 self.inner.counters.record_budget_rejection();
-                return Err(XsactError::BudgetExceeded { spent: self.spent, budget });
+                return (
+                    start,
+                    Submitted::Immediate(Err(XsactError::BudgetExceeded {
+                        spent: self.spent,
+                        budget,
+                    })),
+                );
             }
+        }
+        let canonical = query.to_string();
+        let mut cache_gen = 0;
+        if let Some(cache) = &self.inner.cache {
+            let mut cache = cache.lock().expect("cache lock poisoned");
+            if let Some(answer) = cache.lookup(&canonical, self.top) {
+                // A hit skips the queue and the shard pool entirely; the
+                // bytes are identical because the cached answer *is* the
+                // executor's answer. The histogram contract
+                // (`_count == queries_served`) still holds: the hit
+                // records zero queue wait and zero execute, and `settle`
+                // records the real end-to-end latency.
+                self.inner.counters.record_cache_hit();
+                return (
+                    start,
+                    Submitted::Immediate(Ok(QueryAnswer {
+                        queue_wait: Duration::ZERO,
+                        execute: Duration::ZERO,
+                        ..answer
+                    })),
+                );
+            }
+            cache_gen = cache.generation();
+            self.inner.counters.record_cache_miss();
         }
         let (reply, answer_rx) = mpsc::channel();
         let submission = Submission {
-            canonical: query.to_string(),
+            canonical,
             query,
             k: self.top,
             reply,
             submitted: start,
             queued: Duration::ZERO,
+            cache_gen,
         };
-        self.inner.queue.push(submission).map_err(|rejection| {
+        if let Err(rejection) = self.inner.queue.push(submission) {
             self.inner.counters.record_overload_rejection();
-            match rejection {
+            let error = match rejection {
                 Rejected::Full { depth, capacity } => XsactError::Overloaded { depth, capacity },
                 Rejected::Closed => XsactError::Overloaded {
                     depth: self.inner.queue.depth(),
                     capacity: self.inner.queue.capacity(),
                 },
-            }
-        })?;
-        // An admitted submission is always answered (drain-on-shutdown);
-        // a recv error means the dispatcher died, which only a panic can
-        // cause — surface it as such rather than inventing an error code.
-        // The `?` surfaces the dispatcher's typed failures (deadline,
-        // shard panic) without charging the session budget.
-        let answer = answer_rx.recv().expect("dispatcher died with admitted work queued")?;
+            };
+            return (start, Submitted::Immediate(Err(error)));
+        }
+        (start, Submitted::Queued(PendingAnswer { rx: answer_rx }))
+    }
+
+    /// The second half of [`query`](Self::query): budget charging, the
+    /// end-to-end histogram, and the slow-query log. The `?` surfaces the
+    /// dispatcher's typed failures (deadline, shard panic) without
+    /// charging the session budget or recording an e2e sample.
+    fn settle(
+        &mut self,
+        text: &str,
+        start: Instant,
+        result: XsactResult<QueryAnswer>,
+    ) -> XsactResult<QueryAnswer> {
+        let answer = result?;
         self.spent = self.spent.saturating_add(answer.stats.postings_scanned);
         let e2e = start.elapsed();
         self.inner.counters.record_e2e(e2e);
@@ -497,6 +673,19 @@ impl ServeSession {
         }
         Ok(answer)
     }
+}
+
+/// What [`ServeSession::submit`] produced: an outcome available right now
+/// (cache hit, admission error) or a slot the dispatcher will fill.
+enum Submitted {
+    Immediate(XsactResult<QueryAnswer>),
+    Queued(PendingAnswer),
+}
+
+/// The receiving end of one queued query. `try_recv` lets the mux front
+/// end check for the answer without blocking its loop.
+struct PendingAnswer {
+    rx: mpsc::Receiver<XsactResult<QueryAnswer>>,
 }
 
 /// The protocol error code of a facade error (`ERR <code> <message>`).
@@ -654,13 +843,10 @@ fn serve_connection(shared: &TcpShared, stream: TcpStream) {
 /// the end marker) and whether the connection should close afterwards.
 fn respond(shared: &TcpShared, session: &mut ServeSession, request: Request) -> (String, bool) {
     match request {
-        Request::Query { text } => match session.query(&text) {
-            Ok(answer) => {
-                let shown = answer.ranking.hits.len().min(session.top());
-                (format!("OK {shown}\n{}", answer.ranking.render(session.top())), false)
-            }
-            Err(e) => (format!("{}\n", err_line(error_code(&e), &e.to_string())), false),
-        },
+        Request::Query { text } => {
+            let result = session.query(&text);
+            (render_answer(result, session.top()), false)
+        }
         Request::Top { k } => {
             session.set_top(k);
             (format!("OK top={k}\n"), false)
@@ -676,6 +862,315 @@ fn respond(shared: &TcpShared, session: &mut ServeSession, request: Request) -> 
             ("OK shutting down\n".to_owned(), true)
         }
     }
+}
+
+/// Renders one query outcome as its protocol body — the single formatting
+/// path both front ends (thread-per-connection and mux) share, so their
+/// bytes cannot diverge.
+fn render_answer(result: XsactResult<QueryAnswer>, top: usize) -> String {
+    match result {
+        Ok(answer) => {
+            let shown = answer.ranking.hits.len().min(top);
+            format!("OK {shown}\n{}", answer.ranking.render(top))
+        }
+        Err(e) => format!("{}\n", err_line(error_code(&e), &e.to_string())),
+    }
+}
+
+/// One multiplexed connection's state: the socket (nonblocking), the
+/// incremental line framer, the pending outbound bytes, its session, and
+/// at most one in-flight query.
+struct MuxConn {
+    stream: TcpStream,
+    lines: LineBuffer,
+    out: Vec<u8>,
+    session: ServeSession,
+    /// The one in-flight query: its text (for `settle`'s slow-query log),
+    /// its start instant, and the dispatcher's pending slot.
+    pending: Option<(String, Instant, PendingAnswer)>,
+    last_activity: Instant,
+    /// Peer sent EOF — close once the outbound buffer drains.
+    eof: bool,
+    /// `QUIT`/`SHUTDOWN` answered — close once the outbound buffer drains.
+    done: bool,
+}
+
+impl MuxConn {
+    /// Queues one response body (end marker appended) for writing.
+    fn enqueue_response(&mut self, body: &str) {
+        self.out.extend_from_slice(body.as_bytes());
+        self.out.extend_from_slice(END_MARKER.as_bytes());
+        self.out.push(b'\n');
+    }
+}
+
+/// The raw file descriptor `poll(2)` wants; off Unix the fallback ignores
+/// it.
+#[cfg(unix)]
+fn raw_fd<T: std::os::unix::io::AsRawFd>(t: &T) -> i32 {
+    t.as_raw_fd()
+}
+
+#[cfg(not(unix))]
+fn raw_fd<T>(_t: &T) -> i32 {
+    -1
+}
+
+/// Binds `addr` and serves `server` over the line protocol with **one**
+/// front-end thread multiplexing every connection via readiness polling
+/// (`poll(2)`; a timed fallback off Unix). Wire behaviour is identical to
+/// [`serve_tcp`] — same framing, same verbs, same session and budget
+/// semantics, same drain-on-shutdown — the only difference is the
+/// threading model. Each connection has at most one query in flight, as in
+/// the thread-per-connection front end; while one connection waits on the
+/// dispatcher the loop keeps serving the others.
+pub fn serve_tcp_mux(server: CorpusServer, addr: &str) -> XsactResult<TcpServeHandle> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(TcpShared {
+        server,
+        stop: AtomicBool::new(false),
+        addr,
+        // Mux connections are owned by the loop itself; the shutdown
+        // trigger's self-connect wakes the poll, and the loop drains.
+        conns: Mutex::new(Vec::new()),
+    });
+    let accept = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("xsact-mux".to_owned())
+            .spawn(move || {
+                mux_loop(&shared, listener);
+                Vec::new() // no per-connection threads to join
+            })
+            .expect("failed to spawn mux loop")
+    };
+    Ok(TcpServeHandle { shared, accept: Some(accept) })
+}
+
+/// The mux front end's readiness loop; see [`serve_tcp_mux`].
+fn mux_loop(shared: &TcpShared, listener: TcpListener) {
+    let io_timeout = shared.server.inner.config.io_timeout;
+    let faults = shared.server.inner.config.faults.clone();
+    let mut conns: Vec<MuxConn> = Vec::new();
+    loop {
+        let stopping = shared.stop.load(Ordering::SeqCst);
+        if stopping && conns.is_empty() {
+            break;
+        }
+        // Build this round's poll set: the listener (accept readiness)
+        // plus every connection — read interest unless a query is in
+        // flight or the connection is winding down, write interest while
+        // output is buffered.
+        let mut entries = Vec::with_capacity(conns.len() + 1);
+        if !stopping {
+            entries.push(PollEntry::new(raw_fd(&listener), INTEREST_READ));
+        }
+        let listener_slots = entries.len();
+        for conn in &conns {
+            let mut interest = 0;
+            if conn.pending.is_none() && !conn.done && !conn.eof && !stopping {
+                interest |= INTEREST_READ;
+            }
+            if !conn.out.is_empty() {
+                interest |= INTEREST_WRITE;
+            }
+            entries.push(PollEntry::new(raw_fd(&conn.stream), interest));
+        }
+        // Short timeout while answers are pending (mpsc readiness is not
+        // a file descriptor), longer when purely waiting on sockets.
+        let any_pending = conns.iter().any(|c| c.pending.is_some());
+        let timeout = if any_pending || stopping {
+            Duration::from_millis(1)
+        } else {
+            Duration::from_millis(50)
+        };
+        let _ = poll(&mut entries, Some(timeout));
+        // Accept every waiting connection (nonblocking accept loop).
+        if !stopping {
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        if stream.set_nonblocking(true).is_err() {
+                            continue;
+                        }
+                        conns.push(MuxConn {
+                            stream,
+                            lines: LineBuffer::new(),
+                            out: Vec::new(),
+                            session: shared.server.session(),
+                            pending: None,
+                            last_activity: Instant::now(),
+                            eof: false,
+                            done: false,
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(_) => break,
+                }
+            }
+        }
+        let mut index = 0;
+        while index < conns.len() {
+            let entry = entries.get(listener_slots + index).copied();
+            let drop_conn =
+                mux_step(shared, &faults, &mut conns[index], entry, stopping, io_timeout);
+            if drop_conn {
+                let conn = conns.swap_remove(index);
+                let _ = conn.stream.shutdown(Shutdown::Both);
+                // `entries` is rebuilt next round; swap_remove only
+                // perturbs this round's already-consumed slots.
+            } else {
+                index += 1;
+            }
+        }
+    }
+}
+
+/// Advances one mux connection by one round: read newly arrived bytes,
+/// frame and serve complete lines, check the in-flight query, flush
+/// buffered output. Returns `true` when the connection should close.
+fn mux_step(
+    shared: &TcpShared,
+    faults: &FaultPlan,
+    conn: &mut MuxConn,
+    entry: Option<PollEntry>,
+    stopping: bool,
+    io_timeout: Option<Duration>,
+) -> bool {
+    // 1. Read whatever arrived, unless a query is in flight (one in
+    //    flight per connection, as in thread-per-connection) or the
+    //    connection is winding down.
+    let may_read = conn.pending.is_none() && !conn.done && !conn.eof && !stopping;
+    let readable = entry.map_or(may_read, |e| e.readable());
+    if may_read && readable {
+        let mut buf = [0u8; 4096];
+        loop {
+            match conn.stream.read(&mut buf) {
+                Ok(0) => {
+                    conn.eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.lines.push(&buf[..n]);
+                    conn.last_activity = Instant::now();
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return true,
+            }
+        }
+    }
+    // 2. Serve complete lines until one query is in flight or the framer
+    //    runs dry. Partial lines stay buffered — mid-stream fragmentation
+    //    is invisible to the protocol.
+    while conn.pending.is_none() && !conn.done && !stopping {
+        let line = match conn.lines.next_line() {
+            Ok(Some(line)) => line,
+            Ok(None) => break,
+            // Oversized or non-UTF-8 input: drop the connection, exactly
+            // like a broken stream in the thread-per-connection loop.
+            Err(_) => return true,
+        };
+        match Request::parse(&line) {
+            Ok(None) => continue,
+            Ok(Some(Request::Query { text })) => {
+                let (start, submitted) = conn.session.submit(&text);
+                match submitted {
+                    Submitted::Immediate(result) => {
+                        let result = conn.session.settle(&text, start, result);
+                        let body = render_answer(result, conn.session.top());
+                        if mux_deliver(faults, conn, &body) {
+                            return true;
+                        }
+                    }
+                    Submitted::Queued(pending) => {
+                        conn.pending = Some((text, start, pending));
+                    }
+                }
+            }
+            Ok(Some(request)) => {
+                let (body, done) = respond(shared, &mut conn.session, request);
+                conn.done = done;
+                if mux_deliver(faults, conn, &body) {
+                    return true;
+                }
+            }
+            Err(message) => {
+                let body = format!("{}\n", err_line("BAD_REQUEST", &message));
+                if mux_deliver(faults, conn, &body) {
+                    return true;
+                }
+            }
+        }
+    }
+    // 3. Check the in-flight query. On shutdown the dispatcher drains
+    //    admitted work, so a pending answer always arrives — block for it
+    //    only when stopping (the poll timeout otherwise paces retries).
+    if let Some((text, start, pending)) = conn.pending.take() {
+        let outcome = if stopping {
+            Some(pending.rx.recv().expect("dispatcher died with admitted work queued"))
+        } else {
+            match pending.rx.try_recv() {
+                Ok(result) => Some(result),
+                Err(mpsc::TryRecvError::Empty) => {
+                    conn.pending = Some((text.clone(), start, pending));
+                    None
+                }
+                Err(mpsc::TryRecvError::Disconnected) => {
+                    panic!("dispatcher died with admitted work queued")
+                }
+            }
+        };
+        if let Some(result) = outcome {
+            let result = conn.session.settle(&text, start, result);
+            let body = render_answer(result, conn.session.top());
+            conn.last_activity = Instant::now();
+            if mux_deliver(faults, conn, &body) {
+                return true;
+            }
+        }
+    }
+    // 4. Flush buffered output.
+    while !conn.out.is_empty() {
+        let write_start = Instant::now();
+        match conn.stream.write(&conn.out) {
+            Ok(0) => return true,
+            Ok(n) => {
+                shared.server.inner.counters.record_reply_write(write_start.elapsed());
+                conn.out.drain(..n);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return true,
+        }
+    }
+    // 5. Close when done: protocol-complete or EOF with nothing left to
+    //    send, or idle past the I/O timeout (slowloris protection — same
+    //    contract as the read timeout in thread-per-connection).
+    if (conn.done || conn.eof || stopping) && conn.out.is_empty() && conn.pending.is_none() {
+        return true;
+    }
+    if let Some(limit) = io_timeout {
+        if conn.pending.is_none() && conn.out.is_empty() && conn.last_activity.elapsed() >= limit {
+            return true;
+        }
+    }
+    false
+}
+
+/// Queues one response on a mux connection, honouring the
+/// `drop_connection` chaos site: if the site fires, the response is
+/// discarded and the connection closed — the peer sees EOF mid-exchange,
+/// exactly like a crashed peer, while the loop keeps serving every other
+/// connection. Returns `true` when the connection should close.
+fn mux_deliver(faults: &FaultPlan, conn: &mut MuxConn, body: &str) -> bool {
+    if faults.should_fire("drop_connection", 0).is_some() {
+        return true;
+    }
+    conn.enqueue_response(body);
+    false
 }
 
 #[cfg(test)]

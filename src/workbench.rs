@@ -151,6 +151,7 @@ struct ExecCounters {
     postings_scanned: AtomicU64,
     gallop_probes: AtomicU64,
     candidates_pruned: AtomicU64,
+    postings_shared: AtomicU64,
 }
 
 impl ExecCounters {
@@ -159,6 +160,7 @@ impl ExecCounters {
         self.postings_scanned.fetch_add(stats.postings_scanned, Ordering::Relaxed);
         self.gallop_probes.fetch_add(stats.gallop_probes, Ordering::Relaxed);
         self.candidates_pruned.fetch_add(stats.candidates_pruned, Ordering::Relaxed);
+        self.postings_shared.fetch_add(stats.postings_shared, Ordering::Relaxed);
     }
 
     fn totals(&self) -> ExecutorStats {
@@ -166,6 +168,7 @@ impl ExecCounters {
             postings_scanned: self.postings_scanned.load(Ordering::Relaxed),
             gallop_probes: self.gallop_probes.load(Ordering::Relaxed),
             candidates_pruned: self.candidates_pruned.load(Ordering::Relaxed),
+            postings_shared: self.postings_shared.load(Ordering::Relaxed),
         }
     }
 }
@@ -303,6 +306,34 @@ impl Workbench {
         let top = self.engine.search_top_k_traced(query, k, ResultSemantics::Slca, trace);
         self.exec.record(top.stats);
         (top.hits, top.stats)
+    }
+
+    /// Runs a whole batch of top-k searches through one per-batch
+    /// plan-fragment table: queries sharing terms resolve each shared
+    /// posting list once (`ExecutorStats::postings_shared` counts the
+    /// reuse). Hits and the legacy counters are byte-identical to calling
+    /// [`search_top_k_stats`](Self::search_top_k_stats) per query — the
+    /// table only memoises index resolutions. Each query's stats are
+    /// recorded into the workbench totals, exactly like the independent
+    /// path.
+    pub(crate) fn search_top_k_batch(
+        &self,
+        queries: &[(Query, usize)],
+    ) -> Vec<(Vec<(SearchResult, ScoredResult)>, ExecutorStats)> {
+        let mut fragments = xsact_index::PlanFragments::new();
+        queries
+            .iter()
+            .map(|(query, k)| {
+                let top = self.engine.search_top_k_shared(
+                    query,
+                    *k,
+                    ResultSemantics::Slca,
+                    &mut fragments,
+                );
+                self.exec.record(top.stats);
+                (top.hits, top.stats)
+            })
+            .collect()
     }
 
     /// Runs the full (unbounded) search under `semantics`, recording

@@ -12,7 +12,7 @@ use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::Duration;
 use xsact::prelude::*;
-use xsact::serve::{serve_tcp, FaultPlan, END_MARKER};
+use xsact::serve::{serve_tcp, serve_tcp_mux, FaultPlan, END_MARKER};
 use xsact_data::movies::{qm_queries, MovieGenConfig, MoviesGen};
 
 /// Eight documents so shard 1 is non-empty at every shard count under
@@ -238,4 +238,116 @@ fn dropped_connection_is_isolated_to_one_client() {
     drop(ok);
 
     handle.shutdown();
+}
+
+/// `drop_connection` under the multiplexed front end: the armed site must
+/// EOF **exactly one** connection while the single poll loop keeps serving
+/// every other client — a dropped peer cannot take the thread down with
+/// it, because there is no per-connection thread to take.
+#[test]
+fn dropped_connection_under_mux_is_isolated_to_one_client() {
+    let server = CorpusServer::start(
+        chaos_corpus(2),
+        ServeConfig {
+            faults: FaultPlan::parse("drop_connection@1").unwrap(),
+            ..ServeConfig::default()
+        },
+    );
+    let handle = serve_tcp_mux(server, "127.0.0.1:0").expect("bind ephemeral port");
+    let addr = handle.addr();
+
+    // Two bystanders connect first and stay idle while the victim burns
+    // the armed site.
+    let mut bystander_a = TcpStream::connect(addr).expect("bystander A connects");
+    let mut bystander_b = TcpStream::connect(addr).expect("bystander B connects");
+
+    let mut victim = TcpStream::connect(addr).expect("victim connects");
+    victim.write_all(b"QUERY drama family\n").expect("victim request");
+    let mut victim_lines = BufReader::new(victim.try_clone().unwrap()).lines();
+    let mut saw_terminator = false;
+    for line in victim_lines.by_ref() {
+        let Ok(line) = line else { break };
+        if line == END_MARKER {
+            saw_terminator = true;
+            break;
+        }
+    }
+    assert!(!saw_terminator, "the injected drop must end the stream before the terminator");
+
+    // The loop thread survived: both bystanders (and a fresh client) are
+    // served normally on the same single thread.
+    let mut responses_a = BufReader::new(bystander_a.try_clone().unwrap()).lines();
+    let resp = tcp_exchange(&mut bystander_a, &mut responses_a, "QUERY drama family");
+    assert!(resp.first().is_some_and(|l| l.starts_with("OK ")), "{resp:?}");
+    let mut responses_b = BufReader::new(bystander_b.try_clone().unwrap()).lines();
+    let resp = tcp_exchange(&mut bystander_b, &mut responses_b, "QUERY comedy wedding");
+    assert!(resp.first().is_some_and(|l| l.starts_with("OK ")), "{resp:?}");
+    let mut fresh = TcpStream::connect(addr).expect("fresh client connects");
+    let mut responses_f = BufReader::new(fresh.try_clone().unwrap()).lines();
+    let resp = tcp_exchange(&mut fresh, &mut responses_f, "QUERY action hero");
+    assert!(resp.first().is_some_and(|l| l.starts_with("OK ")), "{resp:?}");
+    drop((bystander_a, bystander_b, fresh));
+
+    handle.shutdown();
+    handle.wait();
+}
+
+// ----------------------------------------------------- result-page cache
+
+/// `cache_poison` simulates an insert racing an invalidation: the armed
+/// site hands the dispatcher's insert a stale generation, and the cache's
+/// generation guard must reject it. The poisoned page is never served —
+/// the next identical query is a fresh miss with identical bytes.
+#[test]
+fn cache_poison_insert_is_rejected_by_the_generation_guard() {
+    let corpus = chaos_corpus(2);
+    let server = CorpusServer::start(
+        Arc::clone(&corpus),
+        ServeConfig {
+            faults: FaultPlan::parse("cache_poison@1").unwrap(),
+            ..ServeConfig::default()
+        },
+    );
+    let mut session = server.session();
+    let first = session.query("drama family").unwrap().ranking.render(session.top());
+    let second = session.query("drama family").unwrap().ranking.render(session.top());
+    assert_eq!(first, second, "rejected insert or not, the bytes never change");
+    let stats = server.stats();
+    assert_eq!(
+        (stats.cache_hits, stats.cache_misses),
+        (0, 2),
+        "the poisoned insert must not be served: both lookups miss"
+    );
+    // The site fired once: the second execution's insert landed, so the
+    // third query is a hit — with the same bytes.
+    let third = session.query("drama family").unwrap().ranking.render(session.top());
+    assert_eq!(third, first);
+    assert_eq!(server.stats().cache_hits, 1, "recovery: caching resumes after the one-shot");
+}
+
+/// A `ShardFailed` answer must never be cached: after the panic-and-respawn,
+/// the same query re-executes (a cache miss) and succeeds — an error can
+/// never be replayed out of the cache.
+#[test]
+fn shard_failure_is_never_cached() {
+    let corpus = chaos_corpus(2);
+    let server = CorpusServer::start(
+        Arc::clone(&corpus),
+        ServeConfig {
+            faults: FaultPlan::parse("shard_panic:1@1").unwrap(),
+            ..ServeConfig::default()
+        },
+    );
+    let mut session = server.session();
+    let err = session.query("drama family").unwrap_err();
+    assert!(matches!(err, XsactError::ShardFailed { shard: 1, .. }), "{err}");
+    // The retry misses (nothing was cached for the failed round) and is
+    // byte-identical to sequential execution on the respawned pool.
+    let answer = session.query("drama family").unwrap();
+    let sequential = corpus.query("drama family").unwrap().ranking().render(session.top());
+    assert_eq!(answer.ranking.render(session.top()), sequential);
+    let stats = server.stats();
+    assert_eq!(stats.cache_hits, 0, "the failed round must not produce a hit");
+    assert_eq!(stats.cache_misses, 2, "both submissions were fresh lookups");
+    assert_eq!(stats.queries_served, 1, "only the successful retry counts as served");
 }

@@ -171,6 +171,14 @@ fn concurrent_sessions_conserve_registry_totals_exactly() {
     assert_eq!(stats.execute_ns.count, total, "one execute observation per query");
     assert_eq!(stats.e2e_ns.count, total, "one e2e observation per query");
     assert_eq!(stats.batch_size.count, stats.batches, "one batch-size observation per batch");
-    assert_eq!(stats.batch_size.sum, total, "batch sizes sum to the queries served");
+    // Every served query was answered exactly one way: by riding a batch
+    // (a cache miss) or straight from the result-page cache.
+    assert_eq!(
+        stats.batch_size.sum + stats.cache_hits,
+        total,
+        "batch sizes plus cache hits sum to the queries served"
+    );
+    assert_eq!(stats.cache_hits + stats.cache_misses, total, "every query hit or missed");
+    assert!(stats.cache_hits > 0, "a repeated mix must hit the cache");
     assert_eq!(stats.rejected_overload, 0, "blocking clients never overflow the queue");
 }

@@ -30,8 +30,8 @@ use xsact_core::{
 };
 use xsact_entity::{FeatureType, ResultFeatures};
 use xsact_index::{
-    rank_results, rank_top_k, slca_full_scan, slca_indexed_lookup, InvertedIndex, Query, QueryPlan,
-    ResultSemantics, SearchEngine,
+    rank_results, rank_top_k, slca_full_scan, slca_indexed_lookup, InvertedIndex, PlanFragments,
+    Query, QueryPlan, ResultSemantics, SearchEngine,
 };
 use xsact_xml::{parse_document, writer, Document, NodeId};
 
@@ -323,6 +323,83 @@ fn search_top_k_matches_the_ranked_oracle_for_both_semantics() {
                     bounded.hits,
                     full.hits[..k.min(full.hits.len())],
                     "seed {seed} {semantics:?} k = {k}"
+                );
+            }
+        }
+    }
+}
+
+/// Batch-level plan sharing is invisible in the results: running a batch
+/// of random queries through one shared [`PlanFragments`] table produces
+/// rankings and legacy executor counters identical to independent
+/// execution, for both semantics — only `postings_shared` may differ
+/// (and must whenever the batch repeats a term).
+#[test]
+fn shared_plan_fragments_match_independent_execution() {
+    for seed in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let doc = random_document(&mut rng);
+        let engine = SearchEngine::build(doc);
+        let queries: Vec<Query> =
+            (0..rng.random_range(2..=6usize)).map(|_| random_query(&mut rng)).collect();
+        for semantics in [ResultSemantics::Slca, ResultSemantics::Elca] {
+            let mut fragments = PlanFragments::new();
+            let mut repeated_terms = false;
+            let mut seen: Vec<String> = Vec::new();
+            for (q, query) in queries.iter().enumerate() {
+                // Predict whether this query shares: planning resolves
+                // terms in order and short-circuits after the first empty
+                // list, so only terms up to (and including) that one enter
+                // the fragment table.
+                for term in query.iter() {
+                    let empty = engine.index().postings(term).is_empty();
+                    if seen.iter().any(|s| s == term) {
+                        // `shared_entries` counts posting *entries*
+                        // resolved from the table, so only a repeat of a
+                        // non-empty list registers.
+                        repeated_terms |= !empty;
+                    } else {
+                        seen.push(term.to_owned());
+                    }
+                    if empty {
+                        break;
+                    }
+                }
+                let k = rng.random_range(0..=5usize);
+                let independent = engine.search_top_k(query, k, semantics);
+                let shared = engine.search_top_k_shared(query, k, semantics, &mut fragments);
+                assert_eq!(
+                    shared.hits, independent.hits,
+                    "seed {seed} {semantics:?} query {q}: sharing changed the ranking"
+                );
+                assert_eq!(
+                    (
+                        shared.stats.postings_scanned,
+                        shared.stats.gallop_probes,
+                        shared.stats.candidates_pruned,
+                    ),
+                    (
+                        independent.stats.postings_scanned,
+                        independent.stats.gallop_probes,
+                        independent.stats.candidates_pruned,
+                    ),
+                    "seed {seed} {semantics:?} query {q}: sharing changed the work counters"
+                );
+                assert_eq!(
+                    independent.stats.postings_shared, 0,
+                    "independent execution never reports sharing"
+                );
+            }
+            if repeated_terms {
+                assert!(
+                    fragments.shared_entries() > 0,
+                    "seed {seed} {semantics:?}: a repeated term must be resolved via the table"
+                );
+            } else {
+                assert_eq!(
+                    fragments.shared_entries(),
+                    0,
+                    "seed {seed} {semantics:?}: no repeats, nothing shared"
                 );
             }
         }

@@ -9,7 +9,7 @@ use std::net::TcpStream;
 use std::sync::Arc;
 use xsact::data::movies::qm_queries;
 use xsact::prelude::*;
-use xsact::serve::{serve_tcp, END_MARKER};
+use xsact::serve::{serve_tcp, serve_tcp_mux, END_MARKER};
 
 /// The synthetic fleet every test serves: six distinct movie documents.
 fn fleet(shards: usize) -> Arc<Corpus> {
@@ -256,4 +256,228 @@ fn tcp_handle_shutdown_stops_an_idle_server() {
     handle.shutdown();
     let stats = handle.wait();
     assert_eq!(stats.queries_served, 0);
+}
+
+// ----------------------------------------------------- result-page cache
+
+/// The cache half of the tentpole invariant, pinned: a cached answer is
+/// byte-identical to a fresh one, at every shard count, whether the cache
+/// is off, tiny (evicting constantly), or large — under concurrent
+/// shuffled clients replaying the mix, so hits, misses, evictions, and
+/// coalescing all interleave.
+#[test]
+fn cache_matrix_never_changes_bytes() {
+    const CLIENTS: u64 = 4;
+    const PASSES: usize = 3;
+    let k = 4; // ServeConfig::default().default_top
+    for shards in [1usize, 2, 8] {
+        // (entries, bytes): disabled, tiny (2 pages for 8 keys — every
+        // pass evicts), effectively unbounded.
+        for (entries, bytes) in [(0usize, 0usize), (2, 0), (1024, 0)] {
+            let corpus = fleet(shards);
+            let expected: Vec<(String, String)> = qm_mix()
+                .into_iter()
+                .map(|text| {
+                    let rendered = corpus.query(&text).unwrap().ranking().render(k);
+                    (text, rendered)
+                })
+                .collect();
+            let server = CorpusServer::start(
+                Arc::clone(&corpus),
+                ServeConfig {
+                    cache_entries: entries,
+                    cache_bytes: bytes,
+                    ..ServeConfig::default()
+                },
+            );
+            std::thread::scope(|scope| {
+                for client in 0..CLIENTS {
+                    let server = &server;
+                    let expected = &expected;
+                    scope.spawn(move || {
+                        let mut session = server.session();
+                        let mut rng = StdRng::seed_from_u64(client * 31 + entries as u64);
+                        let mut order: Vec<usize> = (0..expected.len()).collect();
+                        for i in (1..order.len()).rev() {
+                            order.swap(i, rng.random_range(0..=i));
+                        }
+                        for _ in 0..PASSES {
+                            for &i in &order {
+                                let (text, want) = &expected[i];
+                                let answer = session.query(text).unwrap();
+                                assert_eq!(
+                                    &answer.ranking.render(k),
+                                    want,
+                                    "shards {shards}, cache {entries}, query {text:?}"
+                                );
+                            }
+                        }
+                    });
+                }
+            });
+            let stats = server.stats();
+            let total = CLIENTS * PASSES as u64 * expected.len() as u64;
+            assert_eq!(stats.queries_served, total, "shards {shards}, cache {entries}");
+            if entries == 0 {
+                assert_eq!(
+                    (stats.cache_hits, stats.cache_misses, stats.cache_evictions),
+                    (0, 0, 0),
+                    "a disabled cache counts nothing"
+                );
+            } else {
+                assert_eq!(
+                    stats.cache_hits + stats.cache_misses,
+                    total,
+                    "every query hit or missed (shards {shards}, cache {entries})"
+                );
+            }
+            if entries == 2 {
+                assert!(
+                    stats.cache_evictions > 0,
+                    "two pages for eight keys must evict (shards {shards})"
+                );
+            }
+            if entries == 1024 {
+                // The dispatcher inserts before replying, so once a
+                // client has an answer the page is cached: only each
+                // client's first pass can miss a key.
+                assert!(
+                    stats.cache_misses <= CLIENTS * expected.len() as u64,
+                    "misses {} exceed first-pass worst case (shards {shards})",
+                    stats.cache_misses
+                );
+                assert_eq!(stats.cache_evictions, 0, "an unbounded cache never evicts");
+            }
+        }
+    }
+}
+
+/// The invalidation protocol: `invalidate_cache` flash-clears, bumps the
+/// generation, and the next identical query misses — with identical bytes.
+#[test]
+fn invalidate_all_clears_and_bumps_generation() {
+    let server = CorpusServer::start(fleet(2), ServeConfig::default());
+    let mut session = server.session();
+    let fresh = session.query("drama family").unwrap().ranking.render(4);
+    let cached = session.query("drama family").unwrap().ranking.render(4);
+    assert_eq!(fresh, cached);
+    assert_eq!(server.stats().cache_hits, 1, "the replay hit");
+    let generation = server.cache_generation();
+    server.invalidate_cache();
+    assert_eq!(server.cache_generation(), generation + 1);
+    let refilled = session.query("drama family").unwrap().ranking.render(4);
+    assert_eq!(refilled, fresh, "re-execution after invalidation is byte-identical");
+    let stats = server.stats();
+    assert_eq!(stats.cache_hits, 1, "the post-invalidation query was a miss");
+    assert_eq!(stats.cache_misses, 2);
+}
+
+/// A cache hit must skip the shard pool entirely: executor work does not
+/// grow, yet the query is served and charged to the session budget.
+#[test]
+fn cache_hits_skip_the_shard_pool() {
+    let server = CorpusServer::start(fleet(2), ServeConfig::default());
+    let mut session = server.session();
+    session.query("drama family").unwrap();
+    let after_miss = server.stats();
+    let spent_after_miss = session.spent();
+    session.query("drama family").unwrap();
+    let after_hit = server.stats();
+    assert_eq!(after_hit.postings_scanned, after_miss.postings_scanned, "a hit executes nothing");
+    assert_eq!(after_hit.batches, after_miss.batches, "a hit forms no batch");
+    assert_eq!(after_hit.queries_served, after_miss.queries_served + 1);
+    assert_eq!(
+        session.spent(),
+        spent_after_miss * 2,
+        "the cached answer still charges the session budget"
+    );
+}
+
+// ------------------------------------------------------ multiplexed front end
+
+/// The mux front end speaks the identical wire protocol: the same request
+/// sequence against `serve_tcp` and `serve_tcp_mux` produces identical
+/// bytes, verb by verb.
+#[test]
+fn mux_front_end_is_wire_identical() {
+    let requests = [
+        "QUERY drama family",
+        "TOP 2",
+        "QUERY drama family",
+        "QUERY ???",
+        "EXPLODE now",
+        "QUERY comedy wedding",
+        "QUIT",
+    ];
+    let run = |mux: bool| -> Vec<Vec<String>> {
+        let server = CorpusServer::start(fleet(2), ServeConfig::default());
+        let handle = if mux {
+            serve_tcp_mux(server, "127.0.0.1:0").expect("binds")
+        } else {
+            serve_tcp(server, "127.0.0.1:0").expect("binds")
+        };
+        let stream = TcpStream::connect(handle.addr()).expect("connects");
+        let mut writer = stream.try_clone().expect("clones");
+        let mut responses = BufReader::new(stream).lines();
+        let bodies: Vec<Vec<String>> =
+            requests.iter().map(|r| roundtrip(&mut writer, &mut responses, r)).collect();
+        handle.shutdown();
+        handle.wait();
+        bodies
+    };
+    assert_eq!(run(false), run(true), "one thread or many, the bytes agree");
+}
+
+/// One front-end thread, 32 concurrent connections, every request written
+/// in two fragments with a pause in between: the incremental line framer
+/// must reassemble each mid-stream partial line, and every connection gets
+/// the bytes the sequential oracle produced.
+#[test]
+fn mux_serves_many_connections_with_partial_lines_on_one_thread() {
+    const CONNS: usize = 32;
+    let corpus = fleet(2);
+    let mix = qm_mix();
+    let expected: Vec<String> =
+        mix.iter().map(|text| corpus.query(text).unwrap().ranking().render(4)).collect();
+    let server = CorpusServer::start(Arc::clone(&corpus), ServeConfig::default());
+    let handle = serve_tcp_mux(server, "127.0.0.1:0").expect("binds");
+    std::thread::scope(|scope| {
+        for conn in 0..CONNS {
+            let handle = &handle;
+            let mix = &mix;
+            let expected = &expected;
+            scope.spawn(move || {
+                let stream = TcpStream::connect(handle.addr()).expect("connects");
+                let mut writer = stream.try_clone().expect("clones");
+                let mut responses = BufReader::new(stream).lines();
+                for pass in 0..2 {
+                    let i = (conn + pass) % mix.len();
+                    // Split the request mid-word: the server sees a
+                    // partial line, then the rest, then the newline.
+                    let request = format!("QUERY {}", mix[i]);
+                    let split = request.len() / 2 + conn % 3;
+                    writer.write_all(request.as_bytes()[..split].as_ref()).unwrap();
+                    writer.flush().unwrap();
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                    writer.write_all(request.as_bytes()[split..].as_ref()).unwrap();
+                    writer.write_all(b"\n").unwrap();
+                    let mut body = Vec::new();
+                    loop {
+                        match responses.next() {
+                            Some(Ok(line)) if line == END_MARKER => break,
+                            Some(Ok(line)) => body.push(line),
+                            other => panic!("connection {conn} ended mid-response: {other:?}"),
+                        }
+                    }
+                    let want = &expected[i];
+                    assert_eq!(body[0], format!("OK {}", want.lines().count()));
+                    assert_eq!(body[1..].join("\n") + "\n", *want, "connection {conn}");
+                }
+                writer.write_all(b"QUIT\n").unwrap();
+            });
+        }
+    });
+    handle.shutdown();
+    let stats = handle.wait();
+    assert_eq!(stats.queries_served, (CONNS * 2) as u64);
 }
